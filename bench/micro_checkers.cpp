@@ -1,0 +1,246 @@
+//===- bench/micro_checkers.cpp - Component micro-benchmarks -----------------===//
+//
+// google-benchmark micro-benchmarks for the checker components and the
+// design-choice ablations DESIGN.md calls out:
+//   - per-level AWDIT throughput vs the exhaustive baselines (the
+//     "minimal saturation" ablation);
+//   - Read Consistency and ComputeHB in isolation;
+//   - the single-session RA fast path vs the general algorithm
+//     (Theorem 1.6 ablation).
+//
+//===----------------------------------------------------------------------===//
+
+#include "baseline/naive_checker.h"
+#include "baseline/plume_like.h"
+#include "checker/check_cc.h"
+#include "checker/check_ra.h"
+#include "checker/check_ra_single_session.h"
+#include "checker/check_rc.h"
+#include "checker/checker.h"
+#include "checker/read_consistency.h"
+#include "graph/tree_clock.h"
+#include "graph/vector_clock.h"
+#include "workload/generator.h"
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+using namespace awdit;
+
+namespace {
+
+/// Cached histories so generation cost stays out of the measurement.
+const History &cachedHistory(size_t Txns) {
+  static std::map<size_t, History> Cache;
+  auto It = Cache.find(Txns);
+  if (It == Cache.end()) {
+    GenerateParams P;
+    P.Bench = Benchmark::CTwitter;
+    P.Mode = ConsistencyMode::Causal;
+    P.Sessions = 32;
+    P.Txns = Txns;
+    P.Seed = 12345;
+    It = Cache.emplace(Txns, generateHistory(P)).first;
+  }
+  return It->second;
+}
+
+const History &cachedSingleSessionHistory(size_t Txns) {
+  static std::map<size_t, History> Cache;
+  auto It = Cache.find(Txns);
+  if (It == Cache.end()) {
+    ClientWorkload W;
+    W.Sessions.resize(1);
+    Rng Rand(7);
+    ClientTxn Init;
+    for (Key K = 1; K <= 64; ++K)
+      Init.Ops.push_back(ClientOp::write(K));
+    W.Sessions[0].Txns.push_back(std::move(Init));
+    for (size_t T = 0; T < Txns; ++T) {
+      ClientTxn Txn;
+      for (int O = 0; O < 6; ++O) {
+        Key K = 1 + Rand.nextBelow(64);
+        Txn.Ops.push_back(Rand.nextBool(0.4) ? ClientOp::write(K)
+                                             : ClientOp::read(K));
+      }
+      W.Sessions[0].Txns.push_back(std::move(Txn));
+    }
+    SimConfig C;
+    C.Mode = ConsistencyMode::Serializable;
+    C.Seed = 11;
+    It = Cache.emplace(Txns, *simulateDatabase(W, C)).first;
+  }
+  return It->second;
+}
+
+void reportOps(benchmark::State &State, const History &H) {
+  State.SetItemsProcessed(static_cast<int64_t>(State.iterations()) *
+                          static_cast<int64_t>(H.numOps()));
+}
+
+} // namespace
+
+static void BM_ReadConsistency(benchmark::State &State) {
+  const History &H = cachedHistory(static_cast<size_t>(State.range(0)));
+  for (auto _ : State) {
+    std::vector<Violation> Out;
+    benchmark::DoNotOptimize(checkReadConsistency(H, Out));
+  }
+  reportOps(State, H);
+}
+BENCHMARK(BM_ReadConsistency)->Arg(1024)->Arg(4096)->Arg(16384);
+
+static void BM_ComputeHappensBefore(benchmark::State &State) {
+  const History &H = cachedHistory(static_cast<size_t>(State.range(0)));
+  for (auto _ : State) {
+    HappensBefore HB;
+    benchmark::DoNotOptimize(computeHappensBefore(H, HB));
+  }
+  reportOps(State, H);
+}
+BENCHMARK(BM_ComputeHappensBefore)->Arg(1024)->Arg(4096)->Arg(16384);
+
+static void BM_AwditRc(benchmark::State &State) {
+  const History &H = cachedHistory(static_cast<size_t>(State.range(0)));
+  for (auto _ : State) {
+    std::vector<Violation> Out;
+    benchmark::DoNotOptimize(checkRc(H, Out, /*MaxWitnesses=*/1));
+  }
+  reportOps(State, H);
+}
+BENCHMARK(BM_AwditRc)->Arg(1024)->Arg(4096)->Arg(16384);
+
+static void BM_AwditRa(benchmark::State &State) {
+  const History &H = cachedHistory(static_cast<size_t>(State.range(0)));
+  for (auto _ : State) {
+    std::vector<Violation> Out;
+    benchmark::DoNotOptimize(checkRa(H, Out, /*MaxWitnesses=*/1));
+  }
+  reportOps(State, H);
+}
+BENCHMARK(BM_AwditRa)->Arg(1024)->Arg(4096)->Arg(16384);
+
+static void BM_AwditCc(benchmark::State &State) {
+  const History &H = cachedHistory(static_cast<size_t>(State.range(0)));
+  for (auto _ : State) {
+    std::vector<Violation> Out;
+    benchmark::DoNotOptimize(checkCc(H, Out, /*MaxWitnesses=*/1));
+  }
+  reportOps(State, H);
+}
+BENCHMARK(BM_AwditCc)->Arg(1024)->Arg(4096)->Arg(16384);
+
+// Ablation: minimal saturation (AWDIT) vs exhaustive TAP sweep (Plume
+// class) vs exhaustive inference with backward searches (naive class).
+static void BM_AblationPlumeLikeCc(benchmark::State &State) {
+  const History &H = cachedHistory(static_cast<size_t>(State.range(0)));
+  PlumeLikeChecker Plume;
+  Deadline NoLimit(0.0);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(
+        Plume.check(H, IsolationLevel::CausalConsistency, NoLimit));
+  reportOps(State, H);
+}
+BENCHMARK(BM_AblationPlumeLikeCc)->Arg(1024)->Arg(4096);
+
+static void BM_AblationNaiveCc(benchmark::State &State) {
+  const History &H = cachedHistory(static_cast<size_t>(State.range(0)));
+  NaiveChecker Naive;
+  Deadline NoLimit(0.0);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(
+        Naive.check(H, IsolationLevel::CausalConsistency, NoLimit));
+  reportOps(State, H);
+}
+BENCHMARK(BM_AblationNaiveCc)->Arg(1024)->Arg(2048);
+
+// Ablation: Theorem 1.6 linear fast path vs the general RA algorithm on
+// single-session histories.
+static void BM_RaSingleSessionFastPath(benchmark::State &State) {
+  const History &H =
+      cachedSingleSessionHistory(static_cast<size_t>(State.range(0)));
+  for (auto _ : State) {
+    std::vector<Violation> Out;
+    benchmark::DoNotOptimize(checkRaSingleSession(H, Out));
+  }
+  reportOps(State, H);
+}
+BENCHMARK(BM_RaSingleSessionFastPath)->Arg(4096)->Arg(16384);
+
+static void BM_RaSingleSessionGeneral(benchmark::State &State) {
+  const History &H =
+      cachedSingleSessionHistory(static_cast<size_t>(State.range(0)));
+  for (auto _ : State) {
+    std::vector<Violation> Out;
+    benchmark::DoNotOptimize(checkRa(H, Out, /*MaxWitnesses=*/1));
+  }
+  reportOps(State, H);
+}
+BENCHMARK(BM_RaSingleSessionGeneral)->Arg(4096)->Arg(16384);
+
+// Ablation: Algorithm 3 as written (full HB matrix + pointer scans) vs
+// the paper tool's on-the-fly variant (recycled rows + binary search).
+static void BM_AwditCcOnTheFly(benchmark::State &State) {
+  const History &H = cachedHistory(static_cast<size_t>(State.range(0)));
+  for (auto _ : State) {
+    std::vector<Violation> Out;
+    benchmark::DoNotOptimize(checkCcOnTheFly(H, Out, /*MaxWitnesses=*/1));
+  }
+  reportOps(State, H);
+}
+BENCHMARK(BM_AwditCcOnTheFly)->Arg(1024)->Arg(4096)->Arg(16384);
+
+// Ablation: tree clock vs vector clock joins on a message-passing trace
+// with localized updates (the regime tree clocks are designed for).
+static void BM_VectorClockJoins(benchmark::State &State) {
+  size_t K = static_cast<size_t>(State.range(0));
+  for (auto _ : State) {
+    std::vector<VectorClock> Clocks;
+    for (size_t S = 0; S < K; ++S)
+      Clocks.emplace_back(K);
+    Rng Rand(3);
+    for (int Step = 0; Step < 4000; ++Step) {
+      // Pull model: the acting session ticks, then absorbs a peer.
+      size_t S = Rand.nextBelow(K);
+      Clocks[S].set(S, Clocks[S].get(S) + 1);
+      size_t From = Rand.nextBelow(K);
+      if (From != S)
+        Clocks[S].joinWith(Clocks[From]);
+    }
+    benchmark::DoNotOptimize(Clocks);
+  }
+}
+BENCHMARK(BM_VectorClockJoins)->Arg(64)->Arg(256);
+
+static void BM_TreeClockJoins(benchmark::State &State) {
+  size_t K = static_cast<size_t>(State.range(0));
+  for (auto _ : State) {
+    std::vector<TreeClock> Clocks;
+    for (size_t S = 0; S < K; ++S)
+      Clocks.emplace_back(K, static_cast<uint32_t>(S));
+    Rng Rand(3);
+    for (int Step = 0; Step < 4000; ++Step) {
+      // Pull model: the acting session ticks, then absorbs a peer.
+      size_t S = Rand.nextBelow(K);
+      Clocks[S].tick();
+      size_t From = Rand.nextBelow(K);
+      if (From != S)
+        Clocks[S].join(Clocks[From]);
+    }
+    benchmark::DoNotOptimize(Clocks);
+  }
+}
+BENCHMARK(BM_TreeClockJoins)->Arg(64)->Arg(256);
+
+// End-to-end facade throughput (what the CLI pays per history).
+static void BM_FacadeAllLevels(benchmark::State &State) {
+  const History &H = cachedHistory(static_cast<size_t>(State.range(0)));
+  for (auto _ : State)
+    for (IsolationLevel Level : AllIsolationLevels)
+      benchmark::DoNotOptimize(checkIsolation(H, Level));
+  reportOps(State, H);
+}
+BENCHMARK(BM_FacadeAllLevels)->Arg(4096);
+
+BENCHMARK_MAIN();

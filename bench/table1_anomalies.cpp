@@ -1,0 +1,118 @@
+//===- bench/table1_anomalies.cpp - Paper Table 1 reproduction ----------------===//
+//
+// Table 1: eight histories carrying real isolation anomalies (future reads
+// and causality cycles), with whether each tester reports them. AWDIT
+// reports every anomaly; the baseline misses some on large histories under
+// its time budget.
+//
+// Substitutions: the production bugs behind the paper's histories are
+// planted with the anomaly injector on TPC-C histories matching the
+// paper's (size, sessions, database) rows; Plume -> PlumeLikeChecker with
+// a per-level time budget (paper: 10 min / 2 h).
+//
+//===----------------------------------------------------------------------===//
+
+#include "baseline/plume_like.h"
+#include "bench/bench_util.h"
+#include "sim/anomaly_injector.h"
+#include "workload/generator.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace awdit;
+using namespace awdit::bench;
+
+namespace {
+
+struct Row {
+  const char *Name;
+  size_t Txns;
+  size_t Sessions;
+  ConsistencyMode Database; // stands in for CockroachDB / PostgreSQL
+  AnomalyKind Anomaly;
+};
+
+/// "Reported?" of one tester at one level, as the table's cells.
+const char *mark(bool Detected) { return Detected ? "yes" : "MISS"; }
+
+} // namespace
+
+int main() {
+  bool Full = fullScale();
+  // Paper sizes range 2048..1048576 txns; the quick default divides the
+  // two largest rows by 8/16 so the whole table runs in seconds.
+  const Row Rows[] = {
+      {"H1", 32768, 100, ConsistencyMode::Causal, AnomalyKind::FutureRead},
+      {"H2", 50000, 30, ConsistencyMode::Causal,
+       AnomalyKind::CausalityCycle},
+      {"H3", 2048, 50, ConsistencyMode::Serializable,
+       AnomalyKind::FutureRead},
+      {"H4", 16384, 50, ConsistencyMode::Serializable,
+       AnomalyKind::CausalityCycle},
+      {"H5", 32768, 100, ConsistencyMode::Serializable,
+       AnomalyKind::FutureRead},
+      {"H6", 50000, 30, ConsistencyMode::Serializable,
+       AnomalyKind::FutureRead},
+      {"H7", 50000, 40, ConsistencyMode::Serializable,
+       AnomalyKind::FutureRead},
+      {"H8", 1048576, 100, ConsistencyMode::Serializable,
+       AnomalyKind::CausalityCycle},
+  };
+  double BaselineBudget = Full ? 600.0 : 2.0;
+
+  PlumeLikeChecker Plume;
+
+  std::printf("== Table 1: anomalies reported by AWDIT and the baseline "
+              "(budget %.0fs/level) ==\n",
+              BaselineBudget);
+  std::printf("%-4s %9s %9s %-14s %-16s | %-14s %-14s\n", "id", "txns",
+              "sessions", "database", "violation", "AWDIT", "Plume~");
+
+  size_t AwditDetected = 0, PlumeDetected = 0;
+  for (const Row &R : Rows) {
+    size_t Txns = R.Txns;
+    if (!Full && Txns > 40000)
+      Txns /= (Txns > 100000 ? 16 : 8);
+
+    GenerateParams P;
+    P.Bench = Benchmark::Tpcc;
+    P.Mode = R.Database;
+    P.Sessions = R.Sessions;
+    P.Txns = Txns;
+    P.Seed = 90000 + Txns;
+    History Base = generateHistory(P);
+    std::optional<History> H = injectAnomaly(Base, R.Anomaly, P.Seed + 1);
+    if (!H) {
+      std::printf("%-4s injection failed\n", R.Name);
+      continue;
+    }
+
+    // A tester "reports" the anomaly if any level it supports flags the
+    // history within its budget.
+    bool Awdit = false, PlumeFound = false, PlumeBudgetHit = false;
+    for (IsolationLevel Level : AllIsolationLevels) {
+      Awdit |= !timeAwdit(*H, Level).Consistent;
+      TimedResult B = timeBaseline(Plume, *H, Level, BaselineBudget);
+      PlumeBudgetHit |= B.TimedOut;
+      PlumeFound |= !B.TimedOut && !B.Consistent;
+    }
+    AwditDetected += Awdit;
+    PlumeDetected += PlumeFound;
+
+    std::string PlumeCell = mark(PlumeFound);
+    if (PlumeBudgetHit)
+      PlumeCell += " (budget)";
+    std::printf("%-4s %9zu %9zu %-14s %-16s | %-14s %-14s\n", R.Name, Txns,
+                R.Sessions, consistencyModeName(R.Database),
+                anomalyKindName(R.Anomaly), mark(Awdit), PlumeCell.c_str());
+  }
+
+  std::printf("\nAWDIT reported %zu/8 anomalies; baseline %zu/8.\n",
+              AwditDetected, PlumeDetected);
+  std::printf("Expected shape (paper): AWDIT reports all 8; the baseline "
+              "misses anomalies on the\nlargest histories when its budget "
+              "runs out (H8 in the paper).\n");
+  return 0;
+}

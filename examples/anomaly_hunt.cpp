@@ -1,0 +1,68 @@
+//===- examples/anomaly_hunt.cpp - Hunting planted isolation bugs -----------===//
+//
+// Part of the AWDIT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+//
+// Black-box bug hunting, the workflow behind the paper's Table 1: take a
+// consistent TPC-C history, plant each class of isolation anomaly in turn,
+// and show which isolation levels flag it and with what witness. The level
+// discrimination (e.g. a fractured read passes RC but fails RA/CC) is the
+// product behaviour a database tester relies on.
+//
+//===----------------------------------------------------------------------===//
+
+#include "checker/checker.h"
+#include "sim/anomaly_injector.h"
+#include "workload/generator.h"
+
+#include <cstdio>
+
+using namespace awdit;
+
+int main() {
+  GenerateParams P;
+  P.Bench = Benchmark::Tpcc;
+  P.Sessions = 10;
+  P.Txns = 1500;
+  P.Mode = ConsistencyMode::Serializable;
+  P.Seed = 7;
+  History Base = generateHistory(P);
+
+  const AnomalyKind Kinds[] = {
+      AnomalyKind::ThinAirRead,      AnomalyKind::AbortedRead,
+      AnomalyKind::FutureRead,       AnomalyKind::FracturedRead,
+      AnomalyKind::NonMonotonicRead, AnomalyKind::CausalViolation,
+      AnomalyKind::CausalityCycle,
+  };
+
+  std::printf("%-20s | %-9s | %-9s | %-9s\n", "planted anomaly", "RC", "RA",
+              "CC");
+  std::printf("---------------------+-----------+-----------+-----------\n");
+  for (AnomalyKind Kind : Kinds) {
+    std::string Err;
+    std::optional<History> H = injectAnomaly(Base, Kind, /*Seed=*/99, &Err);
+    if (!H) {
+      std::fprintf(stderr, "injection failed: %s\n", Err.c_str());
+      return 1;
+    }
+    std::printf("%-20s", anomalyKindName(Kind));
+    for (IsolationLevel Level : {IsolationLevel::ReadCommitted,
+                                 IsolationLevel::ReadAtomic,
+                                 IsolationLevel::CausalConsistency}) {
+      CheckReport Report = checkIsolation(*H, Level);
+      std::printf(" | %-9s", Report.Consistent ? "pass" : "VIOLATED");
+    }
+    std::printf("\n");
+    // Show one witness at the strongest level that catches it.
+    for (IsolationLevel Level : AllIsolationLevels) {
+      CheckReport Report = checkIsolation(*H, Level);
+      if (!Report.Consistent) {
+        std::printf("    -> %s\n",
+                    Report.Violations.front().describe(*H).c_str());
+        break;
+      }
+    }
+  }
+  return 0;
+}

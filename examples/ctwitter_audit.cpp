@@ -1,0 +1,53 @@
+//===- examples/ctwitter_audit.cpp - Auditing a social-network workload -----===//
+//
+// Part of the AWDIT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+//
+// The paper's motivating use case end to end: run a C-Twitter-style
+// workload against a (simulated) causally consistent database, record the
+// history, and audit it at all three weak isolation levels — then rerun
+// against a database that only provides per-operation read-committed
+// visibility and watch RA/CC break while RC still passes.
+//
+//===----------------------------------------------------------------------===//
+
+#include "checker/checker.h"
+#include "history/history_stats.h"
+#include "support/timer.h"
+#include "workload/generator.h"
+
+#include <cstdio>
+
+using namespace awdit;
+
+static void audit(const char *Label, ConsistencyMode Mode) {
+  GenerateParams P;
+  P.Bench = Benchmark::CTwitter;
+  P.Sessions = 20;
+  P.Txns = 4000;
+  P.Mode = Mode;
+  P.Seed = 42;
+  History H = generateHistory(P);
+
+  std::printf("=== %s database ===\n", Label);
+  std::printf("history: %s\n", computeStats(H).toString().c_str());
+  for (IsolationLevel Level : AllIsolationLevels) {
+    Timer T;
+    CheckReport Report = checkIsolation(H, Level);
+    std::printf("  %s: %-10s (%.2f ms, %zu inferred co' edges)\n",
+                isolationLevelName(Level),
+                Report.Consistent ? "consistent" : "VIOLATED",
+                T.elapsedMillis(), Report.Stats.InferredEdges);
+    // Print the first witness, if any, as a sample.
+    if (!Report.Violations.empty())
+      std::printf("     e.g. %s\n",
+                  Report.Violations.front().describe(H).c_str());
+  }
+}
+
+int main() {
+  audit("causally consistent", ConsistencyMode::Causal);
+  audit("read-committed-only", ConsistencyMode::ReadCommitted);
+  return 0;
+}

@@ -1,0 +1,81 @@
+//===- examples/lowerbound_demo.cpp - The §4 reductions, live ----------------===//
+//
+// Part of the AWDIT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+//
+// The paper's lower-bound machinery as a runnable demo: encode triangle
+// detection as an isolation-testing problem (§4) and let AWDIT solve it.
+// For a random graph, the checker's verdict on the reduction history must
+// coincide with a direct triangle search — on the Fig. 5 example, the
+// witness cycle corresponds to the triangle.
+//
+//===----------------------------------------------------------------------===//
+
+#include "checker/checker.h"
+#include "reduction/reductions.h"
+#include "reduction/triangle.h"
+
+#include <cstdio>
+
+using namespace awdit;
+
+static void demo(const char *Label, const UGraph &G) {
+  std::optional<std::array<uint32_t, 3>> Triangle = findTriangle(G);
+  std::printf("%s: n=%zu m=%zu, triangle: %s", Label, G.numNodes(),
+              G.numEdges(), Triangle ? "yes (" : "none");
+  if (Triangle)
+    std::printf("%u,%u,%u)", (*Triangle)[0], (*Triangle)[1],
+                (*Triangle)[2]);
+  std::printf("\n");
+
+  struct {
+    const char *Name;
+    History H;
+    IsolationLevel Level;
+  } Cases[] = {
+      {"general reduction @ CC", reduceGeneral(G),
+       IsolationLevel::CausalConsistency},
+      {"general reduction @ RC", reduceGeneral(G),
+       IsolationLevel::ReadCommitted},
+      {"2-session reduction @ RA", reduceRaTwoSessions(G),
+       IsolationLevel::ReadAtomic},
+      {"1-session reduction @ RC", reduceRcSingleSession(G),
+       IsolationLevel::ReadCommitted},
+  };
+  for (auto &C : Cases) {
+    CheckReport Report = checkIsolation(C.H, C.Level);
+    bool Match = Report.Consistent == !Triangle.has_value();
+    std::printf("  %-26s: %-12s (%zu ops)  %s\n", C.Name,
+                Report.Consistent ? "consistent" : "inconsistent",
+                C.H.numOps(), Match ? "== triangle oracle" : "MISMATCH!");
+    if (!Report.Consistent)
+      std::printf("      witness: %s\n",
+                  Report.Violations.front().describe(C.H).c_str());
+  }
+}
+
+int main() {
+  // The triangle graph of the paper's Fig. 5a.
+  UGraph Fig5(3);
+  Fig5.addEdge(0, 1);
+  Fig5.addEdge(1, 2);
+  Fig5.addEdge(0, 2);
+  demo("Fig. 5a (triangle)", Fig5);
+
+  // A 5-cycle: triangle-free, so every reduction history is consistent.
+  UGraph Pentagon(5);
+  for (uint32_t I = 0; I < 5; ++I)
+    Pentagon.addEdge(I, (I + 1) % 5);
+  demo("C5 (triangle-free)", Pentagon);
+
+  // Random graphs of growing density.
+  Rng Rand(2025);
+  for (double P : {0.02, 0.05, 0.12}) {
+    UGraph G = randomGraph(64, P, Rand);
+    char Label[64];
+    std::snprintf(Label, sizeof(Label), "G(64, %.2f)", P);
+    demo(Label, G);
+  }
+  return 0;
+}

@@ -1,0 +1,56 @@
+//===- examples/quickstart.cpp - Five-minute tour of the API ----------------===//
+//
+// Part of the AWDIT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+//
+// Quickstart: build a small history by hand, check it against all three
+// weak isolation levels, and print the witnesses AWDIT reports. The history
+// is Fig. 4b of the paper: Read Committed consistent, but it fractures
+// transaction t2's writes and therefore violates Read Atomic.
+//
+//===----------------------------------------------------------------------===//
+
+#include "checker/checker.h"
+#include "history/history_builder.h"
+
+#include <cstdio>
+
+using namespace awdit;
+
+int main() {
+  // Fig. 4b: two sessions. Session 1 runs t1 = {W(x,1)} and then
+  // t2 = {W(x,2), W(y,2)}; session 2 runs t3 = {R(x,1), R(y,2)}.
+  HistoryBuilder B;
+  SessionId S1 = B.addSession();
+  SessionId S2 = B.addSession();
+
+  TxnId T1 = B.beginTxn(S1);
+  B.write(T1, /*K=*/'x', /*V=*/1);
+
+  TxnId T2 = B.beginTxn(S1);
+  B.write(T2, 'x', 2);
+  B.write(T2, 'y', 2);
+
+  TxnId T3 = B.beginTxn(S2);
+  B.read(T3, 'x', 1); // Stale: t2 overwrote x...
+  B.read(T3, 'y', 2); // ...yet t2's y is observed. Fractured!
+
+  std::string Err;
+  std::optional<History> H = B.build(&Err);
+  if (!H) {
+    std::fprintf(stderr, "history invalid: %s\n", Err.c_str());
+    return 1;
+  }
+
+  for (IsolationLevel Level : AllIsolationLevels) {
+    CheckReport Report = checkIsolation(*H, Level);
+    std::printf("%s: %s\n", isolationLevelName(Level),
+                Report.Consistent ? "consistent" : "VIOLATED");
+    for (const Violation &V : Report.Violations)
+      std::printf("  witness: %s\n", V.describe(*H).c_str());
+  }
+
+  // Expected: CC VIOLATED, RA VIOLATED, RC consistent.
+  return 0;
+}

@@ -1,0 +1,49 @@
+//===- baseline/baseline.h - Baseline tester interface ------------*- C++ -*-===//
+//
+// Part of the AWDIT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Common interface of the reimplemented baseline isolation testers the
+/// paper compares against (Plume, DBCop, CausalC+/TCC-Mono — see DESIGN.md
+/// §2 for the substitution rationale). Baselines accept a soft deadline,
+/// mirroring the per-history timeouts of the paper's experiments.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AWDIT_BASELINE_BASELINE_H
+#define AWDIT_BASELINE_BASELINE_H
+
+#include "checker/isolation_level.h"
+#include "history/history.h"
+#include "support/timer.h"
+
+namespace awdit {
+
+/// Outcome of a baseline run.
+struct BaselineResult {
+  bool Consistent = false;
+  bool TimedOut = false;
+};
+
+/// Abstract baseline tester.
+class BaselineChecker {
+public:
+  virtual ~BaselineChecker();
+
+  /// Display name for tables ("Plume-like", "DBCop-like", "Naive").
+  virtual const char *name() const = 0;
+
+  /// True if the baseline supports checking \p Level.
+  virtual bool supports(IsolationLevel Level) const = 0;
+
+  /// Checks \p H against \p Level, polling \p Limit and giving up with
+  /// TimedOut = true once it expires.
+  virtual BaselineResult check(const History &H, IsolationLevel Level,
+                               const Deadline &Limit) = 0;
+};
+
+} // namespace awdit
+
+#endif // AWDIT_BASELINE_BASELINE_H

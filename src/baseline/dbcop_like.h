@@ -1,0 +1,37 @@
+//===- baseline/dbcop_like.h - DBCop-style baseline ---------------*- C++ -*-===//
+//
+// Part of the AWDIT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A reimplementation of the algorithmic style of DBCop (Biswas & Enea
+/// 2019) for Causal Consistency: materialize the full transitive closure of
+/// so ∪ wr as per-transaction ancestor bitsets, run the CC inference rule
+/// against closure queries, and re-materialize the closure of co' for the
+/// acyclicity verdict. Sound and complete, but inherently quadratic-plus in
+/// time and memory — the scaling wall the Fig. 7 experiment exhibits.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AWDIT_BASELINE_DBCOP_LIKE_H
+#define AWDIT_BASELINE_DBCOP_LIKE_H
+
+#include "baseline/baseline.h"
+
+namespace awdit {
+
+/// Closure-based CC checker in the style of DBCop.
+class DbcopLikeChecker : public BaselineChecker {
+public:
+  const char *name() const override { return "DBCop-like"; }
+  bool supports(IsolationLevel Level) const override {
+    return Level == IsolationLevel::CausalConsistency;
+  }
+  BaselineResult check(const History &H, IsolationLevel Level,
+                       const Deadline &Limit) override;
+};
+
+} // namespace awdit
+
+#endif // AWDIT_BASELINE_DBCOP_LIKE_H

@@ -1,0 +1,40 @@
+//===- baseline/naive_checker.h - Exhaustive-inference oracle -----*- C++ -*-===//
+//
+// Part of the AWDIT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The naive reference checker: applies the RC/RA/CC inference rules
+/// (Fig. 3) exhaustively over all qualifying transaction triples and tests
+/// the resulting (fully saturated, non-minimal) co' for acyclicity. By
+/// Lemma 3.2 this decides consistency, so it doubles as the ground-truth
+/// oracle for differential tests, and as the stand-in for the slow
+/// SMT/Datalog baselines (CausalC+, TCC-Mono) in the Fig. 7 bench.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AWDIT_BASELINE_NAIVE_CHECKER_H
+#define AWDIT_BASELINE_NAIVE_CHECKER_H
+
+#include "baseline/baseline.h"
+
+namespace awdit {
+
+/// Exhaustive-inference consistency oracle. CC reachability is computed
+/// with per-transaction backward searches, giving an O(n^2)-O(n^3) profile
+/// depending on history shape.
+class NaiveChecker : public BaselineChecker {
+public:
+  const char *name() const override { return "Naive"; }
+  bool supports(IsolationLevel) const override { return true; }
+  BaselineResult check(const History &H, IsolationLevel Level,
+                       const Deadline &Limit) override;
+};
+
+/// Convenience wrapper without a deadline, for tests: never times out.
+bool naiveConsistent(const History &H, IsolationLevel Level);
+
+} // namespace awdit
+
+#endif // AWDIT_BASELINE_NAIVE_CHECKER_H

@@ -1,0 +1,37 @@
+//===- baseline/plume_like.h - Plume-style baseline ---------------*- C++ -*-===//
+//
+// Part of the AWDIT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A reimplementation of the architecture of Plume (Liu et al. 2024), the
+/// strongest baseline in the paper's evaluation: a construction phase that
+/// builds dependency indices (per-key writer lists, vector clocks for
+/// happens-before), followed by exhaustive sweeps over transactional
+/// anomalous patterns (TAPs). The sweeps enumerate, per external read, every
+/// transaction writing the same key — the superlinear search AWDIT's
+/// minimal saturation avoids. Verdicts agree with AWDIT (both are sound and
+/// complete); only the complexity profile differs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AWDIT_BASELINE_PLUME_LIKE_H
+#define AWDIT_BASELINE_PLUME_LIKE_H
+
+#include "baseline/baseline.h"
+
+namespace awdit {
+
+/// Plume-style TAP checker: construction phase + per-key exhaustive sweeps.
+class PlumeLikeChecker : public BaselineChecker {
+public:
+  const char *name() const override { return "Plume-like"; }
+  bool supports(IsolationLevel) const override { return true; }
+  BaselineResult check(const History &H, IsolationLevel Level,
+                       const Deadline &Limit) override;
+};
+
+} // namespace awdit
+
+#endif // AWDIT_BASELINE_PLUME_LIKE_H

@@ -1,0 +1,149 @@
+//===- baseline/ser_checker.cpp - Serializability checker -------------------===//
+
+#include "baseline/ser_checker.h"
+
+#include "checker/read_consistency.h"
+#include "support/assert.h"
+
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+using namespace awdit;
+
+namespace {
+
+/// DFS over frontier states. A state is the per-session count of already
+/// committed transactions; a transaction can commit next iff it is the
+/// next of its session and every external read observes the current last
+/// committed writer of its key.
+class FrontierSearch {
+public:
+  FrontierSearch(const History &H, const Deadline &Limit)
+      : H(H), Limit(Limit), Frontier(H.numSessions(), 0) {}
+
+  /// Returns 1 (serializable), 0 (not serializable), -1 (timeout).
+  int run() {
+    TotalTxns = 0;
+    for (SessionId S = 0; S < H.numSessions(); ++S)
+      TotalTxns += H.sessionTxns(S).size();
+    return dfs(0) ? 1 : (TimedOut ? -1 : 0);
+  }
+
+private:
+  bool dfs(size_t Committed) {
+    if (Committed == TotalTxns)
+      return true;
+    if (Limit.expired()) {
+      TimedOut = true;
+      return false;
+    }
+    if (!Failed.insert(packState()).second)
+      return false; // Already explored from this exact state.
+
+    for (SessionId S = 0; S < H.numSessions(); ++S) {
+      uint32_t Next = Frontier[S];
+      if (Next >= H.sessionTxns(S).size())
+        continue;
+      TxnId T = H.sessionTxns(S)[Next];
+      if (!canCommit(T))
+        continue;
+      apply(T, S);
+      if (dfs(Committed + 1))
+        return true;
+      undo(T, S);
+      if (TimedOut)
+        return false;
+    }
+    return false;
+  }
+
+  bool canCommit(TxnId T) const {
+    const Transaction &Txn = H.txn(T);
+    for (uint32_t ReadIdx : Txn.ExtReads) {
+      const ReadInfo &RI = Txn.Reads[ReadIdx];
+      auto It = LastWriter.find(RI.K);
+      TxnId Current = It == LastWriter.end() || It->second.empty()
+                          ? NoTxn
+                          : It->second.back();
+      if (Current != RI.Writer)
+        return false;
+    }
+    return true;
+  }
+
+  void apply(TxnId T, SessionId S) {
+    ++Frontier[S];
+    for (Key X : H.txn(T).WriteKeys) {
+      LastWriter[X].push_back(T);
+      Tops[X] = T;
+    }
+  }
+
+  void undo(TxnId T, SessionId S) {
+    --Frontier[S];
+    for (Key X : H.txn(T).WriteKeys) {
+      std::vector<TxnId> &Stack = LastWriter[X];
+      Stack.pop_back();
+      if (Stack.empty())
+        Tops.erase(X);
+      else
+        Tops[X] = Stack.back();
+    }
+  }
+
+  std::string packState() const {
+    // Exact state key (no hash-collision unsoundness). Future feasibility
+    // is a function of the frontier *and* the current last writer of each
+    // key (two commit orders reaching the same frontier can differ in
+    // which writer is on top), so both are part of the memo key.
+    std::string Key(reinterpret_cast<const char *>(Frontier.data()),
+                    Frontier.size() * sizeof(uint32_t));
+    Key.reserve(Key.size() + Tops.size() * 12);
+    for (const auto &[K, Top] : Tops) {
+      Key.append(reinterpret_cast<const char *>(&K), sizeof(K));
+      Key.append(reinterpret_cast<const char *>(&Top), sizeof(Top));
+    }
+    return Key;
+  }
+
+  const History &H;
+  const Deadline &Limit;
+  std::vector<uint32_t> Frontier;
+  std::unordered_map<Key, std::vector<TxnId>> LastWriter;
+  /// Deterministically ordered view of the current top writer per key.
+  std::map<Key, TxnId> Tops;
+  std::unordered_set<std::string> Failed;
+  size_t TotalTxns = 0;
+  bool TimedOut = false;
+};
+
+} // namespace
+
+BaselineResult SerChecker::check(const History &H, IsolationLevel,
+                                 const Deadline &Limit) {
+  BaselineResult Res;
+  std::vector<Violation> Sink;
+  if (!checkReadConsistency(H, Sink)) {
+    Res.Consistent = false;
+    return Res;
+  }
+  FrontierSearch Search(H, Limit);
+  int Verdict = Search.run();
+  if (Verdict < 0) {
+    Res.TimedOut = true;
+    return Res;
+  }
+  Res.Consistent = Verdict == 1;
+  return Res;
+}
+
+bool awdit::isSerializable(const History &H) {
+  SerChecker Checker;
+  BaselineResult Res = Checker.check(H, IsolationLevel::ReadCommitted,
+                                     Deadline(/*Seconds=*/0));
+  AWDIT_ASSERT(!Res.TimedOut, "unlimited search cannot time out");
+  return Res.Consistent;
+}

@@ -1,0 +1,189 @@
+//===- checker/check_cc_binsearch.cpp - CC, on-the-fly HB variant ----------===//
+//
+// The implementation variant the paper's tool ships for Causal Consistency
+// (§5): instead of materializing the full n-by-k happens-before matrix and
+// scanning per-session writer lists with monotone pointers, transactions
+// are processed in one topological pass of so ∪ wr; each transaction's
+// clock row is built from its predecessors' rows, used immediately for the
+// lastWrite queries (binary search over the so-sorted writer lists), and
+// recycled once its last successor has consumed it.
+//
+//===----------------------------------------------------------------------===//
+
+#include "checker/check_cc.h"
+#include "checker/commit_graph.h"
+#include "checker/read_consistency.h"
+#include "graph/topo_sort.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+using namespace awdit;
+
+namespace {
+
+/// Pool of recyclable clock rows (each of width k).
+class RowPool {
+public:
+  RowPool(size_t NumTxns, size_t Width) : Width(Width) {
+    RowOf.assign(NumTxns, ~size_t(0));
+  }
+
+  /// Allocates (or recycles) a zeroed row for \p T and returns it.
+  uint32_t *acquire(TxnId T) {
+    size_t Slot;
+    if (!Free.empty()) {
+      Slot = Free.back();
+      Free.pop_back();
+      std::fill(Storage.begin() + Slot * Width,
+                Storage.begin() + (Slot + 1) * Width, 0);
+    } else {
+      Slot = Storage.size() / Width;
+      Storage.resize(Storage.size() + Width, 0);
+    }
+    RowOf[T] = Slot;
+    return &Storage[Slot * Width];
+  }
+
+  const uint32_t *rowOf(TxnId T) const {
+    return &Storage[RowOf[T] * Width];
+  }
+
+  /// Returns \p T's row to the pool.
+  void release(TxnId T) {
+    Free.push_back(RowOf[T]);
+    RowOf[T] = ~size_t(0);
+  }
+
+  /// Peak number of simultaneously live rows (the "width" of the run).
+  size_t peakRows() const { return Storage.size() / Width; }
+
+private:
+  size_t Width;
+  std::vector<uint32_t> Storage;
+  std::vector<size_t> RowOf;
+  std::vector<size_t> Free;
+};
+
+} // namespace
+
+bool awdit::checkCcOnTheFly(const History &H, std::vector<Violation> &Out,
+                            size_t MaxWitnesses, SaturationStats *Stats) {
+  if (!checkReadConsistency(H, Out))
+    return false;
+
+  CommitGraph Co(H);
+  std::optional<std::vector<uint32_t>> Order = topologicalSort(Co.graph());
+  if (!Order) {
+    Co.checkAcyclic(Out, MaxWitnesses);
+    return false;
+  }
+
+  size_t K = H.numSessions();
+
+  // Per-key, per-writing-session writer lists sorted by SoIndex (they are
+  // built in session order, so sorted by construction).
+  struct WriterEntry {
+    uint32_t SoIndex;
+    TxnId T;
+  };
+  struct KeyWriters {
+    std::vector<SessionId> Sessions;
+    std::vector<std::vector<WriterEntry>> Lists;
+  };
+  std::unordered_map<Key, KeyWriters> Writers;
+  Writers.reserve(H.numKeys() * 2);
+  for (SessionId S = 0; S < K; ++S) {
+    for (TxnId T : H.sessionTxns(S)) {
+      const Transaction &Txn = H.txn(T);
+      for (Key X : Txn.WriteKeys) {
+        KeyWriters &KW = Writers[X];
+        if (KW.Sessions.empty() || KW.Sessions.back() != S) {
+          KW.Sessions.push_back(S);
+          KW.Lists.emplace_back();
+        }
+        KW.Lists.back().push_back({Txn.SoIndex, T});
+      }
+    }
+  }
+
+  // Reference counts: how many successors still need each row (the
+  // so-successor plus every transaction reading from it).
+  std::vector<uint32_t> RefCount(H.numTxns(), 0);
+  for (TxnId T = 0; T < H.numTxns(); ++T) {
+    const Transaction &Txn = H.txn(T);
+    if (!Txn.Committed)
+      continue;
+    if (H.soSuccessor(T) != NoTxn)
+      ++RefCount[T];
+    for (TxnId Writer : Txn.ReadFroms)
+      ++RefCount[Writer];
+  }
+
+  RowPool Pool(H.numTxns(), std::max<size_t>(K, 1));
+
+  for (uint32_t T3 : *Order) {
+    const Transaction &T = H.txn(T3);
+    if (!T.Committed)
+      continue;
+
+    // Build the exclusive clock row of t3 from its predecessors.
+    uint32_t *Row = Pool.acquire(T3);
+    SessionId S = T.Session;
+    if (T.SoIndex > 0) {
+      TxnId Pred = H.sessionTxns(S)[T.SoIndex - 1];
+      const uint32_t *PredRow = Pool.rowOf(Pred);
+      for (size_t I = 0; I < K; ++I)
+        Row[I] = PredRow[I];
+      Row[S] = T.SoIndex;
+      if (--RefCount[Pred] == 0)
+        Pool.release(Pred);
+    }
+    for (TxnId Writer : T.ReadFroms) {
+      const Transaction &W = H.txn(Writer);
+      const uint32_t *WRow = Pool.rowOf(Writer);
+      for (size_t I = 0; I < K; ++I)
+        Row[I] = std::max(Row[I], WRow[I]);
+      Row[W.Session] = std::max(Row[W.Session], W.SoIndex + 1);
+      if (--RefCount[Writer] == 0)
+        Pool.release(Writer);
+    }
+
+    // Saturate t3's reads immediately (binary search per writing
+    // session makes this independent of any scan state).
+    for (uint32_t ReadIdx : T.ExtReads) {
+      const ReadInfo &RI = T.Reads[ReadIdx];
+      TxnId T1 = RI.Writer;
+      auto WIt = Writers.find(RI.K);
+      if (WIt == Writers.end())
+        continue;
+      const KeyWriters &KW = WIt->second;
+      for (size_t Slot = 0; Slot < KW.Sessions.size(); ++Slot) {
+        uint32_t Frontier = Row[KW.Sessions[Slot]];
+        if (Frontier == 0)
+          continue;
+        const std::vector<WriterEntry> &List = KW.Lists[Slot];
+        // Last writer with SoIndex < Frontier.
+        auto Pos = std::partition_point(
+            List.begin(), List.end(), [Frontier](const WriterEntry &E) {
+              return E.SoIndex < Frontier;
+            });
+        if (Pos == List.begin())
+          continue;
+        TxnId T2 = std::prev(Pos)->T;
+        if (T2 != T1)
+          Co.inferEdge(T2, T1);
+      }
+    }
+
+    // A transaction with no successors can release its row right away.
+    if (RefCount[T3] == 0)
+      Pool.release(T3);
+  }
+
+  if (Stats) {
+    Stats->InferredEdges = Co.numInferredEdges();
+    Stats->GraphEdges = Co.numEdges();
+  }
+  return Co.checkAcyclic(Out, MaxWitnesses);
+}

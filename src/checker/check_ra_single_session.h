@@ -1,0 +1,38 @@
+//===- checker/check_ra_single_session.h - Linear RA, k=1 --------*- C++ -*-===//
+//
+// Part of the AWDIT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The linear-time Read Atomic checker for single-session histories
+/// (paper Theorem 1.6). With k = 1, the commit order is forced to equal so,
+/// so the RA axiom reduces to a single forward scan that tracks the latest
+/// writer of each key.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AWDIT_CHECKER_CHECK_RA_SINGLE_SESSION_H
+#define AWDIT_CHECKER_CHECK_RA_SINGLE_SESSION_H
+
+#include "checker/violation.h"
+#include "history/history.h"
+
+#include <vector>
+
+namespace awdit {
+
+/// Checks RA for a history whose committed transactions all live in one
+/// session, in O(n) time. The caller must ensure the precondition (see
+/// History::numSessions(); sessions may exist but at most one may be
+/// non-empty). Returns true iff consistent; violations are appended to
+/// \p Out.
+bool checkRaSingleSession(const History &H, std::vector<Violation> &Out);
+
+/// Returns true if \p H has at most one non-empty session, i.e. the fast
+/// path applies.
+bool isSingleSession(const History &H);
+
+} // namespace awdit
+
+#endif // AWDIT_CHECKER_CHECK_RA_SINGLE_SESSION_H

@@ -1,0 +1,40 @@
+//===- checker/check_rc.h - AWDIT Read Committed (Alg. 1) ---------*- C++ -*-===//
+//
+// Part of the AWDIT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AWDIT's O(n^{3/2}) Read Committed checker (paper Algorithm 1 /
+/// Theorem 1.1). Builds a saturated, minimal co' using per-transaction
+/// reverse scans with a two-slot earliest-writers stack and smaller-set
+/// intersections, then decides acyclicity.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AWDIT_CHECKER_CHECK_RC_H
+#define AWDIT_CHECKER_CHECK_RC_H
+
+#include "checker/violation.h"
+#include "history/history.h"
+
+#include <vector>
+
+namespace awdit {
+
+/// Statistics of one co'-saturation run, for reporting and benches.
+struct SaturationStats {
+  size_t InferredEdges = 0;
+  size_t GraphEdges = 0;
+};
+
+/// Checks whether \p H satisfies Read Committed. Appends violations to
+/// \p Out (at most \p MaxWitnesses cycle witnesses) and returns true iff
+/// consistent. If Read Consistency already fails, the co' stage is skipped
+/// (mirroring Algorithm 1, which exits after CheckReadConsistency).
+bool checkRc(const History &H, std::vector<Violation> &Out,
+             size_t MaxWitnesses = 16, SaturationStats *Stats = nullptr);
+
+} // namespace awdit
+
+#endif // AWDIT_CHECKER_CHECK_RC_H

@@ -1,0 +1,47 @@
+//===- checker/checker.cpp - AWDIT checking facade --------------------------===//
+
+#include "checker/checker.h"
+
+#include "checker/check_cc.h"
+#include "checker/check_ra.h"
+#include "checker/check_ra_single_session.h"
+#include "checker/check_rc.h"
+#include "support/assert.h"
+
+using namespace awdit;
+
+CheckReport awdit::checkIsolation(const History &H, IsolationLevel Level,
+                                  const CheckOptions &Options) {
+  CheckReport Report;
+  SaturationStats Sat;
+
+  switch (Level) {
+  case IsolationLevel::ReadCommitted:
+    Report.Consistent =
+        checkRc(H, Report.Violations, Options.MaxWitnesses, &Sat);
+    break;
+  case IsolationLevel::ReadAtomic:
+    if (Options.UseSingleSessionFastPath && isSingleSession(H)) {
+      Report.Consistent = checkRaSingleSession(H, Report.Violations);
+      Report.Stats.UsedFastPath = true;
+    } else {
+      Report.Consistent =
+          checkRa(H, Report.Violations, Options.MaxWitnesses, &Sat);
+    }
+    break;
+  case IsolationLevel::CausalConsistency:
+    if (Options.Cc == CcVariant::OnTheFly)
+      Report.Consistent = checkCcOnTheFly(H, Report.Violations,
+                                          Options.MaxWitnesses, &Sat);
+    else
+      Report.Consistent =
+          checkCc(H, Report.Violations, Options.MaxWitnesses, &Sat);
+    break;
+  }
+
+  Report.Stats.InferredEdges = Sat.InferredEdges;
+  Report.Stats.GraphEdges = Sat.GraphEdges;
+  AWDIT_ASSERT(Report.Consistent == Report.Violations.empty(),
+               "verdict must agree with the violation list");
+  return Report;
+}

@@ -1,0 +1,52 @@
+//===- checker/isolation_level.cpp - Isolation levels ----------------------===//
+
+#include "checker/isolation_level.h"
+
+#include "support/assert.h"
+
+#include <algorithm>
+#include <string>
+
+using namespace awdit;
+
+const char *awdit::isolationLevelName(IsolationLevel Level) {
+  switch (Level) {
+  case IsolationLevel::ReadCommitted:
+    return "RC";
+  case IsolationLevel::ReadAtomic:
+    return "RA";
+  case IsolationLevel::CausalConsistency:
+    return "CC";
+  }
+  awditUnreachable("unknown isolation level");
+}
+
+bool awdit::isAtLeastAsStrongAs(IsolationLevel A, IsolationLevel B) {
+  auto Rank = [](IsolationLevel L) {
+    switch (L) {
+    case IsolationLevel::CausalConsistency:
+      return 0;
+    case IsolationLevel::ReadAtomic:
+      return 1;
+    case IsolationLevel::ReadCommitted:
+      return 2;
+    }
+    awditUnreachable("unknown isolation level");
+  };
+  return Rank(A) <= Rank(B);
+}
+
+std::optional<IsolationLevel>
+awdit::parseIsolationLevel(std::string_view Text) {
+  std::string Lower(Text);
+  std::transform(Lower.begin(), Lower.end(), Lower.begin(),
+                 [](unsigned char C) { return std::tolower(C); });
+  if (Lower == "rc" || Lower == "read-committed" || Lower == "readcommitted")
+    return IsolationLevel::ReadCommitted;
+  if (Lower == "ra" || Lower == "read-atomic" || Lower == "readatomic")
+    return IsolationLevel::ReadAtomic;
+  if (Lower == "cc" || Lower == "causal" || Lower == "causal-consistency" ||
+      Lower == "causalconsistency")
+    return IsolationLevel::CausalConsistency;
+  return std::nullopt;
+}

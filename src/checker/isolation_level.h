@@ -1,0 +1,48 @@
+//===- checker/isolation_level.h - Isolation levels ---------------*- C++ -*-===//
+//
+// Part of the AWDIT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The three weak isolation levels the paper targets (§2.2) and the
+/// strength order CC ⊑ RA ⊑ RC between them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AWDIT_CHECKER_ISOLATION_LEVEL_H
+#define AWDIT_CHECKER_ISOLATION_LEVEL_H
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace awdit {
+
+/// A weak isolation level (paper Definitions 2.4, 2.6, 2.8).
+enum class IsolationLevel : uint8_t {
+  ReadCommitted,
+  ReadAtomic,
+  CausalConsistency,
+};
+
+/// Short display name ("RC", "RA", "CC").
+const char *isolationLevelName(IsolationLevel Level);
+
+/// Returns true if \p A ⊑ \p B: every history satisfying \p A also
+/// satisfies \p B. The order is total here: CC ⊑ RA ⊑ RC.
+bool isAtLeastAsStrongAs(IsolationLevel A, IsolationLevel B);
+
+/// Parses "rc"/"ra"/"cc" (any case) or long names; nullopt on failure.
+std::optional<IsolationLevel> parseIsolationLevel(std::string_view Text);
+
+/// All levels, strongest first. Handy for sweeps in tests and benches.
+inline constexpr IsolationLevel AllIsolationLevels[] = {
+    IsolationLevel::CausalConsistency,
+    IsolationLevel::ReadAtomic,
+    IsolationLevel::ReadCommitted,
+};
+
+} // namespace awdit
+
+#endif // AWDIT_CHECKER_ISOLATION_LEVEL_H

@@ -1,0 +1,106 @@
+//===- checker/read_consistency.cpp - Read Consistency (Alg. 4) ------------===//
+
+#include "checker/read_consistency.h"
+
+#include <unordered_map>
+
+using namespace awdit;
+
+namespace {
+
+/// Lazily computed per-transaction map key -> op index of the final write
+/// to that key. Shared across all reads from the same writer so the
+/// observe-latest-write check stays linear overall.
+class FinalWriteIndex {
+public:
+  explicit FinalWriteIndex(const std::vector<Transaction> &Txns)
+      : Txns(Txns) {}
+
+  uint32_t finalWriteOp(TxnId Writer, Key K) {
+    auto [It, Inserted] = Cache.try_emplace(Writer);
+    if (Inserted) {
+      const Transaction &T = Txns[Writer];
+      for (uint32_t OpIdx = 0; OpIdx < T.Ops.size(); ++OpIdx)
+        if (T.Ops[OpIdx].isWrite())
+          It->second[T.Ops[OpIdx].K] = OpIdx;
+    }
+    auto KeyIt = It->second.find(K);
+    return KeyIt == It->second.end() ? NoOp : KeyIt->second;
+  }
+
+private:
+  const std::vector<Transaction> &Txns;
+  std::unordered_map<TxnId, std::unordered_map<Key, uint32_t>> Cache;
+};
+
+} // namespace
+
+bool awdit::checkReadConsistency(const History &H,
+                                 std::vector<Violation> &Out) {
+  size_t Before = Out.size();
+  const std::vector<Transaction> &Txns = H.transactions();
+  FinalWriteIndex FinalWrites(Txns);
+
+  for (TxnId Id = 0; Id < Txns.size(); ++Id) {
+    const Transaction &T = Txns[Id];
+    if (!T.Committed)
+      continue;
+
+    // latestWrite[x]: op index of the latest own write to x seen so far in
+    // the po scan; used for the own-write axioms (Fig. 2c/2d/2e same-txn).
+    std::unordered_map<Key, uint32_t> LatestOwnWrite;
+    size_t NextRead = 0;
+    for (uint32_t OpIdx = 0; OpIdx < T.Ops.size(); ++OpIdx) {
+      const Operation &Op = T.Ops[OpIdx];
+      if (Op.isWrite()) {
+        LatestOwnWrite[Op.K] = OpIdx;
+        continue;
+      }
+      const ReadInfo &RI = T.Reads[NextRead++];
+
+      // (a) No thin-air reads.
+      if (RI.Writer == NoTxn) {
+        Out.push_back({ViolationKind::ThinAirRead, Id, OpIdx, NoTxn, {}});
+        continue;
+      }
+      // (b) No aborted reads.
+      if (!Txns[RI.Writer].Committed) {
+        Out.push_back(
+            {ViolationKind::AbortedRead, Id, OpIdx, RI.Writer, {}});
+        continue;
+      }
+
+      auto OwnIt = LatestOwnWrite.find(Op.K);
+      if (RI.Writer == Id) {
+        // (c) No future reads: the observed own write must be po-earlier.
+        if (RI.WriterOp > OpIdx) {
+          Out.push_back({ViolationKind::FutureRead, Id, OpIdx, Id, {}});
+          continue;
+        }
+        // (e, same txn) Observe latest own write.
+        if (OwnIt == LatestOwnWrite.end() || OwnIt->second != RI.WriterOp) {
+          Out.push_back(
+              {ViolationKind::NotLatestWriteSameTxn, Id, OpIdx, Id, {}});
+          continue;
+        }
+      } else {
+        // (d) Observe own writes: reading externally is wrong if an own
+        // po-earlier write to the key exists.
+        if (OwnIt != LatestOwnWrite.end()) {
+          Out.push_back(
+              {ViolationKind::NotOwnWrite, Id, OpIdx, RI.Writer, {}});
+          continue;
+        }
+        // (e, other txn) Observe latest write: the observed write must be
+        // the final write to the key inside the writer transaction.
+        if (FinalWrites.finalWriteOp(RI.Writer, Op.K) != RI.WriterOp) {
+          Out.push_back({ViolationKind::NotLatestWriteOtherTxn, Id, OpIdx,
+                         RI.Writer,
+                         {}});
+          continue;
+        }
+      }
+    }
+  }
+  return Out.size() == Before;
+}

@@ -1,0 +1,33 @@
+//===- checker/read_consistency.h - Read Consistency (Alg. 4) -----*- C++ -*-===//
+//
+// Part of the AWDIT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The linear-time Read Consistency check (paper Definition 2.3 and
+/// Algorithm 4): no thin-air reads, no aborted reads, no future reads,
+/// observe-own-writes, observe-latest-write. All three isolation levels
+/// require Read Consistency as a precondition. Every failing read is
+/// reported independently (paper §3.4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AWDIT_CHECKER_READ_CONSISTENCY_H
+#define AWDIT_CHECKER_READ_CONSISTENCY_H
+
+#include "checker/violation.h"
+#include "history/history.h"
+
+#include <vector>
+
+namespace awdit {
+
+/// Checks the five Read Consistency axioms of \p H in O(n) time, appending
+/// one violation per failing read to \p Out. Returns true iff no violation
+/// was found.
+bool checkReadConsistency(const History &H, std::vector<Violation> &Out);
+
+} // namespace awdit
+
+#endif // AWDIT_CHECKER_READ_CONSISTENCY_H

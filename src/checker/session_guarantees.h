@@ -1,0 +1,61 @@
+//===- checker/session_guarantees.h - Session guarantees ----------*- C++ -*-===//
+//
+// Part of the AWDIT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Testers for the classic session guarantees (Terry et al. 1994) in the
+/// paper's saturation framework — the "other isolation levels" extension
+/// its conclusion calls for. Each guarantee is an axiom of the Fig. 3
+/// shape (a premise over so/wr forcing a co edge), so the minimal-
+/// saturation methodology applies unchanged, and Theorem 1.3's n^{3/2}
+/// lower bound covers any such level sandwiched between CC and RC.
+///
+/// Formalized over black-box histories (observation = direct wr
+/// predecessor):
+///
+///  - Read-Your-Writes: if t2 -so-> t3, t2 writes x, and t3 reads x from
+///    t1 != t2, then t2 co-> t1. (Exactly the so case of the RA axiom.)
+///  - Monotonic Reads: if an so-earlier transaction of t3's session read
+///    from some t2 that writes x, and t3 reads x from t1 != t2, then
+///    t2 co-> t1 (sessions never observe x going backwards).
+///
+/// Both are implied by CC and independent of RC/RA's remaining clauses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AWDIT_CHECKER_SESSION_GUARANTEES_H
+#define AWDIT_CHECKER_SESSION_GUARANTEES_H
+
+#include "checker/check_rc.h"
+#include "checker/violation.h"
+#include "history/history.h"
+
+#include <optional>
+#include <string_view>
+#include <vector>
+
+namespace awdit {
+
+/// The supported session guarantees.
+enum class SessionGuarantee : uint8_t {
+  ReadYourWrites,
+  MonotonicReads,
+};
+
+const char *sessionGuaranteeName(SessionGuarantee G);
+std::optional<SessionGuarantee>
+parseSessionGuarantee(std::string_view Text);
+
+/// Checks whether \p H satisfies \p G (plus Read Consistency). Appends
+/// violations to \p Out; returns true iff consistent. Runs in O(n + W)
+/// time, where W bounds the write-key lists of observed transactions.
+bool checkSessionGuarantee(const History &H, SessionGuarantee G,
+                           std::vector<Violation> &Out,
+                           size_t MaxWitnesses = 16,
+                           SaturationStats *Stats = nullptr);
+
+} // namespace awdit
+
+#endif // AWDIT_CHECKER_SESSION_GUARANTEES_H

@@ -1,0 +1,145 @@
+//===- checker/shrinker.cpp - Violation shrinking ----------------------------===//
+
+#include "checker/shrinker.h"
+
+#include "history/history_builder.h"
+#include "support/assert.h"
+
+#include <unordered_map>
+
+using namespace awdit;
+
+namespace {
+
+/// Rebuilds a history from the kept transactions of \p Base. Reads whose
+/// writer transaction was dropped are dropped too (keeping wr resolvable),
+/// as are reads masked by \p KeepOp = false.
+std::optional<History>
+rebuild(const History &Base, const std::vector<bool> &KeepTxn,
+        const std::vector<std::vector<bool>> *KeepOp = nullptr) {
+  HistoryBuilder B;
+  for (SessionId S = 0; S < Base.numSessions(); ++S)
+    B.addSession();
+
+  for (TxnId Id = 0; Id < Base.numTxns(); ++Id) {
+    if (!KeepTxn[Id])
+      continue;
+    const Transaction &T = Base.txn(Id);
+    // Writer of each read op, from the base history's resolution.
+    std::unordered_map<uint32_t, TxnId> WriterOfOp;
+    for (const ReadInfo &RI : T.Reads)
+      WriterOfOp[RI.OpIndex] = RI.Writer;
+
+    TxnId New = B.beginTxn(T.Session);
+    for (uint32_t OpIdx = 0; OpIdx < T.Ops.size(); ++OpIdx) {
+      const Operation &Op = T.Ops[OpIdx];
+      if (Op.isRead()) {
+        TxnId Writer = WriterOfOp[OpIdx];
+        // Drop reads from dropped transactions (writer == own id stays:
+        // internal reads never dangle).
+        if (Writer != NoTxn && Writer != Id && !KeepTxn[Writer])
+          continue;
+        if (KeepOp && !(*KeepOp)[Id][OpIdx])
+          continue;
+      }
+      B.append(New, Op);
+    }
+    if (!T.Committed)
+      B.abortTxn(New);
+  }
+  return B.build();
+}
+
+/// Returns true if the rebuilt selection still violates Level.
+bool stillViolates(const History &Base, const std::vector<bool> &KeepTxn,
+                   const std::vector<std::vector<bool>> *KeepOp,
+                   IsolationLevel Level, size_t &Checks) {
+  ++Checks;
+  std::optional<History> H = rebuild(Base, KeepTxn, KeepOp);
+  if (!H)
+    return false; // Should not happen; treat as failed candidate.
+  CheckOptions Fast;
+  Fast.MaxWitnesses = 0;
+  return !checkIsolation(*H, Level, Fast).Consistent;
+}
+
+} // namespace
+
+ShrinkResult awdit::shrinkViolation(const History &H, IsolationLevel Level,
+                                    const ShrinkOptions &Options) {
+  ShrinkResult Res;
+  Res.TxnsBefore = H.numTxns();
+
+  std::vector<bool> Keep(H.numTxns(), true);
+  size_t Checks = 0;
+  {
+    CheckOptions Fast;
+    Fast.MaxWitnesses = 0;
+    ++Checks;
+    AWDIT_ASSERT(!checkIsolation(H, Level, Fast).Consistent,
+                 "shrinkViolation requires an inconsistent history");
+  }
+
+  // ddmin over transactions: try removing chunks, halving the chunk size
+  // until 1-minimal or out of budget.
+  size_t Alive = H.numTxns();
+  for (size_t Chunk = std::max<size_t>(1, Alive / 2); Chunk >= 1;
+       Chunk = Chunk / 2) {
+    bool Progress = true;
+    while (Progress && Checks < Options.MaxChecks) {
+      Progress = false;
+      for (size_t Start = 0; Start < H.numTxns(); Start += Chunk) {
+        if (Checks >= Options.MaxChecks)
+          break;
+        // Tentatively drop [Start, Start+Chunk).
+        std::vector<TxnId> Dropped;
+        for (size_t I = Start;
+             I < std::min<size_t>(Start + Chunk, H.numTxns()); ++I) {
+          if (Keep[I]) {
+            Keep[I] = false;
+            Dropped.push_back(static_cast<TxnId>(I));
+          }
+        }
+        if (Dropped.empty())
+          continue;
+        if (stillViolates(H, Keep, nullptr, Level, Checks)) {
+          Progress = true;
+        } else {
+          for (TxnId I : Dropped)
+            Keep[I] = true;
+        }
+      }
+    }
+    if (Chunk == 1)
+      break;
+  }
+
+  // Optional op-level pass: drop individual reads of survivors.
+  std::vector<std::vector<bool>> KeepOp(H.numTxns());
+  for (TxnId Id = 0; Id < H.numTxns(); ++Id)
+    KeepOp[Id].assign(H.txn(Id).Ops.size(), true);
+  if (Options.ShrinkOps) {
+    for (TxnId Id = 0; Id < H.numTxns() && Checks < Options.MaxChecks;
+         ++Id) {
+      if (!Keep[Id])
+        continue;
+      const Transaction &T = H.txn(Id);
+      for (uint32_t OpIdx = 0; OpIdx < T.Ops.size(); ++OpIdx) {
+        if (!T.Ops[OpIdx].isRead())
+          continue;
+        if (Checks >= Options.MaxChecks)
+          break;
+        KeepOp[Id][OpIdx] = false;
+        if (!stillViolates(H, Keep, &KeepOp, Level, Checks))
+          KeepOp[Id][OpIdx] = true;
+      }
+    }
+  }
+
+  std::optional<History> Final = rebuild(H, Keep, &KeepOp);
+  AWDIT_ASSERT(Final.has_value(), "shrunk history must rebuild");
+  Res.Shrunk = std::move(*Final);
+  Res.ChecksUsed = Checks;
+  Res.TxnsAfter = Res.Shrunk.numTxns();
+  return Res;
+}

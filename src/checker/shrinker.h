@@ -1,0 +1,52 @@
+//===- checker/shrinker.h - Violation shrinking -------------------*- C++ -*-===//
+//
+// Part of the AWDIT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Delta-debugging minimizer for inconsistent histories: given a history
+/// that violates an isolation level, produce a (much) smaller sub-history
+/// that still violates it. Complements the witness cycles of §3.4 — the
+/// shrunken history is a self-contained, replayable repro a database
+/// developer can paste into a bug report.
+///
+/// Shrinking is sound by construction: transactions are removed wholesale,
+/// and reads whose writer was removed are dropped with them, so the
+/// remaining history never acquires spurious thin-air violations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AWDIT_CHECKER_SHRINKER_H
+#define AWDIT_CHECKER_SHRINKER_H
+
+#include "checker/checker.h"
+#include "history/history.h"
+
+namespace awdit {
+
+/// Options for shrinkViolation.
+struct ShrinkOptions {
+  /// Upper bound on consistency checks spent (the dominant cost).
+  size_t MaxChecks = 2000;
+  /// Also try dropping individual reads of surviving transactions.
+  bool ShrinkOps = true;
+};
+
+/// Result of a shrink run.
+struct ShrinkResult {
+  History Shrunk;
+  size_t ChecksUsed = 0;
+  size_t TxnsBefore = 0;
+  size_t TxnsAfter = 0;
+};
+
+/// Minimizes \p H while it keeps violating \p Level. \p H must be
+/// inconsistent at \p Level (asserted). The result is 1-minimal w.r.t.
+/// transaction removal up to the check budget.
+ShrinkResult shrinkViolation(const History &H, IsolationLevel Level,
+                             const ShrinkOptions &Options = {});
+
+} // namespace awdit
+
+#endif // AWDIT_CHECKER_SHRINKER_H

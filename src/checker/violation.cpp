@@ -1,0 +1,66 @@
+//===- checker/violation.cpp - Violation and witness types -----------------===//
+
+#include "checker/violation.h"
+
+#include "support/assert.h"
+
+using namespace awdit;
+
+const char *awdit::violationKindName(ViolationKind Kind) {
+  switch (Kind) {
+  case ViolationKind::ThinAirRead:
+    return "Thin-Air Read";
+  case ViolationKind::AbortedRead:
+    return "Aborted Read";
+  case ViolationKind::FutureRead:
+    return "Future Read";
+  case ViolationKind::NotOwnWrite:
+    return "Not Own Write";
+  case ViolationKind::NotLatestWriteSameTxn:
+    return "Not Latest Write (same txn)";
+  case ViolationKind::NotLatestWriteOtherTxn:
+    return "Not Latest Write (other txn)";
+  case ViolationKind::NonRepeatableRead:
+    return "Non-Repeatable Read";
+  case ViolationKind::CausalityCycle:
+    return "Causality Cycle";
+  case ViolationKind::CommitOrderCycle:
+    return "Commit-Order Cycle";
+  }
+  awditUnreachable("unknown violation kind");
+}
+
+static const char *edgeKindName(EdgeKind Kind) {
+  switch (Kind) {
+  case EdgeKind::So:
+    return "so";
+  case EdgeKind::Wr:
+    return "wr";
+  case EdgeKind::Inferred:
+    return "co'";
+  }
+  awditUnreachable("unknown edge kind");
+}
+
+std::string Violation::describe(const History &H) const {
+  std::string Out = violationKindName(Kind);
+  Out += ":";
+  if (!Cycle.empty()) {
+    for (const WitnessEdge &E : Cycle) {
+      Out += " " + H.txnLabel(E.From) + " -" + edgeKindName(E.Kind) + "->";
+    }
+    Out += " " + H.txnLabel(Cycle.front().From);
+    return Out;
+  }
+  if (T != NoTxn) {
+    Out += " read";
+    if (OpIndex != NoOp && OpIndex < H.txn(T).Ops.size()) {
+      const Operation &Op = H.txn(T).Ops[OpIndex];
+      Out += " R(" + std::to_string(Op.K) + "," + std::to_string(Op.V) + ")";
+    }
+    Out += " in " + H.txnLabel(T);
+  }
+  if (Other != NoTxn)
+    Out += " (writer " + H.txnLabel(Other) + ")";
+  return Out;
+}

@@ -1,0 +1,85 @@
+//===- checker/violation.h - Violation and witness types ----------*- C++ -*-===//
+//
+// Part of the AWDIT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Violation records produced by the checkers: the five Read Consistency
+/// anomalies (Fig. 2), non-repeatable reads, causality cycles, and commit
+/// order (co') cycles with labelled witness edges (paper §3.4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AWDIT_CHECKER_VIOLATION_H
+#define AWDIT_CHECKER_VIOLATION_H
+
+#include "history/history.h"
+
+#include <string>
+#include <vector>
+
+namespace awdit {
+
+/// Classification of a reported anomaly.
+enum class ViolationKind : uint8_t {
+  /// A read observes a value no transaction wrote (Fig. 2a).
+  ThinAirRead,
+  /// A read observes a write of an aborted transaction (Fig. 2b).
+  AbortedRead,
+  /// A read observes a po-later write of its own transaction (Fig. 2c).
+  FutureRead,
+  /// A read observes another transaction although an own po-earlier write
+  /// on the key exists (Fig. 2d).
+  NotOwnWrite,
+  /// A read observes a stale (non-latest po-earlier) own write (Fig. 2e).
+  NotLatestWriteSameTxn,
+  /// A read observes a non-final write on its key of another transaction
+  /// (Fig. 2e across transactions).
+  NotLatestWriteOtherTxn,
+  /// A transaction reads the same key from two different transactions
+  /// (implied by the RA axiom; Algorithm 2, CheckRepeatableReads).
+  NonRepeatableRead,
+  /// A cycle in so ∪ wr (violates every isolation level).
+  CausalityCycle,
+  /// A cycle in the saturated partial commit relation co'.
+  CommitOrderCycle,
+};
+
+/// Short display name of a violation kind, e.g. "Future Read".
+const char *violationKindName(ViolationKind Kind);
+
+/// The provenance of a witness-cycle edge.
+enum class EdgeKind : uint8_t {
+  So,       ///< session order
+  Wr,       ///< write-read dependency
+  Inferred, ///< co' edge inferred from an isolation axiom
+};
+
+/// One labelled edge of a witness cycle.
+struct WitnessEdge {
+  TxnId From;
+  TxnId To;
+  EdgeKind Kind;
+};
+
+/// A single reported anomaly. Read-level anomalies carry the reading
+/// transaction and op; cycle anomalies carry the labelled cycle.
+struct Violation {
+  ViolationKind Kind;
+  /// The transaction containing the offending read (read-level kinds).
+  TxnId T = NoTxn;
+  /// The op index of the offending read within T.
+  uint32_t OpIndex = NoOp;
+  /// A second involved transaction (e.g. the writer), if any.
+  TxnId Other = NoTxn;
+  /// For cycle kinds: the witness cycle, closed (last To == first From).
+  std::vector<WitnessEdge> Cycle;
+
+  /// Renders a human-readable one-line description.
+  std::string describe(const History &H) const;
+};
+
+} // namespace awdit
+
+#endif // AWDIT_CHECKER_VIOLATION_H

@@ -1,0 +1,6 @@
+//===- graph/digraph.cpp - Directed graph ---------------------------------===//
+//
+// Digraph is header-only; this file anchors the translation unit so the
+// library target always has at least one object for the module.
+
+#include "graph/digraph.h"

@@ -1,0 +1,47 @@
+//===- graph/digraph.h - Directed graph ---------------------------*- C++ -*-===//
+//
+// Part of the AWDIT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A compact, append-only directed graph over dense node ids. Used for the
+/// partial commit relation co' (nodes = transactions), for so ∪ wr, and by
+/// the lower-bound reduction machinery.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AWDIT_GRAPH_DIGRAPH_H
+#define AWDIT_GRAPH_DIGRAPH_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace awdit {
+
+/// Directed graph with adjacency lists. Parallel edges are permitted (the
+/// commit graph deduplicates where it matters); node ids are dense
+/// [0, numNodes()).
+class Digraph {
+public:
+  explicit Digraph(size_t NumNodes) : Adj(NumNodes), EdgeCount(0) {}
+
+  void addEdge(uint32_t From, uint32_t To) {
+    Adj[From].push_back(To);
+    ++EdgeCount;
+  }
+
+  size_t numNodes() const { return Adj.size(); }
+  size_t numEdges() const { return EdgeCount; }
+
+  const std::vector<uint32_t> &succs(uint32_t U) const { return Adj[U]; }
+
+private:
+  std::vector<std::vector<uint32_t>> Adj;
+  size_t EdgeCount;
+};
+
+} // namespace awdit
+
+#endif // AWDIT_GRAPH_DIGRAPH_H

@@ -1,0 +1,40 @@
+//===- graph/scc.h - Strongly connected components ----------------*- C++ -*-===//
+//
+// Part of the AWDIT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Iterative Tarjan SCC decomposition. The checkers decide acyclicity of co'
+/// with one SCC pass and report one witness cycle per non-trivial component
+/// (paper §3.4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AWDIT_GRAPH_SCC_H
+#define AWDIT_GRAPH_SCC_H
+
+#include "graph/digraph.h"
+
+namespace awdit {
+
+/// Result of an SCC decomposition.
+struct SccResult {
+  /// Node -> component id. Components are numbered in reverse topological
+  /// order of the condensation (Tarjan's numbering).
+  std::vector<uint32_t> CompOf;
+  uint32_t NumComps = 0;
+  /// Component ids that witness a cycle: size >= 2, or a single node with a
+  /// self-loop.
+  std::vector<uint32_t> CyclicComps;
+
+  /// True iff the graph is acyclic.
+  bool acyclic() const { return CyclicComps.empty(); }
+};
+
+/// Computes the SCCs of \p G with an iterative (stack-safe) Tarjan pass.
+SccResult computeScc(const Digraph &G);
+
+} // namespace awdit
+
+#endif // AWDIT_GRAPH_SCC_H

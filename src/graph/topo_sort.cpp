@@ -1,0 +1,34 @@
+//===- graph/topo_sort.cpp - Topological sorting ---------------------------===//
+
+#include "graph/topo_sort.h"
+
+using namespace awdit;
+
+std::optional<std::vector<uint32_t>>
+awdit::topologicalSort(const Digraph &G) {
+  size_t N = G.numNodes();
+  std::vector<uint32_t> InDegree(N, 0);
+  for (uint32_t U = 0; U < N; ++U)
+    for (uint32_t V : G.succs(U))
+      ++InDegree[V];
+
+  std::vector<uint32_t> Order;
+  Order.reserve(N);
+  std::vector<uint32_t> Ready;
+  for (uint32_t U = 0; U < N; ++U)
+    if (InDegree[U] == 0)
+      Ready.push_back(U);
+
+  while (!Ready.empty()) {
+    uint32_t U = Ready.back();
+    Ready.pop_back();
+    Order.push_back(U);
+    for (uint32_t V : G.succs(U))
+      if (--InDegree[V] == 0)
+        Ready.push_back(V);
+  }
+
+  if (Order.size() != N)
+    return std::nullopt;
+  return Order;
+}

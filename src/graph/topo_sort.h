@@ -1,0 +1,29 @@
+//===- graph/topo_sort.h - Topological sorting --------------------*- C++ -*-===//
+//
+// Part of the AWDIT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Kahn topological sort. ComputeHB (Algorithm 3) processes transactions in
+/// a topological order of so ∪ wr; an empty result signals a causality
+/// cycle.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AWDIT_GRAPH_TOPO_SORT_H
+#define AWDIT_GRAPH_TOPO_SORT_H
+
+#include "graph/digraph.h"
+
+#include <optional>
+
+namespace awdit {
+
+/// Returns a topological order of \p G (all nodes), or std::nullopt if the
+/// graph has a cycle.
+std::optional<std::vector<uint32_t>> topologicalSort(const Digraph &G);
+
+} // namespace awdit
+
+#endif // AWDIT_GRAPH_TOPO_SORT_H

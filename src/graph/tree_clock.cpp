@@ -1,0 +1,88 @@
+//===- graph/tree_clock.cpp - Tree clocks -----------------------------------===//
+
+#include "graph/tree_clock.h"
+
+#include "support/assert.h"
+
+using namespace awdit;
+
+TreeClock::TreeClock(size_t NumSessions, uint32_t Self)
+    : Nodes(NumSessions), Root(Self) {
+  AWDIT_ASSERT(Self < NumSessions, "tree clock owner out of range");
+}
+
+void TreeClock::detach(uint32_t U) {
+  Node &N = Nodes[U];
+  if (N.Parent < 0)
+    return;
+  if (N.PrevSib >= 0)
+    Nodes[N.PrevSib].NextSib = N.NextSib;
+  else
+    Nodes[N.Parent].HeadChild = N.NextSib;
+  if (N.NextSib >= 0)
+    Nodes[N.NextSib].PrevSib = N.PrevSib;
+  N.Parent = N.PrevSib = N.NextSib = -1;
+}
+
+void TreeClock::attachFront(uint32_t P, uint32_t U, uint32_t Aclk) {
+  Node &N = Nodes[U];
+  N.Parent = static_cast<int32_t>(P);
+  N.Aclk = Aclk;
+  N.PrevSib = -1;
+  N.NextSib = Nodes[P].HeadChild;
+  if (N.NextSib >= 0)
+    Nodes[N.NextSib].PrevSib = static_cast<int32_t>(U);
+  Nodes[P].HeadChild = static_cast<int32_t>(U);
+}
+
+void TreeClock::join(const TreeClock &Other) {
+  AWDIT_ASSERT(Nodes.size() == Other.Nodes.size(),
+               "joining clocks of different widths");
+  LastJoinWork = 1;
+  uint32_t R = Other.Root;
+  // Root dominance: nothing new if the other owner's component is known.
+  if (Other.Nodes[R].Clk <= Nodes[R].Clk)
+    return;
+  AWDIT_ASSERT(R != Root,
+               "monotone executions never learn their own session's "
+               "future from a predecessor");
+
+  // Phase 1: gather the updated nodes by pre-order traversal of Other's
+  // tree, pruning both not-newer subtrees and children attached before
+  // the point we already knew of their parent (children are kept in
+  // decreasing attachment order, so the scan can stop early).
+  std::vector<uint32_t> Updated;
+  std::vector<uint32_t> Stack = {R};
+  while (!Stack.empty()) {
+    uint32_t U = Stack.back();
+    Stack.pop_back();
+    Updated.push_back(U);
+    uint32_t OurOldClk = Nodes[U].Clk;
+    for (int32_t V = Other.Nodes[U].HeadChild; V >= 0;
+         V = Other.Nodes[V].NextSib) {
+      ++LastJoinWork;
+      if (Other.Nodes[V].Clk > Nodes[V].Clk) {
+        Stack.push_back(static_cast<uint32_t>(V));
+      } else if (Other.Nodes[V].Aclk <= OurOldClk) {
+        // Attached before what we already knew of U: everything from
+        // here on (older attachments) is already incorporated.
+        break;
+      }
+    }
+  }
+
+  // Phase 2: splice the updated nodes into our tree with their new
+  // values. The other root hangs under our root; every other updated
+  // node keeps its parent/attachment from Other (that parent is always
+  // itself updated, hence already spliced).
+  for (uint32_t U : Updated) {
+    detach(U);
+    Nodes[U].Clk = Other.Nodes[U].Clk;
+    if (U == R)
+      attachFront(Root, U, Nodes[Root].Clk);
+    else
+      attachFront(static_cast<uint32_t>(Other.Nodes[U].Parent), U,
+                  Other.Nodes[U].Aclk);
+  }
+  LastJoinWork += Updated.size();
+}

@@ -1,0 +1,78 @@
+//===- graph/tree_clock.h - Tree clocks ---------------------------*- C++ -*-===//
+//
+// Part of the AWDIT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Tree Clock data structure (Mathur, Pavlogiannis, Tunç, Viswanathan,
+/// ASPLOS 2022), the sublinear-join alternative to vector clocks that the
+/// Plume tester employs (paper §1, §5). A tree clock stores the same
+/// entries as a vector clock, but arranges the sessions in a tree encoding
+/// "who learned what through whom"; a join only traverses the subtrees that
+/// actually carry new information, making join cost proportional to the
+/// number of updated entries rather than to the clock width.
+///
+/// Correctness relies on the monotone-execution discipline of clock usage
+/// (a clock only joins clocks of causal predecessors), which grants the
+/// root-dominance property: if the other clock's root entry is not newer,
+/// the whole clock is not newer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AWDIT_GRAPH_TREE_CLOCK_H
+#define AWDIT_GRAPH_TREE_CLOCK_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace awdit {
+
+/// A tree clock over a fixed universe of sessions [0, size()).
+class TreeClock {
+public:
+  /// Creates the zero clock owned by session \p Self.
+  TreeClock(size_t NumSessions, uint32_t Self);
+
+  size_t size() const { return Nodes.size(); }
+  uint32_t self() const { return Root; }
+
+  /// The entry for session \p S (0 = bottom).
+  uint32_t get(size_t S) const { return Nodes[S].Clk; }
+
+  /// Advances the owner's own component by one.
+  void tick() { ++Nodes[Root].Clk; }
+
+  /// Pointwise max with \p Other (which must belong to a causal
+  /// predecessor in a monotone execution). Sublinear: traverses only the
+  /// portions of Other's tree that are newer than this clock.
+  void join(const TreeClock &Other);
+
+  /// Number of entries examined by the last join (for the ablation
+  /// benchmarks; a vector-clock join always examines size() entries).
+  size_t lastJoinWork() const { return LastJoinWork; }
+
+private:
+  struct Node {
+    uint32_t Clk = 0;
+    /// Attachment time: the parent's clock value when this subtree was
+    /// (re)attached.
+    uint32_t Aclk = 0;
+    int32_t Parent = -1;
+    int32_t HeadChild = -1;
+    int32_t PrevSib = -1;
+    int32_t NextSib = -1;
+  };
+
+  void detach(uint32_t U);
+  void attachFront(uint32_t P, uint32_t U, uint32_t Aclk);
+
+  std::vector<Node> Nodes;
+  uint32_t Root;
+  size_t LastJoinWork = 0;
+};
+
+} // namespace awdit
+
+#endif // AWDIT_GRAPH_TREE_CLOCK_H

@@ -1,0 +1,25 @@
+//===- graph/vector_clock.cpp - Vector clocks ------------------------------===//
+
+#include "graph/vector_clock.h"
+
+#include "support/assert.h"
+
+#include <algorithm>
+
+using namespace awdit;
+
+void VectorClock::joinWith(const VectorClock &Other) {
+  AWDIT_ASSERT(Entries.size() == Other.Entries.size(),
+               "joining clocks of different widths");
+  for (size_t I = 0; I < Entries.size(); ++I)
+    Entries[I] = std::max(Entries[I], Other.Entries[I]);
+}
+
+bool VectorClock::leq(const VectorClock &Other) const {
+  AWDIT_ASSERT(Entries.size() == Other.Entries.size(),
+               "comparing clocks of different widths");
+  for (size_t I = 0; I < Entries.size(); ++I)
+    if (Entries[I] > Other.Entries[I])
+      return false;
+  return true;
+}

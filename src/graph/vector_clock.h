@@ -1,0 +1,55 @@
+//===- graph/vector_clock.h - Vector clocks -----------------------*- C++ -*-===//
+//
+// Part of the AWDIT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Vector clocks indexed by session (paper Algorithm 3 / ComputeHB). An
+/// entry stores 1 + SoIndex of the so-latest transaction of that session
+/// known to happen before the owner; 0 is bottom. The join is a pointwise
+/// maximum, which matches the paper's "pointwise maximum wrt so" because
+/// entries of a given session are totally ordered by SoIndex.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AWDIT_GRAPH_VECTOR_CLOCK_H
+#define AWDIT_GRAPH_VECTOR_CLOCK_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace awdit {
+
+/// A fixed-width vector clock over session indices.
+class VectorClock {
+public:
+  VectorClock() = default;
+  explicit VectorClock(size_t NumSessions) : Entries(NumSessions, 0) {}
+
+  size_t size() const { return Entries.size(); }
+
+  /// Entry for session \p S: 1 + SoIndex of the latest known predecessor of
+  /// that session, or 0 for bottom.
+  uint32_t get(size_t S) const { return Entries[S]; }
+  void set(size_t S, uint32_t V) { Entries[S] = V; }
+
+  /// Pointwise maximum with \p Other.
+  void joinWith(const VectorClock &Other);
+
+  /// Returns true if every entry of this clock is <= the corresponding
+  /// entry of \p Other.
+  bool leq(const VectorClock &Other) const;
+
+  bool operator==(const VectorClock &Other) const {
+    return Entries == Other.Entries;
+  }
+
+private:
+  std::vector<uint32_t> Entries;
+};
+
+} // namespace awdit
+
+#endif // AWDIT_GRAPH_VECTOR_CLOCK_H

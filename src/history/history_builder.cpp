@@ -1,0 +1,199 @@
+//===- history/history_builder.cpp - History construction -----------------===//
+
+#include "history/history_builder.h"
+
+#include "support/assert.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace awdit;
+
+namespace {
+
+/// Packs (key, value) into a hashable 128-bit token for wr resolution.
+struct KeyValue {
+  Key K;
+  Value V;
+  bool operator==(const KeyValue &O) const { return K == O.K && V == O.V; }
+};
+
+struct KeyValueHash {
+  size_t operator()(const KeyValue &KV) const {
+    // Mix the two 64-bit halves; the multiplier is an arbitrary odd prime.
+    uint64_t H = KV.K * 0x9e3779b97f4a7c15ULL;
+    H ^= static_cast<uint64_t>(KV.V) + 0x7f4a7c15ULL + (H << 6) + (H >> 2);
+    return static_cast<size_t>(H);
+  }
+};
+
+/// Location of a write: owning transaction and op index.
+struct WriteSite {
+  TxnId T;
+  uint32_t Op;
+};
+
+bool fail(std::string *Err, const std::string &Msg) {
+  if (Err)
+    *Err = Msg;
+  return false;
+}
+
+} // namespace
+
+SessionId HistoryBuilder::addSession() {
+  return static_cast<SessionId>(NumSessions++);
+}
+
+TxnId HistoryBuilder::beginTxn(SessionId S) {
+  AWDIT_ASSERT(S < NumSessions, "beginTxn: unknown session");
+  Txns.push_back(PendingTxn{S, /*Aborted=*/false, {}});
+  return static_cast<TxnId>(Txns.size() - 1);
+}
+
+void HistoryBuilder::read(TxnId T, Key K, Value V) {
+  append(T, Operation::read(K, V));
+}
+
+void HistoryBuilder::write(TxnId T, Key K, Value V) {
+  append(T, Operation::write(K, V));
+}
+
+void HistoryBuilder::append(TxnId T, Operation Op) {
+  AWDIT_ASSERT(T < Txns.size(), "append: unknown transaction");
+  Txns[T].Ops.push_back(Op);
+}
+
+void HistoryBuilder::commit(TxnId T) {
+  AWDIT_ASSERT(T < Txns.size(), "commit: unknown transaction");
+  Txns[T].Aborted = false;
+}
+
+void HistoryBuilder::abortTxn(TxnId T) {
+  AWDIT_ASSERT(T < Txns.size(), "abortTxn: unknown transaction");
+  Txns[T].Aborted = true;
+}
+
+std::optional<History> HistoryBuilder::build(std::string *Err) const {
+  History H;
+  std::string LocalErr;
+
+  // Copy the raw transactions; an optional synthetic initial transaction is
+  // appended at the end so user-visible TxnIds are stable.
+  size_t NumUserTxns = Txns.size();
+  H.Txns.resize(NumUserTxns);
+  H.Sessions.resize(NumSessions);
+  for (size_t I = 0; I < NumUserTxns; ++I) {
+    Transaction &T = H.Txns[I];
+    T.Session = Txns[I].Session;
+    T.Committed = !Txns[I].Aborted;
+    T.Ops = Txns[I].Ops;
+  }
+
+  // Index every write site by (key, value) and collect all written keys.
+  std::unordered_map<KeyValue, WriteSite, KeyValueHash> WriteIndex;
+  std::unordered_set<Key> AllKeys;
+  for (size_t I = 0; I < NumUserTxns; ++I) {
+    const Transaction &T = H.Txns[I];
+    for (uint32_t OpIdx = 0; OpIdx < T.Ops.size(); ++OpIdx) {
+      const Operation &Op = T.Ops[OpIdx];
+      AllKeys.insert(Op.K);
+      if (!Op.isWrite())
+        continue;
+      KeyValue KV{Op.K, Op.V};
+      auto [It, Inserted] =
+          WriteIndex.insert({KV, WriteSite{static_cast<TxnId>(I), OpIdx}});
+      if (!Inserted) {
+        fail(Err, "duplicate write of key " + std::to_string(Op.K) +
+                      " value " + std::to_string(Op.V) +
+                      " (wr resolution requires unique values)");
+        return std::nullopt;
+      }
+    }
+  }
+
+  // Optionally synthesize the initial transaction for reads of 0 on keys
+  // that nothing writes.
+  if (ImplicitInit) {
+    std::vector<Key> InitKeys;
+    std::unordered_set<Key> Seen;
+    for (size_t I = 0; I < NumUserTxns; ++I) {
+      for (const Operation &Op : H.Txns[I].Ops) {
+        if (!Op.isRead() || Op.V != 0)
+          continue;
+        if (WriteIndex.count(KeyValue{Op.K, 0}))
+          continue;
+        if (Seen.insert(Op.K).second)
+          InitKeys.push_back(Op.K);
+      }
+    }
+    if (!InitKeys.empty()) {
+      Transaction Init;
+      Init.Session = static_cast<SessionId>(NumSessions);
+      Init.Committed = true;
+      for (Key K : InitKeys)
+        Init.Ops.push_back(Operation::write(K, 0));
+      TxnId InitId = static_cast<TxnId>(H.Txns.size());
+      H.Txns.push_back(std::move(Init));
+      H.Sessions.emplace_back();
+      for (uint32_t OpIdx = 0; OpIdx < InitKeys.size(); ++OpIdx)
+        WriteIndex.insert(
+            {KeyValue{InitKeys[OpIdx], 0}, WriteSite{InitId, OpIdx}});
+    }
+  }
+
+  // Assign session orders. Aborted transactions are excluded from so
+  // (H|s contains only committed transactions, Definition 2.2) but keep a
+  // SoIndex for diagnostics.
+  for (size_t I = 0; I < H.Txns.size(); ++I) {
+    Transaction &T = H.Txns[I];
+    if (!T.Committed)
+      continue;
+    std::vector<TxnId> &Sess = H.Sessions[T.Session];
+    T.SoIndex = static_cast<uint32_t>(Sess.size());
+    Sess.push_back(static_cast<TxnId>(I));
+  }
+
+  // Resolve reads and derive per-transaction indices.
+  size_t TotalOps = 0;
+  size_t CommittedCount = 0;
+  for (size_t I = 0; I < H.Txns.size(); ++I) {
+    Transaction &T = H.Txns[I];
+    TotalOps += T.Ops.size();
+    if (T.Committed)
+      ++CommittedCount;
+
+    std::unordered_set<Key> WrittenKeys;
+    std::unordered_set<TxnId> SeenWriters;
+    for (uint32_t OpIdx = 0; OpIdx < T.Ops.size(); ++OpIdx) {
+      const Operation &Op = T.Ops[OpIdx];
+      if (Op.isWrite()) {
+        WrittenKeys.insert(Op.K);
+        continue;
+      }
+      ReadInfo RI{OpIdx, Op.K, Op.V, NoTxn, NoOp};
+      auto It = WriteIndex.find(KeyValue{Op.K, Op.V});
+      if (It != WriteIndex.end()) {
+        RI.Writer = It->second.T;
+        RI.WriterOp = It->second.Op;
+      }
+      uint32_t ReadIdx = static_cast<uint32_t>(T.Reads.size());
+      T.Reads.push_back(RI);
+      // External reads: distinct committed writer transaction. These drive
+      // the txn-level wr relation used by all three isolation axioms.
+      if (RI.Writer != NoTxn && RI.Writer != static_cast<TxnId>(I) &&
+          H.Txns[RI.Writer].Committed) {
+        T.ExtReads.push_back(ReadIdx);
+        if (SeenWriters.insert(RI.Writer).second)
+          T.ReadFroms.push_back(RI.Writer);
+      }
+    }
+    T.WriteKeys.assign(WrittenKeys.begin(), WrittenKeys.end());
+    std::sort(T.WriteKeys.begin(), T.WriteKeys.end());
+  }
+
+  H.TotalOps = TotalOps;
+  H.CommittedCount = CommittedCount;
+  H.KeyCount = AllKeys.size();
+  return H;
+}

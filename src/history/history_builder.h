@@ -1,0 +1,99 @@
+//===- history/history_builder.h - History construction ----------*- C++ -*-===//
+//
+// Part of the AWDIT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Mutable builder for History objects. Generators, parsers, and tests feed
+/// sessions/transactions/operations through this API; build() resolves the
+/// wr relation from values (unique-value convention) and precomputes the
+/// per-transaction indices used by the checking algorithms.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AWDIT_HISTORY_HISTORY_BUILDER_H
+#define AWDIT_HISTORY_HISTORY_BUILDER_H
+
+#include "history/history.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace awdit {
+
+/// Incremental History builder.
+///
+/// Typical usage:
+/// \code
+///   HistoryBuilder B;
+///   SessionId S = B.addSession();
+///   TxnId T = B.beginTxn(S);
+///   B.write(T, /*K=*/1, /*V=*/10);
+///   B.read(T, /*K=*/2, /*V=*/20);
+///   B.commit(T);
+///   std::string Err;
+///   std::optional<History> H = B.build(&Err);
+/// \endcode
+///
+/// Model invariants enforced by build():
+///  - no two writes carry the same (key, value) pair (so wr^-1 is a
+///    function, Definition 2.2);
+///  - session/transaction handles are valid and each transaction is closed
+///    (committed or aborted) at most once.
+class HistoryBuilder {
+public:
+  HistoryBuilder() = default;
+
+  /// Adds a new, empty session and returns its id.
+  SessionId addSession();
+
+  /// Opens a new transaction in session \p S. Transactions of a session are
+  /// so-ordered by the order of beginTxn calls.
+  TxnId beginTxn(SessionId S);
+
+  /// Appends a read of (\p K, \p V) to \p T in program order.
+  void read(TxnId T, Key K, Value V);
+
+  /// Appends a write of (\p K, \p V) to \p T in program order.
+  void write(TxnId T, Key K, Value V);
+
+  /// Appends an arbitrary operation to \p T in program order.
+  void append(TxnId T, Operation Op);
+
+  /// Marks \p T committed (the default state; provided for symmetry).
+  void commit(TxnId T);
+
+  /// Marks \p T aborted; it joins T_a and leaves the session order.
+  void abortTxn(TxnId T);
+
+  /// When enabled (default off), reads of value 0 on keys that no
+  /// transaction writes resolve to a synthetic initial transaction that
+  /// writes 0 to every such key, placed in its own session. This mirrors
+  /// the common convention of testers seeded with an initial database
+  /// state instead of reporting thin-air reads for cold keys.
+  void setImplicitInitialState(bool Enable) { ImplicitInit = Enable; }
+
+  /// Number of transactions added so far.
+  size_t numTxns() const { return Txns.size(); }
+
+  /// Finalizes the history. Returns std::nullopt and sets \p Err on
+  /// invariant violations (e.g. duplicate (key, value) writes).
+  std::optional<History> build(std::string *Err = nullptr) const;
+
+private:
+  struct PendingTxn {
+    SessionId Session;
+    bool Aborted = false;
+    std::vector<Operation> Ops;
+  };
+
+  std::vector<PendingTxn> Txns;
+  size_t NumSessions = 0;
+  bool ImplicitInit = false;
+};
+
+} // namespace awdit
+
+#endif // AWDIT_HISTORY_HISTORY_BUILDER_H

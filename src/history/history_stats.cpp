@@ -1,0 +1,38 @@
+//===- history/history_stats.cpp - History statistics ---------------------===//
+
+#include "history/history_stats.h"
+
+#include <cstdio>
+
+using namespace awdit;
+
+HistoryStats awdit::computeStats(const History &H) {
+  HistoryStats S;
+  S.NumOps = H.numOps();
+  S.NumTxns = H.numTxns();
+  S.NumCommitted = H.numCommitted();
+  S.NumAborted = S.NumTxns - S.NumCommitted;
+  S.NumSessions = H.numSessions();
+  S.NumKeys = H.numKeys();
+  for (const Transaction &T : H.transactions()) {
+    S.NumReads += T.Reads.size();
+    S.NumWrites += T.Ops.size() - T.Reads.size();
+    S.NumExternalReads += T.ExtReads.size();
+    S.MaxTxnSize = std::max(S.MaxTxnSize, T.Ops.size());
+  }
+  S.AvgTxnSize =
+      S.NumTxns == 0 ? 0.0
+                     : static_cast<double>(S.NumOps) /
+                           static_cast<double>(S.NumTxns);
+  return S;
+}
+
+std::string HistoryStats::toString() const {
+  char Buf[256];
+  std::snprintf(Buf, sizeof(Buf),
+                "ops=%zu txns=%zu (committed=%zu aborted=%zu) sessions=%zu "
+                "keys=%zu reads=%zu writes=%zu avg_txn=%.2f max_txn=%zu",
+                NumOps, NumTxns, NumCommitted, NumAborted, NumSessions,
+                NumKeys, NumReads, NumWrites, AvgTxnSize, MaxTxnSize);
+  return std::string(Buf);
+}

@@ -1,0 +1,45 @@
+//===- history/history_stats.h - History statistics --------------*- C++ -*-===//
+//
+// Part of the AWDIT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Summary statistics of a history, used by the CLI tool and the benchmark
+/// harness to report workload shapes (n, k, txn sizes, read/write mix).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AWDIT_HISTORY_HISTORY_STATS_H
+#define AWDIT_HISTORY_HISTORY_STATS_H
+
+#include "history/history.h"
+
+#include <string>
+
+namespace awdit {
+
+/// Aggregate shape statistics of a History.
+struct HistoryStats {
+  size_t NumOps = 0;
+  size_t NumTxns = 0;
+  size_t NumCommitted = 0;
+  size_t NumAborted = 0;
+  size_t NumSessions = 0;
+  size_t NumKeys = 0;
+  size_t NumReads = 0;
+  size_t NumWrites = 0;
+  size_t NumExternalReads = 0;
+  size_t MaxTxnSize = 0;
+  double AvgTxnSize = 0.0;
+
+  /// Renders a one-line summary, e.g. for log output.
+  std::string toString() const;
+};
+
+/// Computes summary statistics for \p H.
+HistoryStats computeStats(const History &H);
+
+} // namespace awdit
+
+#endif // AWDIT_HISTORY_HISTORY_STATS_H

@@ -1,0 +1,76 @@
+//===- history/transaction.h - Transaction record ----------------*- C++ -*-===//
+//
+// Part of the AWDIT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Transaction record (paper Definition 2.1) plus the derived per-
+/// transaction indices that History::finalize() precomputes for the checking
+/// algorithms: resolved reads, distinct write keys, and distinct external
+/// writers in first-read order.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AWDIT_HISTORY_TRANSACTION_H
+#define AWDIT_HISTORY_TRANSACTION_H
+
+#include "history/types.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace awdit {
+
+/// A read operation after wr resolution. `Writer == NoTxn` marks a thin-air
+/// read; `Writer == <own id>` marks an internal read (observe-own-writes).
+struct ReadInfo {
+  /// Index of the read in Transaction::Ops (its po position).
+  uint32_t OpIndex;
+  Key K;
+  Value V;
+  /// The transaction whose write this read observes (via unique values).
+  TxnId Writer;
+  /// The op index of the observed write inside the writer, NoOp if thin-air.
+  uint32_t WriterOp;
+};
+
+/// A client transaction: its operations in program order, its session
+/// coordinates, and indices derived during History::finalize().
+struct Transaction {
+  /// The session this transaction belongs to.
+  SessionId Session = 0;
+  /// Position of this transaction within its session's so order.
+  uint32_t SoIndex = 0;
+  /// Committed transactions form T_c; aborted ones T_a (Definition 2.2).
+  bool Committed = true;
+  /// Operations in program order.
+  std::vector<Operation> Ops;
+
+  // --- Derived by History::finalize(). ---
+
+  /// All reads in po order, with resolved writers.
+  std::vector<ReadInfo> Reads;
+  /// Indices into Reads of *external* reads: the writer is a different,
+  /// committed transaction. These are exactly the reads that participate in
+  /// the RC/RA/CC axioms (the txn-level wr relation requires r not in t1).
+  std::vector<uint32_t> ExtReads;
+  /// Distinct keys written, sorted ascending (KeysWt(t)).
+  std::vector<Key> WriteKeys;
+  /// Distinct committed external writer transactions, in order of their
+  /// first read by this transaction (the txn-level wr predecessors).
+  std::vector<TxnId> ReadFroms;
+
+  /// Returns true if this transaction writes \p K (binary search over the
+  /// sorted WriteKeys — O(log |KeysWt|)).
+  bool writesKey(Key K) const {
+    return std::binary_search(WriteKeys.begin(), WriteKeys.end(), K);
+  }
+
+  /// Number of operations (reads + writes).
+  size_t size() const { return Ops.size(); }
+};
+
+} // namespace awdit
+
+#endif // AWDIT_HISTORY_TRANSACTION_H

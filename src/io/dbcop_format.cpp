@@ -1,0 +1,141 @@
+//===- io/dbcop_format.cpp - DBCop-style block history format ----------------===//
+
+#include "io/dbcop_format.h"
+
+#include "history/history_builder.h"
+
+#include <charconv>
+#include <sstream>
+#include <vector>
+
+using namespace awdit;
+
+namespace {
+
+std::vector<std::string_view> tokenize(std::string_view Line) {
+  std::vector<std::string_view> Tokens;
+  size_t I = 0;
+  while (I < Line.size()) {
+    while (I < Line.size() && (Line[I] == ' ' || Line[I] == '\t'))
+      ++I;
+    size_t Start = I;
+    while (I < Line.size() && Line[I] != ' ' && Line[I] != '\t')
+      ++I;
+    if (I > Start)
+      Tokens.push_back(Line.substr(Start, I - Start));
+  }
+  return Tokens;
+}
+
+template <typename IntT>
+bool parseInt(std::string_view Token, IntT &Out) {
+  auto [Ptr, Ec] =
+      std::from_chars(Token.data(), Token.data() + Token.size(), Out);
+  return Ec == std::errc() && Ptr == Token.data() + Token.size();
+}
+
+bool setErr(std::string *Err, size_t LineNo, const std::string &Msg) {
+  if (Err)
+    *Err = "line " + std::to_string(LineNo) + ": " + Msg;
+  return false;
+}
+
+} // namespace
+
+std::optional<History> awdit::parseDbcopHistory(std::string_view Text,
+                                                std::string *Err) {
+  HistoryBuilder B;
+  bool SeenHeader = false;
+  size_t DeclaredSessions = 0;
+  TxnId Open = NoTxn;
+  size_t OpsLeft = 0;
+
+  size_t LineNo = 0;
+  size_t Pos = 0;
+  while (Pos <= Text.size()) {
+    size_t End = Text.find('\n', Pos);
+    std::string_view Line = End == std::string_view::npos
+                                ? Text.substr(Pos)
+                                : Text.substr(Pos, End - Pos);
+    Pos = End == std::string_view::npos ? Text.size() + 1 : End + 1;
+    ++LineNo;
+    std::vector<std::string_view> Tok = tokenize(Line);
+    if (Tok.empty() || Tok[0].front() == '#')
+      continue;
+
+    if (Tok[0] == "sessions") {
+      if (SeenHeader || Tok.size() != 2 ||
+          !parseInt(Tok[1], DeclaredSessions)) {
+        setErr(Err, LineNo, "expected a single 'sessions <k>' header");
+        return std::nullopt;
+      }
+      for (size_t I = 0; I < DeclaredSessions; ++I)
+        B.addSession();
+      SeenHeader = true;
+      continue;
+    }
+    if (!SeenHeader) {
+      setErr(Err, LineNo, "missing 'sessions <k>' header");
+      return std::nullopt;
+    }
+
+    if (Tok[0] == "txn") {
+      if (OpsLeft != 0) {
+        setErr(Err, LineNo, "previous transaction is missing operations");
+        return std::nullopt;
+      }
+      SessionId S;
+      int Committed;
+      size_t NumOps;
+      if (Tok.size() != 4 || !parseInt(Tok[1], S) ||
+          !parseInt(Tok[2], Committed) || !parseInt(Tok[3], NumOps) ||
+          S >= DeclaredSessions || (Committed != 0 && Committed != 1)) {
+        setErr(Err, LineNo, "expected 'txn <session> <0|1> <numops>'");
+        return std::nullopt;
+      }
+      Open = B.beginTxn(S);
+      if (Committed == 0)
+        B.abortTxn(Open);
+      OpsLeft = NumOps;
+      continue;
+    }
+    if (Tok[0] == "R" || Tok[0] == "W") {
+      if (Open == NoTxn || OpsLeft == 0) {
+        setErr(Err, LineNo, "operation outside a transaction block");
+        return std::nullopt;
+      }
+      Key K;
+      Value V;
+      if (Tok.size() != 3 || !parseInt(Tok[1], K) || !parseInt(Tok[2], V)) {
+        setErr(Err, LineNo, "expected '<R|W> <key> <value>'");
+        return std::nullopt;
+      }
+      if (Tok[0] == "R")
+        B.read(Open, K, V);
+      else
+        B.write(Open, K, V);
+      --OpsLeft;
+      continue;
+    }
+    setErr(Err, LineNo, "unknown directive '" + std::string(Tok[0]) + "'");
+    return std::nullopt;
+  }
+  if (OpsLeft != 0) {
+    setErr(Err, LineNo, "unexpected end of input inside a transaction");
+    return std::nullopt;
+  }
+  return B.build(Err);
+}
+
+std::string awdit::writeDbcopHistory(const History &H) {
+  std::ostringstream Out;
+  Out << "sessions " << H.numSessions() << "\n";
+  for (TxnId Id = 0; Id < H.numTxns(); ++Id) {
+    const Transaction &T = H.txn(Id);
+    Out << "txn " << T.Session << " " << (T.Committed ? 1 : 0) << " "
+        << T.Ops.size() << "\n";
+    for (const Operation &Op : T.Ops)
+      Out << (Op.isRead() ? "R " : "W ") << Op.K << " " << Op.V << "\n";
+  }
+  return Out.str();
+}

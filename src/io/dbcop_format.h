@@ -1,0 +1,40 @@
+//===- io/dbcop_format.h - DBCop-style block history format -------*- C++ -*-===//
+//
+// Part of the AWDIT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A DBCop-style block history format: an explicit session count followed
+/// by per-transaction blocks (of the shape of DBCop's textual dumps):
+///
+/// \code
+///   sessions <k>
+///   txn <session> <committed 0|1> <numops>
+///   R <key> <value>
+///   W <key> <value>
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AWDIT_IO_DBCOP_FORMAT_H
+#define AWDIT_IO_DBCOP_FORMAT_H
+
+#include "history/history.h"
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace awdit {
+
+/// Parses the DBCop-style block format.
+std::optional<History> parseDbcopHistory(std::string_view Text,
+                                         std::string *Err = nullptr);
+
+/// Serializes \p H in the DBCop-style block format.
+std::string writeDbcopHistory(const History &H);
+
+} // namespace awdit
+
+#endif // AWDIT_IO_DBCOP_FORMAT_H

@@ -1,0 +1,117 @@
+//===- io/plume_format.cpp - Plume-style CSV history format ------------------===//
+
+#include "io/plume_format.h"
+
+#include "history/history_builder.h"
+
+#include <charconv>
+#include <sstream>
+#include <vector>
+
+using namespace awdit;
+
+namespace {
+
+std::vector<std::string_view> splitCsv(std::string_view Line) {
+  std::vector<std::string_view> Fields;
+  size_t Pos = 0;
+  while (true) {
+    size_t Comma = Line.find(',', Pos);
+    if (Comma == std::string_view::npos) {
+      Fields.push_back(Line.substr(Pos));
+      return Fields;
+    }
+    Fields.push_back(Line.substr(Pos, Comma - Pos));
+    Pos = Comma + 1;
+  }
+}
+
+template <typename IntT>
+bool parseInt(std::string_view Token, IntT &Out) {
+  auto [Ptr, Ec] =
+      std::from_chars(Token.data(), Token.data() + Token.size(), Out);
+  return Ec == std::errc() && Ptr == Token.data() + Token.size();
+}
+
+bool setErr(std::string *Err, size_t LineNo, const std::string &Msg) {
+  if (Err)
+    *Err = "line " + std::to_string(LineNo) + ": " + Msg;
+  return false;
+}
+
+} // namespace
+
+std::optional<History> awdit::parsePlumeHistory(std::string_view Text,
+                                                std::string *Err) {
+  HistoryBuilder B;
+  size_t NumSessions = 0;
+  // Current open transaction, identified by (session, txn id from file).
+  bool HasOpen = false;
+  SessionId OpenSession = 0;
+  uint64_t OpenFileTxn = 0;
+  TxnId Open = NoTxn;
+
+  size_t LineNo = 0;
+  size_t Pos = 0;
+  while (Pos <= Text.size()) {
+    size_t End = Text.find('\n', Pos);
+    std::string_view Line = End == std::string_view::npos
+                                ? Text.substr(Pos)
+                                : Text.substr(Pos, End - Pos);
+    Pos = End == std::string_view::npos ? Text.size() + 1 : End + 1;
+    ++LineNo;
+    // Trim trailing CR for Windows-style logs.
+    if (!Line.empty() && Line.back() == '\r')
+      Line.remove_suffix(1);
+    if (Line.empty() || Line.front() == '#')
+      continue;
+
+    std::vector<std::string_view> F = splitCsv(Line);
+    SessionId S;
+    uint64_t FileTxn;
+    if (F.size() < 3 || !parseInt(F[0], S) || !parseInt(F[1], FileTxn)) {
+      setErr(Err, LineNo, "expected '<session>,<txn>,...'");
+      return std::nullopt;
+    }
+    while (NumSessions <= S) {
+      B.addSession();
+      ++NumSessions;
+    }
+    if (!HasOpen || OpenSession != S || OpenFileTxn != FileTxn) {
+      Open = B.beginTxn(S);
+      HasOpen = true;
+      OpenSession = S;
+      OpenFileTxn = FileTxn;
+    }
+    if (F[2] == "abort") {
+      B.abortTxn(Open);
+      continue;
+    }
+    Key K;
+    Value V;
+    if (F.size() != 5 || (F[2] != "r" && F[2] != "w") ||
+        !parseInt(F[3], K) || !parseInt(F[4], V)) {
+      setErr(Err, LineNo, "expected '<session>,<txn>,<r|w>,<key>,<value>'");
+      return std::nullopt;
+    }
+    if (F[2] == "r")
+      B.read(Open, K, V);
+    else
+      B.write(Open, K, V);
+  }
+  return B.build(Err);
+}
+
+std::string awdit::writePlumeHistory(const History &H) {
+  std::ostringstream Out;
+  Out << "# plume-style history: " << H.numSessions() << " sessions\n";
+  for (TxnId Id = 0; Id < H.numTxns(); ++Id) {
+    const Transaction &T = H.txn(Id);
+    for (const Operation &Op : T.Ops)
+      Out << T.Session << "," << Id << "," << (Op.isRead() ? "r" : "w")
+          << "," << Op.K << "," << Op.V << "\n";
+    if (!T.Committed)
+      Out << T.Session << "," << Id << ",abort\n";
+  }
+  return Out.str();
+}

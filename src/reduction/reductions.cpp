@@ -1,0 +1,106 @@
+//===- reduction/reductions.cpp - §4 lower-bound reductions ------------------===//
+
+#include "reduction/reductions.h"
+
+#include "history/history_builder.h"
+#include "support/assert.h"
+
+using namespace awdit;
+
+namespace {
+
+/// Key of node a's plain variable x_a.
+Key plainKey(uint32_t A) { return A + 1; }
+
+/// Key of the pair variable x^a_b (read by node a's read transaction,
+/// written by node b's write transaction).
+Key pairKey(uint32_t A, uint32_t B, size_t N) {
+  return N + 1 + static_cast<Key>(A) * N + B;
+}
+
+/// The unique value written by node a's write transaction.
+Value nodeValue(uint32_t A) { return A + 1; }
+
+/// Emits the §4.1 write transaction of node \p A.
+void emitWriteTxn(HistoryBuilder &B, TxnId T, const UGraph &G, uint32_t A) {
+  size_t N = G.numNodes();
+  for (uint32_t Nb : G.neighbors(A)) {
+    B.write(T, pairKey(Nb, A, N), nodeValue(A));
+    B.write(T, plainKey(Nb), nodeValue(A));
+  }
+  B.write(T, plainKey(A), nodeValue(A));
+}
+
+/// Emits the §4.1 read transaction of node \p A: first the pair-key reads,
+/// then (po-later) the plain-key reads.
+void emitReadTxn(HistoryBuilder &B, TxnId T, const UGraph &G, uint32_t A) {
+  size_t N = G.numNodes();
+  std::vector<uint32_t> Nbs = G.neighbors(A);
+  for (uint32_t Nb : Nbs)
+    B.read(T, pairKey(A, Nb, N), nodeValue(Nb));
+  for (uint32_t Nb : Nbs)
+    B.read(T, plainKey(Nb), nodeValue(Nb));
+}
+
+History build(HistoryBuilder &B) {
+  std::string Err;
+  std::optional<History> H = B.build(&Err);
+  if (!H)
+    awditUnreachable(("reduction construction invalid: " + Err).c_str());
+  return std::move(*H);
+}
+
+} // namespace
+
+History awdit::reduceGeneral(const UGraph &G) {
+  HistoryBuilder B;
+  size_t N = G.numNodes();
+  // Every transaction lives in its own session (so = empty).
+  for (uint32_t A = 0; A < N; ++A) {
+    SessionId SW = B.addSession();
+    TxnId TW = B.beginTxn(SW);
+    emitWriteTxn(B, TW, G, A);
+  }
+  for (uint32_t A = 0; A < N; ++A) {
+    SessionId SR = B.addSession();
+    TxnId TR = B.beginTxn(SR);
+    emitReadTxn(B, TR, G, A);
+  }
+  return build(B);
+}
+
+History awdit::reduceRaTwoSessions(const UGraph &G) {
+  HistoryBuilder B;
+  size_t N = G.numNodes();
+  SessionId SW = B.addSession();
+  SessionId SR = B.addSession();
+  // Write transactions: plain keys only (the §4.2 RA construction drops
+  // the pair keys).
+  for (uint32_t A = 0; A < N; ++A) {
+    TxnId TW = B.beginTxn(SW);
+    for (uint32_t Nb : G.neighbors(A))
+      B.write(TW, plainKey(Nb), nodeValue(A));
+    B.write(TW, plainKey(A), nodeValue(A));
+  }
+  for (uint32_t A = 0; A < N; ++A) {
+    TxnId TR = B.beginTxn(SR);
+    for (uint32_t Nb : G.neighbors(A))
+      B.read(TR, plainKey(Nb), nodeValue(Nb));
+  }
+  return build(B);
+}
+
+History awdit::reduceRcSingleSession(const UGraph &G) {
+  HistoryBuilder B;
+  size_t N = G.numNodes();
+  SessionId S = B.addSession();
+  for (uint32_t A = 0; A < N; ++A) {
+    TxnId TW = B.beginTxn(S);
+    emitWriteTxn(B, TW, G, A);
+  }
+  for (uint32_t A = 0; A < N; ++A) {
+    TxnId TR = B.beginTxn(S);
+    emitReadTxn(B, TR, G, A);
+  }
+  return build(B);
+}

@@ -1,0 +1,49 @@
+//===- reduction/reductions.h - §4 lower-bound reductions ---------*- C++ -*-===//
+//
+// Part of the AWDIT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's fine-grained reductions from triangle freeness to weak
+/// isolation testing (§4): given an undirected graph G, construct a history
+/// H such that H is consistent iff G is triangle-free.
+///
+///  - reduceGeneral (§4.1): one session per transaction; consistency at
+///    *any* level between CC and RC is equivalent to triangle freeness
+///    (Lemma 4.2).
+///  - reduceRaTwoSessions (§4.2): two sessions; RA-consistency iff
+///    triangle-free (Lemma 4.3, behind Theorem 1.4).
+///  - reduceRcSingleSession (§4.2): one session; RC-consistency iff
+///    triangle-free (Lemma 4.4, behind Theorem 1.5).
+///
+/// Besides backing the lower bounds, these constructions make strong
+/// property tests: the checkers' verdict must match the triangle oracle on
+/// arbitrary graphs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AWDIT_REDUCTION_REDUCTIONS_H
+#define AWDIT_REDUCTION_REDUCTIONS_H
+
+#include "history/history.h"
+#include "reduction/ugraph.h"
+
+namespace awdit {
+
+/// §4.1 construction: per node a, a write transaction (keys x_b and x^b_a
+/// for each neighbour b, plus x_a) and a read transaction, each in its own
+/// session. History size O(m).
+History reduceGeneral(const UGraph &G);
+
+/// §4.2 RA construction: plain keys only; all write transactions in one
+/// session, all read transactions in another.
+History reduceRaTwoSessions(const UGraph &G);
+
+/// §4.2 RC construction: the §4.1 transactions placed in a single session,
+/// write transactions first.
+History reduceRcSingleSession(const UGraph &G);
+
+} // namespace awdit
+
+#endif // AWDIT_REDUCTION_REDUCTIONS_H

@@ -1,0 +1,26 @@
+//===- reduction/triangle.cpp - Triangle detection ----------------------------===//
+
+#include "reduction/triangle.h"
+
+#include <bit>
+
+using namespace awdit;
+
+std::optional<std::array<uint32_t, 3>>
+awdit::findTriangle(const UGraph &G) {
+  // For each edge {a, b}, intersect the adjacency bitsets of a and b; any
+  // common neighbour closes a triangle.
+  for (const auto &[A, B] : G.edges()) {
+    const std::vector<uint64_t> &RowA = G.adjacencyRow(A);
+    const std::vector<uint64_t> &RowB = G.adjacencyRow(B);
+    for (size_t W = 0; W < RowA.size(); ++W) {
+      uint64_t Common = RowA[W] & RowB[W];
+      if (Common != 0) {
+        uint32_t C = static_cast<uint32_t>(
+            W * 64 + std::countr_zero(Common));
+        return std::array<uint32_t, 3>{A, B, C};
+      }
+    }
+  }
+  return std::nullopt;
+}

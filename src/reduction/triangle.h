@@ -1,0 +1,35 @@
+//===- reduction/triangle.h - Triangle detection ------------------*- C++ -*-===//
+//
+// Part of the AWDIT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Triangle-freeness oracles for the §4 reductions: the combinatorial
+/// bitset algorithm (the textbook O(n·m/w) method the BMM hypothesis is
+/// stated against) and a triangle extractor for cross-checking witnesses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AWDIT_REDUCTION_TRIANGLE_H
+#define AWDIT_REDUCTION_TRIANGLE_H
+
+#include "reduction/ugraph.h"
+
+#include <array>
+#include <optional>
+
+namespace awdit {
+
+/// Returns some triangle (a, b, c) of \p G, or std::nullopt if \p G is
+/// triangle-free. Runs the edge-iteration bitset algorithm.
+std::optional<std::array<uint32_t, 3>> findTriangle(const UGraph &G);
+
+/// Returns true iff \p G contains no triangle.
+inline bool isTriangleFree(const UGraph &G) {
+  return !findTriangle(G).has_value();
+}
+
+} // namespace awdit
+
+#endif // AWDIT_REDUCTION_TRIANGLE_H

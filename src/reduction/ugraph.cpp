@@ -1,0 +1,55 @@
+//===- reduction/ugraph.cpp - Undirected graphs ------------------------------===//
+
+#include "reduction/ugraph.h"
+
+#include "support/assert.h"
+
+using namespace awdit;
+
+UGraph::UGraph(size_t NumNodes)
+    : N(NumNodes),
+      Adj(NumNodes, std::vector<uint64_t>((NumNodes + 63) / 64, 0)) {}
+
+void UGraph::addEdge(uint32_t A, uint32_t B) {
+  AWDIT_ASSERT(A < N && B < N, "edge endpoint out of range");
+  if (A == B || hasEdge(A, B))
+    return;
+  Adj[A][B / 64] |= uint64_t(1) << (B % 64);
+  Adj[B][A / 64] |= uint64_t(1) << (A % 64);
+  Edges.push_back({std::min(A, B), std::max(A, B)});
+}
+
+bool UGraph::hasEdge(uint32_t A, uint32_t B) const {
+  return (Adj[A][B / 64] >> (B % 64)) & 1;
+}
+
+std::vector<uint32_t> UGraph::neighbors(uint32_t A) const {
+  std::vector<uint32_t> Out;
+  for (uint32_t B = 0; B < N; ++B)
+    if (hasEdge(A, B))
+      Out.push_back(B);
+  return Out;
+}
+
+UGraph awdit::randomGraph(size_t NumNodes, double EdgeProbability,
+                          Rng &Rand) {
+  UGraph G(NumNodes);
+  for (uint32_t A = 0; A < NumNodes; ++A)
+    for (uint32_t B = A + 1; B < NumNodes; ++B)
+      if (Rand.nextBool(EdgeProbability))
+        G.addEdge(A, B);
+  return G;
+}
+
+UGraph awdit::randomTriangleFreeGraph(size_t NumNodes,
+                                      double EdgeProbability, Rng &Rand) {
+  std::vector<bool> Side(NumNodes);
+  for (size_t I = 0; I < NumNodes; ++I)
+    Side[I] = Rand.nextBool(0.5);
+  UGraph G(NumNodes);
+  for (uint32_t A = 0; A < NumNodes; ++A)
+    for (uint32_t B = A + 1; B < NumNodes; ++B)
+      if (Side[A] != Side[B] && Rand.nextBool(EdgeProbability))
+        G.addEdge(A, B);
+  return G;
+}

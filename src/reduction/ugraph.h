@@ -1,0 +1,68 @@
+//===- reduction/ugraph.h - Undirected graphs ---------------------*- C++ -*-===//
+//
+// Part of the AWDIT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Undirected graphs with adjacency bitsets, the input side of the paper's
+/// §4 lower-bound reductions from triangle freeness.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AWDIT_REDUCTION_UGRAPH_H
+#define AWDIT_REDUCTION_UGRAPH_H
+
+#include "support/rng.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace awdit {
+
+/// A simple undirected graph over nodes [0, numNodes()).
+class UGraph {
+public:
+  explicit UGraph(size_t NumNodes);
+
+  /// Adds the undirected edge {A, B}; self-loops and duplicates are
+  /// ignored.
+  void addEdge(uint32_t A, uint32_t B);
+
+  bool hasEdge(uint32_t A, uint32_t B) const;
+
+  size_t numNodes() const { return N; }
+  size_t numEdges() const { return Edges.size(); }
+
+  /// All edges as (min, max) pairs, in insertion order.
+  const std::vector<std::pair<uint32_t, uint32_t>> &edges() const {
+    return Edges;
+  }
+
+  /// Neighbours of \p A as an adjacency bitset (words of 64 nodes).
+  const std::vector<uint64_t> &adjacencyRow(uint32_t A) const {
+    return Adj[A];
+  }
+
+  /// Sorted neighbour list of \p A.
+  std::vector<uint32_t> neighbors(uint32_t A) const;
+
+private:
+  size_t N;
+  std::vector<std::vector<uint64_t>> Adj;
+  std::vector<std::pair<uint32_t, uint32_t>> Edges;
+};
+
+/// Generates an Erdős–Rényi random graph G(n, p).
+UGraph randomGraph(size_t NumNodes, double EdgeProbability, Rng &Rand);
+
+/// Generates a random triangle-free graph: a random bipartite graph over a
+/// random node bipartition (bipartite graphs have no odd cycles).
+UGraph randomTriangleFreeGraph(size_t NumNodes, double EdgeProbability,
+                               Rng &Rand);
+
+} // namespace awdit
+
+#endif // AWDIT_REDUCTION_UGRAPH_H

@@ -1,0 +1,250 @@
+//===- sim/anomaly_injector.cpp - Anomaly injection --------------------------===//
+
+#include "sim/anomaly_injector.h"
+
+#include "history/history_builder.h"
+#include "support/assert.h"
+#include "support/rng.h"
+
+#include <algorithm>
+#include <vector>
+
+using namespace awdit;
+
+const char *awdit::anomalyKindName(AnomalyKind Kind) {
+  switch (Kind) {
+  case AnomalyKind::ThinAirRead:
+    return "Thin-Air Read";
+  case AnomalyKind::AbortedRead:
+    return "Aborted Read";
+  case AnomalyKind::FutureRead:
+    return "Future Read";
+  case AnomalyKind::FracturedRead:
+    return "Fractured Read";
+  case AnomalyKind::NonMonotonicRead:
+    return "Non-Monotonic Read";
+  case AnomalyKind::CausalViolation:
+    return "Causal Violation";
+  case AnomalyKind::CausalityCycle:
+    return "Causality Cycle";
+  }
+  awditUnreachable("unknown anomaly kind");
+}
+
+bool awdit::anomalyViolates(AnomalyKind Kind, IsolationLevel Level) {
+  switch (Kind) {
+  case AnomalyKind::ThinAirRead:
+  case AnomalyKind::AbortedRead:
+  case AnomalyKind::FutureRead:
+  case AnomalyKind::NonMonotonicRead:
+  case AnomalyKind::CausalityCycle:
+    return true; // Violates Read Consistency / all three levels.
+  case AnomalyKind::FracturedRead:
+    return Level == IsolationLevel::ReadAtomic ||
+           Level == IsolationLevel::CausalConsistency;
+  case AnomalyKind::CausalViolation:
+    return Level == IsolationLevel::CausalConsistency;
+  }
+  awditUnreachable("unknown anomaly kind");
+}
+
+namespace {
+
+/// Mutable copy of a history for editing before rebuild.
+struct MutableHistory {
+  struct MutTxn {
+    SessionId Session;
+    bool Aborted;
+    std::vector<Operation> Ops;
+  };
+  std::vector<MutTxn> Txns;
+  size_t NumSessions = 0;
+  Key NextFreshKey = 0;
+  Value NextFreshValue = 0;
+
+  explicit MutableHistory(const History &Base) {
+    NumSessions = Base.numSessions();
+    Txns.reserve(Base.numTxns());
+    for (TxnId Id = 0; Id < Base.numTxns(); ++Id) {
+      const Transaction &T = Base.txn(Id);
+      Txns.push_back({T.Session, !T.Committed, T.Ops});
+      for (const Operation &Op : T.Ops) {
+        NextFreshKey = std::max(NextFreshKey, Op.K + 1);
+        if (Op.V >= 0)
+          NextFreshValue = std::max(NextFreshValue, Op.V + 1);
+      }
+    }
+  }
+
+  Key freshKey() { return NextFreshKey++; }
+  Value freshValue() { return NextFreshValue++; }
+
+  /// Ensures at least \p N sessions exist and returns \p N distinct
+  /// session ids, chosen pseudo-randomly.
+  std::vector<SessionId> pickSessions(size_t N, Rng &Rand) {
+    while (NumSessions < N)
+      ++NumSessions;
+    std::vector<SessionId> All(NumSessions);
+    for (SessionId S = 0; S < NumSessions; ++S)
+      All[S] = S;
+    // Partial Fisher-Yates shuffle for the first N slots.
+    for (size_t I = 0; I < N; ++I)
+      std::swap(All[I], All[I + Rand.nextBelow(All.size() - I)]);
+    All.resize(N);
+    return All;
+  }
+
+  /// Appends a transaction at the end of \p S's session order.
+  void appendTxn(SessionId S, std::vector<Operation> Ops) {
+    Txns.push_back({S, /*Aborted=*/false, std::move(Ops)});
+  }
+
+  std::optional<History> rebuild(std::string *Err) const {
+    HistoryBuilder B;
+    for (size_t S = 0; S < NumSessions; ++S)
+      B.addSession();
+    B.setImplicitInitialState(true);
+    for (const MutTxn &T : Txns) {
+      TxnId Id = B.beginTxn(T.Session);
+      for (const Operation &Op : T.Ops)
+        B.append(Id, Op);
+      if (T.Aborted)
+        B.abortTxn(Id);
+    }
+    return B.build(Err);
+  }
+};
+
+bool fail(std::string *Err, const char *Msg) {
+  if (Err)
+    *Err = Msg;
+  return false;
+}
+
+/// Picks a random committed external read of \p Base; returns false if
+/// none exists.
+bool pickExternalRead(const History &Base, Rng &Rand, TxnId &OutTxn,
+                      uint32_t &OutReadPos) {
+  std::vector<std::pair<TxnId, uint32_t>> Candidates;
+  for (TxnId Id = 0; Id < Base.numTxns(); ++Id) {
+    const Transaction &T = Base.txn(Id);
+    if (!T.Committed)
+      continue;
+    for (uint32_t ReadPos : T.ExtReads)
+      Candidates.push_back({Id, ReadPos});
+  }
+  if (Candidates.empty())
+    return false;
+  auto [T, R] = Candidates[Rand.nextBelow(Candidates.size())];
+  OutTxn = T;
+  OutReadPos = R;
+  return true;
+}
+
+} // namespace
+
+std::optional<History> awdit::injectAnomaly(const History &Base,
+                                            AnomalyKind Kind, uint64_t Seed,
+                                            std::string *Err) {
+  Rng Rand(Seed ^ 0xa5a5a5a5a5a5a5a5ULL);
+  MutableHistory M(Base);
+
+  switch (Kind) {
+  case AnomalyKind::ThinAirRead: {
+    // Corrupt any committed read with a value nothing writes.
+    std::vector<std::pair<TxnId, uint32_t>> Reads;
+    for (TxnId Id = 0; Id < Base.numTxns(); ++Id) {
+      const Transaction &T = Base.txn(Id);
+      if (!T.Committed)
+        continue;
+      for (const ReadInfo &RI : T.Reads)
+        Reads.push_back({Id, RI.OpIndex});
+    }
+    if (Reads.empty()) {
+      fail(Err, "history contains no committed read to corrupt");
+      return std::nullopt;
+    }
+    auto [T, OpIdx] = Reads[Rand.nextBelow(Reads.size())];
+    M.Txns[T].Ops[OpIdx].V = M.freshValue();
+    break;
+  }
+
+  case AnomalyKind::AbortedRead: {
+    TxnId Reader;
+    uint32_t ReadPos;
+    if (!pickExternalRead(Base, Rand, Reader, ReadPos)) {
+      fail(Err, "history contains no external read");
+      return std::nullopt;
+    }
+    TxnId Writer = Base.txn(Reader).Reads[ReadPos].Writer;
+    M.Txns[Writer].Aborted = true;
+    break;
+  }
+
+  case AnomalyKind::FutureRead: {
+    // Prepend, to a transaction with a write, a read of its own later
+    // write.
+    std::vector<TxnId> Writers;
+    for (TxnId Id = 0; Id < Base.numTxns(); ++Id)
+      if (Base.txn(Id).Committed && !Base.txn(Id).WriteKeys.empty())
+        Writers.push_back(Id);
+    if (Writers.empty()) {
+      fail(Err, "history contains no committed write");
+      return std::nullopt;
+    }
+    TxnId T = Writers[Rand.nextBelow(Writers.size())];
+    const std::vector<Operation> &Ops = M.Txns[T].Ops;
+    auto WriteIt = std::find_if(Ops.begin(), Ops.end(),
+                                [](const Operation &Op) {
+                                  return Op.isWrite();
+                                });
+    AWDIT_ASSERT(WriteIt != Ops.end(), "writer txn without a write");
+    Operation FutureRead = Operation::read(WriteIt->K, WriteIt->V);
+    M.Txns[T].Ops.insert(M.Txns[T].Ops.begin(), FutureRead);
+    break;
+  }
+
+  case AnomalyKind::FracturedRead:
+  case AnomalyKind::NonMonotonicRead: {
+    // Gadget: s1 runs t1:W(x,a) then t2:W(x,b),W(y,c); s2 runs a reader
+    // observing t1's x together with t2's y. Reading x before y violates
+    // RA/CC only; reading y first additionally fires RC monotonicity.
+    std::vector<SessionId> S = M.pickSessions(2, Rand);
+    Key X = M.freshKey(), Y = M.freshKey();
+    Value A = M.freshValue(), B = M.freshValue(), C = M.freshValue();
+    M.appendTxn(S[0], {Operation::write(X, A)});
+    M.appendTxn(S[0], {Operation::write(X, B), Operation::write(Y, C)});
+    if (Kind == AnomalyKind::FracturedRead)
+      M.appendTxn(S[1], {Operation::read(X, A), Operation::read(Y, C)});
+    else
+      M.appendTxn(S[1], {Operation::read(Y, C), Operation::read(X, A)});
+    break;
+  }
+
+  case AnomalyKind::CausalViolation: {
+    // Gadget: t2 reaches the reader through a two-hop wr chain, so only
+    // the transitive CC premise fires.
+    std::vector<SessionId> S = M.pickSessions(3, Rand);
+    Key X = M.freshKey(), Z = M.freshKey(), W = M.freshKey();
+    Value A = M.freshValue(), B = M.freshValue(), C = M.freshValue(),
+          D = M.freshValue();
+    M.appendTxn(S[0], {Operation::write(X, A)});
+    M.appendTxn(S[0], {Operation::write(X, B), Operation::write(Z, C)});
+    M.appendTxn(S[1], {Operation::read(Z, C), Operation::write(W, D)});
+    M.appendTxn(S[2], {Operation::read(W, D), Operation::read(X, A)});
+    break;
+  }
+
+  case AnomalyKind::CausalityCycle: {
+    // Gadget: two transactions read each other's writes (a wr 2-cycle).
+    std::vector<SessionId> S = M.pickSessions(2, Rand);
+    Key P = M.freshKey(), Q = M.freshKey();
+    Value A = M.freshValue(), B = M.freshValue();
+    M.appendTxn(S[0], {Operation::write(P, A), Operation::read(Q, B)});
+    M.appendTxn(S[1], {Operation::write(Q, B), Operation::read(P, A)});
+    break;
+  }
+  }
+
+  return M.rebuild(Err);
+}

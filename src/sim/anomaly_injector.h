@@ -1,0 +1,67 @@
+//===- sim/anomaly_injector.h - Anomaly injection -----------------*- C++ -*-===//
+//
+// Part of the AWDIT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Plants labelled isolation anomalies into otherwise-consistent histories.
+/// This substitutes for the production isolation bugs behind the paper's
+/// Table 1: the injector produces the same anomaly classes (future reads,
+/// causality cycles, ...) deterministically, so the reporting behaviour of
+/// AWDIT and the baselines can be compared per class.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AWDIT_SIM_ANOMALY_INJECTOR_H
+#define AWDIT_SIM_ANOMALY_INJECTOR_H
+
+#include "checker/isolation_level.h"
+#include "history/history.h"
+
+#include <optional>
+#include <string>
+
+namespace awdit {
+
+/// The classes of anomalies the injector can plant.
+enum class AnomalyKind : uint8_t {
+  /// A read of a value nothing wrote.
+  ThinAirRead,
+  /// A read from a transaction that is flipped to aborted.
+  AbortedRead,
+  /// A read, inside one transaction, of a po-later own write.
+  FutureRead,
+  /// A reader observes some but not all effects of a transaction whose
+  /// session predecessor wrote the same key: violates RA and CC, not RC.
+  FracturedRead,
+  /// The fractured-read gadget with the read order flipped so the RC
+  /// monotonicity axiom also fires: violates RC, RA, and CC.
+  NonMonotonicRead,
+  /// A two-hop causal chain whose origin is observed stale: violates CC
+  /// only (RA's single-step premise does not fire).
+  CausalViolation,
+  /// A pair of transactions reading from each other: a so ∪ wr cycle,
+  /// violating every level.
+  CausalityCycle,
+};
+
+const char *anomalyKindName(AnomalyKind Kind);
+
+/// Returns true if a history carrying \p Kind must fail a check at
+/// \p Level. (Anomalies may incidentally violate more than promised; this
+/// predicate is the guaranteed part.)
+bool anomalyViolates(AnomalyKind Kind, IsolationLevel Level);
+
+/// Returns a copy of \p Base with one instance of \p Kind planted.
+/// The gadget transactions use fresh keys/values appended at session ends,
+/// or, for read-level anomalies, a mutated existing read; \p Seed picks the
+/// insertion points. Returns std::nullopt with \p Err set if \p Base offers
+/// no suitable site (e.g. no external read to corrupt).
+std::optional<History> injectAnomaly(const History &Base, AnomalyKind Kind,
+                                     uint64_t Seed,
+                                     std::string *Err = nullptr);
+
+} // namespace awdit
+
+#endif // AWDIT_SIM_ANOMALY_INJECTOR_H

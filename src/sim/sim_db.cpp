@@ -1,0 +1,453 @@
+//===- sim/sim_db.cpp - Transactional database simulator --------------------===//
+
+#include "sim/sim_db.h"
+
+#include "history/history_builder.h"
+#include "support/assert.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+using namespace awdit;
+
+size_t ClientWorkload::numTxns() const {
+  size_t N = 0;
+  for (const ClientSession &S : Sessions)
+    N += S.Txns.size();
+  return N;
+}
+
+size_t ClientWorkload::numOps() const {
+  size_t N = 0;
+  for (const ClientSession &S : Sessions)
+    for (const ClientTxn &T : S.Txns)
+      N += T.Ops.size();
+  return N;
+}
+
+const char *awdit::consistencyModeName(ConsistencyMode Mode) {
+  switch (Mode) {
+  case ConsistencyMode::Serializable:
+    return "serializable";
+  case ConsistencyMode::Causal:
+    return "causal";
+  case ConsistencyMode::ReadAtomic:
+    return "read-atomic";
+  case ConsistencyMode::ReadCommitted:
+    return "read-committed";
+  }
+  awditUnreachable("unknown consistency mode");
+}
+
+namespace {
+
+/// One committed transaction in the global commit (arbitration) order.
+struct LogEntry {
+  SessionId Session;
+  /// Per-session commit sequence number (for causal FIFO delivery).
+  uint32_t SessSeq;
+  std::vector<std::pair<Key, Value>> Writes;
+  /// Causal mode: delivered-transaction counts per session at commit time
+  /// (own session entry = own SessSeq).
+  std::vector<uint32_t> DepClock;
+};
+
+/// A version of a key: which log index wrote which value.
+struct KeyVersion {
+  uint32_t LogIdx;
+  Value V;
+};
+
+/// Shared machinery: global commit log, per-key version lists, unique
+/// value generation, and history recording.
+class SimCore {
+public:
+  SimCore(const ClientWorkload &Workload, const SimConfig &Config)
+      : Workload(Workload), Config(Config), Rand(Config.Seed) {
+    for (size_t S = 0; S < Workload.Sessions.size(); ++S)
+      Builder.addSession();
+    Builder.setImplicitInitialState(true);
+  }
+
+  Value freshValue() { return ++LastValue; }
+
+  /// Latest committed version of \p K strictly below log prefix \p P, or
+  /// no value (0 stands for the initial state).
+  Value readAtPrefix(Key K, uint32_t P) const {
+    auto It = Versions.find(K);
+    if (It == Versions.end())
+      return 0;
+    const std::vector<KeyVersion> &List = It->second;
+    // Versions are appended in log order; binary search the prefix.
+    auto Pos = std::partition_point(
+        List.begin(), List.end(),
+        [P](const KeyVersion &V) { return V.LogIdx < P; });
+    if (Pos == List.begin())
+      return 0;
+    return std::prev(Pos)->V;
+  }
+
+  /// Appends a committed transaction to the global log.
+  uint32_t appendToLog(LogEntry Entry) {
+    uint32_t Idx = static_cast<uint32_t>(Log.size());
+    for (const auto &[K, V] : Entry.Writes)
+      Versions[K].push_back({Idx, V});
+    Log.push_back(std::move(Entry));
+    return Idx;
+  }
+
+  const std::vector<LogEntry> &log() const { return Log; }
+
+  /// Records one executed transaction into the history.
+  void record(SessionId S, const std::vector<Operation> &Ops, bool Aborted) {
+    TxnId T = Builder.beginTxn(S);
+    for (const Operation &Op : Ops)
+      Builder.append(T, Op);
+    if (Aborted)
+      Builder.abortTxn(T);
+  }
+
+  std::optional<History> finish(std::string *Err) {
+    return Builder.build(Err);
+  }
+
+  const ClientWorkload &Workload;
+  const SimConfig &Config;
+  Rng Rand;
+
+private:
+  HistoryBuilder Builder;
+  std::vector<LogEntry> Log;
+  std::unordered_map<Key, std::vector<KeyVersion>> Versions;
+  Value LastValue = 0;
+};
+
+//===----------------------------------------------------------------------===//
+// Serializable mode: whole transactions execute atomically against a single
+// global store (the behaviour of a strict-2PL / single-node database).
+//===----------------------------------------------------------------------===//
+
+void runSerializable(SimCore &Core) {
+  size_t K = Core.Workload.Sessions.size();
+  std::vector<size_t> Next(K, 0);
+  std::vector<uint32_t> SessSeq(K, 0);
+  std::vector<SessionId> Pending;
+
+  auto Refill = [&] {
+    Pending.clear();
+    for (SessionId S = 0; S < K; ++S)
+      if (Next[S] < Core.Workload.Sessions[S].Txns.size())
+        Pending.push_back(S);
+  };
+
+  for (Refill(); !Pending.empty(); Refill()) {
+    SessionId S = Pending[Core.Rand.nextBelow(Pending.size())];
+    const ClientTxn &CT = Core.Workload.Sessions[S].Txns[Next[S]++];
+
+    std::unordered_map<Key, Value> WriteBuf;
+    std::vector<Operation> Ops;
+    LogEntry Entry{S, SessSeq[S], {}, {}};
+    uint32_t Prefix = static_cast<uint32_t>(Core.log().size());
+    for (const ClientOp &Op : CT.Ops) {
+      if (Op.IsRead) {
+        auto It = WriteBuf.find(Op.K);
+        Value V =
+            It != WriteBuf.end() ? It->second : Core.readAtPrefix(Op.K, Prefix);
+        Ops.push_back(Operation::read(Op.K, V));
+      } else {
+        Value V = Core.freshValue();
+        WriteBuf[Op.K] = V;
+        // Later writes to the same key supersede earlier ones in the log
+        // entry (only final writes are externally visible anyway).
+        Ops.push_back(Operation::write(Op.K, V));
+      }
+    }
+    bool Abort = Core.Rand.nextBool(Core.Config.AbortProbability);
+    if (!Abort) {
+      for (const auto &[Key, V] : WriteBuf)
+        Entry.Writes.push_back({Key, V});
+      Core.appendToLog(std::move(Entry));
+      ++SessSeq[S];
+    }
+    Core.record(S, Ops, Abort);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Causal mode: per-session replicas, causal delivery with random delays,
+// last-writer-wins arbitration by global commit index (the design of
+// causally consistent stores such as Cure / MongoDB causal sessions).
+//===----------------------------------------------------------------------===//
+
+void runCausal(SimCore &Core) {
+  size_t K = Core.Workload.Sessions.size();
+  std::vector<size_t> Next(K, 0);
+  std::vector<uint32_t> SessSeq(K, 0);
+  // Replica state per session: key -> (arbitration index, value).
+  struct Slot {
+    uint32_t Arb;
+    Value V;
+  };
+  std::vector<std::unordered_map<Key, Slot>> Replica(K);
+  // Delivered transaction counts: Delivered[s][s'] = number of s' txns
+  // applied at s's replica.
+  std::vector<std::vector<uint32_t>> Delivered(
+      K, std::vector<uint32_t>(K, 0));
+  // Per source session, the global log indices of its committed txns.
+  std::vector<std::vector<uint32_t>> BySource(K);
+
+  auto ApplyAt = [&](SessionId S, uint32_t LogIdx) {
+    const LogEntry &E = Core.log()[LogIdx];
+    for (const auto &[Key, V] : E.Writes) {
+      auto [It, Inserted] = Replica[S].insert({Key, Slot{LogIdx, V}});
+      if (!Inserted && It->second.Arb < LogIdx)
+        It->second = Slot{LogIdx, V};
+    }
+    ++Delivered[S][E.Session];
+  };
+
+  auto Deliverable = [&](SessionId S, SessionId Src) -> bool {
+    uint32_t NextSeq = Delivered[S][Src];
+    if (NextSeq >= BySource[Src].size())
+      return false;
+    const LogEntry &E = Core.log()[BySource[Src][NextSeq]];
+    for (SessionId S2 = 0; S2 < K; ++S2)
+      if (Delivered[S][S2] < E.DepClock[S2] && S2 != Src)
+        return false;
+    return true;
+  };
+
+  auto DeliverRound = [&](SessionId S) {
+    // Repeatedly pick deliverable messages, each accepted with the
+    // configured probability; stop after one refused full round.
+    bool Progress = true;
+    while (Progress) {
+      Progress = false;
+      for (SessionId Src = 0; Src < K; ++Src) {
+        if (Src == S)
+          continue;
+        while (Deliverable(S, Src) &&
+               Core.Rand.nextBool(Core.Config.DeliveryProbability)) {
+          ApplyAt(S, BySource[Src][Delivered[S][Src]]);
+          Progress = true;
+        }
+      }
+    }
+  };
+
+  std::vector<SessionId> Pending;
+  auto Refill = [&] {
+    Pending.clear();
+    for (SessionId S = 0; S < K; ++S)
+      if (Next[S] < Core.Workload.Sessions[S].Txns.size())
+        Pending.push_back(S);
+  };
+
+  for (Refill(); !Pending.empty(); Refill()) {
+    SessionId S = Pending[Core.Rand.nextBelow(Pending.size())];
+    DeliverRound(S);
+
+    const ClientTxn &CT = Core.Workload.Sessions[S].Txns[Next[S]++];
+    std::unordered_map<Key, Value> WriteBuf;
+    std::vector<Operation> Ops;
+    for (const ClientOp &Op : CT.Ops) {
+      if (Op.IsRead) {
+        Value V = 0;
+        if (auto It = WriteBuf.find(Op.K); It != WriteBuf.end())
+          V = It->second;
+        else if (auto It2 = Replica[S].find(Op.K); It2 != Replica[S].end())
+          V = It2->second.V;
+        Ops.push_back(Operation::read(Op.K, V));
+      } else {
+        Value V = Core.freshValue();
+        WriteBuf[Op.K] = V;
+        Ops.push_back(Operation::write(Op.K, V));
+      }
+    }
+    bool Abort = Core.Rand.nextBool(Core.Config.AbortProbability);
+    if (!Abort) {
+      LogEntry Entry{S, SessSeq[S], {}, Delivered[S]};
+      Entry.DepClock[S] = SessSeq[S];
+      for (const auto &[Key, V] : WriteBuf)
+        Entry.Writes.push_back({Key, V});
+      uint32_t Idx = Core.appendToLog(std::move(Entry));
+      BySource[S].push_back(Idx);
+      ApplyAt(S, Idx); // Own writes apply immediately.
+      ++SessSeq[S];
+    }
+    Core.record(S, Ops, Abort);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// ReadAtomic mode: each transaction reads from a fixed atomic visible set —
+// a (possibly stale) committed prefix plus randomly read-ahead whole
+// transactions — and observes the commit-order-latest writer within the
+// set. Satisfies RA with the commit order as witness; the read-ahead
+// transactions break causality, so CC can fail.
+//===----------------------------------------------------------------------===//
+
+void runReadAtomic(SimCore &Core) {
+  size_t K = Core.Workload.Sessions.size();
+  std::vector<size_t> Next(K, 0);
+  std::vector<uint32_t> SessSeq(K, 0);
+  // Log size immediately after the session's latest own commit; the
+  // snapshot must not be older (co respects so).
+  std::vector<uint32_t> OwnFloor(K, 0);
+  constexpr uint32_t StalenessWindow = 12;
+
+  std::vector<SessionId> Pending;
+  auto Refill = [&] {
+    Pending.clear();
+    for (SessionId S = 0; S < K; ++S)
+      if (Next[S] < Core.Workload.Sessions[S].Txns.size())
+        Pending.push_back(S);
+  };
+
+  for (Refill(); !Pending.empty(); Refill()) {
+    SessionId S = Pending[Core.Rand.nextBelow(Pending.size())];
+    const ClientTxn &CT = Core.Workload.Sessions[S].Txns[Next[S]++];
+
+    uint32_t Now = static_cast<uint32_t>(Core.log().size());
+    uint32_t Lo = std::max(OwnFloor[S],
+                           Now > StalenessWindow ? Now - StalenessWindow : 0);
+    uint32_t Snapshot = static_cast<uint32_t>(
+        Core.Rand.nextInRange(Lo, Now));
+    // Read-ahead: whole transactions committed after the snapshot.
+    std::vector<uint32_t> Ahead;
+    for (uint32_t Idx = Snapshot; Idx < Now; ++Idx)
+      if (Core.Rand.nextBool(Core.Config.ReadAheadProbability))
+        Ahead.push_back(Idx);
+
+    std::unordered_map<Key, Value> WriteBuf;
+    std::vector<Operation> Ops;
+    for (const ClientOp &Op : CT.Ops) {
+      if (Op.IsRead) {
+        Value V;
+        if (auto It = WriteBuf.find(Op.K); It != WriteBuf.end()) {
+          V = It->second;
+        } else {
+          V = Core.readAtPrefix(Op.K, Snapshot);
+          // A read-ahead transaction writing the key supersedes the
+          // snapshot (they are commit-order later by construction).
+          for (uint32_t Idx : Ahead)
+            for (const auto &[WK, WV] : Core.log()[Idx].Writes)
+              if (WK == Op.K)
+                V = WV;
+        }
+        Ops.push_back(Operation::read(Op.K, V));
+      } else {
+        Value V = Core.freshValue();
+        WriteBuf[Op.K] = V;
+        Ops.push_back(Operation::write(Op.K, V));
+      }
+    }
+    bool Abort = Core.Rand.nextBool(Core.Config.AbortProbability);
+    if (!Abort) {
+      LogEntry Entry{S, SessSeq[S], {}, {}};
+      for (const auto &[Key, V] : WriteBuf)
+        Entry.Writes.push_back({Key, V});
+      Core.appendToLog(std::move(Entry));
+      OwnFloor[S] = static_cast<uint32_t>(Core.log().size());
+      ++SessSeq[S];
+    }
+    Core.record(S, Ops, Abort);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// ReadCommitted mode: operations of open transactions interleave across
+// sessions; each read observes the latest committed version under a
+// monotonically advancing per-transaction prefix. Fractured reads (RA
+// violations) arise when commits land between two reads.
+//===----------------------------------------------------------------------===//
+
+void runReadCommitted(SimCore &Core) {
+  size_t K = Core.Workload.Sessions.size();
+  struct OpenTxn {
+    size_t TxnIdx = 0;
+    size_t OpIdx = 0;
+    uint32_t Prefix = 0;
+    std::unordered_map<Key, Value> WriteBuf;
+    std::vector<Operation> Ops;
+    bool Active = false;
+  };
+  std::vector<OpenTxn> Open(K);
+  std::vector<size_t> Next(K, 0);
+  std::vector<uint32_t> SessSeq(K, 0);
+
+  std::vector<SessionId> Pending;
+  auto Refill = [&] {
+    Pending.clear();
+    for (SessionId S = 0; S < K; ++S)
+      if (Open[S].Active || Next[S] < Core.Workload.Sessions[S].Txns.size())
+        Pending.push_back(S);
+  };
+
+  for (Refill(); !Pending.empty(); Refill()) {
+    SessionId S = Pending[Core.Rand.nextBelow(Pending.size())];
+    OpenTxn &T = Open[S];
+    if (!T.Active) {
+      T = OpenTxn();
+      T.TxnIdx = Next[S]++;
+      T.Prefix = static_cast<uint32_t>(Core.log().size());
+      T.Active = true;
+    }
+    const ClientTxn &CT = Core.Workload.Sessions[S].Txns[T.TxnIdx];
+
+    // Execute one operation per scheduling step so that other sessions'
+    // commits can interleave mid-transaction.
+    if (T.OpIdx < CT.Ops.size()) {
+      const ClientOp &Op = CT.Ops[T.OpIdx++];
+      // The visible prefix may advance (monotonically) between ops.
+      if (Core.Rand.nextBool(Core.Config.PrefixAdvanceProbability))
+        T.Prefix = static_cast<uint32_t>(Core.log().size());
+      if (Op.IsRead) {
+        auto It = T.WriteBuf.find(Op.K);
+        Value V = It != T.WriteBuf.end()
+                      ? It->second
+                      : Core.readAtPrefix(Op.K, T.Prefix);
+        T.Ops.push_back(Operation::read(Op.K, V));
+      } else {
+        Value V = Core.freshValue();
+        T.WriteBuf[Op.K] = V;
+        T.Ops.push_back(Operation::write(Op.K, V));
+      }
+    }
+    if (T.OpIdx >= CT.Ops.size()) {
+      bool Abort = Core.Rand.nextBool(Core.Config.AbortProbability);
+      if (!Abort) {
+        LogEntry Entry{S, SessSeq[S], {}, {}};
+        for (const auto &[Key, V] : T.WriteBuf)
+          Entry.Writes.push_back({Key, V});
+        Core.appendToLog(std::move(Entry));
+        ++SessSeq[S];
+      }
+      Core.record(S, T.Ops, Abort);
+      T.Active = false;
+    }
+  }
+}
+
+} // namespace
+
+std::optional<History> awdit::simulateDatabase(const ClientWorkload &Workload,
+                                               const SimConfig &Config,
+                                               std::string *Err) {
+  SimCore Core(Workload, Config);
+  switch (Config.Mode) {
+  case ConsistencyMode::Serializable:
+    runSerializable(Core);
+    break;
+  case ConsistencyMode::Causal:
+    runCausal(Core);
+    break;
+  case ConsistencyMode::ReadAtomic:
+    runReadAtomic(Core);
+    break;
+  case ConsistencyMode::ReadCommitted:
+    runReadCommitted(Core);
+    break;
+  }
+  return Core.finish(Err);
+}

@@ -1,0 +1,30 @@
+//===- support/assert.h - Assertion helpers ---------------------*- C++ -*-===//
+//
+// Part of the AWDIT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lightweight assertion macros used throughout the library. We keep plain
+/// `assert` semantics (compiled out in NDEBUG builds) plus an always-on fatal
+/// helper for unrecoverable internal errors.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AWDIT_SUPPORT_ASSERT_H
+#define AWDIT_SUPPORT_ASSERT_H
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+#define AWDIT_ASSERT(Cond, Msg) assert((Cond) && (Msg))
+
+/// Aborts with a message. Used for control flow that must never be reached
+/// even in release builds (e.g. corrupt internal state).
+[[noreturn]] inline void awditUnreachable(const char *Msg) {
+  std::fprintf(stderr, "awdit: internal error: %s\n", Msg);
+  std::abort();
+}
+
+#endif // AWDIT_SUPPORT_ASSERT_H

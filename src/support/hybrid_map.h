@@ -1,0 +1,147 @@
+//===- support/hybrid_map.h - Small-first associative containers --*- C++ -*-===//
+//
+// Part of the AWDIT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Associative containers tuned for the checkers' per-transaction scratch
+/// state: the overwhelmingly common case is a handful of distinct keys per
+/// transaction, where a linear scan over a flat vector beats hashing by a
+/// wide margin. Past a size threshold the containers spill into a hash
+/// table, preserving the O(1) amortized bound the complexity analysis of
+/// Algorithms 1-2 relies on for large transactions.
+///
+/// clear() keeps allocated storage, so one instance can be reused across
+/// the per-transaction loop without churn.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AWDIT_SUPPORT_HYBRID_MAP_H
+#define AWDIT_SUPPORT_HYBRID_MAP_H
+
+#include <cstddef>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+namespace awdit {
+
+/// A map that stays a flat vector while small and spills to a hash map
+/// when it grows past \p Threshold entries.
+template <typename KeyT, typename ValueT, size_t Threshold = 48>
+class HybridMap {
+public:
+  /// Returns a pointer to the value for \p K, or nullptr.
+  ValueT *find(const KeyT &K) {
+    if (!UsingBig) {
+      for (auto &[FK, FV] : Flat)
+        if (FK == K)
+          return &FV;
+      return nullptr;
+    }
+    auto It = Big.find(K);
+    return It == Big.end() ? nullptr : &It->second;
+  }
+
+  /// Returns the value for \p K, default-constructing it if absent.
+  /// The reference is invalidated by the next mutating call.
+  ValueT &getOrInsert(const KeyT &K) {
+    if (!UsingBig) {
+      for (auto &[FK, FV] : Flat)
+        if (FK == K)
+          return FV;
+      if (Flat.size() < Threshold) {
+        Flat.emplace_back(K, ValueT());
+        return Flat.back().second;
+      }
+      spill();
+    }
+    return Big[K];
+  }
+
+  size_t size() const { return UsingBig ? Big.size() : Flat.size(); }
+
+  void clear() {
+    Flat.clear();
+    if (UsingBig) {
+      Big.clear();
+      UsingBig = false;
+    }
+  }
+
+private:
+  void spill() {
+    for (auto &[K, V] : Flat)
+      Big.emplace(K, std::move(V));
+    Flat.clear();
+    UsingBig = true;
+  }
+
+  std::vector<std::pair<KeyT, ValueT>> Flat;
+  std::unordered_map<KeyT, ValueT> Big;
+  bool UsingBig = false;
+};
+
+/// A set with the same small-first strategy.
+template <typename KeyT, size_t Threshold = 48> class HybridSet {
+public:
+  bool contains(const KeyT &K) const {
+    if (!UsingBig) {
+      for (const KeyT &FK : Flat)
+        if (FK == K)
+          return true;
+      return false;
+    }
+    return Big.count(K) != 0;
+  }
+
+  /// Inserts \p K; returns true if it was newly added.
+  bool insert(const KeyT &K) {
+    if (contains(K))
+      return false;
+    if (!UsingBig) {
+      if (Flat.size() < Threshold) {
+        Flat.push_back(K);
+        return true;
+      }
+      for (const KeyT &FK : Flat)
+        Big.insert(FK);
+      Flat.clear();
+      UsingBig = true;
+    }
+    Big.insert(K);
+    return true;
+  }
+
+  size_t size() const { return UsingBig ? Big.size() : Flat.size(); }
+
+  void clear() {
+    Flat.clear();
+    if (UsingBig) {
+      Big.clear();
+      UsingBig = false;
+    }
+  }
+
+  /// Iteration over the elements (order unspecified).
+  template <typename Fn> void forEach(Fn &&F) const {
+    if (!UsingBig) {
+      for (const KeyT &K : Flat)
+        F(K);
+      return;
+    }
+    for (const KeyT &K : Big)
+      F(K);
+  }
+
+private:
+  std::vector<KeyT> Flat;
+  std::unordered_set<KeyT> Big;
+  bool UsingBig = false;
+};
+
+} // namespace awdit
+
+#endif // AWDIT_SUPPORT_HYBRID_MAP_H

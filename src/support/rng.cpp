@@ -1,0 +1,87 @@
+//===- support/rng.cpp - Deterministic random number generation ----------===//
+
+#include "support/rng.h"
+
+#include "support/assert.h"
+
+#include <cmath>
+
+using namespace awdit;
+
+uint64_t Rng::next() {
+  // SplitMix64 (Steele, Lea, Flood 2014). Passes BigCrush when used as a
+  // stream; more than adequate for workload generation.
+  State += 0x9e3779b97f4a7c15ULL;
+  uint64_t Z = State;
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+  return Z ^ (Z >> 31);
+}
+
+uint64_t Rng::nextBelow(uint64_t Bound) {
+  AWDIT_ASSERT(Bound > 0, "nextBelow requires a positive bound");
+  // Rejection-free multiply-shift mapping; bias is negligible (< 2^-64 * n)
+  // for the bounds used in this project.
+  return static_cast<uint64_t>(
+      (static_cast<__uint128_t>(next()) * Bound) >> 64);
+}
+
+uint64_t Rng::nextInRange(uint64_t Lo, uint64_t Hi) {
+  AWDIT_ASSERT(Lo <= Hi, "nextInRange requires Lo <= Hi");
+  return Lo + nextBelow(Hi - Lo + 1);
+}
+
+bool Rng::nextBool(double P) {
+  if (P <= 0.0)
+    return false;
+  if (P >= 1.0)
+    return true;
+  return nextDouble() < P;
+}
+
+double Rng::nextDouble() {
+  // 53 random mantissa bits -> uniform double in [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+size_t Rng::nextWeighted(const std::vector<double> &Weights) {
+  AWDIT_ASSERT(!Weights.empty(), "nextWeighted requires weights");
+  double Total = 0.0;
+  for (double W : Weights) {
+    AWDIT_ASSERT(W >= 0.0, "weights must be non-negative");
+    Total += W;
+  }
+  AWDIT_ASSERT(Total > 0.0, "weights must have a positive sum");
+  double Pick = nextDouble() * Total;
+  for (size_t I = 0; I < Weights.size(); ++I) {
+    Pick -= Weights[I];
+    if (Pick < 0.0)
+      return I;
+  }
+  return Weights.size() - 1;
+}
+
+size_t Rng::nextZipf(size_t N, double Theta) {
+  AWDIT_ASSERT(N > 0, "nextZipf requires a non-empty domain");
+  if (N == 1 || Theta <= 0.0)
+    return static_cast<size_t>(nextBelow(N));
+  // Inverse-CDF approximation of the continuous analogue. Exact Zipf is not
+  // required: we only need a stable hot-key skew for workload shaping.
+  double U = nextDouble();
+  if (Theta == 1.0) {
+    double X = std::pow(static_cast<double>(N), U);
+    size_t Idx = static_cast<size_t>(X) - (X >= 1.0 ? 1 : 0);
+    return Idx < N ? Idx : N - 1;
+  }
+  double Exp = 1.0 - Theta;
+  double X = std::pow(U * (std::pow(static_cast<double>(N), Exp) - 1.0) + 1.0,
+                      1.0 / Exp);
+  size_t Idx = static_cast<size_t>(X) - (X >= 1.0 ? 1 : 0);
+  return Idx < N ? Idx : N - 1;
+}
+
+Rng Rng::fork() {
+  uint64_t Seed = next();
+  // Decorrelate the fork from the parent stream with an odd multiplier.
+  return Rng(Seed * 0xda942042e4dd58b5ULL + 1);
+}

@@ -1,0 +1,64 @@
+//===- support/rng.h - Deterministic random number generation ---*- C++ -*-===//
+//
+// Part of the AWDIT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, fast, deterministic PRNG (SplitMix64) used by workload
+/// generators, the database simulator, and randomized tests. We deliberately
+/// avoid <random> engines so that histories are reproducible across standard
+/// library implementations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AWDIT_SUPPORT_RNG_H
+#define AWDIT_SUPPORT_RNG_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace awdit {
+
+/// Deterministic 64-bit PRNG (SplitMix64). Cheap to construct, copy, and
+/// fork; identical sequences on every platform for a given seed.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : State(Seed) {}
+
+  /// Returns the next raw 64-bit value.
+  uint64_t next();
+
+  /// Returns a uniformly distributed value in [0, Bound). \p Bound must be
+  /// positive.
+  uint64_t nextBelow(uint64_t Bound);
+
+  /// Returns a uniformly distributed value in [Lo, Hi] (inclusive).
+  uint64_t nextInRange(uint64_t Lo, uint64_t Hi);
+
+  /// Returns true with probability \p P (clamped to [0, 1]).
+  bool nextBool(double P);
+
+  /// Returns a double in [0, 1).
+  double nextDouble();
+
+  /// Returns an index in [0, Weights.size()) with probability proportional
+  /// to Weights[i]. All weights must be non-negative with a positive sum.
+  size_t nextWeighted(const std::vector<double> &Weights);
+
+  /// Returns a Zipf-like skewed index in [0, N): index i is drawn with
+  /// probability proportional to 1/(i+1)^Theta. Used to model hot keys.
+  size_t nextZipf(size_t N, double Theta);
+
+  /// Forks an independent generator; the fork's stream is decorrelated from
+  /// the parent's continued stream.
+  Rng fork();
+
+private:
+  uint64_t State;
+};
+
+} // namespace awdit
+
+#endif // AWDIT_SUPPORT_RNG_H

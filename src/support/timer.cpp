@@ -1,0 +1,27 @@
+//===- support/timer.cpp - Wall-clock timing ------------------------------===//
+
+#include "support/timer.h"
+
+using namespace awdit;
+
+void Timer::restart() { Start = std::chrono::steady_clock::now(); }
+
+double Timer::elapsedSeconds() const {
+  auto Now = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(Now - Start).count();
+}
+
+double Timer::elapsedMillis() const { return elapsedSeconds() * 1e3; }
+
+Deadline::Deadline(double Seconds) : Unlimited(Seconds <= 0.0) {
+  if (!Unlimited)
+    End = std::chrono::steady_clock::now() +
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double>(Seconds));
+}
+
+bool Deadline::expired() const {
+  if (Unlimited)
+    return false;
+  return std::chrono::steady_clock::now() >= End;
+}

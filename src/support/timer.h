@@ -1,0 +1,56 @@
+//===- support/timer.h - Wall-clock timing -----------------------*- C++ -*-===//
+//
+// Part of the AWDIT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Steady-clock stopwatch used by the benchmark harness to measure checker
+/// running times, plus a soft-deadline helper that models the timeouts used
+/// in the paper's experiments.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AWDIT_SUPPORT_TIMER_H
+#define AWDIT_SUPPORT_TIMER_H
+
+#include <chrono>
+
+namespace awdit {
+
+/// A simple restartable stopwatch over std::chrono::steady_clock.
+class Timer {
+public:
+  Timer() { restart(); }
+
+  /// Resets the start point to now.
+  void restart();
+
+  /// Returns elapsed seconds since construction or the last restart().
+  double elapsedSeconds() const;
+
+  /// Returns elapsed milliseconds since construction or the last restart().
+  double elapsedMillis() const;
+
+private:
+  std::chrono::steady_clock::time_point Start;
+};
+
+/// A soft deadline: work loops poll expired() and abandon the computation,
+/// mirroring the per-history timeouts of the paper's experimental setup.
+class Deadline {
+public:
+  /// Creates a deadline \p Seconds from now. Non-positive means "never".
+  explicit Deadline(double Seconds);
+
+  /// Returns true once the deadline has passed.
+  bool expired() const;
+
+private:
+  bool Unlimited;
+  std::chrono::steady_clock::time_point End;
+};
+
+} // namespace awdit
+
+#endif // AWDIT_SUPPORT_TIMER_H

@@ -1,0 +1,64 @@
+//===- workload/ctwitter.cpp - C-Twitter workload ----------------------------===//
+
+#include "workload/ctwitter.h"
+
+using namespace awdit;
+
+namespace {
+
+// Key-space tables for the C-Twitter schema.
+constexpr uint64_t TweetTable = 10;    ///< user -> latest tweet
+constexpr uint64_t TimelineTable = 11; ///< user -> timeline digest
+constexpr uint64_t FollowTable = 12;   ///< user -> follow list version
+constexpr uint64_t ProfileTable = 13;  ///< user -> profile blob
+
+} // namespace
+
+ClientWorkload awdit::generateCTwitter(const CTwitterParams &Params,
+                                       Rng &Rand) {
+  ClientWorkload W = makeEmptyWorkload(Params.Sessions);
+  size_t Users = Params.NumUsers != 0
+                     ? Params.NumUsers
+                     : std::max<size_t>(64, Params.TotalTxns / 16);
+
+  auto RandomUser = [&] { return Rand.nextZipf(Users, /*Theta=*/0.8); };
+
+  for (size_t I = 0; I < Params.TotalTxns; ++I) {
+    ClientTxn Txn;
+    // Mix tuned so the op count averages ~7.6 per transaction:
+    // 25% tweet (4 ops), 45% timeline (1 + 2*width ops), 15% follow
+    // (3 ops), 15% profile view (3 ops).
+    size_t K = Rand.nextBelow(100);
+    uint64_t U = RandomUser();
+    if (K < 25) {
+      // Tweet: bump own tweet and timeline, after reading the profile.
+      Txn.Ops.push_back(ClientOp::read(tableKey(ProfileTable, U)));
+      Txn.Ops.push_back(ClientOp::write(tableKey(TweetTable, U)));
+      Txn.Ops.push_back(ClientOp::write(tableKey(TimelineTable, U)));
+      Txn.Ops.push_back(ClientOp::write(tableKey(ProfileTable, U)));
+    } else if (K < 70) {
+      // Timeline: read the follow list, then the latest tweet and
+      // timeline digest of several followees.
+      Txn.Ops.push_back(ClientOp::read(tableKey(FollowTable, U)));
+      for (size_t F = 0; F < Params.TimelineWidth; ++F) {
+        uint64_t Followee = RandomUser();
+        Txn.Ops.push_back(ClientOp::read(tableKey(TweetTable, Followee)));
+        Txn.Ops.push_back(
+            ClientOp::read(tableKey(TimelineTable, Followee)));
+      }
+    } else if (K < 85) {
+      // Follow: read both profiles, bump the follow list.
+      uint64_t Followee = RandomUser();
+      Txn.Ops.push_back(ClientOp::read(tableKey(ProfileTable, U)));
+      Txn.Ops.push_back(ClientOp::read(tableKey(ProfileTable, Followee)));
+      Txn.Ops.push_back(ClientOp::write(tableKey(FollowTable, U)));
+    } else {
+      // Profile view: read profile, latest tweet, and follow list.
+      Txn.Ops.push_back(ClientOp::read(tableKey(ProfileTable, U)));
+      Txn.Ops.push_back(ClientOp::read(tableKey(TweetTable, U)));
+      Txn.Ops.push_back(ClientOp::read(tableKey(FollowTable, U)));
+    }
+    appendToRandomSession(W, std::move(Txn), Rand);
+  }
+  return W;
+}

@@ -1,0 +1,38 @@
+//===- workload/ctwitter.h - C-Twitter workload -------------------*- C++ -*-===//
+//
+// Part of the AWDIT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A C-Twitter-style workload (after the Cobra framework's benchmark that
+/// models Twitter's real-time data handling): users tweet, follow each
+/// other, and read timelines assembled from the latest tweets of the users
+/// they follow. Shaped to average ~7.6 operations per transaction, matching
+/// the figure the paper reports for its C-Twitter histories.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AWDIT_WORKLOAD_CTWITTER_H
+#define AWDIT_WORKLOAD_CTWITTER_H
+
+#include "workload/spec.h"
+
+namespace awdit {
+
+/// Parameters of the C-Twitter workload.
+struct CTwitterParams {
+  size_t Sessions = 50;
+  size_t TotalTxns = 1000;
+  /// Number of simulated users; defaults to scale with the txn count.
+  size_t NumUsers = 0;
+  /// Followees read per timeline transaction.
+  size_t TimelineWidth = 6;
+};
+
+/// Generates a C-Twitter workload (tweet / follow / timeline / profile mix).
+ClientWorkload generateCTwitter(const CTwitterParams &Params, Rng &Rand);
+
+} // namespace awdit
+
+#endif // AWDIT_WORKLOAD_CTWITTER_H

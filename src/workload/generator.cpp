@@ -1,0 +1,96 @@
+//===- workload/generator.cpp - History generation facade --------------------===//
+
+#include "workload/generator.h"
+
+#include "support/assert.h"
+#include "workload/ctwitter.h"
+#include "workload/random_workload.h"
+#include "workload/rubis.h"
+#include "workload/tpcc.h"
+
+#include <algorithm>
+#include <string>
+
+using namespace awdit;
+
+const char *awdit::benchmarkName(Benchmark B) {
+  switch (B) {
+  case Benchmark::Random:
+    return "random";
+  case Benchmark::CTwitter:
+    return "c-twitter";
+  case Benchmark::Tpcc:
+    return "tpc-c";
+  case Benchmark::Rubis:
+    return "rubis";
+  }
+  awditUnreachable("unknown benchmark");
+}
+
+std::optional<Benchmark> awdit::parseBenchmark(std::string_view Text) {
+  std::string Lower(Text);
+  std::transform(Lower.begin(), Lower.end(), Lower.begin(),
+                 [](unsigned char C) { return std::tolower(C); });
+  if (Lower == "random")
+    return Benchmark::Random;
+  if (Lower == "c-twitter" || Lower == "ctwitter" || Lower == "twitter")
+    return Benchmark::CTwitter;
+  if (Lower == "tpc-c" || Lower == "tpcc")
+    return Benchmark::Tpcc;
+  if (Lower == "rubis")
+    return Benchmark::Rubis;
+  return std::nullopt;
+}
+
+History awdit::generateHistory(const GenerateParams &Params) {
+  Rng Rand(Params.Seed);
+  ClientWorkload W;
+
+  switch (Params.Bench) {
+  case Benchmark::Random: {
+    RandomWorkloadParams P;
+    P.Sessions = Params.Sessions;
+    P.TotalTxns = Params.Txns;
+    if (Params.TxnSize != 0)
+      P.MinOpsPerTxn = P.MaxOpsPerTxn = Params.TxnSize;
+    P.NumKeys = Params.KeySpace != 0
+                    ? Params.KeySpace
+                    : std::max<size_t>(128, Params.Txns / 4);
+    W = generateRandomWorkload(P, Rand);
+    break;
+  }
+  case Benchmark::CTwitter: {
+    CTwitterParams P;
+    P.Sessions = Params.Sessions;
+    P.TotalTxns = Params.Txns;
+    W = generateCTwitter(P, Rand);
+    break;
+  }
+  case Benchmark::Tpcc: {
+    TpccParams P;
+    P.Sessions = Params.Sessions;
+    P.TotalTxns = Params.Txns;
+    // Scale warehouses with load, as TPC-C deployments do.
+    P.Warehouses = std::max<size_t>(2, Params.Txns / 4096);
+    W = generateTpcc(P, Rand);
+    break;
+  }
+  case Benchmark::Rubis: {
+    RubisParams P;
+    P.Sessions = Params.Sessions;
+    P.TotalTxns = Params.Txns;
+    W = generateRubis(P, Rand);
+    break;
+  }
+  }
+
+  SimConfig Config;
+  Config.Mode = Params.Mode;
+  Config.Seed = Rand.next();
+  Config.AbortProbability = Params.AbortProbability;
+  std::string Err;
+  std::optional<History> H = simulateDatabase(W, Config, &Err);
+  if (!H)
+    awditUnreachable(("history generation failed: " + Err).c_str());
+  return std::move(*H);
+}

@@ -1,0 +1,54 @@
+//===- workload/generator.h - History generation facade -----------*- C++ -*-===//
+//
+// Part of the AWDIT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One-call history generation: pick a benchmark and a database consistency
+/// mode, get back a recorded History. This is the programmatic equivalent
+/// of the paper's "run benchmark X against database Y, collect the log"
+/// setup (with the simulator substituting for the databases).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AWDIT_WORKLOAD_GENERATOR_H
+#define AWDIT_WORKLOAD_GENERATOR_H
+
+#include "sim/sim_db.h"
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace awdit {
+
+/// The available benchmark workloads.
+enum class Benchmark : uint8_t { Random, CTwitter, Tpcc, Rubis };
+
+const char *benchmarkName(Benchmark B);
+std::optional<Benchmark> parseBenchmark(std::string_view Text);
+
+/// Parameters of one generated history.
+struct GenerateParams {
+  Benchmark Bench = Benchmark::CTwitter;
+  size_t Sessions = 50;
+  size_t Txns = 1000;
+  ConsistencyMode Mode = ConsistencyMode::Causal;
+  uint64_t Seed = 1;
+  double AbortProbability = 0.0;
+  /// Random benchmark only: exact operations per transaction (0 = default
+  /// 2..8 range). Used by the Fig. 9 transaction-size sweep.
+  size_t TxnSize = 0;
+  /// Random benchmark only: key-space size (0 = scale with Txns).
+  size_t KeySpace = 0;
+};
+
+/// Generates a workload, executes it on the simulator, and returns the
+/// recorded history. Aborts on internal errors (generation is infallible
+/// for valid parameters).
+History generateHistory(const GenerateParams &Params);
+
+} // namespace awdit
+
+#endif // AWDIT_WORKLOAD_GENERATOR_H

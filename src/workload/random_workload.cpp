@@ -1,0 +1,34 @@
+//===- workload/random_workload.cpp - Uniform random workload ---------------===//
+
+#include "workload/random_workload.h"
+
+#include "support/assert.h"
+
+using namespace awdit;
+
+ClientWorkload
+awdit::generateRandomWorkload(const RandomWorkloadParams &Params, Rng &Rand) {
+  AWDIT_ASSERT(Params.MinOpsPerTxn <= Params.MaxOpsPerTxn,
+               "transaction size bounds are inverted");
+  AWDIT_ASSERT(Params.NumKeys > 0, "key space must be non-empty");
+  ClientWorkload W = makeEmptyWorkload(Params.Sessions);
+  constexpr uint64_t RandomTable = 1;
+
+  for (size_t I = 0; I < Params.TotalTxns; ++I) {
+    ClientTxn Txn;
+    size_t NumOps =
+        Rand.nextInRange(Params.MinOpsPerTxn, Params.MaxOpsPerTxn);
+    for (size_t J = 0; J < NumOps; ++J) {
+      size_t KeyIdx = Params.ZipfTheta > 0.0
+                          ? Rand.nextZipf(Params.NumKeys, Params.ZipfTheta)
+                          : Rand.nextBelow(Params.NumKeys);
+      Key K = tableKey(RandomTable, KeyIdx);
+      if (Rand.nextBool(Params.WriteRatio))
+        Txn.Ops.push_back(ClientOp::write(K));
+      else
+        Txn.Ops.push_back(ClientOp::read(K));
+    }
+    appendToRandomSession(W, std::move(Txn), Rand);
+  }
+  return W;
+}

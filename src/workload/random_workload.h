@@ -1,0 +1,41 @@
+//===- workload/random_workload.h - Uniform random workload -------*- C++ -*-===//
+//
+// Part of the AWDIT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fully parameterized random workload: uniform or Zipf-skewed keys,
+/// tunable read/write mix and transaction sizes. This is the stand-in for
+/// the "custom benchmark from the Cobra framework" the paper uses for the
+/// transaction-size scaling experiment (Fig. 9, right).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AWDIT_WORKLOAD_RANDOM_WORKLOAD_H
+#define AWDIT_WORKLOAD_RANDOM_WORKLOAD_H
+
+#include "workload/spec.h"
+
+namespace awdit {
+
+/// Parameters of the random workload.
+struct RandomWorkloadParams {
+  size_t Sessions = 10;
+  size_t TotalTxns = 1000;
+  size_t MinOpsPerTxn = 2;
+  size_t MaxOpsPerTxn = 8;
+  size_t NumKeys = 256;
+  /// Fraction of operations that are writes.
+  double WriteRatio = 0.5;
+  /// Zipf skew for key selection; 0 = uniform.
+  double ZipfTheta = 0.0;
+};
+
+/// Generates a random workload with the given shape.
+ClientWorkload generateRandomWorkload(const RandomWorkloadParams &Params,
+                                      Rng &Rand);
+
+} // namespace awdit
+
+#endif // AWDIT_WORKLOAD_RANDOM_WORKLOAD_H

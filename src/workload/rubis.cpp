@@ -1,0 +1,71 @@
+//===- workload/rubis.cpp - RUBiS-style workload -----------------------------===//
+
+#include "workload/rubis.h"
+
+using namespace awdit;
+
+namespace {
+
+// Key-space tables for the RUBiS schema.
+constexpr uint64_t ItemTable = 30;     ///< item -> description/state
+constexpr uint64_t BidTable = 31;      ///< item -> highest bid
+constexpr uint64_t UserTable = 32;     ///< user -> profile
+constexpr uint64_t RatingTable = 33;   ///< user -> rating
+constexpr uint64_t CategoryTable = 34; ///< category -> item index
+
+constexpr size_t NumCategories = 20;
+
+} // namespace
+
+ClientWorkload awdit::generateRubis(const RubisParams &Params, Rng &Rand) {
+  ClientWorkload W = makeEmptyWorkload(Params.Sessions);
+  size_t Users = Params.NumUsers != 0
+                     ? Params.NumUsers
+                     : std::max<size_t>(64, Params.TotalTxns / 20);
+  size_t Items = Params.NumItems != 0
+                     ? Params.NumItems
+                     : std::max<size_t>(128, Params.TotalTxns / 8);
+
+  for (size_t I = 0; I < Params.TotalTxns; ++I) {
+    ClientTxn Txn;
+    size_t Mix = Rand.nextBelow(100);
+    uint64_t User = Rand.nextZipf(Users, /*Theta=*/0.7);
+    uint64_t Item = Rand.nextZipf(Items, /*Theta=*/0.9);
+    uint64_t Category = Rand.nextBelow(NumCategories);
+
+    if (Mix < 40) {
+      // Browse: category index plus a handful of item pages.
+      Txn.Ops.push_back(ClientOp::read(tableKey(CategoryTable, Category)));
+      size_t Page = Rand.nextInRange(2, 6);
+      for (size_t P = 0; P < Page; ++P) {
+        uint64_t It = Rand.nextZipf(Items, /*Theta=*/0.9);
+        Txn.Ops.push_back(ClientOp::read(tableKey(ItemTable, It)));
+        Txn.Ops.push_back(ClientOp::read(tableKey(BidTable, It)));
+      }
+    } else if (Mix < 65) {
+      // Bid: read the item and current bid, write the new bid.
+      Txn.Ops.push_back(ClientOp::read(tableKey(ItemTable, Item)));
+      Txn.Ops.push_back(ClientOp::read(tableKey(BidTable, Item)));
+      Txn.Ops.push_back(ClientOp::write(tableKey(BidTable, Item)));
+      Txn.Ops.push_back(ClientOp::read(tableKey(UserTable, User)));
+    } else if (Mix < 80) {
+      // Sell: create an item and update the category index.
+      Txn.Ops.push_back(ClientOp::read(tableKey(UserTable, User)));
+      Txn.Ops.push_back(ClientOp::write(tableKey(ItemTable, Item)));
+      Txn.Ops.push_back(ClientOp::read(tableKey(CategoryTable, Category)));
+      Txn.Ops.push_back(ClientOp::write(tableKey(CategoryTable, Category)));
+    } else if (Mix < 92) {
+      // View user: profile, rating, and an item they sell.
+      Txn.Ops.push_back(ClientOp::read(tableKey(UserTable, User)));
+      Txn.Ops.push_back(ClientOp::read(tableKey(RatingTable, User)));
+      Txn.Ops.push_back(ClientOp::read(tableKey(ItemTable, Item)));
+    } else {
+      // Rate a user after a completed auction.
+      Txn.Ops.push_back(ClientOp::read(tableKey(RatingTable, User)));
+      Txn.Ops.push_back(ClientOp::write(tableKey(RatingTable, User)));
+      Txn.Ops.push_back(ClientOp::write(tableKey(UserTable, User)));
+    }
+    appendToRandomSession(W, std::move(Txn), Rand);
+  }
+  return W;
+}

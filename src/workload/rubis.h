@@ -1,0 +1,35 @@
+//===- workload/rubis.h - RUBiS-style workload --------------------*- C++ -*-===//
+//
+// Part of the AWDIT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A RUBiS-style auction-site workload (after the eBay-modelled benchmark
+/// of Amza et al.): users browse items, place bids, list items for sale,
+/// and view user profiles. Browse-heavy like the original's read-dominated
+/// mix.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AWDIT_WORKLOAD_RUBIS_H
+#define AWDIT_WORKLOAD_RUBIS_H
+
+#include "workload/spec.h"
+
+namespace awdit {
+
+/// Parameters of the RUBiS-style workload.
+struct RubisParams {
+  size_t Sessions = 50;
+  size_t TotalTxns = 1000;
+  size_t NumUsers = 0;  ///< 0 = scale with TotalTxns.
+  size_t NumItems = 0;  ///< 0 = scale with TotalTxns.
+};
+
+/// Generates a RUBiS-style workload (browse / bid / sell / profile mix).
+ClientWorkload generateRubis(const RubisParams &Params, Rng &Rand);
+
+} // namespace awdit
+
+#endif // AWDIT_WORKLOAD_RUBIS_H

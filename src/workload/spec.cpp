@@ -1,0 +1,20 @@
+//===- workload/spec.cpp - Workload generation helpers ---------------------===//
+
+#include "workload/spec.h"
+
+#include "support/assert.h"
+
+using namespace awdit;
+
+ClientWorkload awdit::makeEmptyWorkload(size_t Sessions) {
+  AWDIT_ASSERT(Sessions > 0, "a workload needs at least one session");
+  ClientWorkload W;
+  W.Sessions.resize(Sessions);
+  return W;
+}
+
+void awdit::appendToRandomSession(ClientWorkload &W, ClientTxn Txn,
+                                  Rng &Rand) {
+  size_t S = Rand.nextBelow(W.Sessions.size());
+  W.Sessions[S].Txns.push_back(std::move(Txn));
+}

@@ -1,0 +1,36 @@
+//===- workload/spec.h - Workload generation helpers --------------*- C++ -*-===//
+//
+// Part of the AWDIT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared helpers for the benchmark workload generators: session
+/// assignment and key-space encoding. Generators emit ClientWorkloads that
+/// the database simulator executes (see sim/sim_db.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AWDIT_WORKLOAD_SPEC_H
+#define AWDIT_WORKLOAD_SPEC_H
+
+#include "sim/sim_db.h"
+#include "support/rng.h"
+
+namespace awdit {
+
+/// Returns a workload skeleton with \p Sessions empty sessions.
+ClientWorkload makeEmptyWorkload(size_t Sessions);
+
+/// Appends \p Txn to a uniformly random session of \p W.
+void appendToRandomSession(ClientWorkload &W, ClientTxn Txn, Rng &Rand);
+
+/// Encodes a (table, row) pair into the flat key space. Each generator
+/// uses distinct table ids so key spaces never collide.
+constexpr Key tableKey(uint64_t Table, uint64_t Row) {
+  return (Table << 40) | Row;
+}
+
+} // namespace awdit
+
+#endif // AWDIT_WORKLOAD_SPEC_H

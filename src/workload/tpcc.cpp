@@ -1,0 +1,100 @@
+//===- workload/tpcc.cpp - TPC-C-style workload ------------------------------===//
+
+#include "workload/tpcc.h"
+
+using namespace awdit;
+
+namespace {
+
+// Key-space tables for the TPC-C schema.
+constexpr uint64_t WarehouseTable = 20;
+constexpr uint64_t DistrictTable = 21;
+constexpr uint64_t CustomerTable = 22;
+constexpr uint64_t StockTable = 23;
+constexpr uint64_t OrderTable = 24;
+constexpr uint64_t NewOrderTable = 25;
+constexpr uint64_t ItemTable = 26;
+
+} // namespace
+
+ClientWorkload awdit::generateTpcc(const TpccParams &Params, Rng &Rand) {
+  ClientWorkload W = makeEmptyWorkload(Params.Sessions);
+
+  auto District = [&](uint64_t Wh, uint64_t D) {
+    return tableKey(DistrictTable,
+                    Wh * Params.DistrictsPerWarehouse + D);
+  };
+  auto Customer = [&](uint64_t Wh, uint64_t D, uint64_t C) {
+    return tableKey(CustomerTable,
+                    (Wh * Params.DistrictsPerWarehouse + D) *
+                            Params.CustomersPerDistrict +
+                        C);
+  };
+  auto Stock = [&](uint64_t Wh, uint64_t Item) {
+    return tableKey(StockTable, Wh * Params.Items + Item);
+  };
+
+  uint64_t NextOrderId = 0;
+
+  for (size_t I = 0; I < Params.TotalTxns; ++I) {
+    ClientTxn Txn;
+    uint64_t Wh = Rand.nextBelow(Params.Warehouses);
+    uint64_t D = Rand.nextBelow(Params.DistrictsPerWarehouse);
+    uint64_t C = Rand.nextBelow(Params.CustomersPerDistrict);
+    size_t Mix = Rand.nextBelow(100);
+
+    if (Mix < 45) {
+      // New-Order: read warehouse & customer, bump the district order
+      // counter, touch 5-15 items' stock, and create the order rows.
+      Txn.Ops.push_back(ClientOp::read(tableKey(WarehouseTable, Wh)));
+      Txn.Ops.push_back(ClientOp::read(District(Wh, D)));
+      Txn.Ops.push_back(ClientOp::write(District(Wh, D)));
+      Txn.Ops.push_back(ClientOp::read(Customer(Wh, D, C)));
+      size_t Lines = Rand.nextInRange(5, 15);
+      for (size_t L = 0; L < Lines; ++L) {
+        uint64_t Item = Rand.nextZipf(Params.Items, /*Theta=*/0.6);
+        Txn.Ops.push_back(ClientOp::read(tableKey(ItemTable, Item)));
+        Txn.Ops.push_back(ClientOp::read(Stock(Wh, Item)));
+        Txn.Ops.push_back(ClientOp::write(Stock(Wh, Item)));
+      }
+      uint64_t Order = NextOrderId++;
+      Txn.Ops.push_back(ClientOp::write(tableKey(OrderTable, Order)));
+      Txn.Ops.push_back(ClientOp::write(tableKey(NewOrderTable, Order)));
+    } else if (Mix < 88) {
+      // Payment: update warehouse, district, and customer balances.
+      Txn.Ops.push_back(ClientOp::read(tableKey(WarehouseTable, Wh)));
+      Txn.Ops.push_back(ClientOp::write(tableKey(WarehouseTable, Wh)));
+      Txn.Ops.push_back(ClientOp::read(District(Wh, D)));
+      Txn.Ops.push_back(ClientOp::write(District(Wh, D)));
+      Txn.Ops.push_back(ClientOp::read(Customer(Wh, D, C)));
+      Txn.Ops.push_back(ClientOp::write(Customer(Wh, D, C)));
+    } else if (Mix < 92) {
+      // Order-Status: read customer and their latest order.
+      Txn.Ops.push_back(ClientOp::read(Customer(Wh, D, C)));
+      if (NextOrderId > 0) {
+        uint64_t Order = Rand.nextBelow(NextOrderId);
+        Txn.Ops.push_back(ClientOp::read(tableKey(OrderTable, Order)));
+      }
+    } else if (Mix < 96) {
+      // Delivery: consume new-order rows and update customers.
+      if (NextOrderId > 0) {
+        uint64_t Order = Rand.nextBelow(NextOrderId);
+        Txn.Ops.push_back(ClientOp::read(tableKey(NewOrderTable, Order)));
+        Txn.Ops.push_back(ClientOp::write(tableKey(NewOrderTable, Order)));
+        Txn.Ops.push_back(ClientOp::write(tableKey(OrderTable, Order)));
+      }
+      Txn.Ops.push_back(ClientOp::read(Customer(Wh, D, C)));
+      Txn.Ops.push_back(ClientOp::write(Customer(Wh, D, C)));
+    } else {
+      // Stock-Level: read the district cursor and a window of stock rows.
+      Txn.Ops.push_back(ClientOp::read(District(Wh, D)));
+      size_t Window = Rand.nextInRange(4, 10);
+      for (size_t L = 0; L < Window; ++L) {
+        uint64_t Item = Rand.nextZipf(Params.Items, /*Theta=*/0.6);
+        Txn.Ops.push_back(ClientOp::read(Stock(Wh, Item)));
+      }
+    }
+    appendToRandomSession(W, std::move(Txn), Rand);
+  }
+  return W;
+}

@@ -1,0 +1,36 @@
+//===- workload/tpcc.h - TPC-C-style workload ---------------------*- C++ -*-===//
+//
+// Part of the AWDIT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A TPC-C-style OLTP workload over a warehouse/district/customer/stock
+/// schema with the five standard transaction profiles (New-Order, Payment,
+/// Order-Status, Delivery, Stock-Level) in the standard 45/43/4/4/4 mix.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AWDIT_WORKLOAD_TPCC_H
+#define AWDIT_WORKLOAD_TPCC_H
+
+#include "workload/spec.h"
+
+namespace awdit {
+
+/// Parameters of the TPC-C-style workload.
+struct TpccParams {
+  size_t Sessions = 50;
+  size_t TotalTxns = 1000;
+  size_t Warehouses = 4;
+  size_t DistrictsPerWarehouse = 10;
+  size_t CustomersPerDistrict = 100;
+  size_t Items = 1000;
+};
+
+/// Generates a TPC-C-style workload with the standard transaction mix.
+ClientWorkload generateTpcc(const TpccParams &Params, Rng &Rand);
+
+} // namespace awdit
+
+#endif // AWDIT_WORKLOAD_TPCC_H

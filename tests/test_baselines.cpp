@@ -1,0 +1,125 @@
+//===- tests/test_baselines.cpp - Baseline checker behaviour --------------------===//
+
+#include "baseline/dbcop_like.h"
+#include "baseline/naive_checker.h"
+#include "baseline/plume_like.h"
+#include "tests/test_util.h"
+#include "workload/generator.h"
+
+#include <gtest/gtest.h>
+
+using namespace awdit;
+using namespace awdit::test;
+
+namespace {
+
+History bigHistory(ConsistencyMode Mode, uint64_t Seed) {
+  GenerateParams P;
+  P.Bench = Benchmark::CTwitter;
+  P.Mode = Mode;
+  P.Sessions = 10;
+  P.Txns = 2000;
+  P.Seed = Seed;
+  return generateHistory(P);
+}
+
+} // namespace
+
+TEST(Baselines, NamesAndSupport) {
+  NaiveChecker Naive;
+  PlumeLikeChecker Plume;
+  DbcopLikeChecker Dbcop;
+  EXPECT_STREQ(Naive.name(), "Naive");
+  EXPECT_STREQ(Plume.name(), "Plume-like");
+  EXPECT_STREQ(Dbcop.name(), "DBCop-like");
+  for (IsolationLevel Level : AllIsolationLevels) {
+    EXPECT_TRUE(Naive.supports(Level));
+    EXPECT_TRUE(Plume.supports(Level));
+  }
+  EXPECT_TRUE(Dbcop.supports(IsolationLevel::CausalConsistency));
+  EXPECT_FALSE(Dbcop.supports(IsolationLevel::ReadCommitted));
+  EXPECT_FALSE(Dbcop.supports(IsolationLevel::ReadAtomic));
+}
+
+TEST(Baselines, AgreeOnCleanLargeHistory) {
+  History H = bigHistory(ConsistencyMode::Causal, 3);
+  Deadline NoLimit(0.0);
+  NaiveChecker Naive;
+  PlumeLikeChecker Plume;
+  DbcopLikeChecker Dbcop;
+  for (IsolationLevel Level : AllIsolationLevels) {
+    bool Awdit = consistent(H, Level);
+    EXPECT_TRUE(Awdit);
+    EXPECT_TRUE(Plume.check(H, Level, NoLimit).Consistent);
+    EXPECT_TRUE(Naive.check(H, Level, NoLimit).Consistent);
+  }
+  EXPECT_TRUE(
+      Dbcop.check(H, IsolationLevel::CausalConsistency, NoLimit).Consistent);
+}
+
+TEST(Baselines, NaiveTimesOutUnderTightDeadline) {
+  History H = bigHistory(ConsistencyMode::Causal, 4);
+  NaiveChecker Naive;
+  BaselineResult R =
+      Naive.check(H, IsolationLevel::CausalConsistency, Deadline(1e-9));
+  EXPECT_TRUE(R.TimedOut);
+}
+
+TEST(Baselines, DbcopTimesOutUnderTightDeadline) {
+  History H = bigHistory(ConsistencyMode::Causal, 5);
+  DbcopLikeChecker Dbcop;
+  BaselineResult R =
+      Dbcop.check(H, IsolationLevel::CausalConsistency, Deadline(1e-9));
+  EXPECT_TRUE(R.TimedOut);
+}
+
+TEST(Baselines, PlumeDetectsInconsistencyWithoutTimeout) {
+  History H = makeHistory({
+      {0, {W(1, 1)}},
+      {0, {W(1, 2), W(2, 2)}},
+      {1, {R(1, 1), R(2, 2)}},
+  });
+  PlumeLikeChecker Plume;
+  BaselineResult R =
+      Plume.check(H, IsolationLevel::ReadAtomic, Deadline(10.0));
+  EXPECT_FALSE(R.TimedOut);
+  EXPECT_FALSE(R.Consistent);
+}
+
+TEST(Baselines, DbcopRefusesOversizedHistories) {
+  // The memory guard reports DNF instead of attempting a >1 GiB closure.
+  HistoryBuilder B;
+  SessionId S = B.addSession();
+  for (int I = 0; I < 100000; ++I) {
+    TxnId T = B.beginTxn(S);
+    B.write(T, 1, I + 1);
+  }
+  std::optional<History> H = B.build();
+  ASSERT_TRUE(H);
+  DbcopLikeChecker Dbcop;
+  BaselineResult R =
+      Dbcop.check(*H, IsolationLevel::CausalConsistency, Deadline(0.0));
+  EXPECT_TRUE(R.TimedOut);
+}
+
+TEST(Baselines, NaiveOracleMatchesHandVerdicts) {
+  // Sanity anchor for the oracle itself on the paper's Fig. 4 ladder.
+  History Fig4b = makeHistory({
+      {0, {W(1, 1)}},
+      {0, {W(1, 2), W(2, 2)}},
+      {1, {R(1, 1), R(2, 2)}},
+  });
+  EXPECT_TRUE(naiveConsistent(Fig4b, IsolationLevel::ReadCommitted));
+  EXPECT_FALSE(naiveConsistent(Fig4b, IsolationLevel::ReadAtomic));
+  EXPECT_FALSE(naiveConsistent(Fig4b, IsolationLevel::CausalConsistency));
+
+  History Fig4c = makeHistory({
+      {0, {W(1, 1)}},
+      {0, {W(1, 2)}},
+      {1, {R(1, 2), W(2, 3)}},
+      {2, {R(2, 3), R(1, 1)}},
+  });
+  EXPECT_TRUE(naiveConsistent(Fig4c, IsolationLevel::ReadCommitted));
+  EXPECT_TRUE(naiveConsistent(Fig4c, IsolationLevel::ReadAtomic));
+  EXPECT_FALSE(naiveConsistent(Fig4c, IsolationLevel::CausalConsistency));
+}

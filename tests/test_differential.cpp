@@ -1,0 +1,151 @@
+//===- tests/test_differential.cpp - AWDIT vs. oracle differential tests -------===//
+//
+// The central correctness battery: on randomized histories of many shapes
+// (benchmarks x consistency modes x seeds, plus injected anomalies), the
+// AWDIT algorithms must agree with the exhaustive-inference oracle
+// (Lemma 3.2 ground truth) at every isolation level, and the baselines
+// must agree with AWDIT.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baseline/dbcop_like.h"
+#include "baseline/naive_checker.h"
+#include "baseline/plume_like.h"
+#include "sim/anomaly_injector.h"
+#include "tests/test_util.h"
+#include "workload/generator.h"
+
+#include <gtest/gtest.h>
+
+using namespace awdit;
+using namespace awdit::test;
+
+namespace {
+
+void expectAllCheckersAgree(const History &H, const char *Context) {
+  PlumeLikeChecker Plume;
+  DbcopLikeChecker Dbcop;
+  Deadline NoLimit(0.0);
+  for (IsolationLevel Level : AllIsolationLevels) {
+    bool Awdit = consistent(H, Level);
+    bool Oracle = naiveConsistent(H, Level);
+    EXPECT_EQ(Awdit, Oracle)
+        << Context << ": AWDIT vs oracle at " << isolationLevelName(Level);
+    BaselineResult P = Plume.check(H, Level, NoLimit);
+    ASSERT_FALSE(P.TimedOut);
+    EXPECT_EQ(Awdit, P.Consistent)
+        << Context << ": AWDIT vs Plume-like at "
+        << isolationLevelName(Level);
+    if (Dbcop.supports(Level)) {
+      BaselineResult D = Dbcop.check(H, Level, NoLimit);
+      ASSERT_FALSE(D.TimedOut);
+      EXPECT_EQ(Awdit, D.Consistent)
+          << Context << ": AWDIT vs DBCop-like at "
+          << isolationLevelName(Level);
+    }
+  }
+}
+
+} // namespace
+
+/// Sweep over benchmark x mode x seed on simulator-generated histories.
+class DifferentialClean
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(DifferentialClean, CheckersAgree) {
+  auto [BenchIdx, ModeIdx, Seed] = GetParam();
+  GenerateParams P;
+  P.Bench = static_cast<Benchmark>(BenchIdx);
+  P.Mode = static_cast<ConsistencyMode>(ModeIdx);
+  P.Sessions = 6;
+  P.Txns = 160;
+  P.Seed = static_cast<uint64_t>(Seed * 7919 + ModeIdx);
+  P.AbortProbability = Seed % 2 == 0 ? 0.0 : 0.05;
+  History H = generateHistory(P);
+  expectAllCheckersAgree(H, benchmarkName(P.Bench));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DifferentialClean,
+    ::testing::Combine(::testing::Range(0, 4),   // benchmarks
+                       ::testing::Range(0, 4),   // consistency modes
+                       ::testing::Range(1, 5))); // seeds
+
+/// Sweep over anomaly kind x seed on injected histories.
+class DifferentialInjected
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(DifferentialInjected, CheckersAgree) {
+  auto [KindIdx, Seed] = GetParam();
+  GenerateParams P;
+  P.Bench = Benchmark::Rubis;
+  P.Mode = ConsistencyMode::Serializable;
+  P.Sessions = 5;
+  P.Txns = 120;
+  P.Seed = static_cast<uint64_t>(Seed);
+  History Base = generateHistory(P);
+  std::string Err;
+  std::optional<History> H = injectAnomaly(
+      Base, static_cast<AnomalyKind>(KindIdx), Seed * 13 + 1, &Err);
+  ASSERT_TRUE(H) << Err;
+  expectAllCheckersAgree(*H, anomalyKindName(static_cast<AnomalyKind>(
+                                 KindIdx)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DifferentialInjected,
+                         ::testing::Combine(::testing::Range(0, 7),
+                                            ::testing::Range(1, 4)));
+
+/// Small fully random histories with mutated reads: the sharpest
+/// differential probe (wr edges can point anywhere, including anomalies
+/// the simulator never produces).
+TEST(DifferentialFuzz, RandomMutatedHistories) {
+  Rng Rand(4242);
+  for (int Trial = 0; Trial < 150; ++Trial) {
+    HistoryBuilder B;
+    size_t NumSessions = 1 + Rand.nextBelow(4);
+    for (size_t S = 0; S < NumSessions; ++S)
+      B.addSession();
+    size_t NumTxns = 2 + Rand.nextBelow(10);
+    Value NextVal = 1;
+    std::vector<std::pair<Key, Value>> Written;
+    for (size_t T = 0; T < NumTxns; ++T) {
+      TxnId Id = B.beginTxn(
+          static_cast<SessionId>(Rand.nextBelow(NumSessions)));
+      size_t NumOps = 1 + Rand.nextBelow(5);
+      for (size_t O = 0; O < NumOps; ++O) {
+        Key K = 1 + Rand.nextBelow(5);
+        if (Rand.nextBool(0.55) || Written.empty()) {
+          B.write(Id, K, NextVal);
+          Written.push_back({K, NextVal});
+          ++NextVal;
+        } else {
+          // Read any written (key, value) pair — possibly a "future" one,
+          // possibly fractured, possibly from an aborted transaction.
+          auto [WK, WV] = Written[Rand.nextBelow(Written.size())];
+          B.read(Id, WK, WV);
+        }
+      }
+      if (Rand.nextBool(0.08))
+        B.abortTxn(Id);
+    }
+    std::optional<History> H = B.build();
+    ASSERT_TRUE(H);
+    for (IsolationLevel Level : AllIsolationLevels) {
+      EXPECT_EQ(consistent(*H, Level), naiveConsistent(*H, Level))
+          << "trial " << Trial << " level " << isolationLevelName(Level);
+    }
+  }
+}
+
+/// Reads of values that are never written (thin air) must fail everywhere,
+/// for every checker.
+TEST(DifferentialFuzz, ThinAirAlwaysInconsistent) {
+  History H = makeHistory({
+      {0, {W(1, 10)}},
+      {1, {R(1, 10), R(2, 999)}},
+  });
+  expectAllCheckersAgree(H, "thin air");
+  for (IsolationLevel Level : AllIsolationLevels)
+    EXPECT_FALSE(consistent(H, Level));
+}

@@ -1,0 +1,96 @@
+//===- tests/test_hierarchy.cpp - Isolation level strength order ---------------===//
+//
+// CC ⊑ RA ⊑ RC (paper §2.2): any history satisfying a stronger level
+// satisfies the weaker ones. Verified on the strength predicate itself and
+// as a property over randomized histories.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tests/test_util.h"
+#include "workload/generator.h"
+
+#include <gtest/gtest.h>
+
+using namespace awdit;
+using namespace awdit::test;
+
+TEST(IsolationLevels, Names) {
+  EXPECT_STREQ(isolationLevelName(IsolationLevel::ReadCommitted), "RC");
+  EXPECT_STREQ(isolationLevelName(IsolationLevel::ReadAtomic), "RA");
+  EXPECT_STREQ(isolationLevelName(IsolationLevel::CausalConsistency), "CC");
+}
+
+TEST(IsolationLevels, Parse) {
+  EXPECT_EQ(parseIsolationLevel("rc"), IsolationLevel::ReadCommitted);
+  EXPECT_EQ(parseIsolationLevel("RA"), IsolationLevel::ReadAtomic);
+  EXPECT_EQ(parseIsolationLevel("Causal"),
+            IsolationLevel::CausalConsistency);
+  EXPECT_EQ(parseIsolationLevel("read-committed"),
+            IsolationLevel::ReadCommitted);
+  EXPECT_FALSE(parseIsolationLevel("serializable").has_value());
+}
+
+TEST(IsolationLevels, StrengthOrder) {
+  using enum IsolationLevel;
+  EXPECT_TRUE(isAtLeastAsStrongAs(CausalConsistency, ReadAtomic));
+  EXPECT_TRUE(isAtLeastAsStrongAs(CausalConsistency, ReadCommitted));
+  EXPECT_TRUE(isAtLeastAsStrongAs(ReadAtomic, ReadCommitted));
+  EXPECT_TRUE(isAtLeastAsStrongAs(ReadAtomic, ReadAtomic));
+  EXPECT_FALSE(isAtLeastAsStrongAs(ReadCommitted, ReadAtomic));
+  EXPECT_FALSE(isAtLeastAsStrongAs(ReadAtomic, CausalConsistency));
+  EXPECT_FALSE(isAtLeastAsStrongAs(ReadCommitted, CausalConsistency));
+}
+
+/// Property: verdicts are monotone along the hierarchy.
+class HierarchyProperty
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(HierarchyProperty, VerdictsMonotone) {
+  auto [BenchIdx, ModeIdx, Seed] = GetParam();
+  GenerateParams P;
+  P.Bench = static_cast<Benchmark>(BenchIdx);
+  P.Mode = static_cast<ConsistencyMode>(ModeIdx);
+  P.Sessions = 8;
+  P.Txns = 220;
+  P.Seed = static_cast<uint64_t>(Seed * 101 + BenchIdx);
+  History H = generateHistory(P);
+
+  bool Cc = consistent(H, IsolationLevel::CausalConsistency);
+  bool Ra = consistent(H, IsolationLevel::ReadAtomic);
+  bool Rc = consistent(H, IsolationLevel::ReadCommitted);
+  if (Cc) {
+    EXPECT_TRUE(Ra) << "CC-consistent history must be RA-consistent";
+  }
+  if (Ra) {
+    EXPECT_TRUE(Rc) << "RA-consistent history must be RC-consistent";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, HierarchyProperty,
+    ::testing::Combine(::testing::Range(0, 4),   // benchmarks
+                       ::testing::Range(0, 4),   // modes
+                       ::testing::Range(1, 6))); // seeds
+
+/// The strict parts of the hierarchy: witnesses that each inclusion is
+/// proper (histories at exactly one boundary).
+TEST(HierarchyProperty, StrictSeparations) {
+  // RC but not RA (Fig. 4b).
+  History RcOnly = makeHistory({
+      {0, {W(1, 1)}},
+      {0, {W(1, 2), W(2, 2)}},
+      {1, {R(1, 1), R(2, 2)}},
+  });
+  EXPECT_TRUE(consistent(RcOnly, IsolationLevel::ReadCommitted));
+  EXPECT_FALSE(consistent(RcOnly, IsolationLevel::ReadAtomic));
+
+  // RA but not CC (Fig. 4c).
+  History RaOnly = makeHistory({
+      {0, {W(1, 1)}},
+      {0, {W(1, 2)}},
+      {1, {R(1, 2), W(2, 3)}},
+      {2, {R(2, 3), R(1, 1)}},
+  });
+  EXPECT_TRUE(consistent(RaOnly, IsolationLevel::ReadAtomic));
+  EXPECT_FALSE(consistent(RaOnly, IsolationLevel::CausalConsistency));
+}

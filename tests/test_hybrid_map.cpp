@@ -1,0 +1,125 @@
+//===- tests/test_hybrid_map.cpp - Hybrid container tests -----------------------===//
+
+#include "support/hybrid_map.h"
+#include "support/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+using namespace awdit;
+
+TEST(HybridMap, BasicOperations) {
+  HybridMap<uint64_t, int> M;
+  EXPECT_EQ(M.size(), 0u);
+  EXPECT_EQ(M.find(1), nullptr);
+  M.getOrInsert(1) = 10;
+  M.getOrInsert(2) = 20;
+  ASSERT_NE(M.find(1), nullptr);
+  EXPECT_EQ(*M.find(1), 10);
+  EXPECT_EQ(*M.find(2), 20);
+  EXPECT_EQ(M.size(), 2u);
+  M.getOrInsert(1) = 11; // Overwrite through the same slot.
+  EXPECT_EQ(*M.find(1), 11);
+  EXPECT_EQ(M.size(), 2u);
+  M.clear();
+  EXPECT_EQ(M.size(), 0u);
+  EXPECT_EQ(M.find(1), nullptr);
+}
+
+TEST(HybridMap, SpillsPastThreshold) {
+  HybridMap<uint64_t, uint64_t, /*Threshold=*/8> M;
+  for (uint64_t I = 0; I < 100; ++I)
+    M.getOrInsert(I) = I * 3;
+  EXPECT_EQ(M.size(), 100u);
+  for (uint64_t I = 0; I < 100; ++I) {
+    ASSERT_NE(M.find(I), nullptr);
+    EXPECT_EQ(*M.find(I), I * 3);
+  }
+  M.clear();
+  EXPECT_EQ(M.size(), 0u);
+  // Reusable after a spill + clear.
+  M.getOrInsert(7) = 7;
+  EXPECT_EQ(*M.find(7), 7u);
+}
+
+TEST(HybridMap, DifferentialAgainstStdMap) {
+  Rng Rand(321);
+  HybridMap<uint64_t, uint64_t, 16> M;
+  std::map<uint64_t, uint64_t> Ref;
+  for (int Op = 0; Op < 3000; ++Op) {
+    uint64_t K = Rand.nextBelow(64);
+    switch (Rand.nextBelow(3)) {
+    case 0: {
+      uint64_t V = Rand.next();
+      M.getOrInsert(K) = V;
+      Ref[K] = V;
+      break;
+    }
+    case 1: {
+      uint64_t *Found = M.find(K);
+      auto It = Ref.find(K);
+      if (It == Ref.end()) {
+        EXPECT_EQ(Found, nullptr);
+      } else {
+        ASSERT_NE(Found, nullptr);
+        EXPECT_EQ(*Found, It->second);
+      }
+      break;
+    }
+    default:
+      if (Rand.nextBool(0.02)) {
+        M.clear();
+        Ref.clear();
+      }
+      break;
+    }
+    EXPECT_EQ(M.size(), Ref.size());
+  }
+}
+
+TEST(HybridSet, BasicOperations) {
+  HybridSet<uint64_t> S;
+  EXPECT_FALSE(S.contains(4));
+  EXPECT_TRUE(S.insert(4));
+  EXPECT_FALSE(S.insert(4));
+  EXPECT_TRUE(S.contains(4));
+  EXPECT_EQ(S.size(), 1u);
+  S.clear();
+  EXPECT_FALSE(S.contains(4));
+}
+
+TEST(HybridSet, SpillAndIterate) {
+  HybridSet<uint64_t, /*Threshold=*/4> S;
+  std::set<uint64_t> Ref;
+  for (uint64_t I = 0; I < 40; I += 2) {
+    S.insert(I);
+    Ref.insert(I);
+  }
+  EXPECT_EQ(S.size(), Ref.size());
+  std::set<uint64_t> Seen;
+  S.forEach([&](uint64_t K) { Seen.insert(K); });
+  EXPECT_EQ(Seen, Ref);
+  for (uint64_t I = 0; I < 40; ++I)
+    EXPECT_EQ(S.contains(I), Ref.count(I) != 0);
+}
+
+TEST(HybridSet, DifferentialAgainstStdSet) {
+  Rng Rand(654);
+  HybridSet<uint64_t, 12> S;
+  std::set<uint64_t> Ref;
+  for (int Op = 0; Op < 3000; ++Op) {
+    uint64_t K = Rand.nextBelow(48);
+    if (Rand.nextBool(0.6)) {
+      EXPECT_EQ(S.insert(K), Ref.insert(K).second);
+    } else {
+      EXPECT_EQ(S.contains(K), Ref.count(K) != 0);
+    }
+    if (Rand.nextBool(0.01)) {
+      S.clear();
+      Ref.clear();
+    }
+    EXPECT_EQ(S.size(), Ref.size());
+  }
+}

@@ -1,0 +1,144 @@
+//===- tests/test_injector.cpp - Anomaly injector tests -------------------------===//
+
+#include "sim/anomaly_injector.h"
+#include "tests/test_util.h"
+#include "workload/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace awdit;
+using namespace awdit::test;
+
+namespace {
+
+History cleanBase(uint64_t Seed) {
+  GenerateParams P;
+  P.Bench = Benchmark::Tpcc;
+  P.Mode = ConsistencyMode::Serializable;
+  P.Sessions = 6;
+  P.Txns = 200;
+  P.Seed = Seed;
+  return generateHistory(P);
+}
+
+constexpr AnomalyKind AllKinds[] = {
+    AnomalyKind::ThinAirRead,      AnomalyKind::AbortedRead,
+    AnomalyKind::FutureRead,       AnomalyKind::FracturedRead,
+    AnomalyKind::NonMonotonicRead, AnomalyKind::CausalViolation,
+    AnomalyKind::CausalityCycle,
+};
+
+} // namespace
+
+/// Injected anomalies must violate exactly the promised levels (given a
+/// base history consistent at all levels).
+class InjectorContract
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(InjectorContract, ViolatesPromisedLevels) {
+  auto [KindIdx, Seed] = GetParam();
+  AnomalyKind Kind = AllKinds[KindIdx];
+  History Base = cleanBase(Seed);
+  for (IsolationLevel Level : AllIsolationLevels)
+    ASSERT_TRUE(consistent(Base, Level)) << "base must be clean";
+
+  std::string Err;
+  std::optional<History> H = injectAnomaly(Base, Kind, Seed * 31, &Err);
+  ASSERT_TRUE(H) << Err;
+
+  for (IsolationLevel Level : AllIsolationLevels) {
+    bool MustViolate = anomalyViolates(Kind, Level);
+    bool Consistent = consistent(*H, Level);
+    if (MustViolate)
+      EXPECT_FALSE(Consistent)
+          << anomalyKindName(Kind) << " must violate "
+          << isolationLevelName(Level);
+    else
+      EXPECT_TRUE(Consistent)
+          << anomalyKindName(Kind) << " must keep "
+          << isolationLevelName(Level) << " intact on a clean base";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, InjectorContract,
+                         ::testing::Combine(::testing::Range(0, 7),
+                                            ::testing::Range(1, 5)));
+
+TEST(Injector, ReportedViolationKindMatchesReadLevelAnomalies) {
+  History Base = cleanBase(1);
+  struct {
+    AnomalyKind Kind;
+    ViolationKind Expected;
+  } Cases[] = {
+      {AnomalyKind::ThinAirRead, ViolationKind::ThinAirRead},
+      {AnomalyKind::AbortedRead, ViolationKind::AbortedRead},
+      {AnomalyKind::FutureRead, ViolationKind::FutureRead},
+  };
+  for (const auto &C : Cases) {
+    std::optional<History> H = injectAnomaly(Base, C.Kind, 7);
+    ASSERT_TRUE(H);
+    CheckReport Report =
+        checkIsolation(*H, IsolationLevel::CausalConsistency);
+    EXPECT_FALSE(Report.Consistent);
+    EXPECT_TRUE(hasViolation(Report, C.Expected))
+        << anomalyKindName(C.Kind);
+  }
+}
+
+TEST(Injector, CausalityCycleReportedAsSuch) {
+  History Base = cleanBase(2);
+  std::optional<History> H =
+      injectAnomaly(Base, AnomalyKind::CausalityCycle, 3);
+  ASSERT_TRUE(H);
+  CheckReport Report = checkIsolation(*H, IsolationLevel::ReadCommitted);
+  EXPECT_FALSE(Report.Consistent);
+  EXPECT_TRUE(hasViolation(Report, ViolationKind::CausalityCycle));
+}
+
+TEST(Injector, DeterministicForSeed) {
+  History Base = cleanBase(4);
+  std::optional<History> A =
+      injectAnomaly(Base, AnomalyKind::FracturedRead, 5);
+  std::optional<History> B =
+      injectAnomaly(Base, AnomalyKind::FracturedRead, 5);
+  ASSERT_TRUE(A && B);
+  ASSERT_EQ(A->numTxns(), B->numTxns());
+  for (TxnId Id = 0; Id < A->numTxns(); ++Id)
+    EXPECT_TRUE(A->txn(Id).Ops == B->txn(Id).Ops);
+}
+
+TEST(Injector, FailsGracefullyWithoutSites) {
+  // A write-only history offers no read to corrupt.
+  History H = makeHistory({
+      {0, {W(1, 10)}},
+  });
+  std::string Err;
+  EXPECT_FALSE(injectAnomaly(H, AnomalyKind::ThinAirRead, 1, &Err));
+  EXPECT_FALSE(Err.empty());
+  EXPECT_FALSE(injectAnomaly(H, AnomalyKind::AbortedRead, 1, &Err));
+}
+
+TEST(Injector, GadgetsWorkOnTinyBases) {
+  // Appended gadgets need no sites; they must work even on an empty-ish
+  // base with fewer sessions than the gadget wants.
+  History H = makeHistory({
+      {0, {W(1, 10)}},
+  });
+  for (AnomalyKind Kind :
+       {AnomalyKind::FracturedRead, AnomalyKind::NonMonotonicRead,
+        AnomalyKind::CausalViolation, AnomalyKind::CausalityCycle}) {
+    std::optional<History> Mutated = injectAnomaly(H, Kind, 11);
+    ASSERT_TRUE(Mutated) << anomalyKindName(Kind);
+    EXPECT_FALSE(
+        consistent(*Mutated, IsolationLevel::CausalConsistency));
+  }
+}
+
+TEST(Injector, NamesAreDistinct) {
+  std::set<std::string> Names;
+  for (AnomalyKind Kind : AllKinds)
+    Names.insert(anomalyKindName(Kind));
+  EXPECT_EQ(Names.size(), std::size(AllKinds));
+}

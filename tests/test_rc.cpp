@@ -1,0 +1,178 @@
+//===- tests/test_rc.cpp - Algorithm 1 (Read Committed) tests -----------------===//
+
+#include "checker/check_rc.h"
+#include "tests/test_util.h"
+
+#include <gtest/gtest.h>
+
+using namespace awdit;
+using namespace awdit::test;
+
+namespace {
+constexpr Key X = 1, Y = 2, Z = 3;
+
+bool rcConsistent(const History &H, SaturationStats *Stats = nullptr) {
+  std::vector<Violation> Out;
+  return checkRc(H, Out, /*MaxWitnesses=*/4, Stats);
+}
+} // namespace
+
+TEST(CheckRc, EmptyHistoryConsistent) {
+  History H = makeHistory({});
+  EXPECT_TRUE(rcConsistent(H));
+}
+
+TEST(CheckRc, WriteOnlyHistoryConsistent) {
+  History H = makeHistory({
+      {0, {W(X, 1), W(Y, 1)}},
+      {1, {W(X, 2)}},
+  });
+  EXPECT_TRUE(rcConsistent(H));
+}
+
+TEST(CheckRc, MonotonicReadsConsistent) {
+  History H = makeHistory({
+      {0, {W(X, 1)}},
+      {0, {W(X, 2)}},
+      {1, {R(X, 1), R(X, 2)}},
+  });
+  EXPECT_TRUE(rcConsistent(H));
+}
+
+TEST(CheckRc, NonMonotonicReadsAgainstSoInconsistent) {
+  History H = makeHistory({
+      {0, {W(X, 1)}},
+      {0, {W(X, 2)}},
+      {1, {R(X, 2), R(X, 1)}},
+  });
+  EXPECT_FALSE(rcConsistent(H));
+}
+
+TEST(CheckRc, TwoSlotStackScenario) {
+  // The regression the paper motivates the two-element stack with
+  // (§3.1): r and r_x read from the same transaction t2, and a later
+  // r'_x reads x from an so-earlier t1 — the t2 -> t1 inference must not
+  // be lost by only remembering the most recent x-writer.
+  History H = makeHistory({
+      {0, {W(X, 10)}},               // t1
+      {0, {W(X, 20), W(Y, 30)}},     // t2
+      {1, {R(Y, 30), R(X, 20), R(X, 10)}},
+  });
+  EXPECT_FALSE(rcConsistent(H));
+}
+
+TEST(CheckRc, TwoSlotStackMonotoneVariantConsistent) {
+  // Same shape but with monotone read order: must pass.
+  History H = makeHistory({
+      {0, {W(X, 10)}},
+      {0, {W(X, 20), W(Y, 30)}},
+      {1, {R(X, 10), R(X, 20), R(Y, 30)}},
+  });
+  EXPECT_TRUE(rcConsistent(H));
+}
+
+TEST(CheckRc, InferenceAcrossDistinctKeys) {
+  // t3 observes t2 (via y) before reading x from t1, and t2 writes x:
+  // forces t2 co-> t1 which contradicts t1 -so-> t2.
+  History H = makeHistory({
+      {0, {W(X, 1)}},
+      {0, {W(X, 2), W(Y, 1)}},
+      {1, {R(Y, 1), R(X, 1)}},
+  });
+  EXPECT_FALSE(rcConsistent(H));
+}
+
+TEST(CheckRc, ObservingOlderTxnFirstIsFine) {
+  // Fig. 4b: reading t1's x before observing t2 is RC-consistent.
+  History H = makeHistory({
+      {0, {W(X, 1)}},
+      {0, {W(X, 2), W(Y, 1)}},
+      {1, {R(X, 1), R(Y, 1)}},
+  });
+  EXPECT_TRUE(rcConsistent(H));
+}
+
+TEST(CheckRc, FailsOnReadConsistencyViolation) {
+  History H = makeHistory({
+      {0, {R(X, 42)}},
+  });
+  std::vector<Violation> Out;
+  EXPECT_FALSE(checkRc(H, Out));
+  ASSERT_EQ(Out.size(), 1u);
+  EXPECT_EQ(Out[0].Kind, ViolationKind::ThinAirRead);
+}
+
+TEST(CheckRc, CausalityCycleClassified) {
+  // Two transactions reading from each other: a so ∪ wr cycle.
+  History H = makeHistory({
+      {0, {W(X, 1), R(Y, 1)}},
+      {1, {W(Y, 1), R(X, 1)}},
+  });
+  std::vector<Violation> Out;
+  EXPECT_FALSE(checkRc(H, Out));
+  ASSERT_FALSE(Out.empty());
+  EXPECT_EQ(Out[0].Kind, ViolationKind::CausalityCycle);
+}
+
+TEST(CheckRc, WitnessCycleEdgesAreClosed) {
+  History H = makeHistory({
+      {0, {W(X, 1)}},
+      {0, {W(X, 2)}},
+      {1, {R(X, 2), R(X, 1)}},
+  });
+  std::vector<Violation> Out;
+  EXPECT_FALSE(checkRc(H, Out));
+  ASSERT_FALSE(Out.empty());
+  const std::vector<WitnessEdge> &Cycle = Out[0].Cycle;
+  ASSERT_GE(Cycle.size(), 2u);
+  EXPECT_EQ(Cycle.back().To, Cycle.front().From);
+  for (size_t I = 0; I + 1 < Cycle.size(); ++I)
+    EXPECT_EQ(Cycle[I].To, Cycle[I + 1].From);
+}
+
+TEST(CheckRc, StatsReportInferredEdges) {
+  History H = makeHistory({
+      {0, {W(X, 1)}},
+      {1, {W(X, 2)}},
+      {2, {R(X, 1), R(X, 2)}},
+  });
+  SaturationStats Stats;
+  EXPECT_TRUE(rcConsistent(H, &Stats));
+  // One inference: t1 (first read) co-> t2 (second read of x).
+  EXPECT_EQ(Stats.InferredEdges, 1u);
+  EXPECT_GT(Stats.GraphEdges, 0u);
+}
+
+TEST(CheckRc, AbortedTxnWritesInvisibleToInference) {
+  // The aborted transaction's write to x must not create co' constraints.
+  History H = makeHistory({
+      {0, {W(X, 1)}},
+      {0, {W(X, 99), W(Y, 99)}, /*Abort=*/true},
+      {0, {W(Y, 1)}},
+      {1, {R(Y, 1), R(X, 1)}},
+  });
+  EXPECT_TRUE(rcConsistent(H));
+}
+
+TEST(CheckRc, LongerInferredCycleAcrossSessions) {
+  // Fig. 1a-like shape with three writers and a reader chain.
+  History H = makeHistory({
+      {0, {W(X, 1), W(Y, 1)}},
+      {1, {W(X, 2)}},
+      {2, {W(X, 3)}},
+      {2, {W(Z, 1), W(Y, 2)}},
+      {3, {R(X, 1), R(X, 2), R(X, 3)}},
+      {3, {R(Z, 1), R(Y, 1)}},
+  });
+  EXPECT_FALSE(rcConsistent(H));
+}
+
+TEST(CheckRc, RepeatedReadsFromSameTxnDoNotSelfInfer) {
+  History H = makeHistory({
+      {0, {W(X, 1), W(Y, 1)}},
+      {1, {R(X, 1), R(Y, 1), R(X, 1)}},
+  });
+  SaturationStats Stats;
+  EXPECT_TRUE(rcConsistent(H, &Stats));
+  EXPECT_EQ(Stats.InferredEdges, 0u);
+}

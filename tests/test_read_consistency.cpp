@@ -1,0 +1,164 @@
+//===- tests/test_read_consistency.cpp - Algorithm 4 tests --------------------===//
+//
+// The five Read Consistency axioms of Fig. 2, each with violating and
+// conforming histories.
+//
+//===----------------------------------------------------------------------===//
+
+#include "checker/read_consistency.h"
+#include "tests/test_util.h"
+
+#include <gtest/gtest.h>
+
+using namespace awdit;
+using namespace awdit::test;
+
+namespace {
+
+std::vector<Violation> check(const History &H) {
+  std::vector<Violation> Out;
+  checkReadConsistency(H, Out);
+  return Out;
+}
+
+bool has(const std::vector<Violation> &Vs, ViolationKind Kind) {
+  for (const Violation &V : Vs)
+    if (V.Kind == Kind)
+      return true;
+  return false;
+}
+
+} // namespace
+
+TEST(ReadConsistency, CleanHistoryPasses) {
+  History H = makeHistory({
+      {0, {W(1, 10), W(2, 20)}},
+      {1, {R(1, 10), R(2, 20)}},
+  });
+  EXPECT_TRUE(check(H).empty());
+}
+
+TEST(ReadConsistency, ThinAirRead) {
+  History H = makeHistory({
+      {0, {R(1, 99)}},
+  });
+  std::vector<Violation> Vs = check(H);
+  ASSERT_EQ(Vs.size(), 1u);
+  EXPECT_EQ(Vs[0].Kind, ViolationKind::ThinAirRead);
+  EXPECT_EQ(Vs[0].T, 0u);
+}
+
+TEST(ReadConsistency, AbortedRead) {
+  History H = makeHistory({
+      {0, {W(1, 10)}, /*Abort=*/true},
+      {1, {R(1, 10)}},
+  });
+  std::vector<Violation> Vs = check(H);
+  ASSERT_EQ(Vs.size(), 1u);
+  EXPECT_EQ(Vs[0].Kind, ViolationKind::AbortedRead);
+  EXPECT_EQ(Vs[0].Other, 0u);
+}
+
+TEST(ReadConsistency, ReadsInsideAbortedTxnIgnored) {
+  // Axioms quantify over committed reads only.
+  History H = makeHistory({
+      {0, {R(1, 99)}, /*Abort=*/true},
+  });
+  EXPECT_TRUE(check(H).empty());
+}
+
+TEST(ReadConsistency, FutureRead) {
+  History H = makeHistory({
+      {0, {R(1, 10), W(1, 10)}},
+  });
+  std::vector<Violation> Vs = check(H);
+  ASSERT_EQ(Vs.size(), 1u);
+  EXPECT_EQ(Vs[0].Kind, ViolationKind::FutureRead);
+}
+
+TEST(ReadConsistency, ObserveOwnWritesViolation) {
+  // Fig. 2d: t writes x, then reads x from another transaction.
+  History H = makeHistory({
+      {0, {W(1, 10)}},
+      {1, {W(1, 20), R(1, 10)}},
+  });
+  std::vector<Violation> Vs = check(H);
+  ASSERT_EQ(Vs.size(), 1u);
+  EXPECT_EQ(Vs[0].Kind, ViolationKind::NotOwnWrite);
+}
+
+TEST(ReadConsistency, ReadBeforeOwnWriteIsExternalAndFine) {
+  // Reading x externally *before* writing x is allowed.
+  History H = makeHistory({
+      {0, {W(1, 10)}},
+      {1, {R(1, 10), W(1, 20)}},
+  });
+  EXPECT_TRUE(check(H).empty());
+}
+
+TEST(ReadConsistency, StaleOwnWrite) {
+  // Fig. 2e within one transaction: the read observes an own write that
+  // has been overwritten.
+  History H = makeHistory({
+      {0, {W(1, 10), W(1, 20), R(1, 10)}},
+  });
+  std::vector<Violation> Vs = check(H);
+  ASSERT_EQ(Vs.size(), 1u);
+  EXPECT_EQ(Vs[0].Kind, ViolationKind::NotLatestWriteSameTxn);
+}
+
+TEST(ReadConsistency, LatestOwnWritePasses) {
+  History H = makeHistory({
+      {0, {W(1, 10), W(1, 20), R(1, 20)}},
+  });
+  EXPECT_TRUE(check(H).empty());
+}
+
+TEST(ReadConsistency, NonFinalWriteOfOtherTxn) {
+  // Fig. 2e across transactions: only a transaction's final write per key
+  // is observable.
+  History H = makeHistory({
+      {0, {W(1, 10), W(1, 20)}},
+      {1, {R(1, 10)}},
+  });
+  std::vector<Violation> Vs = check(H);
+  ASSERT_EQ(Vs.size(), 1u);
+  EXPECT_EQ(Vs[0].Kind, ViolationKind::NotLatestWriteOtherTxn);
+}
+
+TEST(ReadConsistency, FinalWriteOfOtherTxnPasses) {
+  History H = makeHistory({
+      {0, {W(1, 10), W(1, 20)}},
+      {1, {R(1, 20)}},
+  });
+  EXPECT_TRUE(check(H).empty());
+}
+
+TEST(ReadConsistency, ReportsAllFailingReadsIndependently) {
+  // §3.4: every failing read is reported, not just the first.
+  History H = makeHistory({
+      {0, {R(1, 91), R(2, 92), R(3, 93)}},
+  });
+  EXPECT_EQ(check(H).size(), 3u);
+}
+
+TEST(ReadConsistency, MixedViolationsClassified) {
+  History H = makeHistory({
+      {0, {W(1, 10)}, /*Abort=*/true},
+      {1, {R(1, 10), R(2, 99), W(3, 30), R(3, 30)}},
+      {2, {W(4, 40), W(4, 41)}},
+      {3, {R(4, 40)}},
+  });
+  std::vector<Violation> Vs = check(H);
+  EXPECT_TRUE(has(Vs, ViolationKind::AbortedRead));
+  EXPECT_TRUE(has(Vs, ViolationKind::ThinAirRead));
+  EXPECT_TRUE(has(Vs, ViolationKind::NotLatestWriteOtherTxn));
+  EXPECT_EQ(Vs.size(), 3u);
+}
+
+TEST(ReadConsistency, RereadOfOwnLatestAfterInterleavedKeyPasses) {
+  History H = makeHistory({
+      {0, {W(1, 10), W(2, 20), R(1, 10), W(1, 11), R(1, 11), R(2, 20)}},
+  });
+  EXPECT_TRUE(check(H).empty());
+}

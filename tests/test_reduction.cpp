@@ -1,0 +1,145 @@
+//===- tests/test_reduction.cpp - §4 reduction property tests ------------------===//
+
+#include "reduction/reductions.h"
+#include "reduction/triangle.h"
+#include "tests/test_util.h"
+
+#include <gtest/gtest.h>
+
+using namespace awdit;
+using namespace awdit::test;
+
+TEST(UGraph, EdgeBasics) {
+  UGraph G(4);
+  G.addEdge(0, 1);
+  G.addEdge(1, 0); // duplicate, ignored
+  G.addEdge(2, 2); // self loop, ignored
+  EXPECT_EQ(G.numEdges(), 1u);
+  EXPECT_TRUE(G.hasEdge(0, 1));
+  EXPECT_TRUE(G.hasEdge(1, 0));
+  EXPECT_FALSE(G.hasEdge(2, 2));
+  EXPECT_FALSE(G.hasEdge(0, 2));
+  EXPECT_EQ(G.neighbors(0), std::vector<uint32_t>{1});
+}
+
+TEST(Triangle, EmptyAndSmallGraphs) {
+  EXPECT_TRUE(isTriangleFree(UGraph(0)));
+  EXPECT_TRUE(isTriangleFree(UGraph(3)));
+  UGraph Path(3);
+  Path.addEdge(0, 1);
+  Path.addEdge(1, 2);
+  EXPECT_TRUE(isTriangleFree(Path));
+  Path.addEdge(0, 2);
+  auto T = findTriangle(Path);
+  ASSERT_TRUE(T);
+  // Some permutation of {0, 1, 2}.
+  EXPECT_EQ((*T)[0] ^ (*T)[1] ^ (*T)[2], 0u ^ 1u ^ 2u);
+}
+
+TEST(Triangle, BipartiteGraphsTriangleFree) {
+  Rng Rand(5);
+  for (int Trial = 0; Trial < 20; ++Trial) {
+    UGraph G = randomTriangleFreeGraph(30, 0.3, Rand);
+    EXPECT_TRUE(isTriangleFree(G));
+  }
+}
+
+TEST(Triangle, FoundTriangleIsReal) {
+  Rng Rand(6);
+  for (int Trial = 0; Trial < 20; ++Trial) {
+    UGraph G = randomGraph(24, 0.25, Rand);
+    auto T = findTriangle(G);
+    if (!T)
+      continue;
+    EXPECT_TRUE(G.hasEdge((*T)[0], (*T)[1]));
+    EXPECT_TRUE(G.hasEdge((*T)[1], (*T)[2]));
+    EXPECT_TRUE(G.hasEdge((*T)[0], (*T)[2]));
+  }
+}
+
+TEST(Reductions, SizesMatchPaper) {
+  // The general reduction has size O(m): per edge {a,b}, 4 writes
+  // (2 per endpoint) + 4 reads, plus one self write per node.
+  Rng Rand(7);
+  UGraph G = randomGraph(20, 0.2, Rand);
+  History H = reduceGeneral(G);
+  EXPECT_EQ(H.numOps(), 8 * G.numEdges() + G.numNodes());
+  EXPECT_EQ(H.numTxns(), 2 * G.numNodes());
+  EXPECT_EQ(H.numSessions(), 2 * G.numNodes());
+
+  History H2 = reduceRaTwoSessions(G);
+  EXPECT_EQ(H2.numOps(), 4 * G.numEdges() + G.numNodes());
+  EXPECT_EQ(H2.numSessions(), 2u);
+
+  History H3 = reduceRcSingleSession(G);
+  EXPECT_EQ(H3.numOps(), H.numOps());
+  EXPECT_EQ(H3.numSessions(), 1u);
+}
+
+/// Lemma 4.2 as a property: the general reduction is consistent at every
+/// level iff the graph is triangle-free.
+class GeneralReductionProperty
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(GeneralReductionProperty, ConsistencyEquivalentToTriangleFreeness) {
+  auto [Seed, Density] = GetParam();
+  Rng Rand(static_cast<uint64_t>(Seed) * 31 + Density);
+  double P = 0.02 * Density;
+  UGraph G = randomGraph(28, P, Rand);
+  bool Free = isTriangleFree(G);
+  History H = reduceGeneral(G);
+  for (IsolationLevel Level : AllIsolationLevels)
+    EXPECT_EQ(consistent(H, Level), Free)
+        << "level " << isolationLevelName(Level) << " n=" << G.numNodes()
+        << " m=" << G.numEdges();
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, GeneralReductionProperty,
+                         ::testing::Combine(::testing::Range(1, 8),
+                                            ::testing::Range(1, 8)));
+
+/// Lemma 4.3 as a property (two sessions, RA).
+class RaReductionProperty
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(RaReductionProperty, RaEquivalentToTriangleFreeness) {
+  auto [Seed, Density] = GetParam();
+  Rng Rand(static_cast<uint64_t>(Seed) * 97 + Density);
+  UGraph G = randomGraph(28, 0.02 * Density, Rand);
+  History H = reduceRaTwoSessions(G);
+  EXPECT_EQ(consistent(H, IsolationLevel::ReadAtomic), isTriangleFree(G));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RaReductionProperty,
+                         ::testing::Combine(::testing::Range(1, 8),
+                                            ::testing::Range(1, 8)));
+
+/// Lemma 4.4 as a property (one session, RC).
+class RcReductionProperty
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(RcReductionProperty, RcEquivalentToTriangleFreeness) {
+  auto [Seed, Density] = GetParam();
+  Rng Rand(static_cast<uint64_t>(Seed) * 193 + Density);
+  UGraph G = randomGraph(28, 0.02 * Density, Rand);
+  History H = reduceRcSingleSession(G);
+  EXPECT_EQ(consistent(H, IsolationLevel::ReadCommitted),
+            isTriangleFree(G));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RcReductionProperty,
+                         ::testing::Combine(::testing::Range(1, 8),
+                                            ::testing::Range(1, 8)));
+
+TEST(Reductions, GuaranteedTriangleFreeFamilies) {
+  Rng Rand(11);
+  for (int Trial = 0; Trial < 6; ++Trial) {
+    UGraph G = randomTriangleFreeGraph(24, 0.3, Rand);
+    for (IsolationLevel Level : AllIsolationLevels)
+      EXPECT_TRUE(consistent(reduceGeneral(G), Level));
+    EXPECT_TRUE(
+        consistent(reduceRaTwoSessions(G), IsolationLevel::ReadAtomic));
+    EXPECT_TRUE(consistent(reduceRcSingleSession(G),
+                           IsolationLevel::ReadCommitted));
+  }
+}

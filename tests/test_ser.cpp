@@ -1,0 +1,138 @@
+//===- tests/test_ser.cpp - Serializability checker tests ----------------------===//
+
+#include "baseline/ser_checker.h"
+#include "tests/test_util.h"
+#include "workload/generator.h"
+
+#include <gtest/gtest.h>
+
+using namespace awdit;
+using namespace awdit::test;
+
+namespace {
+constexpr Key X = 1, Y = 2;
+} // namespace
+
+TEST(SerChecker, EmptyAndTrivialHistories) {
+  EXPECT_TRUE(isSerializable(makeHistory({})));
+  EXPECT_TRUE(isSerializable(makeHistory({{0, {W(X, 1)}}})));
+  EXPECT_TRUE(isSerializable(makeHistory({
+      {0, {W(X, 1)}},
+      {1, {R(X, 1)}},
+  })));
+}
+
+TEST(SerChecker, LostUpdateNotSerializable) {
+  // Two read-modify-writes over the same base version.
+  History H = makeHistory({
+      {0, {W(X, 1)}},
+      {1, {R(X, 1), W(X, 2)}},
+      {2, {R(X, 1), W(X, 3)}},
+      {1, {R(X, 2)}},
+      {2, {R(X, 3)}},
+  });
+  EXPECT_FALSE(isSerializable(H));
+  // ...but the paper's Fig. 4d makes the same shape causally consistent.
+  EXPECT_TRUE(consistent(H, IsolationLevel::CausalConsistency));
+}
+
+TEST(SerChecker, WriteSkewNotSerializableButCausal) {
+  // Classic write skew: each txn reads the other's key's old version and
+  // overwrites its own — no serial order exists, yet the transactions are
+  // causally unrelated, so every weak level passes. This is exactly why
+  // strong-isolation testing is the NP-hard problem (paper §1).
+  History H = makeHistory({
+      {0, {W(X, 1), W(Y, 1)}},
+      {1, {R(X, 1), W(Y, 2)}},
+      {2, {R(Y, 1), W(X, 2)}},
+  });
+  EXPECT_FALSE(isSerializable(H));
+  for (IsolationLevel Level : AllIsolationLevels)
+    EXPECT_TRUE(consistent(H, Level));
+}
+
+TEST(SerChecker, RespectsSessionOrder) {
+  // A monotonic-reads violation across two transactions of one session:
+  // co ⊇ so forbids any serial order, and CC catches it too, while the
+  // single-step RA/RC premises do not fire.
+  History H = makeHistory({
+      {0, {W(X, 1)}},
+      {0, {W(X, 2)}},
+      {1, {R(X, 2)}},
+      {1, {R(X, 1)}},
+  });
+  EXPECT_FALSE(isSerializable(H));
+  EXPECT_FALSE(consistent(H, IsolationLevel::CausalConsistency));
+  EXPECT_TRUE(consistent(H, IsolationLevel::ReadAtomic));
+  EXPECT_TRUE(consistent(H, IsolationLevel::ReadCommitted));
+}
+
+TEST(SerChecker, SerializableImpliesAllWeakLevels) {
+  for (uint64_t Seed = 1; Seed <= 6; ++Seed) {
+    GenerateParams P;
+    P.Bench = Benchmark::Random;
+    P.Mode = ConsistencyMode::Serializable;
+    P.Sessions = 4;
+    P.Txns = 60;
+    P.KeySpace = 8;
+    P.Seed = Seed;
+    History H = generateHistory(P);
+    ASSERT_TRUE(isSerializable(H)) << "seed " << Seed;
+    for (IsolationLevel Level : AllIsolationLevels)
+      EXPECT_TRUE(consistent(H, Level));
+  }
+}
+
+TEST(SerChecker, WeakModesEventuallyNonSerializable) {
+  // Causal replicas produce stale reads that strict serializability
+  // rejects; at least one seed must exhibit it.
+  bool SawNonSer = false;
+  for (uint64_t Seed = 1; Seed <= 10 && !SawNonSer; ++Seed) {
+    GenerateParams P;
+    P.Bench = Benchmark::Random;
+    P.Mode = ConsistencyMode::Causal;
+    P.Sessions = 5;
+    P.Txns = 80;
+    P.KeySpace = 6;
+    P.Seed = Seed;
+    History H = generateHistory(P);
+    SawNonSer = !isSerializable(H);
+  }
+  EXPECT_TRUE(SawNonSer);
+}
+
+TEST(SerChecker, TimesOutOnAdversarialInput) {
+  // Many sessions of independent writers force an exponential frontier.
+  HistoryBuilder B;
+  constexpr size_t K = 12;
+  for (size_t S = 0; S < K; ++S)
+    B.addSession();
+  Value V = 1;
+  for (size_t S = 0; S < K; ++S) {
+    for (int T = 0; T < 40; ++T) {
+      TxnId Id = B.beginTxn(static_cast<SessionId>(S));
+      B.write(Id, static_cast<Key>(S), V++);
+    }
+  }
+  // One reader pinning an awkward interleaving.
+  TxnId Reader = B.beginTxn(0);
+  B.read(Reader, K - 1, V - 1);
+  std::optional<History> H = B.build();
+  ASSERT_TRUE(H);
+  SerChecker Checker;
+  BaselineResult R = Checker.check(*H, IsolationLevel::CausalConsistency,
+                                   Deadline(0.05));
+  // Either it finishes fast (memoization) or reports the timeout; both
+  // are acceptable, but it must not crash or hang.
+  SUCCEED();
+  (void)R;
+}
+
+TEST(SerChecker, AbortedTxnsIgnored) {
+  History H = makeHistory({
+      {0, {W(X, 1)}},
+      {0, {W(X, 99)}, /*Abort=*/true},
+      {1, {R(X, 1)}},
+  });
+  EXPECT_TRUE(isSerializable(H));
+}

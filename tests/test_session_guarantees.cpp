@@ -1,0 +1,221 @@
+//===- tests/test_session_guarantees.cpp - Session guarantee tests --------------===//
+
+#include "checker/commit_graph.h"
+#include "checker/read_consistency.h"
+#include "checker/session_guarantees.h"
+#include "tests/test_util.h"
+#include "workload/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+using namespace awdit;
+using namespace awdit::test;
+
+namespace {
+constexpr Key X = 1, Y = 2;
+
+bool holds(const History &H, SessionGuarantee G) {
+  std::vector<Violation> Out;
+  return checkSessionGuarantee(H, G, Out);
+}
+
+/// Quadratic reference oracle: apply each guarantee's axiom over all
+/// (earlier transaction, read) pairs directly.
+bool naiveHolds(const History &H, SessionGuarantee G) {
+  std::vector<Violation> Sink;
+  if (!checkReadConsistency(H, Sink))
+    return false;
+  CommitGraph Co(H);
+  for (SessionId S = 0; S < H.numSessions(); ++S) {
+    const std::vector<TxnId> &Sess = H.sessionTxns(S);
+    for (size_t I = 0; I < Sess.size(); ++I) {
+      const Transaction &T = H.txn(Sess[I]);
+      for (uint32_t ReadIdx : T.ExtReads) {
+        const ReadInfo &RI = T.Reads[ReadIdx];
+        for (size_t J = 0; J < I; ++J) {
+          const Transaction &Earlier = H.txn(Sess[J]);
+          if (G == SessionGuarantee::ReadYourWrites) {
+            if (Earlier.writesKey(RI.K) && Sess[J] != RI.Writer)
+              Co.inferEdge(Sess[J], RI.Writer);
+          } else {
+            for (TxnId T2 : Earlier.ReadFroms)
+              if (H.txn(T2).writesKey(RI.K) && T2 != RI.Writer)
+                Co.inferEdge(T2, RI.Writer);
+          }
+        }
+      }
+    }
+  }
+  return Co.checkAcyclic(Sink, 0);
+}
+
+} // namespace
+
+TEST(SessionGuarantees, NamesAndParsing) {
+  EXPECT_STREQ(sessionGuaranteeName(SessionGuarantee::ReadYourWrites),
+               "Read-Your-Writes");
+  EXPECT_STREQ(sessionGuaranteeName(SessionGuarantee::MonotonicReads),
+               "Monotonic-Reads");
+  EXPECT_EQ(parseSessionGuarantee("ryw"),
+            SessionGuarantee::ReadYourWrites);
+  EXPECT_EQ(parseSessionGuarantee("Monotonic-Reads"),
+            SessionGuarantee::MonotonicReads);
+  EXPECT_FALSE(parseSessionGuarantee("wfr").has_value());
+}
+
+TEST(SessionGuarantees, RywViolatedByStaleOwnKey) {
+  History H = makeHistory({
+      {0, {W(X, 1)}},
+      {0, {W(X, 2)}},
+      {0, {R(X, 1)}}, // Reads around the session's own later write.
+  });
+  EXPECT_FALSE(holds(H, SessionGuarantee::ReadYourWrites));
+}
+
+TEST(SessionGuarantees, RywAllowsFreshReads) {
+  History H = makeHistory({
+      {0, {W(X, 1)}},
+      {1, {W(X, 2)}},
+      {1, {R(X, 2)}},
+  });
+  EXPECT_TRUE(holds(H, SessionGuarantee::ReadYourWrites));
+}
+
+TEST(SessionGuarantees, RywIgnoresOtherSessions) {
+  // Another session overwrote x; reading the old version is not a RYW
+  // concern (it would be an MR/CC one only if observed).
+  History H = makeHistory({
+      {0, {W(X, 1)}},
+      {1, {W(X, 2)}},
+      {2, {R(X, 1)}},
+  });
+  EXPECT_TRUE(holds(H, SessionGuarantee::ReadYourWrites));
+}
+
+TEST(SessionGuarantees, MrViolatedByBackwardsReads) {
+  History H = makeHistory({
+      {0, {W(X, 1)}},
+      {0, {W(X, 2)}},
+      {1, {R(X, 2)}},
+      {1, {R(X, 1)}}, // x went backwards across transactions.
+  });
+  EXPECT_FALSE(holds(H, SessionGuarantee::MonotonicReads));
+  // ...but RYW does not care (no own writes).
+  EXPECT_TRUE(holds(H, SessionGuarantee::ReadYourWrites));
+}
+
+TEST(SessionGuarantees, MrIntraTxnBackwardsIsRcsConcern) {
+  // Within one transaction the non-monotonic read is RC's axiom, not MR's.
+  History H = makeHistory({
+      {0, {W(X, 1)}},
+      {0, {W(X, 2)}},
+      {1, {R(X, 2), R(X, 1)}},
+  });
+  EXPECT_TRUE(holds(H, SessionGuarantee::MonotonicReads));
+  EXPECT_FALSE(consistent(H, IsolationLevel::ReadCommitted));
+}
+
+TEST(SessionGuarantees, MrTracksIndirectObservations) {
+  // The session observes t2 through key y, then reads the x-version t2
+  // overwrote in a later transaction.
+  History H = makeHistory({
+      {0, {W(X, 1)}},
+      {0, {W(X, 2), W(Y, 1)}},
+      {1, {R(Y, 1)}},
+      {1, {R(X, 1)}},
+  });
+  EXPECT_FALSE(holds(H, SessionGuarantee::MonotonicReads));
+}
+
+TEST(SessionGuarantees, MrPendingSurvivesUnrelatedTxns) {
+  History H = makeHistory({
+      {0, {W(X, 1)}},
+      {0, {W(X, 2), W(Y, 1)}},
+      {2, {W(10, 7)}},
+      {1, {R(Y, 1)}},
+      {1, {R(10, 7)}}, // Unrelated transaction in between.
+      {1, {R(X, 1)}},
+  });
+  EXPECT_FALSE(holds(H, SessionGuarantee::MonotonicReads));
+}
+
+TEST(SessionGuarantees, Fig4cSatisfiesBothGuarantees) {
+  // CC-inconsistent, yet fine for single-session-scope guarantees.
+  History H = makeHistory({
+      {0, {W(X, 1)}},
+      {0, {W(X, 2)}},
+      {1, {R(X, 2), W(Y, 3)}},
+      {2, {R(Y, 3), R(X, 1)}},
+  });
+  EXPECT_FALSE(consistent(H, IsolationLevel::CausalConsistency));
+  EXPECT_TRUE(holds(H, SessionGuarantee::ReadYourWrites));
+  EXPECT_TRUE(holds(H, SessionGuarantee::MonotonicReads));
+}
+
+/// CC implies both guarantees; the fast saturations agree with the
+/// quadratic oracle on randomized histories.
+class SessionGuaranteeProperty
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(SessionGuaranteeProperty, OracleAgreementAndCcImplication) {
+  auto [ModeIdx, Seed] = GetParam();
+  GenerateParams P;
+  P.Bench = Benchmark::Random;
+  P.Mode = static_cast<ConsistencyMode>(ModeIdx);
+  P.Sessions = 6;
+  P.Txns = 150;
+  P.KeySpace = 16;
+  P.Seed = static_cast<uint64_t>(Seed) * 431 + ModeIdx;
+  History H = generateHistory(P);
+
+  for (SessionGuarantee G : {SessionGuarantee::ReadYourWrites,
+                             SessionGuarantee::MonotonicReads}) {
+    EXPECT_EQ(holds(H, G), naiveHolds(H, G))
+        << sessionGuaranteeName(G);
+    if (consistent(H, IsolationLevel::CausalConsistency)) {
+      EXPECT_TRUE(holds(H, G))
+          << "CC must imply " << sessionGuaranteeName(G);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SessionGuaranteeProperty,
+                         ::testing::Combine(::testing::Range(0, 4),
+                                            ::testing::Range(1, 7)));
+
+TEST(SessionGuarantees, FuzzAgainstOracle) {
+  Rng Rand(777);
+  for (int Trial = 0; Trial < 80; ++Trial) {
+    HistoryBuilder B;
+    size_t NumSessions = 1 + Rand.nextBelow(3);
+    for (size_t S = 0; S < NumSessions; ++S)
+      B.addSession();
+    Value NextVal = 1;
+    std::vector<std::pair<Key, Value>> Written;
+    size_t NumTxns = 2 + Rand.nextBelow(10);
+    for (size_t T = 0; T < NumTxns; ++T) {
+      TxnId Id =
+          B.beginTxn(static_cast<SessionId>(Rand.nextBelow(NumSessions)));
+      size_t NumOps = 1 + Rand.nextBelow(4);
+      for (size_t O = 0; O < NumOps; ++O) {
+        Key K = 1 + Rand.nextBelow(4);
+        if (Rand.nextBool(0.5) || Written.empty()) {
+          B.write(Id, K, NextVal);
+          Written.push_back({K, NextVal});
+          ++NextVal;
+        } else {
+          auto [WK, WV] = Written[Rand.nextBelow(Written.size())];
+          B.read(Id, WK, WV);
+        }
+      }
+    }
+    std::optional<History> H = B.build();
+    ASSERT_TRUE(H);
+    for (SessionGuarantee G : {SessionGuarantee::ReadYourWrites,
+                               SessionGuarantee::MonotonicReads})
+      EXPECT_EQ(holds(*H, G), naiveHolds(*H, G))
+          << "trial " << Trial << " " << sessionGuaranteeName(G);
+  }
+}

@@ -1,0 +1,111 @@
+//===- tests/test_shrinker.cpp - Violation shrinking tests ----------------------===//
+
+#include "checker/shrinker.h"
+#include "sim/anomaly_injector.h"
+#include "tests/test_util.h"
+#include "workload/generator.h"
+
+#include <gtest/gtest.h>
+
+using namespace awdit;
+using namespace awdit::test;
+
+namespace {
+
+History noisyBase(uint64_t Seed) {
+  GenerateParams P;
+  P.Bench = Benchmark::CTwitter;
+  P.Mode = ConsistencyMode::Serializable;
+  P.Sessions = 6;
+  P.Txns = 250;
+  P.Seed = Seed;
+  return generateHistory(P);
+}
+
+} // namespace
+
+TEST(Shrinker, AlreadyMinimalStaysIntact) {
+  History H = makeHistory({
+      {0, {W(1, 1)}},
+      {0, {W(1, 2)}},
+      {1, {R(1, 2), R(1, 1)}},
+  });
+  ASSERT_FALSE(consistent(H, IsolationLevel::ReadCommitted));
+  ShrinkResult R = shrinkViolation(H, IsolationLevel::ReadCommitted);
+  EXPECT_FALSE(consistent(R.Shrunk, IsolationLevel::ReadCommitted));
+  EXPECT_LE(R.TxnsAfter, 3u);
+  EXPECT_GE(R.TxnsAfter, 2u);
+}
+
+/// The headline property: a gadget planted in a large consistent history
+/// shrinks back to (almost) just the gadget.
+class ShrinkerProperty : public ::testing::TestWithParam<std::tuple<int, int>> {
+};
+
+TEST_P(ShrinkerProperty, ShrinksInjectedAnomalyToCore) {
+  auto [KindIdx, Seed] = GetParam();
+  const AnomalyKind Kinds[] = {AnomalyKind::FracturedRead,
+                               AnomalyKind::NonMonotonicRead,
+                               AnomalyKind::CausalViolation,
+                               AnomalyKind::CausalityCycle};
+  AnomalyKind Kind = Kinds[KindIdx];
+  History Base = noisyBase(Seed);
+  std::optional<History> Bad = injectAnomaly(Base, Kind, Seed * 7 + 1);
+  ASSERT_TRUE(Bad);
+  // Pick the strongest level the anomaly violates.
+  IsolationLevel Level = IsolationLevel::CausalConsistency;
+  ASSERT_FALSE(consistent(*Bad, Level));
+
+  ShrinkResult R = shrinkViolation(*Bad, Level);
+  EXPECT_FALSE(consistent(R.Shrunk, Level));
+  // The gadgets involve 2-4 transactions; allow a small margin.
+  EXPECT_LE(R.TxnsAfter, 8u)
+      << anomalyKindName(Kind) << ": " << R.TxnsBefore << " -> "
+      << R.TxnsAfter;
+  EXPECT_GT(R.TxnsBefore, 100u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ShrinkerProperty,
+                         ::testing::Combine(::testing::Range(0, 4),
+                                            ::testing::Range(1, 4)));
+
+TEST(Shrinker, RespectsCheckBudget) {
+  History Base = noisyBase(11);
+  std::optional<History> Bad =
+      injectAnomaly(Base, AnomalyKind::FracturedRead, 3);
+  ASSERT_TRUE(Bad);
+  ShrinkOptions Tight;
+  Tight.MaxChecks = 12;
+  ShrinkResult R =
+      shrinkViolation(*Bad, IsolationLevel::ReadAtomic, Tight);
+  EXPECT_LE(R.ChecksUsed, 13u); // budget + the initial assertion check
+  // Still violating, whatever size it reached.
+  EXPECT_FALSE(consistent(R.Shrunk, IsolationLevel::ReadAtomic));
+}
+
+TEST(Shrinker, OpLevelShrinkDropsIrrelevantReads) {
+  // One fat reader whose only load-bearing reads are of x and y.
+  History H = makeHistory({
+      {0, {W(1, 1)}},
+      {0, {W(1, 2), W(2, 2)}},
+      {1, {W(10, 5), W(11, 6), W(12, 7)}},
+      {2, {R(10, 5), R(11, 6), R(12, 7), R(2, 2), R(1, 1)}},
+  });
+  ASSERT_FALSE(consistent(H, IsolationLevel::ReadAtomic));
+  ShrinkResult R = shrinkViolation(H, IsolationLevel::ReadAtomic);
+  EXPECT_FALSE(consistent(R.Shrunk, IsolationLevel::ReadAtomic));
+  // The three unrelated reads (and their writer) should be gone.
+  size_t Ops = R.Shrunk.numOps();
+  EXPECT_LE(Ops, 5u) << "expected just the fractured core";
+}
+
+TEST(Shrinker, ReadConsistencyViolationsShrinkToo) {
+  History Base = noisyBase(13);
+  std::optional<History> Bad =
+      injectAnomaly(Base, AnomalyKind::FutureRead, 5);
+  ASSERT_TRUE(Bad);
+  ShrinkResult R =
+      shrinkViolation(*Bad, IsolationLevel::ReadCommitted);
+  EXPECT_FALSE(consistent(R.Shrunk, IsolationLevel::ReadCommitted));
+  EXPECT_LE(R.TxnsAfter, 3u);
+}

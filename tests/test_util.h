@@ -1,0 +1,68 @@
+//===- tests/test_util.h - Shared test helpers --------------------*- C++ -*-===//
+//
+// Part of the AWDIT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef AWDIT_TESTS_TEST_UTIL_H
+#define AWDIT_TESTS_TEST_UTIL_H
+
+#include "checker/checker.h"
+#include "history/history_builder.h"
+
+#include <gtest/gtest.h>
+
+#include <initializer_list>
+#include <vector>
+
+namespace awdit::test {
+
+/// Compact transaction spec for hand-written histories.
+struct TxnSpec {
+  SessionId S;
+  std::vector<Operation> Ops;
+  bool Abort = false;
+};
+
+/// Builds a history from transaction specs; sessions are created up to the
+/// maximum session id used. Fails the test on invalid specs.
+inline History makeHistory(std::initializer_list<TxnSpec> Specs) {
+  HistoryBuilder B;
+  SessionId MaxSession = 0;
+  for (const TxnSpec &T : Specs)
+    MaxSession = std::max(MaxSession, T.S);
+  for (SessionId S = 0; S <= MaxSession; ++S)
+    B.addSession();
+  for (const TxnSpec &T : Specs) {
+    TxnId Id = B.beginTxn(T.S);
+    for (const Operation &Op : T.Ops)
+      B.append(Id, Op);
+    if (T.Abort)
+      B.abortTxn(Id);
+  }
+  std::string Err;
+  std::optional<History> H = B.build(&Err);
+  EXPECT_TRUE(H.has_value()) << "history build failed: " << Err;
+  return H ? std::move(*H) : History();
+}
+
+/// Shorthand operation constructors.
+inline Operation R(Key K, Value V) { return Operation::read(K, V); }
+inline Operation W(Key K, Value V) { return Operation::write(K, V); }
+
+/// Checks consistency with the AWDIT facade.
+inline bool consistent(const History &H, IsolationLevel Level) {
+  return checkIsolation(H, Level).Consistent;
+}
+
+/// Returns true if any violation of \p Kind was reported.
+inline bool hasViolation(const CheckReport &Report, ViolationKind Kind) {
+  for (const Violation &V : Report.Violations)
+    if (V.Kind == Kind)
+      return true;
+  return false;
+}
+
+} // namespace awdit::test
+
+#endif // AWDIT_TESTS_TEST_UTIL_H

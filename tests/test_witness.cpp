@@ -1,0 +1,190 @@
+//===- tests/test_witness.cpp - Witness reporting (§3.4) tests ------------------===//
+
+#include "sim/anomaly_injector.h"
+#include "tests/test_util.h"
+#include "workload/generator.h"
+
+#include <gtest/gtest.h>
+
+using namespace awdit;
+using namespace awdit::test;
+
+namespace {
+constexpr Key X = 1, Y = 2;
+
+/// Validates structural integrity of every cycle witness in a report:
+/// closed, and every edge is justified (so edges follow session order, wr
+/// edges follow read-froms, inferred edges connect committed txns).
+void expectWellFormedWitnesses(const History &H, const CheckReport &Report) {
+  for (const Violation &V : Report.Violations) {
+    if (V.Cycle.empty())
+      continue;
+    EXPECT_EQ(V.Cycle.back().To, V.Cycle.front().From);
+    for (size_t I = 0; I + 1 < V.Cycle.size(); ++I)
+      EXPECT_EQ(V.Cycle[I].To, V.Cycle[I + 1].From);
+    for (const WitnessEdge &E : V.Cycle) {
+      EXPECT_TRUE(H.isCommitted(E.From));
+      EXPECT_TRUE(H.isCommitted(E.To));
+      switch (E.Kind) {
+      case EdgeKind::So:
+        EXPECT_EQ(H.soSuccessor(E.From), E.To);
+        break;
+      case EdgeKind::Wr: {
+        bool Found = false;
+        for (TxnId W : H.txn(E.To).ReadFroms)
+          Found |= W == E.From;
+        EXPECT_TRUE(Found) << "wr edge not in read-froms";
+        break;
+      }
+      case EdgeKind::Inferred:
+        EXPECT_NE(E.From, E.To);
+        break;
+      }
+    }
+  }
+}
+
+} // namespace
+
+TEST(Witness, CycleWitnessesAreWellFormed) {
+  History H = makeHistory({
+      {0, {W(X, 1)}},
+      {0, {W(X, 2), W(Y, 2)}},
+      {1, {R(Y, 2), R(X, 1)}},
+  });
+  for (IsolationLevel Level : AllIsolationLevels) {
+    CheckReport Report = checkIsolation(H, Level);
+    expectWellFormedWitnesses(H, Report);
+  }
+}
+
+TEST(Witness, CausalityCycleUsesOnlyBaseEdges) {
+  History H = makeHistory({
+      {0, {W(X, 1), R(Y, 1)}},
+      {1, {W(Y, 1), R(X, 1)}},
+  });
+  CheckReport Report = checkIsolation(H, IsolationLevel::ReadCommitted);
+  ASSERT_FALSE(Report.Consistent);
+  bool SawCausality = false;
+  for (const Violation &V : Report.Violations) {
+    if (V.Kind != ViolationKind::CausalityCycle)
+      continue;
+    SawCausality = true;
+    for (const WitnessEdge &E : V.Cycle)
+      EXPECT_NE(E.Kind, EdgeKind::Inferred);
+  }
+  EXPECT_TRUE(SawCausality);
+}
+
+TEST(Witness, MaxWitnessesHonored) {
+  // Plant several independent 2-cycles (separate SCCs).
+  HistoryBuilder B;
+  SessionId S0 = B.addSession();
+  SessionId S1 = B.addSession();
+  for (int I = 0; I < 5; ++I) {
+    Key P = 100 + 2 * I, Q = 101 + 2 * I;
+    Value A = 1000 + 2 * I, C = 1001 + 2 * I;
+    TxnId TA = B.beginTxn(S0);
+    B.write(TA, P, A);
+    B.read(TA, Q, C);
+    TxnId TB = B.beginTxn(S1);
+    B.write(TB, Q, C);
+    B.read(TB, P, A);
+  }
+  std::optional<History> H = B.build();
+  ASSERT_TRUE(H);
+
+  CheckOptions Few;
+  Few.MaxWitnesses = 2;
+  CheckReport Report =
+      checkIsolation(*H, IsolationLevel::ReadCommitted, Few);
+  EXPECT_FALSE(Report.Consistent);
+  EXPECT_LE(Report.Violations.size(), 2u);
+
+  CheckOptions Many;
+  Many.MaxWitnesses = 16;
+  CheckReport Full =
+      checkIsolation(*H, IsolationLevel::ReadCommitted, Many);
+  EXPECT_GE(Full.Violations.size(), 2u);
+}
+
+TEST(Witness, VerdictOnlyModeStillSound) {
+  History H = makeHistory({
+      {0, {W(X, 1)}},
+      {0, {W(X, 2)}},
+      {1, {R(X, 2), R(X, 1)}},
+  });
+  CheckOptions VerdictOnly;
+  VerdictOnly.MaxWitnesses = 0;
+  CheckReport Report =
+      checkIsolation(H, IsolationLevel::ReadCommitted, VerdictOnly);
+  EXPECT_FALSE(Report.Consistent);
+  EXPECT_FALSE(Report.Violations.empty());
+}
+
+TEST(Witness, OneCyclePerScc) {
+  // A single SCC with many internal cycles must yield one witness.
+  History H = makeHistory({
+      {0, {W(X, 1)}},
+      {0, {W(X, 2), W(Y, 2)}},
+      {1, {R(Y, 2), R(X, 1)}},
+  });
+  CheckReport Report = checkIsolation(H, IsolationLevel::ReadAtomic);
+  ASSERT_FALSE(Report.Consistent);
+  size_t CycleWitnesses = 0;
+  for (const Violation &V : Report.Violations)
+    CycleWitnesses += !V.Cycle.empty();
+  EXPECT_EQ(CycleWitnesses, 1u);
+}
+
+TEST(Witness, MinimizesInferredEdges) {
+  // §3.4: prefer cycles with few non-(so ∪ wr) edges. In this history the
+  // SCC contains a cycle with exactly one inferred edge.
+  History H = makeHistory({
+      {0, {W(X, 1)}},
+      {0, {W(X, 2), W(Y, 2)}},
+      {1, {R(Y, 2), R(X, 1)}},
+  });
+  CheckReport Report = checkIsolation(H, IsolationLevel::ReadCommitted);
+  ASSERT_FALSE(Report.Consistent);
+  for (const Violation &V : Report.Violations) {
+    if (V.Cycle.empty())
+      continue;
+    size_t Inferred = 0;
+    for (const WitnessEdge &E : V.Cycle)
+      Inferred += E.Kind == EdgeKind::Inferred;
+    EXPECT_EQ(Inferred, 1u);
+  }
+}
+
+TEST(Witness, DescriptionsAreInformative) {
+  History H = makeHistory({
+      {0, {W(X, 1)}},
+      {0, {W(X, 2)}},
+      {1, {R(X, 2), R(X, 1)}},
+  });
+  CheckReport Report = checkIsolation(H, IsolationLevel::ReadCommitted);
+  ASSERT_FALSE(Report.Consistent);
+  std::string Desc = Report.Violations.front().describe(H);
+  EXPECT_NE(Desc.find("Cycle"), std::string::npos);
+  EXPECT_NE(Desc.find("->"), std::string::npos);
+}
+
+TEST(Witness, InjectedHistoriesProduceWellFormedWitnesses) {
+  GenerateParams P;
+  P.Bench = Benchmark::CTwitter;
+  P.Mode = ConsistencyMode::Serializable;
+  P.Sessions = 6;
+  P.Txns = 300;
+  P.Seed = 5;
+  History Base = generateHistory(P);
+  for (int KindIdx = 0; KindIdx < 7; ++KindIdx) {
+    std::optional<History> H =
+        injectAnomaly(Base, static_cast<AnomalyKind>(KindIdx), 77);
+    ASSERT_TRUE(H);
+    for (IsolationLevel Level : AllIsolationLevels) {
+      CheckReport Report = checkIsolation(*H, Level);
+      expectWellFormedWitnesses(*H, Report);
+    }
+  }
+}

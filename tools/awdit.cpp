@@ -1,0 +1,351 @@
+//===- tools/awdit.cpp - The AWDIT command-line tester ----------------------===//
+//
+// Part of the AWDIT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The awdit command-line tool: check history files against weak isolation
+/// levels, print history statistics, generate benchmark histories with the
+/// database simulator, and emit §4 reduction histories.
+///
+/// \code
+///   awdit check <file> --level rc|ra|cc [--format native|plume|dbcop]
+///   awdit stats <file> [--format ...]
+///   awdit generate --bench c-twitter --sessions 50 --txns 1000 ...
+///       --mode causal --seed 7 --out history.txt [--inject <anomaly>]
+///   awdit reduce --nodes 64 --edge-prob 0.1 --variant general --out h.txt
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#include "checker/checker.h"
+#include "checker/shrinker.h"
+#include "history/history_stats.h"
+#include "io/dbcop_format.h"
+#include "io/plume_format.h"
+#include "io/text_format.h"
+#include "reduction/reductions.h"
+#include "sim/anomaly_injector.h"
+#include "workload/generator.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+
+using namespace awdit;
+
+namespace {
+
+/// Parsed command-line flags: everything after the positional arguments.
+struct Flags {
+  std::map<std::string, std::string> Values;
+
+  const std::string *get(const std::string &Name) const {
+    auto It = Values.find(Name);
+    return It == Values.end() ? nullptr : &It->second;
+  }
+
+  std::string getOr(const std::string &Name, const std::string &Def) const {
+    const std::string *V = get(Name);
+    return V ? *V : Def;
+  }
+};
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  awdit check <file> --level rc|ra|cc [--format native|plume|dbcop]"
+      " [--witnesses N]\n"
+      "  awdit stats <file> [--format native|plume|dbcop]\n"
+      "  awdit generate --bench random|c-twitter|tpc-c|rubis"
+      " [--sessions N] [--txns N]\n"
+      "                 [--mode serializable|causal|read-atomic|"
+      "read-committed]\n"
+      "                 [--seed S] [--abort-prob P] [--inject ANOMALY]"
+      " --out FILE [--format F]\n"
+      "  awdit reduce --nodes N [--edge-prob P] [--seed S]"
+      " [--variant general|ra2|rc1] --out FILE\n"
+      "  awdit shrink <file> --level rc|ra|cc --out FILE"
+      " [--format F] [--max-checks N]\n");
+  return 2;
+}
+
+std::optional<History> loadHistory(const std::string &Path,
+                                   const std::string &Format,
+                                   std::string *Err) {
+  std::ifstream In(Path);
+  if (!In) {
+    *Err = "cannot open '" + Path + "'";
+    return std::nullopt;
+  }
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  std::string Text = Buf.str();
+  if (Format == "native")
+    return parseTextHistory(Text, Err);
+  if (Format == "plume")
+    return parsePlumeHistory(Text, Err);
+  if (Format == "dbcop")
+    return parseDbcopHistory(Text, Err);
+  *Err = "unknown format '" + Format + "'";
+  return std::nullopt;
+}
+
+bool saveHistory(const History &H, const std::string &Path,
+                 const std::string &Format, std::string *Err) {
+  std::string Text;
+  if (Format == "native")
+    Text = writeTextHistory(H);
+  else if (Format == "plume")
+    Text = writePlumeHistory(H);
+  else if (Format == "dbcop")
+    Text = writeDbcopHistory(H);
+  else {
+    *Err = "unknown format '" + Format + "'";
+    return false;
+  }
+  std::ofstream Out(Path);
+  if (!Out) {
+    *Err = "cannot open '" + Path + "' for writing";
+    return false;
+  }
+  Out << Text;
+  return true;
+}
+
+std::optional<AnomalyKind> parseAnomaly(const std::string &Name) {
+  if (Name == "thin-air")
+    return AnomalyKind::ThinAirRead;
+  if (Name == "aborted-read")
+    return AnomalyKind::AbortedRead;
+  if (Name == "future-read")
+    return AnomalyKind::FutureRead;
+  if (Name == "fractured-read")
+    return AnomalyKind::FracturedRead;
+  if (Name == "non-monotonic-read")
+    return AnomalyKind::NonMonotonicRead;
+  if (Name == "causal-violation")
+    return AnomalyKind::CausalViolation;
+  if (Name == "causality-cycle")
+    return AnomalyKind::CausalityCycle;
+  return std::nullopt;
+}
+
+int cmdCheck(const std::string &Path, const Flags &F) {
+  std::optional<IsolationLevel> Level =
+      parseIsolationLevel(F.getOr("level", ""));
+  if (!Level) {
+    std::fprintf(stderr, "error: --level rc|ra|cc is required\n");
+    return 2;
+  }
+  std::string Err;
+  std::optional<History> H =
+      loadHistory(Path, F.getOr("format", "native"), &Err);
+  if (!H) {
+    std::fprintf(stderr, "error: %s\n", Err.c_str());
+    return 2;
+  }
+
+  CheckOptions Options;
+  Options.MaxWitnesses =
+      static_cast<size_t>(std::stoul(F.getOr("witnesses", "16")));
+  CheckReport Report = checkIsolation(*H, *Level, Options);
+  if (Report.Consistent) {
+    std::printf("consistent: history satisfies %s\n",
+                isolationLevelName(*Level));
+    return 0;
+  }
+  std::printf("INCONSISTENT: history violates %s (%zu violation%s)\n",
+              isolationLevelName(*Level), Report.Violations.size(),
+              Report.Violations.size() == 1 ? "" : "s");
+  for (const Violation &V : Report.Violations)
+    std::printf("  %s\n", V.describe(*H).c_str());
+  return 1;
+}
+
+int cmdStats(const std::string &Path, const Flags &F) {
+  std::string Err;
+  std::optional<History> H =
+      loadHistory(Path, F.getOr("format", "native"), &Err);
+  if (!H) {
+    std::fprintf(stderr, "error: %s\n", Err.c_str());
+    return 2;
+  }
+  std::printf("%s\n", computeStats(*H).toString().c_str());
+  return 0;
+}
+
+int cmdGenerate(const Flags &F) {
+  GenerateParams P;
+  std::optional<Benchmark> Bench = parseBenchmark(F.getOr("bench", ""));
+  if (!Bench) {
+    std::fprintf(stderr, "error: --bench is required\n");
+    return 2;
+  }
+  P.Bench = *Bench;
+  P.Sessions = std::stoul(F.getOr("sessions", "50"));
+  P.Txns = std::stoul(F.getOr("txns", "1000"));
+  P.Seed = std::stoull(F.getOr("seed", "1"));
+  P.AbortProbability = std::stod(F.getOr("abort-prob", "0"));
+  std::string ModeName = F.getOr("mode", "causal");
+  if (ModeName == "serializable")
+    P.Mode = ConsistencyMode::Serializable;
+  else if (ModeName == "causal")
+    P.Mode = ConsistencyMode::Causal;
+  else if (ModeName == "read-atomic")
+    P.Mode = ConsistencyMode::ReadAtomic;
+  else if (ModeName == "read-committed")
+    P.Mode = ConsistencyMode::ReadCommitted;
+  else {
+    std::fprintf(stderr, "error: unknown mode '%s'\n", ModeName.c_str());
+    return 2;
+  }
+  const std::string *OutPath = F.get("out");
+  if (!OutPath) {
+    std::fprintf(stderr, "error: --out is required\n");
+    return 2;
+  }
+
+  History H = generateHistory(P);
+  if (const std::string *Inject = F.get("inject")) {
+    std::optional<AnomalyKind> Kind = parseAnomaly(*Inject);
+    if (!Kind) {
+      std::fprintf(stderr, "error: unknown anomaly '%s'\n", Inject->c_str());
+      return 2;
+    }
+    std::string Err;
+    std::optional<History> Mutated = injectAnomaly(H, *Kind, P.Seed, &Err);
+    if (!Mutated) {
+      std::fprintf(stderr, "error: %s\n", Err.c_str());
+      return 2;
+    }
+    H = std::move(*Mutated);
+  }
+
+  std::string Err;
+  if (!saveHistory(H, *OutPath, F.getOr("format", "native"), &Err)) {
+    std::fprintf(stderr, "error: %s\n", Err.c_str());
+    return 2;
+  }
+  std::printf("wrote %s (%s)\n", OutPath->c_str(),
+              computeStats(H).toString().c_str());
+  return 0;
+}
+
+int cmdReduce(const Flags &F) {
+  size_t Nodes = std::stoul(F.getOr("nodes", "16"));
+  double EdgeProb = std::stod(F.getOr("edge-prob", "0.2"));
+  uint64_t Seed = std::stoull(F.getOr("seed", "1"));
+  std::string Variant = F.getOr("variant", "general");
+  const std::string *OutPath = F.get("out");
+  if (!OutPath) {
+    std::fprintf(stderr, "error: --out is required\n");
+    return 2;
+  }
+
+  if (Variant != "general" && Variant != "ra2" && Variant != "rc1") {
+    std::fprintf(stderr, "error: unknown variant '%s'\n", Variant.c_str());
+    return 2;
+  }
+  Rng Rand(Seed);
+  UGraph G = randomGraph(Nodes, EdgeProb, Rand);
+  History H = Variant == "ra2"   ? reduceRaTwoSessions(G)
+              : Variant == "rc1" ? reduceRcSingleSession(G)
+                                 : reduceGeneral(G);
+
+  std::string Err;
+  if (!saveHistory(H, *OutPath, F.getOr("format", "native"), &Err)) {
+    std::fprintf(stderr, "error: %s\n", Err.c_str());
+    return 2;
+  }
+  std::printf("wrote %s: graph n=%zu m=%zu -> %s\n", OutPath->c_str(),
+              G.numNodes(), G.numEdges(),
+              computeStats(H).toString().c_str());
+  return 0;
+}
+
+int cmdShrink(const std::string &Path, const Flags &F) {
+  std::optional<IsolationLevel> Level =
+      parseIsolationLevel(F.getOr("level", ""));
+  if (!Level) {
+    std::fprintf(stderr, "error: --level rc|ra|cc is required\n");
+    return 2;
+  }
+  const std::string *OutPath = F.get("out");
+  if (!OutPath) {
+    std::fprintf(stderr, "error: --out is required\n");
+    return 2;
+  }
+  std::string Err;
+  std::optional<History> H =
+      loadHistory(Path, F.getOr("format", "native"), &Err);
+  if (!H) {
+    std::fprintf(stderr, "error: %s\n", Err.c_str());
+    return 2;
+  }
+  if (checkIsolation(*H, *Level).Consistent) {
+    std::fprintf(stderr,
+                 "error: history already satisfies %s; nothing to shrink\n",
+                 isolationLevelName(*Level));
+    return 2;
+  }
+
+  ShrinkOptions Options;
+  Options.MaxChecks =
+      static_cast<size_t>(std::stoul(F.getOr("max-checks", "2000")));
+  ShrinkResult R = shrinkViolation(*H, *Level, Options);
+  if (!saveHistory(R.Shrunk, *OutPath, F.getOr("format", "native"), &Err)) {
+    std::fprintf(stderr, "error: %s\n", Err.c_str());
+    return 2;
+  }
+  std::printf("shrunk %zu -> %zu txns (%zu checks); wrote %s\n",
+              R.TxnsBefore, R.TxnsAfter, R.ChecksUsed, OutPath->c_str());
+  CheckReport Report = checkIsolation(R.Shrunk, *Level);
+  for (const Violation &V : Report.Violations)
+    std::printf("  %s\n", V.describe(R.Shrunk).c_str());
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2)
+    return usage();
+  std::string Cmd = Argv[1];
+
+  // Collect positionals and --flag value pairs.
+  Flags F;
+  std::string Positional;
+  for (int I = 2; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg.rfind("--", 0) == 0) {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "error: flag %s needs a value\n", Arg.c_str());
+        return 2;
+      }
+      F.Values[Arg.substr(2)] = Argv[++I];
+    } else if (Positional.empty()) {
+      Positional = Arg;
+    } else {
+      return usage();
+    }
+  }
+
+  if (Cmd == "check" && !Positional.empty())
+    return cmdCheck(Positional, F);
+  if (Cmd == "stats" && !Positional.empty())
+    return cmdStats(Positional, F);
+  if (Cmd == "generate")
+    return cmdGenerate(F);
+  if (Cmd == "reduce")
+    return cmdReduce(F);
+  if (Cmd == "shrink" && !Positional.empty())
+    return cmdShrink(Positional, F);
+  return usage();
+}
