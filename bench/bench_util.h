@@ -40,10 +40,15 @@ struct TimedResult {
 };
 
 /// Times an AWDIT check (witness extraction off: the paper measures the
-/// decision procedure).
-inline TimedResult timeAwdit(const History &H, IsolationLevel Level) {
+/// decision procedure). \p Threads picks the engine: the default 1 is the
+/// sequential algorithm the paper's figures measure; > 1 (or 0 = all
+/// cores) times the sharded parallel engine.
+inline TimedResult timeAwdit(const History &H, IsolationLevel Level,
+                             unsigned Threads = 1) {
   CheckOptions Options;
   Options.MaxWitnesses = 1;
+  Options.Threads = Threads;
+  Options.ParallelThreshold = 0;
   Timer T;
   CheckReport Report = checkIsolation(H, Level, Options);
   return {T.elapsedSeconds(), Report.Consistent, false};

@@ -233,6 +233,49 @@ static void BM_TreeClockJoins(benchmark::State &State) {
 }
 BENCHMARK(BM_TreeClockJoins)->Arg(64)->Arg(256);
 
+// Parallel engine scaling: the same check at 1/2/4/8 workers on the large
+// generated history. Threads = 1 is the exact sequential legacy path, so
+// each family reports the single- vs multi-thread speedup directly
+// (items_per_second column). ParallelThreshold is forced to 0 so the
+// thread count, not the history size, selects the engine.
+static void runParallelLevel(benchmark::State &State, IsolationLevel Level) {
+  const History &H = cachedHistory(static_cast<size_t>(State.range(0)));
+  CheckOptions Options;
+  Options.MaxWitnesses = 1;
+  Options.Threads = static_cast<unsigned>(State.range(1));
+  Options.ParallelThreshold = 0;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(checkIsolation(H, Level, Options));
+  reportOps(State, H);
+}
+
+static void BM_ParallelRc(benchmark::State &State) {
+  runParallelLevel(State, IsolationLevel::ReadCommitted);
+}
+BENCHMARK(BM_ParallelRc)
+    ->Args({65536, 1})->UseRealTime()
+    ->Args({65536, 2})->UseRealTime()
+    ->Args({65536, 4})->UseRealTime()
+    ->Args({65536, 8});
+
+static void BM_ParallelRa(benchmark::State &State) {
+  runParallelLevel(State, IsolationLevel::ReadAtomic);
+}
+BENCHMARK(BM_ParallelRa)
+    ->Args({65536, 1})->UseRealTime()
+    ->Args({65536, 2})->UseRealTime()
+    ->Args({65536, 4})->UseRealTime()
+    ->Args({65536, 8});
+
+static void BM_ParallelCc(benchmark::State &State) {
+  runParallelLevel(State, IsolationLevel::CausalConsistency);
+}
+BENCHMARK(BM_ParallelCc)
+    ->Args({65536, 1})->UseRealTime()
+    ->Args({65536, 2})->UseRealTime()
+    ->Args({65536, 4})->UseRealTime()
+    ->Args({65536, 8});
+
 // End-to-end facade throughput (what the CLI pays per history).
 static void BM_FacadeAllLevels(benchmark::State &State) {
   const History &H = cachedHistory(static_cast<size_t>(State.range(0)));

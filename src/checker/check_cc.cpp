@@ -10,14 +10,13 @@
 
 using namespace awdit;
 
-namespace {
-
 /// Fills the exclusive happens-before clock rows, processing committed
 /// transactions in the topological order \p Order of so ∪ wr (Algorithm 3,
 /// lines 22-25). Inclusive(t')[s'] differs from row(t') only at
 /// t'.Session, where it is 1 + SoIndex(t').
-void fillClocks(const History &H, const std::vector<uint32_t> &Order,
-                HappensBefore &HB) {
+void awdit::fillHappensBefore(const History &H,
+                              const std::vector<uint32_t> &Order,
+                              HappensBefore &HB) {
   size_t K = H.numSessions();
   HB.NumSessions = K;
   HB.Rows.assign(H.numTxns() * K, 0);
@@ -43,6 +42,8 @@ void fillClocks(const History &H, const std::vector<uint32_t> &Order,
     }
   }
 }
+
+namespace {
 
 /// A writer entry: transaction id plus its cached session position so the
 /// monotone scan stays on contiguous memory.
@@ -75,7 +76,7 @@ bool awdit::computeHappensBefore(const History &H, HappensBefore &HB) {
       topologicalSort(Base.graph());
   if (!Order)
     return false;
-  fillClocks(H, *Order, HB);
+  fillHappensBefore(H, *Order, HB);
   return true;
 }
 
@@ -95,7 +96,7 @@ bool awdit::checkCc(const History &H, std::vector<Violation> &Out,
     return false;
   }
   HappensBefore HB;
-  fillClocks(H, *Order, HB);
+  fillHappensBefore(H, *Order, HB);
 
   size_t K = H.numSessions();
   // Writes_s'[x] for all s' at once, grouped by key.

@@ -40,6 +40,13 @@ struct HappensBefore {
 /// if so ∪ wr is cyclic, in which case \p HB is unspecified.
 bool computeHappensBefore(const History &H, HappensBefore &HB);
 
+/// Fills the exclusive happens-before clock rows given \p Order, a
+/// topological order of so ∪ wr (ComputeHB, lines 22-25). Exposed so the
+/// parallel engine can share one commit graph between ComputeHB and the
+/// saturation pass instead of rebuilding it.
+void fillHappensBefore(const History &H, const std::vector<uint32_t> &Order,
+                       HappensBefore &HB);
+
 /// Checks whether \p H satisfies Causal Consistency. Appends violations to
 /// \p Out (at most \p MaxWitnesses cycle witnesses) and returns true iff
 /// consistent.

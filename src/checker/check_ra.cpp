@@ -4,6 +4,7 @@
 
 #include "checker/commit_graph.h"
 #include "checker/read_consistency.h"
+#include "checker/saturation_impl.h"
 #include "support/hybrid_map.h"
 
 #include <unordered_map>
@@ -12,9 +13,16 @@ using namespace awdit;
 
 bool awdit::checkRepeatableReads(const History &H,
                                  std::vector<Violation> &Out) {
+  return checkRepeatableReadsRange(H, 0, static_cast<TxnId>(H.numTxns()),
+                                   Out);
+}
+
+bool awdit::checkRepeatableReadsRange(const History &H, TxnId Begin,
+                                      TxnId End,
+                                      std::vector<Violation> &Out) {
   size_t Before = Out.size();
   std::unordered_map<Key, TxnId> LastWriter;
-  for (TxnId Id = 0; Id < H.numTxns(); ++Id) {
+  for (TxnId Id = Begin; Id < End; ++Id) {
     const Transaction &T = H.txn(Id);
     if (!T.Committed)
       continue;
@@ -44,67 +52,14 @@ bool awdit::checkRa(const History &H, std::vector<Violation> &Out,
   // Line 4: co' <- so ∪ wr.
   CommitGraph Co(H);
 
-  // Per-transaction scratch: distinct externally-read keys and their
-  // (unique, by repeatable reads) writer. Hybrid: flat while small.
-  HybridMap<Key, TxnId> ExtKeyWriter;
-  std::vector<Key> ExtKeys;
-
-  // Lines 5-18.
-  for (SessionId S = 0; S < H.numSessions(); ++S) {
-    // lastWrite[x]: the so-latest transaction of this session so far that
-    // writes x (Algorithm 2, line 6).
-    std::unordered_map<Key, TxnId> LastWrite;
-    for (TxnId T3 : H.sessionTxns(S)) {
-      const Transaction &T = H.txn(T3);
-
-      // Collect the distinct external read keys of t3 once.
-      ExtKeyWriter.clear();
-      ExtKeys.clear();
-      for (uint32_t ReadIdx : T.ExtReads) {
-        const ReadInfo &RI = T.Reads[ReadIdx];
-        if (!ExtKeyWriter.find(RI.K)) {
-          ExtKeyWriter.getOrInsert(RI.K) = RI.Writer;
-          ExtKeys.push_back(RI.K);
-        }
-      }
-
-      // Lines 8-11: the so case. For each external read key x, the last
-      // writer of x so-before t3 must be co-before the read's writer t1.
-      for (Key X : ExtKeys) {
-        auto It = LastWrite.find(X);
-        if (It == LastWrite.end())
-          continue;
-        TxnId T2 = It->second;
-        TxnId T1 = *ExtKeyWriter.find(X);
-        if (T1 != T2)
-          Co.inferEdge(T2, T1);
-      }
-
-      // Lines 12-16: the wr case. For each wr predecessor t2, intersect
-      // KeysWt(t2) with KeysRd(t3), iterating over the smaller set.
-      for (TxnId T2 : T.ReadFroms) {
-        const Transaction &Writer = H.txn(T2);
-        auto Process = [&](TxnId T1) {
-          if (T1 != T2)
-            Co.inferEdge(T2, T1);
-        };
-        if (Writer.WriteKeys.size() <= ExtKeys.size()) {
-          for (Key X : Writer.WriteKeys) {
-            if (TxnId *T1 = ExtKeyWriter.find(X))
-              Process(*T1);
-          }
-        } else {
-          for (Key X : ExtKeys)
-            if (Writer.writesKey(X))
-              Process(*ExtKeyWriter.find(X));
-        }
-      }
-
-      // Lines 17-18: record t3 as the session's latest writer of its keys.
-      for (Key X : T.WriteKeys)
-        LastWrite[X] = T3;
-    }
-  }
+  // Lines 5-18: per-session saturation (the shared kernel; the parallel
+  // engine runs the same kernel with one task per session).
+  detail::RaScratch Scratch;
+  for (SessionId S = 0; S < H.numSessions(); ++S)
+    detail::saturateRaSession(H, S, Scratch,
+                              [&](TxnId From, TxnId To) {
+                                Co.inferEdge(From, To);
+                              });
 
   if (Stats) {
     Stats->InferredEdges = Co.numInferredEdges();

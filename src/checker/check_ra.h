@@ -29,6 +29,13 @@ namespace awdit {
 /// property holds.
 bool checkRepeatableReads(const History &H, std::vector<Violation> &Out);
 
+/// Range form of checkRepeatableReads over transactions [Begin, End), the
+/// unit of work of the parallel engine. Transactions are independent;
+/// concatenating range outputs in range order reproduces the sequential
+/// violation list.
+bool checkRepeatableReadsRange(const History &H, TxnId Begin, TxnId End,
+                               std::vector<Violation> &Out);
+
 /// Checks whether \p H satisfies Read Atomic. Appends violations to \p Out
 /// (at most \p MaxWitnesses cycle witnesses) and returns true iff
 /// consistent.

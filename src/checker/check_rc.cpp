@@ -4,21 +4,9 @@
 
 #include "checker/commit_graph.h"
 #include "checker/read_consistency.h"
-#include "support/hybrid_map.h"
+#include "checker/saturation_impl.h"
 
 using namespace awdit;
-
-namespace {
-
-/// The two-slot stack of earliest future writers per key (Algorithm 1,
-/// earliestWts). Slot Top is the most recently pushed (po-earliest below
-/// the scan point) distinct writer; Second the one pushed before it.
-struct TwoSlot {
-  TxnId Second = NoTxn;
-  TxnId Top = NoTxn;
-};
-
-} // namespace
 
 bool awdit::checkRc(const History &H, std::vector<Violation> &Out,
                     size_t MaxWitnesses, SaturationStats *Stats) {
@@ -29,75 +17,13 @@ bool awdit::checkRc(const History &H, std::vector<Violation> &Out,
   // Line 3: co' <- so ∪ wr.
   CommitGraph Co(H);
 
-  // Lines 4-21: saturate co' per committed transaction t3. The scratch
-  // containers are hybrid (flat vectors while small): typical transactions
-  // have a handful of reads, and this loop is the checker's hot path.
-  HybridSet<TxnId> ReadTxns;
-  std::vector<bool> IsFirstRead;
-  HybridMap<Key, TwoSlot> EarliestWts;
-  HybridSet<Key> ReadKeys;
-
-  for (TxnId T3 = 0; T3 < H.numTxns(); ++T3) {
-    const Transaction &T = H.txn(T3);
-    if (!T.Committed)
-      continue;
-    const std::vector<uint32_t> &Ext = T.ExtReads;
-    // The axiom needs two po-ordered external reads; nothing to infer
-    // otherwise.
-    if (Ext.size() < 2)
-      continue;
-
-    // Lines 5-10: mark the po-first read of each distinct writer t2.
-    ReadTxns.clear();
-    IsFirstRead.assign(Ext.size(), false);
-    for (size_t I = 0; I < Ext.size(); ++I)
-      IsFirstRead[I] = ReadTxns.insert(T.Reads[Ext[I]].Writer);
-
-    // Lines 11-21: reverse po scan with the two-slot earliest-writers
-    // stack and the set of keys read below the scan point.
-    EarliestWts.clear();
-    ReadKeys.clear();
-    for (size_t I = Ext.size(); I-- > 0;) {
-      const ReadInfo &RI = T.Reads[Ext[I]];
-      Key Y = RI.K;
-      TxnId T2 = RI.Writer;
-
-      if (IsFirstRead[I]) {
-        const Transaction &Writer = H.txn(T2);
-        // Lines 15-18: iterate the smaller of KeysWt(t2) and readKeys,
-        // picking per key the earliest future writer distinct from t2.
-        auto Process = [&](Key X) {
-          TwoSlot *Slot = EarliestWts.find(X);
-          if (!Slot)
-            return;
-          TxnId T1 = Slot->Top;
-          if (T1 == T2)
-            T1 = Slot->Second;
-          if (T1 != NoTxn)
-            Co.inferEdge(T2, T1);
-        };
-        if (Writer.WriteKeys.size() <= ReadKeys.size()) {
-          for (Key X : Writer.WriteKeys)
-            if (ReadKeys.contains(X))
-              Process(X);
-        } else {
-          ReadKeys.forEach([&](Key X) {
-            if (Writer.writesKey(X))
-              Process(X);
-          });
-        }
-      }
-
-      // Lines 19-21: push t2 onto the per-key stack (distinct writers
-      // only) and record the key as read below the scan point.
-      TwoSlot &Slot = EarliestWts.getOrInsert(Y);
-      if (Slot.Top != T2) {
-        Slot.Second = Slot.Top;
-        Slot.Top = T2;
-      }
-      ReadKeys.insert(Y);
-    }
-  }
+  // Lines 4-21: saturate co' over all transactions (the shared kernel; the
+  // parallel engine runs the same kernel over transaction ranges).
+  detail::RcScratch Scratch;
+  detail::saturateRcRange(H, 0, static_cast<TxnId>(H.numTxns()), Scratch,
+                          [&](TxnId From, TxnId To) {
+                            Co.inferEdge(From, To);
+                          });
 
   if (Stats) {
     Stats->InferredEdges = Co.numInferredEdges();

@@ -6,7 +6,11 @@
 #include "checker/check_ra.h"
 #include "checker/check_ra_single_session.h"
 #include "checker/check_rc.h"
+#include "checker/parallel.h"
 #include "support/assert.h"
+#include "support/thread_pool.h"
+
+#include <optional>
 
 using namespace awdit;
 
@@ -15,22 +19,45 @@ CheckReport awdit::checkIsolation(const History &H, IsolationLevel Level,
   CheckReport Report;
   SaturationStats Sat;
 
+  // The parallel engine kicks in when more than one worker is requested
+  // (or available, with the Threads = 0 default) and the history is large
+  // enough to amortize thread startup. The OnTheFly CC variant is pinned
+  // to the sequential path: its purpose is bounded memory.
+  size_t Threads =
+      Options.Threads == 0 ? ThreadPool::defaultThreads() : Options.Threads;
+  bool UseParallel =
+      Threads > 1 && H.numTxns() >= Options.ParallelThreshold &&
+      !(Level == IsolationLevel::CausalConsistency &&
+        Options.Cc == CcVariant::OnTheFly);
+  std::optional<ThreadPool> Pool;
+  if (UseParallel)
+    Pool.emplace(Threads);
+
   switch (Level) {
   case IsolationLevel::ReadCommitted:
     Report.Consistent =
-        checkRc(H, Report.Violations, Options.MaxWitnesses, &Sat);
+        UseParallel
+            ? checkRcParallel(H, *Pool, Report.Violations,
+                              Options.MaxWitnesses, &Sat)
+            : checkRc(H, Report.Violations, Options.MaxWitnesses, &Sat);
     break;
   case IsolationLevel::ReadAtomic:
     if (Options.UseSingleSessionFastPath && isSingleSession(H)) {
       Report.Consistent = checkRaSingleSession(H, Report.Violations);
       Report.Stats.UsedFastPath = true;
+    } else if (UseParallel) {
+      Report.Consistent = checkRaParallel(H, *Pool, Report.Violations,
+                                          Options.MaxWitnesses, &Sat);
     } else {
       Report.Consistent =
           checkRa(H, Report.Violations, Options.MaxWitnesses, &Sat);
     }
     break;
   case IsolationLevel::CausalConsistency:
-    if (Options.Cc == CcVariant::OnTheFly)
+    if (UseParallel)
+      Report.Consistent = checkCcParallel(H, *Pool, Report.Violations,
+                                          Options.MaxWitnesses, &Sat);
+    else if (Options.Cc == CcVariant::OnTheFly)
       Report.Consistent = checkCcOnTheFly(H, Report.Violations,
                                           Options.MaxWitnesses, &Sat);
     else

@@ -41,8 +41,20 @@ struct CheckOptions {
   /// Use the linear single-session RA fast path (Theorem 1.6) when the
   /// history qualifies and the level is RA.
   bool UseSingleSessionFastPath = true;
-  /// Which CC implementation to run.
+  /// Which CC implementation to run. The OnTheFly variant is sequential by
+  /// design (its point is O(width·k) memory); selecting it pins the check
+  /// to the sequential path regardless of Threads.
   CcVariant Cc = CcVariant::PointerScan;
+  /// Worker threads of the sharded parallel engine (checker/parallel.h).
+  /// 0 selects one worker per hardware thread; 1 runs the exact legacy
+  /// sequential path. Both engines produce bit-identical verdicts,
+  /// violation lists, statistics, and witness cycles on every history
+  /// (enforced by tests/test_parallel.cpp).
+  unsigned Threads = 0;
+  /// Histories with fewer transactions than this run sequentially even
+  /// when Threads > 1 — below it, thread startup dominates the check.
+  /// Set to 0 to force the parallel engine (tests do).
+  size_t ParallelThreshold = 4096;
 };
 
 /// Statistics of a completed check.

@@ -26,6 +26,9 @@
 #include "history/history.h"
 #include "support/assert.h"
 
+#include <array>
+#include <atomic>
+#include <mutex>
 #include <unordered_set>
 #include <vector>
 
@@ -47,6 +50,27 @@ public:
   void inferEdge(TxnId From, TxnId To) {
     AWDIT_ASSERT(From != To, "inferEdge: self edge is a trivial cycle");
     Pending.push_back(packEdge(From, To));
+  }
+
+  /// Thread-safe bulk variant of inferEdge() for the parallel saturation
+  /// passes: appends \p Count packed edges into one of NumStripes pending
+  /// buffers under that stripe's lock. Stripes are picked round-robin, so
+  /// concurrent workers rarely contend on the same lock. The flush
+  /// canonicalizes (sorts and deduplicates) all pending edges, so the final
+  /// graph is identical regardless of which path or interleaving added
+  /// them.
+  void appendInferredBatch(const uint64_t *Edges, size_t Count) {
+    if (Count == 0)
+      return;
+    size_t Idx = NextStripe.fetch_add(1, std::memory_order_relaxed);
+    Stripe &S = Stripes[Idx % NumStripes];
+    std::lock_guard<std::mutex> L(S.Mutex);
+    S.Edges.insert(S.Edges.end(), Edges, Edges + Count);
+  }
+
+  /// Packs an inferred edge for appendInferredBatch().
+  static uint64_t packEdge(TxnId From, TxnId To) {
+    return (static_cast<uint64_t>(From) << 32) | To;
   }
 
   /// Number of distinct inferred edges added so far (flushes pending).
@@ -78,16 +102,22 @@ private:
   /// Merges the pending inferred edges into the graph, deduplicated.
   void flushInferred();
 
-  static uint64_t packEdge(TxnId From, TxnId To) {
-    return (static_cast<uint64_t>(From) << 32) | To;
-  }
-
   const History &H;
   Digraph G;
   /// Raw (possibly duplicated) inferred edges awaiting the flush.
   std::vector<uint64_t> Pending;
   /// Packed (From, To) pairs of flushed inferred edges.
   std::unordered_set<uint64_t> Inferred;
+
+  /// Striped pending buffers for appendInferredBatch(). 64 stripes keep
+  /// lock contention negligible at any realistic worker count.
+  static constexpr size_t NumStripes = 64;
+  struct Stripe {
+    std::mutex Mutex;
+    std::vector<uint64_t> Edges;
+  };
+  std::array<Stripe, NumStripes> Stripes;
+  std::atomic<size_t> NextStripe{0};
 };
 
 } // namespace awdit

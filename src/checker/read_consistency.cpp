@@ -37,11 +37,17 @@ private:
 
 bool awdit::checkReadConsistency(const History &H,
                                  std::vector<Violation> &Out) {
+  return checkReadConsistencyRange(H, 0, static_cast<TxnId>(H.numTxns()),
+                                   Out);
+}
+
+bool awdit::checkReadConsistencyRange(const History &H, TxnId Begin,
+                                      TxnId End, std::vector<Violation> &Out) {
   size_t Before = Out.size();
   const std::vector<Transaction> &Txns = H.transactions();
   FinalWriteIndex FinalWrites(Txns);
 
-  for (TxnId Id = 0; Id < Txns.size(); ++Id) {
+  for (TxnId Id = Begin; Id < End; ++Id) {
     const Transaction &T = Txns[Id];
     if (!T.Committed)
       continue;

@@ -28,6 +28,14 @@ namespace awdit {
 /// was found.
 bool checkReadConsistency(const History &H, std::vector<Violation> &Out);
 
+/// Range form of checkReadConsistency covering transactions [Begin, End):
+/// the unit of work of the parallel engine's sharded pass. Transactions are
+/// checked independently, so concatenating the outputs of a partition of
+/// [0, numTxns) in range order reproduces the sequential violation list
+/// exactly. Returns true iff the range added no violation.
+bool checkReadConsistencyRange(const History &H, TxnId Begin, TxnId End,
+                               std::vector<Violation> &Out);
+
 } // namespace awdit
 
 #endif // AWDIT_CHECKER_READ_CONSISTENCY_H

@@ -1,0 +1,187 @@
+//===- checker/saturation_impl.h - Shared saturation kernels -----*- C++ -*-===//
+//
+// Part of the AWDIT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The co'-saturation loop bodies of Algorithms 1 and 2, factored out of
+/// the sequential checkers so the parallel engine runs the *same* kernels
+/// over transaction ranges / single sessions and merely swaps the edge sink
+/// (direct CommitGraph::inferEdge vs a per-worker batch buffer). Internal
+/// header: include only from checker/*.cpp.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AWDIT_CHECKER_SATURATION_IMPL_H
+#define AWDIT_CHECKER_SATURATION_IMPL_H
+
+#include "history/history.h"
+#include "support/hybrid_map.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace awdit::detail {
+
+/// The two-slot stack of earliest future writers per key (Algorithm 1,
+/// earliestWts). Slot Top is the most recently pushed (po-earliest below
+/// the scan point) distinct writer; Second the one pushed before it.
+struct TwoSlot {
+  TxnId Second = NoTxn;
+  TxnId Top = NoTxn;
+};
+
+/// Reusable scratch of the RC kernel, hoisted so one instance serves a whole
+/// transaction range without per-transaction allocation churn.
+struct RcScratch {
+  HybridSet<TxnId> ReadTxns;
+  std::vector<bool> IsFirstRead;
+  HybridMap<Key, TwoSlot> EarliestWts;
+  HybridSet<Key> ReadKeys;
+};
+
+/// Algorithm 1 lines 4-21 for the committed transactions in [Begin, End):
+/// per-transaction reverse po scans inferring co' edges into \p Infer
+/// (called as Infer(From, To)). Transactions are independent, so any
+/// partition of [0, numTxns) yields the same edge multiset up to order.
+template <typename Sink>
+void saturateRcRange(const History &H, TxnId Begin, TxnId End,
+                     RcScratch &Scratch, Sink &&Infer) {
+  for (TxnId T3 = Begin; T3 < End; ++T3) {
+    const Transaction &T = H.txn(T3);
+    if (!T.Committed)
+      continue;
+    const std::vector<uint32_t> &Ext = T.ExtReads;
+    // The axiom needs two po-ordered external reads; nothing to infer
+    // otherwise.
+    if (Ext.size() < 2)
+      continue;
+
+    // Lines 5-10: mark the po-first read of each distinct writer t2.
+    Scratch.ReadTxns.clear();
+    Scratch.IsFirstRead.assign(Ext.size(), false);
+    for (size_t I = 0; I < Ext.size(); ++I)
+      Scratch.IsFirstRead[I] = Scratch.ReadTxns.insert(T.Reads[Ext[I]].Writer);
+
+    // Lines 11-21: reverse po scan with the two-slot earliest-writers
+    // stack and the set of keys read below the scan point.
+    Scratch.EarliestWts.clear();
+    Scratch.ReadKeys.clear();
+    for (size_t I = Ext.size(); I-- > 0;) {
+      const ReadInfo &RI = T.Reads[Ext[I]];
+      Key Y = RI.K;
+      TxnId T2 = RI.Writer;
+
+      if (Scratch.IsFirstRead[I]) {
+        const Transaction &Writer = H.txn(T2);
+        // Lines 15-18: iterate the smaller of KeysWt(t2) and readKeys,
+        // picking per key the earliest future writer distinct from t2.
+        auto Process = [&](Key X) {
+          TwoSlot *Slot = Scratch.EarliestWts.find(X);
+          if (!Slot)
+            return;
+          TxnId T1 = Slot->Top;
+          if (T1 == T2)
+            T1 = Slot->Second;
+          if (T1 != NoTxn)
+            Infer(T2, T1);
+        };
+        if (Writer.WriteKeys.size() <= Scratch.ReadKeys.size()) {
+          for (Key X : Writer.WriteKeys)
+            if (Scratch.ReadKeys.contains(X))
+              Process(X);
+        } else {
+          Scratch.ReadKeys.forEach([&](Key X) {
+            if (Writer.writesKey(X))
+              Process(X);
+          });
+        }
+      }
+
+      // Lines 19-21: push t2 onto the per-key stack (distinct writers
+      // only) and record the key as read below the scan point.
+      TwoSlot &Slot = Scratch.EarliestWts.getOrInsert(Y);
+      if (Slot.Top != T2) {
+        Slot.Second = Slot.Top;
+        Slot.Top = T2;
+      }
+      Scratch.ReadKeys.insert(Y);
+    }
+  }
+}
+
+/// Reusable scratch of the RA kernel.
+struct RaScratch {
+  /// Distinct externally-read keys of the current transaction and their
+  /// (unique, by repeatable reads) writer. Hybrid: flat while small.
+  HybridMap<Key, TxnId> ExtKeyWriter;
+  std::vector<Key> ExtKeys;
+  /// lastWrite[x]: the so-latest transaction of the current session so far
+  /// that writes x (Algorithm 2, line 6). Cleared per session.
+  std::unordered_map<Key, TxnId> LastWrite;
+};
+
+/// Algorithm 2 lines 5-18 for one session: the so-case last-writer table
+/// (inherently sequential along so) and the wr-case smaller-set
+/// intersections. Sessions are independent, so the parallel engine runs one
+/// call per session.
+template <typename Sink>
+void saturateRaSession(const History &H, SessionId S, RaScratch &Scratch,
+                       Sink &&Infer) {
+  Scratch.LastWrite.clear();
+  for (TxnId T3 : H.sessionTxns(S)) {
+    const Transaction &T = H.txn(T3);
+
+    // Collect the distinct external read keys of t3 once.
+    Scratch.ExtKeyWriter.clear();
+    Scratch.ExtKeys.clear();
+    for (uint32_t ReadIdx : T.ExtReads) {
+      const ReadInfo &RI = T.Reads[ReadIdx];
+      if (!Scratch.ExtKeyWriter.find(RI.K)) {
+        Scratch.ExtKeyWriter.getOrInsert(RI.K) = RI.Writer;
+        Scratch.ExtKeys.push_back(RI.K);
+      }
+    }
+
+    // Lines 8-11: the so case. For each external read key x, the last
+    // writer of x so-before t3 must be co-before the read's writer t1.
+    for (Key X : Scratch.ExtKeys) {
+      auto It = Scratch.LastWrite.find(X);
+      if (It == Scratch.LastWrite.end())
+        continue;
+      TxnId T2 = It->second;
+      TxnId T1 = *Scratch.ExtKeyWriter.find(X);
+      if (T1 != T2)
+        Infer(T2, T1);
+    }
+
+    // Lines 12-16: the wr case. For each wr predecessor t2, intersect
+    // KeysWt(t2) with KeysRd(t3), iterating over the smaller set.
+    for (TxnId T2 : T.ReadFroms) {
+      const Transaction &Writer = H.txn(T2);
+      auto Process = [&](TxnId T1) {
+        if (T1 != T2)
+          Infer(T2, T1);
+      };
+      if (Writer.WriteKeys.size() <= Scratch.ExtKeys.size()) {
+        for (Key X : Writer.WriteKeys) {
+          if (TxnId *T1 = Scratch.ExtKeyWriter.find(X))
+            Process(*T1);
+        }
+      } else {
+        for (Key X : Scratch.ExtKeys)
+          if (Writer.writesKey(X))
+            Process(*Scratch.ExtKeyWriter.find(X));
+      }
+    }
+
+    // Lines 17-18: record t3 as the session's latest writer of its keys.
+    for (Key X : T.WriteKeys)
+      Scratch.LastWrite[X] = T3;
+  }
+}
+
+} // namespace awdit::detail
+
+#endif // AWDIT_CHECKER_SATURATION_IMPL_H

@@ -46,10 +46,17 @@ std::string Violation::describe(const History &H) const {
   std::string Out = violationKindName(Kind);
   Out += ":";
   if (!Cycle.empty()) {
+    // Appended piecewise: GCC 12 raises a bogus -Wrestrict on the
+    // `"literal" + std::string&&` chain here (GCC PR 105651).
     for (const WitnessEdge &E : Cycle) {
-      Out += " " + H.txnLabel(E.From) + " -" + edgeKindName(E.Kind) + "->";
+      Out += ' ';
+      Out += H.txnLabel(E.From);
+      Out += " -";
+      Out += edgeKindName(E.Kind);
+      Out += "->";
     }
-    Out += " " + H.txnLabel(Cycle.front().From);
+    Out += ' ';
+    Out += H.txnLabel(Cycle.front().From);
     return Out;
   }
   if (T != NoTxn) {

@@ -1,0 +1,66 @@
+//===- history/key_shard_index.cpp - Per-key shard index --------------------===//
+
+#include "history/key_shard_index.h"
+
+#include "support/hybrid_map.h"
+#include "support/thread_pool.h"
+
+using namespace awdit;
+
+KeyShardIndex::KeyShardIndex(const History &H, size_t NumShards) {
+  Shards.resize(NumShards == 0 ? 1 : NumShards);
+  for (size_t S = 0; S < Shards.size(); ++S)
+    buildShard(H, S);
+}
+
+KeyShardIndex::KeyShardIndex(const History &H, size_t NumShards,
+                             ThreadPool &Pool) {
+  Shards.resize(NumShards == 0 ? 1 : NumShards);
+  Pool.parallelFor(0, Shards.size(), 1,
+                   [&](size_t Begin, size_t End) {
+                     for (size_t S = Begin; S < End; ++S)
+                       buildShard(H, S);
+                   });
+}
+
+void KeyShardIndex::buildShard(const History &H, size_t Shard) {
+  std::vector<KeyEntry> &Entries = Shards[Shard];
+  size_t NumShards = Shards.size();
+  // Key -> index into Entries; hybrid because most shards see few keys.
+  HybridMap<Key, uint32_t> Slot;
+
+  auto EntryFor = [&](Key K) -> KeyEntry & {
+    uint32_t *Found = Slot.find(K);
+    if (Found)
+      return Entries[*Found];
+    Slot.getOrInsert(K) = static_cast<uint32_t>(Entries.size());
+    Entries.emplace_back();
+    Entries.back().K = K;
+    return Entries.back();
+  };
+
+  // One pass in checker scan order: ascending session, so position, po.
+  // Appends therefore arrive pre-sorted, matching the iteration order of
+  // the sequential saturation passes exactly.
+  for (SessionId S = 0; S < H.numSessions(); ++S) {
+    for (TxnId T : H.sessionTxns(S)) {
+      const Transaction &Txn = H.txn(T);
+      for (Key X : Txn.WriteKeys) {
+        if (shardOf(X, NumShards) != Shard)
+          continue;
+        KeyEntry &E = EntryFor(X);
+        if (E.WriterSessions.empty() || E.WriterSessions.back() != S) {
+          E.WriterSessions.push_back(S);
+          E.WriterLists.emplace_back();
+        }
+        E.WriterLists.back().push_back({T, Txn.SoIndex});
+      }
+      for (uint32_t ReadIdx : Txn.ExtReads) {
+        const ReadInfo &RI = Txn.Reads[ReadIdx];
+        if (shardOf(RI.K, NumShards) != Shard)
+          continue;
+        EntryFor(RI.K).Reads.push_back({S, T, RI.Writer});
+      }
+    }
+  }
+}

@@ -27,6 +27,7 @@
 #include "io/text_format.h"
 #include "reduction/reductions.h"
 #include "sim/anomaly_injector.h"
+#include "support/thread_pool.h"
 #include "workload/generator.h"
 
 #include <cstdio>
@@ -36,6 +37,7 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <vector>
 
 using namespace awdit;
 
@@ -56,12 +58,57 @@ struct Flags {
   }
 };
 
+/// Parses flag --\p Name as an unsigned integer, exiting with a clean
+/// message (instead of an uncaught std::stoul throw) on garbage input.
+uint64_t numFlag(const Flags &F, const std::string &Name,
+                 const std::string &Def) {
+  std::string Text = F.getOr(Name, Def);
+  uint64_t Value = 0;
+  size_t Used = 0;
+  try {
+    // stoull would silently wrap negatives ("-1" -> 2^64-1); require a
+    // plain digit string.
+    if (!Text.empty() && Text.find_first_not_of("0123456789") ==
+                             std::string::npos)
+      Value = std::stoull(Text, &Used);
+  } catch (...) {
+  }
+  if (Used == 0 || Used != Text.size()) {
+    std::fprintf(stderr, "error: --%s expects a number, got '%s'\n",
+                 Name.c_str(), Text.c_str());
+    std::exit(2);
+  }
+  return Value;
+}
+
+/// Parses flag --\p Name as a floating-point number, with the same clean
+/// failure mode as numFlag.
+double floatFlag(const Flags &F, const std::string &Name,
+                 const std::string &Def) {
+  std::string Text = F.getOr(Name, Def);
+  double Value = 0;
+  size_t Used = 0;
+  try {
+    Value = std::stod(Text, &Used);
+  } catch (...) {
+  }
+  if (Used == 0 || Used != Text.size()) {
+    std::fprintf(stderr, "error: --%s expects a number, got '%s'\n",
+                 Name.c_str(), Text.c_str());
+    std::exit(2);
+  }
+  return Value;
+}
+
 int usage() {
   std::fprintf(
       stderr,
       "usage:\n"
       "  awdit check <file> --level rc|ra|cc [--format native|plume|dbcop]"
       " [--witnesses N]\n"
+      "                 [--threads N (0 = all cores, 1 = sequential)]\n"
+      "  awdit batch <file>... --level rc|ra|cc|all [--format F]"
+      " [--jobs N] [--witnesses N]\n"
       "  awdit stats <file> [--format native|plume|dbcop]\n"
       "  awdit generate --bench random|c-twitter|tpc-c|rubis"
       " [--sessions N] [--txns N]\n"
@@ -154,7 +201,9 @@ int cmdCheck(const std::string &Path, const Flags &F) {
 
   CheckOptions Options;
   Options.MaxWitnesses =
-      static_cast<size_t>(std::stoul(F.getOr("witnesses", "16")));
+      static_cast<size_t>(numFlag(F, "witnesses", "16"));
+  Options.Threads =
+      static_cast<unsigned>(numFlag(F, "threads", "0"));
   CheckReport Report = checkIsolation(*H, *Level, Options);
   if (Report.Consistent) {
     std::printf("consistent: history satisfies %s\n",
@@ -167,6 +216,78 @@ int cmdCheck(const std::string &Path, const Flags &F) {
   for (const Violation &V : Report.Violations)
     std::printf("  %s\n", V.describe(*H).c_str());
   return 1;
+}
+
+/// Checks many histories (and possibly all levels) concurrently: one pool
+/// task per file, each loading once and checking every requested level
+/// sequentially. Results print in input order, so output is deterministic
+/// regardless of scheduling. Exit code: 2 on any load error, else 1 if any
+/// check was inconsistent, else 0.
+int cmdBatch(const std::vector<std::string> &Paths, const Flags &F) {
+  std::string LevelName = F.getOr("level", "all");
+  std::vector<IsolationLevel> Levels;
+  if (LevelName == "all") {
+    Levels.assign(std::begin(AllIsolationLevels),
+                  std::end(AllIsolationLevels));
+  } else {
+    std::optional<IsolationLevel> Level = parseIsolationLevel(LevelName);
+    if (!Level) {
+      std::fprintf(stderr, "error: --level rc|ra|cc|all is required\n");
+      return 2;
+    }
+    Levels.push_back(*Level);
+  }
+
+  CheckOptions Options;
+  Options.MaxWitnesses =
+      static_cast<size_t>(numFlag(F, "witnesses", "0"));
+  // Concurrency across histories; each individual check stays sequential
+  // so the batch scales with the number of files, not inside one file.
+  Options.Threads = 1;
+  std::string Format = F.getOr("format", "native");
+
+  struct FileResult {
+    std::string Error;
+    std::vector<CheckReport> Reports; // parallel to Levels
+  };
+  std::vector<FileResult> Results(Paths.size());
+
+  size_t Jobs = numFlag(F, "jobs", "0");
+  ThreadPool Pool(Jobs);
+  Pool.parallelFor(0, Paths.size(), 1, [&](size_t Begin, size_t End) {
+    for (size_t I = Begin; I < End; ++I) {
+      std::optional<History> H =
+          loadHistory(Paths[I], Format, &Results[I].Error);
+      if (!H)
+        continue;
+      for (IsolationLevel Level : Levels)
+        Results[I].Reports.push_back(checkIsolation(*H, Level, Options));
+    }
+  });
+
+  bool AnyError = false, AnyInconsistent = false;
+  for (size_t I = 0; I < Paths.size(); ++I) {
+    const FileResult &R = Results[I];
+    if (!R.Error.empty()) {
+      std::printf("%s: error: %s\n", Paths[I].c_str(), R.Error.c_str());
+      AnyError = true;
+      continue;
+    }
+    for (size_t L = 0; L < Levels.size(); ++L) {
+      const CheckReport &Report = R.Reports[L];
+      if (Report.Consistent) {
+        std::printf("%s %s: consistent\n", Paths[I].c_str(),
+                    isolationLevelName(Levels[L]));
+      } else {
+        AnyInconsistent = true;
+        std::printf("%s %s: INCONSISTENT (%zu violation%s)\n",
+                    Paths[I].c_str(), isolationLevelName(Levels[L]),
+                    Report.Violations.size(),
+                    Report.Violations.size() == 1 ? "" : "s");
+      }
+    }
+  }
+  return AnyError ? 2 : AnyInconsistent ? 1 : 0;
 }
 
 int cmdStats(const std::string &Path, const Flags &F) {
@@ -189,10 +310,10 @@ int cmdGenerate(const Flags &F) {
     return 2;
   }
   P.Bench = *Bench;
-  P.Sessions = std::stoul(F.getOr("sessions", "50"));
-  P.Txns = std::stoul(F.getOr("txns", "1000"));
-  P.Seed = std::stoull(F.getOr("seed", "1"));
-  P.AbortProbability = std::stod(F.getOr("abort-prob", "0"));
+  P.Sessions = numFlag(F, "sessions", "50");
+  P.Txns = numFlag(F, "txns", "1000");
+  P.Seed = numFlag(F, "seed", "1");
+  P.AbortProbability = floatFlag(F, "abort-prob", "0");
   std::string ModeName = F.getOr("mode", "causal");
   if (ModeName == "serializable")
     P.Mode = ConsistencyMode::Serializable;
@@ -239,9 +360,9 @@ int cmdGenerate(const Flags &F) {
 }
 
 int cmdReduce(const Flags &F) {
-  size_t Nodes = std::stoul(F.getOr("nodes", "16"));
-  double EdgeProb = std::stod(F.getOr("edge-prob", "0.2"));
-  uint64_t Seed = std::stoull(F.getOr("seed", "1"));
+  size_t Nodes = numFlag(F, "nodes", "16");
+  double EdgeProb = floatFlag(F, "edge-prob", "0.2");
+  uint64_t Seed = numFlag(F, "seed", "1");
   std::string Variant = F.getOr("variant", "general");
   const std::string *OutPath = F.get("out");
   if (!OutPath) {
@@ -298,7 +419,7 @@ int cmdShrink(const std::string &Path, const Flags &F) {
 
   ShrinkOptions Options;
   Options.MaxChecks =
-      static_cast<size_t>(std::stoul(F.getOr("max-checks", "2000")));
+      static_cast<size_t>(numFlag(F, "max-checks", "2000"));
   ShrinkResult R = shrinkViolation(*H, *Level, Options);
   if (!saveHistory(R.Shrunk, *OutPath, F.getOr("format", "native"), &Err)) {
     std::fprintf(stderr, "error: %s\n", Err.c_str());
@@ -319,9 +440,10 @@ int main(int Argc, char **Argv) {
     return usage();
   std::string Cmd = Argv[1];
 
-  // Collect positionals and --flag value pairs.
+  // Collect positionals and --flag value pairs. Only batch takes more than
+  // one positional.
   Flags F;
-  std::string Positional;
+  std::vector<std::string> Positionals;
   for (int I = 2; I < Argc; ++I) {
     std::string Arg = Argv[I];
     if (Arg.rfind("--", 0) == 0) {
@@ -330,22 +452,24 @@ int main(int Argc, char **Argv) {
         return 2;
       }
       F.Values[Arg.substr(2)] = Argv[++I];
-    } else if (Positional.empty()) {
-      Positional = Arg;
     } else {
-      return usage();
+      Positionals.push_back(Arg);
     }
   }
+  if (Positionals.size() > 1 && Cmd != "batch")
+    return usage();
 
-  if (Cmd == "check" && !Positional.empty())
-    return cmdCheck(Positional, F);
-  if (Cmd == "stats" && !Positional.empty())
-    return cmdStats(Positional, F);
+  if (Cmd == "check" && Positionals.size() == 1)
+    return cmdCheck(Positionals[0], F);
+  if (Cmd == "batch" && !Positionals.empty())
+    return cmdBatch(Positionals, F);
+  if (Cmd == "stats" && Positionals.size() == 1)
+    return cmdStats(Positionals[0], F);
   if (Cmd == "generate")
     return cmdGenerate(F);
   if (Cmd == "reduce")
     return cmdReduce(F);
-  if (Cmd == "shrink" && !Positional.empty())
-    return cmdShrink(Positional, F);
+  if (Cmd == "shrink" && Positionals.size() == 1)
+    return cmdShrink(Positionals[0], F);
   return usage();
 }
