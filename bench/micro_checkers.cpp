@@ -17,6 +17,7 @@
 #include "checker/check_ra_single_session.h"
 #include "checker/check_rc.h"
 #include "checker/checker.h"
+#include "checker/monitor.h"
 #include "checker/read_consistency.h"
 #include "graph/tree_clock.h"
 #include "graph/vector_clock.h"
@@ -275,6 +276,63 @@ BENCHMARK(BM_ParallelCc)
     ->Args({65536, 2})->UseRealTime()
     ->Args({65536, 4})->UseRealTime()
     ->Args({65536, 8});
+
+// Streaming monitor ingest throughput: the whole history fed one
+// transaction at a time with an incremental checking pass every
+// `interval` commits (the `awdit monitor` hot path). Args: {txns,
+// interval}; interval 0 defers all checking to finalize, which is the
+// one-shot wrapper configuration and the baseline to compare against.
+static void runMonitorIngest(benchmark::State &State, IsolationLevel Level,
+                             size_t WindowTxns) {
+  const History &H = cachedHistory(static_cast<size_t>(State.range(0)));
+  size_t Interval = static_cast<size_t>(State.range(1));
+  for (auto _ : State) {
+    MonitorOptions Options;
+    Options.Level = Level;
+    Options.Check.MaxWitnesses = 1;
+    Options.CheckIntervalTxns = Interval;
+    Options.WindowTxns = WindowTxns;
+    Monitor M(Options);
+    M.replay(H);
+    benchmark::DoNotOptimize(M.finalize());
+  }
+  reportOps(State, H);
+}
+
+static void BM_MonitorIngestRc(benchmark::State &State) {
+  runMonitorIngest(State, IsolationLevel::ReadCommitted, /*WindowTxns=*/0);
+}
+BENCHMARK(BM_MonitorIngestRc)
+    ->Args({4096, 0})
+    ->Args({4096, 256})
+    ->Args({16384, 256})
+    ->Args({16384, 1024});
+
+static void BM_MonitorIngestRa(benchmark::State &State) {
+  runMonitorIngest(State, IsolationLevel::ReadAtomic, /*WindowTxns=*/0);
+}
+BENCHMARK(BM_MonitorIngestRa)
+    ->Args({4096, 0})
+    ->Args({4096, 256})
+    ->Args({16384, 256})
+    ->Args({16384, 1024});
+
+static void BM_MonitorIngestCc(benchmark::State &State) {
+  runMonitorIngest(State, IsolationLevel::CausalConsistency,
+                   /*WindowTxns=*/0);
+}
+BENCHMARK(BM_MonitorIngestCc)
+    ->Args({4096, 0})
+    ->Args({4096, 256})
+    ->Args({16384, 1024});
+
+// Windowed ingest: bounded memory with eviction every pass. The window is
+// a quarter of the stream so compaction runs repeatedly.
+static void BM_MonitorWindowedCc(benchmark::State &State) {
+  runMonitorIngest(State, IsolationLevel::CausalConsistency,
+                   /*WindowTxns=*/static_cast<size_t>(State.range(0)) / 4);
+}
+BENCHMARK(BM_MonitorWindowedCc)->Args({4096, 256})->Args({16384, 1024});
 
 // End-to-end facade throughput (what the CLI pays per history).
 static void BM_FacadeAllLevels(benchmark::State &State) {

@@ -1,0 +1,81 @@
+//===- examples/live_monitor.cpp - Streaming Monitor walkthrough ------------===//
+//
+// Part of the AWDIT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The streaming-API walkthrough: a Monitor session fed transaction by
+/// transaction, as a live database tester would, with a callback sink
+/// printing violations the moment they become detectable and a bounded
+/// window evicting old transactions. Compare examples/quickstart.cpp,
+/// which materializes a History and checks it one-shot.
+///
+//===----------------------------------------------------------------------===//
+
+#include "checker/monitor.h"
+#include "checker/violation_sink.h"
+
+#include <cstdio>
+
+using namespace awdit;
+
+int main() {
+  // Violations stream to this callback as they are detected — no waiting
+  // for the history to end. JsonLinesSink / CollectingSink are drop-in
+  // alternatives.
+  CallbackSink Sink([](const Violation &V, const std::string &Desc) {
+    std::printf("  >> live violation (kind %d): %s\n",
+                static_cast<int>(V.Kind), Desc.c_str());
+  });
+
+  MonitorOptions Options;
+  Options.Level = IsolationLevel::CausalConsistency;
+  Options.CheckIntervalTxns = 4; // check every 4 commits
+  Options.WindowTxns = 1000;     // bound memory on unbounded streams
+  Monitor M(Options, &Sink);
+
+  SessionId Alice = M.addSession();
+  SessionId Bob = M.addSession();
+
+  // Alice initializes two keys in one transaction.
+  TxnId T0 = M.beginTxn(Alice);
+  M.write(T0, /*K=*/1, /*V=*/100);
+  M.write(T0, /*K=*/2, /*V=*/200);
+  M.commit(T0);
+
+  // Bob reads both — a consistent snapshot so far.
+  TxnId T1 = M.beginTxn(Bob);
+  M.read(T1, 1, 100);
+  M.read(T1, 2, 200);
+  M.commit(T1);
+
+  // Alice overwrites both keys in one transaction...
+  TxnId T2 = M.beginTxn(Alice);
+  M.write(T2, 1, 101);
+  M.write(T2, 2, 201);
+  M.commit(T2);
+
+  // ... but Bob observes only half of it: a fractured read. The monitor
+  // flags it at the next checking pass, while the stream keeps running.
+  TxnId T3 = M.beginTxn(Bob);
+  M.read(T3, 1, 101); // new value of key 1
+  M.read(T3, 2, 200); // stale value of key 2
+  M.commit(T3);
+
+  TxnId T4 = M.beginTxn(Alice);
+  M.write(T4, 3, 300);
+  M.commit(T4);
+
+  CheckReport Report = M.finalize();
+  const MonitorStats &S = M.stats();
+  std::printf("stream ended: %s (%llu txns ingested, %llu violations, "
+              "%llu checking passes)\n",
+              Report.Consistent ? "consistent" : "INCONSISTENT",
+              static_cast<unsigned long long>(S.IngestedTxns),
+              static_cast<unsigned long long>(S.ReportedViolations),
+              static_cast<unsigned long long>(S.Flushes));
+  for (const Violation &V : Report.Violations)
+    std::printf("  final report: %s\n", M.describe(V).c_str());
+  return Report.Consistent ? 0 : 1;
+}

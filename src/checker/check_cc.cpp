@@ -4,6 +4,7 @@
 
 #include "checker/commit_graph.h"
 #include "checker/read_consistency.h"
+#include "checker/saturation_impl.h"
 #include "graph/topo_sort.h"
 
 #include <unordered_map>
@@ -43,33 +44,6 @@ void awdit::fillHappensBefore(const History &H,
   }
 }
 
-namespace {
-
-/// A writer entry: transaction id plus its cached session position so the
-/// monotone scan stays on contiguous memory.
-struct WriterEntry {
-  TxnId T;
-  uint32_t SoIndex;
-};
-
-/// Per-key writer index: for each key, the sessions writing it and their
-/// so-ordered writer lists, plus the monotone scan pointers of the
-/// session currently being processed (Algorithm 3, lastWrite / Writes).
-/// Only sessions that actually write the key are visited, which preserves
-/// the O(n·k) bound while skipping the (common) all-bottom entries.
-struct KeyWriters {
-  std::vector<SessionId> Sessions;
-  std::vector<std::vector<WriterEntry>> Lists;
-  /// Scan pointers, valid for the session stamped in Epoch.
-  std::vector<uint32_t> Consumed;
-  /// Last (pointer, reader-writer) emitted per slot, packed; suppresses
-  /// the long runs of duplicate inferences hot keys otherwise produce.
-  std::vector<uint64_t> LastEmit;
-  SessionId Epoch = static_cast<SessionId>(-1);
-};
-
-} // namespace
-
 bool awdit::computeHappensBefore(const History &H, HappensBefore &HB) {
   CommitGraph Base(H);
   std::optional<std::vector<uint32_t>> Order =
@@ -98,75 +72,11 @@ bool awdit::checkCc(const History &H, std::vector<Violation> &Out,
   HappensBefore HB;
   fillHappensBefore(H, *Order, HB);
 
-  size_t K = H.numSessions();
-  // Writes_s'[x] for all s' at once, grouped by key.
-  std::unordered_map<Key, KeyWriters> Writers;
-  Writers.reserve(H.numKeys() * 2);
-  for (SessionId S = 0; S < K; ++S) {
-    for (TxnId T : H.sessionTxns(S)) {
-      const Transaction &Txn = H.txn(T);
-      for (Key X : Txn.WriteKeys) {
-        KeyWriters &KW = Writers[X];
-        if (KW.Sessions.empty() || KW.Sessions.back() != S) {
-          KW.Sessions.push_back(S);
-          KW.Lists.emplace_back();
-        }
-        KW.Lists.back().push_back({T, Txn.SoIndex});
-      }
-    }
-  }
-  for (auto &[X, KW] : Writers) {
-    KW.Consumed.assign(KW.Sessions.size(), 0);
-    KW.LastEmit.assign(KW.Sessions.size(), ~uint64_t(0));
-  }
-
-  // Lines 5-15. Re-processing a repeated (x, t1) pair is idempotent (the
-  // scan pointers are already advanced), so no dedup pass is needed.
-  for (SessionId S = 0; S < K; ++S) {
-    for (TxnId T3 : H.sessionTxns(S)) {
-      const Transaction &T = H.txn(T3);
-      if (T.ExtReads.empty())
-        continue;
-      const uint32_t *Row = &HB.Rows[static_cast<size_t>(T3) * K];
-
-      // Line 8: iterate t1 wr_x-> t3.
-      for (uint32_t ReadIdx : T.ExtReads) {
-        const ReadInfo &RI = T.Reads[ReadIdx];
-        TxnId T1 = RI.Writer;
-        auto WIt = Writers.find(RI.K);
-        if (WIt == Writers.end())
-          continue;
-        KeyWriters &KW = WIt->second;
-        // Scan pointers are monotone along so within one scanning
-        // session; entering a new session resets them (the paper keeps
-        // them per session of t3).
-        if (KW.Epoch != S) {
-          KW.Epoch = S;
-          std::fill(KW.Consumed.begin(), KW.Consumed.end(), 0);
-          std::fill(KW.LastEmit.begin(), KW.LastEmit.end(), ~uint64_t(0));
-        }
-        // Lines 9-15: advance each writing session's last-writer pointer
-        // under the happens-before frontier of t3 and emit the edge.
-        for (size_t Slot = 0; Slot < KW.Sessions.size(); ++Slot) {
-          const std::vector<WriterEntry> &List = KW.Lists[Slot];
-          uint32_t Frontier = Row[KW.Sessions[Slot]];
-          uint32_t &C = KW.Consumed[Slot];
-          while (C < List.size() && List[C].SoIndex < Frontier)
-            ++C;
-          if (C == 0)
-            continue;
-          TxnId T2 = List[C - 1].T;
-          if (T2 == T1)
-            continue;
-          uint64_t Emit = (static_cast<uint64_t>(C) << 32) | T1;
-          if (KW.LastEmit[Slot] == Emit)
-            continue;
-          KW.LastEmit[Slot] = Emit;
-          Co.inferEdge(T2, T1);
-        }
-      }
-    }
-  }
+  // Lines 5-15: the shared per-key monotone scan kernel (also run by the
+  // streaming Monitor over its window).
+  detail::saturateCc(H, HB, [&](TxnId From, TxnId To) {
+    Co.inferEdge(From, To);
+  });
 
   if (Stats) {
     Stats->InferredEdges = Co.numInferredEdges();

@@ -6,6 +6,7 @@
 #include "checker/check_ra.h"
 #include "checker/check_ra_single_session.h"
 #include "checker/check_rc.h"
+#include "checker/monitor.h"
 #include "checker/parallel.h"
 #include "support/assert.h"
 #include "support/thread_pool.h"
@@ -14,8 +15,9 @@
 
 using namespace awdit;
 
-CheckReport awdit::checkIsolation(const History &H, IsolationLevel Level,
-                                  const CheckOptions &Options) {
+CheckReport awdit::detail::checkOneShot(const History &H,
+                                        IsolationLevel Level,
+                                        const CheckOptions &Options) {
   CheckReport Report;
   SaturationStats Sat;
 
@@ -71,4 +73,17 @@ CheckReport awdit::checkIsolation(const History &H, IsolationLevel Level,
   AWDIT_ASSERT(Report.Consistent == Report.Violations.empty(),
                "verdict must agree with the violation list");
   return Report;
+}
+
+CheckReport awdit::checkIsolation(const History &H, IsolationLevel Level,
+                                  const CheckOptions &Options) {
+  MonitorOptions MonitorOpts;
+  MonitorOpts.Level = Level;
+  MonitorOpts.Check = Options;
+  Monitor M(MonitorOpts);
+  // The history is already resolved, so the bulk-adopt fast path skips
+  // per-operation re-resolution; tests/test_monitor.cpp holds this path
+  // and the incremental replay() path to the same bit-identical contract.
+  M.adopt(H);
+  return M.finalize();
 }

@@ -1,0 +1,794 @@
+//===- checker/monitor.cpp - Streaming online-checking session -------------===//
+
+#include "checker/monitor.h"
+
+#include "checker/check_cc.h"
+#include "checker/check_ra.h"
+#include "checker/commit_graph.h"
+#include "checker/read_consistency.h"
+#include "graph/topo_sort.h"
+#include "support/assert.h"
+
+#include <algorithm>
+
+using namespace awdit;
+
+namespace {
+
+const char *edgeKindName(EdgeKind Kind) {
+  switch (Kind) {
+  case EdgeKind::So:
+    return "so";
+  case EdgeKind::Wr:
+    return "wr";
+  case EdgeKind::Inferred:
+    return "co'";
+  }
+  return "?";
+}
+
+} // namespace
+
+Monitor::Monitor(const MonitorOptions &Options, ViolationSink *Sink)
+    : Opts(Options), Sink(Sink) {}
+
+SessionId Monitor::addSession() {
+  Live.Sessions.emplace_back();
+  SessionSoBase.push_back(0);
+  return static_cast<SessionId>(Live.Sessions.size() - 1);
+}
+
+TxnId Monitor::toLocal(TxnId MonitorId) const {
+  AWDIT_ASSERT(MonitorId >= Base &&
+                   MonitorId - Base < Live.Txns.size(),
+               "Monitor: unknown or evicted transaction id");
+  return MonitorId - Base;
+}
+
+TxnId Monitor::beginTxn(SessionId S) {
+  AWDIT_ASSERT(S < Live.Sessions.size(), "beginTxn: unknown session");
+  AWDIT_ASSERT(!Finalized, "beginTxn: monitor already finalized");
+  ensureAdoptedIndex();
+  Transaction T;
+  T.Session = S;
+  // Open transactions are not yet part of T_c: Committed flips on commit().
+  T.Committed = false;
+  Live.Txns.push_back(std::move(T));
+  Meta.push_back(TxnMeta{});
+  ++Stats.IngestedTxns;
+  return toMonitorId(static_cast<TxnId>(Live.Txns.size() - 1));
+}
+
+void Monitor::read(TxnId T, Key K, Value V) {
+  append(T, Operation::read(K, V));
+}
+
+bool Monitor::write(TxnId T, Key K, Value V) {
+  return append(T, Operation::write(K, V));
+}
+
+bool Monitor::append(TxnId T, Operation Op) {
+  TxnId L = toLocal(T);
+  AWDIT_ASSERT(Meta[L].Open, "append: transaction already closed");
+  Keys.insert(Op.K);
+  Live.KeyCount = Keys.size();
+  if (Op.isWrite()) {
+    uint32_t OpIdx = static_cast<uint32_t>(Live.Txns[L].Ops.size());
+    if (!Writes.record(Op.K, Op.V, L, OpIdx)) {
+      if (ErrText.empty())
+        ErrText = duplicateWriteMessage(Op.K, Op.V);
+      return false;
+    }
+    // Retroactive resolution: readers that closed before this write
+    // arrived re-derive at the next checking pass.
+    auto It = PendingReads.find(KeyValue{Op.K, Op.V});
+    if (It != PendingReads.end()) {
+      for (auto [Reader, ReadOp] : It->second) {
+        (void)ReadOp;
+        Dirty.insert(Reader);
+        --Stats.UnresolvedReads;
+      }
+      PendingReads.erase(It);
+    }
+  }
+  Live.Txns[L].Ops.push_back(Op);
+  ++Live.TotalOps;
+  ++Stats.IngestedOps;
+  return true;
+}
+
+void Monitor::commit(TxnId T) { closeTxn(toLocal(T), /*Committed=*/true); }
+
+void Monitor::abortTxn(TxnId T) { closeTxn(toLocal(T), /*Committed=*/false); }
+
+void Monitor::closeTxn(TxnId Local, bool Committed) {
+  AWDIT_ASSERT(Meta[Local].Open, "closeTxn: transaction already closed");
+  Meta[Local].Open = false;
+  Transaction &Txn = Live.Txns[Local];
+  Txn.Committed = Committed;
+  if (Committed) {
+    std::vector<TxnId> &Sess = Live.Sessions[Txn.Session];
+    Txn.SoIndex = static_cast<uint32_t>(Sess.size());
+    Sess.push_back(Local);
+    ++Live.CommittedCount;
+    ++Stats.CommittedTxns;
+  }
+
+  // Resolve this transaction's reads and schedule its checking.
+  if (!deriveTxn(Local))
+    Meta[Local].Deferred = true;
+  Dirty.insert(Local);
+
+  // Wake readers that resolved to this transaction while it was open:
+  // its commit status is now known.
+  auto It = WaitersOnClose.find(Local);
+  if (It != WaitersOnClose.end()) {
+    for (TxnId Reader : It->second)
+      Dirty.insert(Reader);
+    WaitersOnClose.erase(It);
+  }
+
+  if (Committed && Opts.CheckIntervalTxns &&
+      ++CommitsSinceFlush >= Opts.CheckIntervalTxns)
+    flush(/*Final=*/false);
+}
+
+bool Monitor::deriveTxn(TxnId Local) {
+  Transaction &T = Live.Txns[Local];
+  T.Reads.clear();
+
+  std::vector<Key> WrittenKeys;
+  bool AllWritersClosed = true;
+  uint64_t ReaderTag = static_cast<uint64_t>(toMonitorId(Local)) << 32;
+
+  for (uint32_t OpIdx = 0; OpIdx < T.Ops.size(); ++OpIdx) {
+    const Operation &Op = T.Ops[OpIdx];
+    if (Op.isWrite()) {
+      WrittenKeys.push_back(Op.K);
+      continue;
+    }
+    ReadInfo RI{OpIdx, Op.K, Op.V, NoTxn, NoOp};
+    bool Masked = EvictedWriterMask.count(ReaderTag | OpIdx) != 0;
+    if (!Masked) {
+      if (const WriteSite *Site = Writes.find(Op.K, Op.V)) {
+        RI.Writer = Site->T;
+        RI.WriterOp = Site->Op;
+      }
+    }
+    T.Reads.push_back(RI);
+
+    if (RI.Writer == NoTxn) {
+      if (!Masked) {
+        // No write site yet: park the read for retroactive resolution.
+        std::vector<std::pair<TxnId, uint32_t>> &Waiters =
+            PendingReads[KeyValue{Op.K, Op.V}];
+        if (std::find(Waiters.begin(), Waiters.end(),
+                      std::make_pair(Local, OpIdx)) == Waiters.end()) {
+          Waiters.emplace_back(Local, OpIdx);
+          ++Stats.UnresolvedReads;
+        }
+      }
+      continue;
+    }
+    if (RI.Writer == Local)
+      continue; // Internal read; never external.
+    if (Meta[RI.Writer].Open) {
+      // The writer's commit status is unknown; re-derive when it closes.
+      AllWritersClosed = false;
+      std::vector<TxnId> &Waiters = WaitersOnClose[RI.Writer];
+      if (std::find(Waiters.begin(), Waiters.end(), Local) == Waiters.end())
+        Waiters.push_back(Local);
+    }
+  }
+
+  std::sort(WrittenKeys.begin(), WrittenKeys.end());
+  WrittenKeys.erase(std::unique(WrittenKeys.begin(), WrittenKeys.end()),
+                    WrittenKeys.end());
+  T.WriteKeys = std::move(WrittenKeys);
+  classifyExternalReads(Local);
+  return AllWritersClosed;
+}
+
+void Monitor::classifyExternalReads(TxnId Local) {
+  Transaction &T = Live.Txns[Local];
+  T.ExtReads.clear();
+  T.ReadFroms.clear();
+  std::vector<TxnId> SeenWriters;
+  for (uint32_t ReadIdx = 0; ReadIdx < T.Reads.size(); ++ReadIdx) {
+    const ReadInfo &RI = T.Reads[ReadIdx];
+    if (RI.Writer == NoTxn || RI.Writer == Local ||
+        Meta[RI.Writer].Open || !Live.Txns[RI.Writer].Committed)
+      continue;
+    T.ExtReads.push_back(ReadIdx);
+    if (std::find(SeenWriters.begin(), SeenWriters.end(), RI.Writer) ==
+        SeenWriters.end()) {
+      SeenWriters.push_back(RI.Writer);
+      T.ReadFroms.push_back(RI.Writer);
+    }
+  }
+}
+
+void Monitor::replay(const History &H) {
+  while (Live.Sessions.size() < H.numSessions())
+    addSession();
+  for (TxnId Id = 0; Id < H.numTxns(); ++Id) {
+    const Transaction &T = H.txn(Id);
+    TxnId M = beginTxn(T.Session);
+    for (const Operation &Op : T.Ops)
+      append(M, Op);
+    if (T.Committed)
+      commit(M);
+    else
+      abortTxn(M);
+  }
+}
+
+void Monitor::adopt(const History &H) {
+  AWDIT_ASSERT(Live.Txns.empty() && Live.Sessions.empty() && !Finalized,
+               "adopt: monitor must be pristine");
+  // Take the resolved history over wholesale: H was produced by
+  // HistoryBuilder::build() (or an earlier finalize), so every derived
+  // index is already in its final state and nothing needs re-deriving —
+  // adopted transactions are not marked dirty, and the write index is
+  // materialized lazily only if streaming continues (the adopt-then-
+  // finalize wrapper never needs it).
+  Live = H;
+  Meta.assign(Live.Txns.size(), TxnMeta{/*Open=*/false, /*Deferred=*/false});
+  SessionSoBase.assign(Live.Sessions.size(), 0);
+  AdoptedIndexPending = true;
+  Stats.IngestedTxns += Live.Txns.size();
+  Stats.IngestedOps += Live.TotalOps;
+  Stats.CommittedTxns += Live.CommittedCount;
+}
+
+void Monitor::ensureAdoptedIndex() {
+  if (!AdoptedIndexPending)
+    return;
+  AdoptedIndexPending = false;
+  // Populate the write index and key universe so new ingestion resolves
+  // (and duplicate-detects) against the adopted writes.
+  for (TxnId L = 0; L < static_cast<TxnId>(Live.Txns.size()); ++L) {
+    const Transaction &T = Live.Txns[L];
+    for (uint32_t OpIdx = 0; OpIdx < T.Ops.size(); ++OpIdx) {
+      const Operation &Op = T.Ops[OpIdx];
+      Keys.insert(Op.K);
+      if (Op.isWrite())
+        Writes.record(Op.K, Op.V, L, OpIdx);
+    }
+  }
+}
+
+History Monitor::takeHistory() {
+  AWDIT_ASSERT(!Finalized, "takeHistory: monitor already finalized");
+  AWDIT_ASSERT(Stats.EvictedTxns == 0,
+               "takeHistory: window was evicted; the history is partial");
+  Finalized = true;
+  for (size_t L = 0; L < Meta.size(); ++L)
+    AWDIT_ASSERT(!Meta[L].Open, "takeHistory: transaction still open");
+  for (TxnId L : Dirty)
+    deriveTxn(L);
+  Dirty.clear();
+  return std::move(Live);
+}
+
+bool Monitor::check() {
+  flush(/*Final=*/false);
+  return !AnyViolation;
+}
+
+void Monitor::addEdges(uint64_t Source,
+                       const std::vector<uint64_t> &Edges) {
+  if (Edges.empty())
+    return;
+  std::vector<uint64_t> &List = InferredBySource[Source];
+  for (uint64_t Packed : Edges) {
+    List.push_back(Packed);
+    ++EdgeRefs[Packed];
+  }
+}
+
+void Monitor::removeSource(uint64_t Source) {
+  auto It = InferredBySource.find(Source);
+  if (It == InferredBySource.end())
+    return;
+  for (uint64_t Packed : It->second) {
+    auto RefIt = EdgeRefs.find(Packed);
+    if (RefIt != EdgeRefs.end() && --RefIt->second == 0)
+      EdgeRefs.erase(RefIt);
+  }
+  InferredBySource.erase(It);
+}
+
+void Monitor::flush(bool Final) {
+  ++Stats.Flushes;
+  CommitsSinceFlush = 0;
+
+  // Re-derive dirty transactions; those with a still-open writer stay
+  // dirty until it closes.
+  std::vector<TxnId> Ready;
+  std::vector<TxnId> DirtyNow(Dirty.begin(), Dirty.end());
+  for (TxnId L : DirtyNow) {
+    if (Meta[L].Open)
+      continue;
+    if (!deriveTxn(L)) {
+      Meta[L].Deferred = true;
+      continue;
+    }
+    Meta[L].Deferred = false;
+    Dirty.erase(L);
+    if (Live.Txns[L].Committed)
+      Ready.push_back(L);
+  }
+
+  std::vector<Violation> Found;
+
+  // Read-level axioms for the affected transactions. Thin-air reads are
+  // withheld until the stream ends: the write may simply not have arrived
+  // yet (they are tracked in PendingReads meanwhile).
+  for (TxnId L : Ready) {
+    std::vector<Violation> Tmp;
+    checkReadConsistencyRange(Live, L, L + 1, Tmp);
+    if (Opts.Level == IsolationLevel::ReadAtomic)
+      checkRepeatableReadsRange(Live, L, L + 1, Tmp);
+    for (Violation &V : Tmp)
+      if (V.Kind != ViolationKind::ThinAirRead)
+        Found.push_back(std::move(V));
+  }
+
+  // Thin-air reads are never reported here. Without evictions the
+  // canonical finalize pass reports them exactly; after evictions an
+  // unresolved read is indistinguishable from a read of an evicted write,
+  // so it is only counted (UnresolvedReads / EvictedUnresolvedReads) —
+  // the windowed-mode completeness trade-off.
+
+  runIncrementalChecks(Ready, Found);
+
+  for (Violation &V : Found) {
+    translateToMonitorIds(V);
+    emitViolation(std::move(V));
+  }
+
+  if (!Final)
+    maybeEvict();
+  Stats.LiveTxns = Live.numTxns();
+  Stats.InferredEdges = EdgeRefs.size();
+}
+
+void Monitor::runIncrementalChecks(const std::vector<TxnId> &Ready,
+                                   std::vector<Violation> &Out) {
+  switch (Opts.Level) {
+  case IsolationLevel::ReadCommitted: {
+    // Algorithm 1 is per-transaction: saturate exactly the affected ones.
+    detail::RcScratch Scratch;
+    for (TxnId L : Ready) {
+      removeSource(rcSource(L));
+      std::vector<uint64_t> Edges;
+      detail::saturateRcRange(Live, L, L + 1, Scratch,
+                              [&](TxnId From, TxnId To) {
+                                Edges.push_back(
+                                    CommitGraph::packEdge(From, To));
+                              });
+      addEdges(rcSource(L), Edges);
+    }
+    break;
+  }
+  case IsolationLevel::ReadAtomic: {
+    // Algorithm 2 is per-session with state flowing along so: extend each
+    // session's saturation from its last processed position; retroactive
+    // re-resolution of an already-processed transaction re-runs the
+    // session from scratch.
+    if (RaStates.size() < Live.Sessions.size())
+      RaStates.resize(Live.Sessions.size());
+    for (TxnId L : Ready) {
+      RaSessionState &St = RaStates[Live.Txns[L].Session];
+      if (Live.Txns[L].SoIndex < St.NextSo)
+        St.NeedsFullRerun = true;
+    }
+    for (SessionId S = 0; S < Live.Sessions.size(); ++S) {
+      RaSessionState &St = RaStates[S];
+      if (St.NeedsFullRerun) {
+        removeSource(raSource(S));
+        St.Scratch.LastWrite.clear();
+        St.NextSo = 0;
+        St.NeedsFullRerun = false;
+      }
+      size_t Size = Live.Sessions[S].size();
+      if (St.NextSo >= Size)
+        continue;
+      std::vector<uint64_t> Edges;
+      detail::saturateRaSessionRange(Live, S, St.NextSo, Size, St.Scratch,
+                                     [&](TxnId From, TxnId To) {
+                                       Edges.push_back(
+                                           CommitGraph::packEdge(From, To));
+                                     });
+      St.NextSo = Size;
+      addEdges(raSource(S), Edges);
+    }
+    break;
+  }
+  case IsolationLevel::CausalConsistency:
+    // Handled below: Algorithm 3's happens-before frontier is global, so
+    // the window is re-saturated against the current so ∪ wr graph.
+    break;
+  }
+
+  CommitGraph Co(Live);
+  if (Opts.Level == IsolationLevel::CausalConsistency) {
+    removeSource(CcSource);
+    std::optional<std::vector<uint32_t>> Order =
+        topologicalSort(Co.graph());
+    if (Order) {
+      HappensBefore HB;
+      fillHappensBefore(Live, *Order, HB);
+      std::vector<uint64_t> Edges;
+      detail::saturateCc(Live, HB, [&](TxnId From, TxnId To) {
+        Edges.push_back(CommitGraph::packEdge(From, To));
+      });
+      addEdges(CcSource, Edges);
+    }
+    // A cyclic so ∪ wr is caught by the acyclicity check below.
+  }
+
+  for (const auto &[Packed, Refs] : EdgeRefs) {
+    (void)Refs;
+    Co.inferEdge(static_cast<TxnId>(Packed >> 32),
+                 static_cast<TxnId>(Packed));
+  }
+  Co.checkAcyclic(Out, Opts.Check.MaxWitnesses);
+  Stats.GraphEdges = Co.numEdges();
+}
+
+void Monitor::translateToMonitorIds(Violation &V) const {
+  if (V.T != NoTxn)
+    V.T += Base;
+  if (V.Other != NoTxn)
+    V.Other += Base;
+  for (WitnessEdge &E : V.Cycle) {
+    E.From += Base;
+    E.To += Base;
+  }
+}
+
+std::string Monitor::fingerprint(const Violation &V) {
+  std::string Fp = std::to_string(static_cast<int>(V.Kind)) + "|" +
+                   std::to_string(V.T) + "|" + std::to_string(V.OpIndex) +
+                   "|" + std::to_string(V.Other);
+  for (const WitnessEdge &E : V.Cycle) {
+    Fp += "|";
+    Fp += std::to_string(E.From) + ">" + std::to_string(E.To) + ":" +
+          std::to_string(static_cast<int>(E.Kind));
+  }
+  return Fp;
+}
+
+bool Monitor::emitViolation(Violation V) {
+  if (!V.Cycle.empty()) {
+    // One report per emerging cyclic region: as the stream grows, an SCC
+    // can grow and its extracted witness change; re-reporting it every
+    // pass would flood the sink.
+    for (const WitnessEdge &E : V.Cycle)
+      if (ReportedCycleTxns.count(E.From))
+        return false;
+    for (const WitnessEdge &E : V.Cycle)
+      ReportedCycleTxns.insert(E.From);
+  }
+  if (!ReportedFp.insert(fingerprint(V)).second)
+    return false;
+  AnyViolation = true;
+  ++Stats.ReportedViolations;
+  if (Sink)
+    Sink->onViolation(V, describe(V));
+  if (StreamReported.size() < MaxWindowedReportViolations)
+    StreamReported.push_back(std::move(V));
+  return true;
+}
+
+void Monitor::maybeEvict() {
+  size_t LiveTxns = Live.numTxns();
+  size_t Target = 0;
+  if (Opts.WindowTxns && LiveTxns > Opts.WindowTxns)
+    Target = LiveTxns - Opts.WindowTxns;
+  if (Opts.WindowEdges && Stats.GraphEdges > Opts.WindowEdges)
+    Target = std::max(Target, LiveTxns / 4);
+  if (Target == 0)
+    return;
+
+  // Only a prefix of fully processed transactions can leave: stop at the
+  // first still-open or still-dirty one.
+  size_t Evictable = Dirty.empty() ? LiveTxns
+                                   : static_cast<size_t>(*Dirty.begin());
+  size_t ClosedPrefix = 0;
+  while (ClosedPrefix < Evictable && !Meta[ClosedPrefix].Open)
+    ++ClosedPrefix;
+  size_t Count = std::min(Target, ClosedPrefix);
+  if (Count > 0)
+    compact(Count);
+}
+
+void Monitor::compact(size_t Count) {
+  ++Stats.Compactions;
+  Stats.EvictedTxns += Count;
+  TxnId Cut = static_cast<TxnId>(Count);
+
+  // Window accounting of the evicted prefix.
+  for (size_t L = 0; L < Count; ++L) {
+    const Transaction &T = Live.Txns[L];
+    Live.TotalOps -= T.Ops.size();
+    if (T.Committed)
+      --Live.CommittedCount;
+  }
+
+  // Write index: entries of evicted writers vanish; the rest rebase.
+  Writes.remapTxns([Cut](TxnId T) {
+    return T < Cut ? NoTxn : static_cast<TxnId>(T - Cut);
+  });
+
+  // Pending reads: evicted readers are dropped (counted), others rebase.
+  for (auto It = PendingReads.begin(); It != PendingReads.end();) {
+    std::vector<std::pair<TxnId, uint32_t>> &Waiters = It->second;
+    size_t Kept = 0;
+    for (auto &[Reader, OpIdx] : Waiters) {
+      if (Reader < Cut) {
+        ++Stats.EvictedUnresolvedReads;
+        --Stats.UnresolvedReads;
+        continue;
+      }
+      Waiters[Kept++] = {static_cast<TxnId>(Reader - Cut), OpIdx};
+    }
+    Waiters.resize(Kept);
+    It = Waiters.empty() ? PendingReads.erase(It) : std::next(It);
+  }
+
+  // Close-waiters: keys are open transactions and thus never evicted.
+  {
+    std::unordered_map<TxnId, std::vector<TxnId>> NewWaiters;
+    for (auto &[Writer, Readers] : WaitersOnClose) {
+      AWDIT_ASSERT(Writer >= Cut, "compact: open writer in evicted prefix");
+      std::vector<TxnId> Kept;
+      for (TxnId R : Readers)
+        if (R >= Cut)
+          Kept.push_back(R - Cut);
+      if (!Kept.empty())
+        NewWaiters.emplace(Writer - Cut, std::move(Kept));
+    }
+    WaitersOnClose = std::move(NewWaiters);
+  }
+
+  // Drop the prefix and rebase the survivors' resolved state. Reads whose
+  // writer left the window are masked: excluded from checking, never
+  // reported as thin-air.
+  Live.Txns.erase(Live.Txns.begin(), Live.Txns.begin() + Count);
+  Meta.erase(Meta.begin(), Meta.begin() + Count);
+  uint64_t NewBase = static_cast<uint64_t>(Base) + Count;
+  for (size_t L = 0; L < Live.Txns.size(); ++L) {
+    Transaction &T = Live.Txns[L];
+    bool Changed = false;
+    for (ReadInfo &RI : T.Reads) {
+      if (RI.Writer == NoTxn)
+        continue;
+      if (RI.Writer < Cut) {
+        RI.Writer = NoTxn;
+        RI.WriterOp = NoOp;
+        EvictedWriterMask.insert(
+            ((NewBase + L) << 32) | RI.OpIndex);
+        ++Stats.EvictedWriterReads;
+        Changed = true;
+      } else {
+        RI.Writer -= Cut;
+      }
+    }
+    if (!Changed && T.ExtReads.empty())
+      continue;
+    // Rebuild the derived external-read indices from the rebased reads.
+    classifyExternalReads(static_cast<TxnId>(L));
+  }
+
+  // Session lists: drop evicted members, rebase the rest, reassign so
+  // positions, and remember how many so slots each session lost (labels).
+  std::vector<size_t> RemovedBeforeNextSo(Live.Sessions.size(), 0);
+  for (SessionId S = 0; S < Live.Sessions.size(); ++S) {
+    std::vector<TxnId> &Sess = Live.Sessions[S];
+    size_t Kept = 0, Removed = 0;
+    size_t NextSo = S < RaStates.size() ? RaStates[S].NextSo : 0;
+    for (size_t Pos = 0; Pos < Sess.size(); ++Pos) {
+      TxnId L = Sess[Pos];
+      if (L < Cut) {
+        ++Removed;
+        if (Pos < NextSo)
+          ++RemovedBeforeNextSo[S];
+        continue;
+      }
+      TxnId NewL = L - Cut;
+      Live.Txns[NewL].SoIndex = static_cast<uint32_t>(Kept);
+      Sess[Kept++] = NewL;
+    }
+    Sess.resize(Kept);
+    SessionSoBase[S] += Removed;
+  }
+
+  // RA incremental state: scratch entries of evicted writers vanish, the
+  // processed frontier shifts by the members removed below it.
+  for (SessionId S = 0; S < RaStates.size(); ++S) {
+    RaSessionState &St = RaStates[S];
+    St.NextSo -= RemovedBeforeNextSo[S];
+    for (auto It = St.Scratch.LastWrite.begin();
+         It != St.Scratch.LastWrite.end();) {
+      if (It->second < Cut) {
+        It = St.Scratch.LastWrite.erase(It);
+      } else {
+        It->second -= Cut;
+        ++It;
+      }
+    }
+  }
+
+  // Inferred-edge bookkeeping: edges touching the evicted prefix are gone
+  // (anomalies spanning the horizon are no longer detectable — the
+  // documented windowed-mode trade-off), as are the contributions of
+  // evicted RC source transactions.
+  {
+    std::unordered_map<uint64_t, std::vector<uint64_t>> NewSources;
+    for (auto &[Source, Edges] : InferredBySource) {
+      uint64_t NewSource = Source;
+      if (Source < (uint64_t(1) << 32)) { // RC source: a transaction.
+        if (Source < Count)
+          continue;
+        NewSource = Source - Count;
+      }
+      std::vector<uint64_t> KeptEdges;
+      for (uint64_t Packed : Edges) {
+        TxnId From = static_cast<TxnId>(Packed >> 32);
+        TxnId To = static_cast<TxnId>(Packed);
+        if (From < Cut || To < Cut)
+          continue;
+        KeptEdges.push_back(CommitGraph::packEdge(From - Cut, To - Cut));
+      }
+      if (!KeptEdges.empty())
+        NewSources.emplace(NewSource, std::move(KeptEdges));
+    }
+    InferredBySource = std::move(NewSources);
+    EdgeRefs.clear();
+    for (const auto &[Source, Edges] : InferredBySource) {
+      (void)Source;
+      for (uint64_t Packed : Edges)
+        ++EdgeRefs[Packed];
+    }
+  }
+
+  // Dirty transactions are never evicted (the prefix stops at the first);
+  // rebase the set.
+  {
+    std::set<TxnId> NewDirty;
+    for (TxnId L : Dirty) {
+      AWDIT_ASSERT(L >= Cut, "compact: dirty transaction in evicted prefix");
+      NewDirty.insert(L - Cut);
+    }
+    Dirty = std::move(NewDirty);
+  }
+
+  // Mask entries of evicted readers can never be consulted again.
+  for (auto It = EvictedWriterMask.begin();
+       It != EvictedWriterMask.end();) {
+    if ((*It >> 32) < NewBase)
+      It = EvictedWriterMask.erase(It);
+    else
+      ++It;
+  }
+
+  // Evicted transactions can never join a new cycle (their edges are
+  // gone), so their delivery-dedup entries are prunable.
+  for (auto It = ReportedCycleTxns.begin();
+       It != ReportedCycleTxns.end();) {
+    if (*It < NewBase)
+      It = ReportedCycleTxns.erase(It);
+    else
+      ++It;
+  }
+
+  // The window's key universe shrank with the evicted operations.
+  Keys.clear();
+  for (const Transaction &T : Live.Txns)
+    for (const Operation &Op : T.Ops)
+      Keys.insert(Op.K);
+  Live.KeyCount = Keys.size();
+
+  Base = static_cast<TxnId>(NewBase);
+}
+
+CheckReport Monitor::finalize() {
+  AWDIT_ASSERT(!Finalized, "finalize: called twice");
+  Finalized = true;
+
+  // Online semantics: a transaction that never committed did not commit.
+  for (size_t L = 0; L < Meta.size(); ++L)
+    if (Meta[L].Open)
+      closeTxn(static_cast<TxnId>(L), /*Committed=*/false);
+
+  if (Stats.EvictedTxns == 0) {
+    // Exact mode: bring every derived index to its final state, then run
+    // the canonical one-shot engine over the full ingested history. This
+    // is what makes checkIsolation() a bit-identical wrapper.
+    for (TxnId L : Dirty) {
+      bool Derived = deriveTxn(L);
+      AWDIT_ASSERT(Derived, "finalize: writer still open after close-all");
+      (void)Derived;
+    }
+    Dirty.clear();
+    CheckReport Report = detail::checkOneShot(Live, Opts.Level, Opts.Check);
+    // Deliver anything the incremental passes had not yet surfaced.
+    // Monitor ids equal history ids here (nothing was evicted).
+    for (const Violation &V : Report.Violations)
+      emitViolation(V);
+    Stats.LiveTxns = Live.numTxns();
+    Stats.InferredEdges = Report.Stats.InferredEdges;
+    Stats.GraphEdges = Report.Stats.GraphEdges;
+    return Report;
+  }
+
+  // Windowed mode: one last incremental pass, then aggregate what the
+  // stream produced. Completeness is bounded by the window — that is the
+  // contract of eviction; in particular thin-air reads are not reported
+  // (indistinguishable from reads of evicted writes), only counted in
+  // UnresolvedReads / EvictedUnresolvedReads.
+  flush(/*Final=*/true);
+  CheckReport Report;
+  Report.Consistent = !AnyViolation;
+  Report.Violations = StreamReported;
+  Report.Stats.InferredEdges = Stats.InferredEdges;
+  Report.Stats.GraphEdges = Stats.GraphEdges;
+  return Report;
+}
+
+const MonitorStats &Monitor::stats() {
+  Stats.LiveTxns = Live.numTxns();
+  Stats.InferredEdges = EdgeRefs.size();
+  return Stats;
+}
+
+std::string Monitor::txnLabel(TxnId MonitorId) const {
+  std::string Label = "t" + std::to_string(MonitorId);
+  if (MonitorId < Base)
+    return Label + "(evicted)";
+  TxnId L = MonitorId - Base;
+  if (L >= Live.Txns.size())
+    return Label + "(?)";
+  const Transaction &T = Live.Txns[L];
+  Label += "(s" + std::to_string(T.Session) + "#" +
+           std::to_string(SessionSoBase[T.Session] + T.SoIndex);
+  if (!T.Committed)
+    Label += ",aborted";
+  Label += ")";
+  return Label;
+}
+
+std::string Monitor::describe(const Violation &V) const {
+  std::string Out = violationKindName(V.Kind);
+  Out += ":";
+  if (!V.Cycle.empty()) {
+    for (const WitnessEdge &E : V.Cycle) {
+      Out += ' ';
+      Out += txnLabel(E.From);
+      Out += " -";
+      Out += edgeKindName(E.Kind);
+      Out += "->";
+    }
+    Out += ' ';
+    Out += txnLabel(V.Cycle.front().From);
+    return Out;
+  }
+  if (V.T != NoTxn) {
+    Out += " read";
+    if (V.T >= Base && V.OpIndex != NoOp) {
+      TxnId L = V.T - Base;
+      if (L < Live.Txns.size() && V.OpIndex < Live.Txns[L].Ops.size()) {
+        const Operation &Op = Live.Txns[L].Ops[V.OpIndex];
+        Out +=
+            " R(" + std::to_string(Op.K) + "," + std::to_string(Op.V) + ")";
+      }
+    }
+    Out += " in " + txnLabel(V.T);
+  }
+  if (V.Other != NoTxn)
+    Out += " (writer " + txnLabel(V.Other) + ")";
+  return Out;
+}

@@ -1,0 +1,361 @@
+//===- checker/monitor.h - Streaming online-checking session -----*- C++ -*-===//
+//
+// Part of the AWDIT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The streaming entry point of the AWDIT library: a long-lived Monitor
+/// session that ingests sessions/transactions/operations as they arrive
+/// from a running database (mirroring HistoryBuilder's begin/read/write/
+/// commit surface), resolves the wr relation incrementally, runs the
+/// shared saturation kernels (checker/saturation_impl.h) over the affected
+/// suffix of the commit graph at a configurable cadence, and pushes
+/// violations to a pluggable ViolationSink the moment they become
+/// detectable — instead of returning a vector after the whole history has
+/// been materialized.
+///
+/// The one-shot checkIsolation() facade is a thin wrapper over this class:
+/// replay the history, finalize, return the report (bit-identical to the
+/// historical one-shot engine; enforced by tests/test_monitor.cpp).
+///
+/// A windowed mode bounds memory on unbounded streams: transactions older
+/// than a count- or edge-based horizon are evicted from the in-memory
+/// window (with stats reporting what was dropped), at the documented cost
+/// of completeness — anomalies whose witnesses span beyond the window are
+/// no longer detectable, and reads observing evicted writes are counted
+/// rather than reported as thin-air.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AWDIT_CHECKER_MONITOR_H
+#define AWDIT_CHECKER_MONITOR_H
+
+#include "checker/checker.h"
+#include "checker/saturation_impl.h"
+#include "checker/violation_sink.h"
+#include "history/history.h"
+#include "history/wr_resolver.h"
+
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace awdit {
+
+/// Options of one monitoring session.
+struct MonitorOptions {
+  /// The isolation level to monitor.
+  IsolationLevel Level = IsolationLevel::CausalConsistency;
+  /// Options of the underlying checking algorithms (witness budget, CC
+  /// variant and thread count of the canonical finalize pass, ...).
+  CheckOptions Check;
+  /// Run an incremental checking pass every this many commits. 0 checks
+  /// only on explicit check() calls and at finalize() — the configuration
+  /// the one-shot checkIsolation() wrapper uses.
+  size_t CheckIntervalTxns = 0;
+  /// Windowed mode: evict the oldest transactions once more than this many
+  /// are live (0 = keep everything; exact checking). Only a prefix of
+  /// closed, fully processed transactions can leave: a transaction that is
+  /// left open indefinitely pins everything after it in memory (native
+  /// streams cannot produce this — they carry one open transaction at a
+  /// time — but library callers driving many sessions should close
+  /// abandoned transactions themselves; see ROADMAP for the planned
+  /// age-based force-close policy).
+  size_t WindowTxns = 0;
+  /// Windowed mode, edge-based horizon: evict the oldest quarter of the
+  /// window whenever the commit graph of the window exceeds this many
+  /// edges (0 = no edge horizon).
+  size_t WindowEdges = 0;
+};
+
+/// Statistics of a monitoring session. Counters are cumulative over the
+/// whole stream unless stated otherwise.
+struct MonitorStats {
+  uint64_t IngestedTxns = 0;
+  uint64_t IngestedOps = 0;
+  uint64_t CommittedTxns = 0;
+  /// Transactions currently held in the window.
+  uint64_t LiveTxns = 0;
+  /// Incremental checking passes run so far.
+  uint64_t Flushes = 0;
+  /// Distinct inferred co' edges currently live in the window.
+  uint64_t InferredEdges = 0;
+  /// Edges of the window's commit graph at the last checking pass.
+  uint64_t GraphEdges = 0;
+  /// Violations delivered to the sink so far.
+  uint64_t ReportedViolations = 0;
+  /// Reads whose (key, value) has no live write yet (thin-air candidates).
+  uint64_t UnresolvedReads = 0;
+  // --- Windowed mode only. ---
+  uint64_t EvictedTxns = 0;
+  uint64_t Compactions = 0;
+  /// Unresolved reads dropped because their reader was evicted.
+  uint64_t EvictedUnresolvedReads = 0;
+  /// Live reads whose writer was evicted (excluded from checking).
+  uint64_t EvictedWriterReads = 0;
+};
+
+/// A streaming online-checking session. Not thread-safe: one monitor per
+/// ingestion thread (shard streams across monitors for parallelism).
+///
+/// Typical usage:
+/// \code
+///   JsonLinesSink Sink(std::cout);
+///   MonitorOptions Options;
+///   Options.Level = IsolationLevel::CausalConsistency;
+///   Options.CheckIntervalTxns = 256;
+///   Monitor M(Options, &Sink);
+///   SessionId S = M.addSession();
+///   TxnId T = M.beginTxn(S);
+///   M.write(T, /*K=*/1, /*V=*/10);
+///   M.commit(T);                // violations stream to Sink as detected
+///   CheckReport Report = M.finalize();
+/// \endcode
+///
+/// Transaction ids handed out by beginTxn() are *monitor ids*: assigned
+/// monotonically over the stream and stable in all reported violations,
+/// even after windowed eviction has renumbered the in-memory window.
+///
+/// Session order (so) is the order of commit() calls within a session.
+/// When transactions of one session are fed strictly sequentially — the
+/// case for every database session log, and for replay() — this coincides
+/// with HistoryBuilder's begin-order semantics.
+class Monitor {
+public:
+  explicit Monitor(const MonitorOptions &Options = {},
+                   ViolationSink *Sink = nullptr);
+
+  // --- Ingestion (mirrors HistoryBuilder). ---
+
+  /// Adds a new, empty session and returns its id.
+  SessionId addSession();
+
+  /// Opens a new transaction in session \p S; returns its monitor id.
+  TxnId beginTxn(SessionId S);
+
+  /// Appends a read of (\p K, \p V) to the open transaction \p T.
+  void read(TxnId T, Key K, Value V);
+
+  /// Appends a write of (\p K, \p V) to the open transaction \p T.
+  /// Returns false (and records errorText()) if (key, value) was already
+  /// written — the unique-value model invariant; the first write wins.
+  bool write(TxnId T, Key K, Value V);
+
+  /// Appends an arbitrary operation; returns false as write() does.
+  bool append(TxnId T, Operation Op);
+
+  /// Commits the open transaction \p T. Triggers an incremental checking
+  /// pass when CheckIntervalTxns commits have accumulated.
+  void commit(TxnId T);
+
+  /// Aborts the open transaction \p T.
+  void abortTxn(TxnId T);
+
+  /// Feeds a complete history through the ingestion API in transaction-id
+  /// order. A fresh monitor assigns the same ids the history uses.
+  void replay(const History &H);
+
+  /// Bulk-adopts a finalized history as the monitor's initial state:
+  /// the already-resolved transactions are taken over wholesale instead
+  /// of being re-resolved operation by operation. Requires a pristine
+  /// monitor. This is the fast path the one-shot checkIsolation() wrapper
+  /// uses (adopt, then finalize); semantically it matches replay() with
+  /// two caveats: adopted thin-air reads are final (later streamed writes
+  /// do not retroactively resolve them), and adopted transactions are
+  /// checked at finalize() rather than by intermediate check() passes.
+  void adopt(const History &H);
+
+  /// Moves the fully derived ingested history out of the monitor without
+  /// running any check, ending the session. Every transaction must be
+  /// closed and nothing may have been evicted. This makes the monitor
+  /// double as an incremental HistoryBuilder: parseTextHistory() is a
+  /// feed-then-take wrapper over the streaming parser, so the native
+  /// grammar exists in exactly one place.
+  History takeHistory();
+
+  // --- Checking. ---
+
+  /// Runs an incremental checking pass now (also triggered automatically
+  /// every CheckIntervalTxns commits). Returns true iff no violation has
+  /// been detected so far in the stream.
+  bool check();
+
+  /// Completes the session: still-open transactions are treated as
+  /// aborted, the final checking pass runs, and every not-yet-reported
+  /// violation is delivered to the sink. When nothing was evicted the
+  /// returned report is the canonical one-shot result over the whole
+  /// ingested history — bit-identical to the historical checkIsolation()
+  /// (enforced by tests/test_monitor.cpp). In windowed mode (after
+  /// evictions) the report instead aggregates the violations streamed
+  /// over the whole run, capped at MaxWindowedReportViolations entries
+  /// (the sink saw every one as it happened; ReportedViolations has the
+  /// true count). May be called once.
+  CheckReport finalize();
+
+  // --- Introspection. ---
+
+  /// Current statistics (LiveTxns/InferredEdges/UnresolvedReads refreshed
+  /// on access).
+  const MonitorStats &stats();
+
+  /// True once any violation has been reported.
+  bool hadViolation() const { return AnyViolation; }
+
+  /// Set when an ingestion-level error occurred (duplicate write).
+  const std::string &errorText() const { return ErrText; }
+
+  /// Number of sessions added so far.
+  size_t numSessions() const { return SessionSoBase.size(); }
+
+  /// A short label for a monitor transaction id, e.g. "t12(s3#4)" or
+  /// "t12(evicted)".
+  std::string txnLabel(TxnId MonitorId) const;
+
+  /// Renders a violation (in monitor ids) as a one-line description.
+  std::string describe(const Violation &V) const;
+
+private:
+  struct TxnMeta {
+    bool Open = true;
+    /// True while some read of this (closed) transaction resolves to a
+    /// still-open writer; checking is deferred until all writers close.
+    bool Deferred = false;
+  };
+
+  /// Persistent incremental state of one session's RA saturation.
+  struct RaSessionState {
+    detail::RaScratch Scratch;
+    /// First unprocessed position in the session's so list.
+    size_t NextSo = 0;
+    /// Set when retroactive re-resolution invalidated already-processed
+    /// positions; the whole (windowed) session is re-run at next flush.
+    bool NeedsFullRerun = false;
+  };
+
+  TxnId toLocal(TxnId MonitorId) const;
+  TxnId toMonitorId(TxnId Local) const { return Base + Local; }
+
+  /// Closes \p Local (commit or abort), resolves its reads, wakes waiting
+  /// readers, and schedules checking.
+  void closeTxn(TxnId Local, bool Committed);
+
+  /// Recomputes \p Local's resolved reads and derived indices from its
+  /// ops against the current write index. Returns false when some read
+  /// resolves to a still-open writer (checking must wait).
+  bool deriveTxn(TxnId Local);
+
+  /// Materializes the deferred write index of an adopted history before
+  /// any new ingestion resolves against it.
+  void ensureAdoptedIndex();
+
+  /// Rebuilds \p Local's ExtReads/ReadFroms from its (resolved) Reads:
+  /// the external reads are exactly those from a distinct, closed,
+  /// committed writer. Shared by deriveTxn and compact.
+  void classifyExternalReads(TxnId Local);
+
+  /// One incremental checking pass: derive dirty transactions, run the
+  /// read-level checks and the level's saturation kernel over the affected
+  /// suffix, cycle-check the window's commit graph, report new violations,
+  /// and evict if a window horizon is exceeded.
+  void flush(bool Final);
+
+  /// Runs the level's saturation over the \p Ready transactions and
+  /// refreshes the cycle check; appends new (local-id) violations to
+  /// \p Out.
+  void runIncrementalChecks(const std::vector<TxnId> &Ready,
+                            std::vector<Violation> &Out);
+
+  /// Translates local ids in \p V to monitor ids in place.
+  void translateToMonitorIds(Violation &V) const;
+
+  /// Delivers \p V (already in monitor ids) if not yet reported. Returns
+  /// true when it was delivered.
+  bool emitViolation(Violation V);
+
+  /// Fingerprint for exactly-once delivery.
+  static std::string fingerprint(const Violation &V);
+
+  /// Evicts the oldest \p Count transactions (a prefix of local ids) from
+  /// every structure and rebases the remainder.
+  void compact(size_t Count);
+
+  /// Applies the window horizons; called at the end of a flush.
+  void maybeEvict();
+
+  // Edge bookkeeping: inferred edges are tagged with the unit of work that
+  // produced them (an RC transaction, an RA session, or the single CC
+  // bucket) so re-running a unit replaces exactly its contribution.
+  static constexpr uint64_t CcSource = ~uint64_t(0);
+  static uint64_t rcSource(TxnId Local) { return Local; }
+  static uint64_t raSource(SessionId S) { return (uint64_t(1) << 32) | S; }
+  void addEdges(uint64_t Source, const std::vector<uint64_t> &Edges);
+  void removeSource(uint64_t Source);
+
+  MonitorOptions Opts;
+  ViolationSink *Sink;
+
+  /// The live window, maintained directly as a History so the checkers and
+  /// kernels run on it unchanged. Local ids index this; monitor id =
+  /// Base + local id.
+  History Live;
+  TxnId Base = 0;
+  std::vector<TxnMeta> Meta;
+  /// Distinct keys seen in the window's operations (History::KeyCount).
+  std::unordered_set<Key> Keys;
+
+  /// Incremental wr resolution (local ids).
+  WriteSiteIndex Writes;
+  /// Reads of closed transactions with no write site yet: (key, value) ->
+  /// readers. Retroactively resolved when the write arrives.
+  std::unordered_map<KeyValue, std::vector<std::pair<TxnId, uint32_t>>,
+                     KeyValueHash>
+      PendingReads;
+  /// Readers to re-derive when an open writer closes (local ids).
+  std::unordered_map<TxnId, std::vector<TxnId>> WaitersOnClose;
+  /// Reads whose writer was evicted, keyed by (monitor id << 32 | op):
+  /// excluded from checking and never reported as thin-air.
+  std::unordered_set<uint64_t> EvictedWriterMask;
+
+  /// Closed transactions whose checking state is stale (newly closed or
+  /// retroactively re-resolved). Ordered for deterministic flushes.
+  std::set<TxnId> Dirty;
+
+  /// Per-session incremental RA state (allocated lazily for level RA).
+  std::vector<RaSessionState> RaStates;
+  /// Monitor-id base of each session's so index, for labels after
+  /// eviction, plus the session count.
+  std::vector<uint64_t> SessionSoBase;
+
+  /// Inferred-edge bookkeeping (packed local-id edges).
+  std::unordered_map<uint64_t, std::vector<uint64_t>> InferredBySource;
+  std::unordered_map<uint64_t, uint32_t> EdgeRefs;
+
+  /// Cap on the windowed finalize report (the sink remains complete).
+  static constexpr size_t MaxWindowedReportViolations = 65536;
+
+  /// Exactly-once delivery state (monitor ids; stable across eviction).
+  /// Fingerprints accumulate one small string per reported violation for
+  /// the lifetime of the session; cycle-txn ids are pruned at compaction.
+  std::unordered_set<std::string> ReportedFp;
+  std::unordered_set<TxnId> ReportedCycleTxns;
+  /// Delivered violations in monitor ids (the windowed finalize report),
+  /// capped at MaxWindowedReportViolations.
+  std::vector<Violation> StreamReported;
+
+  MonitorStats Stats;
+  size_t CommitsSinceFlush = 0;
+  bool AnyViolation = false;
+  bool Finalized = false;
+  /// Set by adopt(): the write index / key universe of the adopted prefix
+  /// is materialized lazily, only if streaming continues afterwards.
+  bool AdoptedIndexPending = false;
+  std::string ErrText;
+};
+
+} // namespace awdit
+
+#endif // AWDIT_CHECKER_MONITOR_H

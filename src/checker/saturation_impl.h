@@ -6,16 +6,19 @@
 ///
 /// \file
 /// The co'-saturation loop bodies of Algorithms 1 and 2, factored out of
-/// the sequential checkers so the parallel engine runs the *same* kernels
-/// over transaction ranges / single sessions and merely swaps the edge sink
-/// (direct CommitGraph::inferEdge vs a per-worker batch buffer). Internal
-/// header: include only from checker/*.cpp.
+/// the sequential checkers so the parallel engine and the streaming
+/// Monitor run the *same* kernels over transaction ranges / single
+/// sessions / the live window and merely swap the edge sink (direct
+/// CommitGraph::inferEdge, a per-worker batch buffer, or the monitor's
+/// refcounted edge set). Implementation-detail header: include only from
+/// checker code.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef AWDIT_CHECKER_SATURATION_IMPL_H
 #define AWDIT_CHECKER_SATURATION_IMPL_H
 
+#include "checker/check_cc.h"
 #include "history/history.h"
 #include "support/hybrid_map.h"
 
@@ -122,15 +125,19 @@ struct RaScratch {
   std::unordered_map<Key, TxnId> LastWrite;
 };
 
-/// Algorithm 2 lines 5-18 for one session: the so-case last-writer table
-/// (inherently sequential along so) and the wr-case smaller-set
-/// intersections. Sessions are independent, so the parallel engine runs one
-/// call per session.
+/// Algorithm 2 lines 5-18 for the so positions [\p BeginSo, \p EndSo) of
+/// one session. The caller owns the lifetime of \p Scratch: LastWrite is
+/// NOT cleared here, so consecutive calls over adjacent ranges of the same
+/// session (with the same scratch) are equivalent to one whole-session
+/// pass. This is what lets the streaming Monitor extend a session's
+/// saturation as new transactions commit instead of re-scanning the
+/// session.
 template <typename Sink>
-void saturateRaSession(const History &H, SessionId S, RaScratch &Scratch,
-                       Sink &&Infer) {
-  Scratch.LastWrite.clear();
-  for (TxnId T3 : H.sessionTxns(S)) {
+void saturateRaSessionRange(const History &H, SessionId S, size_t BeginSo,
+                            size_t EndSo, RaScratch &Scratch, Sink &&Infer) {
+  const std::vector<TxnId> &Sess = H.sessionTxns(S);
+  for (size_t Pos = BeginSo; Pos < EndSo; ++Pos) {
+    TxnId T3 = Sess[Pos];
     const Transaction &T = H.txn(T3);
 
     // Collect the distinct external read keys of t3 once.
@@ -179,6 +186,117 @@ void saturateRaSession(const History &H, SessionId S, RaScratch &Scratch,
     // Lines 17-18: record t3 as the session's latest writer of its keys.
     for (Key X : T.WriteKeys)
       Scratch.LastWrite[X] = T3;
+  }
+}
+
+/// Algorithm 2 lines 5-18 for one whole session. Sessions are independent,
+/// so the parallel engine runs one call per session.
+template <typename Sink>
+void saturateRaSession(const History &H, SessionId S, RaScratch &Scratch,
+                       Sink &&Infer) {
+  Scratch.LastWrite.clear();
+  saturateRaSessionRange(H, S, 0, H.sessionTxns(S).size(), Scratch,
+                         std::forward<Sink>(Infer));
+}
+
+/// A writer entry of the CC kernel: transaction id plus its cached session
+/// position so the monotone scan stays on contiguous memory.
+struct CcWriterEntry {
+  TxnId T;
+  uint32_t SoIndex;
+};
+
+/// Per-key writer index of the CC kernel (Algorithm 3, lastWrite / Writes):
+/// for each key, the sessions writing it and their so-ordered writer lists,
+/// plus the monotone scan pointers of the session currently being
+/// processed. Only sessions that actually write the key are visited, which
+/// preserves the O(n·k) bound while skipping the (common) all-bottom
+/// entries.
+struct CcKeyWriters {
+  std::vector<SessionId> Sessions;
+  std::vector<std::vector<CcWriterEntry>> Lists;
+  /// Scan pointers, valid for the session stamped in Epoch.
+  std::vector<uint32_t> Consumed;
+  /// Last (pointer, reader-writer) emitted per slot, packed; suppresses
+  /// the long runs of duplicate inferences hot keys otherwise produce.
+  std::vector<uint64_t> LastEmit;
+  SessionId Epoch = static_cast<SessionId>(-1);
+};
+
+/// Algorithm 3 lines 5-15: the per-key monotone last-writer scans under the
+/// happens-before frontier \p HB, emitting inferred co' edges into
+/// \p Infer. Exactly the loop checkCc runs; factored out so the streaming
+/// Monitor re-saturates its window with the same kernel. Re-processing a
+/// repeated (x, t1) pair is idempotent (the scan pointers are already
+/// advanced), so no dedup pass is needed.
+template <typename Sink>
+void saturateCc(const History &H, const HappensBefore &HB, Sink &&Infer) {
+  size_t K = H.numSessions();
+  // Writes_s'[x] for all s' at once, grouped by key.
+  std::unordered_map<Key, CcKeyWriters> Writers;
+  Writers.reserve(H.numKeys() * 2);
+  for (SessionId S = 0; S < K; ++S) {
+    for (TxnId T : H.sessionTxns(S)) {
+      const Transaction &Txn = H.txn(T);
+      for (Key X : Txn.WriteKeys) {
+        CcKeyWriters &KW = Writers[X];
+        if (KW.Sessions.empty() || KW.Sessions.back() != S) {
+          KW.Sessions.push_back(S);
+          KW.Lists.emplace_back();
+        }
+        KW.Lists.back().push_back({T, Txn.SoIndex});
+      }
+    }
+  }
+  for (auto &[X, KW] : Writers) {
+    KW.Consumed.assign(KW.Sessions.size(), 0);
+    KW.LastEmit.assign(KW.Sessions.size(), ~uint64_t(0));
+  }
+
+  for (SessionId S = 0; S < K; ++S) {
+    for (TxnId T3 : H.sessionTxns(S)) {
+      const Transaction &T = H.txn(T3);
+      if (T.ExtReads.empty())
+        continue;
+      const uint32_t *Row = &HB.Rows[static_cast<size_t>(T3) * K];
+
+      // Line 8: iterate t1 wr_x-> t3.
+      for (uint32_t ReadIdx : T.ExtReads) {
+        const ReadInfo &RI = T.Reads[ReadIdx];
+        TxnId T1 = RI.Writer;
+        auto WIt = Writers.find(RI.K);
+        if (WIt == Writers.end())
+          continue;
+        CcKeyWriters &KW = WIt->second;
+        // Scan pointers are monotone along so within one scanning
+        // session; entering a new session resets them (the paper keeps
+        // them per session of t3).
+        if (KW.Epoch != S) {
+          KW.Epoch = S;
+          std::fill(KW.Consumed.begin(), KW.Consumed.end(), 0);
+          std::fill(KW.LastEmit.begin(), KW.LastEmit.end(), ~uint64_t(0));
+        }
+        // Lines 9-15: advance each writing session's last-writer pointer
+        // under the happens-before frontier of t3 and emit the edge.
+        for (size_t Slot = 0; Slot < KW.Sessions.size(); ++Slot) {
+          const std::vector<CcWriterEntry> &List = KW.Lists[Slot];
+          uint32_t Frontier = Row[KW.Sessions[Slot]];
+          uint32_t &C = KW.Consumed[Slot];
+          while (C < List.size() && List[C].SoIndex < Frontier)
+            ++C;
+          if (C == 0)
+            continue;
+          TxnId T2 = List[C - 1].T;
+          if (T2 == T1)
+            continue;
+          uint64_t Emit = (static_cast<uint64_t>(C) << 32) | T1;
+          if (KW.LastEmit[Slot] == Emit)
+            continue;
+          KW.LastEmit[Slot] = Emit;
+          Infer(T2, T1);
+        }
+      }
+    }
   }
 }
 

@@ -1,0 +1,86 @@
+//===- checker/violation_sink.cpp - Streaming violation sinks --------------===//
+
+#include "checker/violation_sink.h"
+
+using namespace awdit;
+
+void awdit::appendJsonEscaped(std::string &Out, std::string_view Text) {
+  for (char C : Text) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        static const char Hex[] = "0123456789abcdef";
+        Out += "\\u00";
+        Out += Hex[(C >> 4) & 0xf];
+        Out += Hex[C & 0xf];
+      } else {
+        Out += C;
+      }
+    }
+  }
+}
+
+static const char *edgeKindJson(EdgeKind Kind) {
+  switch (Kind) {
+  case EdgeKind::So:
+    return "so";
+  case EdgeKind::Wr:
+    return "wr";
+  case EdgeKind::Inferred:
+    return "inferred";
+  }
+  return "?";
+}
+
+std::string awdit::violationToJson(const Violation &V,
+                                   const std::string *Description) {
+  std::string Out = "{\"kind\":\"";
+  appendJsonEscaped(Out, violationKindName(V.Kind));
+  Out += '"';
+  if (V.T != NoTxn)
+    Out += ",\"txn\":" + std::to_string(V.T);
+  if (V.OpIndex != NoOp)
+    Out += ",\"op\":" + std::to_string(V.OpIndex);
+  if (V.Other != NoTxn)
+    Out += ",\"other\":" + std::to_string(V.Other);
+  if (!V.Cycle.empty()) {
+    Out += ",\"cycle\":[";
+    for (size_t I = 0; I < V.Cycle.size(); ++I) {
+      const WitnessEdge &E = V.Cycle[I];
+      if (I)
+        Out += ',';
+      Out += "{\"from\":" + std::to_string(E.From) +
+             ",\"to\":" + std::to_string(E.To) + ",\"edge\":\"" +
+             edgeKindJson(E.Kind) + "\"}";
+    }
+    Out += ']';
+  }
+  if (Description) {
+    Out += ",\"description\":\"";
+    appendJsonEscaped(Out, *Description);
+    Out += '"';
+  }
+  Out += '}';
+  return Out;
+}
+
+void JsonLinesSink::onViolation(const Violation &V,
+                                const std::string &Description) {
+  Out << violationToJson(V, &Description) << "\n";
+  Out.flush();
+}

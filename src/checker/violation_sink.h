@@ -1,0 +1,101 @@
+//===- checker/violation_sink.h - Streaming violation sinks ------*- C++ -*-===//
+//
+// Part of the AWDIT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The pluggable violation-reporting interface of the streaming Monitor
+/// (checker/monitor.h): instead of returning a vector after the fact, an
+/// online checking session pushes each violation to a ViolationSink the
+/// moment it becomes detectable. Ships three implementations — a callback
+/// adapter, a collecting sink, and a JSON-lines sink — plus the JSON
+/// serialization helpers the CLI's --json output reuses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AWDIT_CHECKER_VIOLATION_SINK_H
+#define AWDIT_CHECKER_VIOLATION_SINK_H
+
+#include "checker/violation.h"
+
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace awdit {
+
+/// Receives violations from a streaming checking session as they are
+/// detected. Transaction ids in the delivered Violation are *monitor ids*:
+/// stable across the whole stream, even after windowed eviction renumbers
+/// the in-memory window. Each distinct violation is delivered exactly once.
+class ViolationSink {
+public:
+  virtual ~ViolationSink() = default;
+
+  /// One newly detected violation. \p Description is the human-readable
+  /// one-liner the monitor rendered (with monitor ids), so sinks need no
+  /// access to monitor internals.
+  virtual void onViolation(const Violation &V,
+                           const std::string &Description) = 0;
+};
+
+/// Adapts a std::function to a sink; handy for lambdas in examples/tests.
+class CallbackSink final : public ViolationSink {
+public:
+  using Callback =
+      std::function<void(const Violation &, const std::string &)>;
+
+  explicit CallbackSink(Callback Fn) : Fn(std::move(Fn)) {}
+
+  void onViolation(const Violation &V,
+                   const std::string &Description) override {
+    Fn(V, Description);
+  }
+
+private:
+  Callback Fn;
+};
+
+/// Accumulates everything reported; the sink equivalent of the one-shot
+/// CheckReport::Violations vector.
+class CollectingSink final : public ViolationSink {
+public:
+  void onViolation(const Violation &V,
+                   const std::string &Description) override {
+    Violations.push_back(V);
+    Descriptions.push_back(Description);
+  }
+
+  std::vector<Violation> Violations;
+  std::vector<std::string> Descriptions;
+};
+
+/// Writes one JSON object per violation, one per line (JSON-lines), to the
+/// given stream. Machine-readable counterpart of the human text output;
+/// `awdit monitor --json` and the --json mode of check/batch share the
+/// serializer below.
+class JsonLinesSink final : public ViolationSink {
+public:
+  explicit JsonLinesSink(std::ostream &Out) : Out(Out) {}
+
+  void onViolation(const Violation &V,
+                   const std::string &Description) override;
+
+private:
+  std::ostream &Out;
+};
+
+/// Appends \p Text to \p Out with JSON string escaping (no quotes added).
+void appendJsonEscaped(std::string &Out, std::string_view Text);
+
+/// Serializes one violation as a JSON object: kind, txn/op/other when
+/// present, the witness cycle when present, and the optional description.
+/// No trailing newline.
+std::string violationToJson(const Violation &V,
+                            const std::string *Description = nullptr);
+
+} // namespace awdit
+
+#endif // AWDIT_CHECKER_VIOLATION_SINK_H

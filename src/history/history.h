@@ -74,6 +74,9 @@ public:
 
 private:
   friend class HistoryBuilder;
+  // The streaming Monitor grows its live window in place as a History so
+  // the checking kernels run on it unchanged (checker/monitor.h).
+  friend class Monitor;
 
   std::vector<Transaction> Txns;
   /// Committed transactions per session, in so order.

@@ -2,36 +2,14 @@
 
 #include "history/history_builder.h"
 
+#include "history/wr_resolver.h"
 #include "support/assert.h"
 
-#include <unordered_map>
 #include <unordered_set>
 
 using namespace awdit;
 
 namespace {
-
-/// Packs (key, value) into a hashable 128-bit token for wr resolution.
-struct KeyValue {
-  Key K;
-  Value V;
-  bool operator==(const KeyValue &O) const { return K == O.K && V == O.V; }
-};
-
-struct KeyValueHash {
-  size_t operator()(const KeyValue &KV) const {
-    // Mix the two 64-bit halves; the multiplier is an arbitrary odd prime.
-    uint64_t H = KV.K * 0x9e3779b97f4a7c15ULL;
-    H ^= static_cast<uint64_t>(KV.V) + 0x7f4a7c15ULL + (H << 6) + (H >> 2);
-    return static_cast<size_t>(H);
-  }
-};
-
-/// Location of a write: owning transaction and op index.
-struct WriteSite {
-  TxnId T;
-  uint32_t Op;
-};
 
 bool fail(std::string *Err, const std::string &Msg) {
   if (Err)
@@ -91,7 +69,7 @@ std::optional<History> HistoryBuilder::build(std::string *Err) const {
   }
 
   // Index every write site by (key, value) and collect all written keys.
-  std::unordered_map<KeyValue, WriteSite, KeyValueHash> WriteIndex;
+  WriteSiteIndex WriteIndex;
   std::unordered_set<Key> AllKeys;
   for (size_t I = 0; I < NumUserTxns; ++I) {
     const Transaction &T = H.Txns[I];
@@ -100,13 +78,8 @@ std::optional<History> HistoryBuilder::build(std::string *Err) const {
       AllKeys.insert(Op.K);
       if (!Op.isWrite())
         continue;
-      KeyValue KV{Op.K, Op.V};
-      auto [It, Inserted] =
-          WriteIndex.insert({KV, WriteSite{static_cast<TxnId>(I), OpIdx}});
-      if (!Inserted) {
-        fail(Err, "duplicate write of key " + std::to_string(Op.K) +
-                      " value " + std::to_string(Op.V) +
-                      " (wr resolution requires unique values)");
+      if (!WriteIndex.record(Op.K, Op.V, static_cast<TxnId>(I), OpIdx)) {
+        fail(Err, duplicateWriteMessage(Op.K, Op.V));
         return std::nullopt;
       }
     }
@@ -121,7 +94,7 @@ std::optional<History> HistoryBuilder::build(std::string *Err) const {
       for (const Operation &Op : H.Txns[I].Ops) {
         if (!Op.isRead() || Op.V != 0)
           continue;
-        if (WriteIndex.count(KeyValue{Op.K, 0}))
+        if (WriteIndex.find(Op.K, 0))
           continue;
         if (Seen.insert(Op.K).second)
           InitKeys.push_back(Op.K);
@@ -137,8 +110,7 @@ std::optional<History> HistoryBuilder::build(std::string *Err) const {
       H.Txns.push_back(std::move(Init));
       H.Sessions.emplace_back();
       for (uint32_t OpIdx = 0; OpIdx < InitKeys.size(); ++OpIdx)
-        WriteIndex.insert(
-            {KeyValue{InitKeys[OpIdx], 0}, WriteSite{InitId, OpIdx}});
+        WriteIndex.record(InitKeys[OpIdx], 0, InitId, OpIdx);
     }
   }
 
@@ -172,10 +144,9 @@ std::optional<History> HistoryBuilder::build(std::string *Err) const {
         continue;
       }
       ReadInfo RI{OpIdx, Op.K, Op.V, NoTxn, NoOp};
-      auto It = WriteIndex.find(KeyValue{Op.K, Op.V});
-      if (It != WriteIndex.end()) {
-        RI.Writer = It->second.T;
-        RI.WriterOp = It->second.Op;
+      if (const WriteSite *Site = WriteIndex.find(Op.K, Op.V)) {
+        RI.Writer = Site->T;
+        RI.WriterOp = Site->Op;
       }
       uint32_t ReadIdx = static_cast<uint32_t>(T.Reads.size());
       T.Reads.push_back(RI);

@@ -3,6 +3,7 @@
 #include "io/dbcop_format.h"
 
 #include "history/history_builder.h"
+#include "history/wr_resolver.h"
 
 #include <charconv>
 #include <sstream>
@@ -45,6 +46,9 @@ bool setErr(std::string *Err, size_t LineNo, const std::string &Msg) {
 std::optional<History> awdit::parseDbcopHistory(std::string_view Text,
                                                 std::string *Err) {
   HistoryBuilder B;
+  // Duplicate writes are a build()-level invariant, but detecting them
+  // here attributes the error to its line.
+  WriteSiteIndex SeenWrites;
   bool SeenHeader = false;
   size_t DeclaredSessions = 0;
   TxnId Open = NoTxn;
@@ -110,10 +114,15 @@ std::optional<History> awdit::parseDbcopHistory(std::string_view Text,
         setErr(Err, LineNo, "expected '<R|W> <key> <value>'");
         return std::nullopt;
       }
-      if (Tok[0] == "R")
+      if (Tok[0] == "R") {
         B.read(Open, K, V);
-      else
+      } else {
+        if (!SeenWrites.record(K, V, Open, 0)) {
+          setErr(Err, LineNo, duplicateWriteMessage(K, V));
+          return std::nullopt;
+        }
         B.write(Open, K, V);
+      }
       --OpsLeft;
       continue;
     }

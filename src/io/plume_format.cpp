@@ -3,6 +3,7 @@
 #include "io/plume_format.h"
 
 #include "history/history_builder.h"
+#include "history/wr_resolver.h"
 
 #include <charconv>
 #include <sstream>
@@ -44,6 +45,9 @@ bool setErr(std::string *Err, size_t LineNo, const std::string &Msg) {
 std::optional<History> awdit::parsePlumeHistory(std::string_view Text,
                                                 std::string *Err) {
   HistoryBuilder B;
+  // Duplicate writes are a build()-level invariant, but detecting them
+  // here attributes the error to its line.
+  WriteSiteIndex SeenWrites;
   size_t NumSessions = 0;
   // Current open transaction, identified by (session, txn id from file).
   bool HasOpen = false;
@@ -94,10 +98,15 @@ std::optional<History> awdit::parsePlumeHistory(std::string_view Text,
       setErr(Err, LineNo, "expected '<session>,<txn>,<r|w>,<key>,<value>'");
       return std::nullopt;
     }
-    if (F[2] == "r")
+    if (F[2] == "r") {
       B.read(Open, K, V);
-    else
+    } else {
+      if (!SeenWrites.record(K, V, Open, 0)) {
+        setErr(Err, LineNo, duplicateWriteMessage(K, V));
+        return std::nullopt;
+      }
       B.write(Open, K, V);
+    }
   }
   return B.build(Err);
 }

@@ -1,0 +1,135 @@
+//===- io/stream_parser.cpp - Streaming native-format parser ---------------===//
+
+#include "io/stream_parser.h"
+
+#include <charconv>
+#include <vector>
+
+using namespace awdit;
+
+namespace {
+
+std::vector<std::string_view> tokenize(std::string_view Line) {
+  std::vector<std::string_view> Tokens;
+  size_t I = 0;
+  while (I < Line.size()) {
+    while (I < Line.size() && (Line[I] == ' ' || Line[I] == '\t'))
+      ++I;
+    size_t Start = I;
+    while (I < Line.size() && Line[I] != ' ' && Line[I] != '\t')
+      ++I;
+    if (I > Start)
+      Tokens.push_back(Line.substr(Start, I - Start));
+  }
+  return Tokens;
+}
+
+template <typename IntT>
+bool parseInt(std::string_view Token, IntT &Out) {
+  auto [Ptr, Ec] =
+      std::from_chars(Token.data(), Token.data() + Token.size(), Out);
+  return Ec == std::errc() && Ptr == Token.data() + Token.size();
+}
+
+} // namespace
+
+bool StreamingTextParser::fail(std::string *Err, const std::string &Msg) {
+  Stuck = true;
+  if (Err)
+    *Err = "line " + std::to_string(LineNo) + ": " + Msg;
+  return false;
+}
+
+bool StreamingTextParser::processLine(std::string_view Line,
+                                      std::string *Err) {
+  ++LineNo;
+  // Trim a trailing CR for Windows-style streams.
+  if (!Line.empty() && Line.back() == '\r')
+    Line.remove_suffix(1);
+  std::vector<std::string_view> Tok = tokenize(Line);
+  if (Tok.empty() || Tok[0].front() == '#')
+    return true;
+
+  if (Tok[0] == "b") {
+    if (HasOpenTxn)
+      return fail(Err, "previous transaction still open");
+    SessionId S;
+    if (Tok.size() != 2 || !parseInt(Tok[1], S))
+      return fail(Err, "expected 'b <session>'");
+    while (NumSessions <= S) {
+      M.addSession();
+      ++NumSessions;
+    }
+    Open = M.beginTxn(S);
+    HasOpenTxn = true;
+    return true;
+  }
+  if (Tok[0] == "r" || Tok[0] == "w") {
+    if (!HasOpenTxn)
+      return fail(Err, "operation outside a transaction");
+    Key K;
+    Value V;
+    if (Tok.size() != 3 || !parseInt(Tok[1], K) || !parseInt(Tok[2], V))
+      return fail(Err, "expected '<r|w> <key> <value>'");
+    if (Tok[0] == "r") {
+      M.read(Open, K, V);
+      return true;
+    }
+    if (!M.write(Open, K, V))
+      return fail(Err, M.errorText());
+    return true;
+  }
+  if (Tok[0] == "c" || Tok[0] == "a") {
+    if (!HasOpenTxn)
+      return fail(Err, "no open transaction to close");
+    if (Tok[0] == "a") {
+      M.abortTxn(Open);
+    } else {
+      M.commit(Open);
+      ++Committed;
+    }
+    HasOpenTxn = false;
+    return true;
+  }
+  return fail(Err, "unknown directive '" + std::string(Tok[0]) + "'");
+}
+
+bool StreamingTextParser::feed(std::string_view Chunk, std::string *Err) {
+  if (Stuck)
+    return fail(Err, "parser stopped after an earlier error");
+  size_t Pos = 0;
+  while (Pos < Chunk.size()) {
+    size_t End = Chunk.find('\n', Pos);
+    if (End == std::string_view::npos) {
+      Partial.append(Chunk.substr(Pos));
+      return true;
+    }
+    std::string_view Line;
+    if (Partial.empty()) {
+      Line = Chunk.substr(Pos, End - Pos);
+    } else {
+      Partial.append(Chunk.substr(Pos, End - Pos));
+      Line = Partial;
+    }
+    bool Ok = processLine(Line, Err);
+    Partial.clear();
+    if (!Ok)
+      return false;
+    Pos = End + 1;
+  }
+  return true;
+}
+
+bool StreamingTextParser::finish(std::string *Err) {
+  if (Stuck)
+    return fail(Err, "parser stopped after an earlier error");
+  if (!Partial.empty()) {
+    std::string Line;
+    Line.swap(Partial);
+    if (!processLine(Line, Err))
+      return false;
+  }
+  if (HasOpenTxn)
+    return fail(Err, "unterminated transaction at end of input");
+  return true;
+}

@@ -1,0 +1,66 @@
+//===- io/stream_parser.h - Streaming native-format parser -------*- C++ -*-===//
+//
+// Part of the AWDIT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Incremental parser for the native history text format (io/text_format.h)
+/// that feeds a streaming Monitor as lines arrive — from a file tail, a
+/// pipe, or stdin — instead of materializing the whole history first. The
+/// `awdit monitor` command is a thin loop around this class.
+///
+/// Input may be fed in arbitrary chunks; partial trailing lines are
+/// buffered until their newline arrives. Errors carry the 1-based line
+/// number, including the model-invariant errors (duplicate writes) the
+/// monitor detects during ingestion.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AWDIT_IO_STREAM_PARSER_H
+#define AWDIT_IO_STREAM_PARSER_H
+
+#include "checker/monitor.h"
+
+#include <string>
+#include <string_view>
+
+namespace awdit {
+
+/// Parses the native text format incrementally into a Monitor.
+class StreamingTextParser {
+public:
+  explicit StreamingTextParser(Monitor &M) : M(M) {}
+
+  /// Feeds one chunk of input (any size, any boundary). Returns false and
+  /// sets \p Err (with a line number) on the first malformed line; the
+  /// parser is then stuck and further calls keep failing.
+  bool feed(std::string_view Chunk, std::string *Err = nullptr);
+
+  /// Flushes a trailing line without newline and verifies no transaction
+  /// is left open. Call once at end of input.
+  bool finish(std::string *Err = nullptr);
+
+  /// 1-based number of the line currently being (or last) processed.
+  size_t lineNumber() const { return LineNo; }
+
+  /// Committed transactions fed to the monitor so far.
+  uint64_t committedTxns() const { return Committed; }
+
+private:
+  bool processLine(std::string_view Line, std::string *Err);
+  bool fail(std::string *Err, const std::string &Msg);
+
+  Monitor &M;
+  std::string Partial;
+  size_t LineNo = 0;
+  size_t NumSessions = 0;
+  bool HasOpenTxn = false;
+  TxnId Open = NoTxn;
+  uint64_t Committed = 0;
+  bool Stuck = false;
+};
+
+} // namespace awdit
+
+#endif // AWDIT_IO_STREAM_PARSER_H

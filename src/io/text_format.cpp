@@ -2,121 +2,27 @@
 
 #include "io/text_format.h"
 
-#include "history/history_builder.h"
+#include "checker/monitor.h"
+#include "io/stream_parser.h"
 
-#include <charconv>
 #include <fstream>
 #include <sstream>
-#include <vector>
 
 using namespace awdit;
 
-namespace {
-
-/// Splits \p Text into whitespace-separated tokens.
-std::vector<std::string_view> tokenize(std::string_view Line) {
-  std::vector<std::string_view> Tokens;
-  size_t I = 0;
-  while (I < Line.size()) {
-    while (I < Line.size() && (Line[I] == ' ' || Line[I] == '\t'))
-      ++I;
-    size_t Start = I;
-    while (I < Line.size() && Line[I] != ' ' && Line[I] != '\t')
-      ++I;
-    if (I > Start)
-      Tokens.push_back(Line.substr(Start, I - Start));
-  }
-  return Tokens;
-}
-
-template <typename IntT>
-bool parseInt(std::string_view Token, IntT &Out) {
-  auto [Ptr, Ec] =
-      std::from_chars(Token.data(), Token.data() + Token.size(), Out);
-  return Ec == std::errc() && Ptr == Token.data() + Token.size();
-}
-
-bool setErr(std::string *Err, size_t LineNo, const std::string &Msg) {
-  if (Err)
-    *Err = "line " + std::to_string(LineNo) + ": " + Msg;
-  return false;
-}
-
-} // namespace
-
 std::optional<History> awdit::parseTextHistory(std::string_view Text,
                                                std::string *Err) {
-  HistoryBuilder B;
-  size_t NumSessions = 0;
-  bool HasOpenTxn = false;
-  TxnId Open = NoTxn;
-  size_t LineNo = 0;
-  size_t Pos = 0;
-
-  while (Pos <= Text.size()) {
-    size_t End = Text.find('\n', Pos);
-    std::string_view Line = End == std::string_view::npos
-                                ? Text.substr(Pos)
-                                : Text.substr(Pos, End - Pos);
-    Pos = End == std::string_view::npos ? Text.size() + 1 : End + 1;
-    ++LineNo;
-    std::vector<std::string_view> Tok = tokenize(Line);
-    if (Tok.empty() || Tok[0].front() == '#')
-      continue;
-
-    if (Tok[0] == "b") {
-      if (HasOpenTxn) {
-        setErr(Err, LineNo, "previous transaction still open");
-        return std::nullopt;
-      }
-      SessionId S;
-      if (Tok.size() != 2 || !parseInt(Tok[1], S)) {
-        setErr(Err, LineNo, "expected 'b <session>'");
-        return std::nullopt;
-      }
-      while (NumSessions <= S) {
-        B.addSession();
-        ++NumSessions;
-      }
-      Open = B.beginTxn(S);
-      HasOpenTxn = true;
-      continue;
-    }
-    if (Tok[0] == "r" || Tok[0] == "w") {
-      if (!HasOpenTxn) {
-        setErr(Err, LineNo, "operation outside a transaction");
-        return std::nullopt;
-      }
-      Key K;
-      Value V;
-      if (Tok.size() != 3 || !parseInt(Tok[1], K) || !parseInt(Tok[2], V)) {
-        setErr(Err, LineNo, "expected '<r|w> <key> <value>'");
-        return std::nullopt;
-      }
-      if (Tok[0] == "r")
-        B.read(Open, K, V);
-      else
-        B.write(Open, K, V);
-      continue;
-    }
-    if (Tok[0] == "c" || Tok[0] == "a") {
-      if (!HasOpenTxn) {
-        setErr(Err, LineNo, "no open transaction to close");
-        return std::nullopt;
-      }
-      if (Tok[0] == "a")
-        B.abortTxn(Open);
-      HasOpenTxn = false;
-      continue;
-    }
-    setErr(Err, LineNo, "unknown directive '" + std::string(Tok[0]) + "'");
+  // One-shot parsing is the streaming parser run to completion: the
+  // native grammar lives only in io/stream_parser.cpp, and errors —
+  // including duplicate writes — carry their line number. The monitor
+  // performs no checking here (CheckIntervalTxns = 0, no sink); it acts
+  // as an incremental HistoryBuilder whose result is bit-identical to the
+  // historical build() output (tests/test_monitor.cpp).
+  Monitor M;
+  StreamingTextParser Parser(M);
+  if (!Parser.feed(Text, Err) || !Parser.finish(Err))
     return std::nullopt;
-  }
-  if (HasOpenTxn) {
-    setErr(Err, LineNo, "unterminated transaction at end of input");
-    return std::nullopt;
-  }
-  return B.build(Err);
+  return M.takeHistory();
 }
 
 std::string awdit::writeTextHistory(const History &H) {

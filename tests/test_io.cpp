@@ -181,3 +181,31 @@ TEST(Formats, CrossFormatConversionPreservesVerdicts) {
     EXPECT_EQ(consistent(*ViaDbcop, Level), Expected);
   }
 }
+
+// Parse errors must point at the offending line — including duplicate
+// writes, which used to surface only as a line-less build() failure.
+TEST(Formats, DuplicateWriteErrorsCarryLineNumbers) {
+  std::string Err;
+  EXPECT_FALSE(parseTextHistory("b 0\nw 1 10\nc\nb 0\nw 1 10\nc\n", &Err));
+  EXPECT_NE(Err.find("line 5"), std::string::npos) << Err;
+  EXPECT_NE(Err.find("duplicate write"), std::string::npos) << Err;
+
+  EXPECT_FALSE(parsePlumeHistory("0,0,w,1,10\n0,1,w,1,10\n", &Err));
+  EXPECT_NE(Err.find("line 2"), std::string::npos) << Err;
+  EXPECT_NE(Err.find("duplicate write"), std::string::npos) << Err;
+
+  EXPECT_FALSE(parseDbcopHistory(
+      "sessions 1\ntxn 0 1 1\nW 1 10\ntxn 0 1 1\nW 1 10\n", &Err));
+  EXPECT_NE(Err.find("line 5"), std::string::npos) << Err;
+  EXPECT_NE(Err.find("duplicate write"), std::string::npos) << Err;
+}
+
+TEST(Formats, SyntaxErrorsCarryLineNumbers) {
+  std::string Err;
+  EXPECT_FALSE(parseTextHistory("b 0\nw 1\nc\n", &Err));
+  EXPECT_NE(Err.find("line 2"), std::string::npos) << Err;
+  EXPECT_FALSE(parsePlumeHistory("0,0,w,1,10\ngarbage\n", &Err));
+  EXPECT_NE(Err.find("line 2"), std::string::npos) << Err;
+  EXPECT_FALSE(parseDbcopHistory("sessions 1\nboom\n", &Err));
+  EXPECT_NE(Err.find("line 2"), std::string::npos) << Err;
+}

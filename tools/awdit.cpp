@@ -11,6 +11,7 @@
 ///
 /// \code
 ///   awdit check <file> --level rc|ra|cc [--format native|plume|dbcop]
+///   awdit monitor <file|-> --level rc|ra|cc [--interval N] [--window N]
 ///   awdit stats <file> [--format ...]
 ///   awdit generate --bench c-twitter --sessions 50 --txns 1000 ...
 ///       --mode causal --seed 7 --out history.txt [--inject <anomaly>]
@@ -20,10 +21,13 @@
 //===----------------------------------------------------------------------===//
 
 #include "checker/checker.h"
+#include "checker/monitor.h"
 #include "checker/shrinker.h"
+#include "checker/violation_sink.h"
 #include "history/history_stats.h"
 #include "io/dbcop_format.h"
 #include "io/plume_format.h"
+#include "io/stream_parser.h"
 #include "io/text_format.h"
 #include "reduction/reductions.h"
 #include "sim/anomaly_injector.h"
@@ -33,6 +37,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <map>
 #include <optional>
 #include <sstream>
@@ -106,9 +111,14 @@ int usage() {
       "usage:\n"
       "  awdit check <file> --level rc|ra|cc [--format native|plume|dbcop]"
       " [--witnesses N]\n"
-      "                 [--threads N (0 = all cores, 1 = sequential)]\n"
+      "                 [--threads N (0 = all cores, 1 = sequential)]"
+      " [--json]\n"
       "  awdit batch <file>... --level rc|ra|cc|all [--format F]"
-      " [--jobs N] [--witnesses N]\n"
+      " [--jobs N] [--witnesses N] [--json]\n"
+      "  awdit monitor <file|-> --level rc|ra|cc [--interval N]"
+      " [--window N]\n"
+      "                 [--window-edges N] [--witnesses N] [--json]"
+      "   (native format stream)\n"
       "  awdit stats <file> [--format native|plume|dbcop]\n"
       "  awdit generate --bench random|c-twitter|tpc-c|rubis"
       " [--sessions N] [--txns N]\n"
@@ -184,6 +194,33 @@ std::optional<AnomalyKind> parseAnomaly(const std::string &Name) {
   return std::nullopt;
 }
 
+/// Serializes one file's check result as a single JSON object (one line):
+/// verdict, violations with kinds/witness cycles/descriptions, and stats.
+/// Shares the violation serializer with the monitor's JSON-lines sink.
+std::string reportToJson(const std::string &Path, IsolationLevel Level,
+                         const CheckReport &Report, const History &H) {
+  std::string Out = "{\"file\":\"";
+  appendJsonEscaped(Out, Path);
+  Out += "\",\"level\":\"";
+  appendJsonEscaped(Out, isolationLevelName(Level));
+  Out += "\",\"consistent\":";
+  Out += Report.Consistent ? "true" : "false";
+  Out += ",\"violations\":[";
+  for (size_t I = 0; I < Report.Violations.size(); ++I) {
+    if (I)
+      Out += ',';
+    std::string Desc = Report.Violations[I].describe(H);
+    Out += violationToJson(Report.Violations[I], &Desc);
+  }
+  Out += "],\"stats\":{\"inferred_edges\":" +
+         std::to_string(Report.Stats.InferredEdges) +
+         ",\"graph_edges\":" + std::to_string(Report.Stats.GraphEdges) +
+         ",\"used_fast_path\":";
+  Out += Report.Stats.UsedFastPath ? "true" : "false";
+  Out += "}}";
+  return Out;
+}
+
 int cmdCheck(const std::string &Path, const Flags &F) {
   std::optional<IsolationLevel> Level =
       parseIsolationLevel(F.getOr("level", ""));
@@ -205,6 +242,10 @@ int cmdCheck(const std::string &Path, const Flags &F) {
   Options.Threads =
       static_cast<unsigned>(numFlag(F, "threads", "0"));
   CheckReport Report = checkIsolation(*H, *Level, Options);
+  if (F.get("json")) {
+    std::printf("%s\n", reportToJson(Path, *Level, Report, *H).c_str());
+    return Report.Consistent ? 0 : 1;
+  }
   if (Report.Consistent) {
     std::printf("consistent: history satisfies %s\n",
                 isolationLevelName(*Level));
@@ -246,9 +287,11 @@ int cmdBatch(const std::vector<std::string> &Paths, const Flags &F) {
   Options.Threads = 1;
   std::string Format = F.getOr("format", "native");
 
+  bool Json = F.get("json") != nullptr;
   struct FileResult {
     std::string Error;
     std::vector<CheckReport> Reports; // parallel to Levels
+    std::vector<std::string> JsonLines;
   };
   std::vector<FileResult> Results(Paths.size());
 
@@ -260,8 +303,12 @@ int cmdBatch(const std::vector<std::string> &Paths, const Flags &F) {
           loadHistory(Paths[I], Format, &Results[I].Error);
       if (!H)
         continue;
-      for (IsolationLevel Level : Levels)
+      for (IsolationLevel Level : Levels) {
         Results[I].Reports.push_back(checkIsolation(*H, Level, Options));
+        if (Json)
+          Results[I].JsonLines.push_back(reportToJson(
+              Paths[I], Level, Results[I].Reports.back(), *H));
+      }
     }
   });
 
@@ -269,17 +316,29 @@ int cmdBatch(const std::vector<std::string> &Paths, const Flags &F) {
   for (size_t I = 0; I < Paths.size(); ++I) {
     const FileResult &R = Results[I];
     if (!R.Error.empty()) {
-      std::printf("%s: error: %s\n", Paths[I].c_str(), R.Error.c_str());
+      if (Json) {
+        std::string Line = "{\"file\":\"";
+        appendJsonEscaped(Line, Paths[I]);
+        Line += "\",\"error\":\"";
+        appendJsonEscaped(Line, R.Error);
+        Line += "\"}";
+        std::printf("%s\n", Line.c_str());
+      } else {
+        std::printf("%s: error: %s\n", Paths[I].c_str(), R.Error.c_str());
+      }
       AnyError = true;
       continue;
     }
     for (size_t L = 0; L < Levels.size(); ++L) {
       const CheckReport &Report = R.Reports[L];
-      if (Report.Consistent) {
+      if (!Report.Consistent)
+        AnyInconsistent = true;
+      if (Json) {
+        std::printf("%s\n", R.JsonLines[L].c_str());
+      } else if (Report.Consistent) {
         std::printf("%s %s: consistent\n", Paths[I].c_str(),
                     isolationLevelName(Levels[L]));
       } else {
-        AnyInconsistent = true;
         std::printf("%s %s: INCONSISTENT (%zu violation%s)\n",
                     Paths[I].c_str(), isolationLevelName(Levels[L]),
                     Report.Violations.size(),
@@ -288,6 +347,100 @@ int cmdBatch(const std::vector<std::string> &Paths, const Flags &F) {
     }
   }
   return AnyError ? 2 : AnyInconsistent ? 1 : 0;
+}
+
+/// Tails a native-format history stream from a file or stdin ("-"),
+/// feeding a streaming Monitor that emits violations live — human
+/// one-liners or JSON lines — while a window bounds memory if requested.
+int cmdMonitor(const std::string &Path, const Flags &F) {
+  std::optional<IsolationLevel> Level =
+      parseIsolationLevel(F.getOr("level", ""));
+  if (!Level) {
+    std::fprintf(stderr, "error: --level rc|ra|cc is required\n");
+    return 2;
+  }
+
+  MonitorOptions Options;
+  Options.Level = *Level;
+  Options.Check.MaxWitnesses =
+      static_cast<size_t>(numFlag(F, "witnesses", "4"));
+  Options.CheckIntervalTxns =
+      static_cast<size_t>(numFlag(F, "interval", "256"));
+  Options.WindowTxns = static_cast<size_t>(numFlag(F, "window", "0"));
+  Options.WindowEdges =
+      static_cast<size_t>(numFlag(F, "window-edges", "0"));
+
+  bool Json = F.get("json") != nullptr;
+  JsonLinesSink JsonSink(std::cout);
+  CallbackSink TextSink([](const Violation &, const std::string &Desc) {
+    std::printf("VIOLATION %s\n", Desc.c_str());
+    std::fflush(stdout);
+  });
+  Monitor M(Options, Json ? static_cast<ViolationSink *>(&JsonSink)
+                          : static_cast<ViolationSink *>(&TextSink));
+  StreamingTextParser Parser(M);
+
+  std::FILE *In = Path == "-" ? stdin : std::fopen(Path.c_str(), "rb");
+  if (!In) {
+    std::fprintf(stderr, "error: cannot open '%s'\n", Path.c_str());
+    return 2;
+  }
+  char Buffer[1 << 16];
+  std::string Err;
+  bool Ok = true;
+  while (Ok) {
+    size_t N = std::fread(Buffer, 1, sizeof(Buffer), In);
+    if (N == 0)
+      break;
+    Ok = Parser.feed(std::string_view(Buffer, N), &Err);
+  }
+  if (Ok)
+    Ok = Parser.finish(&Err);
+  if (In != stdin)
+    std::fclose(In);
+  if (!Ok) {
+    std::fprintf(stderr, "error: %s\n", Err.c_str());
+    return 2;
+  }
+
+  CheckReport Report = M.finalize();
+  const MonitorStats &S = M.stats();
+  if (Json) {
+    std::string Line = "{\"consistent\":";
+    Line += Report.Consistent ? "true" : "false";
+    Line += ",\"level\":\"";
+    appendJsonEscaped(Line, isolationLevelName(*Level));
+    Line += "\",\"txns\":" + std::to_string(S.IngestedTxns) +
+            ",\"committed\":" + std::to_string(S.CommittedTxns) +
+            ",\"ops\":" + std::to_string(S.IngestedOps) +
+            ",\"violations\":" + std::to_string(S.ReportedViolations) +
+            ",\"flushes\":" + std::to_string(S.Flushes) +
+            ",\"evicted_txns\":" + std::to_string(S.EvictedTxns) +
+            ",\"compactions\":" + std::to_string(S.Compactions) +
+            ",\"evicted_unresolved_reads\":" +
+            std::to_string(S.EvictedUnresolvedReads) +
+            ",\"evicted_writer_reads\":" +
+            std::to_string(S.EvictedWriterReads) + "}";
+    std::printf("%s\n", Line.c_str());
+  } else {
+    std::printf("%s: %s after %llu txns (%llu ops, %llu violations, "
+                "%llu checking passes)\n",
+                Report.Consistent ? "consistent" : "INCONSISTENT",
+                isolationLevelName(*Level),
+                static_cast<unsigned long long>(S.IngestedTxns),
+                static_cast<unsigned long long>(S.IngestedOps),
+                static_cast<unsigned long long>(S.ReportedViolations),
+                static_cast<unsigned long long>(S.Flushes));
+    if (S.EvictedTxns)
+      std::printf("window: evicted %llu txns in %llu compactions "
+                  "(%llu unresolved + %llu resolved reads crossed the "
+                  "horizon)\n",
+                  static_cast<unsigned long long>(S.EvictedTxns),
+                  static_cast<unsigned long long>(S.Compactions),
+                  static_cast<unsigned long long>(S.EvictedUnresolvedReads),
+                  static_cast<unsigned long long>(S.EvictedWriterReads));
+  }
+  return Report.Consistent ? 0 : 1;
 }
 
 int cmdStats(const std::string &Path, const Flags &F) {
@@ -440,13 +593,17 @@ int main(int Argc, char **Argv) {
     return usage();
   std::string Cmd = Argv[1];
 
-  // Collect positionals and --flag value pairs. Only batch takes more than
-  // one positional.
+  // Collect positionals and --flag value pairs (--json is valueless). Only
+  // batch takes more than one positional.
   Flags F;
   std::vector<std::string> Positionals;
   for (int I = 2; I < Argc; ++I) {
     std::string Arg = Argv[I];
     if (Arg.rfind("--", 0) == 0) {
+      if (Arg == "--json") {
+        F.Values["json"] = "1";
+        continue;
+      }
       if (I + 1 >= Argc) {
         std::fprintf(stderr, "error: flag %s needs a value\n", Arg.c_str());
         return 2;
@@ -463,6 +620,8 @@ int main(int Argc, char **Argv) {
     return cmdCheck(Positionals[0], F);
   if (Cmd == "batch" && !Positionals.empty())
     return cmdBatch(Positionals, F);
+  if (Cmd == "monitor" && Positionals.size() <= 1)
+    return cmdMonitor(Positionals.empty() ? "-" : Positionals[0], F);
   if (Cmd == "stats" && Positionals.size() == 1)
     return cmdStats(Positionals[0], F);
   if (Cmd == "generate")
