@@ -26,6 +26,7 @@
 #include <benchmark/benchmark.h>
 
 #include <map>
+#include <memory>
 
 using namespace awdit;
 
@@ -333,6 +334,59 @@ static void BM_MonitorWindowedCc(benchmark::State &State) {
                    /*WindowTxns=*/static_cast<size_t>(State.range(0)) / 4);
 }
 BENCHMARK(BM_MonitorWindowedCc)->Args({4096, 256})->Args({16384, 1024});
+
+// Steady-state flush cost as the live window grows: prefill `window`
+// transactions (untimed), then measure ingest of a fixed 2048-transaction
+// tail at a small flush cadence. With the delta-driven saturation engine
+// the per-item time stays roughly flat as the window grows; an engine that
+// re-scans the window each flush degrades linearly with it.
+static void BM_MonitorFlushScalingCc(benchmark::State &State) {
+  size_t Window = static_cast<size_t>(State.range(0));
+  constexpr size_t Tail = 2048;
+  const History &H = cachedHistory(Window + Tail);
+  int64_t TailOps = 0;
+  for (TxnId Id = static_cast<TxnId>(Window);
+       Id < static_cast<TxnId>(Window + Tail); ++Id)
+    TailOps += static_cast<int64_t>(H.txn(Id).size());
+
+  for (auto _ : State) {
+    State.PauseTiming();
+    auto M = std::make_unique<Monitor>([&] {
+      MonitorOptions Options;
+      Options.Level = IsolationLevel::CausalConsistency;
+      Options.Check.MaxWitnesses = 1;
+      Options.CheckIntervalTxns = 64;
+      return Options;
+    }());
+    while (M->numSessions() < H.numSessions())
+      M->addSession();
+    auto FeedOne = [&](TxnId Id) {
+      const Transaction &T = H.txn(Id);
+      TxnId Mid = M->beginTxn(T.Session);
+      for (const Operation &Op : T.Ops)
+        M->append(Mid, Op);
+      if (T.Committed)
+        M->commit(Mid);
+      else
+        M->abortTxn(Mid);
+    };
+    for (TxnId Id = 0; Id < static_cast<TxnId>(Window); ++Id)
+      FeedOne(Id);
+    State.ResumeTiming();
+
+    for (TxnId Id = static_cast<TxnId>(Window);
+         Id < static_cast<TxnId>(Window + Tail); ++Id)
+      FeedOne(Id);
+    benchmark::DoNotOptimize(M->stats().Flushes);
+
+    State.PauseTiming();
+    M.reset(); // teardown untimed
+    State.ResumeTiming();
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(State.iterations()) *
+                          TailOps);
+}
+BENCHMARK(BM_MonitorFlushScalingCc)->Arg(4096)->Arg(16384)->Arg(65536);
 
 // End-to-end facade throughput (what the CLI pays per history).
 static void BM_FacadeAllLevels(benchmark::State &State) {

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Compare two google-benchmark JSON outputs and fail on regressions.
+
+Usage:
+  compare_bench.py BASELINE.json CURRENT.json [--max-regression 0.20]
+                   [--filter REGEX]
+
+Benchmarks are matched by name. The comparison metric is items_per_second
+when present, otherwise inverse real_time (higher is better for both).
+Benchmarks present in only one file are reported but never fail the run
+(benches come and go across commits); a matched benchmark whose throughput
+dropped by more than the threshold fails the run with exit code 1.
+"""
+
+import argparse
+import json
+import re
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    out = {}
+    for bench in data.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        name = bench["name"]
+        if "items_per_second" in bench:
+            out[name] = float(bench["items_per_second"])
+        elif float(bench.get("real_time", 0)) > 0:
+            out[name] = 1.0 / float(bench["real_time"])
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--max-regression", type=float, default=0.20,
+                        help="allowed fractional throughput drop (0.20 = 20%%)")
+    parser.add_argument("--filter", default="",
+                        help="only compare benchmarks matching this regex")
+    args = parser.parse_args()
+
+    base = load(args.baseline)
+    cur = load(args.current)
+    pattern = re.compile(args.filter) if args.filter else None
+
+    failed = []
+    compared = 0
+    for name in sorted(set(base) | set(cur)):
+        if pattern and not pattern.search(name):
+            continue
+        if name not in base:
+            print(f"  new        {name}")
+            continue
+        if name not in cur:
+            print(f"  removed    {name}")
+            continue
+        compared += 1
+        ratio = cur[name] / base[name] if base[name] else 1.0
+        verdict = "ok"
+        if ratio < 1.0 - args.max_regression:
+            verdict = "REGRESSION"
+            failed.append(name)
+        print(f"  {verdict:10s} {name}: {base[name]:.4g} -> {cur[name]:.4g} "
+              f"({(ratio - 1.0) * 100:+.1f}%)")
+
+    if failed:
+        print(f"FAIL: {len(failed)} of {compared} benchmark(s) regressed "
+              f"more than {args.max_regression * 100:.0f}%")
+        return 1
+    print(f"benchmark comparison passed ({compared} compared)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,12 +8,41 @@
 #include "checker/check_rc.h"
 #include "checker/monitor.h"
 #include "checker/parallel.h"
+#include "checker/read_consistency.h"
+#include "checker/saturation_state.h"
 #include "support/assert.h"
 #include "support/thread_pool.h"
 
 #include <optional>
 
 using namespace awdit;
+
+namespace {
+
+/// The sequential engine path: the read-level axiom passes of the batch
+/// algorithms, then the incremental saturation engine run as one
+/// cold-start delta, then the canonical acyclicity pass. Structured
+/// exactly like checkRc/checkRa/checkCc (same passes, same kernels, same
+/// canonicalization), so verdicts, violation lists, statistics, and
+/// witness cycles are bit-identical to them on every history.
+bool checkSequentialViaEngine(const History &H, IsolationLevel Level,
+                              std::vector<Violation> &Out,
+                              size_t MaxWitnesses, SaturationStats *Stats) {
+  if (!checkReadConsistency(H, Out))
+    return false;
+  if (Level == IsolationLevel::ReadAtomic && !checkRepeatableReads(H, Out))
+    return false;
+  SaturationState Engine(Level, SaturationState::Mode::Batch);
+  Engine.coldStart(H);
+  // The batch CC checker never reports saturation stats when so ∪ wr is
+  // already cyclic (it stops before saturating); mirror that.
+  bool SkipStats =
+      Level == IsolationLevel::CausalConsistency && Engine.baseCyclic();
+  return Engine.finalizeAcyclic(H, Out, MaxWitnesses,
+                                SkipStats ? nullptr : Stats);
+}
+
+} // namespace
 
 CheckReport awdit::detail::checkOneShot(const History &H,
                                         IsolationLevel Level,
@@ -41,7 +70,8 @@ CheckReport awdit::detail::checkOneShot(const History &H,
         UseParallel
             ? checkRcParallel(H, *Pool, Report.Violations,
                               Options.MaxWitnesses, &Sat)
-            : checkRc(H, Report.Violations, Options.MaxWitnesses, &Sat);
+            : checkSequentialViaEngine(H, Level, Report.Violations,
+                                       Options.MaxWitnesses, &Sat);
     break;
   case IsolationLevel::ReadAtomic:
     if (Options.UseSingleSessionFastPath && isSingleSession(H)) {
@@ -51,8 +81,8 @@ CheckReport awdit::detail::checkOneShot(const History &H,
       Report.Consistent = checkRaParallel(H, *Pool, Report.Violations,
                                           Options.MaxWitnesses, &Sat);
     } else {
-      Report.Consistent =
-          checkRa(H, Report.Violations, Options.MaxWitnesses, &Sat);
+      Report.Consistent = checkSequentialViaEngine(
+          H, Level, Report.Violations, Options.MaxWitnesses, &Sat);
     }
     break;
   case IsolationLevel::CausalConsistency:
@@ -63,8 +93,8 @@ CheckReport awdit::detail::checkOneShot(const History &H,
       Report.Consistent = checkCcOnTheFly(H, Report.Violations,
                                           Options.MaxWitnesses, &Sat);
     else
-      Report.Consistent =
-          checkCc(H, Report.Violations, Options.MaxWitnesses, &Sat);
+      Report.Consistent = checkSequentialViaEngine(
+          H, Level, Report.Violations, Options.MaxWitnesses, &Sat);
     break;
   }
 

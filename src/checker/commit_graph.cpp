@@ -31,16 +31,6 @@ CommitGraph::CommitGraph(const History &H) : H(H), G(H.numTxns()) {
 }
 
 void CommitGraph::flushInferred() {
-  // Splice in the striped buffers of the concurrent path. No checker runs
-  // concurrently with a flush, but the stripe locks are cheap and make the
-  // invariant local.
-  for (Stripe &S : Stripes) {
-    std::lock_guard<std::mutex> L(S.Mutex);
-    if (!S.Edges.empty()) {
-      Pending.insert(Pending.end(), S.Edges.begin(), S.Edges.end());
-      S.Edges.clear();
-    }
-  }
   if (Pending.empty())
     return;
   std::sort(Pending.begin(), Pending.end());

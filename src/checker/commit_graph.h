@@ -26,9 +26,6 @@
 #include "history/history.h"
 #include "support/assert.h"
 
-#include <array>
-#include <atomic>
-#include <mutex>
 #include <unordered_set>
 #include <vector>
 
@@ -52,23 +49,9 @@ public:
     Pending.push_back(packEdge(From, To));
   }
 
-  /// Thread-safe bulk variant of inferEdge() for the parallel saturation
-  /// passes: appends \p Count packed edges into one of NumStripes pending
-  /// buffers under that stripe's lock. Stripes are picked round-robin, so
-  /// concurrent workers rarely contend on the same lock. The flush
-  /// canonicalizes (sorts and deduplicates) all pending edges, so the final
-  /// graph is identical regardless of which path or interleaving added
-  /// them.
-  void appendInferredBatch(const uint64_t *Edges, size_t Count) {
-    if (Count == 0)
-      return;
-    size_t Idx = NextStripe.fetch_add(1, std::memory_order_relaxed);
-    Stripe &S = Stripes[Idx % NumStripes];
-    std::lock_guard<std::mutex> L(S.Mutex);
-    S.Edges.insert(S.Edges.end(), Edges, Edges + Count);
-  }
-
-  /// Packs an inferred edge for appendInferredBatch().
+  /// Packs an inferred edge for inferEdge-style bulk storage. The shared
+  /// packed-edge convention of the whole checker layer (the parallel
+  /// engine's batches and the incremental saturation state use it too).
   static uint64_t packEdge(TxnId From, TxnId To) {
     return (static_cast<uint64_t>(From) << 32) | To;
   }
@@ -108,16 +91,6 @@ private:
   std::vector<uint64_t> Pending;
   /// Packed (From, To) pairs of flushed inferred edges.
   std::unordered_set<uint64_t> Inferred;
-
-  /// Striped pending buffers for appendInferredBatch(). 64 stripes keep
-  /// lock contention negligible at any realistic worker count.
-  static constexpr size_t NumStripes = 64;
-  struct Stripe {
-    std::mutex Mutex;
-    std::vector<uint64_t> Edges;
-  };
-  std::array<Stripe, NumStripes> Stripes;
-  std::atomic<size_t> NextStripe{0};
 };
 
 } // namespace awdit

@@ -2,11 +2,8 @@
 
 #include "checker/monitor.h"
 
-#include "checker/check_cc.h"
 #include "checker/check_ra.h"
-#include "checker/commit_graph.h"
 #include "checker/read_consistency.h"
-#include "graph/topo_sort.h"
 #include "support/assert.h"
 
 #include <algorithm>
@@ -30,11 +27,13 @@ const char *edgeKindName(EdgeKind Kind) {
 } // namespace
 
 Monitor::Monitor(const MonitorOptions &Options, ViolationSink *Sink)
-    : Opts(Options), Sink(Sink) {}
+    : Opts(Options), Sink(Sink),
+      Saturation(Options.Level, SaturationState::Mode::Streaming) {}
 
 SessionId Monitor::addSession() {
   Live.Sessions.emplace_back();
   SessionSoBase.push_back(0);
+  Saturation.addSession();
   return static_cast<SessionId>(Live.Sessions.size() - 1);
 }
 
@@ -54,9 +53,12 @@ TxnId Monitor::beginTxn(SessionId S) {
   // Open transactions are not yet part of T_c: Committed flips on commit().
   T.Committed = false;
   Live.Txns.push_back(std::move(T));
-  Meta.push_back(TxnMeta{});
+  Meta.push_back(TxnMeta{/*Open=*/true, /*Deferred=*/false,
+                         /*Ts=*/CurrentTime});
+  TxnId Local = static_cast<TxnId>(Live.Txns.size() - 1);
+  OpenTxns.insert(Local);
   ++Stats.IngestedTxns;
-  return toMonitorId(static_cast<TxnId>(Live.Txns.size() - 1));
+  return toMonitorId(Local);
 }
 
 void Monitor::read(TxnId T, Key K, Value V) {
@@ -68,6 +70,8 @@ bool Monitor::write(TxnId T, Key K, Value V) {
 }
 
 bool Monitor::append(TxnId T, Operation Op) {
+  if (ForceAbortedIds.count(T))
+    return true; // the hung transaction was force-aborted; drop quietly
   TxnId L = toLocal(T);
   AWDIT_ASSERT(Meta[L].Open, "append: transaction already closed");
   Keys.insert(Op.K);
@@ -97,13 +101,40 @@ bool Monitor::append(TxnId T, Operation Op) {
   return true;
 }
 
-void Monitor::commit(TxnId T) { closeTxn(toLocal(T), /*Committed=*/true); }
+void Monitor::commit(TxnId T) {
+  if (ForceAbortedIds.count(T))
+    return; // already aborted by the force-abort policy
+  closeTxn(toLocal(T), /*Committed=*/true);
+}
 
-void Monitor::abortTxn(TxnId T) { closeTxn(toLocal(T), /*Committed=*/false); }
+void Monitor::abortTxn(TxnId T) {
+  if (ForceAbortedIds.count(T))
+    return; // already aborted by the force-abort policy
+  closeTxn(toLocal(T), /*Committed=*/false);
+}
+
+void Monitor::advanceTime(uint64_t Now) {
+  if (!HasTime) {
+    // First timestamp: everything ingested so far predates the clock, so
+    // its lifecycle times are unknown. Anchor them here — otherwise a
+    // stream whose ticks start at a large absolute value (epoch millis)
+    // would instantly age out, or force-abort, transactions that are
+    // seconds old.
+    HasTime = true;
+    CurrentTime = Now;
+    for (TxnMeta &M : Meta)
+      M.Ts = Now;
+    return;
+  }
+  if (Now > CurrentTime)
+    CurrentTime = Now;
+}
 
 void Monitor::closeTxn(TxnId Local, bool Committed) {
   AWDIT_ASSERT(Meta[Local].Open, "closeTxn: transaction already closed");
   Meta[Local].Open = false;
+  Meta[Local].Ts = CurrentTime;
+  OpenTxns.erase(Local);
   Transaction &Txn = Live.Txns[Local];
   Txn.Committed = Committed;
   if (Committed) {
@@ -230,11 +261,14 @@ void Monitor::adopt(const History &H) {
   // HistoryBuilder::build() (or an earlier finalize), so every derived
   // index is already in its final state and nothing needs re-deriving —
   // adopted transactions are not marked dirty, and the write index is
-  // materialized lazily only if streaming continues (the adopt-then-
-  // finalize wrapper never needs it).
+  // materialized lazily, only if streaming or checking continues (the
+  // adopt-then-finalize wrapper never needs it).
   Live = H;
-  Meta.assign(Live.Txns.size(), TxnMeta{/*Open=*/false, /*Deferred=*/false});
+  Meta.assign(Live.Txns.size(),
+              TxnMeta{/*Open=*/false, /*Deferred=*/false, /*Ts=*/0});
   SessionSoBase.assign(Live.Sessions.size(), 0);
+  for (size_t S = 0; S < Live.Sessions.size(); ++S)
+    Saturation.addSession();
   AdoptedIndexPending = true;
   Stats.IngestedTxns += Live.Txns.size();
   Stats.IngestedOps += Live.TotalOps;
@@ -246,7 +280,8 @@ void Monitor::ensureAdoptedIndex() {
     return;
   AdoptedIndexPending = false;
   // Populate the write index and key universe so new ingestion resolves
-  // (and duplicate-detects) against the adopted writes.
+  // (and duplicate-detects) against the adopted writes, and queue the
+  // adopted transactions as the saturation engine's first delta.
   for (TxnId L = 0; L < static_cast<TxnId>(Live.Txns.size()); ++L) {
     const Transaction &T = Live.Txns[L];
     for (uint32_t OpIdx = 0; OpIdx < T.Ops.size(); ++OpIdx) {
@@ -255,6 +290,8 @@ void Monitor::ensureAdoptedIndex() {
       if (Op.isWrite())
         Writes.record(Op.K, Op.V, L, OpIdx);
     }
+    if (T.Committed)
+      AdoptedReady.push_back(L);
   }
 }
 
@@ -276,36 +313,35 @@ bool Monitor::check() {
   return !AnyViolation;
 }
 
-void Monitor::addEdges(uint64_t Source,
-                       const std::vector<uint64_t> &Edges) {
-  if (Edges.empty())
+void Monitor::forceAbortHung() {
+  if (!Opts.ForceAbortOpenTicks || !HasTime)
     return;
-  std::vector<uint64_t> &List = InferredBySource[Source];
-  for (uint64_t Packed : Edges) {
-    List.push_back(Packed);
-    ++EdgeRefs[Packed];
+  std::vector<TxnId> Hung;
+  for (TxnId L : OpenTxns)
+    if (CurrentTime - Meta[L].Ts >= Opts.ForceAbortOpenTicks)
+      Hung.push_back(L);
+  for (TxnId L : Hung) {
+    // The session may come back and keep using the handle: remember the
+    // monitor id forever (one entry per forced abort) so late operations
+    // and the eventual commit/abort are dropped instead of touching a
+    // closed — possibly already evicted — transaction.
+    ForceAbortedIds.insert(toMonitorId(L));
+    closeTxn(L, /*Committed=*/false);
+    ++Stats.ForcedAborts;
   }
-}
-
-void Monitor::removeSource(uint64_t Source) {
-  auto It = InferredBySource.find(Source);
-  if (It == InferredBySource.end())
-    return;
-  for (uint64_t Packed : It->second) {
-    auto RefIt = EdgeRefs.find(Packed);
-    if (RefIt != EdgeRefs.end() && --RefIt->second == 0)
-      EdgeRefs.erase(RefIt);
-  }
-  InferredBySource.erase(It);
 }
 
 void Monitor::flush(bool Final) {
   ++Stats.Flushes;
   CommitsSinceFlush = 0;
+  ensureAdoptedIndex();
+  forceAbortHung();
 
   // Re-derive dirty transactions; those with a still-open writer stay
-  // dirty until it closes.
+  // dirty until it closes. Adopted transactions join the first delta
+  // as-is: their derived state was taken over wholesale.
   std::vector<TxnId> Ready;
+  Ready.swap(AdoptedReady);
   std::vector<TxnId> DirtyNow(Dirty.begin(), Dirty.end());
   for (TxnId L : DirtyNow) {
     if (Meta[L].Open)
@@ -319,6 +355,8 @@ void Monitor::flush(bool Final) {
     if (Live.Txns[L].Committed)
       Ready.push_back(L);
   }
+  std::sort(Ready.begin(), Ready.end());
+  Ready.erase(std::unique(Ready.begin(), Ready.end()), Ready.end());
 
   std::vector<Violation> Found;
 
@@ -341,101 +379,21 @@ void Monitor::flush(bool Final) {
   // so it is only counted (UnresolvedReads / EvictedUnresolvedReads) —
   // the windowed-mode completeness trade-off.
 
-  runIncrementalChecks(Ready, Found);
+  // The incremental saturation pass: only the delta and what it reaches
+  // is reprocessed; a cycle is reported the moment its closing edge is
+  // inserted into the maintained topological order.
+  Saturation.flushDelta(Live, Ready, Found);
 
   for (Violation &V : Found) {
     translateToMonitorIds(V);
     emitViolation(std::move(V));
   }
 
+  Stats.GraphEdges = Saturation.numGraphEdges();
+  Stats.InferredEdges = Saturation.numInferredEdges();
   if (!Final)
     maybeEvict();
   Stats.LiveTxns = Live.numTxns();
-  Stats.InferredEdges = EdgeRefs.size();
-}
-
-void Monitor::runIncrementalChecks(const std::vector<TxnId> &Ready,
-                                   std::vector<Violation> &Out) {
-  switch (Opts.Level) {
-  case IsolationLevel::ReadCommitted: {
-    // Algorithm 1 is per-transaction: saturate exactly the affected ones.
-    detail::RcScratch Scratch;
-    for (TxnId L : Ready) {
-      removeSource(rcSource(L));
-      std::vector<uint64_t> Edges;
-      detail::saturateRcRange(Live, L, L + 1, Scratch,
-                              [&](TxnId From, TxnId To) {
-                                Edges.push_back(
-                                    CommitGraph::packEdge(From, To));
-                              });
-      addEdges(rcSource(L), Edges);
-    }
-    break;
-  }
-  case IsolationLevel::ReadAtomic: {
-    // Algorithm 2 is per-session with state flowing along so: extend each
-    // session's saturation from its last processed position; retroactive
-    // re-resolution of an already-processed transaction re-runs the
-    // session from scratch.
-    if (RaStates.size() < Live.Sessions.size())
-      RaStates.resize(Live.Sessions.size());
-    for (TxnId L : Ready) {
-      RaSessionState &St = RaStates[Live.Txns[L].Session];
-      if (Live.Txns[L].SoIndex < St.NextSo)
-        St.NeedsFullRerun = true;
-    }
-    for (SessionId S = 0; S < Live.Sessions.size(); ++S) {
-      RaSessionState &St = RaStates[S];
-      if (St.NeedsFullRerun) {
-        removeSource(raSource(S));
-        St.Scratch.LastWrite.clear();
-        St.NextSo = 0;
-        St.NeedsFullRerun = false;
-      }
-      size_t Size = Live.Sessions[S].size();
-      if (St.NextSo >= Size)
-        continue;
-      std::vector<uint64_t> Edges;
-      detail::saturateRaSessionRange(Live, S, St.NextSo, Size, St.Scratch,
-                                     [&](TxnId From, TxnId To) {
-                                       Edges.push_back(
-                                           CommitGraph::packEdge(From, To));
-                                     });
-      St.NextSo = Size;
-      addEdges(raSource(S), Edges);
-    }
-    break;
-  }
-  case IsolationLevel::CausalConsistency:
-    // Handled below: Algorithm 3's happens-before frontier is global, so
-    // the window is re-saturated against the current so ∪ wr graph.
-    break;
-  }
-
-  CommitGraph Co(Live);
-  if (Opts.Level == IsolationLevel::CausalConsistency) {
-    removeSource(CcSource);
-    std::optional<std::vector<uint32_t>> Order =
-        topologicalSort(Co.graph());
-    if (Order) {
-      HappensBefore HB;
-      fillHappensBefore(Live, *Order, HB);
-      std::vector<uint64_t> Edges;
-      detail::saturateCc(Live, HB, [&](TxnId From, TxnId To) {
-        Edges.push_back(CommitGraph::packEdge(From, To));
-      });
-      addEdges(CcSource, Edges);
-    }
-    // A cyclic so ∪ wr is caught by the acyclicity check below.
-  }
-
-  for (const auto &[Packed, Refs] : EdgeRefs) {
-    (void)Refs;
-    Co.inferEdge(static_cast<TxnId>(Packed >> 32),
-                 static_cast<TxnId>(Packed));
-  }
-  Co.checkAcyclic(Out, Opts.Check.MaxWitnesses);
-  Stats.GraphEdges = Co.numEdges();
 }
 
 void Monitor::translateToMonitorIds(Violation &V) const {
@@ -463,9 +421,9 @@ std::string Monitor::fingerprint(const Violation &V) {
 
 bool Monitor::emitViolation(Violation V) {
   if (!V.Cycle.empty()) {
-    // One report per emerging cyclic region: as the stream grows, an SCC
-    // can grow and its extracted witness change; re-reporting it every
-    // pass would flood the sink.
+    // One report per emerging cyclic region: as the stream grows, a cyclic
+    // region can grow and its extracted witness change; re-reporting it
+    // every pass would flood the sink.
     for (const WitnessEdge &E : V.Cycle)
       if (ReportedCycleTxns.count(E.From))
         return false;
@@ -490,6 +448,16 @@ void Monitor::maybeEvict() {
     Target = LiveTxns - Opts.WindowTxns;
   if (Opts.WindowEdges && Stats.GraphEdges > Opts.WindowEdges)
     Target = std::max(Target, LiveTxns / 4);
+  size_t AgeTarget = 0;
+  if (Opts.WindowAgeTicks && HasTime && CurrentTime > Opts.WindowAgeTicks) {
+    // Age horizon: the closed prefix whose close timestamps fell out of
+    // the window. Bounded by the first open transaction anyway.
+    uint64_t Horizon = CurrentTime - Opts.WindowAgeTicks;
+    while (AgeTarget < LiveTxns && !Meta[AgeTarget].Open &&
+           Meta[AgeTarget].Ts < Horizon)
+      ++AgeTarget;
+    Target = std::max(Target, AgeTarget);
+  }
   if (Target == 0)
     return;
 
@@ -501,14 +469,21 @@ void Monitor::maybeEvict() {
   while (ClosedPrefix < Evictable && !Meta[ClosedPrefix].Open)
     ++ClosedPrefix;
   size_t Count = std::min(Target, ClosedPrefix);
-  if (Count > 0)
+  if (Count > 0) {
+    Stats.AgeEvictedTxns += std::min(Count, AgeTarget);
     compact(Count);
+  }
 }
 
 void Monitor::compact(size_t Count) {
   ++Stats.Compactions;
   Stats.EvictedTxns += Count;
   TxnId Cut = static_cast<TxnId>(Count);
+
+  // The saturation engine compacts its persisted state first: it needs
+  // the pre-eviction window (session lists, derived reads) to compute the
+  // per-session position shifts.
+  Saturation.compact(Live, Cut);
 
   // Window accounting of the evicted prefix.
   for (size_t L = 0; L < Count; ++L) {
@@ -585,17 +560,13 @@ void Monitor::compact(size_t Count) {
 
   // Session lists: drop evicted members, rebase the rest, reassign so
   // positions, and remember how many so slots each session lost (labels).
-  std::vector<size_t> RemovedBeforeNextSo(Live.Sessions.size(), 0);
   for (SessionId S = 0; S < Live.Sessions.size(); ++S) {
     std::vector<TxnId> &Sess = Live.Sessions[S];
     size_t Kept = 0, Removed = 0;
-    size_t NextSo = S < RaStates.size() ? RaStates[S].NextSo : 0;
     for (size_t Pos = 0; Pos < Sess.size(); ++Pos) {
       TxnId L = Sess[Pos];
       if (L < Cut) {
         ++Removed;
-        if (Pos < NextSo)
-          ++RemovedBeforeNextSo[S];
         continue;
       }
       TxnId NewL = L - Cut;
@@ -606,57 +577,8 @@ void Monitor::compact(size_t Count) {
     SessionSoBase[S] += Removed;
   }
 
-  // RA incremental state: scratch entries of evicted writers vanish, the
-  // processed frontier shifts by the members removed below it.
-  for (SessionId S = 0; S < RaStates.size(); ++S) {
-    RaSessionState &St = RaStates[S];
-    St.NextSo -= RemovedBeforeNextSo[S];
-    for (auto It = St.Scratch.LastWrite.begin();
-         It != St.Scratch.LastWrite.end();) {
-      if (It->second < Cut) {
-        It = St.Scratch.LastWrite.erase(It);
-      } else {
-        It->second -= Cut;
-        ++It;
-      }
-    }
-  }
-
-  // Inferred-edge bookkeeping: edges touching the evicted prefix are gone
-  // (anomalies spanning the horizon are no longer detectable — the
-  // documented windowed-mode trade-off), as are the contributions of
-  // evicted RC source transactions.
-  {
-    std::unordered_map<uint64_t, std::vector<uint64_t>> NewSources;
-    for (auto &[Source, Edges] : InferredBySource) {
-      uint64_t NewSource = Source;
-      if (Source < (uint64_t(1) << 32)) { // RC source: a transaction.
-        if (Source < Count)
-          continue;
-        NewSource = Source - Count;
-      }
-      std::vector<uint64_t> KeptEdges;
-      for (uint64_t Packed : Edges) {
-        TxnId From = static_cast<TxnId>(Packed >> 32);
-        TxnId To = static_cast<TxnId>(Packed);
-        if (From < Cut || To < Cut)
-          continue;
-        KeptEdges.push_back(CommitGraph::packEdge(From - Cut, To - Cut));
-      }
-      if (!KeptEdges.empty())
-        NewSources.emplace(NewSource, std::move(KeptEdges));
-    }
-    InferredBySource = std::move(NewSources);
-    EdgeRefs.clear();
-    for (const auto &[Source, Edges] : InferredBySource) {
-      (void)Source;
-      for (uint64_t Packed : Edges)
-        ++EdgeRefs[Packed];
-    }
-  }
-
-  // Dirty transactions are never evicted (the prefix stops at the first);
-  // rebase the set.
+  // Dirty and open transactions are never evicted (the prefix stops at
+  // the first); rebase the sets.
   {
     std::set<TxnId> NewDirty;
     for (TxnId L : Dirty) {
@@ -664,6 +586,12 @@ void Monitor::compact(size_t Count) {
       NewDirty.insert(L - Cut);
     }
     Dirty = std::move(NewDirty);
+    std::set<TxnId> NewOpen;
+    for (TxnId L : OpenTxns) {
+      AWDIT_ASSERT(L >= Cut, "compact: open transaction in evicted prefix");
+      NewOpen.insert(L - Cut);
+    }
+    OpenTxns = std::move(NewOpen);
   }
 
   // Mask entries of evicted readers can never be consulted again.
@@ -741,7 +669,7 @@ CheckReport Monitor::finalize() {
 
 const MonitorStats &Monitor::stats() {
   Stats.LiveTxns = Live.numTxns();
-  Stats.InferredEdges = EdgeRefs.size();
+  Stats.InferredEdges = Saturation.numInferredEdges();
   return Stats;
 }
 

@@ -8,23 +8,28 @@
 /// The streaming entry point of the AWDIT library: a long-lived Monitor
 /// session that ingests sessions/transactions/operations as they arrive
 /// from a running database (mirroring HistoryBuilder's begin/read/write/
-/// commit surface), resolves the wr relation incrementally, runs the
-/// shared saturation kernels (checker/saturation_impl.h) over the affected
-/// suffix of the commit graph at a configurable cadence, and pushes
-/// violations to a pluggable ViolationSink the moment they become
-/// detectable — instead of returning a vector after the whole history has
-/// been materialized.
+/// commit surface), resolves the wr relation incrementally, and drives the
+/// incremental saturation engine (checker/saturation_state.h) with the
+/// delta of newly committed or retroactively re-resolved transactions at a
+/// configurable cadence — per-flush work is proportional to the delta, not
+/// the live window. Violations are pushed to a pluggable ViolationSink the
+/// moment they become detectable (read-level axioms when the transaction
+/// is checked, cycles the instant the closing edge is inserted) instead of
+/// being returned after the whole history has been materialized.
 ///
 /// The one-shot checkIsolation() facade is a thin wrapper over this class:
 /// replay the history, finalize, return the report (bit-identical to the
 /// historical one-shot engine; enforced by tests/test_monitor.cpp).
 ///
 /// A windowed mode bounds memory on unbounded streams: transactions older
-/// than a count- or edge-based horizon are evicted from the in-memory
-/// window (with stats reporting what was dropped), at the documented cost
-/// of completeness — anomalies whose witnesses span beyond the window are
-/// no longer detectable, and reads observing evicted writes are counted
-/// rather than reported as thin-air.
+/// than a count-, edge-, or age-based horizon are evicted from the
+/// in-memory window (with stats reporting what was dropped), at the
+/// documented cost of completeness — anomalies whose witnesses span beyond
+/// the window are no longer detectable, and reads observing evicted writes
+/// are counted rather than reported as thin-air. Streams that carry
+/// timestamps (advanceTime()) can additionally evict by wall-clock age and
+/// force-abort long-open transactions that would otherwise pin the
+/// evictable prefix behind a hung session.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -32,7 +37,7 @@
 #define AWDIT_CHECKER_MONITOR_H
 
 #include "checker/checker.h"
-#include "checker/saturation_impl.h"
+#include "checker/saturation_state.h"
 #include "checker/violation_sink.h"
 #include "history/history.h"
 #include "history/wr_resolver.h"
@@ -60,16 +65,28 @@ struct MonitorOptions {
   /// Windowed mode: evict the oldest transactions once more than this many
   /// are live (0 = keep everything; exact checking). Only a prefix of
   /// closed, fully processed transactions can leave: a transaction that is
-  /// left open indefinitely pins everything after it in memory (native
-  /// streams cannot produce this — they carry one open transaction at a
-  /// time — but library callers driving many sessions should close
-  /// abandoned transactions themselves; see ROADMAP for the planned
-  /// age-based force-close policy).
+  /// left open indefinitely pins everything after it in memory — see
+  /// ForceAbortOpenTicks for the escape hatch when streams carry
+  /// timestamps.
   size_t WindowTxns = 0;
   /// Windowed mode, edge-based horizon: evict the oldest quarter of the
   /// window whenever the commit graph of the window exceeds this many
   /// edges (0 = no edge horizon).
   size_t WindowEdges = 0;
+  /// Windowed mode, age-based horizon: when the stream carries timestamps
+  /// (advanceTime()), evict closed transactions whose close timestamp is
+  /// older than the latest timestamp minus this many ticks (0 = no age
+  /// horizon). Ticks are whatever unit the stream reports.
+  uint64_t WindowAgeTicks = 0;
+  /// Force-abort an open transaction once it has been open for more than
+  /// this many ticks of stream time (0 = never). A hung session otherwise
+  /// pins the evictable prefix: nothing behind its open transaction can
+  /// leave the window. Forced aborts are reported in
+  /// MonitorStats::ForcedAborts; reads that observed the aborted writes
+  /// are reported as aborted reads, exactly as a real abort would be. If
+  /// the hung session later resumes using the handle, its operations and
+  /// its eventual commit/abort are dropped quietly.
+  uint64_t ForceAbortOpenTicks = 0;
 };
 
 /// Statistics of a monitoring session. Counters are cumulative over the
@@ -97,6 +114,10 @@ struct MonitorStats {
   uint64_t EvictedUnresolvedReads = 0;
   /// Live reads whose writer was evicted (excluded from checking).
   uint64_t EvictedWriterReads = 0;
+  /// Transactions evicted because they aged past WindowAgeTicks.
+  uint64_t AgeEvictedTxns = 0;
+  /// Open transactions force-aborted after ForceAbortOpenTicks.
+  uint64_t ForcedAborts = 0;
 };
 
 /// A streaming online-checking session. Not thread-safe: one monitor per
@@ -155,6 +176,12 @@ public:
   /// Aborts the open transaction \p T.
   void abortTxn(TxnId T);
 
+  /// Advances the stream clock to \p Now (monotonic; stale values are
+  /// ignored). Ticks are whatever unit the stream reports — seconds,
+  /// milliseconds, a logical epoch. Enables the WindowAgeTicks and
+  /// ForceAbortOpenTicks policies.
+  void advanceTime(uint64_t Now);
+
   /// Feeds a complete history through the ingestion API in transaction-id
   /// order. A fresh monitor assigns the same ids the history uses.
   void replay(const History &H);
@@ -166,7 +193,8 @@ public:
   /// uses (adopt, then finalize); semantically it matches replay() with
   /// two caveats: adopted thin-air reads are final (later streamed writes
   /// do not retroactively resolve them), and adopted transactions are
-  /// checked at finalize() rather than by intermediate check() passes.
+  /// checked at the first flush after adoption (a check() call, the
+  /// checking cadence, or finalize()) rather than one by one.
   void adopt(const History &H);
 
   /// Moves the fully derived ingested history out of the monitor without
@@ -224,16 +252,9 @@ private:
     /// True while some read of this (closed) transaction resolves to a
     /// still-open writer; checking is deferred until all writers close.
     bool Deferred = false;
-  };
-
-  /// Persistent incremental state of one session's RA saturation.
-  struct RaSessionState {
-    detail::RaScratch Scratch;
-    /// First unprocessed position in the session's so list.
-    size_t NextSo = 0;
-    /// Set when retroactive re-resolution invalidated already-processed
-    /// positions; the whole (windowed) session is re-run at next flush.
-    bool NeedsFullRerun = false;
+    /// Stream time of the last lifecycle event: begin while open, close
+    /// once closed. Drives the age horizon and the force-abort policy.
+    uint64_t Ts = 0;
   };
 
   TxnId toLocal(TxnId MonitorId) const;
@@ -249,7 +270,8 @@ private:
   bool deriveTxn(TxnId Local);
 
   /// Materializes the deferred write index of an adopted history before
-  /// any new ingestion resolves against it.
+  /// any new ingestion resolves against it, and queues the adopted
+  /// transactions as the engine's first delta.
   void ensureAdoptedIndex();
 
   /// Rebuilds \p Local's ExtReads/ReadFroms from its (resolved) Reads:
@@ -257,17 +279,16 @@ private:
   /// committed writer. Shared by deriveTxn and compact.
   void classifyExternalReads(TxnId Local);
 
-  /// One incremental checking pass: derive dirty transactions, run the
-  /// read-level checks and the level's saturation kernel over the affected
-  /// suffix, cycle-check the window's commit graph, report new violations,
-  /// and evict if a window horizon is exceeded.
+  /// One incremental checking pass: force-abort hung transactions, derive
+  /// dirty transactions, run the read-level checks over the delta, hand
+  /// the delta to the saturation engine (which propagates affected facts
+  /// and cycle-checks on edge insertion), report new violations, and
+  /// evict if a window horizon is exceeded.
   void flush(bool Final);
 
-  /// Runs the level's saturation over the \p Ready transactions and
-  /// refreshes the cycle check; appends new (local-id) violations to
-  /// \p Out.
-  void runIncrementalChecks(const std::vector<TxnId> &Ready,
-                            std::vector<Violation> &Out);
+  /// Applies the ForceAbortOpenTicks policy: aborts open transactions
+  /// whose age in stream ticks exceeds the limit.
+  void forceAbortHung();
 
   /// Translates local ids in \p V to monitor ids in place.
   void translateToMonitorIds(Violation &V) const;
@@ -286,15 +307,6 @@ private:
   /// Applies the window horizons; called at the end of a flush.
   void maybeEvict();
 
-  // Edge bookkeeping: inferred edges are tagged with the unit of work that
-  // produced them (an RC transaction, an RA session, or the single CC
-  // bucket) so re-running a unit replaces exactly its contribution.
-  static constexpr uint64_t CcSource = ~uint64_t(0);
-  static uint64_t rcSource(TxnId Local) { return Local; }
-  static uint64_t raSource(SessionId S) { return (uint64_t(1) << 32) | S; }
-  void addEdges(uint64_t Source, const std::vector<uint64_t> &Edges);
-  void removeSource(uint64_t Source);
-
   MonitorOptions Opts;
   ViolationSink *Sink;
 
@@ -306,6 +318,13 @@ private:
   std::vector<TxnMeta> Meta;
   /// Distinct keys seen in the window's operations (History::KeyCount).
   std::unordered_set<Key> Keys;
+
+  /// The incremental saturation engine: persisted happens-before facts,
+  /// per-key write index, refcounted source-tagged edges, dynamic
+  /// topological order.
+  SaturationState Saturation;
+  /// Adopted transactions pending their first hand-off to the engine.
+  std::vector<TxnId> AdoptedReady;
 
   /// Incremental wr resolution (local ids).
   WriteSiteIndex Writes;
@@ -324,15 +343,17 @@ private:
   /// retroactively re-resolved). Ordered for deterministic flushes.
   std::set<TxnId> Dirty;
 
-  /// Per-session incremental RA state (allocated lazily for level RA).
-  std::vector<RaSessionState> RaStates;
+  /// Currently open transactions (local ids), for the force-abort scan.
+  std::set<TxnId> OpenTxns;
+  /// Monitor ids closed by the force-abort policy while their session
+  /// still holds the handle: later operations and the eventual
+  /// commit/abort on them are dropped. Never pruned (one entry per
+  /// forced abort — the hung-session pathology this bounds is rare).
+  std::unordered_set<TxnId> ForceAbortedIds;
+
   /// Monitor-id base of each session's so index, for labels after
   /// eviction, plus the session count.
   std::vector<uint64_t> SessionSoBase;
-
-  /// Inferred-edge bookkeeping (packed local-id edges).
-  std::unordered_map<uint64_t, std::vector<uint64_t>> InferredBySource;
-  std::unordered_map<uint64_t, uint32_t> EdgeRefs;
 
   /// Cap on the windowed finalize report (the sink remains complete).
   static constexpr size_t MaxWindowedReportViolations = 65536;
@@ -348,10 +369,14 @@ private:
 
   MonitorStats Stats;
   size_t CommitsSinceFlush = 0;
+  /// Latest stream timestamp seen by advanceTime().
+  uint64_t CurrentTime = 0;
+  bool HasTime = false;
   bool AnyViolation = false;
   bool Finalized = false;
   /// Set by adopt(): the write index / key universe of the adopted prefix
-  /// is materialized lazily, only if streaming continues afterwards.
+  /// is materialized lazily, only if streaming or checking continues
+  /// afterwards.
   bool AdoptedIndexPending = false;
   std::string ErrText;
 };

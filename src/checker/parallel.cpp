@@ -7,7 +7,7 @@
 #include "checker/commit_graph.h"
 #include "checker/read_consistency.h"
 #include "checker/saturation_impl.h"
-#include "graph/topo_sort.h"
+#include "checker/saturation_state.h"
 #include "history/key_shard_index.h"
 #include "support/thread_pool.h"
 
@@ -23,11 +23,13 @@ namespace {
 constexpr size_t TxnGrain = 2048;
 
 /// Per-worker sink that batches inferred edges and appends them to the
-/// commit graph's striped pending buffers. One instance per parallelFor
+/// merged saturation state's striped buffers. One instance per parallelFor
 /// chunk; the destructor flushes the tail.
 class StripedEdgeSink {
 public:
-  explicit StripedEdgeSink(CommitGraph &Co) : Co(Co) { Buf.reserve(Cap); }
+  explicit StripedEdgeSink(SaturationState &State) : State(State) {
+    Buf.reserve(Cap);
+  }
 
   StripedEdgeSink(const StripedEdgeSink &) = delete;
   StripedEdgeSink &operator=(const StripedEdgeSink &) = delete;
@@ -41,13 +43,13 @@ public:
   }
 
   void flush() {
-    Co.appendInferredBatch(Buf.data(), Buf.size());
+    State.appendInferredBatch(Buf.data(), Buf.size());
     Buf.clear();
   }
 
 private:
   static constexpr size_t Cap = 8192;
-  CommitGraph &Co;
+  SaturationState &State;
   std::vector<uint64_t> Buf;
 };
 
@@ -74,13 +76,6 @@ bool runChunkedViolationPass(const History &H, ThreadPool &Pool,
   return Out.size() == Before;
 }
 
-void recordStats(CommitGraph &Co, SaturationStats *Stats) {
-  if (!Stats)
-    return;
-  Stats->InferredEdges = Co.numInferredEdges();
-  Stats->GraphEdges = Co.numEdges();
-}
-
 } // namespace
 
 bool awdit::checkReadConsistencyParallel(const History &H, ThreadPool &Pool,
@@ -98,16 +93,18 @@ bool awdit::checkRcParallel(const History &H, ThreadPool &Pool,
   if (!checkReadConsistencyParallel(H, Pool, Out))
     return false;
 
-  CommitGraph Co(H);
+  // Shards feed one merged saturation state; its canonical finalize
+  // (sorted, deduplicated) makes the result independent of scheduling.
+  SaturationState Merged(IsolationLevel::ReadCommitted,
+                         SaturationState::Mode::Batch);
   Pool.parallelFor(0, H.numTxns(), TxnGrain, [&](size_t Begin, size_t End) {
     detail::RcScratch Scratch;
-    StripedEdgeSink Infer(Co);
+    StripedEdgeSink Infer(Merged);
     detail::saturateRcRange(H, static_cast<TxnId>(Begin),
                             static_cast<TxnId>(End), Scratch, Infer);
   });
 
-  recordStats(Co, Stats);
-  return Co.checkAcyclic(Out, MaxWitnesses);
+  return Merged.finalizeAcyclic(H, Out, MaxWitnesses, Stats);
 }
 
 bool awdit::checkRaParallel(const History &H, ThreadPool &Pool,
@@ -122,19 +119,19 @@ bool awdit::checkRaParallel(const History &H, ThreadPool &Pool,
           }))
     return false;
 
-  CommitGraph Co(H);
+  SaturationState Merged(IsolationLevel::ReadAtomic,
+                         SaturationState::Mode::Batch);
   // One unit of work per session: the so-case last-writer table is
   // inherently sequential along so, but sessions are independent.
   Pool.parallelFor(0, H.numSessions(), 1, [&](size_t Begin, size_t End) {
     detail::RaScratch Scratch;
-    StripedEdgeSink Infer(Co);
+    StripedEdgeSink Infer(Merged);
     for (size_t S = Begin; S < End; ++S)
       detail::saturateRaSession(H, static_cast<SessionId>(S), Scratch,
                                 Infer);
   });
 
-  recordStats(Co, Stats);
-  return Co.checkAcyclic(Out, MaxWitnesses);
+  return Merged.finalizeAcyclic(H, Out, MaxWitnesses, Stats);
 }
 
 bool awdit::checkCcParallel(const History &H, ThreadPool &Pool,
@@ -143,11 +140,13 @@ bool awdit::checkCcParallel(const History &H, ThreadPool &Pool,
   if (!checkReadConsistencyParallel(H, Pool, Out))
     return false;
 
-  CommitGraph Co(H);
-  std::optional<std::vector<uint32_t>> Order = topologicalSort(Co.graph());
+  SaturationState Merged(IsolationLevel::CausalConsistency,
+                         SaturationState::Mode::Batch);
+  std::optional<std::vector<uint32_t>> Order = Merged.computeBaseOrder(H);
   if (!Order) {
-    // so ∪ wr cycle: fails every level.
-    Co.checkAcyclic(Out, MaxWitnesses);
+    // so ∪ wr cycle: fails every level; no saturation, no stats (mirrors
+    // the sequential checker).
+    Merged.finalizeAcyclic(H, Out, MaxWitnesses, nullptr);
     return false;
   }
   HappensBefore HB;
@@ -162,7 +161,7 @@ bool awdit::checkCcParallel(const History &H, ThreadPool &Pool,
   size_t K = H.numSessions();
 
   Pool.parallelFor(0, NumShards, 1, [&](size_t Begin, size_t End) {
-    StripedEdgeSink Infer(Co);
+    StripedEdgeSink Infer(Merged);
     // Scan pointer and dedup state of the key currently being processed
     // (Algorithm 3, lastWrite); sized to its writing-session count.
     std::vector<uint32_t> Consumed;
@@ -208,6 +207,5 @@ bool awdit::checkCcParallel(const History &H, ThreadPool &Pool,
     }
   });
 
-  recordStats(Co, Stats);
-  return Co.checkAcyclic(Out, MaxWitnesses);
+  return Merged.finalizeAcyclic(H, Out, MaxWitnesses, Stats);
 }

@@ -10,9 +10,10 @@
 /// saturation kernels as the sequential checkers (checker/saturation_impl.h)
 /// over independent units of work — transaction ranges for RC and the Read
 /// Consistency pass, sessions for RA, key shards (history/key_shard_index.h)
-/// for CC — and merges inferred edges into the shared commit graph under a
-/// striped lock. The SCC pass and witness extraction stay sequential on the
-/// merged graph.
+/// for CC — and has every shard feed its inferred edges into one merged
+/// SaturationState (checker/saturation_state.h) through striped buffers.
+/// The state's canonical finalize (SCC pass and witness extraction) stays
+/// sequential on the merged edge set.
 ///
 /// Determinism: the merged edge set is canonicalized (sorted, deduplicated)
 /// before the graph sees it, and per-range violation lists are concatenated

@@ -1,0 +1,769 @@
+//===- checker/saturation_state.cpp - Incremental saturation engine --------===//
+
+#include "checker/saturation_state.h"
+
+#include "checker/check_cc.h"
+#include "checker/commit_graph.h"
+#include "graph/topo_sort.h"
+#include "support/assert.h"
+
+#include <algorithm>
+#include <optional>
+#include <set>
+
+using namespace awdit;
+
+namespace {
+
+uint32_t edgeFrom(uint64_t Packed) {
+  return static_cast<uint32_t>(Packed >> 32);
+}
+uint32_t edgeTo(uint64_t Packed) { return static_cast<uint32_t>(Packed); }
+
+uint64_t pack(TxnId From, TxnId To) {
+  return CommitGraph::packEdge(From, To);
+}
+
+/// Base sources (wr, so) are structural so ∪ wr edges; the rest are
+/// saturation-inferred.
+bool isBaseSource(uint64_t Source) { return (Source >> 32) >= 3; }
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Structure growth.
+//===----------------------------------------------------------------------===//
+
+void SaturationState::ensureSizes(const History &H) {
+  size_t N = H.numTxns();
+  if (Processed.size() < N) {
+    if (EngineMode == Mode::Streaming)
+      Order.addNodes(N - Processed.size());
+    Processed.resize(N, 0);
+    ReadersOf.resize(N);
+  }
+  if (NumSessions < H.numSessions())
+    NumSessions = H.numSessions();
+  if (Level != IsolationLevel::CausalConsistency ||
+      EngineMode != Mode::Streaming)
+    return;
+  if (NumSessions > HbStride) {
+    size_t NewStride = 4;
+    while (NewStride < NumSessions)
+      NewStride *= 2;
+    size_t Rows = HbStride ? HbRows.size() / HbStride : 0;
+    std::vector<uint32_t> NewRows(Rows * NewStride, 0);
+    for (size_t R = 0; R < Rows; ++R)
+      std::copy(HbRows.begin() + R * HbStride,
+                HbRows.begin() + (R + 1) * HbStride,
+                NewRows.begin() + R * NewStride);
+    HbRows = std::move(NewRows);
+    HbStride = NewStride;
+  }
+  HbRows.resize(N * HbStride, 0);
+}
+
+//===----------------------------------------------------------------------===//
+// Edge bookkeeping: refcounted, source-tagged, dynamically ordered.
+//===----------------------------------------------------------------------===//
+
+EdgeKind SaturationState::classifyEdge(const History &H, TxnId From,
+                                       TxnId To) const {
+  if (H.txn(From).Committed && H.soSuccessor(From) == To)
+    return EdgeKind::So;
+  for (TxnId Writer : H.txn(To).ReadFroms)
+    if (Writer == From)
+      return EdgeKind::Wr;
+  return EdgeKind::Inferred;
+}
+
+Violation SaturationState::makeCycleViolation(
+    const History &H, TxnId From, TxnId To,
+    const std::vector<uint32_t> &Path) const {
+  Violation V;
+  V.Kind = ViolationKind::CausalityCycle;
+  auto Add = [&](TxnId A, TxnId B) {
+    EdgeKind Kind = classifyEdge(H, A, B);
+    if (Kind == EdgeKind::Inferred)
+      V.Kind = ViolationKind::CommitOrderCycle;
+    V.Cycle.push_back({A, B, Kind});
+  };
+  Add(From, To);
+  for (size_t I = 0; I + 1 < Path.size(); ++I)
+    Add(Path[I], Path[I + 1]);
+  return V;
+}
+
+bool SaturationState::baseReaches(uint32_t SrcNode, uint32_t DstNode) const {
+  std::vector<uint32_t> Stack{SrcNode};
+  std::unordered_set<uint32_t> Seen{SrcNode};
+  while (!Stack.empty()) {
+    uint32_t U = Stack.back();
+    Stack.pop_back();
+    for (uint32_t W : Order.succs(U)) {
+      auto It = Edges.find(pack(U, W));
+      if (It == Edges.end() || It->second.Base == 0)
+        continue;
+      if (W == DstNode)
+        return true;
+      if (Seen.insert(W).second)
+        Stack.push_back(W);
+    }
+  }
+  return false;
+}
+
+void SaturationState::insertLive(const History &H, uint64_t Packed,
+                                 bool IsBase, std::vector<Violation> *Out) {
+  EdgeRefs &Refs = Edges[Packed];
+  bool WasLive = Refs.Base + Refs.Inferred > 0;
+  if (IsBase) {
+    ++Refs.Base;
+  } else {
+    if (Refs.Inferred == 0)
+      ++InferredDistinct;
+    ++Refs.Inferred;
+  }
+  if (WasLive || EngineMode == Mode::Batch)
+    return;
+
+  uint32_t From = edgeFrom(Packed), To = edgeTo(Packed);
+  std::vector<uint32_t> Path;
+  while (!Order.addEdge(From, To, &Path)) {
+    // The insertion would close a cycle: report it with the extracted
+    // path, then keep the order valid by quarantining an edge.
+    if (Out)
+      Out->push_back(makeCycleViolation(H, From, To, Path));
+    if (!IsBase) {
+      Quarantined.insert(Packed);
+      return;
+    }
+    // A base (so/wr) edge. If the cycle exists in so ∪ wr alone this is a
+    // causality cycle and happens-before is undefined from here on —
+    // exactly the condition under which the batch CC checker stops
+    // saturating. Otherwise evict an inferred edge of the path instead so
+    // the structural relation stays ordered (it drives HB propagation).
+    if (baseReaches(To, From)) {
+      BaseCyclic = true;
+      Quarantined.insert(Packed);
+      return;
+    }
+    bool Evicted = false;
+    for (size_t I = 0; I + 1 < Path.size() && !Evicted; ++I) {
+      uint64_t OnPath = pack(Path[I], Path[I + 1]);
+      auto It = Edges.find(OnPath);
+      if (It != Edges.end() && It->second.Base == 0) {
+        Order.removeEdge(Path[I], Path[I + 1]);
+        Quarantined.insert(OnPath);
+        Evicted = true;
+      }
+    }
+    if (!Evicted) {
+      // Unreachable in theory (a non-base cycle has an inferred edge),
+      // but never loop forever on a logic error.
+      BaseCyclic = true;
+      Quarantined.insert(Packed);
+      return;
+    }
+  }
+}
+
+void SaturationState::removeLive(uint64_t Packed, bool IsBase) {
+  auto It = Edges.find(Packed);
+  AWDIT_ASSERT(It != Edges.end(), "removeLive: unknown edge");
+  if (IsBase) {
+    --It->second.Base;
+  } else {
+    if (--It->second.Inferred == 0)
+      --InferredDistinct;
+  }
+  if (It->second.Base + It->second.Inferred > 0)
+    return;
+  Edges.erase(It);
+  if (Quarantined.erase(Packed))
+    return;
+  if (EngineMode == Mode::Streaming)
+    Order.removeEdge(edgeFrom(Packed), edgeTo(Packed));
+}
+
+void SaturationState::addSourceEdges(const History &H, uint64_t Source,
+                                     bool IsBase,
+                                     const std::vector<uint64_t> &NewEdges,
+                                     std::vector<Violation> *Out) {
+  if (NewEdges.empty())
+    return;
+  std::vector<uint64_t> &List = BySource[Source];
+  for (uint64_t Packed : NewEdges) {
+    List.push_back(Packed);
+    insertLive(H, Packed, IsBase, Out);
+  }
+}
+
+void SaturationState::clearSource(uint64_t Source, bool IsBase) {
+  auto It = BySource.find(Source);
+  if (It == BySource.end())
+    return;
+  for (uint64_t Packed : It->second)
+    removeLive(Packed, IsBase);
+  BySource.erase(It);
+}
+
+void SaturationState::retryQuarantined(const History &H) {
+  (void)H;
+  if (Quarantined.empty())
+    return;
+  // A source re-run or an eviction may have broken the cycle that forced
+  // an edge out of the order; try to bring quarantined edges back in
+  // (quietly — their region was reported when first quarantined).
+  std::vector<uint64_t> Snapshot(Quarantined.begin(), Quarantined.end());
+  std::sort(Snapshot.begin(), Snapshot.end());
+  for (uint64_t Packed : Snapshot) {
+    if (Order.addEdge(edgeFrom(Packed), edgeTo(Packed), nullptr))
+      Quarantined.erase(Packed);
+  }
+  maybeClearBaseCyclic();
+}
+
+void SaturationState::maybeClearBaseCyclic() {
+  if (!BaseCyclic)
+    return;
+  for (uint64_t Packed : Quarantined) {
+    auto It = Edges.find(Packed);
+    if (It != Edges.end() && It->second.Base > 0)
+      return; // a base edge is still out of the order: still cyclic
+  }
+  // The so ∪ wr cycle is gone (its edges were evicted or replaced);
+  // happens-before is meaningful again, but every persisted row dates
+  // from before the cycle — recompute them all once.
+  BaseCyclic = false;
+  NeedsFullHbRecompute = true;
+}
+
+//===----------------------------------------------------------------------===//
+// CC incremental pieces: persisted writer index + happens-before rows.
+//===----------------------------------------------------------------------===//
+
+void SaturationState::appendWriterEntries(const History &H, TxnId L) {
+  const Transaction &T = H.txn(L);
+  for (Key X : T.WriteKeys) {
+    KeyWriters &KW = Writers[X];
+    size_t Slot = 0;
+    for (; Slot < KW.Sessions.size(); ++Slot)
+      if (KW.Sessions[Slot] == T.Session)
+        break;
+    if (Slot == KW.Sessions.size()) {
+      KW.Sessions.push_back(T.Session);
+      KW.Lists.emplace_back();
+    }
+    std::vector<detail::CcWriterEntry> &List = KW.Lists[Slot];
+    // Commits of one session arrive in so order, so this is almost always
+    // a push_back; a flush processing two commits of one session out of
+    // local-id order is the rare exception.
+    detail::CcWriterEntry Entry{L, T.SoIndex};
+    auto It = std::lower_bound(List.begin(), List.end(), Entry,
+                               [](const detail::CcWriterEntry &A,
+                                  const detail::CcWriterEntry &B) {
+                                 return A.SoIndex < B.SoIndex;
+                               });
+    List.insert(It, Entry);
+  }
+}
+
+bool SaturationState::recomputeHbRow(const History &H, TxnId L) {
+  const Transaction &T = H.txn(L);
+  TmpRow.assign(HbStride, 0);
+  if (T.SoIndex > 0) {
+    TxnId Pred = H.sessionTxns(T.Session)[T.SoIndex - 1];
+    const uint32_t *PredRow = &HbRows[static_cast<size_t>(Pred) * HbStride];
+    std::copy(PredRow, PredRow + HbStride, TmpRow.begin());
+    TmpRow[T.Session] = T.SoIndex; // = SoIndex(Pred) + 1.
+  }
+  for (TxnId Writer : T.ReadFroms) {
+    const Transaction &W = H.txn(Writer);
+    const uint32_t *WRow = &HbRows[static_cast<size_t>(Writer) * HbStride];
+    for (size_t I = 0; I < HbStride; ++I)
+      TmpRow[I] = std::max(TmpRow[I], WRow[I]);
+    TmpRow[W.Session] = std::max(TmpRow[W.Session], W.SoIndex + 1);
+  }
+  uint32_t *Row = &HbRows[static_cast<size_t>(L) * HbStride];
+  if (std::equal(Row, Row + HbStride, TmpRow.begin()))
+    return false;
+  std::copy(TmpRow.begin(), TmpRow.end(), Row);
+  return true;
+}
+
+void SaturationState::propagateHappensBefore(const History &H,
+                                             const std::vector<TxnId> &Ready,
+                                             std::vector<TxnId> &ChangedOut) {
+  // Worklist keyed by the maintained topological position: every
+  // transaction is recomputed after all its so/wr predecessors, so one
+  // pass per dirty node reaches the fixpoint.
+  std::set<std::pair<uint32_t, TxnId>> Work;
+  auto Push = [&](TxnId L) {
+    if (H.txn(L).Committed)
+      Work.insert({Order.position(L), L});
+  };
+  if (NeedsFullHbRecompute) {
+    NeedsFullHbRecompute = false;
+    for (TxnId L = 0; L < static_cast<TxnId>(Processed.size()); ++L)
+      if (Processed[L])
+        Push(L);
+  }
+  for (TxnId L : Ready)
+    Push(L);
+
+  while (!Work.empty()) {
+    TxnId L = Work.begin()->second;
+    Work.erase(Work.begin());
+    bool RowChanged = recomputeHbRow(H, L);
+    bool IsReady = std::binary_search(Ready.begin(), Ready.end(), L);
+    if (RowChanged || IsReady)
+      ChangedOut.push_back(L);
+    if (!RowChanged)
+      continue;
+    TxnId Succ = H.soSuccessor(L);
+    if (Succ != NoTxn && Processed[Succ])
+      Push(Succ);
+    for (TxnId Reader : ReadersOf[L])
+      if (Processed[Reader])
+        Push(Reader);
+  }
+  std::sort(ChangedOut.begin(), ChangedOut.end());
+  ChangedOut.erase(std::unique(ChangedOut.begin(), ChangedOut.end()),
+                   ChangedOut.end());
+}
+
+void SaturationState::runCcReader(const History &H, TxnId L,
+                                  std::vector<uint64_t> &EdgesOut) {
+  const Transaction &T = H.txn(L);
+  const uint32_t *Row = &HbRows[static_cast<size_t>(L) * HbStride];
+  for (uint32_t ReadIdx : T.ExtReads) {
+    const ReadInfo &RI = T.Reads[ReadIdx];
+    TxnId T1 = RI.Writer;
+    auto WIt = Writers.find(RI.K);
+    if (WIt == Writers.end())
+      continue;
+    const KeyWriters &KW = WIt->second;
+    // Algorithm 3 lines 9-15 with the monotone pointer scan replaced by a
+    // binary search (the inference is the same: the so-latest writer of
+    // the key in each session under the reader's happens-before frontier).
+    for (size_t Slot = 0; Slot < KW.Sessions.size(); ++Slot) {
+      uint32_t Frontier = Row[KW.Sessions[Slot]];
+      if (Frontier == 0)
+        continue;
+      const std::vector<detail::CcWriterEntry> &List = KW.Lists[Slot];
+      auto It = std::lower_bound(List.begin(), List.end(), Frontier,
+                                 [](const detail::CcWriterEntry &E,
+                                    uint32_t F) { return E.SoIndex < F; });
+      if (It == List.begin())
+        continue;
+      TxnId T2 = std::prev(It)->T;
+      if (T2 == T1)
+        continue;
+      EdgesOut.push_back(pack(T2, T1));
+    }
+  }
+}
+
+void SaturationState::setReaderWrEdges(const History &H, TxnId L,
+                                       std::vector<Violation> *Out) {
+  uint64_t Source = wrSource(L);
+  auto It = BySource.find(Source);
+  if (It != BySource.end()) {
+    for (uint64_t Packed : It->second) {
+      std::vector<TxnId> &Readers = ReadersOf[edgeFrom(Packed)];
+      auto RIt = std::find(Readers.begin(), Readers.end(), L);
+      if (RIt != Readers.end()) {
+        *RIt = Readers.back();
+        Readers.pop_back();
+      }
+    }
+  }
+  clearSource(Source, /*IsBase=*/true);
+  const Transaction &T = H.txn(L);
+  if (T.ReadFroms.empty())
+    return;
+  std::vector<uint64_t> NewEdges;
+  NewEdges.reserve(T.ReadFroms.size());
+  for (TxnId Writer : T.ReadFroms) {
+    NewEdges.push_back(pack(Writer, L));
+    ReadersOf[Writer].push_back(L);
+  }
+  addSourceEdges(H, Source, /*IsBase=*/true, NewEdges, Out);
+}
+
+//===----------------------------------------------------------------------===//
+// The streaming delta pass.
+//===----------------------------------------------------------------------===//
+
+void SaturationState::flushDelta(const History &H,
+                                 const std::vector<TxnId> &Ready,
+                                 std::vector<Violation> &Out) {
+  AWDIT_ASSERT(EngineMode == Mode::Streaming,
+               "flushDelta: batch-mode state takes coldStart/batches");
+  ensureSizes(H);
+  retryQuarantined(H);
+
+  // Base-graph delta: the so chain grows at each first-processed commit;
+  // a (re-)derived reader replaces its wr contribution.
+  for (TxnId L : Ready) {
+    const Transaction &T = H.txn(L);
+    AWDIT_ASSERT(T.Committed, "flushDelta: ready txn must be committed");
+    if (!Processed[L]) {
+      Processed[L] = 1;
+      if (T.SoIndex > 0) {
+        TxnId Pred = H.sessionTxns(T.Session)[T.SoIndex - 1];
+        addSourceEdges(H, soSource(T.Session), /*IsBase=*/true,
+                       {pack(Pred, L)}, &Out);
+      }
+      if (Level == IsolationLevel::CausalConsistency)
+        appendWriterEntries(H, L);
+    }
+    setReaderWrEdges(H, L, &Out);
+  }
+
+  switch (Level) {
+  case IsolationLevel::ReadCommitted: {
+    // Algorithm 1 is per-transaction: re-saturate exactly the delta.
+    for (TxnId L : Ready) {
+      clearSource(rcSource(L), /*IsBase=*/false);
+      std::vector<uint64_t> NewEdges;
+      detail::saturateRcRange(H, L, L + 1, RcScratchState,
+                              [&](TxnId From, TxnId To) {
+                                NewEdges.push_back(pack(From, To));
+                              });
+      std::sort(NewEdges.begin(), NewEdges.end());
+      NewEdges.erase(std::unique(NewEdges.begin(), NewEdges.end()),
+                     NewEdges.end());
+      addSourceEdges(H, rcSource(L), /*IsBase=*/false, NewEdges, &Out);
+    }
+    break;
+  }
+  case IsolationLevel::ReadAtomic: {
+    // Algorithm 2 is per-session with state flowing along so: extend each
+    // session's saturation from its last processed position; retroactive
+    // re-resolution of an already-processed transaction re-runs the
+    // session from scratch.
+    if (RaStates.size() < H.numSessions())
+      RaStates.resize(H.numSessions());
+    for (TxnId L : Ready) {
+      RaSessionState &St = RaStates[H.txn(L).Session];
+      if (H.txn(L).SoIndex < St.NextSo)
+        St.NeedsFullRerun = true;
+    }
+    for (SessionId S = 0; S < H.numSessions(); ++S) {
+      RaSessionState &St = RaStates[S];
+      if (St.NeedsFullRerun) {
+        clearSource(raSource(S), /*IsBase=*/false);
+        St.Scratch.LastWrite.clear();
+        St.NextSo = 0;
+        St.NeedsFullRerun = false;
+      }
+      size_t Size = H.sessionTxns(S).size();
+      if (St.NextSo >= Size)
+        continue;
+      std::vector<uint64_t> NewEdges;
+      detail::saturateRaSessionRange(H, S, St.NextSo, Size, St.Scratch,
+                                     [&](TxnId From, TxnId To) {
+                                       NewEdges.push_back(pack(From, To));
+                                     });
+      St.NextSo = Size;
+      std::sort(NewEdges.begin(), NewEdges.end());
+      NewEdges.erase(std::unique(NewEdges.begin(), NewEdges.end()),
+                     NewEdges.end());
+      addSourceEdges(H, raSource(S), /*IsBase=*/false, NewEdges, &Out);
+    }
+    break;
+  }
+  case IsolationLevel::CausalConsistency: {
+    // Algorithm 3's frontier is global, but it only moves where the delta
+    // reaches: recompute the happens-before rows of the ready transactions,
+    // propagate changes to their so/wr successors to fixpoint, and re-run
+    // the per-key inference for exactly the transactions whose frontier
+    // (or read set) changed.
+    if (BaseCyclic)
+      break; // so ∪ wr is cyclic; HB undefined (the batch checker stops too).
+    std::vector<TxnId> Changed;
+    propagateHappensBefore(H, Ready, Changed);
+    for (TxnId L : Changed) {
+      clearSource(ccSource(L), /*IsBase=*/false);
+      if (H.txn(L).ExtReads.empty())
+        continue;
+      std::vector<uint64_t> NewEdges;
+      runCcReader(H, L, NewEdges);
+      std::sort(NewEdges.begin(), NewEdges.end());
+      NewEdges.erase(std::unique(NewEdges.begin(), NewEdges.end()),
+                     NewEdges.end());
+      addSourceEdges(H, ccSource(L), /*IsBase=*/false, NewEdges, &Out);
+    }
+    break;
+  }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Batch feeds: the one-shot cold start and the parallel shard merge.
+//===----------------------------------------------------------------------===//
+
+void SaturationState::coldStart(const History &H) {
+  AWDIT_ASSERT(EngineMode == Mode::Batch,
+               "coldStart: streaming state takes flushDelta");
+  auto Push = [this](TxnId From, TxnId To) {
+    BatchEdges.push_back(pack(From, To));
+  };
+  switch (Level) {
+  case IsolationLevel::ReadCommitted: {
+    detail::RcScratch Scratch;
+    detail::saturateRcRange(H, 0, static_cast<TxnId>(H.numTxns()), Scratch,
+                            Push);
+    break;
+  }
+  case IsolationLevel::ReadAtomic: {
+    detail::RaScratch Scratch;
+    for (SessionId S = 0; S < H.numSessions(); ++S)
+      detail::saturateRaSession(H, S, Scratch, Push);
+    break;
+  }
+  case IsolationLevel::CausalConsistency: {
+    std::optional<std::vector<uint32_t>> TopoOrder = computeBaseOrder(H);
+    if (!TopoOrder)
+      break; // so ∪ wr cycle: fails every level, no saturation.
+    HappensBefore HB;
+    fillHappensBefore(H, *TopoOrder, HB);
+    detail::saturateCc(H, HB, Push);
+    break;
+  }
+  }
+}
+
+std::optional<std::vector<uint32_t>> SaturationState::computeBaseOrder(
+    const History &H) {
+  AWDIT_ASSERT(EngineMode == Mode::Batch,
+               "computeBaseOrder: batch-mode helper");
+  CachedBase.emplace(H);
+  std::optional<std::vector<uint32_t>> TopoOrder =
+      topologicalSort(CachedBase->graph());
+  if (!TopoOrder)
+    BaseCyclic = true;
+  return TopoOrder;
+}
+
+void SaturationState::appendInferredBatch(const uint64_t *NewEdges,
+                                          size_t Count) {
+  if (Count == 0)
+    return;
+  size_t Idx = NextStripe.fetch_add(1, std::memory_order_relaxed);
+  Stripe &S = Stripes[Idx % NumStripes];
+  std::lock_guard<std::mutex> Lock(S.Mutex);
+  S.Buf.insert(S.Buf.end(), NewEdges, NewEdges + Count);
+}
+
+bool SaturationState::finalizeAcyclic(const History &H,
+                                      std::vector<Violation> &Out,
+                                      size_t MaxWitnesses,
+                                      SaturationStats *Stats) {
+  // One canonical pass over the complete edge set: the commit graph
+  // canonicalizes (sorts, deduplicates) the inferred edges, so the result
+  // is independent of which path or interleaving collected them — and
+  // bit-identical to the historical batch checkers. The CC paths already
+  // built the base graph for the topological sort; reuse it.
+  std::optional<CommitGraph> Local;
+  CommitGraph &Co = CachedBase ? *CachedBase : Local.emplace(H);
+  for (uint64_t Packed : BatchEdges)
+    Co.inferEdge(edgeFrom(Packed), edgeTo(Packed));
+  for (Stripe &S : Stripes) {
+    std::lock_guard<std::mutex> Lock(S.Mutex);
+    for (uint64_t Packed : S.Buf)
+      Co.inferEdge(edgeFrom(Packed), edgeTo(Packed));
+    S.Buf.clear();
+  }
+  for (const auto &[Packed, Refs] : Edges)
+    if (Refs.Inferred > 0)
+      Co.inferEdge(edgeFrom(Packed), edgeTo(Packed));
+  if (Stats) {
+    Stats->InferredEdges = Co.numInferredEdges();
+    Stats->GraphEdges = Co.numEdges();
+  }
+  return Co.checkAcyclic(Out, MaxWitnesses);
+}
+
+//===----------------------------------------------------------------------===//
+// Eviction-aware compaction.
+//===----------------------------------------------------------------------===//
+
+void SaturationState::compact(const History &H, TxnId Cut) {
+  AWDIT_ASSERT(EngineMode == Mode::Streaming, "compact: streaming only");
+  if (Cut == 0)
+    return;
+  ensureSizes(H);
+  size_t K = H.numSessions();
+  size_t OldN = Processed.size();
+  size_t NewN = OldN - Cut;
+
+  // Per-session so positions of evicted members, ascending: the shift
+  // tables for every persisted so-position-valued fact (happens-before
+  // frontiers, writer-list positions, the RA processed frontier).
+  std::vector<std::vector<uint32_t>> RemovedPos(K);
+  for (SessionId S = 0; S < K; ++S) {
+    const std::vector<TxnId> &Sess = H.sessionTxns(S);
+    for (size_t SoPos = 0; SoPos < Sess.size(); ++SoPos)
+      if (Sess[SoPos] < Cut)
+        RemovedPos[S].push_back(static_cast<uint32_t>(SoPos));
+  }
+  // Number of evicted so positions strictly below \p Value in session S.
+  auto RemovedBelow = [&](SessionId S, uint32_t Value) -> uint32_t {
+    const std::vector<uint32_t> &R = RemovedPos[S];
+    return static_cast<uint32_t>(
+        std::lower_bound(R.begin(), R.end(), Value) - R.begin());
+  };
+
+  // Happens-before rows: drop the prefix, shift the surviving frontiers.
+  if (Level == IsolationLevel::CausalConsistency && HbStride) {
+    for (size_t L = Cut; L < OldN; ++L) {
+      uint32_t *Src = &HbRows[L * HbStride];
+      uint32_t *Dst = &HbRows[(L - Cut) * HbStride];
+      for (size_t S = 0; S < HbStride; ++S) {
+        uint32_t F = Src[S];
+        Dst[S] = (F && S < K)
+                     ? F - RemovedBelow(static_cast<SessionId>(S), F)
+                     : F;
+      }
+    }
+    HbRows.resize(NewN * HbStride);
+  }
+
+  // Writer index: evicted writers vanish; survivors rebase ids and so
+  // positions.
+  for (auto It = Writers.begin(); It != Writers.end();) {
+    KeyWriters &KW = It->second;
+    size_t KeptSlots = 0;
+    for (size_t Slot = 0; Slot < KW.Sessions.size(); ++Slot) {
+      SessionId S = KW.Sessions[Slot];
+      std::vector<detail::CcWriterEntry> &List = KW.Lists[Slot];
+      size_t Kept = 0;
+      for (const detail::CcWriterEntry &E : List) {
+        if (E.T < Cut)
+          continue;
+        List[Kept++] = {E.T - Cut, E.SoIndex - RemovedBelow(S, E.SoIndex)};
+      }
+      List.resize(Kept);
+      if (Kept) {
+        if (KeptSlots != Slot) {
+          KW.Sessions[KeptSlots] = S;
+          KW.Lists[KeptSlots] = std::move(List);
+        }
+        ++KeptSlots;
+      }
+    }
+    KW.Sessions.resize(KeptSlots);
+    KW.Lists.resize(KeptSlots);
+    It = KeptSlots ? std::next(It) : Writers.erase(It);
+  }
+
+  // RA incremental state: scratch entries of evicted writers vanish, the
+  // processed frontier shifts by the members removed below it.
+  for (SessionId S = 0; S < RaStates.size() && S < K; ++S) {
+    RaSessionState &St = RaStates[S];
+    St.NextSo -= RemovedBelow(S, static_cast<uint32_t>(St.NextSo));
+    for (auto ScIt = St.Scratch.LastWrite.begin();
+         ScIt != St.Scratch.LastWrite.end();) {
+      if (ScIt->second < Cut) {
+        ScIt = St.Scratch.LastWrite.erase(ScIt);
+      } else {
+        ScIt->second -= Cut;
+        ++ScIt;
+      }
+    }
+  }
+
+  // Source-tagged edges: contributions of evicted units vanish wholesale,
+  // edges crossing the horizon are dropped (anomalies spanning it are no
+  // longer detectable — the documented windowed-mode trade-off), and the
+  // so chains are rebuilt over the surviving session members so survivors
+  // around an evicted middle member get re-linked.
+  std::unordered_map<uint64_t, std::vector<uint64_t>> NewBySource;
+  for (auto &[Source, EdgeList] : BySource) {
+    uint64_t Tag = Source >> 32;
+    if (Tag == 4)
+      continue; // so chains: rebuilt below.
+    uint64_t NewSource = Source;
+    if (Tag == 0 || Tag == 2 || Tag == 3) { // per-transaction sources
+      TxnId L = static_cast<TxnId>(Source);
+      if (L < Cut)
+        continue;
+      NewSource = (Tag << 32) | (L - Cut);
+    }
+    std::vector<uint64_t> Kept;
+    for (uint64_t Packed : EdgeList) {
+      TxnId From = edgeFrom(Packed), To = edgeTo(Packed);
+      if (From < Cut || To < Cut)
+        continue;
+      Kept.push_back(pack(From - Cut, To - Cut));
+    }
+    if (!Kept.empty())
+      NewBySource.emplace(NewSource, std::move(Kept));
+  }
+  for (SessionId S = 0; S < K; ++S) {
+    const std::vector<TxnId> &Sess = H.sessionTxns(S);
+    std::vector<uint64_t> Chain;
+    TxnId Prev = NoTxn;
+    for (TxnId Member : Sess) {
+      if (Member < Cut)
+        continue;
+      if (Prev != NoTxn)
+        Chain.push_back(pack(Prev - Cut, Member - Cut));
+      Prev = Member;
+    }
+    if (!Chain.empty())
+      NewBySource.emplace(soSource(S), std::move(Chain));
+  }
+  BySource = std::move(NewBySource);
+
+  // Quarantined edges between survivors stay quarantined (their region
+  // may still be cyclic); the retry at the next flush revisits them.
+  std::unordered_set<uint64_t> NewQuarantine;
+  for (uint64_t Packed : Quarantined) {
+    TxnId From = edgeFrom(Packed), To = edgeTo(Packed);
+    if (From >= Cut && To >= Cut)
+      NewQuarantine.insert(pack(From - Cut, To - Cut));
+  }
+  Quarantined = std::move(NewQuarantine);
+
+  // Rebuild refcounts, the order, and the reader lists from the filtered
+  // sources. Surviving edges preserve their relative order, so re-adding
+  // them is forward (O(1) per edge).
+  Edges.clear();
+  InferredDistinct = 0;
+  Order.clearEdgesAndCompact(Cut);
+  Processed.erase(Processed.begin(), Processed.begin() + Cut);
+  ReadersOf.assign(NewN, {});
+  for (auto &[Source, EdgeList] : BySource) {
+    bool IsBase = isBaseSource(Source);
+    for (uint64_t Packed : EdgeList) {
+      EdgeRefs &Refs = Edges[Packed];
+      bool WasLive = Refs.Base + Refs.Inferred > 0;
+      if (IsBase) {
+        ++Refs.Base;
+      } else {
+        if (Refs.Inferred == 0)
+          ++InferredDistinct;
+        ++Refs.Inferred;
+      }
+      if (!WasLive && !Quarantined.count(Packed) &&
+          !Order.addEdge(edgeFrom(Packed), edgeTo(Packed), nullptr))
+        Quarantined.insert(Packed); // only possible under a stale base cycle
+    }
+    if ((Source >> 32) == 3) { // wr: rebuild reader lists
+      TxnId Reader = static_cast<TxnId>(Source);
+      for (uint64_t Packed : EdgeList)
+        ReadersOf[edgeFrom(Packed)].push_back(Reader);
+    }
+  }
+
+  // Quarantine entries whose every referencing source was evicted are
+  // gone with their references.
+  for (auto It = Quarantined.begin(); It != Quarantined.end();)
+    It = Edges.count(*It) ? std::next(It) : Quarantined.erase(It);
+
+  maybeClearBaseCyclic();
+}

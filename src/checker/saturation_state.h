@@ -1,0 +1,263 @@
+//===- checker/saturation_state.h - Incremental saturation engine -*- C++ -*-===//
+//
+// Part of the AWDIT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The incremental, delta-driven saturation engine shared by the three
+/// checking paths:
+///
+///  - detail::checkOneShot() runs it as a single cold-start delta over a
+///    complete history (the batch kernels of saturation_impl.h, verbatim);
+///  - the parallel engine (checker/parallel.h) has its shard workers feed
+///    inferred-edge batches into one merged state through striped buffers;
+///  - the streaming Monitor (checker/monitor.h) drives true per-flush
+///    deltas: the state persists the derived happens-before rows, the
+///    per-key write index, and the refcounted source-tagged edge set
+///    across flushes, so each pass only propagates the consequences of
+///    newly committed or retroactively re-resolved transactions instead
+///    of re-scanning the whole live window.
+///
+/// In streaming mode the commit relation co' is kept topologically ordered
+/// with a Pearce–Kelly dynamic order (graph/incremental_topo.h): an edge
+/// insertion that would close a cycle is reported as a violation with the
+/// offending path extracted on the spot — no per-flush SCC pass — and the
+/// edge is quarantined so the order stays valid. The canonical verdict of
+/// a completed check still comes from finalizeAcyclic(), which rebuilds
+/// the commit graph once and runs the exact same SCC/witness extraction as
+/// the historical batch checkers, keeping verdicts, violation lists, and
+/// witnesses bit-identical to them.
+///
+/// Every inferred or base edge is tagged with the unit of work that
+/// produced it (an RC transaction, an RA session, a CC reader, a reader's
+/// wr set, a session's so chain), so re-running a unit replaces exactly
+/// its contribution; compaction after windowed eviction filters and
+/// remaps the persisted state in one pass.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AWDIT_CHECKER_SATURATION_STATE_H
+#define AWDIT_CHECKER_SATURATION_STATE_H
+
+#include "checker/check_rc.h"
+#include "checker/commit_graph.h"
+#include "checker/isolation_level.h"
+#include "checker/saturation_impl.h"
+#include "checker/violation.h"
+#include "graph/incremental_topo.h"
+#include "history/history.h"
+
+#include <array>
+#include <atomic>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace awdit {
+
+/// The incremental saturation engine. One instance per checking session
+/// (a Monitor, one one-shot check, or one parallel check). Not thread-safe
+/// except for appendInferredBatch().
+class SaturationState {
+public:
+  enum class Mode : uint8_t {
+    /// One cold-start delta (or shard-fed batches): edges are only
+    /// collected; no dynamic order is maintained and the verdict comes
+    /// from finalizeAcyclic()'s canonical pass.
+    Batch,
+    /// Streaming deltas: persisted facts, dynamic topological order, and
+    /// cycle extraction on edge insertion.
+    Streaming,
+  };
+
+  SaturationState(IsolationLevel Level, Mode M)
+      : Level(Level), EngineMode(M) {}
+
+  // --- Structure growth (streaming). ---
+
+  void addSession() { ++NumSessions; }
+
+  // --- Streaming delta pass. ---
+
+  /// One incremental pass. \p Ready lists the local ids of committed
+  /// transactions that are newly closed or were retroactively re-resolved
+  /// since the last pass, ascending. Reads \p H (the live window) for
+  /// operations, sessions, and derived per-transaction indices; appends
+  /// any cycle violation discovered during edge insertion to \p Out.
+  void flushDelta(const History &H, const std::vector<TxnId> &Ready,
+                  std::vector<Violation> &Out);
+
+  // --- Batch feeds. ---
+
+  /// Runs the batch saturation kernels over the whole history — the
+  /// single cold-start delta of the one-shot path. Level RC/RA/CC only;
+  /// read-level axioms are the caller's job (they precede saturation in
+  /// every algorithm).
+  void coldStart(const History &H);
+
+  /// Thread-safe bulk feed of packed inferred edges for the parallel
+  /// engine's shard workers. Stripes are picked round-robin so concurrent
+  /// workers rarely contend.
+  void appendInferredBatch(const uint64_t *Edges, size_t Count);
+
+  /// Batch CC helper: builds the base so ∪ wr commit graph of \p H —
+  /// cached so finalizeAcyclic() reuses it instead of rebuilding — and
+  /// returns a topological order of it, or nullopt (setting baseCyclic())
+  /// when so ∪ wr is cyclic. \p H must be the same history later passed
+  /// to finalizeAcyclic().
+  std::optional<std::vector<uint32_t>> computeBaseOrder(const History &H);
+
+  /// Canonical verdict over the complete history: rebuilds the commit
+  /// graph from \p H, merges every inferred edge collected so far
+  /// (canonicalized: sorted, deduplicated), and runs the same SCC pass and
+  /// witness extraction as the batch checkers. Bit-identical to them for
+  /// identical edge sets.
+  bool finalizeAcyclic(const History &H, std::vector<Violation> &Out,
+                       size_t MaxWitnesses, SaturationStats *Stats);
+
+  // --- Eviction-aware compaction (streaming). ---
+
+  /// Drops the transaction prefix [0, \p Cut) from every persisted
+  /// structure and rebases the rest. Must run while \p H still holds the
+  /// pre-eviction window (the caller rebases its History afterwards).
+  void compact(const History &H, TxnId Cut);
+
+  // --- Introspection. ---
+
+  /// Distinct live inferred (non so/wr) co' edges.
+  size_t numInferredEdges() const { return InferredDistinct; }
+  /// Distinct live edges of the maintained commit relation (streaming).
+  size_t numGraphEdges() const {
+    return Order.numEdges() + Quarantined.size();
+  }
+  /// True once the base so ∪ wr relation itself closed a cycle (every
+  /// level is violated; CC saturation stops — happens-before is
+  /// undefined, exactly as in the batch checker).
+  bool baseCyclic() const { return BaseCyclic; }
+
+private:
+  // Source tags: the unit of work that contributed an edge. Re-running a
+  // unit replaces exactly its contribution.
+  static uint64_t rcSource(TxnId L) { return L; }
+  static uint64_t raSource(SessionId S) { return (uint64_t(1) << 32) | S; }
+  static uint64_t ccSource(TxnId L) { return (uint64_t(2) << 32) | L; }
+  static uint64_t wrSource(TxnId L) { return (uint64_t(3) << 32) | L; }
+  static uint64_t soSource(SessionId S) { return (uint64_t(4) << 32) | S; }
+
+  /// Reference counts of one packed edge, split by provenance: base
+  /// (so/wr) references keep the edge structural; inferred references come
+  /// from the saturation kernels.
+  struct EdgeRefs {
+    uint32_t Base = 0;
+    uint32_t Inferred = 0;
+  };
+
+  /// Persistent per-session incremental RA saturation state.
+  struct RaSessionState {
+    detail::RaScratch Scratch;
+    /// First unprocessed position in the session's so list.
+    size_t NextSo = 0;
+    /// Set when retroactive re-resolution invalidated already-processed
+    /// positions; the whole (windowed) session is re-run at next flush.
+    bool NeedsFullRerun = false;
+  };
+
+  /// Per-key, per-writing-session so-ordered writer lists (Algorithm 3's
+  /// Writes index), persisted and appended incrementally.
+  struct KeyWriters {
+    std::vector<SessionId> Sessions;
+    std::vector<std::vector<detail::CcWriterEntry>> Lists;
+  };
+
+  void ensureSizes(const History &H);
+
+  // Edge bookkeeping.
+  void addSourceEdges(const History &H, uint64_t Source, bool IsBase,
+                      const std::vector<uint64_t> &Edges,
+                      std::vector<Violation> *Out);
+  void clearSource(uint64_t Source, bool IsBase);
+  void insertLive(const History &H, uint64_t Packed, bool IsBase,
+                  std::vector<Violation> *Out);
+  void removeLive(uint64_t Packed, bool IsBase);
+  void retryQuarantined(const History &H);
+  /// Clears BaseCyclic (scheduling a full happens-before recompute) once
+  /// no quarantined edge with a base reference remains. Shared by the
+  /// flush-time retry and eviction compaction.
+  void maybeClearBaseCyclic();
+
+  /// True iff \p To reaches \p From using only edges with a base
+  /// reference (a so ∪ wr path). Decides CausalityCycle vs a mixed cycle
+  /// whose base edge can stay live by quarantining an inferred edge.
+  bool baseReaches(uint32_t SrcNode, uint32_t DstNode) const;
+
+  Violation makeCycleViolation(const History &H, TxnId From, TxnId To,
+                               const std::vector<uint32_t> &Path) const;
+  EdgeKind classifyEdge(const History &H, TxnId From, TxnId To) const;
+
+  // CC incremental pieces.
+  void appendWriterEntries(const History &H, TxnId L);
+  bool recomputeHbRow(const History &H, TxnId L);
+  void propagateHappensBefore(const History &H,
+                              const std::vector<TxnId> &Ready,
+                              std::vector<TxnId> &ChangedOut);
+  void runCcReader(const History &H, TxnId L, std::vector<uint64_t> &Edges);
+  void setReaderWrEdges(const History &H, TxnId L,
+                        std::vector<Violation> *Out);
+
+  const IsolationLevel Level;
+  const Mode EngineMode;
+  size_t NumSessions = 0;
+  bool BaseCyclic = false;
+  /// Set by compact() when evictions broke a base cycle: every live row is
+  /// recomputed at the next flush.
+  bool NeedsFullHbRecompute = false;
+
+  // --- Persistent streaming state. ---
+
+  /// The dynamically ordered commit relation (distinct live edges).
+  IncrementalTopoOrder Order;
+  std::unordered_map<uint64_t, EdgeRefs> Edges;
+  std::unordered_map<uint64_t, std::vector<uint64_t>> BySource;
+  /// Edges with live references that are kept out of the order because
+  /// inserting them closed a cycle (reported when first quarantined).
+  std::unordered_set<uint64_t> Quarantined;
+  size_t InferredDistinct = 0;
+
+  /// First-processing flag per transaction (so-chain edge added, writer
+  /// entries appended).
+  std::vector<uint8_t> Processed;
+  /// Readers currently holding a wr edge from each transaction, for
+  /// happens-before dirty propagation.
+  std::vector<std::vector<TxnId>> ReadersOf;
+
+  /// Persisted exclusive happens-before clock rows, row-major with stride
+  /// HbStride (grown geometrically as sessions are added).
+  std::vector<uint32_t> HbRows;
+  size_t HbStride = 0;
+  std::vector<uint32_t> TmpRow;
+
+  std::unordered_map<Key, KeyWriters> Writers;
+  std::vector<RaSessionState> RaStates;
+  detail::RcScratch RcScratchState;
+
+  // --- Batch-mode edge collection. ---
+
+  std::vector<uint64_t> BatchEdges;
+  /// Base commit graph built by computeBaseOrder(), reused by
+  /// finalizeAcyclic() so the CC paths construct it only once.
+  std::optional<CommitGraph> CachedBase;
+  static constexpr size_t NumStripes = 64;
+  struct Stripe {
+    std::mutex Mutex;
+    std::vector<uint64_t> Buf;
+  };
+  std::array<Stripe, NumStripes> Stripes;
+  std::atomic<size_t> NextStripe{0};
+};
+
+} // namespace awdit
+
+#endif // AWDIT_CHECKER_SATURATION_STATE_H

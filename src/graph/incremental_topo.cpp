@@ -1,0 +1,180 @@
+//===- graph/incremental_topo.cpp - Dynamic topological order --------------===//
+
+#include "graph/incremental_topo.h"
+
+#include "support/assert.h"
+
+#include <algorithm>
+
+using namespace awdit;
+
+void IncrementalTopoOrder::addNodes(size_t Count) {
+  size_t N = Pos.size();
+  Out.resize(N + Count);
+  In.resize(N + Count);
+  Pos.resize(N + Count);
+  Mark.resize(N + Count, 0);
+  Parent.resize(N + Count, 0);
+  // New nodes join at the end of the order: nothing points at them yet, so
+  // any suffix placement is valid.
+  for (size_t I = N; I < N + Count; ++I)
+    Pos[I] = static_cast<uint32_t>(I);
+}
+
+bool IncrementalTopoOrder::discoverForward(uint32_t From, uint32_t To,
+                                          uint32_t Limit,
+                                          std::vector<uint32_t> &Region) {
+  Stack.clear();
+  Stack.push_back(To);
+  Mark[To] = Epoch;
+  while (!Stack.empty()) {
+    uint32_t U = Stack.back();
+    Stack.pop_back();
+    Region.push_back(U);
+    for (uint32_t W : Out[U]) {
+      if (W == From) {
+        Parent[From] = U;
+        return false;
+      }
+      if (Pos[W] < Limit && Mark[W] != Epoch) {
+        Mark[W] = Epoch;
+        Parent[W] = U;
+        Stack.push_back(W);
+      }
+    }
+  }
+  return true;
+}
+
+bool IncrementalTopoOrder::addEdge(uint32_t From, uint32_t To,
+                                   std::vector<uint32_t> *CyclePath) {
+  AWDIT_ASSERT(From < Pos.size() && To < Pos.size(),
+               "addEdge: unknown node");
+  if (From == To) {
+    if (CyclePath) {
+      CyclePath->clear();
+      CyclePath->push_back(To);
+    }
+    return false;
+  }
+  uint32_t PosFrom = Pos[From], PosTo = Pos[To];
+  if (PosFrom < PosTo) {
+    Out[From].push_back(To);
+    In[To].push_back(From);
+    ++EdgeCount;
+    return true;
+  }
+
+  // The edge points backwards in the current order: discover the affected
+  // region [PosTo, PosFrom] and reorder it (Pearce–Kelly).
+  ++Epoch;
+  std::vector<uint32_t> Fwd, Bwd;
+  if (!discoverForward(From, To, PosFrom, Fwd)) {
+    // To already reaches From: the new edge would close a cycle. Extract
+    // the discovery path To -> ... -> From from the parent pointers.
+    if (CyclePath) {
+      CyclePath->clear();
+      for (uint32_t N = From; N != To; N = Parent[N])
+        CyclePath->push_back(N);
+      CyclePath->push_back(To);
+      std::reverse(CyclePath->begin(), CyclePath->end());
+    }
+    return false;
+  }
+
+  // Backward discovery from From, bounded below by PosTo.
+  Stack.clear();
+  Stack.push_back(From);
+  Mark[From] = Epoch;
+  while (!Stack.empty()) {
+    uint32_t U = Stack.back();
+    Stack.pop_back();
+    Bwd.push_back(U);
+    for (uint32_t W : In[U]) {
+      if (Pos[W] > PosTo && Mark[W] != Epoch) {
+        Mark[W] = Epoch;
+        Stack.push_back(W);
+      }
+    }
+  }
+
+  // Reorder: the backward set (things reaching From) takes the smallest
+  // affected positions in its existing relative order, then the forward
+  // set (things reachable from To). That puts From before To while
+  // preserving every other constraint inside the region.
+  auto ByPos = [this](uint32_t A, uint32_t B) { return Pos[A] < Pos[B]; };
+  std::sort(Fwd.begin(), Fwd.end(), ByPos);
+  std::sort(Bwd.begin(), Bwd.end(), ByPos);
+  std::vector<uint32_t> Slots;
+  Slots.reserve(Fwd.size() + Bwd.size());
+  for (uint32_t N : Bwd)
+    Slots.push_back(Pos[N]);
+  for (uint32_t N : Fwd)
+    Slots.push_back(Pos[N]);
+  std::sort(Slots.begin(), Slots.end());
+  size_t Next = 0;
+  for (uint32_t N : Bwd)
+    Pos[N] = Slots[Next++];
+  for (uint32_t N : Fwd)
+    Pos[N] = Slots[Next++];
+
+  Out[From].push_back(To);
+  In[To].push_back(From);
+  ++EdgeCount;
+  return true;
+}
+
+void IncrementalTopoOrder::removeEdge(uint32_t From, uint32_t To) {
+  auto Drop = [](std::vector<uint32_t> &List, uint32_t Value) {
+    auto It = std::find(List.begin(), List.end(), Value);
+    AWDIT_ASSERT(It != List.end(), "removeEdge: edge not present");
+    *It = List.back();
+    List.pop_back();
+  };
+  Drop(Out[From], To);
+  Drop(In[To], From);
+  --EdgeCount;
+}
+
+void IncrementalTopoOrder::clearEdgesAndCompact(uint32_t Cut) {
+  for (std::vector<uint32_t> &List : Out)
+    List.clear();
+  for (std::vector<uint32_t> &List : In)
+    List.clear();
+  EdgeCount = 0;
+  compactPrefix(Cut);
+}
+
+void IncrementalTopoOrder::compactPrefix(uint32_t Cut) {
+  if (Cut == 0)
+    return;
+  size_t N = Pos.size();
+  AWDIT_ASSERT(Cut <= N, "compactPrefix: cut beyond node count");
+  for (uint32_t Node = 0; Node < Cut; ++Node)
+    AWDIT_ASSERT(Out[Node].empty() && In[Node].empty(),
+                 "compactPrefix: dropped node still has edges");
+
+  Out.erase(Out.begin(), Out.begin() + Cut);
+  In.erase(In.begin(), In.begin() + Cut);
+  Pos.erase(Pos.begin(), Pos.begin() + Cut);
+  size_t Kept = N - Cut;
+  for (size_t Node = 0; Node < Kept; ++Node) {
+    for (uint32_t &W : Out[Node])
+      W -= Cut;
+    for (uint32_t &W : In[Node])
+      W -= Cut;
+  }
+  // Compress the surviving positions to [0, Kept) preserving order.
+  std::vector<uint32_t> ByPos(Kept);
+  for (uint32_t Node = 0; Node < Kept; ++Node)
+    ByPos[Node] = Node;
+  std::sort(ByPos.begin(), ByPos.end(), [this](uint32_t A, uint32_t B) {
+    return Pos[A] < Pos[B];
+  });
+  for (uint32_t Rank = 0; Rank < Kept; ++Rank)
+    Pos[ByPos[Rank]] = Rank;
+
+  Mark.assign(Kept, 0);
+  Parent.assign(Kept, 0);
+  Epoch = 0;
+}

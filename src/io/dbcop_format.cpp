@@ -4,36 +4,16 @@
 
 #include "history/history_builder.h"
 #include "history/wr_resolver.h"
+#include "io/token_util.h"
 
-#include <charconv>
 #include <sstream>
 #include <vector>
 
 using namespace awdit;
+using awdit::io::parseInt;
+using awdit::io::tokenize;
 
 namespace {
-
-std::vector<std::string_view> tokenize(std::string_view Line) {
-  std::vector<std::string_view> Tokens;
-  size_t I = 0;
-  while (I < Line.size()) {
-    while (I < Line.size() && (Line[I] == ' ' || Line[I] == '\t'))
-      ++I;
-    size_t Start = I;
-    while (I < Line.size() && Line[I] != ' ' && Line[I] != '\t')
-      ++I;
-    if (I > Start)
-      Tokens.push_back(Line.substr(Start, I - Start));
-  }
-  return Tokens;
-}
-
-template <typename IntT>
-bool parseInt(std::string_view Token, IntT &Out) {
-  auto [Ptr, Ec] =
-      std::from_chars(Token.data(), Token.data() + Token.size(), Out);
-  return Ec == std::errc() && Ptr == Token.data() + Token.size();
-}
 
 bool setErr(std::string *Err, size_t LineNo, const std::string &Msg) {
   if (Err)

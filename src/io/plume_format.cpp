@@ -4,35 +4,16 @@
 
 #include "history/history_builder.h"
 #include "history/wr_resolver.h"
+#include "io/token_util.h"
 
-#include <charconv>
 #include <sstream>
 #include <vector>
 
 using namespace awdit;
+using awdit::io::parseInt;
+using awdit::io::splitCsv;
 
 namespace {
-
-std::vector<std::string_view> splitCsv(std::string_view Line) {
-  std::vector<std::string_view> Fields;
-  size_t Pos = 0;
-  while (true) {
-    size_t Comma = Line.find(',', Pos);
-    if (Comma == std::string_view::npos) {
-      Fields.push_back(Line.substr(Pos));
-      return Fields;
-    }
-    Fields.push_back(Line.substr(Pos, Comma - Pos));
-    Pos = Comma + 1;
-  }
-}
-
-template <typename IntT>
-bool parseInt(std::string_view Token, IntT &Out) {
-  auto [Ptr, Ec] =
-      std::from_chars(Token.data(), Token.data() + Token.size(), Out);
-  return Ec == std::errc() && Ptr == Token.data() + Token.size();
-}
 
 bool setErr(std::string *Err, size_t LineNo, const std::string &Msg) {
   if (Err)

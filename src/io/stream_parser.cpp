@@ -1,51 +1,83 @@
-//===- io/stream_parser.cpp - Streaming native-format parser ---------------===//
+//===- io/stream_parser.cpp - Streaming history-format parsers -------------===//
 
 #include "io/stream_parser.h"
 
-#include <charconv>
+#include "io/token_util.h"
+
 #include <vector>
 
 using namespace awdit;
+using awdit::io::parseInt;
+using awdit::io::splitCsv;
+using awdit::io::tokenize;
 
-namespace {
+//===----------------------------------------------------------------------===//
+// LineStreamParser: the shared chunking engine.
+//===----------------------------------------------------------------------===//
 
-std::vector<std::string_view> tokenize(std::string_view Line) {
-  std::vector<std::string_view> Tokens;
-  size_t I = 0;
-  while (I < Line.size()) {
-    while (I < Line.size() && (Line[I] == ' ' || Line[I] == '\t'))
-      ++I;
-    size_t Start = I;
-    while (I < Line.size() && Line[I] != ' ' && Line[I] != '\t')
-      ++I;
-    if (I > Start)
-      Tokens.push_back(Line.substr(Start, I - Start));
-  }
-  return Tokens;
-}
-
-template <typename IntT>
-bool parseInt(std::string_view Token, IntT &Out) {
-  auto [Ptr, Ec] =
-      std::from_chars(Token.data(), Token.data() + Token.size(), Out);
-  return Ec == std::errc() && Ptr == Token.data() + Token.size();
-}
-
-} // namespace
-
-bool StreamingTextParser::fail(std::string *Err, const std::string &Msg) {
+bool LineStreamParser::fail(std::string *Err, const std::string &Msg) {
   Stuck = true;
   if (Err)
     *Err = "line " + std::to_string(LineNo) + ": " + Msg;
   return false;
 }
 
-bool StreamingTextParser::processLine(std::string_view Line,
-                                      std::string *Err) {
+bool LineStreamParser::dispatchLine(std::string_view Line, std::string *Err) {
   ++LineNo;
   // Trim a trailing CR for Windows-style streams.
   if (!Line.empty() && Line.back() == '\r')
     Line.remove_suffix(1);
+  return processLine(Line, Err);
+}
+
+bool LineStreamParser::feed(std::string_view Chunk, std::string *Err) {
+  if (Stuck)
+    return fail(Err, "parser stopped after an earlier error");
+  size_t Pos = 0;
+  while (Pos < Chunk.size()) {
+    size_t End = Chunk.find('\n', Pos);
+    if (End == std::string_view::npos) {
+      Partial.append(Chunk.substr(Pos));
+      return true;
+    }
+    std::string_view Line;
+    if (Partial.empty()) {
+      Line = Chunk.substr(Pos, End - Pos);
+    } else {
+      Partial.append(Chunk.substr(Pos, End - Pos));
+      Line = Partial;
+    }
+    bool Ok = dispatchLine(Line, Err);
+    Partial.clear();
+    if (!Ok)
+      return false;
+    Pos = End + 1;
+  }
+  return true;
+}
+
+bool LineStreamParser::flushPartialLine(std::string *Err) {
+  if (Stuck)
+    return fail(Err, "parser stopped after an earlier error");
+  if (Partial.empty())
+    return true;
+  std::string Line;
+  Line.swap(Partial);
+  return dispatchLine(Line, Err);
+}
+
+bool LineStreamParser::finish(std::string *Err) {
+  if (!flushPartialLine(Err))
+    return false;
+  return atEnd(Err);
+}
+
+//===----------------------------------------------------------------------===//
+// Native text format.
+//===----------------------------------------------------------------------===//
+
+bool StreamingTextParser::processLine(std::string_view Line,
+                                      std::string *Err) {
   std::vector<std::string_view> Tok = tokenize(Line);
   if (Tok.empty() || Tok[0].front() == '#')
     return true;
@@ -91,45 +123,183 @@ bool StreamingTextParser::processLine(std::string_view Line,
     HasOpenTxn = false;
     return true;
   }
+  if (Tok[0] == "t") {
+    // Streaming-only clock directive: advances the monitor's stream time
+    // (age-based eviction, force-abort of hung transactions).
+    uint64_t Ticks;
+    if (Tok.size() != 2 || !parseInt(Tok[1], Ticks))
+      return fail(Err, "expected 't <ticks>'");
+    M.advanceTime(Ticks);
+    return true;
+  }
   return fail(Err, "unknown directive '" + std::string(Tok[0]) + "'");
 }
 
-bool StreamingTextParser::feed(std::string_view Chunk, std::string *Err) {
-  if (Stuck)
-    return fail(Err, "parser stopped after an earlier error");
-  size_t Pos = 0;
-  while (Pos < Chunk.size()) {
-    size_t End = Chunk.find('\n', Pos);
-    if (End == std::string_view::npos) {
-      Partial.append(Chunk.substr(Pos));
-      return true;
-    }
-    std::string_view Line;
-    if (Partial.empty()) {
-      Line = Chunk.substr(Pos, End - Pos);
-    } else {
-      Partial.append(Chunk.substr(Pos, End - Pos));
-      Line = Partial;
-    }
-    bool Ok = processLine(Line, Err);
-    Partial.clear();
-    if (!Ok)
-      return false;
-    Pos = End + 1;
-  }
-  return true;
-}
-
-bool StreamingTextParser::finish(std::string *Err) {
-  if (Stuck)
-    return fail(Err, "parser stopped after an earlier error");
-  if (!Partial.empty()) {
-    std::string Line;
-    Line.swap(Partial);
-    if (!processLine(Line, Err))
-      return false;
-  }
+bool StreamingTextParser::atEnd(std::string *Err) {
   if (HasOpenTxn)
     return fail(Err, "unterminated transaction at end of input");
   return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Plume-style CSV format.
+//===----------------------------------------------------------------------===//
+
+bool StreamingPlumeParser::closeOpen() {
+  if (!HasOpen)
+    return false;
+  if (OpenAborted) {
+    M.abortTxn(Open);
+  } else {
+    M.commit(Open);
+    ++Committed;
+  }
+  HasOpen = false;
+  OpenAborted = false;
+  return true;
+}
+
+bool StreamingPlumeParser::processLine(std::string_view Line,
+                                       std::string *Err) {
+  if (Line.empty() || Line.front() == '#')
+    return true;
+
+  std::vector<std::string_view> F = splitCsv(Line);
+  SessionId S;
+  uint64_t FileTxn;
+  if (F.size() < 3 || !parseInt(F[0], S) || !parseInt(F[1], FileTxn))
+    return fail(Err, "expected '<session>,<txn>,...'");
+  while (NumSessions <= S) {
+    M.addSession();
+    ++NumSessions;
+  }
+  if (!HasOpen || OpenSession != S || OpenFileTxn != FileTxn) {
+    // A new (session, txn) pair implicitly commits the previous
+    // transaction: Plume logs carry no commit marker.
+    closeOpen();
+    Open = M.beginTxn(S);
+    HasOpen = true;
+    OpenSession = S;
+    OpenFileTxn = FileTxn;
+  }
+  if (F[2] == "abort") {
+    // Deferred until the pair ends: the batch parser keeps appending
+    // operations that follow an abort line for the same (session, txn)
+    // pair to the aborted transaction, and the streaming parser must
+    // produce the identical history.
+    OpenAborted = true;
+    return true;
+  }
+  Key K;
+  Value V;
+  if (F.size() != 5 || (F[2] != "r" && F[2] != "w") || !parseInt(F[3], K) ||
+      !parseInt(F[4], V))
+    return fail(Err, "expected '<session>,<txn>,<r|w>,<key>,<value>'");
+  if (F[2] == "r") {
+    M.read(Open, K, V);
+    return true;
+  }
+  if (!M.write(Open, K, V))
+    return fail(Err, M.errorText());
+  return true;
+}
+
+bool StreamingPlumeParser::atEnd(std::string *Err) {
+  (void)Err;
+  closeOpen();
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// DBCop-style block format.
+//===----------------------------------------------------------------------===//
+
+bool StreamingDbcopParser::processLine(std::string_view Line,
+                                       std::string *Err) {
+  std::vector<std::string_view> Tok = tokenize(Line);
+  if (Tok.empty() || Tok[0].front() == '#')
+    return true;
+
+  if (Tok[0] == "sessions") {
+    if (SeenHeader || Tok.size() != 2 || !parseInt(Tok[1], DeclaredSessions))
+      return fail(Err, "expected a single 'sessions <k>' header");
+    for (size_t I = 0; I < DeclaredSessions; ++I)
+      M.addSession();
+    SeenHeader = true;
+    return true;
+  }
+  if (!SeenHeader)
+    return fail(Err, "missing 'sessions <k>' header");
+
+  if (Tok[0] == "txn") {
+    if (OpsLeft != 0)
+      return fail(Err, "previous transaction is missing operations");
+    SessionId S;
+    int DoesCommit;
+    size_t NumOps;
+    if (Tok.size() != 4 || !parseInt(Tok[1], S) ||
+        !parseInt(Tok[2], DoesCommit) || !parseInt(Tok[3], NumOps) ||
+        S >= DeclaredSessions || (DoesCommit != 0 && DoesCommit != 1))
+      return fail(Err, "expected 'txn <session> <0|1> <numops>'");
+    Open = M.beginTxn(S);
+    OpenCommits = DoesCommit == 1;
+    OpsLeft = NumOps;
+    if (OpsLeft == 0) {
+      // An empty block closes immediately.
+      if (OpenCommits) {
+        M.commit(Open);
+        ++Committed;
+      } else {
+        M.abortTxn(Open);
+      }
+      Open = NoTxn;
+    }
+    return true;
+  }
+  if (Tok[0] == "R" || Tok[0] == "W") {
+    if (Open == NoTxn || OpsLeft == 0)
+      return fail(Err, "operation outside a transaction block");
+    Key K;
+    Value V;
+    if (Tok.size() != 3 || !parseInt(Tok[1], K) || !parseInt(Tok[2], V))
+      return fail(Err, "expected '<R|W> <key> <value>'");
+    if (Tok[0] == "R") {
+      M.read(Open, K, V);
+    } else if (!M.write(Open, K, V)) {
+      return fail(Err, M.errorText());
+    }
+    if (--OpsLeft == 0) {
+      // The block is complete; the commit decision was declared up front.
+      if (OpenCommits) {
+        M.commit(Open);
+        ++Committed;
+      } else {
+        M.abortTxn(Open);
+      }
+      Open = NoTxn;
+    }
+    return true;
+  }
+  return fail(Err, "unknown directive '" + std::string(Tok[0]) + "'");
+}
+
+bool StreamingDbcopParser::atEnd(std::string *Err) {
+  if (OpsLeft != 0)
+    return fail(Err, "unexpected end of input inside a transaction");
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Factory.
+//===----------------------------------------------------------------------===//
+
+std::unique_ptr<StreamParser> awdit::makeStreamParser(
+    const std::string &Format, Monitor &M) {
+  if (Format == "native")
+    return std::make_unique<StreamingTextParser>(M);
+  if (Format == "plume")
+    return std::make_unique<StreamingPlumeParser>(M);
+  if (Format == "dbcop")
+    return std::make_unique<StreamingDbcopParser>(M);
+  return nullptr;
 }

@@ -1,19 +1,27 @@
-//===- io/stream_parser.h - Streaming native-format parser -------*- C++ -*-===//
+//===- io/stream_parser.h - Streaming history-format parsers -----*- C++ -*-===//
 //
 // Part of the AWDIT reproduction. MIT licensed.
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Incremental parser for the native history text format (io/text_format.h)
-/// that feeds a streaming Monitor as lines arrive — from a file tail, a
-/// pipe, or stdin — instead of materializing the whole history first. The
-/// `awdit monitor` command is a thin loop around this class.
+/// Incremental parsers that feed a streaming Monitor as input arrives —
+/// from a file tail, a pipe, or stdin — instead of materializing the whole
+/// history first. All three on-disk formats are supported behind one
+/// interface (`awdit monitor --format native|plume|dbcop` is a thin loop
+/// around makeStreamParser()):
+///
+///  - the native text format (io/text_format.h), including the streaming
+///    extension `t <ticks>` that advances the monitor's stream clock for
+///    the age-based eviction and force-abort policies;
+///  - the Plume-style CSV format (io/plume_format.h);
+///  - the DBCop-style block format (io/dbcop_format.h).
 ///
 /// Input may be fed in arbitrary chunks; partial trailing lines are
-/// buffered until their newline arrives. Errors carry the 1-based line
-/// number, including the model-invariant errors (duplicate writes) the
-/// monitor detects during ingestion.
+/// buffered until their newline arrives (chunking-invariant, enforced by
+/// tests). Errors carry the 1-based line number, including the
+/// model-invariant errors (duplicate writes) the monitor detects during
+/// ingestion.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -22,44 +30,161 @@
 
 #include "checker/monitor.h"
 
+#include <memory>
 #include <string>
 #include <string_view>
 
 namespace awdit {
 
-/// Parses the native text format incrementally into a Monitor.
-class StreamingTextParser {
+/// The streaming-parser interface shared by every input format.
+class StreamParser {
 public:
-  explicit StreamingTextParser(Monitor &M) : M(M) {}
+  virtual ~StreamParser() = default;
 
   /// Feeds one chunk of input (any size, any boundary). Returns false and
   /// sets \p Err (with a line number) on the first malformed line; the
   /// parser is then stuck and further calls keep failing.
-  bool feed(std::string_view Chunk, std::string *Err = nullptr);
+  virtual bool feed(std::string_view Chunk, std::string *Err = nullptr) = 0;
 
-  /// Flushes a trailing line without newline and verifies no transaction
-  /// is left open. Call once at end of input.
-  bool finish(std::string *Err = nullptr);
+  /// Processes a buffered trailing line that arrived without its newline.
+  /// Tail-mode callers must call this at end of input before consulting
+  /// hasOpenTxn(): the unterminated final line may hold the directive
+  /// that closes the last transaction.
+  virtual bool flushPartialLine(std::string *Err = nullptr) = 0;
+
+  /// Flushes a trailing line without newline and verifies the input ended
+  /// at a clean transaction boundary. Call once at end of input. Tail-mode
+  /// callers that want to salvage a truncated stream should
+  /// flushPartialLine() and consult hasOpenTxn() first, skipping finish()
+  /// when it is set (the monitor's finalize() treats the open transaction
+  /// as aborted).
+  virtual bool finish(std::string *Err = nullptr) = 0;
 
   /// 1-based number of the line currently being (or last) processed.
-  size_t lineNumber() const { return LineNo; }
+  virtual size_t lineNumber() const = 0;
 
   /// Committed transactions fed to the monitor so far.
-  uint64_t committedTxns() const { return Committed; }
+  virtual uint64_t committedTxns() const = 0;
 
-private:
-  bool processLine(std::string_view Line, std::string *Err);
+  /// True while the stream is inside a transaction (finish() would fail).
+  virtual bool hasOpenTxn() const = 0;
+};
+
+/// Shared chunking engine: buffers partial lines across feed() calls and
+/// hands complete lines (without the newline) to processLine(). Keeps the
+/// chunking invariance in exactly one place.
+class LineStreamParser : public StreamParser {
+public:
+  bool feed(std::string_view Chunk, std::string *Err = nullptr) final;
+  bool flushPartialLine(std::string *Err = nullptr) final;
+  bool finish(std::string *Err = nullptr) final;
+  size_t lineNumber() const final { return LineNo; }
+
+protected:
+  /// Parses one complete line (trailing CR already stripped). Returns
+  /// false after calling fail().
+  virtual bool processLine(std::string_view Line, std::string *Err) = 0;
+
+  /// End-of-input hook, after the trailing partial line was processed.
+  virtual bool atEnd(std::string *Err) = 0;
+
+  /// Records a line-numbered error and wedges the parser.
   bool fail(std::string *Err, const std::string &Msg);
 
-  Monitor &M;
+private:
+  bool dispatchLine(std::string_view Line, std::string *Err);
+
   std::string Partial;
   size_t LineNo = 0;
+  bool Stuck = false;
+};
+
+/// Parses the native text format incrementally into a Monitor. Grammar:
+/// `b <session>`, `r <key> <value>`, `w <key> <value>`, `c`, `a`,
+/// comments (`# ...`), and the streaming-only clock directive `t <ticks>`.
+class StreamingTextParser final : public LineStreamParser {
+public:
+  explicit StreamingTextParser(Monitor &M) : M(M) {}
+
+  uint64_t committedTxns() const override { return Committed; }
+  bool hasOpenTxn() const override { return HasOpenTxn; }
+
+protected:
+  bool processLine(std::string_view Line, std::string *Err) override;
+  bool atEnd(std::string *Err) override;
+
+private:
+  Monitor &M;
   size_t NumSessions = 0;
   bool HasOpenTxn = false;
   TxnId Open = NoTxn;
   uint64_t Committed = 0;
-  bool Stuck = false;
 };
+
+/// Parses the Plume-style CSV format incrementally: lines are
+/// `<session>,<txn>,<r|w>,<key>,<value>` or `<session>,<txn>,abort`, with
+/// a transaction's lines contiguous. A transaction closes when the next
+/// (session, txn) pair starts or the stream ends — committing unless an
+/// abort line was seen for the pair (matching the batch parser, which
+/// also keeps appending post-abort operations to the aborted
+/// transaction).
+class StreamingPlumeParser final : public LineStreamParser {
+public:
+  explicit StreamingPlumeParser(Monitor &M) : M(M) {}
+
+  uint64_t committedTxns() const override { return Committed; }
+  /// Plume has no explicit commit marker: a trailing open transaction is
+  /// committed (or aborted) by atEnd(), so the stream is never "inside"
+  /// one.
+  bool hasOpenTxn() const override { return false; }
+
+protected:
+  bool processLine(std::string_view Line, std::string *Err) override;
+  bool atEnd(std::string *Err) override;
+
+private:
+  bool closeOpen();
+
+  Monitor &M;
+  size_t NumSessions = 0;
+  bool HasOpen = false;
+  bool OpenAborted = false;
+  SessionId OpenSession = 0;
+  uint64_t OpenFileTxn = 0;
+  TxnId Open = NoTxn;
+  uint64_t Committed = 0;
+};
+
+/// Parses the DBCop-style block format incrementally: a `sessions <k>`
+/// header, then `txn <session> <0|1> <numops>` blocks followed by exactly
+/// numops `R <key> <value>` / `W <key> <value>` lines. The commit decision
+/// is declared up front, so a block closes the moment its last operation
+/// arrives.
+class StreamingDbcopParser final : public LineStreamParser {
+public:
+  explicit StreamingDbcopParser(Monitor &M) : M(M) {}
+
+  uint64_t committedTxns() const override { return Committed; }
+  bool hasOpenTxn() const override { return OpsLeft != 0; }
+
+protected:
+  bool processLine(std::string_view Line, std::string *Err) override;
+  bool atEnd(std::string *Err) override;
+
+private:
+  Monitor &M;
+  bool SeenHeader = false;
+  size_t DeclaredSessions = 0;
+  TxnId Open = NoTxn;
+  bool OpenCommits = false;
+  size_t OpsLeft = 0;
+  uint64_t Committed = 0;
+};
+
+/// Creates the streaming parser for \p Format ("native", "plume",
+/// "dbcop"); nullptr for an unknown format.
+std::unique_ptr<StreamParser> makeStreamParser(const std::string &Format,
+                                               Monitor &M);
 
 } // namespace awdit
 

@@ -1,0 +1,64 @@
+//===- io/token_util.h - Shared line-tokenizing helpers ----------*- C++ -*-===//
+//
+// Part of the AWDIT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The tokenizing primitives every history-format parser uses — batch and
+/// streaming alike — so the native/dbcop whitespace grammar and the plume
+/// CSV grammar each live in exactly one place.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AWDIT_IO_TOKEN_UTIL_H
+#define AWDIT_IO_TOKEN_UTIL_H
+
+#include <charconv>
+#include <string_view>
+#include <vector>
+
+namespace awdit::io {
+
+/// Splits \p Line on runs of spaces/tabs (the native and dbcop grammars).
+inline std::vector<std::string_view> tokenize(std::string_view Line) {
+  std::vector<std::string_view> Tokens;
+  size_t I = 0;
+  while (I < Line.size()) {
+    while (I < Line.size() && (Line[I] == ' ' || Line[I] == '\t'))
+      ++I;
+    size_t Start = I;
+    while (I < Line.size() && Line[I] != ' ' && Line[I] != '\t')
+      ++I;
+    if (I > Start)
+      Tokens.push_back(Line.substr(Start, I - Start));
+  }
+  return Tokens;
+}
+
+/// Splits \p Line on commas, keeping empty fields (the plume grammar).
+inline std::vector<std::string_view> splitCsv(std::string_view Line) {
+  std::vector<std::string_view> Fields;
+  size_t Pos = 0;
+  while (true) {
+    size_t Comma = Line.find(',', Pos);
+    if (Comma == std::string_view::npos) {
+      Fields.push_back(Line.substr(Pos));
+      return Fields;
+    }
+    Fields.push_back(Line.substr(Pos, Comma - Pos));
+    Pos = Comma + 1;
+  }
+}
+
+/// Parses the whole token as an integer; false on any trailing garbage.
+template <typename IntT>
+bool parseInt(std::string_view Token, IntT &Out) {
+  auto [Ptr, Ec] =
+      std::from_chars(Token.data(), Token.data() + Token.size(), Out);
+  return Ec == std::errc() && Ptr == Token.data() + Token.size();
+}
+
+} // namespace awdit::io
+
+#endif // AWDIT_IO_TOKEN_UTIL_H

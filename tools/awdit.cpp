@@ -11,7 +11,8 @@
 ///
 /// \code
 ///   awdit check <file> --level rc|ra|cc [--format native|plume|dbcop]
-///   awdit monitor <file|-> --level rc|ra|cc [--interval N] [--window N]
+///   awdit monitor <file|-> --level rc|ra|cc [--format native|plume|dbcop]
+///       [--interval N] [--window N] [--window-age T] [--force-abort T]
 ///   awdit stats <file> [--format ...]
 ///   awdit generate --bench c-twitter --sessions 50 --txns 1000 ...
 ///       --mode causal --seed 7 --out history.txt [--inject <anomaly>]
@@ -34,11 +35,13 @@
 #include "support/thread_pool.h"
 #include "workload/generator.h"
 
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -115,10 +118,11 @@ int usage() {
       " [--json]\n"
       "  awdit batch <file>... --level rc|ra|cc|all [--format F]"
       " [--jobs N] [--witnesses N] [--json]\n"
-      "  awdit monitor <file|-> --level rc|ra|cc [--interval N]"
-      " [--window N]\n"
-      "                 [--window-edges N] [--witnesses N] [--json]"
-      "   (native format stream)\n"
+      "  awdit monitor <file|-> --level rc|ra|cc"
+      " [--format native|plume|dbcop]\n"
+      "                 [--interval N] [--window N] [--window-edges N]\n"
+      "                 [--window-age TICKS] [--force-abort TICKS]"
+      " [--witnesses N] [--json]\n"
       "  awdit stats <file> [--format native|plume|dbcop]\n"
       "  awdit generate --bench random|c-twitter|tpc-c|rubis"
       " [--sessions N] [--txns N]\n"
@@ -349,9 +353,19 @@ int cmdBatch(const std::vector<std::string> &Paths, const Flags &F) {
   return AnyError ? 2 : AnyInconsistent ? 1 : 0;
 }
 
-/// Tails a native-format history stream from a file or stdin ("-"),
-/// feeding a streaming Monitor that emits violations live — human
-/// one-liners or JSON lines — while a window bounds memory if requested.
+/// Set by the SIGINT handler of `awdit monitor`: stop reading, flush what
+/// we have, emit final stats. Installed without SA_RESTART so a blocking
+/// stdin read is interrupted instead of resumed.
+volatile std::sig_atomic_t MonitorInterrupted = 0;
+
+extern "C" void monitorSigintHandler(int) { MonitorInterrupted = 1; }
+
+/// Tails a history stream (native, plume, or dbcop format) from a file or
+/// stdin ("-"), feeding a streaming Monitor that emits violations live —
+/// human one-liners or JSON lines — while a window bounds memory if
+/// requested. EOF and SIGINT both finalize: trailing violations are
+/// flushed to the sink and the final stats line is emitted, so tail mode
+/// never drops what it already saw.
 int cmdMonitor(const std::string &Path, const Flags &F) {
   std::optional<IsolationLevel> Level =
       parseIsolationLevel(F.getOr("level", ""));
@@ -369,6 +383,8 @@ int cmdMonitor(const std::string &Path, const Flags &F) {
   Options.WindowTxns = static_cast<size_t>(numFlag(F, "window", "0"));
   Options.WindowEdges =
       static_cast<size_t>(numFlag(F, "window-edges", "0"));
+  Options.WindowAgeTicks = numFlag(F, "window-age", "0");
+  Options.ForceAbortOpenTicks = numFlag(F, "force-abort", "0");
 
   bool Json = F.get("json") != nullptr;
   JsonLinesSink JsonSink(std::cout);
@@ -378,31 +394,67 @@ int cmdMonitor(const std::string &Path, const Flags &F) {
   });
   Monitor M(Options, Json ? static_cast<ViolationSink *>(&JsonSink)
                           : static_cast<ViolationSink *>(&TextSink));
-  StreamingTextParser Parser(M);
+  std::unique_ptr<StreamParser> Parser =
+      makeStreamParser(F.getOr("format", "native"), M);
+  if (!Parser) {
+    std::fprintf(stderr, "error: unknown format '%s'\n",
+                 F.getOr("format", "native").c_str());
+    return 2;
+  }
 
   std::FILE *In = Path == "-" ? stdin : std::fopen(Path.c_str(), "rb");
   if (!In) {
     std::fprintf(stderr, "error: cannot open '%s'\n", Path.c_str());
     return 2;
   }
+
+  MonitorInterrupted = 0;
+  struct sigaction Action = {};
+  struct sigaction OldAction = {};
+  Action.sa_handler = monitorSigintHandler;
+  sigemptyset(&Action.sa_mask);
+  Action.sa_flags = 0; // no SA_RESTART: interrupt the blocking read
+  sigaction(SIGINT, &Action, &OldAction);
+
   char Buffer[1 << 16];
   std::string Err;
   bool Ok = true;
-  while (Ok) {
+  while (Ok && !MonitorInterrupted) {
     size_t N = std::fread(Buffer, 1, sizeof(Buffer), In);
     if (N == 0)
       break;
-    Ok = Parser.feed(std::string_view(Buffer, N), &Err);
+    Ok = Parser->feed(std::string_view(Buffer, N), &Err);
   }
-  if (Ok)
-    Ok = Parser.finish(&Err);
+  bool ParseError = !Ok;
+  if (Ok && !MonitorInterrupted) {
+    // The final line may lack its newline yet still hold the directive
+    // that closes the last transaction: process it before deciding
+    // whether the stream ended mid-transaction.
+    if (!Parser->flushPartialLine(&Err)) {
+      ParseError = true;
+    } else if (Parser->hasOpenTxn()) {
+      // A tailed stream can end mid-transaction; finalize() treats the
+      // open transaction as aborted instead of dropping the session.
+      std::fprintf(stderr,
+                   "note: input ended inside an open transaction "
+                   "(line %zu); treating it as aborted\n",
+                   Parser->lineNumber());
+    } else if (!Parser->finish(&Err)) {
+      ParseError = true;
+    }
+  }
+  sigaction(SIGINT, &OldAction, nullptr);
   if (In != stdin)
     std::fclose(In);
-  if (!Ok) {
+  if (ParseError)
     std::fprintf(stderr, "error: %s\n", Err.c_str());
-    return 2;
-  }
+  if (MonitorInterrupted)
+    std::fprintf(stderr, "interrupted: finalizing after %llu committed "
+                         "transactions\n",
+                 static_cast<unsigned long long>(Parser->committedTxns()));
 
+  // Always finalize: the sink gets every remaining detectable violation
+  // and the stats line reflects what was actually checked.
   CheckReport Report = M.finalize();
   const MonitorStats &S = M.stats();
   if (Json) {
@@ -420,7 +472,9 @@ int cmdMonitor(const std::string &Path, const Flags &F) {
             ",\"evicted_unresolved_reads\":" +
             std::to_string(S.EvictedUnresolvedReads) +
             ",\"evicted_writer_reads\":" +
-            std::to_string(S.EvictedWriterReads) + "}";
+            std::to_string(S.EvictedWriterReads) +
+            ",\"age_evicted_txns\":" + std::to_string(S.AgeEvictedTxns) +
+            ",\"forced_aborts\":" + std::to_string(S.ForcedAborts) + "}";
     std::printf("%s\n", Line.c_str());
   } else {
     std::printf("%s: %s after %llu txns (%llu ops, %llu violations, "
@@ -434,12 +488,22 @@ int cmdMonitor(const std::string &Path, const Flags &F) {
     if (S.EvictedTxns)
       std::printf("window: evicted %llu txns in %llu compactions "
                   "(%llu unresolved + %llu resolved reads crossed the "
-                  "horizon)\n",
+                  "horizon, %llu aged out)\n",
                   static_cast<unsigned long long>(S.EvictedTxns),
                   static_cast<unsigned long long>(S.Compactions),
                   static_cast<unsigned long long>(S.EvictedUnresolvedReads),
-                  static_cast<unsigned long long>(S.EvictedWriterReads));
+                  static_cast<unsigned long long>(S.EvictedWriterReads),
+                  static_cast<unsigned long long>(S.AgeEvictedTxns));
+    if (S.ForcedAborts)
+      std::printf("force-abort: %llu hung transactions closed after "
+                  "%llu ticks\n",
+                  static_cast<unsigned long long>(S.ForcedAborts),
+                  static_cast<unsigned long long>(
+                      Options.ForceAbortOpenTicks));
   }
+  std::fflush(stdout);
+  if (ParseError)
+    return 2;
   return Report.Consistent ? 0 : 1;
 }
 
