@@ -21,12 +21,15 @@
 #include "checker/read_consistency.h"
 #include "graph/tree_clock.h"
 #include "graph/vector_clock.h"
+#include "io/sharded_ingest.h"
+#include "io/text_format.h"
 #include "workload/generator.h"
 
 #include <benchmark/benchmark.h>
 
 #include <map>
 #include <memory>
+#include <string>
 
 using namespace awdit;
 
@@ -387,6 +390,34 @@ static void BM_MonitorFlushScalingCc(benchmark::State &State) {
                           TailOps);
 }
 BENCHMARK(BM_MonitorFlushScalingCc)->Arg(4096)->Arg(16384)->Arg(65536);
+
+// Sharded stream ingest: the `awdit monitor --threads N` hot path — raw
+// text through the pipeline (line split -> sharded tokenization -> ordered
+// apply) at a realistic cadence. Arg: thread count; 1 is the legacy
+// synchronous path, the baseline the multi-core runs are compared to.
+// Output is bit-identical at every thread count (enforced by
+// tests/test_sharded_monitor.cpp), so this measures pure ingest
+// throughput. Note: multi-core gains only show on multi-core machines.
+static void BM_MonitorShardedIngest(benchmark::State &State) {
+  const History &H = cachedHistory(16384);
+  static const std::string Text = writeTextHistory(H);
+  unsigned Threads = static_cast<unsigned>(State.range(0));
+  for (auto _ : State) {
+    MonitorOptions Options;
+    Options.Level = IsolationLevel::CausalConsistency;
+    Options.Check.MaxWitnesses = 1;
+    Options.CheckIntervalTxns = 256;
+    Monitor M(Options);
+    ShardedMonitorIngest Ingest(M, "native", Threads);
+    constexpr size_t Chunk = 1 << 16;
+    for (size_t Pos = 0; Pos < Text.size(); Pos += Chunk)
+      Ingest.feed(std::string_view(Text).substr(Pos, Chunk));
+    Ingest.finishStream();
+    benchmark::DoNotOptimize(M.finalize());
+  }
+  reportOps(State, H);
+}
+BENCHMARK(BM_MonitorShardedIngest)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 
 // End-to-end facade throughput (what the CLI pays per history).
 static void BM_FacadeAllLevels(benchmark::State &State) {

@@ -10,6 +10,12 @@ when present, otherwise inverse real_time (higher is better for both).
 Benchmarks present in only one file are reported but never fail the run
 (benches come and go across commits); a matched benchmark whose throughput
 dropped by more than the threshold fails the run with exit code 1.
+
+A baseline that cannot be parsed (a truncated artifact, a run that died
+mid-write, a schema from another tool) is not this change's fault: the
+comparison is skipped with exit code 0 and a note, exactly like a missing
+baseline. The *current* results failing to parse is this build's problem
+and still fails the run.
 """
 
 import argparse
@@ -43,8 +49,17 @@ def main():
                         help="only compare benchmarks matching this regex")
     args = parser.parse_args()
 
-    base = load(args.baseline)
+    try:
+        base = load(args.baseline)
+    except (OSError, ValueError, KeyError, TypeError) as exc:
+        print(f"skipping comparison: baseline '{args.baseline}' is not "
+              f"usable benchmark JSON ({exc})")
+        return 0
     cur = load(args.current)
+    if not base:
+        print(f"skipping comparison: baseline '{args.baseline}' contains "
+              f"no benchmark entries")
+        return 0
     pattern = re.compile(args.filter) if args.filter else None
 
     failed = []

@@ -1,0 +1,107 @@
+//===- checker/checkpoint.h - Persistent monitor checkpoints -----*- C++ -*-===//
+//
+// Part of the AWDIT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Persistent checkpoints for the streaming Monitor: a versioned binary
+/// snapshot of the complete monitoring state — the live window, the
+/// incremental wr resolution, the saturation engine (including its dynamic
+/// topological order, verbatim), the exactly-once delivery state, the
+/// format parser's machine state, and the byte offset of the stream — so
+/// `awdit monitor --resume <dir>` can restart mid-stream and emit exactly
+/// the violations a never-killed monitor would have emitted after the
+/// checkpoint (enforced by tests/test_checkpoint.cpp and the CI
+/// kill-and-resume smoke).
+///
+/// On-disk format (all integers little-endian):
+///
+///   [u32 magic "AWCP"] [u32 version] [u64 payload size] [u64 FNV-1a
+///   checksum of payload] [payload]
+///
+///   payload := meta (format string, MonitorOptions, stream cursor)
+///            | machine-state blob (length-prefixed, format-specific)
+///            | monitor-state blob (Monitor::saveState)
+///
+/// Compatibility policy: the version bumps on any layout change; a reader
+/// only accepts its own version (checkpoints are operational state, not
+/// archival data — a monitor restart across an awdit upgrade re-reads the
+/// stream instead). Truncated or corrupted files fail with a clear error,
+/// never UB: every count is bounds-checked against the remaining payload
+/// and the checksum covers the whole payload. Writes go to a temp file
+/// first and rename() into place, so a kill mid-write leaves the previous
+/// checkpoint intact.
+///
+/// The monitor/machine serialization lives with the classes themselves
+/// (Monitor::saveState, StreamMachine::saveState); this header owns the
+/// envelope, the meta block, and the file I/O.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AWDIT_CHECKER_CHECKPOINT_H
+#define AWDIT_CHECKER_CHECKPOINT_H
+
+#include "checker/monitor.h"
+
+#include <string>
+#include <string_view>
+
+namespace awdit {
+
+/// The checkpoint envelope version this build writes and reads.
+inline constexpr uint32_t CheckpointVersion = 1;
+
+/// Everything a resume needs before (and besides) the monitor state
+/// itself: how the monitor was configured, which format the stream is in,
+/// and where in the stream the snapshot was taken.
+struct CheckpointMeta {
+  /// Stream format: "native", "plume", or "dbcop".
+  std::string Format;
+  /// The monitor configuration at checkpoint time. A resume must run with
+  /// exactly these options — the CLI rejects incompatible flags.
+  MonitorOptions Options;
+  /// Bytes of the stream fully applied; resume seeks here.
+  uint64_t StreamOffset = 0;
+  /// 1-based number of the last applied line.
+  uint64_t LineNo = 0;
+  /// Committed transactions applied so far.
+  uint64_t CommittedTxns = 0;
+  /// Checking passes run so far.
+  uint64_t Flushes = 0;
+};
+
+/// Serializes \p M plus the format machine state \p MachineState (opaque
+/// bytes from StreamMachine::saveState) under \p Meta into one framed,
+/// checksummed checkpoint blob.
+std::string encodeCheckpoint(const Monitor &M, std::string_view MachineState,
+                             const CheckpointMeta &Meta);
+
+/// Validates the envelope (magic, version, size, checksum) and parses the
+/// meta block. Cheap relative to a full restore; the CLI uses it to check
+/// flag compatibility before constructing the monitor.
+bool decodeCheckpointMeta(std::string_view Blob, CheckpointMeta &Meta,
+                          std::string *Err);
+
+/// Restores the full state into \p M (freshly constructed with
+/// Meta.Options) and hands back the machine-state bytes for
+/// StreamMachine::loadState. Validates the envelope again — callers may
+/// skip decodeCheckpointMeta.
+bool restoreCheckpoint(std::string_view Blob, Monitor &M,
+                       std::string &MachineState, std::string *Err);
+
+/// The checkpoint file inside \p Dir.
+std::string checkpointFilePath(const std::string &Dir);
+
+/// Writes \p Blob atomically (temp file + rename) as \p Dir's checkpoint,
+/// creating \p Dir if needed.
+bool writeCheckpointFile(const std::string &Dir, std::string_view Blob,
+                         std::string *Err);
+
+/// Reads \p Dir's checkpoint file into \p Blob.
+bool readCheckpointFile(const std::string &Dir, std::string &Blob,
+                        std::string *Err);
+
+} // namespace awdit
+
+#endif // AWDIT_CHECKER_CHECKPOINT_H

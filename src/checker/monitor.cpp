@@ -5,6 +5,7 @@
 #include "checker/check_ra.h"
 #include "checker/read_consistency.h"
 #include "support/assert.h"
+#include "support/serialize.h"
 
 #include <algorithm>
 
@@ -719,4 +720,445 @@ std::string Monitor::describe(const Violation &V) const {
   if (V.Other != NoTxn)
     Out += " (writer " + txnLabel(V.Other) + ")";
   return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Persistent checkpoints: verbatim serialization of the monitoring state.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void saveViolation(ByteWriter &W, const Violation &V) {
+  W.u8(static_cast<uint8_t>(V.Kind));
+  W.u32(V.T);
+  W.u32(V.OpIndex);
+  W.u32(V.Other);
+  W.u64(V.Cycle.size());
+  for (const WitnessEdge &E : V.Cycle) {
+    W.u32(E.From);
+    W.u32(E.To);
+    W.u8(static_cast<uint8_t>(E.Kind));
+  }
+}
+
+bool loadViolation(ByteReader &R, Violation &V) {
+  V.Kind = static_cast<ViolationKind>(R.u8());
+  V.T = R.u32();
+  V.OpIndex = R.u32();
+  V.Other = R.u32();
+  uint64_t Len = R.u64();
+  if (!R.checkCount(Len, 9))
+    return false;
+  V.Cycle.resize(Len);
+  for (uint64_t I = 0; I < Len; ++I) {
+    V.Cycle[I].From = R.u32();
+    V.Cycle[I].To = R.u32();
+    V.Cycle[I].Kind = static_cast<EdgeKind>(R.u8());
+  }
+  return R.ok();
+}
+
+template <typename Container>
+void saveU32Sequence(ByteWriter &W, const Container &C) {
+  W.u64(C.size());
+  for (uint32_t V : C)
+    W.u32(V);
+}
+
+} // namespace
+
+void Monitor::saveState(ByteWriter &W) const {
+  AWDIT_ASSERT(!Finalized, "saveState: monitor already finalized");
+
+  // The live window.
+  W.u64(Live.Txns.size());
+  for (const Transaction &T : Live.Txns) {
+    W.u32(T.Session);
+    W.u32(T.SoIndex);
+    W.boolean(T.Committed);
+    W.u64(T.Ops.size());
+    for (const Operation &Op : T.Ops) {
+      W.u8(static_cast<uint8_t>(Op.Kind));
+      W.u64(Op.K);
+      W.i64(Op.V);
+    }
+    W.u64(T.Reads.size());
+    for (const ReadInfo &RI : T.Reads) {
+      W.u32(RI.OpIndex);
+      W.u64(RI.K);
+      W.i64(RI.V);
+      W.u32(RI.Writer);
+      W.u32(RI.WriterOp);
+    }
+    saveU32Sequence(W, T.ExtReads);
+    W.u64(T.WriteKeys.size());
+    for (Key K : T.WriteKeys)
+      W.u64(K);
+    saveU32Sequence(W, T.ReadFroms);
+  }
+  W.u64(Live.Sessions.size());
+  for (const std::vector<TxnId> &Sess : Live.Sessions)
+    saveU32Sequence(W, Sess);
+  W.u64(Live.TotalOps);
+  W.u64(Live.CommittedCount);
+  // Live.KeyCount is rebuilt with the key universe on load.
+
+  W.u32(Base);
+  for (const TxnMeta &TM : Meta) {
+    W.boolean(TM.Open);
+    W.boolean(TM.Deferred);
+    W.u64(TM.Ts);
+  }
+
+  Saturation.saveState(W);
+
+  saveU32Sequence(W, AdoptedReady);
+  W.boolean(AdoptedIndexPending);
+
+  // wr resolution: the write-site index, sorted by (key, value).
+  {
+    std::vector<std::pair<KeyValue, WriteSite>> Sorted;
+    Sorted.reserve(Writes.size());
+    Writes.forEach([&](const KeyValue &KV, const WriteSite &Site) {
+      Sorted.emplace_back(KV, Site);
+    });
+    std::sort(Sorted.begin(), Sorted.end(),
+              [](const auto &A, const auto &B) {
+                return A.first.K != B.first.K ? A.first.K < B.first.K
+                                              : A.first.V < B.first.V;
+              });
+    W.u64(Sorted.size());
+    for (const auto &[KV, Site] : Sorted) {
+      W.u64(KV.K);
+      W.i64(KV.V);
+      W.u32(Site.T);
+      W.u32(Site.Op);
+    }
+  }
+
+  // Pending (unresolved) reads, sorted by (key, value); waiter lists
+  // verbatim.
+  {
+    std::vector<const std::pair<const KeyValue,
+                                std::vector<std::pair<TxnId, uint32_t>>> *>
+        Sorted;
+    Sorted.reserve(PendingReads.size());
+    for (const auto &Entry : PendingReads)
+      Sorted.push_back(&Entry);
+    std::sort(Sorted.begin(), Sorted.end(), [](const auto *A, const auto *B) {
+      return A->first.K != B->first.K ? A->first.K < B->first.K
+                                      : A->first.V < B->first.V;
+    });
+    W.u64(Sorted.size());
+    for (const auto *Entry : Sorted) {
+      W.u64(Entry->first.K);
+      W.i64(Entry->first.V);
+      W.u64(Entry->second.size());
+      for (const auto &[Reader, OpIdx] : Entry->second) {
+        W.u32(Reader);
+        W.u32(OpIdx);
+      }
+    }
+  }
+
+  // Close-waiters, sorted by writer; reader lists verbatim.
+  {
+    std::vector<TxnId> Writers;
+    Writers.reserve(WaitersOnClose.size());
+    for (const auto &[Writer, Readers] : WaitersOnClose)
+      Writers.push_back(Writer);
+    std::sort(Writers.begin(), Writers.end());
+    W.u64(Writers.size());
+    for (TxnId Writer : Writers) {
+      W.u32(Writer);
+      saveU32Sequence(W, WaitersOnClose.at(Writer));
+    }
+  }
+
+  {
+    std::vector<uint64_t> Sorted(EvictedWriterMask.begin(),
+                                 EvictedWriterMask.end());
+    std::sort(Sorted.begin(), Sorted.end());
+    W.u64(Sorted.size());
+    for (uint64_t V : Sorted)
+      W.u64(V);
+  }
+
+  saveU32Sequence(W, Dirty);
+  saveU32Sequence(W, OpenTxns);
+  {
+    std::vector<TxnId> Sorted(ForceAbortedIds.begin(),
+                              ForceAbortedIds.end());
+    std::sort(Sorted.begin(), Sorted.end());
+    saveU32Sequence(W, Sorted);
+  }
+
+  W.u64(SessionSoBase.size());
+  for (uint64_t V : SessionSoBase)
+    W.u64(V);
+
+  // Exactly-once delivery state: this is what makes a resumed monitor
+  // re-emit only the violations a never-stopped run would still emit.
+  {
+    std::vector<const std::string *> Sorted;
+    Sorted.reserve(ReportedFp.size());
+    for (const std::string &Fp : ReportedFp)
+      Sorted.push_back(&Fp);
+    std::sort(Sorted.begin(), Sorted.end(),
+              [](const std::string *A, const std::string *B) {
+                return *A < *B;
+              });
+    W.u64(Sorted.size());
+    for (const std::string *Fp : Sorted)
+      W.str(*Fp);
+  }
+  {
+    std::vector<TxnId> Sorted(ReportedCycleTxns.begin(),
+                              ReportedCycleTxns.end());
+    std::sort(Sorted.begin(), Sorted.end());
+    saveU32Sequence(W, Sorted);
+  }
+  W.u64(StreamReported.size());
+  for (const Violation &V : StreamReported)
+    saveViolation(W, V);
+
+  W.u64(Stats.IngestedTxns);
+  W.u64(Stats.IngestedOps);
+  W.u64(Stats.CommittedTxns);
+  W.u64(Stats.Flushes);
+  W.u64(Stats.ReportedViolations);
+  W.u64(Stats.UnresolvedReads);
+  W.u64(Stats.EvictedTxns);
+  W.u64(Stats.Compactions);
+  W.u64(Stats.EvictedUnresolvedReads);
+  W.u64(Stats.EvictedWriterReads);
+  W.u64(Stats.AgeEvictedTxns);
+  W.u64(Stats.ForcedAborts);
+
+  W.u64(CommitsSinceFlush);
+  W.u64(CurrentTime);
+  W.boolean(HasTime);
+  W.boolean(AnyViolation);
+  W.str(ErrText);
+}
+
+bool Monitor::loadState(ByteReader &R, std::string *Err) {
+  auto Fail = [&](const char *Msg) {
+    if (Err)
+      *Err = Msg;
+    return false;
+  };
+  if (Finalized || !Live.Txns.empty() || !Live.Sessions.empty())
+    return Fail("checkpoint restore requires a pristine monitor");
+
+  uint64_t NumTxns = R.u64();
+  if (!R.checkCount(NumTxns, 16))
+    return Fail("corrupted checkpoint (transaction count)");
+  Live.Txns.resize(NumTxns);
+  for (uint64_t I = 0; I < NumTxns && R.ok(); ++I) {
+    Transaction &T = Live.Txns[I];
+    T.Session = R.u32();
+    T.SoIndex = R.u32();
+    T.Committed = R.boolean();
+    uint64_t NumOps = R.u64();
+    if (!R.checkCount(NumOps, 17))
+      return Fail("corrupted checkpoint (operation count)");
+    T.Ops.resize(NumOps);
+    for (Operation &Op : T.Ops) {
+      Op.Kind = static_cast<OpKind>(R.u8());
+      Op.K = R.u64();
+      Op.V = R.i64();
+    }
+    uint64_t NumReads = R.u64();
+    if (!R.checkCount(NumReads, 28))
+      return Fail("corrupted checkpoint (read count)");
+    T.Reads.resize(NumReads);
+    for (ReadInfo &RI : T.Reads) {
+      RI.OpIndex = R.u32();
+      RI.K = R.u64();
+      RI.V = R.i64();
+      RI.Writer = R.u32();
+      RI.WriterOp = R.u32();
+    }
+    uint64_t NumExt = R.u64();
+    if (!R.checkCount(NumExt, 4))
+      return Fail("corrupted checkpoint (external reads)");
+    T.ExtReads.resize(NumExt);
+    for (uint32_t &E : T.ExtReads)
+      E = R.u32();
+    uint64_t NumWk = R.u64();
+    if (!R.checkCount(NumWk, 8))
+      return Fail("corrupted checkpoint (write keys)");
+    T.WriteKeys.resize(NumWk);
+    for (Key &K : T.WriteKeys)
+      K = R.u64();
+    uint64_t NumRf = R.u64();
+    if (!R.checkCount(NumRf, 4))
+      return Fail("corrupted checkpoint (read-froms)");
+    T.ReadFroms.resize(NumRf);
+    for (TxnId &F : T.ReadFroms)
+      F = R.u32();
+  }
+
+  uint64_t NumSessions = R.u64();
+  if (!R.checkCount(NumSessions, 8))
+    return Fail("corrupted checkpoint (session count)");
+  Live.Sessions.resize(NumSessions);
+  for (uint64_t S = 0; S < NumSessions && R.ok(); ++S) {
+    uint64_t Len = R.u64();
+    if (!R.checkCount(Len, 4))
+      return Fail("corrupted checkpoint (session list)");
+    Live.Sessions[S].resize(Len);
+    for (TxnId &T : Live.Sessions[S])
+      T = R.u32();
+  }
+  Live.TotalOps = R.u64();
+  Live.CommittedCount = R.u64();
+
+  Base = R.u32();
+  Meta.resize(NumTxns);
+  for (TxnMeta &TM : Meta) {
+    TM.Open = R.boolean();
+    TM.Deferred = R.boolean();
+    TM.Ts = R.u64();
+  }
+
+  if (!R.ok())
+    return Fail("truncated checkpoint (window)");
+  if (!Saturation.loadState(R, Err))
+    return false;
+
+  uint64_t NumAdopted = R.u64();
+  if (!R.checkCount(NumAdopted, 4))
+    return Fail("corrupted checkpoint (adopted list)");
+  AdoptedReady.resize(NumAdopted);
+  for (TxnId &T : AdoptedReady)
+    T = R.u32();
+  AdoptedIndexPending = R.boolean();
+
+  uint64_t NumWrites = R.u64();
+  if (!R.checkCount(NumWrites, 24))
+    return Fail("corrupted checkpoint (write index)");
+  for (uint64_t I = 0; I < NumWrites; ++I) {
+    Key K = R.u64();
+    Value V = R.i64();
+    TxnId T = R.u32();
+    uint32_t Op = R.u32();
+    if (R.ok() && !Writes.record(K, V, T, Op))
+      return Fail("corrupted checkpoint (duplicate write-site entry)");
+  }
+
+  uint64_t NumPending = R.u64();
+  if (!R.checkCount(NumPending, 24))
+    return Fail("corrupted checkpoint (pending reads)");
+  for (uint64_t I = 0; I < NumPending && R.ok(); ++I) {
+    Key K = R.u64();
+    Value V = R.i64();
+    uint64_t Len = R.u64();
+    if (!R.checkCount(Len, 8))
+      return Fail("corrupted checkpoint (pending-read list)");
+    std::vector<std::pair<TxnId, uint32_t>> Waiters(Len);
+    for (auto &[Reader, OpIdx] : Waiters) {
+      Reader = R.u32();
+      OpIdx = R.u32();
+    }
+    PendingReads.emplace(KeyValue{K, V}, std::move(Waiters));
+  }
+
+  uint64_t NumWaiters = R.u64();
+  if (!R.checkCount(NumWaiters, 12))
+    return Fail("corrupted checkpoint (close-waiters)");
+  for (uint64_t I = 0; I < NumWaiters && R.ok(); ++I) {
+    TxnId Writer = R.u32();
+    uint64_t Len = R.u64();
+    if (!R.checkCount(Len, 4))
+      return Fail("corrupted checkpoint (close-waiter list)");
+    std::vector<TxnId> Readers(Len);
+    for (TxnId &Reader : Readers)
+      Reader = R.u32();
+    WaitersOnClose.emplace(Writer, std::move(Readers));
+  }
+
+  uint64_t NumMask = R.u64();
+  if (!R.checkCount(NumMask, 8))
+    return Fail("corrupted checkpoint (evicted-writer mask)");
+  for (uint64_t I = 0; I < NumMask; ++I)
+    EvictedWriterMask.insert(R.u64());
+
+  auto LoadTxnSet = [&](std::set<TxnId> &Set) {
+    uint64_t Len = R.u64();
+    if (!R.checkCount(Len, 4))
+      return false;
+    for (uint64_t I = 0; I < Len; ++I)
+      Set.insert(R.u32());
+    return true;
+  };
+  if (!LoadTxnSet(Dirty))
+    return Fail("corrupted checkpoint (dirty set)");
+  if (!LoadTxnSet(OpenTxns))
+    return Fail("corrupted checkpoint (open set)");
+  uint64_t NumForced = R.u64();
+  if (!R.checkCount(NumForced, 4))
+    return Fail("corrupted checkpoint (force-aborted set)");
+  for (uint64_t I = 0; I < NumForced; ++I)
+    ForceAbortedIds.insert(R.u32());
+
+  uint64_t NumSoBase = R.u64();
+  if (!R.checkCount(NumSoBase, 8))
+    return Fail("corrupted checkpoint (session bases)");
+  SessionSoBase.resize(NumSoBase);
+  for (uint64_t &V : SessionSoBase)
+    V = R.u64();
+
+  uint64_t NumFp = R.u64();
+  if (!R.checkCount(NumFp, 8))
+    return Fail("corrupted checkpoint (delivery fingerprints)");
+  for (uint64_t I = 0; I < NumFp && R.ok(); ++I)
+    ReportedFp.insert(R.str());
+  uint64_t NumCycleTxns = R.u64();
+  if (!R.checkCount(NumCycleTxns, 4))
+    return Fail("corrupted checkpoint (cycle-txn set)");
+  for (uint64_t I = 0; I < NumCycleTxns; ++I)
+    ReportedCycleTxns.insert(R.u32());
+  uint64_t NumReported = R.u64();
+  if (!R.checkCount(NumReported, 13))
+    return Fail("corrupted checkpoint (reported violations)");
+  StreamReported.resize(NumReported);
+  for (Violation &V : StreamReported)
+    if (!loadViolation(R, V))
+      return Fail("corrupted checkpoint (violation record)");
+
+  Stats.IngestedTxns = R.u64();
+  Stats.IngestedOps = R.u64();
+  Stats.CommittedTxns = R.u64();
+  Stats.Flushes = R.u64();
+  Stats.ReportedViolations = R.u64();
+  Stats.UnresolvedReads = R.u64();
+  Stats.EvictedTxns = R.u64();
+  Stats.Compactions = R.u64();
+  Stats.EvictedUnresolvedReads = R.u64();
+  Stats.EvictedWriterReads = R.u64();
+  Stats.AgeEvictedTxns = R.u64();
+  Stats.ForcedAborts = R.u64();
+
+  CommitsSinceFlush = R.u64();
+  CurrentTime = R.u64();
+  HasTime = R.boolean();
+  AnyViolation = R.boolean();
+  ErrText = R.str();
+
+  if (!R.ok())
+    return Fail("truncated checkpoint (monitor state)");
+
+  // Derived state not worth serializing: the key universe of the window.
+  for (const Transaction &T : Live.Txns)
+    for (const Operation &Op : T.Ops)
+      Keys.insert(Op.K);
+  Live.KeyCount = Keys.size();
+
+  // Structural sanity: counts that must agree for the monitor to be usable.
+  if (Meta.size() != Live.Txns.size() ||
+      SessionSoBase.size() != Live.Sessions.size())
+    return Fail("inconsistent checkpoint (structure mismatch)");
+  return true;
 }

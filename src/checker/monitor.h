@@ -51,6 +51,9 @@
 
 namespace awdit {
 
+class ByteWriter;
+class ByteReader;
+
 /// Options of one monitoring session.
 struct MonitorOptions {
   /// The isolation level to monitor.
@@ -233,6 +236,10 @@ public:
   /// True once any violation has been reported.
   bool hadViolation() const { return AnyViolation; }
 
+  /// Checking passes run so far (cheap; the sharded ingest pipeline polls
+  /// this after every applied event to detect flush boundaries).
+  uint64_t flushCount() const { return Stats.Flushes; }
+
   /// Set when an ingestion-level error occurred (duplicate write).
   const std::string &errorText() const { return ErrText; }
 
@@ -245,6 +252,22 @@ public:
 
   /// Renders a violation (in monitor ids) as a one-line description.
   std::string describe(const Violation &V) const;
+
+  // --- Persistent checkpoints (checker/checkpoint.h). ---
+
+  /// Serializes the complete monitoring state — live window, wr
+  /// resolution, saturation engine, exactly-once delivery state, stats —
+  /// so a restored monitor continues the stream emitting exactly the
+  /// violations a never-stopped monitor would have emitted from this
+  /// point on. Unordered containers are written in sorted order, so the
+  /// bytes are canonical for a given state. Must not be finalized.
+  void saveState(ByteWriter &W) const;
+
+  /// Restores saveState() bytes into a freshly constructed monitor (same
+  /// MonitorOptions, in particular the same Level). Returns false with a
+  /// message in \p Err on corrupted or incompatible input; the monitor is
+  /// unusable afterwards.
+  bool loadState(ByteReader &R, std::string *Err);
 
 private:
   struct TxnMeta {

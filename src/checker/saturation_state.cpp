@@ -6,6 +6,7 @@
 #include "checker/commit_graph.h"
 #include "graph/topo_sort.h"
 #include "support/assert.h"
+#include "support/serialize.h"
 
 #include <algorithm>
 #include <optional>
@@ -101,8 +102,8 @@ bool SaturationState::baseReaches(uint32_t SrcNode, uint32_t DstNode) const {
     uint32_t U = Stack.back();
     Stack.pop_back();
     for (uint32_t W : Order.succs(U)) {
-      auto It = Edges.find(pack(U, W));
-      if (It == Edges.end() || It->second.Base == 0)
+      const EdgeRefs *Refs = Edges.find(pack(U, W));
+      if (!Refs || Refs->Base == 0)
         continue;
       if (W == DstNode)
         return true;
@@ -151,8 +152,8 @@ void SaturationState::insertLive(const History &H, uint64_t Packed,
     bool Evicted = false;
     for (size_t I = 0; I + 1 < Path.size() && !Evicted; ++I) {
       uint64_t OnPath = pack(Path[I], Path[I + 1]);
-      auto It = Edges.find(OnPath);
-      if (It != Edges.end() && It->second.Base == 0) {
+      const EdgeRefs *OnPathRefs = Edges.find(OnPath);
+      if (OnPathRefs && OnPathRefs->Base == 0) {
         Order.removeEdge(Path[I], Path[I + 1]);
         Quarantined.insert(OnPath);
         Evicted = true;
@@ -169,17 +170,17 @@ void SaturationState::insertLive(const History &H, uint64_t Packed,
 }
 
 void SaturationState::removeLive(uint64_t Packed, bool IsBase) {
-  auto It = Edges.find(Packed);
-  AWDIT_ASSERT(It != Edges.end(), "removeLive: unknown edge");
+  EdgeRefs *Refs = Edges.find(Packed);
+  AWDIT_ASSERT(Refs != nullptr, "removeLive: unknown edge");
   if (IsBase) {
-    --It->second.Base;
+    --Refs->Base;
   } else {
-    if (--It->second.Inferred == 0)
+    if (--Refs->Inferred == 0)
       --InferredDistinct;
   }
-  if (It->second.Base + It->second.Inferred > 0)
+  if (Refs->Base + Refs->Inferred > 0)
     return;
-  Edges.erase(It);
+  Edges.erase(Packed);
   if (Quarantined.erase(Packed))
     return;
   if (EngineMode == Mode::Streaming)
@@ -228,8 +229,8 @@ void SaturationState::maybeClearBaseCyclic() {
   if (!BaseCyclic)
     return;
   for (uint64_t Packed : Quarantined) {
-    auto It = Edges.find(Packed);
-    if (It != Edges.end() && It->second.Base > 0)
+    const EdgeRefs *Refs = Edges.find(Packed);
+    if (Refs && Refs->Base > 0)
       return; // a base edge is still out of the order: still cyclic
   }
   // The so ∪ wr cycle is gone (its edges were evicted or replaced);
@@ -577,9 +578,10 @@ bool SaturationState::finalizeAcyclic(const History &H,
       Co.inferEdge(edgeFrom(Packed), edgeTo(Packed));
     S.Buf.clear();
   }
-  for (const auto &[Packed, Refs] : Edges)
+  Edges.forEach([&](uint64_t Packed, const EdgeRefs &Refs) {
     if (Refs.Inferred > 0)
       Co.inferEdge(edgeFrom(Packed), edgeTo(Packed));
+  });
   if (Stats) {
     Stats->InferredEdges = Co.numInferredEdges();
     Stats->GraphEdges = Co.numEdges();
@@ -766,4 +768,251 @@ void SaturationState::compact(const History &H, TxnId Cut) {
     It = Edges.count(*It) ? std::next(It) : Quarantined.erase(It);
 
   maybeClearBaseCyclic();
+}
+
+//===----------------------------------------------------------------------===//
+// Checkpoint support: verbatim serialization of the streaming state.
+//===----------------------------------------------------------------------===//
+
+void SaturationState::saveState(ByteWriter &W) const {
+  AWDIT_ASSERT(EngineMode == Mode::Streaming,
+               "saveState: only streaming state checkpoints");
+  W.u8(static_cast<uint8_t>(Level));
+  W.u64(NumSessions);
+  W.boolean(BaseCyclic);
+  W.boolean(NeedsFullHbRecompute);
+
+  Order.saveState(W);
+
+  // Edge refcounts, sorted by packed key for canonical bytes (iteration
+  // order of the live table never influences behavior in streaming mode).
+  {
+    std::vector<std::pair<uint64_t, EdgeRefs>> Sorted;
+    Sorted.reserve(Edges.size());
+    Edges.forEach([&](uint64_t Packed, const EdgeRefs &Refs) {
+      Sorted.emplace_back(Packed, Refs);
+    });
+    std::sort(Sorted.begin(), Sorted.end(),
+              [](const auto &A, const auto &B) { return A.first < B.first; });
+    W.u64(Sorted.size());
+    for (const auto &[Packed, Refs] : Sorted) {
+      W.u64(Packed);
+      W.u32(Refs.Base);
+      W.u32(Refs.Inferred);
+    }
+  }
+
+  // Source-tagged edge lists: sorted by source key; each list verbatim
+  // (list order is replay order during eviction compaction).
+  {
+    std::vector<uint64_t> Sources;
+    Sources.reserve(BySource.size());
+    for (const auto &[Source, List] : BySource)
+      Sources.push_back(Source);
+    std::sort(Sources.begin(), Sources.end());
+    W.u64(Sources.size());
+    for (uint64_t Source : Sources) {
+      const std::vector<uint64_t> &List = BySource.at(Source);
+      W.u64(Source);
+      W.u64(List.size());
+      for (uint64_t Packed : List)
+        W.u64(Packed);
+    }
+  }
+
+  {
+    std::vector<uint64_t> Sorted(Quarantined.begin(), Quarantined.end());
+    std::sort(Sorted.begin(), Sorted.end());
+    W.u64(Sorted.size());
+    for (uint64_t Packed : Sorted)
+      W.u64(Packed);
+  }
+
+  W.u64(Processed.size());
+  for (uint8_t P : Processed)
+    W.u8(P);
+
+  W.u64(ReadersOf.size());
+  for (const std::vector<TxnId> &Readers : ReadersOf) {
+    W.u64(Readers.size());
+    for (TxnId R : Readers)
+      W.u32(R);
+  }
+
+  W.u64(HbStride);
+  W.u64(HbRows.size());
+  for (uint32_t V : HbRows)
+    W.u32(V);
+
+  // Per-key writer index: sorted by key; slot order (session discovery
+  // order) and list order are semantic — verbatim.
+  {
+    std::vector<Key> SortedKeys;
+    SortedKeys.reserve(Writers.size());
+    for (const auto &[K, KW] : Writers)
+      SortedKeys.push_back(K);
+    std::sort(SortedKeys.begin(), SortedKeys.end());
+    W.u64(SortedKeys.size());
+    for (Key K : SortedKeys) {
+      const KeyWriters &KW = Writers.at(K);
+      W.u64(K);
+      W.u64(KW.Sessions.size());
+      for (size_t Slot = 0; Slot < KW.Sessions.size(); ++Slot) {
+        W.u32(KW.Sessions[Slot]);
+        const std::vector<detail::CcWriterEntry> &List = KW.Lists[Slot];
+        W.u64(List.size());
+        for (const detail::CcWriterEntry &E : List) {
+          W.u32(E.T);
+          W.u32(E.SoIndex);
+        }
+      }
+    }
+  }
+
+  // RA incremental state. The per-transaction halves of the scratch are
+  // reset by the kernel before use; only LastWrite and the frontier
+  // persist across flushes.
+  W.u64(RaStates.size());
+  for (const RaSessionState &St : RaStates) {
+    W.u64(St.NextSo);
+    W.boolean(St.NeedsFullRerun);
+    std::vector<std::pair<Key, TxnId>> Sorted(St.Scratch.LastWrite.begin(),
+                                              St.Scratch.LastWrite.end());
+    std::sort(Sorted.begin(), Sorted.end());
+    W.u64(Sorted.size());
+    for (const auto &[K, T] : Sorted) {
+      W.u64(K);
+      W.u32(T);
+    }
+  }
+}
+
+bool SaturationState::loadState(ByteReader &R, std::string *Err) {
+  auto Fail = [&](const char *Msg) {
+    if (Err)
+      *Err = Msg;
+    return false;
+  };
+  if (EngineMode != Mode::Streaming)
+    return Fail("checkpoint restore requires a streaming-mode engine");
+  if (R.u8() != static_cast<uint8_t>(Level))
+    return Fail("checkpoint isolation level does not match this monitor");
+  NumSessions = R.u64();
+  BaseCyclic = R.boolean();
+  NeedsFullHbRecompute = R.boolean();
+
+  if (!Order.loadState(R))
+    return Fail("corrupted checkpoint (topological order)");
+
+  Edges.clear();
+  InferredDistinct = 0;
+  uint64_t NumEdges = R.u64();
+  if (!R.checkCount(NumEdges, 16))
+    return Fail("corrupted checkpoint (edge count)");
+  for (uint64_t I = 0; I < NumEdges; ++I) {
+    uint64_t Packed = R.u64();
+    EdgeRefs Refs;
+    Refs.Base = R.u32();
+    Refs.Inferred = R.u32();
+    Edges[Packed] = Refs;
+    if (Refs.Inferred > 0)
+      ++InferredDistinct;
+  }
+
+  BySource.clear();
+  uint64_t NumSources = R.u64();
+  if (!R.checkCount(NumSources, 16))
+    return Fail("corrupted checkpoint (source count)");
+  for (uint64_t I = 0; I < NumSources && R.ok(); ++I) {
+    uint64_t Source = R.u64();
+    uint64_t Len = R.u64();
+    if (!R.checkCount(Len, 8))
+      return Fail("corrupted checkpoint (source list)");
+    std::vector<uint64_t> List(Len);
+    for (uint64_t J = 0; J < Len; ++J)
+      List[J] = R.u64();
+    BySource.emplace(Source, std::move(List));
+  }
+
+  Quarantined.clear();
+  uint64_t NumQuarantined = R.u64();
+  if (!R.checkCount(NumQuarantined, 8))
+    return Fail("corrupted checkpoint (quarantine)");
+  for (uint64_t I = 0; I < NumQuarantined; ++I)
+    Quarantined.insert(R.u64());
+
+  uint64_t NumProcessed = R.u64();
+  if (!R.checkCount(NumProcessed, 1))
+    return Fail("corrupted checkpoint (processed flags)");
+  Processed.resize(NumProcessed);
+  for (uint64_t I = 0; I < NumProcessed; ++I)
+    Processed[I] = R.u8();
+
+  uint64_t NumReaders = R.u64();
+  if (!R.checkCount(NumReaders, 8))
+    return Fail("corrupted checkpoint (reader lists)");
+  ReadersOf.assign(NumReaders, {});
+  for (uint64_t I = 0; I < NumReaders && R.ok(); ++I) {
+    uint64_t Len = R.u64();
+    if (!R.checkCount(Len, 4))
+      return Fail("corrupted checkpoint (reader list)");
+    ReadersOf[I].resize(Len);
+    for (uint64_t J = 0; J < Len; ++J)
+      ReadersOf[I][J] = R.u32();
+  }
+
+  HbStride = R.u64();
+  uint64_t NumHb = R.u64();
+  if (!R.checkCount(NumHb, 4))
+    return Fail("corrupted checkpoint (happens-before rows)");
+  HbRows.resize(NumHb);
+  for (uint64_t I = 0; I < NumHb; ++I)
+    HbRows[I] = R.u32();
+
+  Writers.clear();
+  uint64_t NumKeys = R.u64();
+  if (!R.checkCount(NumKeys, 16))
+    return Fail("corrupted checkpoint (writer index)");
+  for (uint64_t I = 0; I < NumKeys && R.ok(); ++I) {
+    Key K = R.u64();
+    KeyWriters &KW = Writers[K];
+    uint64_t Slots = R.u64();
+    if (!R.checkCount(Slots, 12))
+      return Fail("corrupted checkpoint (writer slots)");
+    KW.Sessions.resize(Slots);
+    KW.Lists.assign(Slots, {});
+    for (uint64_t Slot = 0; Slot < Slots && R.ok(); ++Slot) {
+      KW.Sessions[Slot] = R.u32();
+      uint64_t Len = R.u64();
+      if (!R.checkCount(Len, 8))
+        return Fail("corrupted checkpoint (writer list)");
+      KW.Lists[Slot].resize(Len);
+      for (uint64_t J = 0; J < Len; ++J) {
+        KW.Lists[Slot][J].T = R.u32();
+        KW.Lists[Slot][J].SoIndex = R.u32();
+      }
+    }
+  }
+
+  RaStates.clear();
+  uint64_t NumRa = R.u64();
+  if (!R.checkCount(NumRa, 9))
+    return Fail("corrupted checkpoint (RA state)");
+  RaStates.resize(NumRa);
+  for (uint64_t I = 0; I < NumRa && R.ok(); ++I) {
+    RaSessionState &St = RaStates[I];
+    St.NextSo = R.u64();
+    St.NeedsFullRerun = R.boolean();
+    uint64_t Len = R.u64();
+    if (!R.checkCount(Len, 12))
+      return Fail("corrupted checkpoint (RA last-write)");
+    for (uint64_t J = 0; J < Len; ++J) {
+      Key K = R.u64();
+      St.Scratch.LastWrite[K] = R.u32();
+    }
+  }
+
+  if (!R.ok())
+    return Fail("truncated checkpoint (saturation state)");
+  return true;
 }

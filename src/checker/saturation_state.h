@@ -47,6 +47,7 @@
 #include "checker/violation.h"
 #include "graph/incremental_topo.h"
 #include "history/history.h"
+#include "support/packed_edge_map.h"
 
 #include <array>
 #include <atomic>
@@ -57,6 +58,9 @@
 #include <vector>
 
 namespace awdit {
+
+class ByteWriter;
+class ByteReader;
 
 /// The incremental saturation engine. One instance per checking session
 /// (a Monitor, one one-shot check, or one parallel check). Not thread-safe
@@ -137,6 +141,20 @@ public:
   /// level is violated; CC saturation stops — happens-before is
   /// undefined, exactly as in the batch checker).
   bool baseCyclic() const { return BaseCyclic; }
+
+  // --- Checkpoint support (streaming; checker/checkpoint.h). ---
+
+  /// Serializes every persisted streaming fact — edge refcounts, source
+  /// lists, the dynamic order (verbatim: its internal positions steer
+  /// later witness extraction), happens-before rows, writer index, RA
+  /// frontiers. Unordered containers are dumped in sorted-key order so the
+  /// bytes are canonical; list-valued state keeps its order verbatim.
+  void saveState(ByteWriter &W) const;
+
+  /// Restores a freshly constructed streaming state (same Level) from
+  /// saveState() bytes. Returns false (with \p Err set) on corrupted or
+  /// level-mismatched input.
+  bool loadState(ByteReader &R, std::string *Err);
 
 private:
   // Source tags: the unit of work that contributed an edge. Re-running a
@@ -219,7 +237,11 @@ private:
 
   /// The dynamically ordered commit relation (distinct live edges).
   IncrementalTopoOrder Order;
-  std::unordered_map<uint64_t, EdgeRefs> Edges;
+  /// Refcounts of the persisted edge set, keyed by the packed (src, dst)
+  /// pair. A flat open-addressing table: every flush hits this once or
+  /// twice per delta edge, which made node-based hashing the dominant
+  /// per-flush cost (ROADMAP follow-up from PR 3).
+  PackedEdgeMap<EdgeRefs> Edges;
   std::unordered_map<uint64_t, std::vector<uint64_t>> BySource;
   /// Edges with live references that are kept out of the order because
   /// inserting them closed a cycle (reported when first quarantined).

@@ -3,6 +3,7 @@
 #include "graph/incremental_topo.h"
 
 #include "support/assert.h"
+#include "support/serialize.h"
 
 #include <algorithm>
 
@@ -177,4 +178,55 @@ void IncrementalTopoOrder::compactPrefix(uint32_t Cut) {
   Mark.assign(Kept, 0);
   Parent.assign(Kept, 0);
   Epoch = 0;
+}
+
+//===----------------------------------------------------------------------===//
+// Checkpoint support.
+//===----------------------------------------------------------------------===//
+
+void IncrementalTopoOrder::saveState(ByteWriter &W) const {
+  size_t N = Pos.size();
+  W.u64(N);
+  for (uint32_t P : Pos)
+    W.u32(P);
+  auto SaveAdjacency = [&](const std::vector<std::vector<uint32_t>> &Lists) {
+    for (const std::vector<uint32_t> &List : Lists) {
+      W.u64(List.size());
+      for (uint32_t V : List)
+        W.u32(V);
+    }
+  };
+  SaveAdjacency(Out);
+  SaveAdjacency(In);
+}
+
+bool IncrementalTopoOrder::loadState(ByteReader &R) {
+  uint64_t N = R.u64();
+  if (!R.checkCount(N, 4))
+    return false;
+  Pos.resize(N);
+  for (uint64_t I = 0; I < N; ++I)
+    Pos[I] = R.u32();
+  auto LoadAdjacency = [&](std::vector<std::vector<uint32_t>> &Lists) {
+    Lists.assign(N, {});
+    for (uint64_t I = 0; I < N && R.ok(); ++I) {
+      uint64_t Len = R.u64();
+      if (!R.checkCount(Len, 4))
+        return;
+      Lists[I].resize(Len);
+      for (uint64_t J = 0; J < Len; ++J)
+        Lists[I][J] = R.u32();
+    }
+  };
+  LoadAdjacency(Out);
+  LoadAdjacency(In);
+  EdgeCount = 0;
+  for (const std::vector<uint32_t> &List : Out)
+    EdgeCount += List.size();
+  // DFS scratch is transient; reset like compactPrefix does.
+  Mark.assign(N, 0);
+  Parent.assign(N, 0);
+  Epoch = 0;
+  Stack.clear();
+  return R.ok();
 }

@@ -28,6 +28,9 @@
 
 namespace awdit {
 
+class ByteWriter;
+class ByteReader;
+
 /// A directed graph with a maintained topological order. Nodes are dense
 /// ids appended at the end of the order; the edge set must stay acyclic —
 /// addEdge() refuses (and reports) an edge that would close a cycle, so
@@ -73,6 +76,15 @@ public:
 
   const std::vector<uint32_t> &succs(uint32_t N) const { return Out[N]; }
   const std::vector<uint32_t> &preds(uint32_t N) const { return In[N]; }
+
+  /// Checkpoint support (checker/checkpoint.h): serializes the maintained
+  /// order and adjacency *verbatim* — positions and adjacency-list order
+  /// affect which witness path a later cycle extraction walks, so a
+  /// restored monitor must continue from the exact same internal state,
+  /// not a rebuilt-equivalent one. The DFS scratch (epoch marks) is
+  /// transient and reset on load.
+  void saveState(ByteWriter &W) const;
+  bool loadState(ByteReader &R);
 
 private:
   /// Forward discovery from \p To bounded by position \p Limit. Returns

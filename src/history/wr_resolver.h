@@ -78,6 +78,13 @@ public:
 
   size_t size() const { return Index.size(); }
 
+  /// Calls \p Fn(const KeyValue &, const WriteSite &) for every entry, in
+  /// unspecified order. Checkpoint serialization sorts the result itself.
+  template <typename Fn> void forEach(Fn &&F) const {
+    for (const auto &[KV, Site] : Index)
+      F(KV, Site);
+  }
+
   /// Rewrites every stored transaction id through \p Remap(old) -> new.
   /// Entries for which \p Remap returns NoTxn are dropped (evicted
   /// writers). Used by the windowed Monitor's compaction.

@@ -1,0 +1,255 @@
+//===- io/sharded_ingest.cpp - Multi-core sharded monitor ingest -----------===//
+
+#include "io/sharded_ingest.h"
+
+using namespace awdit;
+
+ShardedMonitorIngest::ShardedMonitorIngest(Monitor &M,
+                                           const std::string &Format,
+                                           unsigned Threads, FlushHook Hook)
+    : M(M), Decode(lineDecoderFor(Format)),
+      Machine(makeStreamMachine(Format, M)), Hook(std::move(Hook)) {
+  if (!Decode)
+    return;
+  Applier.LastFlushes = M.flushCount();
+  if (Threads >= 2) {
+    NumShards = Threads - 1;
+    startThreads();
+  }
+}
+
+ShardedMonitorIngest::~ShardedMonitorIngest() { closeAndJoin(); }
+
+void ShardedMonitorIngest::startThreads() {
+  ToShard.reserve(NumShards);
+  ToApplier.reserve(NumShards);
+  for (size_t I = 0; I < NumShards; ++I) {
+    ToShard.push_back(std::make_unique<SpscQueue<RawBatch>>(QueueDepth));
+    ToApplier.push_back(
+        std::make_unique<SpscQueue<DecodedBatch>>(QueueDepth));
+  }
+  Joined = false;
+  for (size_t I = 0; I < NumShards; ++I)
+    Workers.emplace_back([this, I] { workerLoop(I); });
+  ApplierThread = std::thread([this] { applierLoop(); });
+}
+
+void ShardedMonitorIngest::primeResume(uint64_t StreamOffset,
+                                       uint64_t LineNo) {
+  Applier.Offset = StreamOffset;
+  Applier.LineNo = LineNo;
+  Applier.LastFlushes = M.flushCount();
+}
+
+//===----------------------------------------------------------------------===//
+// Reader side: line assembly and the round-robin deal.
+//===----------------------------------------------------------------------===//
+
+bool ShardedMonitorIngest::feed(std::string_view Chunk) {
+  if (!valid() || Finished)
+    return false;
+  if (FailedFlag.load(std::memory_order_acquire))
+    return false;
+  size_t LastNl = Chunk.rfind('\n');
+  if (LastNl == std::string_view::npos) {
+    Partial.append(Chunk);
+    return true;
+  }
+  // Everything up to (and including) the last newline is whole lines; the
+  // tail starts the next partial line.
+  if (!Partial.empty()) {
+    Pending += Partial;
+    Partial.clear();
+  }
+  Pending.append(Chunk.substr(0, LastNl + 1));
+  Partial.assign(Chunk.substr(LastNl + 1));
+  dealPending(/*Final=*/false);
+  return !FailedFlag.load(std::memory_order_acquire);
+}
+
+void ShardedMonitorIngest::dealPending(bool Final) {
+  if (Final && !Partial.empty()) {
+    // The unterminated trailing line still gets processed: it may hold the
+    // directive that closes the last transaction.
+    Pending += Partial;
+    Partial.clear();
+  }
+
+  if (NumShards == 0) {
+    // Synchronous mode: decode and apply inline, one code path with the
+    // threaded pipeline.
+    if (!Pending.empty()) {
+      RawBatch Raw;
+      Raw.Buf.swap(Pending);
+      applyBatch(decodeBatch(Raw));
+    }
+    return;
+  }
+
+  // Deal everything that is whole lines right now, cut into batches of at
+  // most ~BatchBytes, round-robin. Nothing is held back waiting for a
+  // fuller batch: a trickling tail (`tail -f | awdit monitor -`) must
+  // reach the applier — and emit its violations — with the same liveness
+  // as the single-threaded path. Steady streams arrive in large read
+  // chunks, so their batches are naturally full.
+  size_t Pos = 0;
+  while (Pos < Pending.size()) {
+    size_t End;
+    if (Pending.size() - Pos > BatchBytes) {
+      End = Pending.find('\n', Pos + BatchBytes - 1);
+      if (End == std::string::npos)
+        End = Pending.size() - 1; // Final tail without newline
+    } else {
+      End = Pending.size() - 1; // non-Final Pending always ends in '\n'
+    }
+    RawBatch Raw;
+    Raw.Buf.assign(Pending, Pos, End - Pos + 1);
+    Pos = End + 1;
+    ToShard[NextShard % NumShards]->push(std::move(Raw));
+    ++NextShard;
+  }
+  Pending.clear();
+}
+
+//===----------------------------------------------------------------------===//
+// Shard workers: context-free decoding, any order.
+//===----------------------------------------------------------------------===//
+
+ShardedMonitorIngest::DecodedBatch
+ShardedMonitorIngest::decodeBatch(const RawBatch &Raw) const {
+  DecodedBatch Out;
+  std::string_view Buf = Raw.Buf;
+  size_t Pos = 0;
+  while (Pos < Buf.size()) {
+    size_t End = Buf.find('\n', Pos);
+    size_t LineEnd = End == std::string_view::npos ? Buf.size() : End;
+    std::string_view Line = Buf.substr(Pos, LineEnd - Pos);
+    uint32_t ByteLen = static_cast<uint32_t>(
+        LineEnd - Pos + (End == std::string_view::npos ? 0 : 1));
+    // Trim a trailing CR for Windows-style streams (the byte still counts
+    // toward the stream offset).
+    if (!Line.empty() && Line.back() == '\r')
+      Line.remove_suffix(1);
+    Out.Lines.push_back({Decode(Line), ByteLen});
+    Pos = LineEnd + 1;
+  }
+  return Out;
+}
+
+void ShardedMonitorIngest::workerLoop(size_t Shard) {
+  RawBatch Raw;
+  while (ToShard[Shard]->pop(Raw))
+    ToApplier[Shard]->push(decodeBatch(Raw));
+  ToApplier[Shard]->close();
+}
+
+//===----------------------------------------------------------------------===//
+// Applier: global order restored, the one thread that owns the Monitor.
+//===----------------------------------------------------------------------===//
+
+void ShardedMonitorIngest::applyLine(const DecodedLine &L) {
+  ++Applier.LineNo;
+  Applier.Offset += L.ByteLen;
+  if (Applier.Failed)
+    return; // drain without applying; the parser is wedged
+  std::string Msg;
+  if (!Machine->apply(L.E, &Msg)) {
+    Applier.Failed = true;
+    Applier.Error = std::move(Msg);
+    Applier.ErrorLine = Applier.LineNo;
+    FailedFlag.store(true, std::memory_order_release);
+    return;
+  }
+  uint64_t F = M.flushCount();
+  if (F != Applier.LastFlushes) {
+    // A checking pass completed inside this commit: an epoch barrier. The
+    // hook sees a fully consistent state — monitor, machine, and stream
+    // cursor all agree on "everything through this line".
+    Applier.LastFlushes = F;
+    if (Hook)
+      Hook(IngestFlushPoint{M, *Machine, Applier.Offset, Applier.LineNo,
+                            Machine->committedTxns(), F});
+  }
+}
+
+void ShardedMonitorIngest::applyBatch(const DecodedBatch &Batch) {
+  for (const DecodedLine &L : Batch.Lines)
+    applyLine(L);
+}
+
+void ShardedMonitorIngest::applierLoop() {
+  DecodedBatch Batch;
+  // Pop in the exact order the reader dealt: round-robin over the shards.
+  // The first closed-and-drained queue ends the stream — the deal is
+  // sequential, so no later batch can exist once a slot comes up empty.
+  while (ToApplier[ApplyShard % NumShards]->pop(Batch)) {
+    applyBatch(Batch);
+    ++ApplyShard;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Stream end.
+//===----------------------------------------------------------------------===//
+
+void ShardedMonitorIngest::closeAndJoin() {
+  if (Joined) {
+    if (Applier.Failed && ErrText.empty())
+      ErrText = "line " + std::to_string(Applier.ErrorLine) + ": " +
+                Applier.Error;
+    return;
+  }
+  for (auto &Q : ToShard)
+    Q->close();
+  for (std::thread &W : Workers)
+    W.join();
+  ApplierThread.join();
+  Workers.clear();
+  Joined = true;
+  if (Applier.Failed && ErrText.empty())
+    ErrText = "line " + std::to_string(Applier.ErrorLine) + ": " +
+              Applier.Error;
+}
+
+ShardedMonitorIngest::EndState ShardedMonitorIngest::finishStream() {
+  if (!Finished) {
+    Finished = true;
+    dealPending(/*Final=*/true);
+    closeAndJoin();
+  }
+  if (Applier.Failed)
+    return EndState::Error;
+  if (Machine->hasOpenTxn())
+    return EndState::OpenTxn;
+  std::string Msg;
+  if (!Machine->atEnd(&Msg)) {
+    Applier.Failed = true;
+    Applier.Error = Msg;
+    Applier.ErrorLine = Applier.LineNo;
+    ErrText = "line " + std::to_string(Applier.LineNo) + ": " + Msg;
+    return EndState::Error;
+  }
+  // atEnd may close a trailing transaction (plume) and trigger a final
+  // cadence flush; surface it to the hook like any other epoch barrier.
+  uint64_t F = M.flushCount();
+  if (F != Applier.LastFlushes) {
+    Applier.LastFlushes = F;
+    if (Hook)
+      Hook(IngestFlushPoint{M, *Machine, Applier.Offset, Applier.LineNo,
+                            Machine->committedTxns(), F});
+  }
+  return EndState::Clean;
+}
+
+void ShardedMonitorIngest::abortStream() {
+  if (Finished) {
+    closeAndJoin();
+    return;
+  }
+  Finished = true;
+  // Drop the unterminated tail; ship what is already whole lines so the
+  // interrupt loses nothing that was actually read.
+  Partial.clear();
+  dealPending(/*Final=*/true);
+  closeAndJoin();
+}

@@ -1,0 +1,238 @@
+//===- io/sharded_ingest.h - Multi-core sharded monitor ingest ---*- C++ -*-===//
+//
+// Part of the AWDIT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The multi-core ingest pipeline of `awdit monitor`: one live stream is
+/// spread over all cores while the checking semantics stay exactly those of
+/// the single-threaded Monitor — reports are bit-identical at every flush
+/// cadence and window size (enforced by tests/test_sharded_monitor.cpp and
+/// the CI ThreadSanitizer job).
+///
+/// With the delta-driven saturation engine (PR 3) flush cost is flat in the
+/// window size, which leaves tokenization and integer parsing — the
+/// context-free half of every format parser (io/stream_parser.h) — as the
+/// dominant per-byte cost of a live stream. That half is exactly what the
+/// pipeline shards:
+///
+///    reader (caller thread)                 shard workers          applier
+///    ┌────────────────────┐   SPSC    ┌───────────────────┐  SPSC  ┌─────┐
+///    │ split stream into  │ ────────▶ │ decode lines into │ ─────▶ │apply│
+///    │ whole-line batches │  queues   │ LineEvents        │ queues │to   │
+///    │ (round-robin)      │ ────────▶ │ (stateless, any   │ ─────▶ │Moni-│
+///    └────────────────────┘           │ order)            │        │tor  │
+///                                     └───────────────────┘        └─────┘
+///
+///  - The reader owns the byte stream: it cuts it into batches of whole
+///    lines (cheap newline scanning only) and deals them round-robin onto
+///    per-shard SPSC queues (support/spsc_queue.h).
+///  - Each shard worker runs the format's context-free decoder over its
+///    batches — all the tokenizing/number-parsing work — independently and
+///    in parallel.
+///  - The applier thread restores the global stream order (batches are
+///    popped round-robin, mirroring the deal) and feeds the decoded events
+///    through the format's StreamMachine into the one merged Monitor. All
+///    stateful work — wr resolution, saturation deltas, flushes, eviction
+///    — happens here, on one thread, exactly as in the single-threaded
+///    path; that is what makes the output bit-identical by construction.
+///
+/// Flush boundaries are the pipeline's epoch barriers: after every
+/// incremental checking pass the applier invokes the FlushHook with a
+/// consistent cut of the world (monitor state, parser-machine state, and
+/// the byte offset of the last applied line). Persistent checkpoints
+/// (checker/checkpoint.h) are written from this hook, so a snapshot can
+/// never observe a half-applied transaction or a half-run flush.
+///
+/// Threads <= 1 selects the legacy single-threaded path: the same split /
+/// decode / apply code runs inline on the caller thread, no queues, no
+/// threads — `awdit monitor --threads 1`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AWDIT_IO_SHARDED_INGEST_H
+#define AWDIT_IO_SHARDED_INGEST_H
+
+#include "io/stream_parser.h"
+#include "support/spsc_queue.h"
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+namespace awdit {
+
+/// A consistent cut of the ingest state at a flush boundary, handed to the
+/// FlushHook on the applier thread. Everything a persistent checkpoint
+/// needs: the monitor, the parser-machine state, and the exact stream
+/// position (byte offset after the last applied line).
+struct IngestFlushPoint {
+  Monitor &M;
+  const StreamMachine &Machine;
+  /// Bytes of the stream fully applied (resume seeks here).
+  uint64_t StreamOffset;
+  /// 1-based number of the last applied line.
+  uint64_t LineNo;
+  /// Committed transactions applied so far.
+  uint64_t CommittedTxns;
+  /// Monitor checking passes run so far.
+  uint64_t Flushes;
+};
+
+/// Drives one Monitor from one byte stream using 1 reader + N shard
+/// workers + 1 applier (or everything inline when Threads <= 1). Exactly
+/// one thread (the owner) may call feed()/finishStream()/abortStream();
+/// the Monitor must not be touched by the owner between the first feed()
+/// and the return of finishStream()/abortStream().
+class ShardedMonitorIngest {
+public:
+  /// How the stream ended.
+  enum class EndState : uint8_t {
+    /// Clean end of input at a transaction boundary.
+    Clean,
+    /// Input ended inside an open transaction (tail-mode truncation); the
+    /// monitor's finalize() treats it as aborted.
+    OpenTxn,
+    /// A parse or model-invariant error; errorText() has the line-numbered
+    /// message.
+    Error,
+  };
+
+  using FlushHook = std::function<void(const IngestFlushPoint &)>;
+
+  /// \p Threads counts the extra threads the pipeline may spawn: 0 or 1
+  /// runs inline (the legacy single-threaded path); N >= 2 spawns one
+  /// applier and N-1 shard workers. \p Hook (optional) runs on the applier
+  /// thread after every completed checking pass.
+  ShardedMonitorIngest(Monitor &M, const std::string &Format,
+                       unsigned Threads, FlushHook Hook = nullptr);
+  ~ShardedMonitorIngest();
+
+  ShardedMonitorIngest(const ShardedMonitorIngest &) = delete;
+  ShardedMonitorIngest &operator=(const ShardedMonitorIngest &) = delete;
+
+  /// False iff the format was unknown.
+  bool valid() const { return Decode != nullptr; }
+
+  /// The format state machine, for loading checkpointed state before the
+  /// first feed() (resume) and for inspection after the stream ends.
+  StreamMachine &machine() { return *Machine; }
+
+  /// Primes the stream cursor after a checkpoint restore: the next fed
+  /// byte is stream offset \p StreamOffset, the next line is
+  /// \p LineNo + 1. Call before the first feed().
+  void primeResume(uint64_t StreamOffset, uint64_t LineNo);
+
+  /// Feeds one chunk (any size, any boundary). Returns false once the
+  /// pipeline has failed — the caller should stop reading and call
+  /// finishStream() to collect the error.
+  bool feed(std::string_view Chunk);
+
+  /// End of input: flushes the trailing partial line, drains and joins the
+  /// pipeline, and runs the format's end-of-input hook. After this call
+  /// the owner thread has exclusive access to the Monitor again.
+  EndState finishStream();
+
+  /// Interrupt (SIGINT) path: drains and joins the pipeline without
+  /// end-of-input processing — everything already read is applied, the
+  /// trailing partial line is dropped, open transactions are left to
+  /// finalize(). After this call the Monitor is the owner's again.
+  void abortStream();
+
+  // --- Valid after finishStream()/abortStream(). ---
+
+  /// The line-numbered error message, empty if none.
+  const std::string &errorText() const { return ErrText; }
+
+  /// 1-based number of the last processed line.
+  uint64_t lineNumber() const { return Applier.LineNo; }
+
+  /// Byte offset after the last applied line.
+  uint64_t streamOffset() const { return Applier.Offset; }
+
+  /// Committed transactions applied.
+  uint64_t committedTxns() const { return Machine->committedTxns(); }
+
+private:
+  /// A batch of whole lines, verbatim stream bytes (every line keeps its
+  /// '\n'; only the final flushed partial line may lack one).
+  struct RawBatch {
+    std::string Buf;
+  };
+
+  /// One decoded line and the stream bytes it consumed.
+  struct DecodedLine {
+    LineEvent E;
+    uint32_t ByteLen;
+  };
+
+  struct DecodedBatch {
+    std::vector<DecodedLine> Lines;
+  };
+
+  /// Applier-side cursor and failure state. Written by the applier thread
+  /// (or inline in synchronous mode), read by the owner after the join.
+  struct ApplierState {
+    uint64_t Offset = 0;
+    uint64_t LineNo = 0;
+    uint64_t LastFlushes = 0;
+    bool Failed = false;
+    std::string Error; // without the "line N: " prefix
+    uint64_t ErrorLine = 0;
+  };
+
+  void startThreads();
+  void workerLoop(size_t Shard);
+  void applierLoop();
+  /// Decodes one raw batch (worker side; pure).
+  DecodedBatch decodeBatch(const RawBatch &Raw) const;
+  /// Applies one decoded batch in stream order (applier side).
+  void applyBatch(const DecodedBatch &Batch);
+  void applyLine(const DecodedLine &L);
+  /// Cuts the pending text into batches of whole lines and deals them.
+  void dealPending(bool Final);
+  void closeAndJoin();
+
+  Monitor &M;
+  LineDecoder Decode;
+  std::unique_ptr<StreamMachine> Machine;
+  FlushHook Hook;
+
+  /// Shard workers (empty in synchronous mode).
+  size_t NumShards = 0;
+  std::vector<std::unique_ptr<SpscQueue<RawBatch>>> ToShard;
+  std::vector<std::unique_ptr<SpscQueue<DecodedBatch>>> ToApplier;
+  std::vector<std::thread> Workers;
+  std::thread ApplierThread;
+  bool Joined = true;
+
+  /// Reader-side line assembly: Pending holds bytes of complete lines not
+  /// yet dealt; Partial the trailing line fragment awaiting its newline.
+  std::string Pending;
+  std::string Partial;
+  uint64_t NextShard = 0;   // reader's deal cursor
+  uint64_t ApplyShard = 0;  // applier's merge cursor (mirrors the deal)
+
+  /// Set by the applier on the first error; the reader polls it to stop
+  /// early. The error text itself travels through ApplierState after the
+  /// join (single-writer, read-after-join).
+  std::atomic<bool> FailedFlag{false};
+
+  ApplierState Applier;
+  std::string ErrText;
+  bool Finished = false;
+
+  /// Batch sizing: large enough that queue traffic is noise, small enough
+  /// that the pipeline stays busy on modest streams.
+  static constexpr size_t BatchBytes = 16 << 10;
+  static constexpr size_t QueueDepth = 32;
+};
+
+} // namespace awdit
+
+#endif // AWDIT_IO_SHARDED_INGEST_H

@@ -73,220 +73,451 @@ bool LineStreamParser::finish(std::string *Err) {
 }
 
 //===----------------------------------------------------------------------===//
-// Native text format.
+// Context-free line decoders: tokenization and integer parsing, the
+// per-byte cost of ingestion, safe on any thread.
 //===----------------------------------------------------------------------===//
 
-bool StreamingTextParser::processLine(std::string_view Line,
-                                      std::string *Err) {
+namespace {
+
+LineEvent malformed(std::string Msg) {
+  LineEvent E;
+  E.Kind = LineEvent::Type::Malformed;
+  E.Error = std::move(Msg);
+  return E;
+}
+
+} // namespace
+
+LineEvent awdit::decodeNativeLine(std::string_view Line) {
+  LineEvent E;
   std::vector<std::string_view> Tok = tokenize(Line);
   if (Tok.empty() || Tok[0].front() == '#')
-    return true;
+    return E; // Blank
 
   if (Tok[0] == "b") {
-    if (HasOpenTxn)
-      return fail(Err, "previous transaction still open");
-    SessionId S;
-    if (Tok.size() != 2 || !parseInt(Tok[1], S))
-      return fail(Err, "expected 'b <session>'");
-    while (NumSessions <= S) {
-      M.addSession();
-      ++NumSessions;
-    }
-    Open = M.beginTxn(S);
-    HasOpenTxn = true;
-    return true;
+    // A malformed session keeps the Begin kind: the machine's open-
+    // transaction check takes precedence, as it did when parsing was
+    // inline.
+    E.Kind = LineEvent::Type::Begin;
+    if (Tok.size() != 2 || !parseInt(Tok[1], E.Session))
+      E.Error = "expected 'b <session>'";
+    return E;
   }
   if (Tok[0] == "r" || Tok[0] == "w") {
-    if (!HasOpenTxn)
-      return fail(Err, "operation outside a transaction");
-    Key K;
-    Value V;
-    if (Tok.size() != 3 || !parseInt(Tok[1], K) || !parseInt(Tok[2], V))
-      return fail(Err, "expected '<r|w> <key> <value>'");
-    if (Tok[0] == "r") {
-      M.read(Open, K, V);
-      return true;
-    }
-    if (!M.write(Open, K, V))
-      return fail(Err, M.errorText());
-    return true;
+    E.Kind = Tok[0] == "r" ? LineEvent::Type::ReadOp
+                           : LineEvent::Type::WriteOp;
+    if (Tok.size() != 3 || !parseInt(Tok[1], E.K) || !parseInt(Tok[2], E.V))
+      E.Error = "expected '<r|w> <key> <value>'";
+    return E;
   }
   if (Tok[0] == "c" || Tok[0] == "a") {
-    if (!HasOpenTxn)
-      return fail(Err, "no open transaction to close");
-    if (Tok[0] == "a") {
+    E.Kind = Tok[0] == "c" ? LineEvent::Type::Commit
+                           : LineEvent::Type::Abort;
+    return E;
+  }
+  if (Tok[0] == "t") {
+    // Streaming-only clock directive: advances the monitor's stream time
+    // (age-based eviction, force-abort of hung transactions).
+    E.Kind = LineEvent::Type::Clock;
+    if (Tok.size() != 2 || !parseInt(Tok[1], E.Num))
+      E.Error = "expected 't <ticks>'";
+    return E;
+  }
+  return malformed("unknown directive '" + std::string(Tok[0]) + "'");
+}
+
+LineEvent awdit::decodePlumeLine(std::string_view Line) {
+  LineEvent E;
+  if (Line.empty() || Line.front() == '#')
+    return E; // Blank
+
+  std::vector<std::string_view> F = splitCsv(Line);
+  if (F.size() < 3 || !parseInt(F[0], E.Session) || !parseInt(F[1], E.Num))
+    return malformed("expected '<session>,<txn>,...'");
+  if (F[2] == "abort") {
+    E.Kind = LineEvent::Type::PlumeAbort;
+    return E;
+  }
+  // The (session, txn) prefix parsed: the machine opens the pair before a
+  // malformed operation fails, matching the inline parser (which closed
+  // the previous pair first).
+  E.Kind = LineEvent::Type::PlumeOp;
+  if (F.size() != 5 || (F[2] != "r" && F[2] != "w") || !parseInt(F[3], E.K) ||
+      !parseInt(F[4], E.V)) {
+    E.Error = "expected '<session>,<txn>,<r|w>,<key>,<value>'";
+    return E;
+  }
+  E.Flag = F[2] == "r";
+  return E;
+}
+
+LineEvent awdit::decodeDbcopLine(std::string_view Line) {
+  LineEvent E;
+  std::vector<std::string_view> Tok = tokenize(Line);
+  if (Tok.empty() || Tok[0].front() == '#')
+    return E; // Blank
+
+  if (Tok[0] == "sessions") {
+    E.Kind = LineEvent::Type::DbcopHeader;
+    if (Tok.size() != 2 || !parseInt(Tok[1], E.Num))
+      E.Error = "expected a single 'sessions <k>' header";
+    return E;
+  }
+  if (Tok[0] == "txn") {
+    E.Kind = LineEvent::Type::DbcopTxn;
+    int DoesCommit = 0;
+    if (Tok.size() != 4 || !parseInt(Tok[1], E.Session) ||
+        !parseInt(Tok[2], DoesCommit) || !parseInt(Tok[3], E.Num) ||
+        (DoesCommit != 0 && DoesCommit != 1))
+      E.Error = "expected 'txn <session> <0|1> <numops>'";
+    E.Flag = DoesCommit == 1;
+    return E;
+  }
+  if (Tok[0] == "R" || Tok[0] == "W") {
+    E.Kind = Tok[0] == "R" ? LineEvent::Type::ReadOp
+                           : LineEvent::Type::WriteOp;
+    if (Tok.size() != 3 || !parseInt(Tok[1], E.K) || !parseInt(Tok[2], E.V))
+      E.Error = "expected '<R|W> <key> <value>'";
+    return E;
+  }
+  return malformed("unknown directive '" + std::string(Tok[0]) + "'");
+}
+
+LineDecoder awdit::lineDecoderFor(const std::string &Format) {
+  if (Format == "native")
+    return decodeNativeLine;
+  if (Format == "plume")
+    return decodePlumeLine;
+  if (Format == "dbcop")
+    return decodeDbcopLine;
+  return nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Stream machines: the stateful, single-threaded half.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+bool failMsg(std::string *Err, std::string Msg) {
+  if (Err)
+    *Err = std::move(Msg);
+  return false;
+}
+
+/// Native text format machine.
+class NativeMachine final : public StreamMachine {
+public:
+  explicit NativeMachine(Monitor &M) : M(M) {}
+
+  bool apply(const LineEvent &E, std::string *Err) override {
+    switch (E.Kind) {
+    case LineEvent::Type::Blank:
+      return true;
+    case LineEvent::Type::Begin:
+      if (HasOpen)
+        return failMsg(Err, "previous transaction still open");
+      if (!E.Error.empty())
+        return failMsg(Err, E.Error);
+      while (NumSessions <= E.Session) {
+        M.addSession();
+        ++NumSessions;
+      }
+      Open = M.beginTxn(E.Session);
+      HasOpen = true;
+      return true;
+    case LineEvent::Type::ReadOp:
+    case LineEvent::Type::WriteOp:
+      if (!HasOpen)
+        return failMsg(Err, "operation outside a transaction");
+      if (!E.Error.empty())
+        return failMsg(Err, E.Error);
+      if (E.Kind == LineEvent::Type::ReadOp) {
+        M.read(Open, E.K, E.V);
+        return true;
+      }
+      if (!M.write(Open, E.K, E.V))
+        return failMsg(Err, M.errorText());
+      return true;
+    case LineEvent::Type::Commit:
+    case LineEvent::Type::Abort:
+      if (!HasOpen)
+        return failMsg(Err, "no open transaction to close");
+      if (E.Kind == LineEvent::Type::Abort) {
+        M.abortTxn(Open);
+      } else {
+        M.commit(Open);
+        ++Committed;
+      }
+      HasOpen = false;
+      return true;
+    case LineEvent::Type::Clock:
+      if (!E.Error.empty())
+        return failMsg(Err, E.Error);
+      M.advanceTime(E.Num);
+      return true;
+    case LineEvent::Type::Malformed:
+      return failMsg(Err, E.Error);
+    default:
+      return failMsg(Err, "unexpected event for the native format");
+    }
+  }
+
+  bool atEnd(std::string *Err) override {
+    if (HasOpen)
+      return failMsg(Err, "unterminated transaction at end of input");
+    return true;
+  }
+
+  bool hasOpenTxn() const override { return HasOpen; }
+  uint64_t committedTxns() const override { return Committed; }
+
+  void saveState(ByteWriter &W) const override {
+    W.u64(NumSessions);
+    W.boolean(HasOpen);
+    W.u32(Open);
+    W.u64(Committed);
+  }
+
+  bool loadState(ByteReader &R) override {
+    NumSessions = R.u64();
+    HasOpen = R.boolean();
+    Open = R.u32();
+    Committed = R.u64();
+    return R.ok();
+  }
+
+private:
+  Monitor &M;
+  size_t NumSessions = 0;
+  bool HasOpen = false;
+  TxnId Open = NoTxn;
+  uint64_t Committed = 0;
+};
+
+/// Plume-style CSV machine. Plume has no explicit commit marker: a pair is
+/// closed (committing unless an abort line was seen) when the next
+/// (session, txn) pair starts or the stream ends, so the stream is never
+/// "inside" a transaction from the caller's point of view.
+class PlumeMachine final : public StreamMachine {
+public:
+  explicit PlumeMachine(Monitor &M) : M(M) {}
+
+  bool apply(const LineEvent &E, std::string *Err) override {
+    switch (E.Kind) {
+    case LineEvent::Type::Blank:
+      return true;
+    case LineEvent::Type::PlumeAbort:
+      ensureOpen(E);
+      // Deferred until the pair ends: the batch parser keeps appending
+      // operations that follow an abort line for the same (session, txn)
+      // pair to the aborted transaction, and the streaming parser must
+      // produce the identical history.
+      OpenAborted = true;
+      return true;
+    case LineEvent::Type::PlumeOp:
+      ensureOpen(E);
+      if (!E.Error.empty())
+        return failMsg(Err, E.Error);
+      if (E.Flag) {
+        M.read(Open, E.K, E.V);
+        return true;
+      }
+      if (!M.write(Open, E.K, E.V))
+        return failMsg(Err, M.errorText());
+      return true;
+    case LineEvent::Type::Malformed:
+      return failMsg(Err, E.Error);
+    default:
+      return failMsg(Err, "unexpected event for the plume format");
+    }
+  }
+
+  bool atEnd(std::string *Err) override {
+    (void)Err;
+    closeOpen();
+    return true;
+  }
+
+  bool hasOpenTxn() const override { return false; }
+  uint64_t committedTxns() const override { return Committed; }
+
+  void saveState(ByteWriter &W) const override {
+    W.u64(NumSessions);
+    W.boolean(HasOpen);
+    W.boolean(OpenAborted);
+    W.u32(OpenSession);
+    W.u64(OpenFileTxn);
+    W.u32(Open);
+    W.u64(Committed);
+  }
+
+  bool loadState(ByteReader &R) override {
+    NumSessions = R.u64();
+    HasOpen = R.boolean();
+    OpenAborted = R.boolean();
+    OpenSession = R.u32();
+    OpenFileTxn = R.u64();
+    Open = R.u32();
+    Committed = R.u64();
+    return R.ok();
+  }
+
+private:
+  void closeOpen() {
+    if (!HasOpen)
+      return;
+    if (OpenAborted) {
       M.abortTxn(Open);
     } else {
       M.commit(Open);
       ++Committed;
     }
-    HasOpenTxn = false;
-    return true;
+    HasOpen = false;
+    OpenAborted = false;
   }
-  if (Tok[0] == "t") {
-    // Streaming-only clock directive: advances the monitor's stream time
-    // (age-based eviction, force-abort of hung transactions).
-    uint64_t Ticks;
-    if (Tok.size() != 2 || !parseInt(Tok[1], Ticks))
-      return fail(Err, "expected 't <ticks>'");
-    M.advanceTime(Ticks);
-    return true;
-  }
-  return fail(Err, "unknown directive '" + std::string(Tok[0]) + "'");
-}
 
-bool StreamingTextParser::atEnd(std::string *Err) {
-  if (HasOpenTxn)
-    return fail(Err, "unterminated transaction at end of input");
-  return true;
-}
-
-//===----------------------------------------------------------------------===//
-// Plume-style CSV format.
-//===----------------------------------------------------------------------===//
-
-bool StreamingPlumeParser::closeOpen() {
-  if (!HasOpen)
-    return false;
-  if (OpenAborted) {
-    M.abortTxn(Open);
-  } else {
-    M.commit(Open);
-    ++Committed;
-  }
-  HasOpen = false;
-  OpenAborted = false;
-  return true;
-}
-
-bool StreamingPlumeParser::processLine(std::string_view Line,
-                                       std::string *Err) {
-  if (Line.empty() || Line.front() == '#')
-    return true;
-
-  std::vector<std::string_view> F = splitCsv(Line);
-  SessionId S;
-  uint64_t FileTxn;
-  if (F.size() < 3 || !parseInt(F[0], S) || !parseInt(F[1], FileTxn))
-    return fail(Err, "expected '<session>,<txn>,...'");
-  while (NumSessions <= S) {
-    M.addSession();
-    ++NumSessions;
-  }
-  if (!HasOpen || OpenSession != S || OpenFileTxn != FileTxn) {
-    // A new (session, txn) pair implicitly commits the previous
-    // transaction: Plume logs carry no commit marker.
-    closeOpen();
-    Open = M.beginTxn(S);
-    HasOpen = true;
-    OpenSession = S;
-    OpenFileTxn = FileTxn;
-  }
-  if (F[2] == "abort") {
-    // Deferred until the pair ends: the batch parser keeps appending
-    // operations that follow an abort line for the same (session, txn)
-    // pair to the aborted transaction, and the streaming parser must
-    // produce the identical history.
-    OpenAborted = true;
-    return true;
-  }
-  Key K;
-  Value V;
-  if (F.size() != 5 || (F[2] != "r" && F[2] != "w") || !parseInt(F[3], K) ||
-      !parseInt(F[4], V))
-    return fail(Err, "expected '<session>,<txn>,<r|w>,<key>,<value>'");
-  if (F[2] == "r") {
-    M.read(Open, K, V);
-    return true;
-  }
-  if (!M.write(Open, K, V))
-    return fail(Err, M.errorText());
-  return true;
-}
-
-bool StreamingPlumeParser::atEnd(std::string *Err) {
-  (void)Err;
-  closeOpen();
-  return true;
-}
-
-//===----------------------------------------------------------------------===//
-// DBCop-style block format.
-//===----------------------------------------------------------------------===//
-
-bool StreamingDbcopParser::processLine(std::string_view Line,
-                                       std::string *Err) {
-  std::vector<std::string_view> Tok = tokenize(Line);
-  if (Tok.empty() || Tok[0].front() == '#')
-    return true;
-
-  if (Tok[0] == "sessions") {
-    if (SeenHeader || Tok.size() != 2 || !parseInt(Tok[1], DeclaredSessions))
-      return fail(Err, "expected a single 'sessions <k>' header");
-    for (size_t I = 0; I < DeclaredSessions; ++I)
+  /// Closes the previous pair and opens (E.Session, E.Num) if it is a new
+  /// pair: Plume logs carry no commit marker.
+  void ensureOpen(const LineEvent &E) {
+    while (NumSessions <= E.Session) {
       M.addSession();
-    SeenHeader = true;
-    return true;
+      ++NumSessions;
+    }
+    if (HasOpen && OpenSession == E.Session && OpenFileTxn == E.Num)
+      return;
+    closeOpen();
+    Open = M.beginTxn(E.Session);
+    HasOpen = true;
+    OpenSession = E.Session;
+    OpenFileTxn = E.Num;
   }
-  if (!SeenHeader)
-    return fail(Err, "missing 'sessions <k>' header");
 
-  if (Tok[0] == "txn") {
+  Monitor &M;
+  size_t NumSessions = 0;
+  bool HasOpen = false;
+  bool OpenAborted = false;
+  SessionId OpenSession = 0;
+  uint64_t OpenFileTxn = 0;
+  TxnId Open = NoTxn;
+  uint64_t Committed = 0;
+};
+
+/// DBCop-style block format machine. The commit decision is declared up
+/// front, so a block closes the moment its last operation arrives.
+class DbcopMachine final : public StreamMachine {
+public:
+  explicit DbcopMachine(Monitor &M) : M(M) {}
+
+  bool apply(const LineEvent &E, std::string *Err) override {
+    switch (E.Kind) {
+    case LineEvent::Type::Blank:
+      return true;
+    case LineEvent::Type::DbcopHeader:
+      if (SeenHeader || !E.Error.empty())
+        return failMsg(Err, "expected a single 'sessions <k>' header");
+      DeclaredSessions = E.Num;
+      for (uint64_t I = 0; I < DeclaredSessions; ++I)
+        M.addSession();
+      SeenHeader = true;
+      return true;
+    case LineEvent::Type::DbcopTxn:
+      if (!SeenHeader)
+        return failMsg(Err, "missing 'sessions <k>' header");
+      if (OpsLeft != 0)
+        return failMsg(Err, "previous transaction is missing operations");
+      if (!E.Error.empty() || E.Session >= DeclaredSessions)
+        return failMsg(Err, "expected 'txn <session> <0|1> <numops>'");
+      Open = M.beginTxn(E.Session);
+      OpenCommits = E.Flag;
+      OpsLeft = E.Num;
+      if (OpsLeft == 0)
+        closeBlock(); // an empty block closes immediately
+      return true;
+    case LineEvent::Type::ReadOp:
+    case LineEvent::Type::WriteOp:
+      if (!SeenHeader)
+        return failMsg(Err, "missing 'sessions <k>' header");
+      if (Open == NoTxn || OpsLeft == 0)
+        return failMsg(Err, "operation outside a transaction block");
+      if (!E.Error.empty())
+        return failMsg(Err, E.Error);
+      if (E.Kind == LineEvent::Type::ReadOp) {
+        M.read(Open, E.K, E.V);
+      } else if (!M.write(Open, E.K, E.V)) {
+        return failMsg(Err, M.errorText());
+      }
+      if (--OpsLeft == 0)
+        closeBlock(); // the commit decision was declared up front
+      return true;
+    case LineEvent::Type::Malformed:
+      if (!SeenHeader)
+        return failMsg(Err, "missing 'sessions <k>' header");
+      return failMsg(Err, E.Error);
+    default:
+      return failMsg(Err, "unexpected event for the dbcop format");
+    }
+  }
+
+  bool atEnd(std::string *Err) override {
     if (OpsLeft != 0)
-      return fail(Err, "previous transaction is missing operations");
-    SessionId S;
-    int DoesCommit;
-    size_t NumOps;
-    if (Tok.size() != 4 || !parseInt(Tok[1], S) ||
-        !parseInt(Tok[2], DoesCommit) || !parseInt(Tok[3], NumOps) ||
-        S >= DeclaredSessions || (DoesCommit != 0 && DoesCommit != 1))
-      return fail(Err, "expected 'txn <session> <0|1> <numops>'");
-    Open = M.beginTxn(S);
-    OpenCommits = DoesCommit == 1;
-    OpsLeft = NumOps;
-    if (OpsLeft == 0) {
-      // An empty block closes immediately.
-      if (OpenCommits) {
-        M.commit(Open);
-        ++Committed;
-      } else {
-        M.abortTxn(Open);
-      }
-      Open = NoTxn;
-    }
+      return failMsg(Err, "unexpected end of input inside a transaction");
     return true;
   }
-  if (Tok[0] == "R" || Tok[0] == "W") {
-    if (Open == NoTxn || OpsLeft == 0)
-      return fail(Err, "operation outside a transaction block");
-    Key K;
-    Value V;
-    if (Tok.size() != 3 || !parseInt(Tok[1], K) || !parseInt(Tok[2], V))
-      return fail(Err, "expected '<R|W> <key> <value>'");
-    if (Tok[0] == "R") {
-      M.read(Open, K, V);
-    } else if (!M.write(Open, K, V)) {
-      return fail(Err, M.errorText());
-    }
-    if (--OpsLeft == 0) {
-      // The block is complete; the commit decision was declared up front.
-      if (OpenCommits) {
-        M.commit(Open);
-        ++Committed;
-      } else {
-        M.abortTxn(Open);
-      }
-      Open = NoTxn;
-    }
-    return true;
-  }
-  return fail(Err, "unknown directive '" + std::string(Tok[0]) + "'");
-}
 
-bool StreamingDbcopParser::atEnd(std::string *Err) {
-  if (OpsLeft != 0)
-    return fail(Err, "unexpected end of input inside a transaction");
-  return true;
+  bool hasOpenTxn() const override { return OpsLeft != 0; }
+  uint64_t committedTxns() const override { return Committed; }
+
+  void saveState(ByteWriter &W) const override {
+    W.boolean(SeenHeader);
+    W.u64(DeclaredSessions);
+    W.u32(Open);
+    W.boolean(OpenCommits);
+    W.u64(OpsLeft);
+    W.u64(Committed);
+  }
+
+  bool loadState(ByteReader &R) override {
+    SeenHeader = R.boolean();
+    DeclaredSessions = R.u64();
+    Open = R.u32();
+    OpenCommits = R.boolean();
+    OpsLeft = R.u64();
+    Committed = R.u64();
+    return R.ok();
+  }
+
+private:
+  void closeBlock() {
+    if (OpenCommits) {
+      M.commit(Open);
+      ++Committed;
+    } else {
+      M.abortTxn(Open);
+    }
+    Open = NoTxn;
+  }
+
+  Monitor &M;
+  bool SeenHeader = false;
+  uint64_t DeclaredSessions = 0;
+  TxnId Open = NoTxn;
+  bool OpenCommits = false;
+  size_t OpsLeft = 0;
+  uint64_t Committed = 0;
+};
+
+} // namespace
+
+std::unique_ptr<StreamMachine>
+awdit::makeStreamMachine(const std::string &Format, Monitor &M) {
+  if (Format == "native")
+    return std::make_unique<NativeMachine>(M);
+  if (Format == "plume")
+    return std::make_unique<PlumeMachine>(M);
+  if (Format == "dbcop")
+    return std::make_unique<DbcopMachine>(M);
+  return nullptr;
 }
 
 //===----------------------------------------------------------------------===//
@@ -295,11 +526,9 @@ bool StreamingDbcopParser::atEnd(std::string *Err) {
 
 std::unique_ptr<StreamParser> awdit::makeStreamParser(
     const std::string &Format, Monitor &M) {
-  if (Format == "native")
-    return std::make_unique<StreamingTextParser>(M);
-  if (Format == "plume")
-    return std::make_unique<StreamingPlumeParser>(M);
-  if (Format == "dbcop")
-    return std::make_unique<StreamingDbcopParser>(M);
-  return nullptr;
+  LineDecoder Decode = lineDecoderFor(Format);
+  if (!Decode)
+    return nullptr;
+  return std::make_unique<MachineStreamParser>(Decode,
+                                               makeStreamMachine(Format, M));
 }

@@ -23,18 +23,132 @@
 /// model-invariant errors (duplicate writes) the monitor detects during
 /// ingestion.
 ///
+/// Each format is split into two halves so the sharded ingest pipeline
+/// (io/sharded_ingest.h) can spread the expensive half across worker
+/// threads:
+///
+///  - a *decoder* (decodeNativeLine & co.): a pure, context-free function
+///    from one line to a LineEvent — tokenization and integer parsing,
+///    the per-byte cost of ingestion. Safe to run on any thread, in any
+///    order.
+///  - a *machine* (StreamMachine): the stateful half that applies decoded
+///    events to a Monitor in stream order — open-transaction tracking,
+///    session creation, commit bookkeeping. Runs on exactly one thread
+///    (the applier), and its state serializes into checkpoints
+///    (checker/checkpoint.h) so `awdit monitor --resume` can restart
+///    mid-stream.
+///
+/// The classic StreamParser classes below are thin single-threaded
+/// wrappers: split lines, decode, apply — one code path shared with the
+/// sharded pipeline.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef AWDIT_IO_STREAM_PARSER_H
 #define AWDIT_IO_STREAM_PARSER_H
 
 #include "checker/monitor.h"
+#include "support/serialize.h"
 
 #include <memory>
 #include <string>
 #include <string_view>
 
 namespace awdit {
+
+/// One decoded line of a streaming history format: the context-free part
+/// of parsing, produced by the per-format decoders below. A line that is
+/// structurally recognizable but malformed keeps its structural kind with
+/// Error set, so the machine can apply its state-dependent checks (which
+/// take precedence in the legacy parsers' diagnostics) before failing.
+struct LineEvent {
+  enum class Type : uint8_t {
+    /// Blank line or comment; ignored.
+    Blank,
+    /// Native `b <session>`.
+    Begin,
+    /// Native `r <key> <value>` / DBCop `R <key> <value>`.
+    ReadOp,
+    /// Native `w <key> <value>` / DBCop `W <key> <value>`.
+    WriteOp,
+    /// Native `c`.
+    Commit,
+    /// Native `a`.
+    Abort,
+    /// Native streaming clock directive `t <ticks>`; Num holds the ticks.
+    Clock,
+    /// DBCop `sessions <k>`; Num holds k.
+    DbcopHeader,
+    /// DBCop `txn <session> <0|1> <numops>`; Flag = commits, Num = numops.
+    DbcopTxn,
+    /// Plume `<session>,<txn>,<r|w>,<key>,<value>`; Num = file txn id,
+    /// Flag = is-read. When only the (session, txn) prefix parsed, Error
+    /// is set and K/V are meaningless — the machine still opens the pair
+    /// (matching the legacy parser) before failing.
+    PlumeOp,
+    /// Plume `<session>,<txn>,abort`; Num = file txn id.
+    PlumeAbort,
+    /// Unrecognized or unparseable line; Error holds the message.
+    Malformed,
+  };
+
+  Type Kind = Type::Blank;
+  SessionId Session = 0;
+  /// Overloaded numeric payload, see the Type comments.
+  uint64_t Num = 0;
+  Key K = 0;
+  Value V = 0;
+  bool Flag = false;
+  /// Non-empty when the line was malformed; the message carries no line
+  /// prefix (the caller adds "line N: ").
+  std::string Error;
+};
+
+/// Context-free decoders: one line (no trailing newline, trailing CR
+/// already stripped) to one LineEvent. Pure functions, safe on any thread.
+LineEvent decodeNativeLine(std::string_view Line);
+LineEvent decodePlumeLine(std::string_view Line);
+LineEvent decodeDbcopLine(std::string_view Line);
+
+using LineDecoder = LineEvent (*)(std::string_view);
+
+/// The decoder for \p Format ("native", "plume", "dbcop"); nullptr for an
+/// unknown format.
+LineDecoder lineDecoderFor(const std::string &Format);
+
+/// The stateful half of a streaming parser: applies decoded LineEvents to
+/// a Monitor in stream order. Exactly one thread may call apply()/atEnd().
+/// The machine's state is small (open-transaction handle, session count)
+/// and serializes into checkpoints so a resumed monitor continues from the
+/// exact stream position.
+class StreamMachine {
+public:
+  virtual ~StreamMachine() = default;
+
+  /// Applies one decoded line. Returns false and sets \p Err (without a
+  /// line prefix) on a malformed line or a model-invariant violation.
+  virtual bool apply(const LineEvent &E, std::string *Err) = 0;
+
+  /// End-of-input hook: verifies the stream ended at a clean transaction
+  /// boundary (native/dbcop) or closes the trailing open pair (plume).
+  virtual bool atEnd(std::string *Err) = 0;
+
+  /// True while the stream is inside a transaction (atEnd() would fail).
+  virtual bool hasOpenTxn() const = 0;
+
+  /// Committed transactions applied so far.
+  virtual uint64_t committedTxns() const = 0;
+
+  // --- Checkpoint support (checker/checkpoint.h). ---
+
+  virtual void saveState(ByteWriter &W) const = 0;
+  virtual bool loadState(ByteReader &R) = 0;
+};
+
+/// Creates the machine for \p Format driving \p M; nullptr for an unknown
+/// format.
+std::unique_ptr<StreamMachine> makeStreamMachine(const std::string &Format,
+                                                 Monitor &M);
 
 /// The streaming-parser interface shared by every input format.
 class StreamParser {
@@ -99,26 +213,49 @@ private:
   bool Stuck = false;
 };
 
+/// A single-threaded streaming parser over one decoder + one machine: the
+/// legacy decode-inline code path, and the reference the sharded pipeline
+/// must match bit-identically. makeStreamParser() instantiates one per
+/// format.
+class MachineStreamParser : public LineStreamParser {
+public:
+  MachineStreamParser(LineDecoder Decode,
+                      std::unique_ptr<StreamMachine> Machine)
+      : Decode(Decode), Machine(std::move(Machine)) {}
+
+  uint64_t committedTxns() const override {
+    return Machine->committedTxns();
+  }
+  bool hasOpenTxn() const override { return Machine->hasOpenTxn(); }
+
+protected:
+  bool processLine(std::string_view Line, std::string *Err) override {
+    std::string Msg;
+    if (Machine->apply(Decode(Line), &Msg))
+      return true;
+    return fail(Err, Msg);
+  }
+
+  bool atEnd(std::string *Err) override {
+    std::string Msg;
+    if (Machine->atEnd(&Msg))
+      return true;
+    return fail(Err, Msg);
+  }
+
+private:
+  LineDecoder Decode;
+  std::unique_ptr<StreamMachine> Machine;
+};
+
 /// Parses the native text format incrementally into a Monitor. Grammar:
 /// `b <session>`, `r <key> <value>`, `w <key> <value>`, `c`, `a`,
 /// comments (`# ...`), and the streaming-only clock directive `t <ticks>`.
-class StreamingTextParser final : public LineStreamParser {
+class StreamingTextParser final : public MachineStreamParser {
 public:
-  explicit StreamingTextParser(Monitor &M) : M(M) {}
-
-  uint64_t committedTxns() const override { return Committed; }
-  bool hasOpenTxn() const override { return HasOpenTxn; }
-
-protected:
-  bool processLine(std::string_view Line, std::string *Err) override;
-  bool atEnd(std::string *Err) override;
-
-private:
-  Monitor &M;
-  size_t NumSessions = 0;
-  bool HasOpenTxn = false;
-  TxnId Open = NoTxn;
-  uint64_t Committed = 0;
+  explicit StreamingTextParser(Monitor &M)
+      : MachineStreamParser(decodeNativeLine, makeStreamMachine("native", M)) {
+  }
 };
 
 /// Parses the Plume-style CSV format incrementally: lines are
@@ -128,31 +265,10 @@ private:
 /// abort line was seen for the pair (matching the batch parser, which
 /// also keeps appending post-abort operations to the aborted
 /// transaction).
-class StreamingPlumeParser final : public LineStreamParser {
+class StreamingPlumeParser final : public MachineStreamParser {
 public:
-  explicit StreamingPlumeParser(Monitor &M) : M(M) {}
-
-  uint64_t committedTxns() const override { return Committed; }
-  /// Plume has no explicit commit marker: a trailing open transaction is
-  /// committed (or aborted) by atEnd(), so the stream is never "inside"
-  /// one.
-  bool hasOpenTxn() const override { return false; }
-
-protected:
-  bool processLine(std::string_view Line, std::string *Err) override;
-  bool atEnd(std::string *Err) override;
-
-private:
-  bool closeOpen();
-
-  Monitor &M;
-  size_t NumSessions = 0;
-  bool HasOpen = false;
-  bool OpenAborted = false;
-  SessionId OpenSession = 0;
-  uint64_t OpenFileTxn = 0;
-  TxnId Open = NoTxn;
-  uint64_t Committed = 0;
+  explicit StreamingPlumeParser(Monitor &M)
+      : MachineStreamParser(decodePlumeLine, makeStreamMachine("plume", M)) {}
 };
 
 /// Parses the DBCop-style block format incrementally: a `sessions <k>`
@@ -160,25 +276,10 @@ private:
 /// numops `R <key> <value>` / `W <key> <value>` lines. The commit decision
 /// is declared up front, so a block closes the moment its last operation
 /// arrives.
-class StreamingDbcopParser final : public LineStreamParser {
+class StreamingDbcopParser final : public MachineStreamParser {
 public:
-  explicit StreamingDbcopParser(Monitor &M) : M(M) {}
-
-  uint64_t committedTxns() const override { return Committed; }
-  bool hasOpenTxn() const override { return OpsLeft != 0; }
-
-protected:
-  bool processLine(std::string_view Line, std::string *Err) override;
-  bool atEnd(std::string *Err) override;
-
-private:
-  Monitor &M;
-  bool SeenHeader = false;
-  size_t DeclaredSessions = 0;
-  TxnId Open = NoTxn;
-  bool OpenCommits = false;
-  size_t OpsLeft = 0;
-  uint64_t Committed = 0;
+  explicit StreamingDbcopParser(Monitor &M)
+      : MachineStreamParser(decodeDbcopLine, makeStreamMachine("dbcop", M)) {}
 };
 
 /// Creates the streaming parser for \p Format ("native", "plume",

@@ -1,0 +1,158 @@
+//===- support/packed_edge_map.h - Flat map over packed edges ----*- C++ -*-===//
+//
+// Part of the AWDIT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A flat open-addressing hash map keyed by a packed (src << 32 | dst) edge,
+/// replacing std::unordered_map in the saturation engine's persisted edge
+/// set (checker/saturation_state.h). Every flush touches the edge set once
+/// or twice per delta edge (refcount up on insert, down on source re-run),
+/// so the node-based map's allocation and pointer-chasing churn dominated
+/// the residual per-flush cost; the flat table keeps probes inside one or
+/// two cache lines and frees nothing on erase (backward-shift deletion, no
+/// tombstones, so load stays what the live edges need).
+///
+/// Keys are packed transaction-id pairs and can never be all-ones (NoTxn is
+/// not a valid edge endpoint), which frees ~0ULL as the empty sentinel.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AWDIT_SUPPORT_PACKED_EDGE_MAP_H
+#define AWDIT_SUPPORT_PACKED_EDGE_MAP_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace awdit {
+
+/// Open-addressing map from a packed edge (uint64_t, never ~0ULL) to \p V.
+/// Linear probing, power-of-two capacity, max load factor 7/8 on insert,
+/// backward-shift deletion. \p V must be default-constructible and cheap
+/// to move (the saturation engine stores an 8-byte refcount pair).
+template <typename V> class PackedEdgeMap {
+public:
+  static constexpr uint64_t EmptyKey = ~uint64_t(0);
+
+  PackedEdgeMap() { rehash(MinCapacity); }
+
+  size_t size() const { return Count; }
+  bool empty() const { return Count == 0; }
+
+  void clear() {
+    Keys.assign(Keys.size(), EmptyKey);
+    Values.assign(Values.size(), V{});
+    Count = 0;
+  }
+
+  /// Returns the value for \p Key, inserting a default-constructed one if
+  /// absent.
+  V &operator[](uint64_t Key) {
+    // Cap load at ~2/3: linear probing degrades sharply past that, and the
+    // slots are only 8+sizeof(V) bytes, so headroom is cheap.
+    if ((Count + 1) * 3 >= Keys.size() * 2)
+      rehash(Keys.size() * 2);
+    size_t Slot = probe(Key);
+    if (Keys[Slot] != Key) {
+      Keys[Slot] = Key;
+      Values[Slot] = V{};
+      ++Count;
+    }
+    return Values[Slot];
+  }
+
+  V *find(uint64_t Key) {
+    size_t Slot = probe(Key);
+    return Keys[Slot] == Key ? &Values[Slot] : nullptr;
+  }
+
+  const V *find(uint64_t Key) const {
+    size_t Slot = probe(Key);
+    return Keys[Slot] == Key ? &Values[Slot] : nullptr;
+  }
+
+  size_t count(uint64_t Key) const { return find(Key) ? 1 : 0; }
+
+  /// Removes \p Key if present; returns true when an entry was removed.
+  /// Backward-shift deletion: subsequent displaced entries slide back so
+  /// probe chains stay gap-free without tombstones.
+  bool erase(uint64_t Key) {
+    size_t Slot = probe(Key);
+    if (Keys[Slot] != Key)
+      return false;
+    size_t Mask = Keys.size() - 1;
+    size_t Hole = Slot;
+    size_t Next = (Hole + 1) & Mask;
+    while (Keys[Next] != EmptyKey) {
+      size_t Home = hash(Keys[Next]) & Mask;
+      // Move Keys[Next] back into the hole unless its home slot lies
+      // (cyclically) after the hole — then the hole does not break its
+      // probe chain.
+      bool HoleInChain = Next >= Home ? (Home <= Hole && Hole < Next)
+                                      : (Home <= Hole || Hole < Next);
+      if (HoleInChain) {
+        Keys[Hole] = Keys[Next];
+        Values[Hole] = std::move(Values[Next]);
+        Hole = Next;
+      }
+      Next = (Next + 1) & Mask;
+    }
+    Keys[Hole] = EmptyKey;
+    Values[Hole] = V{};
+    --Count;
+    return true;
+  }
+
+  /// Calls \p Fn(key, value) for every live entry, in table order.
+  template <typename Fn> void forEach(Fn &&F) const {
+    for (size_t I = 0; I < Keys.size(); ++I)
+      if (Keys[I] != EmptyKey)
+        F(Keys[I], Values[I]);
+  }
+
+private:
+  static constexpr size_t MinCapacity = 16;
+
+  static uint64_t hash(uint64_t X) {
+    // splitmix64 finalizer: full-avalanche over the packed (src, dst)
+    // halves so sequential transaction ids spread across the table.
+    X += 0x9e3779b97f4a7c15ULL;
+    X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    X = (X ^ (X >> 27)) * 0x94d049bb133111ebULL;
+    return X ^ (X >> 31);
+  }
+
+  size_t probe(uint64_t Key) const {
+    size_t Mask = Keys.size() - 1;
+    size_t Slot = hash(Key) & Mask;
+    while (Keys[Slot] != EmptyKey && Keys[Slot] != Key)
+      Slot = (Slot + 1) & Mask;
+    return Slot;
+  }
+
+  void rehash(size_t NewCapacity) {
+    std::vector<uint64_t> OldKeys = std::move(Keys);
+    std::vector<V> OldValues = std::move(Values);
+    Keys.assign(NewCapacity, EmptyKey);
+    Values.assign(NewCapacity, V{});
+    Count = 0;
+    for (size_t I = 0; I < OldKeys.size(); ++I) {
+      if (OldKeys[I] == EmptyKey)
+        continue;
+      size_t Slot = probe(OldKeys[I]);
+      Keys[Slot] = OldKeys[I];
+      Values[Slot] = std::move(OldValues[I]);
+      ++Count;
+    }
+  }
+
+  std::vector<uint64_t> Keys;
+  std::vector<V> Values;
+  size_t Count = 0;
+};
+
+} // namespace awdit
+
+#endif // AWDIT_SUPPORT_PACKED_EDGE_MAP_H

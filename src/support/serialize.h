@@ -1,0 +1,154 @@
+//===- support/serialize.h - Little-endian byte serialization ----*- C++ -*-===//
+//
+// Part of the AWDIT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The byte-level primitives of the checkpoint format (checker/checkpoint.h):
+/// a writer appending fixed-width little-endian fields to a growing buffer,
+/// and a bounds-checked reader over a byte range. The reader never throws
+/// and never reads past the end — a truncated or corrupted checkpoint turns
+/// into ok() == false (plus zero values), which the loaders translate into
+/// a clean error instead of UB. Counts read from untrusted bytes must pass
+/// checkCount() before vectors are sized from them, so a flipped length
+/// field cannot demand a terabyte allocation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AWDIT_SUPPORT_SERIALIZE_H
+#define AWDIT_SUPPORT_SERIALIZE_H
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace awdit {
+
+/// Appends little-endian fields to a byte buffer.
+class ByteWriter {
+public:
+  explicit ByteWriter(std::string &Out) : Out(Out) {}
+
+  void u8(uint8_t V) { Out.push_back(static_cast<char>(V)); }
+
+  void u32(uint32_t V) {
+    char Buf[4];
+    for (int I = 0; I < 4; ++I)
+      Buf[I] = static_cast<char>(V >> (8 * I));
+    Out.append(Buf, 4);
+  }
+
+  void u64(uint64_t V) {
+    char Buf[8];
+    for (int I = 0; I < 8; ++I)
+      Buf[I] = static_cast<char>(V >> (8 * I));
+    Out.append(Buf, 8);
+  }
+
+  void i64(int64_t V) { u64(static_cast<uint64_t>(V)); }
+
+  void boolean(bool V) { u8(V ? 1 : 0); }
+
+  /// Length-prefixed byte string.
+  void str(std::string_view S) {
+    u64(S.size());
+    Out.append(S.data(), S.size());
+  }
+
+private:
+  std::string &Out;
+};
+
+/// Bounds-checked little-endian reader. Reads past the end set the failed
+/// flag and yield zeros; callers check ok() (typically once, at the end of
+/// a load).
+class ByteReader {
+public:
+  ByteReader(const char *Data, size_t Size) : P(Data), End(Data + Size) {}
+  explicit ByteReader(std::string_view Bytes)
+      : ByteReader(Bytes.data(), Bytes.size()) {}
+
+  bool ok() const { return !Failed; }
+  void fail() { Failed = true; }
+  size_t remaining() const { return static_cast<size_t>(End - P); }
+
+  uint8_t u8() {
+    if (!need(1))
+      return 0;
+    return static_cast<uint8_t>(*P++);
+  }
+
+  uint32_t u32() {
+    if (!need(4))
+      return 0;
+    uint32_t V = 0;
+    for (int I = 0; I < 4; ++I)
+      V |= static_cast<uint32_t>(static_cast<uint8_t>(P[I])) << (8 * I);
+    P += 4;
+    return V;
+  }
+
+  uint64_t u64() {
+    if (!need(8))
+      return 0;
+    uint64_t V = 0;
+    for (int I = 0; I < 8; ++I)
+      V |= static_cast<uint64_t>(static_cast<uint8_t>(P[I])) << (8 * I);
+    P += 8;
+    return V;
+  }
+
+  int64_t i64() { return static_cast<int64_t>(u64()); }
+
+  bool boolean() { return u8() != 0; }
+
+  std::string str() {
+    uint64_t Len = u64();
+    if (!need(Len))
+      return {};
+    std::string S(P, static_cast<size_t>(Len));
+    P += Len;
+    return S;
+  }
+
+  /// Guards a count read from untrusted bytes: fails (and returns false)
+  /// unless \p Count elements of at least \p MinElemBytes each could still
+  /// fit in the remaining input.
+  bool checkCount(uint64_t Count, size_t MinElemBytes) {
+    if (MinElemBytes != 0 && Count > remaining() / MinElemBytes) {
+      Failed = true;
+      return false;
+    }
+    return true;
+  }
+
+private:
+  bool need(uint64_t N) {
+    if (Failed || N > remaining()) {
+      Failed = true;
+      return false;
+    }
+    return true;
+  }
+
+  const char *P;
+  const char *End;
+  bool Failed = false;
+};
+
+/// FNV-1a over a byte range: the checkpoint payload checksum. Not
+/// cryptographic — it guards against truncation and bit rot, not malice.
+inline uint64_t fnv1a(std::string_view Bytes) {
+  uint64_t H = 1469598103934665603ULL;
+  for (char C : Bytes) {
+    H ^= static_cast<uint8_t>(C);
+    H *= 1099511628211ULL;
+  }
+  return H;
+}
+
+} // namespace awdit
+
+#endif // AWDIT_SUPPORT_SERIALIZE_H

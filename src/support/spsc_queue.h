@@ -1,0 +1,138 @@
+//===- support/spsc_queue.h - SPSC lock-free ring buffer ---------*- C++ -*-===//
+//
+// Part of the AWDIT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A bounded lock-free single-producer single-consumer ring buffer, the
+/// hand-off primitive of the sharded monitor ingest pipeline
+/// (io/sharded_ingest.h): the reader thread routes line batches to the
+/// tokenizer workers through one queue each, and each worker hands decoded
+/// batches to the applier through another, so every queue has exactly one
+/// producer and one consumer and needs no locks — just acquire/release on
+/// the head and tail indices (ThreadSanitizer-clean by construction,
+/// enforced by the CI TSan job).
+///
+/// Blocking push/pop spin briefly and then yield; close() wakes the
+/// consumer permanently once the stream ends.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AWDIT_SUPPORT_SPSC_QUEUE_H
+#define AWDIT_SUPPORT_SPSC_QUEUE_H
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace awdit {
+
+/// A bounded SPSC FIFO. Exactly one thread may call push/tryPush/close and
+/// exactly one (other) thread may call pop/tryPop. Capacity is rounded up
+/// to a power of two; one slot is sacrificed to distinguish full from
+/// empty.
+template <typename T> class SpscQueue {
+public:
+  explicit SpscQueue(size_t Capacity = 256) {
+    size_t Cap = 2;
+    while (Cap < Capacity + 1)
+      Cap *= 2;
+    Slots.resize(Cap);
+    Mask = Cap - 1;
+  }
+
+  SpscQueue(const SpscQueue &) = delete;
+  SpscQueue &operator=(const SpscQueue &) = delete;
+
+  /// Producer: enqueues \p Value if a slot is free. Returns false when the
+  /// queue is full.
+  bool tryPush(T &&Value) {
+    size_t T0 = Tail.load(std::memory_order_relaxed);
+    size_t Next = (T0 + 1) & Mask;
+    if (Next == Head.load(std::memory_order_acquire))
+      return false; // full
+    Slots[T0] = std::move(Value);
+    Tail.store(Next, std::memory_order_release);
+    return true;
+  }
+
+  /// Producer: enqueues \p Value, spinning (then yielding) while the queue
+  /// is full. The consumer must keep draining or the producer livelocks —
+  /// the pipeline guarantees this by joining consumers only after close().
+  void push(T Value) {
+    Backoff B;
+    while (!tryPush(std::move(Value)))
+      B.pause();
+  }
+
+  /// Consumer: dequeues into \p Out if an item is ready. Returns false
+  /// when the queue is empty (closed or not).
+  bool tryPop(T &Out) {
+    size_t H = Head.load(std::memory_order_relaxed);
+    if (H == Tail.load(std::memory_order_acquire))
+      return false; // empty
+    Out = std::move(Slots[H]);
+    Head.store((H + 1) & Mask, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer: dequeues into \p Out, waiting for an item. Returns false
+  /// once the queue is closed *and* drained — the end-of-stream signal.
+  bool pop(T &Out) {
+    Backoff B;
+    while (true) {
+      if (tryPop(Out))
+        return true;
+      if (Closed.load(std::memory_order_acquire)) {
+        // Re-check: the producer may have pushed between the failed
+        // tryPop and the close flag becoming visible.
+        return tryPop(Out);
+      }
+      B.pause();
+    }
+  }
+
+  /// Producer: marks the stream complete. pop() returns false once the
+  /// remaining items are drained.
+  void close() { Closed.store(true, std::memory_order_release); }
+
+  bool closed() const { return Closed.load(std::memory_order_acquire); }
+
+private:
+  /// Spin, then yield, then sleep: a short busy loop covers the common
+  /// case of a momentarily-full/empty queue, yielding covers a slightly
+  /// slow peer — and once the wait is clearly an *idle stream* (a tailed
+  /// log going quiet for hours), the thread must actually sleep instead
+  /// of pegging a core on sched_yield. The 250us naps cap wake-up latency
+  /// well below anything visible in live monitoring while dropping idle
+  /// CPU to noise.
+  struct Backoff {
+    unsigned Spins = 0;
+    void pause() {
+      ++Spins;
+      if (Spins < 64)
+        return;
+      if (Spins < 1024) {
+        std::this_thread::yield();
+        return;
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(250));
+    }
+  };
+
+  std::vector<T> Slots;
+  size_t Mask = 0;
+  // Producer-written, consumer-read; and vice versa. Padded apart so the
+  // two sides do not false-share one cache line.
+  alignas(64) std::atomic<size_t> Tail{0};
+  alignas(64) std::atomic<size_t> Head{0};
+  alignas(64) std::atomic<bool> Closed{false};
+};
+
+} // namespace awdit
+
+#endif // AWDIT_SUPPORT_SPSC_QUEUE_H

@@ -1,0 +1,168 @@
+//===- tests/test_spsc_queue.cpp - SPSC queue and packed edge map tests ----===//
+//
+// The hand-off primitive of the sharded monitor pipeline and the flat
+// open-addressing edge map of the saturation engine. The threaded tests are
+// the ones the CI ThreadSanitizer job leans on.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/packed_edge_map.h"
+#include "support/spsc_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+using namespace awdit;
+
+TEST(SpscQueue, FifoOrderAndWraparound) {
+  SpscQueue<int> Q(4); // rounds up; forces many wraps below
+  for (int Round = 0; Round < 100; ++Round) {
+    EXPECT_TRUE(Q.tryPush(Round * 2));
+    EXPECT_TRUE(Q.tryPush(Round * 2 + 1));
+    int A = -1, B = -1;
+    EXPECT_TRUE(Q.tryPop(A));
+    EXPECT_TRUE(Q.tryPop(B));
+    EXPECT_EQ(A, Round * 2);
+    EXPECT_EQ(B, Round * 2 + 1);
+  }
+  int X;
+  EXPECT_FALSE(Q.tryPop(X));
+}
+
+TEST(SpscQueue, TryPushFailsWhenFull) {
+  SpscQueue<int> Q(2);
+  size_t Pushed = 0;
+  while (Q.tryPush(static_cast<int>(Pushed)))
+    ++Pushed;
+  EXPECT_GE(Pushed, 2u);
+  int X;
+  ASSERT_TRUE(Q.tryPop(X));
+  EXPECT_EQ(X, 0);
+  EXPECT_TRUE(Q.tryPush(99)); // freed slot is reusable
+}
+
+TEST(SpscQueue, PopReturnsFalseOnceClosedAndDrained) {
+  SpscQueue<std::string> Q(8);
+  Q.push("a");
+  Q.push("b");
+  Q.close();
+  std::string S;
+  EXPECT_TRUE(Q.pop(S));
+  EXPECT_EQ(S, "a");
+  EXPECT_TRUE(Q.pop(S));
+  EXPECT_EQ(S, "b");
+  EXPECT_FALSE(Q.pop(S));
+  EXPECT_FALSE(Q.pop(S)); // stays closed
+}
+
+TEST(SpscQueue, ThreadedTransferPreservesOrderAndContent) {
+  SpscQueue<uint64_t> Q(64);
+  constexpr uint64_t N = 200000;
+  uint64_t Sum = 0;
+  std::thread Consumer([&] {
+    uint64_t Expected = 0, V;
+    while (Q.pop(V)) {
+      EXPECT_EQ(V, Expected++);
+      Sum += V;
+    }
+    EXPECT_EQ(Expected, N);
+  });
+  for (uint64_t I = 0; I < N; ++I)
+    Q.push(I);
+  Q.close();
+  Consumer.join();
+  EXPECT_EQ(Sum, N * (N - 1) / 2);
+}
+
+TEST(SpscQueue, ThreadedPipelineOfQueues) {
+  // reader -> worker -> applier, the sharded-ingest shape.
+  SpscQueue<int> A(16), B(16);
+  std::thread Worker([&] {
+    int V;
+    while (A.pop(V))
+      B.push(V * 3);
+    B.close();
+  });
+  std::vector<int> Got;
+  std::thread Applier([&] {
+    int V;
+    while (B.pop(V))
+      Got.push_back(V);
+  });
+  for (int I = 0; I < 10000; ++I)
+    A.push(I);
+  A.close();
+  Worker.join();
+  Applier.join();
+  ASSERT_EQ(Got.size(), 10000u);
+  for (int I = 0; I < 10000; ++I)
+    EXPECT_EQ(Got[I], I * 3);
+}
+
+TEST(PackedEdgeMap, InsertFindEraseBasics) {
+  PackedEdgeMap<uint32_t> M;
+  EXPECT_TRUE(M.empty());
+  M[5] = 10;
+  M[7] += 1;
+  EXPECT_EQ(M.size(), 2u);
+  ASSERT_NE(M.find(5), nullptr);
+  EXPECT_EQ(*M.find(5), 10u);
+  EXPECT_EQ(*M.find(7), 1u);
+  EXPECT_EQ(M.find(6), nullptr);
+  EXPECT_EQ(M.count(5), 1u);
+  EXPECT_TRUE(M.erase(5));
+  EXPECT_FALSE(M.erase(5));
+  EXPECT_EQ(M.find(5), nullptr);
+  EXPECT_EQ(M.size(), 1u);
+}
+
+TEST(PackedEdgeMap, GrowsAndMatchesReferenceMap) {
+  PackedEdgeMap<uint64_t> M;
+  std::unordered_map<uint64_t, uint64_t> Ref;
+  uint64_t Seed = 12345;
+  auto Next = [&Seed] {
+    Seed = Seed * 6364136223846793005ULL + 1442695040888963407ULL;
+    return Seed >> 8;
+  };
+  // Mixed inserts and erases, including clustered keys that stress linear
+  // probing and backward-shift deletion.
+  for (int I = 0; I < 20000; ++I) {
+    uint64_t K = (I % 3 == 0) ? Next() : (Next() & 0x3FF);
+    if (I % 5 == 4) {
+      EXPECT_EQ(M.erase(K), Ref.erase(K) > 0);
+    } else {
+      M[K] = K + 1;
+      Ref[K] = K + 1;
+    }
+    ASSERT_EQ(M.size(), Ref.size());
+  }
+  size_t Seen = 0;
+  M.forEach([&](uint64_t K, uint64_t V) {
+    ++Seen;
+    auto It = Ref.find(K);
+    ASSERT_NE(It, Ref.end());
+    EXPECT_EQ(V, It->second);
+  });
+  EXPECT_EQ(Seen, Ref.size());
+  for (const auto &[K, V] : Ref) {
+    ASSERT_NE(M.find(K), nullptr) << K;
+    EXPECT_EQ(*M.find(K), V);
+  }
+}
+
+TEST(PackedEdgeMap, ClearResets) {
+  PackedEdgeMap<int> M;
+  for (uint64_t I = 0; I < 100; ++I)
+    M[I] = static_cast<int>(I);
+  M.clear();
+  EXPECT_TRUE(M.empty());
+  EXPECT_EQ(M.find(42), nullptr);
+  M[42] = 7;
+  EXPECT_EQ(*M.find(42), 7);
+}

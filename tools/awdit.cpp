@@ -22,19 +22,24 @@
 //===----------------------------------------------------------------------===//
 
 #include "checker/checker.h"
+#include "checker/checkpoint.h"
 #include "checker/monitor.h"
 #include "checker/shrinker.h"
 #include "checker/violation_sink.h"
 #include "history/history_stats.h"
 #include "io/dbcop_format.h"
 #include "io/plume_format.h"
+#include "io/sharded_ingest.h"
 #include "io/stream_parser.h"
 #include "io/text_format.h"
 #include "reduction/reductions.h"
 #include "sim/anomaly_injector.h"
+#include "support/serialize.h"
 #include "support/thread_pool.h"
 #include "workload/generator.h"
 
+#include <algorithm>
+#include <cerrno>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
@@ -45,7 +50,10 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
+
+#include <unistd.h>
 
 using namespace awdit;
 
@@ -123,6 +131,24 @@ int usage() {
       "                 [--interval N] [--window N] [--window-edges N]\n"
       "                 [--window-age TICKS] [--force-abort TICKS]"
       " [--witnesses N] [--json]\n"
+      "                 [--threads N (0 = auto, 1 = the legacy"
+      " single-threaded path;\n"
+      "                  N >= 2 shards parsing across N-1 workers +"
+      " 1 applier)]\n"
+      "                 [--checkpoint DIR (write a restartable snapshot"
+      " of the monitor\n"
+      "                  every K checking passes; K set by"
+      " --checkpoint-interval, default 16)]\n"
+      "                 [--resume DIR (restart from DIR's snapshot:"
+      " seeks the stream,\n"
+      "                  restores all state, emits exactly the"
+      " violations an\n"
+      "                  uninterrupted run would emit from the snapshot"
+      " on; other\n"
+      "                  flags must match the snapshot or be omitted)]\n"
+      "                 [--kill-after-flushes N (testing aid: SIGKILL"
+      " self after N\n"
+      "                  checking passes, for kill/resume drills)]\n"
       "  awdit stats <file> [--format native|plume|dbcop]\n"
       "  awdit generate --bench random|c-twitter|tpc-c|rubis"
       " [--sessions N] [--txns N]\n"
@@ -360,31 +386,123 @@ volatile std::sig_atomic_t MonitorInterrupted = 0;
 
 extern "C" void monitorSigintHandler(int) { MonitorInterrupted = 1; }
 
+/// Compatibility check for `--resume`: an explicitly given flag that
+/// contradicts the checkpoint is an error (the snapshot only continues the
+/// exact run it was taken from). Diagnostics follow the parse-error style:
+/// the offending file, what it holds, what the command line said.
+bool resumeFlagConflict(const std::string &CkptFile, const Flags &F,
+                        const char *Flag, const std::string &InCheckpoint) {
+  const std::string *Given = F.get(Flag);
+  if (!Given || *Given == InCheckpoint)
+    return false;
+  std::fprintf(stderr,
+               "error: %s: checkpoint was written with --%s %s, "
+               "incompatible with --%s %s\n",
+               CkptFile.c_str(), Flag, InCheckpoint.c_str(), Flag,
+               Given->c_str());
+  return true;
+}
+
 /// Tails a history stream (native, plume, or dbcop format) from a file or
 /// stdin ("-"), feeding a streaming Monitor that emits violations live —
 /// human one-liners or JSON lines — while a window bounds memory if
-/// requested. EOF and SIGINT both finalize: trailing violations are
-/// flushed to the sink and the final stats line is emitted, so tail mode
-/// never drops what it already saw.
+/// requested. `--threads N` shards the parsing work across cores
+/// (io/sharded_ingest.h) with bit-identical output; `--checkpoint DIR`
+/// snapshots the full monitor state at flush boundaries so `--resume DIR`
+/// can restart mid-stream after a crash. EOF and SIGINT both finalize:
+/// trailing violations are flushed to the sink and the final stats line is
+/// emitted, so tail mode never drops what it already saw.
 int cmdMonitor(const std::string &Path, const Flags &F) {
-  std::optional<IsolationLevel> Level =
-      parseIsolationLevel(F.getOr("level", ""));
-  if (!Level) {
-    std::fprintf(stderr, "error: --level rc|ra|cc is required\n");
-    return 2;
+  std::string Format = F.getOr("format", "native");
+  MonitorOptions Options;
+
+  const std::string *ResumeDir = F.get("resume");
+  CheckpointMeta ResumeMeta;
+  std::string ResumeBlob;
+  if (ResumeDir) {
+    std::string CkptFile = checkpointFilePath(*ResumeDir);
+    std::string Err;
+    if (!readCheckpointFile(*ResumeDir, ResumeBlob, &Err)) {
+      std::fprintf(stderr, "error: %s\n", Err.c_str());
+      return 2;
+    }
+    if (!decodeCheckpointMeta(ResumeBlob, ResumeMeta, &Err)) {
+      std::fprintf(stderr, "error: %s: %s\n", CkptFile.c_str(), Err.c_str());
+      return 2;
+    }
+    // The snapshot dictates the configuration; explicitly given flags must
+    // agree with it or the resumed run would not continue the same check.
+    // The level compares as a parsed value, not as text — the display name
+    // ("CC") and the flag spelling ("cc") differ in case.
+    if (const std::string *GivenLevel = F.get("level")) {
+      std::optional<IsolationLevel> Parsed =
+          parseIsolationLevel(*GivenLevel);
+      if (!Parsed || *Parsed != ResumeMeta.Options.Level) {
+        std::fprintf(stderr,
+                     "error: %s: checkpoint was written with --level %s, "
+                     "incompatible with --level %s\n",
+                     CkptFile.c_str(),
+                     isolationLevelName(ResumeMeta.Options.Level),
+                     GivenLevel->c_str());
+        return 2;
+      }
+    }
+    if (resumeFlagConflict(CkptFile, F, "format", ResumeMeta.Format) ||
+        resumeFlagConflict(
+            CkptFile, F, "interval",
+            std::to_string(ResumeMeta.Options.CheckIntervalTxns)) ||
+        resumeFlagConflict(CkptFile, F, "window",
+                           std::to_string(ResumeMeta.Options.WindowTxns)) ||
+        resumeFlagConflict(CkptFile, F, "window-edges",
+                           std::to_string(ResumeMeta.Options.WindowEdges)) ||
+        resumeFlagConflict(
+            CkptFile, F, "window-age",
+            std::to_string(ResumeMeta.Options.WindowAgeTicks)) ||
+        resumeFlagConflict(
+            CkptFile, F, "force-abort",
+            std::to_string(ResumeMeta.Options.ForceAbortOpenTicks)) ||
+        resumeFlagConflict(
+            CkptFile, F, "witnesses",
+            std::to_string(ResumeMeta.Options.Check.MaxWitnesses)))
+      return 2;
+    Options = ResumeMeta.Options;
+    Format = ResumeMeta.Format;
+  } else {
+    std::optional<IsolationLevel> Level =
+        parseIsolationLevel(F.getOr("level", ""));
+    if (!Level) {
+      std::fprintf(stderr, "error: --level rc|ra|cc is required\n");
+      return 2;
+    }
+    Options.Level = *Level;
+    Options.Check.MaxWitnesses =
+        static_cast<size_t>(numFlag(F, "witnesses", "4"));
+    Options.CheckIntervalTxns =
+        static_cast<size_t>(numFlag(F, "interval", "256"));
+    Options.WindowTxns = static_cast<size_t>(numFlag(F, "window", "0"));
+    Options.WindowEdges =
+        static_cast<size_t>(numFlag(F, "window-edges", "0"));
+    Options.WindowAgeTicks = numFlag(F, "window-age", "0");
+    Options.ForceAbortOpenTicks = numFlag(F, "force-abort", "0");
   }
 
-  MonitorOptions Options;
-  Options.Level = *Level;
-  Options.Check.MaxWitnesses =
-      static_cast<size_t>(numFlag(F, "witnesses", "4"));
-  Options.CheckIntervalTxns =
-      static_cast<size_t>(numFlag(F, "interval", "256"));
-  Options.WindowTxns = static_cast<size_t>(numFlag(F, "window", "0"));
-  Options.WindowEdges =
-      static_cast<size_t>(numFlag(F, "window-edges", "0"));
-  Options.WindowAgeTicks = numFlag(F, "window-age", "0");
-  Options.ForceAbortOpenTicks = numFlag(F, "force-abort", "0");
+  unsigned Threads = static_cast<unsigned>(numFlag(F, "threads", "0"));
+  if (Threads == 0) {
+    // Auto: one applier plus enough parsing shards to keep it fed; more
+    // than a handful of tokenizers just contend on the deal.
+    unsigned Hw = std::max(1u, std::thread::hardware_concurrency());
+    Threads = std::min(Hw, 8u);
+  }
+
+  const std::string *CkptDir = F.get("checkpoint");
+  // A resumed run keeps checkpointing into its own directory unless told
+  // otherwise — restartability should survive the restart.
+  if (!CkptDir)
+    CkptDir = ResumeDir;
+  uint64_t CkptInterval = numFlag(F, "checkpoint-interval", "16");
+  if (CkptInterval == 0)
+    CkptInterval = 1;
+  uint64_t KillAfter = numFlag(F, "kill-after-flushes", "0");
 
   bool Json = F.get("json") != nullptr;
   JsonLinesSink JsonSink(std::cout);
@@ -394,12 +512,65 @@ int cmdMonitor(const std::string &Path, const Flags &F) {
   });
   Monitor M(Options, Json ? static_cast<ViolationSink *>(&JsonSink)
                           : static_cast<ViolationSink *>(&TextSink));
-  std::unique_ptr<StreamParser> Parser =
-      makeStreamParser(F.getOr("format", "native"), M);
-  if (!Parser) {
-    std::fprintf(stderr, "error: unknown format '%s'\n",
-                 F.getOr("format", "native").c_str());
+
+  std::string MachineState;
+  if (ResumeDir) {
+    std::string Err;
+    if (!restoreCheckpoint(ResumeBlob, M, MachineState, &Err)) {
+      std::fprintf(stderr, "error: %s: %s\n",
+                   checkpointFilePath(*ResumeDir).c_str(), Err.c_str());
+      return 2;
+    }
+  }
+
+  // Epoch-barrier hook, run on the applier thread after every completed
+  // checking pass: write a checkpoint every CkptInterval flushes, then
+  // (testing aid) kill the process when asked to rehearse a crash.
+  uint64_t LastCkptFlush = ResumeDir ? ResumeMeta.Flushes : 0;
+  ShardedMonitorIngest::FlushHook Hook;
+  if (CkptDir || KillAfter) {
+    Hook = [&, CkptDir, CkptInterval, KillAfter,
+            Format](const IngestFlushPoint &P) mutable {
+      if (CkptDir && P.Flushes - LastCkptFlush >= CkptInterval) {
+        CheckpointMeta Meta;
+        Meta.Format = Format;
+        Meta.Options = Options;
+        Meta.StreamOffset = P.StreamOffset;
+        Meta.LineNo = P.LineNo;
+        Meta.CommittedTxns = P.CommittedTxns;
+        Meta.Flushes = P.Flushes;
+        std::string MBlob;
+        ByteWriter MW(MBlob);
+        P.Machine.saveState(MW);
+        std::string Err;
+        if (!writeCheckpointFile(*CkptDir, encodeCheckpoint(P.M, MBlob, Meta),
+                                 &Err))
+          std::fprintf(stderr, "warning: checkpoint not written: %s\n",
+                       Err.c_str());
+        else
+          LastCkptFlush = P.Flushes;
+      }
+      if (KillAfter && P.Flushes >= KillAfter) {
+        // Rehearse the crash the checkpoints exist for: no cleanup, no
+        // flush, the hard way.
+        raise(SIGKILL);
+      }
+    };
+  }
+
+  ShardedMonitorIngest Ingest(M, Format, Threads, std::move(Hook));
+  if (!Ingest.valid()) {
+    std::fprintf(stderr, "error: unknown format '%s'\n", Format.c_str());
     return 2;
+  }
+  if (ResumeDir) {
+    ByteReader MR(MachineState);
+    if (!Ingest.machine().loadState(MR)) {
+      std::fprintf(stderr, "error: %s: corrupted checkpoint (parser state)\n",
+                   checkpointFilePath(*ResumeDir).c_str());
+      return 2;
+    }
+    Ingest.primeResume(ResumeMeta.StreamOffset, ResumeMeta.LineNo);
   }
 
   std::FILE *In = Path == "-" ? stdin : std::fopen(Path.c_str(), "rb");
@@ -416,42 +587,69 @@ int cmdMonitor(const std::string &Path, const Flags &F) {
   Action.sa_flags = 0; // no SA_RESTART: interrupt the blocking read
   sigaction(SIGINT, &Action, &OldAction);
 
+  // Raw-fd reads, not stdio: read(2) returns whatever a pipe has right
+  // now, so a trickling `tail -f` stream reaches the checker (and emits
+  // its violations) line by line — fread would block until a full buffer
+  // accumulated, stalling live monitoring.
+  int Fd = fileno(In);
   char Buffer[1 << 16];
-  std::string Err;
   bool Ok = true;
-  while (Ok && !MonitorInterrupted) {
-    size_t N = std::fread(Buffer, 1, sizeof(Buffer), In);
-    if (N == 0)
-      break;
-    Ok = Parser->feed(std::string_view(Buffer, N), &Err);
+  if (ResumeDir && ResumeMeta.StreamOffset > 0) {
+    // Skip what the checkpoint already applied: seek a real file, read and
+    // discard on a pipe.
+    if (lseek(Fd, static_cast<off_t>(ResumeMeta.StreamOffset), SEEK_SET) <
+        0) {
+      uint64_t Left = ResumeMeta.StreamOffset;
+      while (Left > 0 && !MonitorInterrupted) {
+        size_t Want = std::min<uint64_t>(Left, sizeof(Buffer));
+        ssize_t N = read(Fd, Buffer, Want);
+        if (N < 0 && errno == EINTR)
+          continue; // SIGINT sets the flag; the loop condition sees it
+        if (N <= 0)
+          break;
+        Left -= static_cast<uint64_t>(N);
+      }
+    }
   }
-  bool ParseError = !Ok;
-  if (Ok && !MonitorInterrupted) {
-    // The final line may lack its newline yet still hold the directive
-    // that closes the last transaction: process it before deciding
-    // whether the stream ended mid-transaction.
-    if (!Parser->flushPartialLine(&Err)) {
-      ParseError = true;
-    } else if (Parser->hasOpenTxn()) {
+  while (Ok && !MonitorInterrupted) {
+    ssize_t N = read(Fd, Buffer, sizeof(Buffer));
+    if (N < 0 && errno == EINTR)
+      continue;
+    if (N <= 0)
+      break;
+    Ok = Ingest.feed(std::string_view(Buffer, static_cast<size_t>(N)));
+  }
+
+  bool ParseError = false;
+  if (MonitorInterrupted) {
+    Ingest.abortStream();
+    ParseError = !Ingest.errorText().empty();
+  } else {
+    switch (Ingest.finishStream()) {
+    case ShardedMonitorIngest::EndState::Clean:
+      break;
+    case ShardedMonitorIngest::EndState::OpenTxn:
       // A tailed stream can end mid-transaction; finalize() treats the
       // open transaction as aborted instead of dropping the session.
       std::fprintf(stderr,
                    "note: input ended inside an open transaction "
-                   "(line %zu); treating it as aborted\n",
-                   Parser->lineNumber());
-    } else if (!Parser->finish(&Err)) {
+                   "(line %llu); treating it as aborted\n",
+                   static_cast<unsigned long long>(Ingest.lineNumber()));
+      break;
+    case ShardedMonitorIngest::EndState::Error:
       ParseError = true;
+      break;
     }
   }
   sigaction(SIGINT, &OldAction, nullptr);
   if (In != stdin)
     std::fclose(In);
   if (ParseError)
-    std::fprintf(stderr, "error: %s\n", Err.c_str());
+    std::fprintf(stderr, "error: %s\n", Ingest.errorText().c_str());
   if (MonitorInterrupted)
     std::fprintf(stderr, "interrupted: finalizing after %llu committed "
                          "transactions\n",
-                 static_cast<unsigned long long>(Parser->committedTxns()));
+                 static_cast<unsigned long long>(Ingest.committedTxns()));
 
   // Always finalize: the sink gets every remaining detectable violation
   // and the stats line reflects what was actually checked.
@@ -461,7 +659,7 @@ int cmdMonitor(const std::string &Path, const Flags &F) {
     std::string Line = "{\"consistent\":";
     Line += Report.Consistent ? "true" : "false";
     Line += ",\"level\":\"";
-    appendJsonEscaped(Line, isolationLevelName(*Level));
+    appendJsonEscaped(Line, isolationLevelName(Options.Level));
     Line += "\",\"txns\":" + std::to_string(S.IngestedTxns) +
             ",\"committed\":" + std::to_string(S.CommittedTxns) +
             ",\"ops\":" + std::to_string(S.IngestedOps) +
@@ -480,7 +678,7 @@ int cmdMonitor(const std::string &Path, const Flags &F) {
     std::printf("%s: %s after %llu txns (%llu ops, %llu violations, "
                 "%llu checking passes)\n",
                 Report.Consistent ? "consistent" : "INCONSISTENT",
-                isolationLevelName(*Level),
+                isolationLevelName(Options.Level),
                 static_cast<unsigned long long>(S.IngestedTxns),
                 static_cast<unsigned long long>(S.IngestedOps),
                 static_cast<unsigned long long>(S.ReportedViolations),
