@@ -23,13 +23,17 @@
 #include "graph/vector_clock.h"
 #include "io/sharded_ingest.h"
 #include "io/text_format.h"
+#include "server/server.h"
+#include "support/socket.h"
 #include "workload/generator.h"
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 
 using namespace awdit;
 
@@ -418,6 +422,79 @@ static void BM_MonitorShardedIngest(benchmark::State &State) {
   reportOps(State, H);
 }
 BENCHMARK(BM_MonitorShardedIngest)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+// Multi-tenant server fan-out: aggregate committed-transaction throughput
+// vs concurrent session count. Each iteration boots an `awdit serve`
+// instance on an ephemeral loopback port (no checkpoint/sink dirs — pure
+// protocol + checking cost) and replays one small history per session
+// from concurrent client threads, HELLO through FINAL. items/s ~=
+// aggregate txns/s across all tenants.
+static void BM_ServerSessionFanout(benchmark::State &State) {
+  size_t Sessions = static_cast<size_t>(State.range(0));
+  const History &H = cachedHistory(512);
+  static const std::string Text = writeTextHistory(cachedHistory(512));
+  for (auto _ : State) {
+    server::ServerOptions Options;
+    Options.Host = "127.0.0.1";
+    Options.Port = 0;
+    Options.IdleTimeoutSec = 0;
+    server::Server Srv(Options);
+    std::string Err;
+    if (!Srv.start(&Err)) {
+      State.SkipWithError(Err.c_str());
+      return;
+    }
+    std::thread Runner([&] { Srv.run(); });
+
+    std::vector<std::thread> Clients;
+    Clients.reserve(Sessions);
+    std::atomic<bool> Failed{false};
+    for (size_t I = 0; I < Sessions; ++I)
+      Clients.emplace_back([&, I] {
+        Socket S = tcpConnect("127.0.0.1", Srv.port(), nullptr);
+        if (!S.valid() ||
+            !S.writeAll("HELLO s" + std::to_string(I) +
+                        " cc interval=64 witnesses=1\n") ||
+            !S.writeAll(Text) || !S.writeAll("END\n")) {
+          Failed.store(true);
+          return;
+        }
+        // Drain replies until the server says BYE.
+        std::string Buf;
+        char Tmp[4096];
+        for (;;) {
+          long N = S.readSome(Tmp, sizeof(Tmp));
+          if (N <= 0) {
+            Failed.store(true);
+            return;
+          }
+          Buf.append(Tmp, static_cast<size_t>(N));
+          if (Buf.find("BYE\n") != std::string::npos)
+            return;
+          // Keep only a tail: BYE can straddle a read boundary.
+          if (Buf.size() > 8192)
+            Buf.erase(0, Buf.size() - 8);
+        }
+      });
+    for (std::thread &C : Clients)
+      C.join();
+    Srv.requestShutdown();
+    Runner.join();
+    if (Failed.load()) {
+      State.SkipWithError("a client failed");
+      return;
+    }
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(State.iterations()) *
+                          static_cast<int64_t>(Sessions) *
+                          static_cast<int64_t>(H.numTxns()));
+}
+BENCHMARK(BM_ServerSessionFanout)
+    ->Arg(1)
+    ->Arg(8)
+    ->Arg(64)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 // End-to-end facade throughput (what the CLI pays per history).
 static void BM_FacadeAllLevels(benchmark::State &State) {

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Minimal `awdit serve` client: the raw line protocol, end to end.
+
+Start a server, then run this against it:
+
+    ./build/awdit serve --port 4519 --sink-dir sink &
+    ./build/awdit generate --bench c-twitter --sessions 4 --txns 200 \
+        --mode causal --seed 7 --inject causal-violation --out history.txt
+    python3 examples/serve_client.py 4519 my-stream history.txt
+
+Expected transcript (abridged):
+
+    > HELLO my-stream cc interval=32
+    < OK my-stream new offset=0 line=0
+    > ... 1234 stream lines ...
+    > STATS
+    < STATS {"stream":"my-stream","txns":204,...,"flush_micros":412}
+    < VIOLATION {"kind":"Commit-Order Cycle","stream":"my-stream",...}
+    > END
+    < FINAL {"stream":"my-stream","consistent":false,...}
+    < BYE
+
+On a reconnect after a server restart the HELLO reply is
+`OK my-stream resumed offset=<N> line=<M>`: seek the input to byte N and
+keep sending — the server's checkpoint already holds everything before
+that.
+"""
+
+import socket
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) != 4:
+        print(f"usage: {sys.argv[0]} <port> <stream-id> <history-file>")
+        return 2
+
+    port, stream, path = int(sys.argv[1]), sys.argv[2], sys.argv[3]
+    sock = socket.create_connection(("127.0.0.1", port))
+    rx = sock.makefile("r", newline="\n")
+
+    def send(line: str) -> None:
+        print(">", line)
+        sock.sendall((line + "\n").encode())
+
+    def recv() -> str:
+        line = rx.readline().rstrip("\n")
+        print("<", line[:120])
+        return line
+
+    send(f"HELLO {stream} cc interval=32")
+    ok = recv()
+    if ok.startswith("ERR"):
+        return 2
+    # "OK <stream> new|resumed|attached offset=<N> line=<M>"
+    offset = int(ok.split("offset=")[1].split()[0])
+
+    with open(path, "rb") as history:
+        history.seek(offset)
+        sock.sendall(history.read())
+    send("STATS")
+    send("END")
+
+    violations = 0
+    consistent = True
+    while True:
+        line = recv()
+        if line.startswith("VIOLATION "):
+            violations += 1
+        elif line.startswith("FINAL "):
+            consistent = '"consistent":true' in line
+        elif line == "BYE" or not line:
+            break
+
+    print(f"{stream}: {'consistent' if consistent else 'INCONSISTENT'}, "
+          f"{violations} violations pushed")
+    return 0 if consistent else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -150,20 +150,50 @@ std::string awdit::checkpointFilePath(const std::string &Dir) {
   return Dir + "/checkpoint.bin";
 }
 
-bool awdit::writeCheckpointFile(const std::string &Dir,
-                                std::string_view Blob, std::string *Err) {
+std::string awdit::sanitizeStreamName(std::string_view Name) {
+  static const char Hex[] = "0123456789ABCDEF";
+  std::string Out;
+  Out.reserve(Name.size());
+  for (size_t I = 0; I < Name.size(); ++I) {
+    char C = Name[I];
+    bool Safe = (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') ||
+                (C >= '0' && C <= '9') || C == '_' || C == '-' ||
+                (C == '.' && I != 0);
+    if (Safe) {
+      Out += C;
+    } else {
+      Out += '%';
+      Out += Hex[(static_cast<unsigned char>(C) >> 4) & 0xf];
+      Out += Hex[static_cast<unsigned char>(C) & 0xf];
+    }
+  }
+  // An empty id still needs a file name.
+  if (Out.empty())
+    Out = "%";
+  return Out;
+}
+
+std::string awdit::checkpointFilePathFor(const std::string &Dir,
+                                         std::string_view Stream) {
+  return Dir + "/" + sanitizeStreamName(Stream) + ".ckpt";
+}
+
+bool awdit::writeCheckpointFileAt(const std::string &Path,
+                                  std::string_view Blob, std::string *Err) {
   auto Fail = [&](const std::string &Msg) {
     if (Err)
       *Err = Msg;
     return false;
   };
-  std::error_code Ec;
-  std::filesystem::create_directories(Dir, Ec);
-  if (Ec)
-    return Fail("cannot create checkpoint directory '" + Dir +
-                "': " + Ec.message());
-  std::string Tmp = Dir + "/checkpoint.tmp";
-  std::string Final = checkpointFilePath(Dir);
+  std::filesystem::path Parent = std::filesystem::path(Path).parent_path();
+  if (!Parent.empty()) {
+    std::error_code Ec;
+    std::filesystem::create_directories(Parent, Ec);
+    if (Ec)
+      return Fail("cannot create checkpoint directory '" +
+                  Parent.string() + "': " + Ec.message());
+  }
+  std::string Tmp = Path + ".tmp";
   std::FILE *F = std::fopen(Tmp.c_str(), "wb");
   if (!F)
     return Fail("cannot open '" + Tmp + "' for writing");
@@ -181,16 +211,15 @@ bool awdit::writeCheckpointFile(const std::string &Dir,
   // rename() is atomic within one filesystem: a crash leaves either the
   // old checkpoint or the new one, never a half-written file under the
   // final name.
-  if (std::rename(Tmp.c_str(), Final.c_str()) != 0) {
+  if (std::rename(Tmp.c_str(), Path.c_str()) != 0) {
     std::remove(Tmp.c_str());
-    return Fail("cannot rename '" + Tmp + "' to '" + Final + "'");
+    return Fail("cannot rename '" + Tmp + "' to '" + Path + "'");
   }
   return true;
 }
 
-bool awdit::readCheckpointFile(const std::string &Dir, std::string &Blob,
-                               std::string *Err) {
-  std::string Path = checkpointFilePath(Dir);
+bool awdit::readCheckpointFileAt(const std::string &Path, std::string &Blob,
+                                 std::string *Err) {
   std::FILE *F = std::fopen(Path.c_str(), "rb");
   if (!F) {
     if (Err)
@@ -204,4 +233,14 @@ bool awdit::readCheckpointFile(const std::string &Dir, std::string &Blob,
     Blob.append(Buf, N);
   std::fclose(F);
   return true;
+}
+
+bool awdit::writeCheckpointFile(const std::string &Dir,
+                                std::string_view Blob, std::string *Err) {
+  return writeCheckpointFileAt(checkpointFilePath(Dir), Blob, Err);
+}
+
+bool awdit::readCheckpointFile(const std::string &Dir, std::string &Blob,
+                               std::string *Err) {
+  return readCheckpointFileAt(checkpointFilePath(Dir), Blob, Err);
 }

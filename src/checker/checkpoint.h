@@ -90,8 +90,33 @@ bool decodeCheckpointMeta(std::string_view Blob, CheckpointMeta &Meta,
 bool restoreCheckpoint(std::string_view Blob, Monitor &M,
                        std::string &MachineState, std::string *Err);
 
-/// The checkpoint file inside \p Dir.
+/// The checkpoint file inside \p Dir (the single-stream `awdit monitor`
+/// layout: one checkpoint per directory).
 std::string checkpointFilePath(const std::string &Dir);
+
+/// Encodes a client-chosen stream id into a string safe to use as a file
+/// name: [A-Za-z0-9._-] pass through (a leading '.' is encoded so a name
+/// can never be hidden or traverse upward), everything else — slashes, NUL,
+/// control bytes, spaces — becomes %XX. Injective on case-sensitive
+/// filesystems (the server's supported deployment target), so distinct
+/// stream ids cannot collide on one checkpoint file; on a case-folding
+/// filesystem ids differing only in letter case would share files.
+std::string sanitizeStreamName(std::string_view Name);
+
+/// The checkpoint file of stream \p Stream inside \p Dir — the multi-tenant
+/// server layout: one file per stream, named
+/// `<dir>/<sanitized-stream>.ckpt`.
+std::string checkpointFilePathFor(const std::string &Dir,
+                                  std::string_view Stream);
+
+/// Writes \p Blob atomically (temp file + rename) to \p Path, creating the
+/// parent directory if needed.
+bool writeCheckpointFileAt(const std::string &Path, std::string_view Blob,
+                           std::string *Err);
+
+/// Reads the checkpoint file at \p Path into \p Blob.
+bool readCheckpointFileAt(const std::string &Path, std::string &Blob,
+                          std::string *Err);
 
 /// Writes \p Blob atomically (temp file + rename) as \p Dir's checkpoint,
 /// creating \p Dir if needed.

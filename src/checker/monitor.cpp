@@ -8,6 +8,7 @@
 #include "support/serialize.h"
 
 #include <algorithm>
+#include <chrono>
 
 using namespace awdit;
 
@@ -333,6 +334,7 @@ void Monitor::forceAbortHung() {
 }
 
 void Monitor::flush(bool Final) {
+  auto FlushStart = std::chrono::steady_clock::now();
   ++Stats.Flushes;
   CommitsSinceFlush = 0;
   ensureAdoptedIndex();
@@ -395,6 +397,10 @@ void Monitor::flush(bool Final) {
   if (!Final)
     maybeEvict();
   Stats.LiveTxns = Live.numTxns();
+  Stats.FlushMicros += static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - FlushStart)
+          .count());
 }
 
 void Monitor::translateToMonitorIds(Violation &V) const {
@@ -934,6 +940,9 @@ void Monitor::saveState(ByteWriter &W) const {
   W.u64(Stats.EvictedWriterReads);
   W.u64(Stats.AgeEvictedTxns);
   W.u64(Stats.ForcedAborts);
+  // Stats.FlushMicros is deliberately not serialized: wall-clock timing is
+  // host-local, and including it would make the bytes non-canonical for a
+  // given logical state.
 
   W.u64(CommitsSinceFlush);
   W.u64(CurrentTime);

@@ -121,6 +121,13 @@ struct MonitorStats {
   uint64_t AgeEvictedTxns = 0;
   /// Open transactions force-aborted after ForceAbortOpenTicks.
   uint64_t ForcedAborts = 0;
+  /// Cumulative wall-clock time spent inside checking passes, in
+  /// microseconds. Host-local timing, not part of the monitor's logical
+  /// state: it is excluded from checkpoints (saveState stays canonical for
+  /// a given state) and from the end-of-run summary (which must be
+  /// byte-identical across resumed runs). Consumed by the periodic stats
+  /// line (`awdit monitor --stats-interval`) and the server's /metrics.
+  uint64_t FlushMicros = 0;
 };
 
 /// A streaming online-checking session. Not thread-safe: one monitor per

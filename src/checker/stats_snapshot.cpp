@@ -1,0 +1,100 @@
+//===- checker/stats_snapshot.cpp - Shared monitor-stats rendering ---------===//
+
+#include "checker/stats_snapshot.h"
+
+#include "checker/violation_sink.h"
+
+#include <cstdio>
+
+using namespace awdit;
+
+StatsSnapshot StatsSnapshot::of(const MonitorStats &S) {
+  StatsSnapshot Snap;
+  Snap.Txns = S.IngestedTxns;
+  Snap.Committed = S.CommittedTxns;
+  Snap.Ops = S.IngestedOps;
+  Snap.LiveTxns = S.LiveTxns;
+  Snap.Violations = S.ReportedViolations;
+  Snap.Flushes = S.Flushes;
+  Snap.EvictedTxns = S.EvictedTxns;
+  Snap.ForcedAborts = S.ForcedAborts;
+  Snap.FlushMicros = S.FlushMicros;
+  return Snap;
+}
+
+StatsSnapshot StatsSnapshot::minus(const StatsSnapshot &Since) const {
+  StatsSnapshot D = *this;
+  D.Txns -= Since.Txns;
+  D.Committed -= Since.Committed;
+  D.Ops -= Since.Ops;
+  // LiveTxns is a gauge, not a counter: keep the current value.
+  D.Violations -= Since.Violations;
+  D.Flushes -= Since.Flushes;
+  D.EvictedTxns -= Since.EvictedTxns;
+  D.ForcedAborts -= Since.ForcedAborts;
+  D.FlushMicros -= Since.FlushMicros;
+  return D;
+}
+
+void StatsSnapshot::add(const StatsSnapshot &S) {
+  Txns += S.Txns;
+  Committed += S.Committed;
+  Ops += S.Ops;
+  LiveTxns += S.LiveTxns;
+  Violations += S.Violations;
+  Flushes += S.Flushes;
+  EvictedTxns += S.EvictedTxns;
+  ForcedAborts += S.ForcedAborts;
+  FlushMicros += S.FlushMicros;
+}
+
+std::string StatsSnapshot::toLine() const {
+  char Buf[256];
+  std::snprintf(Buf, sizeof(Buf),
+                "txns=%llu committed=%llu violations=%llu evicted=%llu "
+                "flushes=%llu flush_ms=%.2f live=%llu",
+                static_cast<unsigned long long>(Txns),
+                static_cast<unsigned long long>(Committed),
+                static_cast<unsigned long long>(Violations),
+                static_cast<unsigned long long>(EvictedTxns),
+                static_cast<unsigned long long>(Flushes),
+                static_cast<double>(FlushMicros) / 1000.0,
+                static_cast<unsigned long long>(LiveTxns));
+  return Buf;
+}
+
+std::string StatsSnapshot::toJson() const {
+  std::string Out = "{\"txns\":" + std::to_string(Txns) +
+                    ",\"committed\":" + std::to_string(Committed) +
+                    ",\"ops\":" + std::to_string(Ops) +
+                    ",\"live\":" + std::to_string(LiveTxns) +
+                    ",\"violations\":" + std::to_string(Violations) +
+                    ",\"flushes\":" + std::to_string(Flushes) +
+                    ",\"evicted_txns\":" + std::to_string(EvictedTxns) +
+                    ",\"forced_aborts\":" + std::to_string(ForcedAborts) +
+                    ",\"flush_micros\":" + std::to_string(FlushMicros) + "}";
+  return Out;
+}
+
+std::string awdit::monitorSummaryJson(const CheckReport &Report,
+                                      const MonitorStats &S,
+                                      IsolationLevel Level) {
+  std::string Line = "{\"consistent\":";
+  Line += Report.Consistent ? "true" : "false";
+  Line += ",\"level\":\"";
+  appendJsonEscaped(Line, isolationLevelName(Level));
+  Line += "\",\"txns\":" + std::to_string(S.IngestedTxns) +
+          ",\"committed\":" + std::to_string(S.CommittedTxns) +
+          ",\"ops\":" + std::to_string(S.IngestedOps) +
+          ",\"violations\":" + std::to_string(S.ReportedViolations) +
+          ",\"flushes\":" + std::to_string(S.Flushes) +
+          ",\"evicted_txns\":" + std::to_string(S.EvictedTxns) +
+          ",\"compactions\":" + std::to_string(S.Compactions) +
+          ",\"evicted_unresolved_reads\":" +
+          std::to_string(S.EvictedUnresolvedReads) +
+          ",\"evicted_writer_reads\":" +
+          std::to_string(S.EvictedWriterReads) +
+          ",\"age_evicted_txns\":" + std::to_string(S.AgeEvictedTxns) +
+          ",\"forced_aborts\":" + std::to_string(S.ForcedAborts) + "}";
+  return Line;
+}

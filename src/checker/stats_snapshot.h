@@ -1,0 +1,80 @@
+//===- checker/stats_snapshot.h - Shared monitor-stats rendering -*- C++ -*-===//
+//
+// Part of the AWDIT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One compact view of a monitoring session's counters, shared by every
+/// consumer that reports them:
+///
+///  - `awdit monitor --stats-interval N` prints StatsSnapshot::toLine()
+///    periodically to stderr while the stream runs;
+///  - the server's STATS protocol verb replies with toJson();
+///  - the server's Prometheus-style /metrics endpoint exports the same
+///    counters (server/metrics rendering sums snapshots across sessions);
+///  - the end-of-run summary JSON of `awdit monitor --json` and of server
+///    sessions is monitorSummaryJson() — factored here so the server's
+///    per-stream summaries are byte-identical to the standalone CLI's.
+///
+/// monitorSummaryJson() deliberately carries no timing fields: a resumed
+/// run must produce a byte-identical final summary (the CI kill-and-resume
+/// smoke diffs them), and wall-clock time is not part of the logical state.
+/// Flush latency lives only in the live views (toLine, toJson, /metrics).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AWDIT_CHECKER_STATS_SNAPSHOT_H
+#define AWDIT_CHECKER_STATS_SNAPSHOT_H
+
+#include "checker/checker.h"
+#include "checker/monitor.h"
+
+#include <string>
+
+namespace awdit {
+
+/// A point-in-time copy of the counters every stats consumer reports.
+/// Plain values, so a snapshot can be taken on the thread that owns the
+/// monitor and rendered on any other.
+struct StatsSnapshot {
+  uint64_t Txns = 0;          ///< Transactions ingested.
+  uint64_t Committed = 0;     ///< Transactions committed.
+  uint64_t Ops = 0;           ///< Operations ingested.
+  uint64_t LiveTxns = 0;      ///< Transactions currently in the window.
+  uint64_t Violations = 0;    ///< Violations delivered to the sink.
+  uint64_t Flushes = 0;       ///< Incremental checking passes.
+  uint64_t EvictedTxns = 0;   ///< Transactions evicted from the window.
+  uint64_t ForcedAborts = 0;  ///< Hung transactions force-aborted.
+  uint64_t FlushMicros = 0;   ///< Wall-clock time inside checking passes.
+
+  static StatsSnapshot of(const MonitorStats &S);
+
+  /// Counter difference (this - Since); the per-interval view.
+  StatsSnapshot minus(const StatsSnapshot &Since) const;
+
+  /// Counter sum (the aggregate-across-sessions view the server's
+  /// /metrics and whole-server STATS render). LiveTxns adds too: the
+  /// aggregate gauge is the total of the per-session gauges.
+  void add(const StatsSnapshot &S);
+
+  /// One-line human rendering, e.g.
+  /// "txns=1200 committed=1180 violations=3 evicted=0 flushes=5
+  ///  flush_ms=1.82 live=1200". No trailing newline.
+  std::string toLine() const;
+
+  /// One JSON object with the same counters (flush time as
+  /// "flush_micros"). No trailing newline.
+  std::string toJson() const;
+};
+
+/// The end-of-run summary of a monitoring session as one JSON object —
+/// exactly the line `awdit monitor --json` prints after finalize, and the
+/// FINAL reply of a server session. Byte-identical across resumed runs for
+/// the same stream (no timing fields). No trailing newline.
+std::string monitorSummaryJson(const CheckReport &Report,
+                               const MonitorStats &S, IsolationLevel Level);
+
+} // namespace awdit
+
+#endif // AWDIT_CHECKER_STATS_SNAPSHOT_H

@@ -48,10 +48,16 @@ static const char *edgeKindJson(EdgeKind Kind) {
 }
 
 std::string awdit::violationToJson(const Violation &V,
-                                   const std::string *Description) {
+                                   const std::string *Description,
+                                   const std::string *Stream) {
   std::string Out = "{\"kind\":\"";
   appendJsonEscaped(Out, violationKindName(V.Kind));
   Out += '"';
+  if (Stream) {
+    Out += ",\"stream\":\"";
+    appendJsonEscaped(Out, *Stream);
+    Out += '"';
+  }
   if (V.T != NoTxn)
     Out += ",\"txn\":" + std::to_string(V.T);
   if (V.OpIndex != NoOp)
@@ -81,6 +87,7 @@ std::string awdit::violationToJson(const Violation &V,
 
 void JsonLinesSink::onViolation(const Violation &V,
                                 const std::string &Description) {
-  Out << violationToJson(V, &Description) << "\n";
+  Out << violationToJson(V, &Description, HasStream ? &Stream : nullptr)
+      << "\n";
   Out.flush();
 }

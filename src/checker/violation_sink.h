@@ -74,27 +74,42 @@ public:
 
 /// Writes one JSON object per violation, one per line (JSON-lines), to the
 /// given stream. Machine-readable counterpart of the human text output;
-/// `awdit monitor --json` and the --json mode of check/batch share the
-/// serializer below.
+/// `awdit monitor --json`, the --json mode of check/batch, and the server's
+/// per-session JSONL sinks share the serializer below.
+///
+/// When constructed with a stream id (the server's multi-tenant case) each
+/// line carries a "stream" field identifying the session the violation
+/// belongs to. The id is a client-chosen string and is JSON-escaped like
+/// every other string field.
 class JsonLinesSink final : public ViolationSink {
 public:
   explicit JsonLinesSink(std::ostream &Out) : Out(Out) {}
+  JsonLinesSink(std::ostream &Out, std::string Stream)
+      : Out(Out), Stream(std::move(Stream)), HasStream(true) {}
 
   void onViolation(const Violation &V,
                    const std::string &Description) override;
 
 private:
   std::ostream &Out;
+  std::string Stream;
+  bool HasStream = false;
 };
 
-/// Appends \p Text to \p Out with JSON string escaping (no quotes added).
+/// Appends \p Text to \p Out with JSON string escaping (no quotes added):
+/// quotes, backslashes, and every control character below 0x20 — key and
+/// format strings may come from untrusted stream input (anomaly
+/// descriptions, client-chosen stream ids) and must never break the
+/// JSON-lines framing.
 void appendJsonEscaped(std::string &Out, std::string_view Text);
 
-/// Serializes one violation as a JSON object: kind, txn/op/other when
-/// present, the witness cycle when present, and the optional description.
-/// No trailing newline.
+/// Serializes one violation as a JSON object: kind, the stream/session id
+/// when given (the field the multi-tenant server needs to multiplex many
+/// sessions onto one output), txn/op/other when present, the witness cycle
+/// when present, and the optional description. No trailing newline.
 std::string violationToJson(const Violation &V,
-                            const std::string *Description = nullptr);
+                            const std::string *Description = nullptr,
+                            const std::string *Stream = nullptr);
 
 } // namespace awdit
 

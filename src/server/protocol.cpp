@@ -1,0 +1,130 @@
+//===- server/protocol.cpp - Multi-tenant server line protocol -------------===//
+
+#include "server/protocol.h"
+
+#include "io/token_util.h"
+
+using namespace awdit;
+using namespace awdit::server;
+using awdit::io::parseInt;
+using awdit::io::tokenize;
+
+Verb awdit::server::classifyLine(std::string_view Line) {
+  // First token, cheaply: skip leading blanks, cut at the next blank.
+  size_t Start = Line.find_first_not_of(" \t");
+  if (Start == std::string_view::npos)
+    return Verb::None;
+  size_t End = Line.find_first_of(" \t", Start);
+  std::string_view Tok = Line.substr(
+      Start, End == std::string_view::npos ? Line.size() - Start
+                                           : End - Start);
+  if (Tok == "HELLO")
+    return Verb::Hello;
+  if (Tok == "STATS")
+    return Verb::Stats;
+  if (Tok == "DETACH")
+    return Verb::Detach;
+  if (Tok == "END")
+    return Verb::End;
+  if (Tok == "SHUTDOWN")
+    return Verb::Shutdown;
+  return Verb::None;
+}
+
+bool awdit::server::parseHello(std::string_view Line, HelloRequest &Req,
+                               std::string *Err) {
+  auto Fail = [&](const std::string &Msg) {
+    if (Err)
+      *Err = Msg;
+    return false;
+  };
+  std::vector<std::string_view> Tok = tokenize(Line);
+  if (Tok.size() < 3 || Tok[0] != "HELLO")
+    return Fail("expected 'HELLO <stream-id> <rc|ra|cc> [k=v ...]'");
+  Req.Stream = std::string(Tok[1]);
+  std::optional<IsolationLevel> Level = parseIsolationLevel(Tok[2]);
+  if (!Level)
+    return Fail("unknown isolation level '" + std::string(Tok[2]) +
+                "' (want rc|ra|cc)");
+  Req.Level = *Level;
+  Req.Options = MonitorOptions();
+  Req.Options.Level = *Level;
+  // The `awdit monitor` CLI defaults.
+  Req.Options.CheckIntervalTxns = 256;
+  Req.Options.Check.MaxWitnesses = 4;
+
+  for (size_t I = 3; I < Tok.size(); ++I) {
+    std::string_view KV = Tok[I];
+    size_t Eq = KV.find('=');
+    if (Eq == std::string_view::npos || Eq == 0 || Eq + 1 > KV.size())
+      return Fail("expected key=value, got '" + std::string(KV) + "'");
+    std::string Key(KV.substr(0, Eq));
+    std::string Value(KV.substr(Eq + 1));
+
+    uint64_t Num = 0;
+    bool IsNum = parseInt(std::string_view(Value), Num);
+    if (Key == "format") {
+      if (Value != "native" && Value != "plume" && Value != "dbcop")
+        return Fail("unknown format '" + Value + "'");
+      Req.Format = Value;
+    } else if (Key == "interval" && IsNum) {
+      Req.Options.CheckIntervalTxns = static_cast<size_t>(Num);
+    } else if (Key == "window" && IsNum) {
+      Req.Options.WindowTxns = static_cast<size_t>(Num);
+    } else if (Key == "window-edges" && IsNum) {
+      Req.Options.WindowEdges = static_cast<size_t>(Num);
+    } else if (Key == "window-age" && IsNum) {
+      Req.Options.WindowAgeTicks = Num;
+    } else if (Key == "force-abort" && IsNum) {
+      Req.Options.ForceAbortOpenTicks = Num;
+    } else if (Key == "witnesses" && IsNum) {
+      Req.Options.Check.MaxWitnesses = static_cast<size_t>(Num);
+    } else {
+      return Fail("unknown or malformed option '" + std::string(KV) + "'");
+    }
+    Req.Given[Key] = Value;
+  }
+  return true;
+}
+
+std::string awdit::server::optionValue(const std::string &Format,
+                                       const MonitorOptions &Options,
+                                       const std::string &Key) {
+  if (Key == "format")
+    return Format;
+  if (Key == "interval")
+    return std::to_string(Options.CheckIntervalTxns);
+  if (Key == "window")
+    return std::to_string(Options.WindowTxns);
+  if (Key == "window-edges")
+    return std::to_string(Options.WindowEdges);
+  if (Key == "window-age")
+    return std::to_string(Options.WindowAgeTicks);
+  if (Key == "force-abort")
+    return std::to_string(Options.ForceAbortOpenTicks);
+  if (Key == "witnesses")
+    return std::to_string(Options.Check.MaxWitnesses);
+  return {};
+}
+
+bool awdit::server::checkCompatible(const HelloRequest &Req,
+                                    const std::string &Format,
+                                    const MonitorOptions &Options,
+                                    std::string *Err) {
+  auto Fail = [&](const std::string &Msg) {
+    if (Err)
+      *Err = Msg;
+    return false;
+  };
+  if (Req.Level != Options.Level)
+    return Fail(std::string("stream runs at level ") +
+                isolationLevelName(Options.Level) +
+                ", incompatible with " + isolationLevelName(Req.Level));
+  for (const auto &[Key, Value] : Req.Given) {
+    std::string Existing = optionValue(Format, Options, Key);
+    if (Value != Existing)
+      return Fail("stream runs with " + Key + "=" + Existing +
+                  ", incompatible with " + Key + "=" + Value);
+  }
+  return true;
+}

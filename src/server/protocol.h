@@ -1,0 +1,107 @@
+//===- server/protocol.h - Multi-tenant server line protocol -----*- C++ -*-===//
+//
+// Part of the AWDIT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The line protocol of `awdit serve`: a strict superset of the native
+/// stream format (io/stream_parser.h). Every line a client sends is either
+/// a *session-control verb* (first token is an upper-case keyword) or a
+/// *stream line* forwarded verbatim to the session's format parser — the
+/// native directives (`b`/`r`/`w`/`c`/`a`/`t`), Plume CSV rows, or DBCop
+/// blocks, chosen by the HELLO `format=` option.
+///
+/// Control verbs:
+///
+///   HELLO <stream-id> <rc|ra|cc> [k=v ...]   open/attach/resume a session
+///       options: interval=N window=N window-edges=N window-age=T
+///                force-abort=T witnesses=N format=native|plume|dbcop
+///   STATS                                    one-line JSON session stats
+///   DETACH                                   detach; the session stays live
+///   END                                      stream complete: finalize,
+///                                            report, remove the session
+///   SHUTDOWN                                 drain the whole server
+///
+/// Server replies (always one line):
+///
+///   OK <stream-id> new|resumed|attached offset=<bytes> line=<n>
+///   OK detached <stream-id>
+///   OK shutting-down
+///   STATS {json}
+///   VIOLATION {json}            pushed asynchronously while checking
+///   FINAL {json}                the end-of-stream summary (after END, and
+///                               as a courtesy snapshot during drain)
+///   BYE                         the server is closing this connection
+///   DRAINING <stream-id> offset=<bytes>   sent at SIGTERM drain; the
+///                               session was checkpointed at this offset
+///   ERR <message>
+///
+/// Stream ids are client-chosen strings (no whitespace); they name the
+/// session's checkpoint file (checker/checkpoint.h sanitizer) and its
+/// JSON-lines sink, and tag every pushed violation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AWDIT_SERVER_PROTOCOL_H
+#define AWDIT_SERVER_PROTOCOL_H
+
+#include "checker/monitor.h"
+
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace awdit {
+namespace server {
+
+/// The session-control verbs. None means "not a control line": forward the
+/// line to the session's stream parser.
+enum class Verb : uint8_t {
+  None,
+  Hello,
+  Stats,
+  Detach,
+  End,
+  Shutdown,
+};
+
+/// Classifies one line (no trailing newline). Only exact upper-case
+/// keywords in the first token are verbs, so the stream formats (all of
+/// which use lower-case directives, digits, or `R`/`W`/`sessions`/`txn`
+/// tokens) pass through untouched.
+Verb classifyLine(std::string_view Line);
+
+/// A parsed HELLO line.
+struct HelloRequest {
+  std::string Stream;
+  IsolationLevel Level = IsolationLevel::CausalConsistency;
+  std::string Format = "native";
+  /// Fully resolved options (defaults applied where not given).
+  MonitorOptions Options;
+  /// The k=v options the client gave explicitly, as typed. Attach/resume
+  /// compatibility only checks these: omitted options defer to the
+  /// session's (or the checkpoint's) existing configuration.
+  std::map<std::string, std::string> Given;
+};
+
+/// Parses a HELLO line. Returns false with \p Err set on a malformed line.
+bool parseHello(std::string_view Line, HelloRequest &Req, std::string *Err);
+
+/// The value of option \p Key ("format", "interval", "window", ...) in
+/// \p Format + \p Options, rendered the way a client would type it — the
+/// compatibility checks compare against this.
+std::string optionValue(const std::string &Format,
+                        const MonitorOptions &Options,
+                        const std::string &Key);
+
+/// Checks every explicitly-given HELLO option against an existing
+/// configuration (a live session's, or a checkpoint's). Returns false with
+/// \p Err naming the first conflicting option.
+bool checkCompatible(const HelloRequest &Req, const std::string &Format,
+                     const MonitorOptions &Options, std::string *Err);
+
+} // namespace server
+} // namespace awdit
+
+#endif // AWDIT_SERVER_PROTOCOL_H

@@ -1,0 +1,469 @@
+//===- server/server.cpp - Multi-tenant monitoring server ------------------===//
+
+#include "server/server.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+using namespace awdit;
+using namespace awdit::server;
+
+namespace {
+
+/// Prometheus label-value escaping: backslash, double quote, newline.
+void appendLabelEscaped(std::string &Out, std::string_view Text) {
+  for (char C : Text) {
+    if (C == '\\')
+      Out += "\\\\";
+    else if (C == '"')
+      Out += "\\\"";
+    else if (C == '\n')
+      Out += "\\n";
+    else
+      Out += C;
+  }
+}
+
+void metricLine(std::string &Out, const char *Name, const char *Type,
+                uint64_t Value) {
+  Out += "# TYPE ";
+  Out += Name;
+  Out += ' ';
+  Out += Type;
+  Out += '\n';
+  Out += Name;
+  Out += ' ';
+  Out += std::to_string(Value);
+  Out += '\n';
+}
+
+} // namespace
+
+/// One client connection: a socket plus the line-assembly buffer and the
+/// session it is attached to. sendLine() is the ResponseWriter the session
+/// pumps push replies through — serialized by a write mutex because the
+/// event loop (OK/ERR replies) and the pool threads (VIOLATION/STATS/
+/// FINAL) both write.
+struct Server::Conn : ResponseWriter,
+                      std::enable_shared_from_this<Server::Conn> {
+  Socket Sock;
+  std::string RxPartial;
+  std::shared_ptr<StreamSession> Session;
+  /// The batch of stream lines accumulated from the current read chunk
+  /// (flushed to the session's inbox at the next verb or end of chunk).
+  StreamSession::Item Batch;
+  bool Dead = false;
+  /// Set once a send failed or timed out; the push channel goes mute and
+  /// the event loop's next sweep closes the connection. Keeps a client
+  /// that stops reading from wedging a pump thread (the socket has
+  /// SO_SNDTIMEO, so one send blocks for at most SendTimeoutSec).
+  std::atomic<bool> WriteFailed{false};
+
+  std::mutex WriteMu;
+
+  void sendLine(const std::string &Line) override {
+    if (WriteFailed.load(std::memory_order_relaxed))
+      return;
+    std::lock_guard<std::mutex> L(WriteMu);
+    if (!Sock.valid())
+      return;
+    std::string Out = Line;
+    Out += '\n';
+    if (!Sock.writeAll(Out))
+      WriteFailed.store(true, std::memory_order_relaxed);
+  }
+
+  void closeSocket() {
+    std::lock_guard<std::mutex> L(WriteMu);
+    Sock.close();
+  }
+};
+
+Server::Server(ServerOptions Options)
+    : Options(std::move(Options)),
+      Pool(std::make_unique<ThreadPool>(this->Options.Threads)),
+      Registry(std::make_unique<SessionRegistry>(
+          SessionEnv{this->Options.CheckpointDir, this->Options.SinkDir,
+                     this->Options.CheckpointIntervalFlushes},
+          *Pool)) {}
+
+Server::~Server() {
+  // Join every pump before the registry (which the pumps' OnDead hooks
+  // point into) goes away.
+  Pool.reset();
+  Registry.reset();
+  if (WakePipe[0] >= 0)
+    ::close(WakePipe[0]);
+  if (WakePipe[1] >= 0)
+    ::close(WakePipe[1]);
+}
+
+bool Server::start(std::string *Err) {
+  if (::pipe(WakePipe) != 0) {
+    if (Err)
+      *Err = std::string("pipe(): ") + std::strerror(errno);
+    return false;
+  }
+  if (!Listener.listenOn(Options.Host, Options.Port, Err))
+    return false;
+  if (Options.EnableMetrics &&
+      !MetricsListener.listenOn(Options.Host, Options.MetricsPort, Err))
+    return false;
+  return true;
+}
+
+void Server::requestShutdown() {
+  ShutdownRequested.store(true, std::memory_order_release);
+  if (WakePipe[1] >= 0) {
+    char B = 1;
+    // Best effort; the poll timeout catches a full pipe.
+    (void)!::write(WakePipe[1], &B, 1);
+  }
+}
+
+void Server::acceptClient() {
+  Socket S = Listener.accept();
+  if (!S.valid())
+    return;
+  // Bound how long a pushed reply can block a pump on a client that
+  // stopped reading; on timeout the send fails, the connection goes mute
+  // (Conn::WriteFailed) and is closed at the next sweep.
+  struct timeval Tv = {static_cast<time_t>(SendTimeoutSec), 0};
+  ::setsockopt(S.fd(), SOL_SOCKET, SO_SNDTIMEO, &Tv, sizeof(Tv));
+  auto C = std::make_shared<Conn>();
+  C->Sock = std::move(S);
+  C->Batch.K = StreamSession::Item::Kind::Data;
+  Conns.push_back(std::move(C));
+}
+
+void Server::flushBatch(const std::shared_ptr<Conn> &C) {
+  if (C->Batch.Lines.empty())
+    return;
+  StreamSession::Item I;
+  I.K = StreamSession::Item::Kind::Data;
+  std::swap(I, C->Batch);
+  C->Batch.K = StreamSession::Item::Kind::Data;
+  if (C->Session)
+    C->Session->enqueue(std::move(I), *Pool);
+}
+
+void Server::handleHello(const std::shared_ptr<Conn> &C,
+                         std::string_view Line) {
+  if (C->Session) {
+    C->sendLine("ERR already attached to stream '" + C->Session->name() +
+                "'; DETACH first");
+    return;
+  }
+  HelloRequest Req;
+  std::string Err;
+  if (!parseHello(Line, Req, &Err)) {
+    C->sendLine("ERR " + Err);
+    return;
+  }
+  SessionRegistry::HelloResult R = Registry->hello(Req, C);
+  if (!R.Session) {
+    C->sendLine("ERR " + R.Err);
+    return;
+  }
+  C->Session = R.Session;
+  C->sendLine("OK " + Req.Stream + " " + R.Status +
+              " offset=" + std::to_string(R.Offset) +
+              " line=" + std::to_string(R.LineNo));
+}
+
+std::string Server::serverStatsJson() const {
+  SessionRegistry::Totals T = Registry->totals();
+  std::string Out = "{\"sessions_live\":" +
+                    std::to_string(T.SessionsLive) +
+                    ",\"sessions_created\":" +
+                    std::to_string(T.SessionsCreated) +
+                    ",\"sessions_resumed\":" +
+                    std::to_string(T.SessionsResumed) +
+                    ",\"sessions_evicted\":" +
+                    std::to_string(T.SessionsEvicted) +
+                    ",\"sessions_ended\":" + std::to_string(T.SessionsEnded) +
+                    ",\"checkpoints\":" + std::to_string(T.Checkpoints) +
+                    ",\"totals\":" + T.Counters.toJson() + "}";
+  return Out;
+}
+
+void Server::handleLine(const std::shared_ptr<Conn> &C,
+                        std::string_view Line) {
+  switch (classifyLine(Line)) {
+  case Verb::Hello:
+    flushBatch(C);
+    handleHello(C, Line);
+    return;
+
+  case Verb::Stats:
+    flushBatch(C);
+    if (C->Session) {
+      StreamSession::Item I;
+      I.K = StreamSession::Item::Kind::Stats;
+      C->Session->enqueue(std::move(I), *Pool);
+    } else {
+      // Pre-HELLO STATS: the whole-server view.
+      C->sendLine("STATS " + serverStatsJson());
+    }
+    return;
+
+  case Verb::Detach:
+    flushBatch(C);
+    if (!C->Session) {
+      C->sendLine("ERR not attached");
+      return;
+    }
+    {
+      StreamSession::Item I;
+      I.K = StreamSession::Item::Kind::Detach;
+      std::shared_ptr<StreamSession> S = std::move(C->Session);
+      C->Session.reset();
+      S->enqueue(std::move(I), *Pool);
+    }
+    return;
+
+  case Verb::End:
+    flushBatch(C);
+    if (!C->Session) {
+      C->sendLine("ERR not attached");
+      return;
+    }
+    {
+      StreamSession::Item I;
+      I.K = StreamSession::Item::Kind::End;
+      std::shared_ptr<StreamSession> S = std::move(C->Session);
+      C->Session.reset();
+      S->enqueue(std::move(I), *Pool);
+    }
+    return;
+
+  case Verb::Shutdown:
+    flushBatch(C);
+    C->sendLine("OK shutting-down");
+    requestShutdown();
+    return;
+
+  case Verb::None:
+    if (!C->Session) {
+      // Tolerate leading blank lines/comments before HELLO.
+      size_t NonBlank = Line.find_first_not_of(" \t");
+      if (NonBlank == std::string_view::npos || Line[NonBlank] == '#')
+        return;
+      C->sendLine("ERR expected HELLO before stream data");
+      return;
+    }
+    C->Batch.Lines.emplace_back(Line);
+    C->Batch.Bytes += Line.size() + 1;
+    return;
+  }
+}
+
+void Server::readConn(const std::shared_ptr<Conn> &C) {
+  char Buf[1 << 16];
+  long N = C->Sock.readSome(Buf, sizeof(Buf));
+  if (N <= 0) {
+    closeConn(C);
+    return;
+  }
+  std::string_view Chunk(Buf, static_cast<size_t>(N));
+  size_t Pos = 0;
+  while (Pos < Chunk.size()) {
+    size_t End = Chunk.find('\n', Pos);
+    if (End == std::string_view::npos) {
+      C->RxPartial.append(Chunk.substr(Pos));
+      if (C->RxPartial.size() > MaxLineBytes) {
+        C->sendLine("ERR line exceeds " + std::to_string(MaxLineBytes) +
+                    " bytes");
+        closeConn(C);
+        return;
+      }
+      break;
+    }
+    if (C->RxPartial.empty()) {
+      handleLine(C, Chunk.substr(Pos, End - Pos));
+    } else {
+      C->RxPartial.append(Chunk.substr(Pos, End - Pos));
+      std::string Line;
+      Line.swap(C->RxPartial);
+      handleLine(C, Line);
+    }
+    Pos = End + 1;
+  }
+  flushBatch(C);
+}
+
+void Server::closeConn(const std::shared_ptr<Conn> &C) {
+  flushBatch(C);
+  if (C->Session) {
+    // The client vanished without DETACH: detach quietly, keep the
+    // session for a reconnect (or the idle-eviction timer).
+    StreamSession::Item I;
+    I.K = StreamSession::Item::Kind::Detach;
+    I.Quiet = true;
+    std::shared_ptr<StreamSession> S = std::move(C->Session);
+    C->Session.reset();
+    S->enqueue(std::move(I), *Pool);
+  }
+  C->closeSocket();
+  C->Dead = true;
+}
+
+std::string Server::renderMetrics() const {
+  SessionRegistry::Totals T = Registry->totals();
+  std::string Out;
+  metricLine(Out, "awdit_server_sessions_live", "gauge", T.SessionsLive);
+  metricLine(Out, "awdit_server_sessions_created_total", "counter",
+             T.SessionsCreated);
+  metricLine(Out, "awdit_server_sessions_resumed_total", "counter",
+             T.SessionsResumed);
+  metricLine(Out, "awdit_server_sessions_evicted_total", "counter",
+             T.SessionsEvicted);
+  metricLine(Out, "awdit_server_sessions_ended_total", "counter",
+             T.SessionsEnded);
+  metricLine(Out, "awdit_server_checkpoints_total", "counter",
+             T.Checkpoints);
+  metricLine(Out, "awdit_server_txns_ingested_total", "counter",
+             T.Counters.Txns);
+  metricLine(Out, "awdit_server_txns_committed_total", "counter",
+             T.Counters.Committed);
+  metricLine(Out, "awdit_server_ops_total", "counter", T.Counters.Ops);
+  metricLine(Out, "awdit_server_violations_total", "counter",
+             T.Counters.Violations);
+  metricLine(Out, "awdit_server_flushes_total", "counter",
+             T.Counters.Flushes);
+  metricLine(Out, "awdit_server_evicted_txns_total", "counter",
+             T.Counters.EvictedTxns);
+  metricLine(Out, "awdit_server_forced_aborts_total", "counter",
+             T.Counters.ForcedAborts);
+  Out += "# TYPE awdit_server_flush_seconds_total counter\n"
+         "awdit_server_flush_seconds_total ";
+  char Sec[64];
+  std::snprintf(Sec, sizeof(Sec), "%.6f",
+                static_cast<double>(T.Counters.FlushMicros) / 1e6);
+  Out += Sec;
+  Out += '\n';
+
+  // Per-stream gauges for the live tenants.
+  Out += "# TYPE awdit_session_committed_txns gauge\n";
+  std::string Violations = "# TYPE awdit_session_violations gauge\n";
+  for (const std::shared_ptr<StreamSession> &S : Registry->sessions()) {
+    if (S->phase() == StreamSession::Phase::Dead)
+      continue;
+    StatsSnapshot Snap = S->counters();
+    std::string Label = "{stream=\"";
+    appendLabelEscaped(Label, S->name());
+    Label += "\"}";
+    Out += "awdit_session_committed_txns" + Label + " " +
+           std::to_string(Snap.Committed) + "\n";
+    Violations += "awdit_session_violations" + Label + " " +
+                  std::to_string(Snap.Violations) + "\n";
+  }
+  Out += Violations;
+  return Out;
+}
+
+void Server::serveMetricsConn() {
+  Socket S = MetricsListener.accept();
+  if (!S.valid())
+    return;
+  // A scrape is one small request served inline on the event loop; the
+  // timeouts keep a stuck scraper (never sends, or never reads a large
+  // response) from wedging every tenant.
+  struct timeval Tv = {2, 0};
+  ::setsockopt(S.fd(), SOL_SOCKET, SO_RCVTIMEO, &Tv, sizeof(Tv));
+  ::setsockopt(S.fd(), SOL_SOCKET, SO_SNDTIMEO, &Tv, sizeof(Tv));
+  char Buf[4096];
+  long N = S.readSome(Buf, sizeof(Buf));
+  std::string_view Req(Buf, N > 0 ? static_cast<size_t>(N) : 0);
+  bool NotFound = false;
+  if (Req.rfind("GET ", 0) == 0) {
+    size_t PathEnd = Req.find(' ', 4);
+    std::string_view Path = Req.substr(4, PathEnd == std::string_view::npos
+                                              ? std::string_view::npos
+                                              : PathEnd - 4);
+    NotFound = Path != "/metrics" && Path != "/";
+  }
+  std::string Body = NotFound ? "not found\n" : renderMetrics();
+  std::string Resp = NotFound ? "HTTP/1.0 404 Not Found\r\n"
+                              : "HTTP/1.0 200 OK\r\n";
+  Resp += "Content-Type: text/plain; version=0.0.4\r\n"
+          "Content-Length: " +
+          std::to_string(Body.size()) +
+          "\r\n"
+          "Connection: close\r\n\r\n";
+  Resp += Body;
+  S.writeAll(Resp);
+}
+
+void Server::run() {
+  while (!ShutdownRequested.load(std::memory_order_acquire)) {
+    std::vector<pollfd> Fds;
+    Fds.push_back({WakePipe[0], POLLIN, 0});
+    Fds.push_back({Listener.fd(), POLLIN, 0});
+    if (MetricsListener.valid())
+      Fds.push_back({MetricsListener.fd(), POLLIN, 0});
+    size_t FirstConn = Fds.size();
+    std::vector<std::shared_ptr<Conn>> Polled;
+    for (const std::shared_ptr<Conn> &C : Conns) {
+      if (C->Dead)
+        continue;
+      // Backpressure: a session that is too far behind is not read; the
+      // TCP window fills and pushes back to the client.
+      if (C->Session && C->Session->inboxBytes() > InboxHighWater)
+        continue;
+      Fds.push_back({C->Sock.fd(), POLLIN, 0});
+      Polled.push_back(C);
+    }
+
+    int Ready = ::poll(Fds.data(), Fds.size(), /*timeout_ms=*/100);
+    if (Ready < 0 && errno != EINTR)
+      break;
+
+    if (Ready > 0) {
+      if (Fds[0].revents & POLLIN) {
+        char B[64];
+        (void)!::read(WakePipe[0], B, sizeof(B));
+      }
+      if (Fds[1].revents & POLLIN)
+        acceptClient();
+      if (MetricsListener.valid() && (Fds[2].revents & POLLIN))
+        serveMetricsConn();
+      for (size_t I = FirstConn; I < Fds.size(); ++I)
+        if (Fds[I].revents & (POLLIN | POLLHUP | POLLERR))
+          readConn(Polled[I - FirstConn]);
+    }
+
+    // Housekeeping, at most once a second: sweep dead sessions, schedule
+    // idle evictions, drop closed connections.
+    uint64_t Now = steadyNowSec();
+    if (Now != LastSweepSec) {
+      LastSweepSec = Now;
+      Registry->sweep(Now, Options.IdleTimeoutSec);
+      for (const std::shared_ptr<Conn> &C : Conns)
+        if (!C->Dead && C->WriteFailed.load(std::memory_order_relaxed))
+          closeConn(C);
+      Conns.erase(std::remove_if(Conns.begin(), Conns.end(),
+                                 [](const std::shared_ptr<Conn> &C) {
+                                   return C->Dead;
+                                 }),
+                  Conns.end());
+    }
+  }
+
+  // --- Drain. ---
+  Listener.close();
+  MetricsListener.close();
+  Registry->drainAll();
+  for (const std::shared_ptr<Conn> &C : Conns) {
+    C->Session.reset();
+    C->closeSocket();
+  }
+  Conns.clear();
+}

@@ -1,0 +1,140 @@
+//===- server/server.h - Multi-tenant monitoring server ----------*- C++ -*-===//
+//
+// Part of the AWDIT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// `awdit serve`: one process hosting many concurrent monitoring sessions.
+/// A poll(2) event loop owns every socket — the line-protocol listener
+/// (server/protocol.h), an optional Prometheus-style /metrics HTTP
+/// listener, and the client connections — splits incoming bytes into
+/// lines, routes control verbs, and enqueues stream-line batches onto the
+/// per-stream sessions of a SessionRegistry. The actual checking runs on a
+/// shared ThreadPool (support/thread_pool.h): each session is a pinned
+/// single-writer actor, so hundreds of tenants share the cores while every
+/// Monitor keeps the single-threaded semantics its correctness proofs (and
+/// its bit-identical-to-standalone guarantees) rely on.
+///
+/// Lifecycle:
+///
+///   start()  binds the listeners (port 0 = ephemeral, reported by
+///            port()/metricsPort());
+///   run()    blocks in the event loop until a shutdown is requested —
+///            by SIGTERM/SIGINT (the CLI wires requestShutdown() into a
+///            self-pipe) or by a client's SHUTDOWN verb — then drains:
+///            stops accepting, checkpoints + finalizes every session
+///            (clients get DRAINING/FINAL/BYE), closes, returns;
+///   a restarted server with the same --checkpoint-dir resumes every
+///   tenant from its per-stream checkpoint on the tenant's next HELLO.
+///
+/// Backpressure: a client whose session's inbox exceeds a high-water mark
+/// is simply not read until the pump catches up — the kernel's TCP window
+/// pushes back to the producer, bounding per-session memory.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AWDIT_SERVER_SERVER_H
+#define AWDIT_SERVER_SERVER_H
+
+#include "server/session_registry.h"
+#include "support/socket.h"
+#include "support/thread_pool.h"
+
+#include <atomic>
+#include <memory>
+#include <string>
+
+namespace awdit {
+namespace server {
+
+struct ServerOptions {
+  /// Listen address (dotted-quad IPv4).
+  std::string Host = "127.0.0.1";
+  /// Line-protocol port; 0 picks an ephemeral port (see Server::port()).
+  uint16_t Port = 0;
+  /// Serve the /metrics endpoint (on MetricsPort; 0 = ephemeral).
+  bool EnableMetrics = false;
+  uint16_t MetricsPort = 0;
+  /// Per-stream checkpoints live here; empty disables persistence.
+  std::string CheckpointDir;
+  /// Per-stream JSONL violation sinks live here; empty disables them.
+  std::string SinkDir;
+  /// Worker threads of the shared pool (0 = all cores).
+  unsigned Threads = 0;
+  /// Evict detached sessions idle this long (seconds; 0 = never).
+  uint64_t IdleTimeoutSec = 300;
+  /// Checkpoint cadence in checking passes.
+  uint64_t CheckpointIntervalFlushes = 16;
+};
+
+/// The server. One instance per process; start() then run() (typically on
+/// its own thread in tests, on the main thread in the CLI).
+class Server {
+public:
+  explicit Server(ServerOptions Options);
+  ~Server();
+
+  Server(const Server &) = delete;
+  Server &operator=(const Server &) = delete;
+
+  /// Binds the listeners. False with \p Err set on failure.
+  bool start(std::string *Err);
+
+  /// The event loop; returns after a requested shutdown has drained every
+  /// session.
+  void run();
+
+  /// Requests shutdown + drain. Async-signal-safe (writes one byte to a
+  /// self-pipe); callable from any thread or from a signal handler.
+  void requestShutdown();
+
+  uint16_t port() const { return Listener.port(); }
+  uint16_t metricsPort() const { return MetricsListener.port(); }
+
+  /// The Prometheus-style metrics page (also served on /metrics).
+  std::string renderMetrics() const;
+
+private:
+  struct Conn;
+
+  void acceptClient();
+  void serveMetricsConn();
+  void readConn(const std::shared_ptr<Conn> &C);
+  void handleLine(const std::shared_ptr<Conn> &C, std::string_view Line);
+  void flushBatch(const std::shared_ptr<Conn> &C);
+  void handleHello(const std::shared_ptr<Conn> &C, std::string_view Line);
+  void closeConn(const std::shared_ptr<Conn> &C);
+  std::string serverStatsJson() const;
+
+  ServerOptions Options;
+  TcpListener Listener;
+  TcpListener MetricsListener;
+  int WakePipe[2] = {-1, -1};
+  std::atomic<bool> ShutdownRequested{false};
+
+  /// Destruction order matters: ~Server joins the pool (so no session
+  /// pump can still be running) before the registry goes away — both are
+  /// torn down explicitly there.
+  std::unique_ptr<ThreadPool> Pool;
+  std::unique_ptr<SessionRegistry> Registry;
+
+  std::vector<std::shared_ptr<Conn>> Conns;
+  uint64_t LastSweepSec = 0;
+
+  /// Stop reading a client once its session's unprocessed inbox exceeds
+  /// this many bytes.
+  static constexpr size_t InboxHighWater = 4 << 20;
+  /// A single protocol/stream line may not exceed this (bounds the
+  /// per-connection assembly buffer against a newline-free firehose).
+  static constexpr size_t MaxLineBytes = 1 << 20;
+  /// SO_SNDTIMEO on client sockets: the longest a pushed reply can block
+  /// a pump thread on a client that stopped reading. After a timeout the
+  /// connection goes mute and is closed at the next sweep.
+  static constexpr unsigned SendTimeoutSec = 5;
+};
+
+} // namespace server
+} // namespace awdit
+
+#endif // AWDIT_SERVER_SERVER_H

@@ -444,3 +444,113 @@ TEST(Checkpoint, FileLayerRoundTripsAtomically) {
   EXPECT_FALSE(readCheckpointFile(Dir + "/nope", Missing, &Err));
   EXPECT_NE(Err.find("cannot open"), std::string::npos);
 }
+
+/// Many independent monitors checkpointed and restored in one process —
+/// the multi-tenant server's resume path: distinct levels, cadences, and
+/// windows, interleaved save/load and interleaved replay, with every
+/// observable compared against that stream's own uninterrupted run (no
+/// cross-session state bleed).
+TEST(Checkpoint, MultipleIndependentMonitorsRestoreWithoutBleed) {
+  struct Tenant {
+    std::string Text;
+    MonitorOptions Options;
+    ReferenceRun Ref;
+    // Resumed state:
+    std::unique_ptr<CollectingSink> Sink;
+    std::unique_ptr<Monitor> M;
+    std::unique_ptr<ShardedMonitorIngest> Ingest;
+    size_t SnapIdx = 0;
+  };
+  std::vector<Tenant> Tenants(3);
+
+  Tenants[0].Options.Level = IsolationLevel::CausalConsistency;
+  Tenants[0].Options.CheckIntervalTxns = 8;
+  Tenants[0].Text = writeTextHistory(generated(61, 400, /*Inject=*/true));
+  Tenants[1].Options.Level = IsolationLevel::ReadAtomic;
+  Tenants[1].Options.CheckIntervalTxns = 1;
+  Tenants[1].Options.WindowTxns = 96;
+  Tenants[1].Text = writeTextHistory(generated(62, 400, /*Inject=*/true));
+  Tenants[2].Options.Level = IsolationLevel::ReadCommitted;
+  Tenants[2].Options.CheckIntervalTxns = 32;
+  Tenants[2].Text = writeTextHistory(generated(63, 400, /*Inject=*/false));
+
+  for (Tenant &T : Tenants) {
+    T.Options.Check.Threads = 1;
+    T.Ref = runWithSnapshots(T.Text, "native", T.Options);
+    ASSERT_FALSE(T.Ref.Snapshots.empty());
+  }
+
+  // Interleaved restore: every tenant's monitor is rebuilt before any
+  // tenant replays, from snapshots at different depths.
+  for (size_t I = 0; I < Tenants.size(); ++I) {
+    Tenant &T = Tenants[I];
+    T.SnapIdx = (T.Ref.Snapshots.size() - 1) * (I + 1) / 4;
+    const Snapshot &S = T.Ref.Snapshots[T.SnapIdx];
+    T.Sink = std::make_unique<CollectingSink>();
+    T.M = std::make_unique<Monitor>(T.Options, T.Sink.get());
+    std::string MachineState, Err;
+    ASSERT_TRUE(restoreCheckpoint(S.Blob, *T.M, MachineState, &Err))
+        << "tenant " << I << ": " << Err;
+    T.Ingest = std::make_unique<ShardedMonitorIngest>(*T.M, "native",
+                                                      /*Threads=*/1);
+    ByteReader MR(MachineState);
+    ASSERT_TRUE(T.Ingest->machine().loadState(MR)) << "tenant " << I;
+    T.Ingest->primeResume(S.Meta.StreamOffset, S.Meta.LineNo);
+  }
+
+  // Interleaved replay: round-robin chunks across the tenants, the way a
+  // server's event loop interleaves its clients.
+  bool Progress = true;
+  std::vector<size_t> Pos(Tenants.size());
+  for (size_t I = 0; I < Tenants.size(); ++I)
+    Pos[I] = Tenants[I].Ref.Snapshots[Tenants[I].SnapIdx].Meta.StreamOffset;
+  while (Progress) {
+    Progress = false;
+    for (size_t I = 0; I < Tenants.size(); ++I) {
+      Tenant &T = Tenants[I];
+      if (Pos[I] >= T.Text.size())
+        continue;
+      size_t Chunk = std::min<size_t>(2048, T.Text.size() - Pos[I]);
+      ASSERT_TRUE(T.Ingest->feed(
+          std::string_view(T.Text).substr(Pos[I], Chunk)))
+          << "tenant " << I << ": " << T.Ingest->errorText();
+      Pos[I] += Chunk;
+      Progress = true;
+    }
+  }
+
+  for (size_t I = 0; I < Tenants.size(); ++I) {
+    Tenant &T = Tenants[I];
+    std::string Context = "tenant " + std::to_string(I);
+    EXPECT_NE(T.Ingest->finishStream(),
+              ShardedMonitorIngest::EndState::Error)
+        << Context << ": " << T.Ingest->errorText();
+    CheckReport Report = T.M->finalize();
+    const MonitorStats &Stats = T.M->stats();
+    const Snapshot &S = T.Ref.Snapshots[T.SnapIdx];
+
+    // Violation stream: exactly this tenant's own post-checkpoint suffix.
+    ASSERT_LE(S.ViolationsAtCheckpoint, T.Ref.Descriptions.size())
+        << Context;
+    std::vector<std::string> ExpectedSuffix(
+        T.Ref.Descriptions.begin() +
+            static_cast<ptrdiff_t>(S.ViolationsAtCheckpoint),
+        T.Ref.Descriptions.end());
+    EXPECT_EQ(ExpectedSuffix, T.Sink->Descriptions) << Context;
+
+    // Final report and cumulative stats: the restart (and the presence of
+    // the other tenants) is invisible.
+    EXPECT_EQ(T.Ref.Report.Consistent, Report.Consistent) << Context;
+    ASSERT_EQ(T.Ref.Report.Violations.size(), Report.Violations.size())
+        << Context;
+    for (size_t V = 0; V < Report.Violations.size(); ++V)
+      expectSameViolation(T.Ref.Report.Violations[V], Report.Violations[V],
+                          Context + " violation " + std::to_string(V));
+    EXPECT_EQ(T.Ref.Stats.IngestedTxns, Stats.IngestedTxns) << Context;
+    EXPECT_EQ(T.Ref.Stats.CommittedTxns, Stats.CommittedTxns) << Context;
+    EXPECT_EQ(T.Ref.Stats.Flushes, Stats.Flushes) << Context;
+    EXPECT_EQ(T.Ref.Stats.ReportedViolations, Stats.ReportedViolations)
+        << Context;
+    EXPECT_EQ(T.Ref.Stats.EvictedTxns, Stats.EvictedTxns) << Context;
+  }
+}

@@ -1,0 +1,736 @@
+//===- tests/test_server.cpp - Multi-tenant monitoring server --------------===//
+//
+// The acceptance battery of `awdit serve` (server/server.h): the line
+// protocol, the session registry, and the end-to-end guarantee that every
+// hosted stream's violation record is byte-identical to a standalone
+// Monitor run on the same stream — across concurrent mixed-level tenants,
+// detach/re-attach, idle eviction with checkpoint resume, and a full
+// shutdown-drain + restart + resume cycle. Runs threaded (event loop,
+// pool pumps, client threads), so it is part of the CI TSan battery.
+//
+//===----------------------------------------------------------------------===//
+
+#include "checker/checkpoint.h"
+#include "checker/monitor.h"
+#include "checker/stats_snapshot.h"
+#include "checker/violation_sink.h"
+#include "io/stream_parser.h"
+#include "io/text_format.h"
+#include "server/protocol.h"
+#include "server/server.h"
+#include "sim/anomaly_injector.h"
+#include "support/socket.h"
+#include "workload/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include <unistd.h>
+
+using namespace awdit;
+using namespace awdit::server;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Protocol unit tests
+//===----------------------------------------------------------------------===//
+
+TEST(ServerProtocol, ClassifiesVerbsAndStreamLines) {
+  EXPECT_EQ(classifyLine("HELLO s cc"), Verb::Hello);
+  EXPECT_EQ(classifyLine("  STATS"), Verb::Stats);
+  EXPECT_EQ(classifyLine("DETACH"), Verb::Detach);
+  EXPECT_EQ(classifyLine("END"), Verb::End);
+  EXPECT_EQ(classifyLine("SHUTDOWN"), Verb::Shutdown);
+  // Stream lines of all three formats pass through.
+  EXPECT_EQ(classifyLine("b 3"), Verb::None);
+  EXPECT_EQ(classifyLine("w 1 2"), Verb::None);
+  EXPECT_EQ(classifyLine("sessions 4"), Verb::None);
+  EXPECT_EQ(classifyLine("txn 0 1 2"), Verb::None);
+  EXPECT_EQ(classifyLine("R 1 2"), Verb::None);
+  EXPECT_EQ(classifyLine("0,1,r,2,3"), Verb::None);
+  EXPECT_EQ(classifyLine("# HELLO in a comment"), Verb::None);
+  EXPECT_EQ(classifyLine(""), Verb::None);
+  // Only exact keywords are verbs.
+  EXPECT_EQ(classifyLine("HELLOX s cc"), Verb::None);
+  EXPECT_EQ(classifyLine("hello s cc"), Verb::None);
+}
+
+TEST(ServerProtocol, ParsesHello) {
+  HelloRequest Req;
+  std::string Err;
+  ASSERT_TRUE(parseHello("HELLO orders cc", Req, &Err)) << Err;
+  EXPECT_EQ(Req.Stream, "orders");
+  EXPECT_EQ(Req.Level, IsolationLevel::CausalConsistency);
+  EXPECT_EQ(Req.Format, "native");
+  EXPECT_EQ(Req.Options.CheckIntervalTxns, 256u); // the CLI default
+  EXPECT_TRUE(Req.Given.empty());
+
+  ASSERT_TRUE(parseHello("HELLO t ra interval=32 window=100 format=plume "
+                         "window-age=9 force-abort=5 witnesses=2",
+                         Req, &Err))
+      << Err;
+  EXPECT_EQ(Req.Level, IsolationLevel::ReadAtomic);
+  EXPECT_EQ(Req.Options.CheckIntervalTxns, 32u);
+  EXPECT_EQ(Req.Options.WindowTxns, 100u);
+  EXPECT_EQ(Req.Options.WindowAgeTicks, 9u);
+  EXPECT_EQ(Req.Options.ForceAbortOpenTicks, 5u);
+  EXPECT_EQ(Req.Options.Check.MaxWitnesses, 2u);
+  EXPECT_EQ(Req.Format, "plume");
+  EXPECT_EQ(Req.Given.size(), 6u);
+
+  EXPECT_FALSE(parseHello("HELLO onlyname", Req, &Err));
+  EXPECT_FALSE(parseHello("HELLO s serializable", Req, &Err));
+  EXPECT_FALSE(parseHello("HELLO s cc bogus=1", Req, &Err));
+  EXPECT_FALSE(parseHello("HELLO s cc interval=abc", Req, &Err));
+  EXPECT_FALSE(parseHello("HELLO s cc format=xml", Req, &Err));
+}
+
+TEST(ServerProtocol, CompatibilityChecksOnlyGivenOptions) {
+  HelloRequest Req;
+  std::string Err;
+  MonitorOptions Existing;
+  Existing.Level = IsolationLevel::CausalConsistency;
+  Existing.CheckIntervalTxns = 64;
+  Existing.WindowTxns = 500;
+
+  // Omitted options defer to the existing configuration.
+  ASSERT_TRUE(parseHello("HELLO s cc", Req, &Err));
+  EXPECT_TRUE(checkCompatible(Req, "native", Existing, &Err)) << Err;
+
+  // A matching explicit option passes; a conflicting one fails.
+  ASSERT_TRUE(parseHello("HELLO s cc interval=64", Req, &Err));
+  EXPECT_TRUE(checkCompatible(Req, "native", Existing, &Err)) << Err;
+  ASSERT_TRUE(parseHello("HELLO s cc interval=65", Req, &Err));
+  EXPECT_FALSE(checkCompatible(Req, "native", Existing, &Err));
+  EXPECT_NE(Err.find("interval"), std::string::npos);
+
+  // The level is always checked.
+  ASSERT_TRUE(parseHello("HELLO s ra", Req, &Err));
+  EXPECT_FALSE(checkCompatible(Req, "native", Existing, &Err));
+}
+
+TEST(ServerProtocol, SanitizeStreamNameIsInjectiveAndSafe) {
+  EXPECT_EQ(sanitizeStreamName("orders-eu_1.log"), "orders-eu_1.log");
+  // A leading dot is encoded (no hidden files, no ".." traversal) and
+  // slashes never pass through.
+  EXPECT_EQ(sanitizeStreamName("../etc/passwd"), "%2E.%2Fetc%2Fpasswd");
+  EXPECT_EQ(sanitizeStreamName(".hidden"), "%2Ehidden");
+  EXPECT_EQ(sanitizeStreamName("a b"), "a%20b");
+  // '%' itself is encoded, so the mapping stays injective.
+  EXPECT_EQ(sanitizeStreamName("a%20b"), "a%2520b");
+  EXPECT_NE(sanitizeStreamName("a b"), sanitizeStreamName("a%20b"));
+  EXPECT_EQ(sanitizeStreamName(""), "%");
+  EXPECT_EQ(checkpointFilePathFor("dir", "s/1"), "dir/s%2F1.ckpt");
+}
+
+//===----------------------------------------------------------------------===//
+// JSON escaping + stream-id field (the sink-hardening satellite)
+//===----------------------------------------------------------------------===//
+
+TEST(ViolationJson, EscapesControlCharactersAndQuotes) {
+  Violation V;
+  V.Kind = ViolationKind::ThinAirRead;
+  V.T = 3;
+  V.OpIndex = 1;
+  std::string Desc = "key \"a\b\" read\nvalue\t<\x01>";
+  std::string Json = violationToJson(V, &Desc);
+  EXPECT_NE(Json.find("\\\"a\\u0008\\\""), std::string::npos) << Json;
+  EXPECT_NE(Json.find("\\n"), std::string::npos);
+  EXPECT_NE(Json.find("\\t"), std::string::npos);
+  EXPECT_NE(Json.find("\\u0001"), std::string::npos);
+  // No raw control bytes and no unescaped inner quotes survive.
+  for (char C : Json)
+    EXPECT_GE(static_cast<unsigned char>(C), 0x20u) << Json;
+}
+
+TEST(ViolationJson, StreamIdFieldIsEscaped) {
+  Violation V;
+  V.Kind = ViolationKind::AbortedRead;
+  V.T = 1;
+  std::string Stream = "tenant\"7\n";
+  std::string Json = violationToJson(V, nullptr, &Stream);
+  EXPECT_NE(Json.find("\"stream\":\"tenant\\\"7\\n\""), std::string::npos)
+      << Json;
+
+  // The JSON-lines sink carries the same tagged form.
+  std::ostringstream Out;
+  JsonLinesSink Sink(Out, Stream);
+  Sink.onViolation(V, "desc");
+  EXPECT_NE(Out.str().find("\"stream\":\"tenant\\\"7\\n\""),
+            std::string::npos)
+      << Out.str();
+}
+
+//===----------------------------------------------------------------------===//
+// End-to-end server fixtures
+//===----------------------------------------------------------------------===//
+
+/// A blocking line-oriented protocol client over the support sockets.
+class TestClient {
+public:
+  bool connect(uint16_t Port) {
+    std::string Err;
+    Sock = tcpConnect("127.0.0.1", Port, &Err);
+    return Sock.valid();
+  }
+
+  bool send(const std::string &Text) { return Sock.writeAll(Text); }
+  bool sendLine(const std::string &Line) {
+    return Sock.writeAll(Line + "\n");
+  }
+
+  /// Next reply line; empty on EOF.
+  std::string readLine() {
+    for (;;) {
+      size_t Nl = Buf.find('\n');
+      if (Nl != std::string::npos) {
+        std::string Line = Buf.substr(0, Nl);
+        Buf.erase(0, Nl + 1);
+        return Line;
+      }
+      char Tmp[4096];
+      long N = Sock.readSome(Tmp, sizeof(Tmp));
+      if (N <= 0)
+        return {};
+      Buf.append(Tmp, static_cast<size_t>(N));
+    }
+  }
+
+  /// Reads until a line starting with \p Prefix arrives; collects every
+  /// "VIOLATION " payload seen on the way into \p Violations (if given).
+  std::string readUntil(const std::string &Prefix,
+                        std::vector<std::string> *Violations = nullptr) {
+    for (;;) {
+      std::string Line = readLine();
+      if (Line.empty())
+        return {};
+      if (Line.rfind("VIOLATION ", 0) == 0 && Violations)
+        Violations->push_back(Line.substr(10));
+      if (Line.rfind(Prefix, 0) == 0)
+        return Line;
+    }
+  }
+
+  void close() { Sock.close(); }
+
+private:
+  Socket Sock;
+  std::string Buf;
+};
+
+/// Starts a Server on an ephemeral port with its own temp dirs and runs it
+/// on a background thread; shuts down and joins on destruction.
+class ServerHarness {
+public:
+  explicit ServerHarness(ServerOptions Base = {}) {
+    Dir = std::filesystem::temp_directory_path() /
+          ("awdit_srv_" + std::to_string(::getpid()) + "_" +
+           std::to_string(Counter++));
+    std::filesystem::create_directories(Dir);
+    Base.Host = "127.0.0.1";
+    Base.Port = 0;
+    if (Base.CheckpointDir.empty())
+      Base.CheckpointDir = (Dir / "ckpt").string();
+    if (Base.SinkDir.empty())
+      Base.SinkDir = (Dir / "sink").string();
+    Options = Base;
+    restart();
+  }
+
+  ~ServerHarness() {
+    stop();
+    std::error_code Ec;
+    std::filesystem::remove_all(Dir, Ec);
+  }
+
+  /// Starts (or restarts, after stop()) the server with the same dirs.
+  void restart() {
+    S = std::make_unique<Server>(Options);
+    std::string Err;
+    ASSERT_TRUE(S->start(&Err)) << Err;
+    Runner = std::thread([this] { S->run(); });
+  }
+
+  void stop() {
+    if (!S)
+      return;
+    S->requestShutdown();
+    Runner.join();
+    S.reset();
+  }
+
+  uint16_t port() const { return S->port(); }
+  Server &server() { return *S; }
+  std::string sinkDir() const { return Options.SinkDir; }
+  std::string checkpointDir() const { return Options.CheckpointDir; }
+
+private:
+  static inline std::atomic<int> Counter{0};
+  std::filesystem::path Dir;
+  ServerOptions Options;
+  std::unique_ptr<Server> S;
+  std::thread Runner;
+};
+
+History generated(int Seed, size_t Txns, bool Inject) {
+  GenerateParams P;
+  P.Bench = Benchmark::CTwitter;
+  P.Mode = ConsistencyMode::Causal;
+  P.Sessions = 5;
+  P.Txns = Txns;
+  P.Seed = static_cast<uint64_t>(Seed);
+  History H = generateHistory(P);
+  if (!Inject)
+    return H;
+  std::string Err;
+  std::optional<History> Mutated = injectAnomaly(
+      H, AnomalyKind::CausalViolation, static_cast<uint64_t>(Seed) + 1,
+      &Err);
+  EXPECT_TRUE(Mutated) << Err;
+  return Mutated ? std::move(*Mutated) : std::move(H);
+}
+
+/// What a standalone `awdit monitor --json` run would output for this
+/// stream: the violation JSON lines and the final summary line.
+struct Reference {
+  std::vector<std::string> ViolationLines;
+  std::string Summary;
+};
+
+Reference referenceRun(const std::string &Text,
+                       const MonitorOptions &Options) {
+  Reference Ref;
+  std::ostringstream Out;
+  JsonLinesSink Sink(Out);
+  Monitor M(Options, &Sink);
+  StreamingTextParser Parser(M);
+  std::string Err;
+  EXPECT_TRUE(Parser.feed(Text, &Err)) << Err;
+  EXPECT_TRUE(Parser.finish(&Err)) << Err;
+  CheckReport Report = M.finalize();
+  Ref.Summary = monitorSummaryJson(Report, M.stats(), Options.Level);
+  std::istringstream Lines(Out.str());
+  for (std::string Line; std::getline(Lines, Line);)
+    Ref.ViolationLines.push_back(Line);
+  return Ref;
+}
+
+std::vector<std::string> fileLines(const std::string &Path) {
+  std::ifstream In(Path);
+  std::vector<std::string> Lines;
+  for (std::string Line; std::getline(In, Line);)
+    Lines.push_back(Line);
+  return Lines;
+}
+
+/// Drops the `"stream":"<name>",` tag the push channel adds, so pushed
+/// payloads compare against the untagged reference lines.
+std::string stripStreamTag(std::string Json, const std::string &Name) {
+  std::string Tag = "\"stream\":\"";
+  appendJsonEscaped(Tag, Name);
+  Tag += "\",";
+  size_t Pos = Json.find(Tag);
+  if (Pos != std::string::npos)
+    Json.erase(Pos, Tag.size());
+  return Json;
+}
+
+//===----------------------------------------------------------------------===//
+// End-to-end tests
+//===----------------------------------------------------------------------===//
+
+TEST(ServerEndToEnd, SingleStreamMatchesStandaloneMonitor) {
+  ServerHarness H;
+  History Hist = generated(11, 300, /*Inject=*/true);
+  std::string Text = writeTextHistory(Hist);
+
+  MonitorOptions Options;
+  Options.Level = IsolationLevel::CausalConsistency;
+  Options.CheckIntervalTxns = 32;
+  Options.Check.MaxWitnesses = 4;
+  Reference Ref = referenceRun(Text, Options);
+  ASSERT_FALSE(Ref.ViolationLines.empty());
+
+  TestClient C;
+  ASSERT_TRUE(C.connect(H.port()));
+  ASSERT_TRUE(C.sendLine("HELLO t1 cc interval=32"));
+  EXPECT_EQ(C.readLine(), "OK t1 new offset=0 line=0");
+  ASSERT_TRUE(C.send(Text));
+  ASSERT_TRUE(C.sendLine("END"));
+  std::vector<std::string> Pushed;
+  std::string Final = C.readUntil("FINAL ", &Pushed);
+  ASSERT_FALSE(Final.empty());
+  EXPECT_EQ(C.readUntil("BYE"), "BYE");
+
+  // Pushed violations = the standalone stream, stream-tagged.
+  ASSERT_EQ(Pushed.size(), Ref.ViolationLines.size());
+  for (size_t I = 0; I < Pushed.size(); ++I)
+    EXPECT_EQ(stripStreamTag(Pushed[I], "t1"), Ref.ViolationLines[I]);
+
+  // The FINAL summary = the standalone summary, stream-tagged.
+  EXPECT_EQ(stripStreamTag(Final.substr(6), "t1"), Ref.Summary);
+
+  // The durable sink file is byte-identical to the standalone JSONL.
+  EXPECT_EQ(fileLines(H.sinkDir() + "/t1.jsonl"), Ref.ViolationLines);
+  EXPECT_EQ(fileLines(H.sinkDir() + "/t1.summary.json"),
+            std::vector<std::string>{Ref.Summary});
+  H.stop();
+}
+
+TEST(ServerEndToEnd, ManyConcurrentMixedTenantsNoBleed) {
+  ServerHarness H;
+  // Mixed levels, cadences, windows; clean and injected histories.
+  struct Tenant {
+    std::string Name;
+    std::string Hello;
+    MonitorOptions Options;
+    std::string Text;
+    Reference Ref;
+  };
+  std::vector<Tenant> Tenants;
+  IsolationLevel Levels[] = {IsolationLevel::ReadCommitted,
+                             IsolationLevel::ReadAtomic,
+                             IsolationLevel::CausalConsistency};
+  const char *LevelNames[] = {"rc", "ra", "cc"};
+  for (int I = 0; I < 8; ++I) {
+    Tenant T;
+    T.Name = "tenant" + std::to_string(I);
+    int LevelIdx = I % 3;
+    size_t Interval = (I % 2) ? 16 : 64;
+    size_t Window = (I == 5) ? 200 : 0;
+    T.Options.Level = Levels[LevelIdx];
+    T.Options.CheckIntervalTxns = Interval;
+    T.Options.WindowTxns = Window;
+    T.Options.Check.MaxWitnesses = 4;
+    T.Hello = "HELLO " + T.Name + " " + LevelNames[LevelIdx] +
+              " interval=" + std::to_string(Interval);
+    if (Window)
+      T.Hello += " window=" + std::to_string(Window);
+    T.Text = writeTextHistory(generated(100 + I, 250, /*Inject=*/I % 2));
+    T.Ref = referenceRun(T.Text, T.Options);
+    Tenants.push_back(std::move(T));
+  }
+
+  // One client thread per tenant, all concurrent.
+  std::vector<std::thread> Threads;
+  std::vector<std::string> Finals(Tenants.size());
+  for (size_t I = 0; I < Tenants.size(); ++I)
+    Threads.emplace_back([&, I] {
+      TestClient C;
+      ASSERT_TRUE(C.connect(H.port()));
+      ASSERT_TRUE(C.sendLine(Tenants[I].Hello));
+      std::string Ok = C.readLine();
+      ASSERT_EQ(Ok.rfind("OK " + Tenants[I].Name + " new", 0), 0u) << Ok;
+      ASSERT_TRUE(C.send(Tenants[I].Text));
+      ASSERT_TRUE(C.sendLine("END"));
+      Finals[I] = C.readUntil("FINAL ");
+      C.readUntil("BYE");
+    });
+  for (std::thread &T : Threads)
+    T.join();
+
+  // Every tenant's record equals its own standalone run — no bleed.
+  for (size_t I = 0; I < Tenants.size(); ++I) {
+    const Tenant &T = Tenants[I];
+    EXPECT_EQ(fileLines(H.sinkDir() + "/" + T.Name + ".jsonl"),
+              T.Ref.ViolationLines)
+        << T.Name;
+    EXPECT_EQ(stripStreamTag(Finals[I].substr(6), T.Name), T.Ref.Summary)
+        << T.Name;
+  }
+  H.stop();
+}
+
+TEST(ServerEndToEnd, StatsVerbAndMetricsEndpoint) {
+  ServerOptions Base;
+  Base.EnableMetrics = true;
+  ServerHarness H(Base);
+
+  TestClient C;
+  ASSERT_TRUE(C.connect(H.port()));
+  // Pre-HELLO STATS: the whole-server view.
+  ASSERT_TRUE(C.sendLine("STATS"));
+  std::string ServerStats = C.readLine();
+  EXPECT_EQ(ServerStats.rfind("STATS {", 0), 0u) << ServerStats;
+  EXPECT_NE(ServerStats.find("\"sessions_live\":0"), std::string::npos);
+
+  ASSERT_TRUE(C.sendLine("HELLO m1 cc interval=8"));
+  ASSERT_EQ(C.readLine().rfind("OK m1 new", 0), 0u);
+  ASSERT_TRUE(C.send("b 0\nw 1 10\nc\nb 0\nr 1 10\nc\n"));
+  ASSERT_TRUE(C.sendLine("STATS"));
+  std::string Stats = C.readUntil("STATS ");
+  EXPECT_NE(Stats.find("\"stream\":\"m1\""), std::string::npos) << Stats;
+  EXPECT_NE(Stats.find("\"txns\":2"), std::string::npos) << Stats;
+
+  // The Prometheus page renders and carries the aggregate counters.
+  std::string Page = H.server().renderMetrics();
+  EXPECT_NE(Page.find("awdit_server_sessions_live 1"), std::string::npos)
+      << Page;
+  EXPECT_NE(Page.find("awdit_server_sessions_created_total 1"),
+            std::string::npos);
+  EXPECT_NE(Page.find("awdit_session_committed_txns{stream=\"m1\"} 2"),
+            std::string::npos)
+      << Page;
+  H.stop();
+}
+
+TEST(ServerEndToEnd, ProtocolErrors) {
+  ServerHarness H;
+  TestClient C;
+  ASSERT_TRUE(C.connect(H.port()));
+
+  // Stream data before HELLO.
+  ASSERT_TRUE(C.sendLine("b 0"));
+  EXPECT_EQ(C.readLine(), "ERR expected HELLO before stream data");
+
+  ASSERT_TRUE(C.sendLine("HELLO s1 xx"));
+  EXPECT_EQ(C.readLine().rfind("ERR unknown isolation level", 0), 0u);
+
+  ASSERT_TRUE(C.sendLine("HELLO s1 cc"));
+  ASSERT_EQ(C.readLine().rfind("OK s1 new", 0), 0u);
+
+  // Double attach from a second connection.
+  TestClient C2;
+  ASSERT_TRUE(C2.connect(H.port()));
+  ASSERT_TRUE(C2.sendLine("HELLO s1 cc"));
+  EXPECT_NE(C2.readLine().find("already has an attached client"),
+            std::string::npos);
+
+  // A malformed stream line wedges the session with a line-numbered ERR.
+  ASSERT_TRUE(C.send("b 0\nw 1 1\nbogus 9 9\n"));
+  std::string Err = C.readUntil("ERR ");
+  EXPECT_NE(Err.find("s1 line 3:"), std::string::npos) << Err;
+  H.stop();
+}
+
+TEST(ServerEndToEnd, DetachReattachContinuesWithOffset) {
+  ServerHarness H;
+  History Hist = generated(21, 200, /*Inject=*/true);
+  std::string Text = writeTextHistory(Hist);
+  MonitorOptions Options;
+  Options.Level = IsolationLevel::CausalConsistency;
+  Options.CheckIntervalTxns = 16;
+  Options.Check.MaxWitnesses = 4;
+  Reference Ref = referenceRun(Text, Options);
+
+  size_t Cut = Text.find('\n', Text.size() / 2);
+  ASSERT_NE(Cut, std::string::npos);
+  ++Cut;
+
+  TestClient C;
+  ASSERT_TRUE(C.connect(H.port()));
+  ASSERT_TRUE(C.sendLine("HELLO d1 cc interval=16"));
+  ASSERT_EQ(C.readLine().rfind("OK d1 new offset=0", 0), 0u);
+  ASSERT_TRUE(C.send(Text.substr(0, Cut)));
+  ASSERT_TRUE(C.sendLine("DETACH"));
+  EXPECT_EQ(C.readUntil("OK detached"), "OK detached d1");
+  C.close();
+
+  // Re-attach on a fresh connection; the server reports how far it got.
+  TestClient C2;
+  ASSERT_TRUE(C2.connect(H.port()));
+  ASSERT_TRUE(C2.sendLine("HELLO d1 cc"));
+  std::string Ok = C2.readLine();
+  ASSERT_EQ(Ok.rfind("OK d1 attached offset=" + std::to_string(Cut), 0),
+            0u)
+      << Ok;
+  ASSERT_TRUE(C2.send(Text.substr(Cut)));
+  ASSERT_TRUE(C2.sendLine("END"));
+  std::string Final = C2.readUntil("FINAL ");
+  C2.readUntil("BYE");
+
+  EXPECT_EQ(fileLines(H.sinkDir() + "/d1.jsonl"), Ref.ViolationLines);
+  EXPECT_EQ(stripStreamTag(Final.substr(6), "d1"), Ref.Summary);
+  H.stop();
+}
+
+TEST(ServerEndToEnd, IdleEvictionCheckpointsAndResumes) {
+  ServerOptions Base;
+  Base.IdleTimeoutSec = 1;
+  ServerHarness H(Base);
+  History Hist = generated(31, 200, /*Inject=*/true);
+  std::string Text = writeTextHistory(Hist);
+  MonitorOptions Options;
+  Options.Level = IsolationLevel::CausalConsistency;
+  Options.CheckIntervalTxns = 16;
+  Options.Check.MaxWitnesses = 4;
+  Reference Ref = referenceRun(Text, Options);
+
+  size_t Cut = Text.find('\n', Text.size() / 2);
+  ASSERT_NE(Cut, std::string::npos);
+  ++Cut;
+
+  TestClient C;
+  ASSERT_TRUE(C.connect(H.port()));
+  ASSERT_TRUE(C.sendLine("HELLO e1 cc interval=16"));
+  ASSERT_EQ(C.readLine().rfind("OK e1 new", 0), 0u);
+  ASSERT_TRUE(C.send(Text.substr(0, Cut)));
+  C.close(); // vanish without DETACH
+
+  // Wait past the idle timeout for the sweep to evict the session.
+  std::string CkptPath =
+      checkpointFilePathFor(H.checkpointDir(), "e1");
+  for (int Tries = 0; Tries < 100; ++Tries) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    if (std::filesystem::exists(CkptPath) &&
+        H.server().renderMetrics().find(
+            "awdit_server_sessions_evicted_total 1") != std::string::npos)
+      break;
+  }
+  EXPECT_TRUE(std::filesystem::exists(CkptPath));
+  EXPECT_NE(H.server().renderMetrics().find(
+                "awdit_server_sessions_evicted_total 1"),
+            std::string::npos);
+
+  // A new HELLO resumes the evicted tenant from its checkpoint.
+  TestClient C2;
+  ASSERT_TRUE(C2.connect(H.port()));
+  ASSERT_TRUE(C2.sendLine("HELLO e1 cc"));
+  std::string Ok = C2.readLine();
+  ASSERT_EQ(Ok.rfind("OK e1 resumed offset=" + std::to_string(Cut), 0), 0u)
+      << Ok;
+  ASSERT_TRUE(C2.send(Text.substr(Cut)));
+  ASSERT_TRUE(C2.sendLine("END"));
+  std::string Final = C2.readUntil("FINAL ");
+  C2.readUntil("BYE");
+
+  EXPECT_EQ(fileLines(H.sinkDir() + "/e1.jsonl"), Ref.ViolationLines);
+  EXPECT_EQ(stripStreamTag(Final.substr(6), "e1"), Ref.Summary);
+  H.stop();
+}
+
+TEST(ServerEndToEnd, DrainRestartResumeIsExactlyOnce) {
+  History Hist = generated(41, 400, /*Inject=*/true);
+  std::string Text = writeTextHistory(Hist);
+  MonitorOptions Options;
+  Options.Level = IsolationLevel::CausalConsistency;
+  Options.CheckIntervalTxns = 16;
+  Options.Check.MaxWitnesses = 4;
+  Reference Ref = referenceRun(Text, Options);
+  ASSERT_FALSE(Ref.ViolationLines.empty());
+
+  ServerOptions Base;
+  Base.CheckpointIntervalFlushes = 1;
+  ServerHarness H(Base);
+
+  size_t Cut = Text.find('\n', Text.size() / 2);
+  ASSERT_NE(Cut, std::string::npos);
+  ++Cut;
+
+  TestClient C;
+  ASSERT_TRUE(C.connect(H.port()));
+  ASSERT_TRUE(C.sendLine("HELLO r1 cc interval=16"));
+  ASSERT_EQ(C.readLine().rfind("OK r1 new", 0), 0u);
+  ASSERT_TRUE(C.send(Text.substr(0, Cut)));
+  ASSERT_TRUE(C.sendLine("STATS"));
+  C.readUntil("STATS "); // barrier: the session has applied the prefix
+
+  // SIGTERM-equivalent: drain. The client sees DRAINING + FINAL + BYE.
+  std::thread Stopper([&] { H.stop(); });
+  std::string Draining = C.readUntil("DRAINING ");
+  EXPECT_EQ(Draining.rfind("DRAINING r1 offset=" + std::to_string(Cut), 0),
+            0u)
+      << Draining;
+  C.readUntil("BYE");
+  Stopper.join();
+  C.close();
+
+  // Emulate a non-graceful death's leftover: a line appended after the
+  // checkpoint would duplicate on resume unless the sink is reconciled.
+  {
+    std::ofstream Junk(H.sinkDir() + "/r1.jsonl", std::ios::app);
+    Junk << "{\"kind\":\"junk past the checkpoint\"}\n";
+  }
+
+  // Restart with the same dirs; the tenant resumes and finishes.
+  H.restart();
+  TestClient C2;
+  ASSERT_TRUE(C2.connect(H.port()));
+  ASSERT_TRUE(C2.sendLine("HELLO r1 cc"));
+  std::string Ok = C2.readLine();
+  ASSERT_EQ(Ok.rfind("OK r1 resumed offset=" + std::to_string(Cut), 0), 0u)
+      << Ok;
+  ASSERT_TRUE(C2.send(Text.substr(Cut)));
+  ASSERT_TRUE(C2.sendLine("END"));
+  std::string Final = C2.readUntil("FINAL ");
+  C2.readUntil("BYE");
+
+  // The durable record across the restart is exactly the uninterrupted
+  // standalone run: no duplicates from the drain, no gaps. (The junk
+  // line emulates a non-graceful death that appended past the
+  // checkpoint; resume reconciles the sink back to the checkpointed
+  // violation count.)
+  EXPECT_EQ(fileLines(H.sinkDir() + "/r1.jsonl"), Ref.ViolationLines);
+  EXPECT_EQ(stripStreamTag(Final.substr(6), "r1"), Ref.Summary);
+  EXPECT_EQ(fileLines(H.sinkDir() + "/r1.summary.json"),
+            std::vector<std::string>{Ref.Summary});
+
+  // Mismatching options on resume are rejected.
+  TestClient C3;
+  ASSERT_TRUE(C3.connect(H.port()));
+  ASSERT_TRUE(C3.sendLine("HELLO gone ra"));
+  ASSERT_EQ(C3.readLine().rfind("OK gone new", 0), 0u);
+  ASSERT_TRUE(C3.sendLine("DETACH"));
+  C3.readUntil("OK detached");
+  TestClient C4;
+  ASSERT_TRUE(C4.connect(H.port()));
+  ASSERT_TRUE(C4.sendLine("HELLO gone cc"));
+  EXPECT_NE(C4.readLine().find("incompatible"), std::string::npos);
+  H.stop();
+}
+
+TEST(ServerEndToEnd, ReusedStreamIdStartsAFreshRecord) {
+  ServerHarness H;
+  History Hist = generated(51, 150, /*Inject=*/true);
+  std::string Injected = writeTextHistory(Hist);
+  std::string Clean = writeTextHistory(generated(52, 150, /*Inject=*/false));
+
+  // First run: injected history under the name, through END.
+  TestClient C;
+  ASSERT_TRUE(C.connect(H.port()));
+  ASSERT_TRUE(C.sendLine("HELLO reuse cc interval=16"));
+  ASSERT_EQ(C.readLine().rfind("OK reuse new", 0), 0u);
+  ASSERT_TRUE(C.send(Injected));
+  ASSERT_TRUE(C.sendLine("END"));
+  C.readUntil("BYE");
+  EXPECT_FALSE(fileLines(H.sinkDir() + "/reuse.jsonl").empty());
+
+  // Second run reuses the id for a different (clean) stream: the record
+  // must be this run's alone, not an append onto the finished one.
+  ASSERT_TRUE(C.sendLine("HELLO reuse cc interval=16"));
+  ASSERT_EQ(C.readLine().rfind("OK reuse new offset=0", 0), 0u);
+  ASSERT_TRUE(C.send(Clean));
+  ASSERT_TRUE(C.sendLine("END"));
+  std::string Final = C.readUntil("FINAL ");
+  C.readUntil("BYE");
+  EXPECT_NE(Final.find("\"consistent\":true"), std::string::npos) << Final;
+  EXPECT_TRUE(fileLines(H.sinkDir() + "/reuse.jsonl").empty());
+  MonitorOptions Options;
+  Options.Level = IsolationLevel::CausalConsistency;
+  Options.CheckIntervalTxns = 16;
+  Options.Check.MaxWitnesses = 4;
+  EXPECT_EQ(stripStreamTag(Final.substr(6), "reuse"),
+            referenceRun(Clean, Options).Summary);
+  H.stop();
+}
+
+TEST(ServerEndToEnd, ShutdownVerbDrainsTheServer) {
+  ServerHarness H;
+  TestClient C;
+  ASSERT_TRUE(C.connect(H.port()));
+  ASSERT_TRUE(C.sendLine("HELLO s cc"));
+  ASSERT_EQ(C.readLine().rfind("OK s new", 0), 0u);
+  ASSERT_TRUE(C.send("b 0\nw 1 1\nc\n"));
+  ASSERT_TRUE(C.sendLine("SHUTDOWN"));
+  EXPECT_EQ(C.readUntil("OK shutting-down"), "OK shutting-down");
+  // The drain finalizes the session and says goodbye.
+  EXPECT_EQ(C.readUntil("BYE"), "BYE");
+  H.stop(); // idempotent join
+}
+
+} // namespace

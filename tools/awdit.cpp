@@ -25,6 +25,7 @@
 #include "checker/checkpoint.h"
 #include "checker/monitor.h"
 #include "checker/shrinker.h"
+#include "checker/stats_snapshot.h"
 #include "checker/violation_sink.h"
 #include "history/history_stats.h"
 #include "io/dbcop_format.h"
@@ -33,6 +34,7 @@
 #include "io/stream_parser.h"
 #include "io/text_format.h"
 #include "reduction/reductions.h"
+#include "server/server.h"
 #include "sim/anomaly_injector.h"
 #include "support/serialize.h"
 #include "support/thread_pool.h"
@@ -40,6 +42,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
@@ -149,6 +152,18 @@ int usage() {
       "                 [--kill-after-flushes N (testing aid: SIGKILL"
       " self after N\n"
       "                  checking passes, for kill/resume drills)]\n"
+      "                 [--stats-interval SEC (print a one-line stats"
+      " summary to stderr\n"
+      "                  every SEC seconds, at checking-pass boundaries)]\n"
+      "  awdit serve --port P [--host ADDR (default 127.0.0.1)]"
+      " [--metrics-port P]\n"
+      "                 [--checkpoint-dir DIR (persist per-stream"
+      " snapshots; a restarted\n"
+      "                  server resumes every tenant)] [--sink-dir DIR"
+      " (per-stream JSONL\n"
+      "                  violation logs)] [--threads N] [--idle-timeout"
+      " SEC (default 300)]\n"
+      "                 [--checkpoint-interval FLUSHES (default 16)]\n"
       "  awdit stats <file> [--format native|plume|dbcop]\n"
       "  awdit generate --bench random|c-twitter|tpc-c|rubis"
       " [--sessions N] [--txns N]\n"
@@ -503,6 +518,7 @@ int cmdMonitor(const std::string &Path, const Flags &F) {
   if (CkptInterval == 0)
     CkptInterval = 1;
   uint64_t KillAfter = numFlag(F, "kill-after-flushes", "0");
+  uint64_t StatsIntervalSec = numFlag(F, "stats-interval", "0");
 
   bool Json = F.get("json") != nullptr;
   JsonLinesSink JsonSink(std::cout);
@@ -527,10 +543,22 @@ int cmdMonitor(const std::string &Path, const Flags &F) {
   // checking pass: write a checkpoint every CkptInterval flushes, then
   // (testing aid) kill the process when asked to rehearse a crash.
   uint64_t LastCkptFlush = ResumeDir ? ResumeMeta.Flushes : 0;
+  auto LastStatsPrint = std::chrono::steady_clock::now();
   ShardedMonitorIngest::FlushHook Hook;
-  if (CkptDir || KillAfter) {
-    Hook = [&, CkptDir, CkptInterval, KillAfter,
+  if (CkptDir || KillAfter || StatsIntervalSec) {
+    Hook = [&, CkptDir, CkptInterval, KillAfter, StatsIntervalSec,
             Format](const IngestFlushPoint &P) mutable {
+      // Periodic one-line stats (stderr, at checking-pass boundaries):
+      // the same counters the server's /metrics endpoint exports.
+      if (StatsIntervalSec) {
+        auto Now = std::chrono::steady_clock::now();
+        if (Now - LastStatsPrint >=
+            std::chrono::seconds(StatsIntervalSec)) {
+          LastStatsPrint = Now;
+          std::fprintf(stderr, "stats: %s\n",
+                       StatsSnapshot::of(P.M.stats()).toLine().c_str());
+        }
+      }
       if (CkptDir && P.Flushes - LastCkptFlush >= CkptInterval) {
         CheckpointMeta Meta;
         Meta.Format = Format;
@@ -656,24 +684,8 @@ int cmdMonitor(const std::string &Path, const Flags &F) {
   CheckReport Report = M.finalize();
   const MonitorStats &S = M.stats();
   if (Json) {
-    std::string Line = "{\"consistent\":";
-    Line += Report.Consistent ? "true" : "false";
-    Line += ",\"level\":\"";
-    appendJsonEscaped(Line, isolationLevelName(Options.Level));
-    Line += "\",\"txns\":" + std::to_string(S.IngestedTxns) +
-            ",\"committed\":" + std::to_string(S.CommittedTxns) +
-            ",\"ops\":" + std::to_string(S.IngestedOps) +
-            ",\"violations\":" + std::to_string(S.ReportedViolations) +
-            ",\"flushes\":" + std::to_string(S.Flushes) +
-            ",\"evicted_txns\":" + std::to_string(S.EvictedTxns) +
-            ",\"compactions\":" + std::to_string(S.Compactions) +
-            ",\"evicted_unresolved_reads\":" +
-            std::to_string(S.EvictedUnresolvedReads) +
-            ",\"evicted_writer_reads\":" +
-            std::to_string(S.EvictedWriterReads) +
-            ",\"age_evicted_txns\":" + std::to_string(S.AgeEvictedTxns) +
-            ",\"forced_aborts\":" + std::to_string(S.ForcedAborts) + "}";
-    std::printf("%s\n", Line.c_str());
+    std::printf("%s\n",
+                monitorSummaryJson(Report, S, Options.Level).c_str());
   } else {
     std::printf("%s: %s after %llu txns (%llu ops, %llu violations, "
                 "%llu checking passes)\n",
@@ -703,6 +715,71 @@ int cmdMonitor(const std::string &Path, const Flags &F) {
   if (ParseError)
     return 2;
   return Report.Consistent ? 0 : 1;
+}
+
+/// The active server, for the SIGTERM/SIGINT graceful-drain handler.
+/// requestShutdown() is async-signal-safe (an atomic store plus a
+/// self-pipe write).
+server::Server *ActiveServer = nullptr;
+
+extern "C" void serveSignalHandler(int) {
+  if (ActiveServer)
+    ActiveServer->requestShutdown();
+}
+
+/// Hosts many concurrent monitoring sessions in one process: a TCP line
+/// protocol (HELLO/STATS/DETACH/END/SHUTDOWN plus the stream formats), a
+/// per-stream Monitor pinned to single-writer pump tasks on a shared
+/// thread pool, per-stream checkpoints so a restart resumes every tenant,
+/// per-stream JSONL sinks, and a Prometheus-style /metrics endpoint.
+int cmdServe(const Flags &F) {
+  server::ServerOptions Options;
+  Options.Host = F.getOr("host", "127.0.0.1");
+  Options.Port = static_cast<uint16_t>(numFlag(F, "port", "4519"));
+  if (F.get("metrics-port")) {
+    Options.EnableMetrics = true;
+    Options.MetricsPort =
+        static_cast<uint16_t>(numFlag(F, "metrics-port", "0"));
+  }
+  Options.CheckpointDir = F.getOr("checkpoint-dir", "");
+  Options.SinkDir = F.getOr("sink-dir", "");
+  Options.Threads = static_cast<unsigned>(numFlag(F, "threads", "0"));
+  Options.IdleTimeoutSec = numFlag(F, "idle-timeout", "300");
+  Options.CheckpointIntervalFlushes =
+      numFlag(F, "checkpoint-interval", "16");
+  if (Options.CheckpointIntervalFlushes == 0)
+    Options.CheckpointIntervalFlushes = 1;
+
+  server::Server S(Options);
+  std::string Err;
+  if (!S.start(&Err)) {
+    std::fprintf(stderr, "error: %s\n", Err.c_str());
+    return 2;
+  }
+  // The actual ports (meaningful with --port 0), parseable by scripts.
+  std::printf("listening on %s:%u\n", Options.Host.c_str(),
+              static_cast<unsigned>(S.port()));
+  if (Options.EnableMetrics)
+    std::printf("metrics on %s:%u\n", Options.Host.c_str(),
+                static_cast<unsigned>(S.metricsPort()));
+  std::fflush(stdout);
+
+  ActiveServer = &S;
+  struct sigaction Action = {};
+  Action.sa_handler = serveSignalHandler;
+  sigemptyset(&Action.sa_mask);
+  Action.sa_flags = 0;
+  struct sigaction OldTerm = {}, OldInt = {};
+  sigaction(SIGTERM, &Action, &OldTerm);
+  sigaction(SIGINT, &Action, &OldInt);
+
+  S.run();
+
+  sigaction(SIGTERM, &OldTerm, nullptr);
+  sigaction(SIGINT, &OldInt, nullptr);
+  ActiveServer = nullptr;
+  std::printf("drained\n");
+  return 0;
 }
 
 int cmdStats(const std::string &Path, const Flags &F) {
@@ -884,6 +961,8 @@ int main(int Argc, char **Argv) {
     return cmdBatch(Positionals, F);
   if (Cmd == "monitor" && Positionals.size() <= 1)
     return cmdMonitor(Positionals.empty() ? "-" : Positionals[0], F);
+  if (Cmd == "serve" && Positionals.empty())
+    return cmdServe(F);
   if (Cmd == "stats" && Positionals.size() == 1)
     return cmdStats(Positionals[0], F);
   if (Cmd == "generate")

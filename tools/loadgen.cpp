@@ -1,0 +1,364 @@
+//===- tools/loadgen.cpp - Concurrent load generator for awdit serve -------===//
+//
+// Part of the AWDIT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Replays N history files as N concurrent stream sessions against an
+/// `awdit serve` instance — the client half of the server integration
+/// smoke (CI) and of the fan-out bench. One thread per stream: HELLO,
+/// seek to the offset the server reports (so a drained-and-restarted
+/// server resumes mid-stream), feed the file in chunks, END, and record
+/// everything the server pushes — VIOLATION lines to
+/// `<out-dir>/<name>.client.jsonl`, the FINAL summary to
+/// `<out-dir>/<name>.final.json`.
+///
+/// \code
+///   awdit-loadgen --port P [--host H] [--out-dir DIR]
+///       [--chunk-bytes N] [--throttle-ms N] [--reconnect]
+///       [--retry-sec S]
+///       --stream NAME=FILE[:level=cc][:interval=N][:window=N]
+///                [:window-edges=N][:window-age=T][:force-abort=T]
+///                [:witnesses=N][:format=native|plume|dbcop]  ...
+/// \endcode
+///
+/// With --reconnect a connection that drops mid-stream (a SIGTERM-drained
+/// server, a restart) is retried until --retry-sec runs out; the re-HELLO
+/// returns the resumed byte offset and the replay continues from there —
+/// the client-side half of the server's crash-recovery story.
+///
+/// Exit code: 2 on any protocol/IO error, else 1 if any stream was
+/// inconsistent, else 0.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/socket.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace awdit;
+
+namespace {
+
+struct StreamSpec {
+  std::string Name;
+  std::string File;
+  std::string Level = "cc";
+  /// Raw k=v options forwarded into the HELLO line.
+  std::vector<std::string> Options;
+};
+
+struct Config {
+  std::string Host = "127.0.0.1";
+  uint16_t Port = 0;
+  std::string OutDir = ".";
+  size_t ChunkBytes = 64 << 10;
+  uint64_t ThrottleMs = 0;
+  bool Reconnect = false;
+  uint64_t RetrySec = 30;
+  std::vector<StreamSpec> Streams;
+};
+
+/// Buffered line reading over a blocking socket.
+class LineReader {
+public:
+  explicit LineReader(const Socket &S) : S(S) {}
+
+  /// False on EOF or error.
+  bool next(std::string &Line) {
+    for (;;) {
+      size_t Nl = Buf.find('\n', Scan);
+      if (Nl != std::string::npos) {
+        Line = Buf.substr(0, Nl);
+        if (!Line.empty() && Line.back() == '\r')
+          Line.pop_back();
+        Buf.erase(0, Nl + 1);
+        Scan = 0;
+        return true;
+      }
+      Scan = Buf.size();
+      char Tmp[4096];
+      long N = S.readSome(Tmp, sizeof(Tmp));
+      if (N <= 0)
+        return false;
+      Buf.append(Tmp, static_cast<size_t>(N));
+    }
+  }
+
+private:
+  const Socket &S;
+  std::string Buf;
+  size_t Scan = 0;
+};
+
+struct StreamResult {
+  bool Error = false;
+  std::string ErrorText;
+  bool GotFinal = false;
+  bool Consistent = true;
+  uint64_t Violations = 0;
+  uint64_t Reconnects = 0;
+};
+
+/// One complete attach cycle: HELLO, feed from the reported offset, END,
+/// read until FINAL/BYE or disconnect. Returns false when the connection
+/// dropped before FINAL (caller may reconnect).
+bool runOnce(const Config &Cfg, const StreamSpec &Spec,
+             const std::string &Text, StreamResult &R,
+             std::ofstream &Jsonl) {
+  std::string Err;
+  Socket S = tcpConnect(Cfg.Host, Cfg.Port, &Err);
+  if (!S.valid()) {
+    R.ErrorText = Err;
+    return false;
+  }
+  LineReader Reader(S);
+
+  std::string Hello = "HELLO " + Spec.Name + " " + Spec.Level;
+  for (const std::string &Opt : Spec.Options)
+    Hello += " " + Opt;
+  Hello += "\n";
+  if (!S.writeAll(Hello)) {
+    R.ErrorText = "write failed during HELLO";
+    return false;
+  }
+  std::string Line;
+  if (!Reader.next(Line)) {
+    R.ErrorText = "connection closed before HELLO reply";
+    return false;
+  }
+  if (Line.rfind("ERR", 0) == 0) {
+    R.ErrorText = Line;
+    return false;
+  }
+  // "OK <stream> <status> offset=<N> line=<M>"
+  uint64_t Offset = 0;
+  {
+    size_t Pos = Line.find("offset=");
+    if (Pos != std::string::npos)
+      Offset = std::strtoull(Line.c_str() + Pos + 7, nullptr, 10);
+  }
+  if (Offset > Text.size()) {
+    R.ErrorText = "server offset " + std::to_string(Offset) +
+                  " beyond input size " + std::to_string(Text.size());
+    R.Error = true;
+    return true; // not retryable
+  }
+
+  // Feed the rest of the file; the reader thread concurrently drains
+  // pushed VIOLATION lines so neither side's socket buffer can deadlock.
+  std::atomic<bool> SenderFailed{false};
+  std::thread Sender([&] {
+    for (size_t Pos = Offset; Pos < Text.size(); Pos += Cfg.ChunkBytes) {
+      std::string_view Chunk =
+          std::string_view(Text).substr(Pos, Cfg.ChunkBytes);
+      if (!S.writeAll(Chunk)) {
+        SenderFailed.store(true);
+        return;
+      }
+      if (Cfg.ThrottleMs)
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(Cfg.ThrottleMs));
+    }
+    if (!S.writeAll("END\n"))
+      SenderFailed.store(true);
+  });
+
+  bool SawBye = false;
+  bool Draining = false;
+  while (Reader.next(Line)) {
+    if (Line.rfind("DRAINING ", 0) == 0) {
+      // The server is checkpointing and shutting down mid-stream. What
+      // follows (a courtesy FINAL, BYE) is not stream completion, and
+      // its end-of-stream extrapolations are not part of the
+      // exactly-once record — the resumed session re-reports anything
+      // still detectable.
+      Draining = true;
+    } else if (Line.rfind("VIOLATION ", 0) == 0) {
+      if (!Draining) {
+        Jsonl << Line.substr(10) << "\n";
+        Jsonl.flush();
+        ++R.Violations;
+      }
+    } else if (Line.rfind("FINAL ", 0) == 0) {
+      if (!Draining) {
+        R.GotFinal = true;
+        R.Consistent =
+            Line.find("\"consistent\":true") != std::string::npos;
+        std::ofstream Final(Cfg.OutDir + "/" + Spec.Name + ".final.json");
+        Final << Line.substr(6) << "\n";
+      }
+    } else if (Line == "BYE") {
+      SawBye = true;
+      break;
+    } else if (Line.rfind("ERR", 0) == 0) {
+      R.Error = true;
+      R.ErrorText = Line;
+    }
+    // OK/STATS lines are informational here.
+  }
+  S.shutdownWrite();
+  Sender.join();
+  if (R.Error)
+    return true; // a protocol error is not retryable
+  if (!R.GotFinal || !SawBye || SenderFailed.load()) {
+    R.ErrorText = "connection dropped before FINAL";
+    return false; // retryable: the server may have drained
+  }
+  return true;
+}
+
+void runStream(const Config &Cfg, const StreamSpec &Spec, StreamResult &R) {
+  std::ifstream In(Spec.File, std::ios::binary);
+  if (!In) {
+    R.Error = true;
+    R.ErrorText = "cannot open '" + Spec.File + "'";
+    return;
+  }
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  std::string Text = Buf.str();
+
+  std::ofstream Jsonl(Cfg.OutDir + "/" + Spec.Name + ".client.jsonl",
+                      std::ios::app);
+
+  auto Deadline = std::chrono::steady_clock::now() +
+                  std::chrono::seconds(Cfg.RetrySec);
+  for (;;) {
+    if (runOnce(Cfg, Spec, Text, R, Jsonl))
+      return;
+    if (!Cfg.Reconnect || std::chrono::steady_clock::now() >= Deadline) {
+      R.Error = true;
+      if (R.ErrorText.empty())
+        R.ErrorText = "stream did not complete";
+      return;
+    }
+    ++R.Reconnects;
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  }
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: awdit-loadgen --port P [--host H] [--out-dir DIR]\n"
+      "           [--chunk-bytes N] [--throttle-ms N] [--reconnect]"
+      " [--retry-sec S]\n"
+      "           --stream NAME=FILE[:level=rc|ra|cc][:interval=N]"
+      "[:window=N][:format=F] ...\n");
+  return 2;
+}
+
+bool parseStreamSpec(const std::string &Arg, StreamSpec &Spec) {
+  size_t Eq = Arg.find('=');
+  if (Eq == std::string::npos || Eq == 0)
+    return false;
+  Spec.Name = Arg.substr(0, Eq);
+  std::string Rest = Arg.substr(Eq + 1);
+  size_t Colon = Rest.find(':');
+  Spec.File = Rest.substr(0, Colon);
+  while (Colon != std::string::npos) {
+    size_t Next = Rest.find(':', Colon + 1);
+    std::string Opt = Rest.substr(
+        Colon + 1,
+        Next == std::string::npos ? std::string::npos : Next - Colon - 1);
+    if (Opt.rfind("level=", 0) == 0)
+      Spec.Level = Opt.substr(6);
+    else if (!Opt.empty())
+      Spec.Options.push_back(Opt);
+    Colon = Next;
+  }
+  return !Spec.File.empty();
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  Config Cfg;
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto Value = [&]() -> const char * {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "error: %s needs a value\n", Arg.c_str());
+        std::exit(2);
+      }
+      return Argv[++I];
+    };
+    if (Arg == "--host")
+      Cfg.Host = Value();
+    else if (Arg == "--port")
+      Cfg.Port = static_cast<uint16_t>(std::atoi(Value()));
+    else if (Arg == "--out-dir")
+      Cfg.OutDir = Value();
+    else if (Arg == "--chunk-bytes")
+      Cfg.ChunkBytes = static_cast<size_t>(std::atoll(Value()));
+    else if (Arg == "--throttle-ms")
+      Cfg.ThrottleMs = static_cast<uint64_t>(std::atoll(Value()));
+    else if (Arg == "--retry-sec")
+      Cfg.RetrySec = static_cast<uint64_t>(std::atoll(Value()));
+    else if (Arg == "--reconnect")
+      Cfg.Reconnect = true;
+    else if (Arg == "--stream") {
+      StreamSpec Spec;
+      if (!parseStreamSpec(Value(), Spec)) {
+        std::fprintf(stderr, "error: bad --stream spec\n");
+        return 2;
+      }
+      Cfg.Streams.push_back(std::move(Spec));
+    } else {
+      return usage();
+    }
+  }
+  if (Cfg.Port == 0 || Cfg.Streams.empty())
+    return usage();
+  if (Cfg.ChunkBytes == 0)
+    Cfg.ChunkBytes = 64 << 10;
+
+  std::error_code Ec;
+  std::filesystem::create_directories(Cfg.OutDir, Ec);
+
+  // One thread per stream: N concurrent tenants against the server.
+  std::vector<StreamResult> Results(Cfg.Streams.size());
+  std::vector<std::thread> Threads;
+  Threads.reserve(Cfg.Streams.size());
+  for (size_t I = 0; I < Cfg.Streams.size(); ++I)
+    Threads.emplace_back([&, I] {
+      runStream(Cfg, Cfg.Streams[I], Results[I]);
+    });
+  for (std::thread &T : Threads)
+    T.join();
+
+  bool AnyError = false, AnyInconsistent = false;
+  for (size_t I = 0; I < Cfg.Streams.size(); ++I) {
+    const StreamResult &R = Results[I];
+    if (R.Error || !R.GotFinal) {
+      std::printf("stream %s: ERROR %s\n", Cfg.Streams[I].Name.c_str(),
+                  R.ErrorText.c_str());
+      AnyError = true;
+      continue;
+    }
+    std::string Suffix;
+    if (R.Reconnects)
+      Suffix = " reconnects=" + std::to_string(R.Reconnects);
+    std::printf("stream %s: %s violations=%llu%s\n",
+                Cfg.Streams[I].Name.c_str(),
+                R.Consistent ? "consistent" : "INCONSISTENT",
+                static_cast<unsigned long long>(R.Violations),
+                Suffix.c_str());
+    if (!R.Consistent)
+      AnyInconsistent = true;
+  }
+  return AnyError ? 2 : AnyInconsistent ? 1 : 0;
+}
