@@ -421,7 +421,12 @@ static void BM_MonitorShardedIngest(benchmark::State &State) {
   }
   reportOps(State, H);
 }
-BENCHMARK(BM_MonitorShardedIngest)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+BENCHMARK(BM_MonitorShardedIngest)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime();
 
 // Multi-tenant server fan-out: aggregate committed-transaction throughput
 // vs concurrent session count. Each iteration boots an `awdit serve`

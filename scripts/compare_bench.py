@@ -1,77 +1,109 @@
 #!/usr/bin/env python3
-"""Compare two google-benchmark JSON outputs and fail on regressions.
+"""Compare google-benchmark JSON outputs; fail on regressions or poor scaling.
 
-Usage:
+Compare mode (the default):
   compare_bench.py BASELINE.json CURRENT.json [--max-regression 0.20]
-                   [--filter REGEX]
+                   [--filter REGEX] [--summary-out FILE]
 
 Benchmarks are matched by name. The comparison metric is items_per_second
 when present, otherwise inverse real_time (higher is better for both).
 Benchmarks present in only one file are reported but never fail the run
 (benches come and go across commits); a matched benchmark whose throughput
-dropped by more than the threshold fails the run with exit code 1.
+dropped by more than the threshold fails the run with exit code 1. When one
+file carries several entries under the same name (repetitions without
+aggregates), their median is the metric.
 
 A baseline that cannot be parsed (a truncated artifact, a run that died
 mid-write, a schema from another tool) is not this change's fault: the
 comparison is skipped with exit code 0 and a note, exactly like a missing
 baseline. The *current* results failing to parse is this build's problem
 and still fails the run.
+
+Scaling mode:
+  compare_bench.py --scaling CURRENT.json [--bench BM_MonitorShardedIngest]
+                   [--base-arg 1] [--test-arg 4] [--min-speedup 1.8]
+                   [--require-cores 4] [--summary-out FILE]
+
+Reads one results file containing a thread-count sweep (benchmark arg =
+thread count, e.g. BM_MonitorShardedIngest/4/real_time) and fails with exit
+code 1 if the test-arg run's throughput is below --min-speedup times the
+base-arg run's. On a machine with fewer than --require-cores CPUs the gate
+is meaningless (the threads time-slice) and is skipped with exit code 0,
+like the unusable-baseline skip above.
+
+In both modes a markdown table of the results is appended to the file named
+by --summary-out, defaulting to $GITHUB_STEP_SUMMARY when set — so CI runs
+surface the deltas on the workflow summary page without artifact spelunking.
 """
 
 import argparse
 import json
+import os
 import re
+import statistics
 import sys
 
 
 def load(path):
+    """Returns {benchmark name: throughput metric} from one results file.
+
+    Skips google-benchmark aggregate rows (mean/median/stddev of repeated
+    runs) and medians duplicate names: with --benchmark_repetitions and
+    aggregates suppressed, the same name legitimately appears once per
+    repetition, and last-one-wins would silently pick an arbitrary rep.
+    """
     with open(path) as f:
         data = json.load(f)
-    out = {}
+    samples = {}
     for bench in data.get("benchmarks", []):
         if bench.get("run_type") == "aggregate":
             continue
         name = bench["name"]
         if "items_per_second" in bench:
-            out[name] = float(bench["items_per_second"])
+            samples.setdefault(name, []).append(float(bench["items_per_second"]))
         elif float(bench.get("real_time", 0)) > 0:
-            out[name] = 1.0 / float(bench["real_time"])
-    return out
+            samples.setdefault(name, []).append(1.0 / float(bench["real_time"]))
+    return {name: statistics.median(vals) for name, vals in samples.items()}
 
 
-def main():
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("baseline")
-    parser.add_argument("current")
-    parser.add_argument("--max-regression", type=float, default=0.20,
-                        help="allowed fractional throughput drop (0.20 = 20%%)")
-    parser.add_argument("--filter", default="",
-                        help="only compare benchmarks matching this regex")
-    args = parser.parse_args()
-
+def append_summary(path, lines):
+    """Appends markdown lines to the step-summary file, if one is in use."""
+    if not path:
+        return
     try:
-        base = load(args.baseline)
+        with open(path, "a") as f:
+            f.write("\n".join(lines) + "\n")
+    except OSError as exc:
+        print(f"note: could not write summary to '{path}': {exc}")
+
+
+def run_compare(args, summary_path):
+    try:
+        base = load(args.files[0])
     except (OSError, ValueError, KeyError, TypeError) as exc:
-        print(f"skipping comparison: baseline '{args.baseline}' is not "
+        print(f"skipping comparison: baseline '{args.files[0]}' is not "
               f"usable benchmark JSON ({exc})")
         return 0
-    cur = load(args.current)
+    cur = load(args.files[1])
     if not base:
-        print(f"skipping comparison: baseline '{args.baseline}' contains "
+        print(f"skipping comparison: baseline '{args.files[0]}' contains "
               f"no benchmark entries")
         return 0
     pattern = re.compile(args.filter) if args.filter else None
 
     failed = []
     compared = 0
+    rows = []
     for name in sorted(set(base) | set(cur)):
         if pattern and not pattern.search(name):
             continue
         if name not in base:
             print(f"  new        {name}")
+            rows.append((name, "—", f"{cur[name]:.4g}", "new"))
             continue
         if name not in cur:
             print(f"  removed    {name}")
+            rows.append((name, f"{base[name]:.4g}", "—", "removed"))
             continue
         compared += 1
         ratio = cur[name] / base[name] if base[name] else 1.0
@@ -79,8 +111,18 @@ def main():
         if ratio < 1.0 - args.max_regression:
             verdict = "REGRESSION"
             failed.append(name)
+        delta = f"{(ratio - 1.0) * 100:+.1f}%"
         print(f"  {verdict:10s} {name}: {base[name]:.4g} -> {cur[name]:.4g} "
-              f"({(ratio - 1.0) * 100:+.1f}%)")
+              f"({delta})")
+        rows.append((name, f"{base[name]:.4g}", f"{cur[name]:.4g}",
+                     f"{delta} {'' if verdict == 'ok' else '❌'}".strip()))
+
+    if rows:
+        lines = [f"### Benchmark comparison: `{os.path.basename(args.files[1])}`",
+                 "", "| benchmark | baseline | current | delta |",
+                 "|---|---:|---:|---:|"]
+        lines += [f"| `{n}` | {b} | {c} | {d} |" for n, b, c, d in rows]
+        append_summary(summary_path, lines)
 
     if failed:
         print(f"FAIL: {len(failed)} of {compared} benchmark(s) regressed "
@@ -88,6 +130,86 @@ def main():
         return 1
     print(f"benchmark comparison passed ({compared} compared)")
     return 0
+
+
+def run_scaling(args, summary_path):
+    cores = os.cpu_count() or 1
+    if cores < args.require_cores:
+        print(f"skipping scaling gate: runner has {cores} CPU(s), "
+              f"gate needs {args.require_cores}")
+        return 0
+    cur = load(args.files[0])
+
+    def metric_for(arg):
+        # UseRealTime and friends append suffixes: BM_Foo/4/real_time.
+        pat = re.compile(rf"^{re.escape(args.bench)}/{arg}(/|$)")
+        vals = [v for name, v in cur.items() if pat.search(name)]
+        return statistics.median(vals) if vals else None
+
+    base = metric_for(args.base_arg)
+    test = metric_for(args.test_arg)
+    if base is None or test is None:
+        print(f"FAIL: '{args.files[0]}' lacks {args.bench}/"
+              f"{args.base_arg if base is None else args.test_arg} results")
+        return 1
+    speedup = test / base if base else 0.0
+    ok = speedup >= args.min_speedup
+    print(f"  {args.bench}: {args.base_arg} thread(s) {base:.4g}, "
+          f"{args.test_arg} thread(s) {test:.4g} -> {speedup:.2f}x "
+          f"(gate {args.min_speedup:.2f}x, {cores} CPUs)")
+    append_summary(summary_path, [
+        f"### Scaling gate: `{args.bench}`", "",
+        "| threads | throughput | | |",
+        "|---:|---:|---|---|",
+        f"| {args.base_arg} | {base:.4g} | baseline | |",
+        f"| {args.test_arg} | {test:.4g} | {speedup:.2f}x | "
+        f"{'✅' if ok else '❌'} gate {args.min_speedup:.2f}x |",
+    ])
+    if not ok:
+        print(f"FAIL: {args.test_arg}-thread throughput is only "
+              f"{speedup:.2f}x the {args.base_arg}-thread baseline "
+              f"(gate: {args.min_speedup:.2f}x)")
+        return 1
+    print("scaling gate passed")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("files", nargs="+",
+                        help="BASELINE.json CURRENT.json (compare mode) or "
+                             "CURRENT.json (--scaling)")
+    parser.add_argument("--max-regression", type=float, default=0.20,
+                        help="allowed fractional throughput drop (0.20 = 20%%)")
+    parser.add_argument("--filter", default="",
+                        help="only compare benchmarks matching this regex")
+    parser.add_argument("--scaling", action="store_true",
+                        help="multi-core scaling gate over one results file")
+    parser.add_argument("--bench", default="BM_MonitorShardedIngest",
+                        help="benchmark family for --scaling")
+    parser.add_argument("--base-arg", type=int, default=1,
+                        help="baseline thread count for --scaling")
+    parser.add_argument("--test-arg", type=int, default=4,
+                        help="tested thread count for --scaling")
+    parser.add_argument("--min-speedup", type=float, default=1.8,
+                        help="required test/base throughput ratio")
+    parser.add_argument("--require-cores", type=int, default=4,
+                        help="skip the scaling gate below this CPU count")
+    parser.add_argument("--summary-out", default=None,
+                        help="append a markdown table here "
+                             "(default: $GITHUB_STEP_SUMMARY when set)")
+    args = parser.parse_args()
+
+    summary_path = args.summary_out or os.environ.get("GITHUB_STEP_SUMMARY")
+    expected = 1 if args.scaling else 2
+    if len(args.files) != expected:
+        parser.error(f"expected {expected} file(s) for this mode, "
+                     f"got {len(args.files)}")
+    if args.scaling:
+        return run_scaling(args, summary_path)
+    return run_compare(args, summary_path)
 
 
 if __name__ == "__main__":

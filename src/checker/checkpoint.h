@@ -33,6 +33,15 @@
 /// first and rename() into place, so a kill mid-write leaves the previous
 /// checkpoint intact.
 ///
+/// What counts as "layout": only durable logical state. The speculative
+/// saturation machinery of PR 6 (per-flush epoch stamps, speculative rows
+/// and edge buffers, adoption counters) is transient within one flush and
+/// deliberately serialized nowhere, so enabling or disabling speculation —
+/// or resuming on a machine with a different thread count — reads and
+/// writes the same version-1 bytes. If epoch metadata ever becomes
+/// persistent (e.g. cross-flush snapshot reuse), that is a layout change
+/// and must bump CheckpointVersion.
+///
 /// The monitor/machine serialization lives with the classes themselves
 /// (Monitor::saveState, StreamMachine::saveState); this header owns the
 /// envelope, the meta block, and the file I/O.

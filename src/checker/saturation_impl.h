@@ -22,6 +22,7 @@
 #include "history/history.h"
 #include "support/hybrid_map.h"
 
+#include <algorithm>
 #include <unordered_map>
 #include <vector>
 
@@ -205,6 +206,24 @@ struct CcWriterEntry {
   TxnId T;
   uint32_t SoIndex;
 };
+
+/// Algorithm 3 lines 9-15, binary-search form: the so-latest writer of the
+/// key in one session strictly under the reader's happens-before
+/// \p Frontier, or NoTxn when the session has no writer below it. The
+/// streaming engine's per-reader re-runs use this instead of the batch
+/// kernel's monotone pointers (a re-run visits readers out of so order, so
+/// the pointers cannot stay monotone); the inference is identical. Pure
+/// over the (so-sorted) \p List — safe to call from concurrent speculation
+/// workers against a quiescent writer index.
+inline TxnId ccFrontierWriter(const std::vector<CcWriterEntry> &List,
+                              uint32_t Frontier) {
+  auto It = std::lower_bound(
+      List.begin(), List.end(), Frontier,
+      [](const CcWriterEntry &E, uint32_t F) { return E.SoIndex < F; });
+  if (It == List.begin())
+    return NoTxn;
+  return std::prev(It)->T;
+}
 
 /// Per-key writer index of the CC kernel (Algorithm 3, lastWrite / Writes):
 /// for each key, the sessions writing it and their so-ordered writer lists,

@@ -4,9 +4,11 @@
 
 #include "checker/check_cc.h"
 #include "checker/commit_graph.h"
+#include "graph/scc.h"
 #include "graph/topo_sort.h"
 #include "support/assert.h"
 #include "support/serialize.h"
+#include "support/thread_pool.h"
 
 #include <algorithm>
 #include <optional>
@@ -28,6 +30,10 @@ uint64_t pack(TxnId From, TxnId To) {
 /// Base sources (wr, so) are structural so ∪ wr edges; the rest are
 /// saturation-inferred.
 bool isBaseSource(uint64_t Source) { return (Source >> 32) >= 3; }
+
+/// Quarantine-retry region bound: above this many order positions the
+/// local SCC pass falls back to the greedy one-edge-at-a-time retry.
+constexpr size_t SccRetryRegionCap = 4096;
 
 } // namespace
 
@@ -214,13 +220,73 @@ void SaturationState::retryQuarantined(const History &H) {
   if (Quarantined.empty())
     return;
   // A source re-run or an eviction may have broken the cycle that forced
-  // an edge out of the order; try to bring quarantined edges back in
-  // (quietly — their region was reported when first quarantined).
+  // an edge out of the order; re-verify the quarantined region and bring
+  // every edge that is no longer on a cycle back in (quietly — the region
+  // was reported when first quarantined).
   std::vector<uint64_t> Snapshot(Quarantined.begin(), Quarantined.end());
   std::sort(Snapshot.begin(), Snapshot.end());
+
+  // Position hull of the quarantined endpoints. Live edges strictly
+  // increase order position, so a live path between two hull nodes never
+  // leaves the hull — every cycle a quarantined edge could close lies
+  // entirely inside this region, and the local subgraph decides
+  // re-admission exactly.
+  uint32_t Lo = UINT32_MAX, Hi = 0;
   for (uint64_t Packed : Snapshot) {
-    if (Order.addEdge(edgeFrom(Packed), edgeTo(Packed), nullptr))
-      Quarantined.erase(Packed);
+    for (uint32_t Node : {edgeFrom(Packed), edgeTo(Packed)}) {
+      uint32_t P = Order.position(Node);
+      Lo = std::min(Lo, P);
+      Hi = std::max(Hi, P);
+    }
+  }
+  size_t RegionSize = static_cast<size_t>(Hi) - Lo + 1;
+  if (RegionSize > SccRetryRegionCap) {
+    // Degenerate hull (quarantined endpoints span most of the window):
+    // greedy one-edge-at-a-time retry. Admission order is the sorted
+    // snapshot either way, so both paths are deterministic.
+    for (uint64_t Packed : Snapshot)
+      if (Order.addEdge(edgeFrom(Packed), edgeTo(Packed), nullptr))
+        Quarantined.erase(Packed);
+    maybeClearBaseCyclic();
+    return;
+  }
+
+  // Dense region table (position - Lo -> node), one scan of the order.
+  std::vector<uint32_t> NodeAt(RegionSize, 0);
+  for (uint32_t N = 0; N < static_cast<uint32_t>(Order.numNodes()); ++N) {
+    uint32_t P = Order.position(N);
+    if (P >= Lo && P <= Hi)
+      NodeAt[P - Lo] = N;
+  }
+
+  // Local subgraph: the live edges inside the region plus every
+  // quarantined edge, condensed with one bounded Tarjan pass.
+  Digraph G(RegionSize);
+  for (size_t I = 0; I < RegionSize; ++I) {
+    for (uint32_t W : Order.succs(NodeAt[I])) {
+      uint32_t P = Order.position(W);
+      if (P >= Lo && P <= Hi)
+        G.addEdge(static_cast<uint32_t>(I), P - Lo);
+    }
+  }
+  // Dense endpoints captured now: admissions below reorder positions.
+  std::vector<std::pair<uint32_t, uint32_t>> Dense;
+  Dense.reserve(Snapshot.size());
+  for (uint64_t Packed : Snapshot) {
+    Dense.emplace_back(Order.position(edgeFrom(Packed)) - Lo,
+                       Order.position(edgeTo(Packed)) - Lo);
+    G.addEdge(Dense.back().first, Dense.back().second);
+  }
+  SccResult Scc = computeScc(G);
+
+  // Edges between distinct components are jointly cycle-free (the
+  // condensation is a DAG): re-admit them all in one pass. Same-component
+  // edges stay out — their region is still mutually cyclic.
+  for (size_t I = 0; I < Snapshot.size(); ++I) {
+    if (Scc.CompOf[Dense[I].first] == Scc.CompOf[Dense[I].second])
+      continue;
+    if (Order.addEdge(edgeFrom(Snapshot[I]), edgeTo(Snapshot[I]), nullptr))
+      Quarantined.erase(Snapshot[I]);
   }
   maybeClearBaseCyclic();
 }
@@ -293,12 +359,134 @@ bool SaturationState::recomputeHbRow(const History &H, TxnId L) {
   return true;
 }
 
+void SaturationState::speculateCc(const History &H,
+                                  const std::vector<TxnId> &Ready,
+                                  SpecMap &Spec) {
+  // Pre-create every entry: the parallel phase below only const-finds the
+  // map (no rehash under concurrent readers) and each worker writes only
+  // the values of its own bucket.
+  for (TxnId L : Ready)
+    Spec.emplace(L, CcSpeculation{});
+
+  // Partition by session: a session's rows chain along so, so one worker
+  // owning the whole (so-sorted) chain can speculate straight through it,
+  // reading sibling speculative rows instead of invalidating on them.
+  std::unordered_map<SessionId, size_t> BucketOf;
+  std::vector<std::vector<TxnId>> Buckets;
+  for (TxnId L : Ready) {
+    auto [It, IsNew] = BucketOf.emplace(H.txn(L).Session, Buckets.size());
+    if (IsNew)
+      Buckets.emplace_back();
+    Buckets[It->second].push_back(L);
+  }
+  for (std::vector<TxnId> &B : Buckets)
+    std::sort(B.begin(), B.end(), [&](TxnId A, TxnId C) {
+      return H.txn(A).SoIndex < H.txn(C).SoIndex;
+    });
+
+  // The speculation phase proper. The engine is quiescent: HbRows, the
+  // writer index, ReadersOf, and H are all read-only until the merge, so
+  // workers race with nothing. Results that chained a sibling row record
+  // it in BatchInputs; rows taken from the pre-merge snapshot go to
+  // ExternalInputs — the merge revalidates both.
+  SpecPool->parallelFor(0, Buckets.size(), 1, [&](size_t BLo, size_t BHi) {
+    std::unordered_set<TxnId> Computed;
+    for (size_t B = BLo; B < BHi; ++B) {
+      Computed.clear();
+      for (TxnId L : Buckets[B]) {
+        CcSpeculation &Sp = Spec.find(L)->second;
+        const Transaction &T = H.txn(L);
+        Sp.Row.assign(HbStride, 0);
+        auto InputRow = [&](TxnId Input) -> const uint32_t * {
+          if (Computed.count(Input)) {
+            Sp.BatchInputs.push_back(Input);
+            return Spec.find(Input)->second.Row.data();
+          }
+          Sp.ExternalInputs.push_back(Input);
+          return &HbRows[static_cast<size_t>(Input) * HbStride];
+        };
+        if (T.SoIndex > 0) {
+          const uint32_t *PredRow =
+              InputRow(H.sessionTxns(T.Session)[T.SoIndex - 1]);
+          std::copy(PredRow, PredRow + HbStride, Sp.Row.begin());
+          Sp.Row[T.Session] = T.SoIndex; // = SoIndex(Pred) + 1.
+        }
+        for (TxnId Writer : T.ReadFroms) {
+          const Transaction &W = H.txn(Writer);
+          const uint32_t *WRow = InputRow(Writer);
+          for (size_t I = 0; I < HbStride; ++I)
+            Sp.Row[I] = std::max(Sp.Row[I], WRow[I]);
+          Sp.Row[W.Session] = std::max(Sp.Row[W.Session], W.SoIndex + 1);
+        }
+        if (!T.ExtReads.empty()) {
+          runCcReaderRow(H, L, Sp.Row.data(), Sp.Edges);
+          std::sort(Sp.Edges.begin(), Sp.Edges.end());
+          Sp.Edges.erase(std::unique(Sp.Edges.begin(), Sp.Edges.end()),
+                         Sp.Edges.end());
+        }
+        Computed.insert(L);
+      }
+    }
+  });
+}
+
+bool SaturationState::mergeHbRow(const History &H, TxnId L, SpecMap *Spec) {
+  CcSpeculation *Sp = nullptr;
+  if (Spec) {
+    auto It = Spec->find(L);
+    if (It != Spec->end() && !It->second.Row.empty())
+      Sp = &It->second;
+  }
+  if (Sp) {
+    // Adopt only when every input the worker read provably still holds
+    // its speculated value: snapshot rows unstamped this merge, sibling
+    // rows merged to exactly their speculation. Then the speculative row
+    // *is* what recomputeHbRow would produce — bit-identical by
+    // construction, no comparison of outputs needed.
+    bool Valid = true;
+    for (TxnId E : Sp->ExternalInputs)
+      if (RowEpochs.touchedInCurrentEpoch(E)) {
+        Valid = false;
+        break;
+      }
+    if (Valid)
+      for (TxnId B : Sp->BatchInputs)
+        if (!Spec->find(B)->second.Matched) {
+          Valid = false;
+          break;
+        }
+    if (Valid) {
+      ++SpecAdoptedRows;
+      Sp->Matched = true;
+      uint32_t *Row = &HbRows[static_cast<size_t>(L) * HbStride];
+      if (std::equal(Row, Row + HbStride, Sp->Row.begin()))
+        return false;
+      std::copy(Sp->Row.begin(), Sp->Row.end(), Row);
+      RowEpochs.touch(L);
+      return true;
+    }
+  }
+  bool Changed = recomputeHbRow(H, L);
+  if (Changed)
+    RowEpochs.touch(L);
+  if (Sp) {
+    // A re-derived row that lands on the speculated value still validates
+    // the chains (and the edge set) built on it.
+    ++SpecRecomputedRows;
+    const uint32_t *Row = &HbRows[static_cast<size_t>(L) * HbStride];
+    Sp->Matched = std::equal(Row, Row + HbStride, Sp->Row.begin());
+  }
+  return Changed;
+}
+
 void SaturationState::propagateHappensBefore(const History &H,
                                              const std::vector<TxnId> &Ready,
-                                             std::vector<TxnId> &ChangedOut) {
+                                             std::vector<TxnId> &ChangedOut,
+                                             SpecMap *Spec) {
   // Worklist keyed by the maintained topological position: every
   // transaction is recomputed after all its so/wr predecessors, so one
-  // pass per dirty node reaches the fixpoint.
+  // pass per dirty node reaches the fixpoint. A node revisited after an
+  // input changed revalidates (and usually drops) its speculation.
   std::set<std::pair<uint32_t, TxnId>> Work;
   auto Push = [&](TxnId L) {
     if (H.txn(L).Committed)
@@ -316,7 +504,7 @@ void SaturationState::propagateHappensBefore(const History &H,
   while (!Work.empty()) {
     TxnId L = Work.begin()->second;
     Work.erase(Work.begin());
-    bool RowChanged = recomputeHbRow(H, L);
+    bool RowChanged = mergeHbRow(H, L, Spec);
     bool IsReady = std::binary_search(Ready.begin(), Ready.end(), L);
     if (RowChanged || IsReady)
       ChangedOut.push_back(L);
@@ -335,9 +523,14 @@ void SaturationState::propagateHappensBefore(const History &H,
 }
 
 void SaturationState::runCcReader(const History &H, TxnId L,
-                                  std::vector<uint64_t> &EdgesOut) {
+                                  std::vector<uint64_t> &EdgesOut) const {
+  runCcReaderRow(H, L, &HbRows[static_cast<size_t>(L) * HbStride], EdgesOut);
+}
+
+void SaturationState::runCcReaderRow(const History &H, TxnId L,
+                                     const uint32_t *Row,
+                                     std::vector<uint64_t> &EdgesOut) const {
   const Transaction &T = H.txn(L);
-  const uint32_t *Row = &HbRows[static_cast<size_t>(L) * HbStride];
   for (uint32_t ReadIdx : T.ExtReads) {
     const ReadInfo &RI = T.Reads[ReadIdx];
     TxnId T1 = RI.Writer;
@@ -352,14 +545,8 @@ void SaturationState::runCcReader(const History &H, TxnId L,
       uint32_t Frontier = Row[KW.Sessions[Slot]];
       if (Frontier == 0)
         continue;
-      const std::vector<detail::CcWriterEntry> &List = KW.Lists[Slot];
-      auto It = std::lower_bound(List.begin(), List.end(), Frontier,
-                                 [](const detail::CcWriterEntry &E,
-                                    uint32_t F) { return E.SoIndex < F; });
-      if (It == List.begin())
-        continue;
-      TxnId T2 = std::prev(It)->T;
-      if (T2 == T1)
+      TxnId T2 = detail::ccFrontierWriter(KW.Lists[Slot], Frontier);
+      if (T2 == NoTxn || T2 == T1)
         continue;
       EdgesOut.push_back(pack(T2, T1));
     }
@@ -484,17 +671,44 @@ void SaturationState::flushDelta(const History &H,
     // (or read set) changed.
     if (BaseCyclic)
       break; // so ∪ wr is cyclic; HB undefined (the batch checker stops too).
+
+    // Speculation phase: with a pool installed and a worthwhile delta,
+    // shard workers pre-compute rows and reader inferences against the
+    // pre-merge snapshot. The merge below adopts a result only when its
+    // inputs provably did not change, so the observable output is
+    // bit-identical to the sequential path at every thread count. A
+    // pending full-row recompute dirties far more than Ready — skip.
+    RowEpochs.ensureSlots(Processed.size());
+    RowEpochs.beginEpoch();
+    SpecMap Spec;
+    if (SpecPool && !NeedsFullHbRecompute && Ready.size() >= SpecMinBatch)
+      speculateCc(H, Ready, Spec);
+
     std::vector<TxnId> Changed;
-    propagateHappensBefore(H, Ready, Changed);
+    propagateHappensBefore(H, Ready, Changed, Spec.empty() ? nullptr : &Spec);
     for (TxnId L : Changed) {
       clearSource(ccSource(L), /*IsBase=*/false);
       if (H.txn(L).ExtReads.empty())
         continue;
       std::vector<uint64_t> NewEdges;
-      runCcReader(H, L, NewEdges);
-      std::sort(NewEdges.begin(), NewEdges.end());
-      NewEdges.erase(std::unique(NewEdges.begin(), NewEdges.end()),
-                     NewEdges.end());
+      CcSpeculation *Sp = nullptr;
+      if (!Spec.empty()) {
+        auto It = Spec.find(L);
+        if (It != Spec.end() && It->second.Matched)
+          Sp = &It->second;
+      }
+      if (Sp) {
+        // The row merged to exactly its speculation, so the speculative
+        // inference (already sorted and deduplicated) is the sequential
+        // result.
+        NewEdges = std::move(Sp->Edges);
+        ++SpecAdoptedEdgeSets;
+      } else {
+        runCcReader(H, L, NewEdges);
+        std::sort(NewEdges.begin(), NewEdges.end());
+        NewEdges.erase(std::unique(NewEdges.begin(), NewEdges.end()),
+                       NewEdges.end());
+      }
       addSourceEdges(H, ccSource(L), /*IsBase=*/false, NewEdges, &Out);
     }
     break;
@@ -738,6 +952,7 @@ void SaturationState::compact(const History &H, TxnId Cut) {
   InferredDistinct = 0;
   Order.clearEdgesAndCompact(Cut);
   Processed.erase(Processed.begin(), Processed.begin() + Cut);
+  RowEpochs.eraseFront(Cut);
   ReadersOf.assign(NewN, {});
   for (auto &[Source, EdgeList] : BySource) {
     bool IsBase = isBaseSource(Source);
@@ -900,6 +1115,9 @@ bool SaturationState::loadState(ByteReader &R, std::string *Err) {
   NumSessions = R.u64();
   BaseCyclic = R.boolean();
   NeedsFullHbRecompute = R.boolean();
+  // Speculation bookkeeping is transient per-flush state: deliberately
+  // absent from checkpoints (the format is unchanged by PR 6), reset here.
+  RowEpochs.clear();
 
   if (!Order.loadState(R))
     return Fail("corrupted checkpoint (topological order)");

@@ -2,6 +2,8 @@
 
 #include "io/sharded_ingest.h"
 
+#include "support/thread_pool.h"
+
 using namespace awdit;
 
 ShardedMonitorIngest::ShardedMonitorIngest(Monitor &M,
@@ -14,11 +16,22 @@ ShardedMonitorIngest::ShardedMonitorIngest(Monitor &M,
   Applier.LastFlushes = M.flushCount();
   if (Threads >= 2) {
     NumShards = Threads - 1;
+    // The shard workers' decode load leaves them mostly idle at flush
+    // barriers, so the same thread budget drives the speculative checking
+    // offload: the applier's flushDelta fans row/inference speculation out
+    // over this pool and merges deterministically (bit-identical output —
+    // see checker/saturation_state.h).
+    SpecPool = std::make_unique<ThreadPool>(NumShards);
+    M.setSpeculation(SpecPool.get());
     startThreads();
   }
 }
 
-ShardedMonitorIngest::~ShardedMonitorIngest() { closeAndJoin(); }
+ShardedMonitorIngest::~ShardedMonitorIngest() {
+  closeAndJoin();
+  if (SpecPool)
+    M.setSpeculation(nullptr);
+}
 
 void ShardedMonitorIngest::startThreads() {
   ToShard.reserve(NumShards);

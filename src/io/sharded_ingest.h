@@ -37,6 +37,17 @@
 ///    stateful work — wr resolution, saturation deltas, flushes, eviction
 ///    — happens here, on one thread, exactly as in the single-threaded
 ///    path; that is what makes the output bit-identical by construction.
+///  - Since PR 6 the checking half of each flush is offloaded too: the
+///    pipeline installs a worker pool into the Monitor
+///    (Monitor::setSpeculation), and at every flush barrier the pool's
+///    workers speculatively compute the CC happens-before/inference delta
+///    against a read-only snapshot of the pre-merge rows. The applier then
+///    merges the speculative results in deterministic stream order,
+///    falling back to sequential re-derivation for exactly the
+///    transactions whose inputs an earlier merge step invalidated
+///    (support/epoch_snapshot.h is the validation oracle) — so the output
+///    stays bit-identical at every thread count, now enforced by CI
+///    rather than purely by construction.
 ///
 /// Flush boundaries are the pipeline's epoch barriers: after every
 /// incremental checking pass the applier invokes the FlushHook with a
@@ -66,6 +77,8 @@
 #include <vector>
 
 namespace awdit {
+
+class ThreadPool;
 
 /// A consistent cut of the ingest state at a flush boundary, handed to the
 /// FlushHook on the applier thread. Everything a persistent checkpoint
@@ -202,6 +215,11 @@ private:
   LineDecoder Decode;
   std::unique_ptr<StreamMachine> Machine;
   FlushHook Hook;
+
+  /// Speculation executor handed to the Monitor for the checking half of
+  /// each flush (threaded mode only). Owned here so its lifetime matches
+  /// the pipeline's; the Monitor is detached before destruction.
+  std::unique_ptr<ThreadPool> SpecPool;
 
   /// Shard workers (empty in synchronous mode).
   size_t NumShards = 0;

@@ -1,0 +1,84 @@
+//===- support/epoch_snapshot.h - Epoch-stamped snapshot handle --*- C++ -*-===//
+//
+// Part of the AWDIT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An epoch-based snapshot handle over a dense array of slots. The owner of
+/// a mutable array opens an epoch, hands read-only access to speculative
+/// workers, and then — while merging their results sequentially — stamps
+/// every slot it writes. A speculative result is valid exactly when none of
+/// the slots it read were stamped in the current epoch: the snapshot the
+/// worker saw is still the live value.
+///
+/// This is the validation half of the sharded monitor's speculative
+/// saturation (checker/saturation_state.h): shard workers compute CC
+/// happens-before deltas against the pre-merge rows, and the applier adopts
+/// a delta only when EpochTracker proves its inputs were not overwritten by
+/// an earlier merge step. The tracker is transient per-flush bookkeeping —
+/// it is deliberately not part of any checkpoint (the stamps are
+/// meaningless outside the flush that opened the epoch).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AWDIT_SUPPORT_EPOCH_SNAPSHOT_H
+#define AWDIT_SUPPORT_EPOCH_SNAPSHOT_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace awdit {
+
+/// Per-slot last-written-epoch stamps plus a current-epoch counter.
+/// Opening a new epoch is O(1): slots are "untouched" in an epoch until
+/// explicitly stamped, so advancing the counter invalidates nothing and
+/// clears everything at once.
+class EpochTracker {
+public:
+  /// Grows the stamp array to cover \p Slots slots (never shrinks; new
+  /// slots start untouched in every epoch, including the current one).
+  void ensureSlots(size_t Slots) {
+    if (Stamp.size() < Slots)
+      Stamp.resize(Slots, 0);
+  }
+
+  /// Opens a new epoch: every slot becomes untouched. Returns the epoch
+  /// id (monotonic, never 0 — 0 is the never-stamped sentinel).
+  uint64_t beginEpoch() { return ++Current; }
+
+  uint64_t currentEpoch() const { return Current; }
+
+  /// Stamps slot \p I as written in the current epoch.
+  void touch(size_t I) { Stamp[I] = Current; }
+
+  /// True iff slot \p I was stamped since the current epoch opened.
+  bool touchedInCurrentEpoch(size_t I) const {
+    return I < Stamp.size() && Stamp[I] == Current;
+  }
+
+  /// Drops the slot prefix [0, \p Cut), renumbering the survivors — the
+  /// eviction-compaction counterpart of the owner array's own compaction.
+  void eraseFront(size_t Cut) {
+    if (Cut >= Stamp.size())
+      Stamp.clear();
+    else
+      Stamp.erase(Stamp.begin(), Stamp.begin() + Cut);
+  }
+
+  size_t numSlots() const { return Stamp.size(); }
+
+  void clear() {
+    Stamp.clear();
+    Current = 0;
+  }
+
+private:
+  std::vector<uint64_t> Stamp;
+  uint64_t Current = 0;
+};
+
+} // namespace awdit
+
+#endif // AWDIT_SUPPORT_EPOCH_SNAPSHOT_H

@@ -1,0 +1,95 @@
+//===- tests/test_epoch_snapshot.cpp - EpochTracker unit tests -------------===//
+//
+// The validation oracle of speculative saturation (support/epoch_snapshot.h):
+// a slot is "touched" exactly when it was stamped since the current epoch
+// opened, opening an epoch invalidates every stamp at once, and the tracker
+// follows the owner array through growth and front-compaction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/epoch_snapshot.h"
+
+#include <gtest/gtest.h>
+
+using namespace awdit;
+
+TEST(EpochTracker, StartsUntouched) {
+  EpochTracker T;
+  EXPECT_EQ(T.numSlots(), 0u);
+  T.ensureSlots(4);
+  EXPECT_EQ(T.numSlots(), 4u);
+  T.beginEpoch();
+  for (size_t I = 0; I < 4; ++I)
+    EXPECT_FALSE(T.touchedInCurrentEpoch(I)) << I;
+  // Out-of-range slots are never touched (no UB, no growth).
+  EXPECT_FALSE(T.touchedInCurrentEpoch(99));
+}
+
+TEST(EpochTracker, TouchVisibleOnlyWithinItsEpoch) {
+  EpochTracker T;
+  T.ensureSlots(8);
+  uint64_t E1 = T.beginEpoch();
+  EXPECT_GT(E1, 0u); // 0 is the never-stamped sentinel
+  T.touch(2);
+  T.touch(5);
+  EXPECT_TRUE(T.touchedInCurrentEpoch(2));
+  EXPECT_TRUE(T.touchedInCurrentEpoch(5));
+  EXPECT_FALSE(T.touchedInCurrentEpoch(3));
+
+  uint64_t E2 = T.beginEpoch();
+  EXPECT_GT(E2, E1);
+  // O(1) invalidation: nothing survives the epoch boundary.
+  for (size_t I = 0; I < 8; ++I)
+    EXPECT_FALSE(T.touchedInCurrentEpoch(I)) << I;
+}
+
+TEST(EpochTracker, EnsureSlotsGrowsOnlyAndKeepsStamps) {
+  EpochTracker T;
+  T.ensureSlots(8);
+  T.beginEpoch();
+  T.touch(1);
+  T.ensureSlots(4); // never shrinks
+  EXPECT_EQ(T.numSlots(), 8u);
+  T.ensureSlots(16); // growth keeps existing stamps...
+  EXPECT_EQ(T.numSlots(), 16u);
+  EXPECT_TRUE(T.touchedInCurrentEpoch(1));
+  // ...and new slots start untouched even mid-epoch.
+  for (size_t I = 8; I < 16; ++I)
+    EXPECT_FALSE(T.touchedInCurrentEpoch(I)) << I;
+}
+
+TEST(EpochTracker, EraseFrontRenumbersSurvivors) {
+  EpochTracker T;
+  T.ensureSlots(6);
+  T.beginEpoch();
+  T.touch(3);
+  T.eraseFront(2); // slots 2..5 become 0..3; old slot 3 is now slot 1
+  EXPECT_EQ(T.numSlots(), 4u);
+  EXPECT_TRUE(T.touchedInCurrentEpoch(1));
+  EXPECT_FALSE(T.touchedInCurrentEpoch(0));
+  EXPECT_FALSE(T.touchedInCurrentEpoch(2));
+  EXPECT_FALSE(T.touchedInCurrentEpoch(3));
+
+  T.eraseFront(0); // no-op
+  EXPECT_EQ(T.numSlots(), 4u);
+  EXPECT_TRUE(T.touchedInCurrentEpoch(1));
+
+  T.eraseFront(100); // past-the-end cut empties
+  EXPECT_EQ(T.numSlots(), 0u);
+}
+
+TEST(EpochTracker, ClearResetsEverything) {
+  EpochTracker T;
+  T.ensureSlots(4);
+  T.beginEpoch();
+  T.touch(0);
+  T.clear();
+  EXPECT_EQ(T.numSlots(), 0u);
+  EXPECT_EQ(T.currentEpoch(), 0u);
+  // Usable again from scratch, as after checkpoint restore.
+  T.ensureSlots(2);
+  T.beginEpoch();
+  EXPECT_FALSE(T.touchedInCurrentEpoch(0));
+  T.touch(0);
+  EXPECT_TRUE(T.touchedInCurrentEpoch(0));
+}

@@ -11,18 +11,24 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "checker/checkpoint.h"
 #include "checker/monitor.h"
+#include "checker/stats_snapshot.h"
 #include "checker/violation_sink.h"
 #include "io/dbcop_format.h"
 #include "io/plume_format.h"
 #include "io/sharded_ingest.h"
 #include "io/text_format.h"
 #include "sim/anomaly_injector.h"
+#include "support/serialize.h"
 #include "tests/test_util.h"
 #include "workload/generator.h"
 
 #include <gtest/gtest.h>
 
+#include <optional>
+#include <random>
+#include <sstream>
 #include <string>
 #include <tuple>
 #include <vector>
@@ -261,6 +267,192 @@ TEST(ShardedIngest, OpenTxnAtEofReported) {
     EXPECT_EQ(Ingest.streamOffset(), Text.size());
     CheckReport Report = M.finalize();
     EXPECT_TRUE(Report.Consistent);
+  }
+}
+
+/// The speculative checking offload (PR 6) must actually fire on a plain
+/// multi-threaded run — and adopting speculative rows must not perturb a
+/// single observable.
+TEST(ShardedIngest, SpeculationAdoptsRowsAndStaysBitIdentical) {
+  History H = generated(0, 9, 1200);
+  std::string Text = writeTextHistory(H);
+  MonitorOptions Options;
+  Options.Level = IsolationLevel::CausalConsistency;
+  Options.Check.Threads = 1;
+  Options.CheckIntervalTxns = 64; // batches well above the speculation floor
+  RunResult Reference = runPipeline(Text, "native", 1, Options);
+
+  RunResult Sharded;
+  CollectingSink Sink;
+  Monitor M(Options, &Sink);
+  ShardedMonitorIngest Ingest(M, "native", 4);
+  ASSERT_TRUE(Ingest.valid());
+  for (size_t Pos = 0; Pos < Text.size(); Pos += 7777)
+    if (!Ingest.feed(std::string_view(Text).substr(Pos, 7777)))
+      break;
+  Sharded.End = Ingest.finishStream();
+  Sharded.Error = Ingest.errorText();
+  Sharded.Report = M.finalize();
+  Sharded.Stats = M.stats();
+  Sharded.Streamed = std::move(Sink.Violations);
+  Sharded.Descriptions = std::move(Sink.Descriptions);
+
+  // The pipeline installed a pool, the flushes were big enough: speculative
+  // rows were computed and (the common case on a clean history) adopted.
+  EXPECT_GT(M.speculationAdoptedRows(), 0u);
+  expectSameRun(Reference, Sharded, "speculation adoption");
+}
+
+namespace {
+
+/// One byte-exact observable bundle: the JSONL violation stream and the
+/// end-of-run summary, exactly as `awdit monitor --json` would print them.
+struct FuzzRun {
+  std::string Jsonl;
+  std::string Summary;
+  ShardedMonitorIngest::EndState End = ShardedMonitorIngest::EndState::Clean;
+};
+
+/// A resumable cut: the checkpoint blob plus how many JSONL bytes had been
+/// emitted when it was taken.
+struct FuzzSnapshot {
+  std::string Blob;
+  CheckpointMeta Meta;
+  size_t JsonlBytesAtCheckpoint = 0;
+};
+
+/// Runs \p Text uninterrupted with \p Threads, optionally capturing a
+/// checkpoint at every flush boundary.
+FuzzRun runFuzz(const std::string &Text, const std::string &Format,
+                const MonitorOptions &Options, unsigned Threads,
+                std::vector<FuzzSnapshot> *Snapshots = nullptr) {
+  FuzzRun R;
+  std::ostringstream Out;
+  JsonLinesSink Sink(Out);
+  Monitor M(Options, &Sink);
+  ShardedMonitorIngest::FlushHook Hook;
+  if (Snapshots)
+    Hook = [&](const IngestFlushPoint &P) {
+      FuzzSnapshot S;
+      S.Meta.Format = Format;
+      S.Meta.Options = Options;
+      S.Meta.StreamOffset = P.StreamOffset;
+      S.Meta.LineNo = P.LineNo;
+      S.Meta.CommittedTxns = P.CommittedTxns;
+      S.Meta.Flushes = P.Flushes;
+      std::string MachineBlob;
+      ByteWriter W(MachineBlob);
+      P.Machine.saveState(W);
+      S.Blob = encodeCheckpoint(P.M, MachineBlob, S.Meta);
+      S.JsonlBytesAtCheckpoint = Out.str().size();
+      Snapshots->push_back(std::move(S));
+    };
+  ShardedMonitorIngest Ingest(M, Format, Threads, std::move(Hook));
+  EXPECT_TRUE(Ingest.valid());
+  for (size_t Pos = 0; Pos < Text.size(); Pos += 4096)
+    if (!Ingest.feed(std::string_view(Text).substr(Pos, 4096)))
+      break;
+  R.End = Ingest.finishStream();
+  EXPECT_NE(R.End, ShardedMonitorIngest::EndState::Error)
+      << Ingest.errorText();
+  CheckReport Report = M.finalize();
+  R.Summary = monitorSummaryJson(Report, M.stats(), Options.Level);
+  R.Jsonl = Out.str();
+  return R;
+}
+
+/// Restores \p S and replays the rest of \p Text with \p Threads; returns
+/// the resumed suffix of the JSONL stream plus the final summary.
+FuzzRun resumeFuzz(const FuzzSnapshot &S, const std::string &Text,
+                   const std::string &Format, const MonitorOptions &Options,
+                   unsigned Threads) {
+  FuzzRun R;
+  std::ostringstream Out;
+  JsonLinesSink Sink(Out);
+  Monitor M(Options, &Sink);
+  std::string MachineState;
+  std::string Err;
+  EXPECT_TRUE(restoreCheckpoint(S.Blob, M, MachineState, &Err)) << Err;
+  ShardedMonitorIngest Ingest(M, Format, Threads);
+  ByteReader MR(MachineState);
+  EXPECT_TRUE(Ingest.machine().loadState(MR));
+  Ingest.primeResume(S.Meta.StreamOffset, S.Meta.LineNo);
+  std::string_view Rest = std::string_view(Text).substr(S.Meta.StreamOffset);
+  for (size_t Pos = 0; Pos < Rest.size(); Pos += 4096)
+    if (!Ingest.feed(Rest.substr(Pos, 4096)))
+      break;
+  R.End = Ingest.finishStream();
+  EXPECT_NE(R.End, ShardedMonitorIngest::EndState::Error)
+      << Ingest.errorText();
+  CheckReport Report = M.finalize();
+  R.Summary = monitorSummaryJson(Report, M.stats(), Options.Level);
+  R.Jsonl = Out.str();
+  return R;
+}
+
+} // namespace
+
+/// Seeded randomized determinism fuzz — the CI scaling matrix's semantic
+/// twin: for randomly drawn histories, cadences, and windows, every thread
+/// count in {1, 2, 4, 8}, with and without a kill-and-resume in the middle,
+/// must produce the byte-identical JSONL violation stream and the
+/// byte-identical end-of-run summary.
+TEST(ShardedDeterminismFuzz, ByteIdenticalAcrossThreadsAndResume) {
+  std::mt19937_64 Rng(0xA5D17u); // fixed seed: failures must reproduce
+  const int Cadences[] = {1, 17, 64};
+  const int Windows[] = {0, 64};
+  for (int Iter = 0; Iter < 4; ++Iter) {
+    int Bench = static_cast<int>(Rng() % 4);
+    int Seed = static_cast<int>(Rng() % 10000);
+    size_t Txns = 400 + static_cast<size_t>(Rng() % 400);
+    History H = generated(Bench, Seed, Txns);
+    if (Iter % 2 == 1) {
+      std::string Err;
+      std::optional<History> Injected =
+          injectAnomaly(H, static_cast<AnomalyKind>(Rng() % 7),
+                        static_cast<uint64_t>(Rng() % 1000), &Err);
+      ASSERT_TRUE(Injected) << Err;
+      H = std::move(*Injected);
+    }
+    std::string Text = writeTextHistory(H);
+
+    MonitorOptions Options;
+    Options.Level = IsolationLevel::CausalConsistency;
+    Options.Check.Threads = 1;
+    Options.CheckIntervalTxns =
+        static_cast<size_t>(Cadences[Rng() % 3]);
+    Options.WindowTxns = static_cast<size_t>(Windows[Rng() % 2]);
+    std::string Context = "iter " + std::to_string(Iter) + " cadence " +
+                          std::to_string(Options.CheckIntervalTxns) +
+                          " window " + std::to_string(Options.WindowTxns);
+
+    std::vector<FuzzSnapshot> Snapshots;
+    FuzzRun Reference = runFuzz(Text, "native", Options, 1, &Snapshots);
+
+    // Straight runs: every thread count, byte-for-byte.
+    for (unsigned Threads : {2u, 4u, 8u}) {
+      FuzzRun Run = runFuzz(Text, "native", Options, Threads);
+      EXPECT_EQ(Reference.End, Run.End)
+          << Context << " threads " << Threads;
+      EXPECT_EQ(Reference.Jsonl, Run.Jsonl)
+          << Context << " threads " << Threads;
+      EXPECT_EQ(Reference.Summary, Run.Summary)
+          << Context << " threads " << Threads;
+    }
+
+    // Kill-and-resume at a mid-stream flush: the resumed run's stream is
+    // exactly the reference's suffix, and the summary is unchanged.
+    if (!Snapshots.empty()) {
+      const FuzzSnapshot &S = Snapshots[Snapshots.size() / 2];
+      for (unsigned Threads : {1u, 4u, 8u}) {
+        FuzzRun Resumed = resumeFuzz(S, Text, "native", Options, Threads);
+        EXPECT_EQ(Reference.Jsonl.substr(S.JsonlBytesAtCheckpoint),
+                  Resumed.Jsonl)
+            << Context << " resume threads " << Threads;
+        EXPECT_EQ(Reference.Summary, Resumed.Summary)
+            << Context << " resume threads " << Threads;
+      }
+    }
   }
 }
 
