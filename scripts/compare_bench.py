@@ -31,6 +31,17 @@ base-arg run's. On a machine with fewer than --require-cores CPUs the gate
 is meaningless (the threads time-slice) and is skipped with exit code 0,
 like the unusable-baseline skip above.
 
+Counter-gate mode:
+  compare_bench.py --counter-gate CURRENT.json --bench BM_CheckpointDelta/65536
+                   --counter reduction_x --min-value 10 [--summary-out FILE]
+
+Reads one results file and fails with exit code 1 unless the named user
+counter on the named benchmark is at least --min-value. Unlike throughput
+comparisons this needs no baseline artifact: the benchmark itself computes
+a ratio (e.g. full-snapshot bytes over delta bytes per checkpoint) and the
+gate pins its floor. A missing benchmark or counter fails the run — a gate
+that silently stops measuring is worse than a red build.
+
 In both modes a markdown table of the results is appended to the file named
 by --summary-out, defaulting to $GITHUB_STEP_SUMMARY when set — so CI runs
 surface the deltas on the workflow summary page without artifact spelunking.
@@ -63,6 +74,24 @@ def load(path):
             samples.setdefault(name, []).append(float(bench["items_per_second"]))
         elif float(bench.get("real_time", 0)) > 0:
             samples.setdefault(name, []).append(1.0 / float(bench["real_time"]))
+    return {name: statistics.median(vals) for name, vals in samples.items()}
+
+
+def load_counter(path, counter):
+    """Returns {benchmark name: median value} for one user counter.
+
+    User counters live as plain keys on each benchmark entry alongside
+    real_time/items_per_second; aggregate rows are skipped and repeated
+    runs are medianed, mirroring load().
+    """
+    with open(path) as f:
+        data = json.load(f)
+    samples = {}
+    for bench in data.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        if counter in bench:
+            samples.setdefault(bench["name"], []).append(float(bench[counter]))
     return {name: statistics.median(vals) for name, vals in samples.items()}
 
 
@@ -174,6 +203,38 @@ def run_scaling(args, summary_path):
     return 0
 
 
+def run_counter_gate(args, summary_path):
+    try:
+        cur = load_counter(args.files[0], args.counter)
+    except (OSError, ValueError, KeyError, TypeError) as exc:
+        print(f"FAIL: '{args.files[0]}' is not usable benchmark JSON ({exc})")
+        return 1
+    # UseRealTime and friends append suffixes: BM_Foo/65536/real_time.
+    pat = re.compile(rf"^{re.escape(args.bench)}(/|$)")
+    matched = {name: v for name, v in cur.items() if pat.search(name)}
+    if not matched:
+        print(f"FAIL: '{args.files[0]}' has no '{args.counter}' counter on "
+              f"benchmarks matching '{args.bench}'")
+        return 1
+    value = statistics.median(matched.values())
+    ok = value >= args.min_value
+    print(f"  {args.bench}: {args.counter} = {value:.4g} "
+          f"(gate >= {args.min_value:.4g})")
+    append_summary(summary_path, [
+        f"### Counter gate: `{args.bench}`", "",
+        "| counter | value | gate | |",
+        "|---|---:|---:|---|",
+        f"| `{args.counter}` | {value:.4g} | >= {args.min_value:.4g} | "
+        f"{'✅' if ok else '❌'} |",
+    ])
+    if not ok:
+        print(f"FAIL: {args.counter} is {value:.4g}, below the gate "
+              f"{args.min_value:.4g}")
+        return 1
+    print("counter gate passed")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(
         description=__doc__,
@@ -197,18 +258,28 @@ def main():
                         help="required test/base throughput ratio")
     parser.add_argument("--require-cores", type=int, default=4,
                         help="skip the scaling gate below this CPU count")
+    parser.add_argument("--counter-gate", action="store_true",
+                        help="gate on a user counter in one results file")
+    parser.add_argument("--counter", default="reduction_x",
+                        help="user counter name for --counter-gate")
+    parser.add_argument("--min-value", type=float, default=10.0,
+                        help="required counter floor for --counter-gate")
     parser.add_argument("--summary-out", default=None,
                         help="append a markdown table here "
                              "(default: $GITHUB_STEP_SUMMARY when set)")
     args = parser.parse_args()
 
     summary_path = args.summary_out or os.environ.get("GITHUB_STEP_SUMMARY")
-    expected = 1 if args.scaling else 2
+    if args.scaling and args.counter_gate:
+        parser.error("--scaling and --counter-gate are mutually exclusive")
+    expected = 1 if args.scaling or args.counter_gate else 2
     if len(args.files) != expected:
         parser.error(f"expected {expected} file(s) for this mode, "
                      f"got {len(args.files)}")
     if args.scaling:
         return run_scaling(args, summary_path)
+    if args.counter_gate:
+        return run_counter_gate(args, summary_path)
     return run_compare(args, summary_path)
 
 

@@ -176,6 +176,66 @@ class CompareBenchTest(unittest.TestCase):
         code, _ = self.run_script(cur)  # compare mode wants two files
         self.assertEqual(code, 2)
 
+    # --- counter-gate mode ---
+
+    def counter_file(self, reduction):
+        payload = bench_json(
+            [("BM_CheckpointDelta/65536", 100.0, "iteration"),
+             ("BM_CheckpointDelta/4096", 200.0, "iteration")])
+        payload["benchmarks"][0]["reduction_x"] = reduction
+        payload["benchmarks"][1]["reduction_x"] = 1.5  # must not be matched
+        return self.write("counters.json", payload)
+
+    def test_counter_gate_passes(self):
+        cur = self.counter_file(12.5)
+        code, out = self.run_script(
+            "--counter-gate", cur, "--bench", "BM_CheckpointDelta/65536",
+            "--counter", "reduction_x", "--min-value", "10")
+        self.assertEqual(code, 0, out)
+        self.assertIn("12.5", out)
+
+    def test_counter_gate_fails_below_floor(self):
+        cur = self.counter_file(7.0)
+        code, out = self.run_script(
+            "--counter-gate", cur, "--bench", "BM_CheckpointDelta/65536",
+            "--counter", "reduction_x", "--min-value", "10")
+        self.assertEqual(code, 1, out)
+        self.assertIn("FAIL", out)
+
+    def test_counter_gate_matches_exact_arg_only(self):
+        # The 4096 row carries reduction_x=1.5; gating on /65536 must not
+        # see it, and /409 must not prefix-match /4096.
+        cur = self.counter_file(12.5)
+        code, out = self.run_script(
+            "--counter-gate", cur, "--bench", "BM_CheckpointDelta/409",
+            "--counter", "reduction_x", "--min-value", "1")
+        self.assertEqual(code, 1, out)
+        self.assertIn("no 'reduction_x' counter", out)
+
+    def test_counter_gate_fails_on_missing_counter(self):
+        cur = self.write("counters.json", bench_json(
+            [("BM_CheckpointDelta/65536", 100.0, "iteration")]))
+        code, out = self.run_script(
+            "--counter-gate", cur, "--bench", "BM_CheckpointDelta/65536")
+        self.assertEqual(code, 1, out)
+
+    def test_counter_gate_summary_written(self):
+        cur = self.counter_file(12.5)
+        summary = os.path.join(self.dir.name, "summary.md")
+        code, out = self.run_script(
+            "--counter-gate", cur, "--bench", "BM_CheckpointDelta/65536",
+            summary=summary)
+        self.assertEqual(code, 0, out)
+        with open(summary) as f:
+            text = f.read()
+        self.assertIn("Counter gate", text)
+        self.assertIn("reduction_x", text)
+
+    def test_scaling_and_counter_gate_are_exclusive(self):
+        cur = self.counter_file(12.5)
+        code, _ = self.run_script("--scaling", "--counter-gate", cur)
+        self.assertEqual(code, 2)
+
 
 if __name__ == "__main__":
     unittest.main()

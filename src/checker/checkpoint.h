@@ -24,14 +24,33 @@
 ///            | machine-state blob (length-prefixed, format-specific)
 ///            | monitor-state blob (Monitor::saveState)
 ///
-/// Compatibility policy: the version bumps on any layout change; a reader
-/// only accepts its own version (checkpoints are operational state, not
-/// archival data — a monitor restart across an awdit upgrade re-reads the
-/// stream instead). Truncated or corrupted files fail with a clear error,
-/// never UB: every count is bounds-checked against the remaining payload
-/// and the checksum covers the whole payload. Writes go to a temp file
-/// first and rename() into place, so a kill mid-write leaves the previous
-/// checkpoint intact.
+/// Two checkpoint formats coexist:
+///
+///   - **v1 (monolithic file)**: the framed blob above, rewritten whole on
+///     every checkpoint via temp file + rename. Simple, single-file, O(state)
+///     write cost per checkpoint.
+///   - **v2 (segment store)**: the same logical payload, cut at stable chunk
+///     boundaries (ChunkMark) and persisted in an append-only mmap-backed
+///     SegmentStore (store/segment_store.h). Chunk contents are expressed in
+///     *global* stream coordinates (see StateCoords in support/serialize.h),
+///     so window eviction's id rebasing does not dirty untouched chunks and
+///     a checkpoint appends only what changed — O(delta), not O(state). The
+///     store's fsync'd root record plays the role of the rename.
+///
+/// Compatibility policy, per format: the version bumps on any layout
+/// change; a reader only accepts its own version (checkpoints are
+/// operational state, not archival data — a monitor restart across an
+/// awdit upgrade re-reads the stream instead). The two formats version
+/// independently: v1 files carry CheckpointVersion, store roots carry
+/// CheckpointStoreVersion, and `--resume` tells them apart by what is on
+/// disk (a store directory vs. a checkpoint.bin), so a v1 checkpoint stays
+/// readable by a build that also writes v2 stores. Truncated or corrupted
+/// state fails with a clear error, never UB: every count is bounds-checked
+/// against the remaining payload and checksums cover every payload (the v1
+/// envelope checksum; per-chunk and per-root FNV-1a in the store). v1
+/// writes go to a temp file first and rename() into place; v2 commits
+/// publish a root only after the chunks it references are durable — either
+/// way a kill mid-write leaves the previous checkpoint intact.
 ///
 /// What counts as "layout": only durable logical state. The speculative
 /// saturation machinery of PR 6 (per-flush epoch stamps, speculative rows
@@ -53,6 +72,7 @@
 
 #include "checker/monitor.h"
 
+#include <memory>
 #include <string>
 #include <string_view>
 
@@ -135,6 +155,88 @@ bool writeCheckpointFile(const std::string &Dir, std::string_view Blob,
 /// Reads \p Dir's checkpoint file into \p Blob.
 bool readCheckpointFile(const std::string &Dir, std::string &Blob,
                         std::string *Err);
+
+//===----------------------------------------------------------------------===//
+// Store-backed checkpoints (format v2)
+//===----------------------------------------------------------------------===//
+
+namespace store {
+class SegmentStore;
+} // namespace store
+
+/// The store-backed checkpoint format version. Versioned independently of
+/// the v1 file format: bumps on any change to the root meta blob layout or
+/// the chunked monitor-state encoding.
+inline constexpr uint32_t CheckpointStoreVersion = 2;
+
+/// A checkpoint writer/reader over an append-only segment store: each
+/// write() appends only the chunks whose bytes changed since the last
+/// committed root (the store hash-gates unchanged chunks), then publishes
+/// an fsync'd root whose meta blob carries everything restore needs
+/// out-of-band — the CheckpointMeta, the format machine state, and the
+/// coordinate bases (window id base, per-session so bases) that globalize
+/// the chunk contents. Crash recovery is the store's: the last valid root
+/// wins, torn tails are truncated.
+class StoreCheckpointer {
+public:
+  StoreCheckpointer();
+  ~StoreCheckpointer();
+  StoreCheckpointer(const StoreCheckpointer &) = delete;
+  StoreCheckpointer &operator=(const StoreCheckpointer &) = delete;
+
+  /// Opens (creating if needed) the store at \p Dir for checkpointing.
+  bool open(const std::string &Dir, std::string *Err);
+
+  /// True when the opened store has a committed checkpoint to resume from.
+  bool hasCheckpoint() const;
+
+  /// Parses the CheckpointMeta from the current root. Cheap relative to a
+  /// full restore; the CLI uses it to check flag compatibility before
+  /// constructing the monitor.
+  bool readMeta(CheckpointMeta &Meta, std::string *Err) const;
+
+  /// Restores the full state into \p M (freshly constructed with the meta's
+  /// Options) and hands back the machine-state bytes for
+  /// StreamMachine::loadState.
+  bool restore(Monitor &M, std::string &MachineState, std::string *Err) const;
+
+  /// Checkpoints \p M: slices the chunked state at its marks, commits the
+  /// changed chunks plus a fresh root. Durable once it returns true.
+  bool write(const Monitor &M, std::string_view MachineState,
+             const CheckpointMeta &Meta, std::string *Err);
+
+  /// Bytes physically appended across all write() calls — changed chunk
+  /// frames plus the root record each commit publishes. This is the full
+  /// per-checkpoint write cost the O(delta) bench meters: unchanged state
+  /// contributes only its root-table entry (a few dozen bytes per chunk),
+  /// never its payload.
+  uint64_t bytesAppended() const;
+  uint64_t commits() const;
+
+  /// True when \p Dir looks like a segment store (has a root log), i.e.
+  /// `--resume` should take the v2 path instead of reading checkpoint.bin.
+  static bool isStoreDir(const std::string &Dir);
+
+private:
+  std::unique_ptr<store::SegmentStore> Store;
+};
+
+/// Parses the CheckpointMeta out of a store root meta blob (the bytes
+/// SegmentStore::rootMeta() returns) without touching the store — for
+/// read-only inspectors like `awdit-store stats`.
+bool decodeStoreCheckpointMeta(std::string_view MetaBlob,
+                               CheckpointMeta &Meta, std::string *Err);
+
+/// The checkpoint store directory of stream \p Stream inside \p Dir — the
+/// multi-tenant server layout: one store per stream, named
+/// `<dir>/<sanitized-stream>.store`.
+std::string checkpointStoreDirFor(const std::string &Dir,
+                                  std::string_view Stream);
+
+/// Recursively removes a checkpoint store directory (used when a stream
+/// ends cleanly and its state is no longer needed). Refuses to remove a
+/// directory that does not look like a store.
+bool removeStoreDir(const std::string &Dir, std::string *Err);
 
 } // namespace awdit
 

@@ -3,6 +3,7 @@
 #include "checker/monitor.h"
 
 #include "checker/check_ra.h"
+#include "checker/checkpoint_chunks.h"
 #include "checker/read_consistency.h"
 #include "support/assert.h"
 #include "support/serialize.h"
@@ -549,10 +550,11 @@ void Monitor::compact(size_t Count) {
       if (RI.Writer == NoTxn)
         continue;
       if (RI.Writer < Cut) {
+        EvictedWriterMask.emplace(
+            ((NewBase + L) << 32) | RI.OpIndex,
+            (static_cast<uint64_t>(Base + RI.Writer) << 32) | RI.WriterOp);
         RI.Writer = NoTxn;
         RI.WriterOp = NoOp;
-        EvictedWriterMask.insert(
-            ((NewBase + L) << 32) | RI.OpIndex);
         ++Stats.EvictedWriterReads;
         Changed = true;
       } else {
@@ -604,7 +606,7 @@ void Monitor::compact(size_t Count) {
   // Mask entries of evicted readers can never be consulted again.
   for (auto It = EvictedWriterMask.begin();
        It != EvictedWriterMask.end();) {
-    if ((*It >> 32) < NewBase)
+    if ((It->first >> 32) < NewBase)
       It = EvictedWriterMask.erase(It);
     else
       ++It;
@@ -773,14 +775,32 @@ void saveU32Sequence(ByteWriter &W, const Container &C) {
 
 } // namespace
 
-void Monitor::saveState(ByteWriter &W) const {
-  AWDIT_ASSERT(!Finalized, "saveState: monitor already finalized");
+void Monitor::saveState(ByteWriter &W) const { saveStateImpl(W, nullptr); }
 
-  // The live window.
+void Monitor::saveStateImpl(ByteWriter &W, const StateCoords *C) const {
+  AWDIT_ASSERT(!Finalized, "saveState: monitor already finalized");
+  // Local→global coordinate transforms of the chunked (v2) path; identity
+  // when C is null, which writes the historical v1 bytes. See StateCoords.
+  uint32_t IdBase = C ? C->IdBase : 0;
+  auto GT = [&](TxnId T) {
+    return T == NoTxn ? T : static_cast<TxnId>(T + IdBase);
+  };
+  auto GSo = [&](SessionId S, uint32_t So) {
+    return C && S < C->SoBase->size()
+               ? static_cast<uint32_t>(So + (*C->SoBase)[S])
+               : So;
+  };
+
+  // The live window. Transactions live at global ids [Base, Base+N) in
+  // id order, so bucketing by global id makes the chunk covering a given
+  // transaction byte-identical until the transaction itself changes.
+  W.chunk(chunkId(ckchunk::MTxns));
   W.u64(Live.Txns.size());
-  for (const Transaction &T : Live.Txns) {
+  for (size_t I = 0; I < Live.Txns.size(); ++I) {
+    const Transaction &T = Live.Txns[I];
+    W.chunk(chunkId(ckchunk::MTxns, 1 + ((IdBase + I) >> 4)));
     W.u32(T.Session);
-    W.u32(T.SoIndex);
+    W.u32(GSo(T.Session, T.SoIndex));
     W.boolean(T.Committed);
     W.u64(T.Ops.size());
     for (const Operation &Op : T.Ops) {
@@ -793,32 +813,74 @@ void Monitor::saveState(ByteWriter &W) const {
       W.u32(RI.OpIndex);
       W.u64(RI.K);
       W.i64(RI.V);
-      W.u32(RI.Writer);
-      W.u32(RI.WriterOp);
+      // The chunked path writes a masked read as its original pre-eviction
+      // (global writer, op) — the record's bytes never change when the
+      // writer is later evicted; the loader re-masks anything below the
+      // window base. v1 keeps the masked sentinel (its bytes are the
+      // pruned view).
+      uint32_t WriterOut = GT(RI.Writer);
+      uint32_t WriterOpOut = RI.WriterOp;
+      if (C && RI.Writer == NoTxn) {
+        auto MIt = EvictedWriterMask.find(
+            ((static_cast<uint64_t>(IdBase) + I) << 32) | RI.OpIndex);
+        if (MIt != EvictedWriterMask.end() &&
+            MIt->second != UnknownMaskedWriter) {
+          WriterOut = static_cast<uint32_t>(MIt->second >> 32);
+          WriterOpOut = static_cast<uint32_t>(MIt->second);
+        }
+      }
+      W.u32(WriterOut);
+      W.u32(WriterOpOut);
     }
-    saveU32Sequence(W, T.ExtReads);
+    // External-read indices and read-from lists are a pure function of
+    // the reads, the mask, and commit metadata (classifyExternalReads):
+    // the chunked path derives them at load instead of churning chunks
+    // every time an evicted writer drops out of them.
+    if (!C)
+      saveU32Sequence(W, T.ExtReads);
     W.u64(T.WriteKeys.size());
     for (Key K : T.WriteKeys)
       W.u64(K);
-    saveU32Sequence(W, T.ReadFroms);
+    if (!C) {
+      W.u64(T.ReadFroms.size());
+      for (TxnId F : T.ReadFroms)
+        W.u32(GT(F));
+    }
   }
+  W.chunk(chunkId(ckchunk::MSess));
   W.u64(Live.Sessions.size());
-  for (const std::vector<TxnId> &Sess : Live.Sessions)
-    saveU32Sequence(W, Sess);
+  for (size_t S = 0; S < Live.Sessions.size(); ++S) {
+    const std::vector<TxnId> &Sess = Live.Sessions[S];
+    W.chunk(chunkId(ckchunk::MSess, 1 + (S << 26)));
+    W.u64(Sess.size());
+    for (TxnId Member : Sess) {
+      W.chunk(chunkId(ckchunk::MSess,
+                      1 + ((S << 26) | (static_cast<uint64_t>(GT(Member)) >>
+                                        8))));
+      W.u32(GT(Member));
+    }
+  }
+  W.chunk(chunkId(ckchunk::MMisc));
   W.u64(Live.TotalOps);
   W.u64(Live.CommittedCount);
   // Live.KeyCount is rebuilt with the key universe on load.
 
   W.u32(Base);
-  for (const TxnMeta &TM : Meta) {
+  W.chunk(chunkId(ckchunk::MMeta));
+  for (size_t I = 0; I < Meta.size(); ++I) {
+    const TxnMeta &TM = Meta[I];
+    W.chunk(chunkId(ckchunk::MMeta, 1 + ((IdBase + I) >> 6)));
     W.boolean(TM.Open);
     W.boolean(TM.Deferred);
     W.u64(TM.Ts);
   }
 
-  Saturation.saveState(W);
+  Saturation.saveState(W, C);
 
-  saveU32Sequence(W, AdoptedReady);
+  W.chunk(chunkId(ckchunk::MAdopted));
+  W.u64(AdoptedReady.size());
+  for (TxnId T : AdoptedReady)
+    W.u32(GT(T));
   W.boolean(AdoptedIndexPending);
 
   // wr resolution: the write-site index, sorted by (key, value).
@@ -833,11 +895,13 @@ void Monitor::saveState(ByteWriter &W) const {
                 return A.first.K != B.first.K ? A.first.K < B.first.K
                                               : A.first.V < B.first.V;
               });
+    W.chunk(chunkId(ckchunk::MWrites));
     W.u64(Sorted.size());
     for (const auto &[KV, Site] : Sorted) {
+      W.chunk(chunkId(ckchunk::MWrites, 1 + (KV.K >> 4)));
       W.u64(KV.K);
       W.i64(KV.V);
-      W.u32(Site.T);
+      W.u32(GT(Site.T));
       W.u32(Site.Op);
     }
   }
@@ -855,13 +919,15 @@ void Monitor::saveState(ByteWriter &W) const {
       return A->first.K != B->first.K ? A->first.K < B->first.K
                                       : A->first.V < B->first.V;
     });
+    W.chunk(chunkId(ckchunk::MPending));
     W.u64(Sorted.size());
     for (const auto *Entry : Sorted) {
+      W.chunk(chunkId(ckchunk::MPending, 1 + (Entry->first.K >> 4)));
       W.u64(Entry->first.K);
       W.i64(Entry->first.V);
       W.u64(Entry->second.size());
       for (const auto &[Reader, OpIdx] : Entry->second) {
-        W.u32(Reader);
+        W.u32(GT(Reader));
         W.u32(OpIdx);
       }
     }
@@ -874,31 +940,56 @@ void Monitor::saveState(ByteWriter &W) const {
     for (const auto &[Writer, Readers] : WaitersOnClose)
       Writers.push_back(Writer);
     std::sort(Writers.begin(), Writers.end());
+    W.chunk(chunkId(ckchunk::MWaiters));
     W.u64(Writers.size());
     for (TxnId Writer : Writers) {
-      W.u32(Writer);
-      saveU32Sequence(W, WaitersOnClose.at(Writer));
+      W.chunk(chunkId(ckchunk::MWaiters,
+                      1 + (static_cast<uint64_t>(GT(Writer)) >> 4)));
+      W.u32(GT(Writer));
+      const std::vector<TxnId> &Readers = WaitersOnClose.at(Writer);
+      W.u64(Readers.size());
+      for (TxnId Reader : Readers)
+        W.u32(GT(Reader));
     }
   }
 
   {
-    std::vector<uint64_t> Sorted(EvictedWriterMask.begin(),
-                                 EvictedWriterMask.end());
+    // The chunked path serializes masked reads with their original writer
+    // inline in MTxns, so it only needs MMask for entries whose original
+    // writer is unknown (restored from a v1 checkpoint). v1 keeps the full
+    // key set — its loader has no other way to tell masked from unresolved.
+    std::vector<uint64_t> Sorted;
+    Sorted.reserve(EvictedWriterMask.size());
+    for (const auto &[MaskKey, Original] : EvictedWriterMask)
+      if (!C || Original == UnknownMaskedWriter)
+        Sorted.push_back(MaskKey);
     std::sort(Sorted.begin(), Sorted.end());
+    W.chunk(chunkId(ckchunk::MMask));
     W.u64(Sorted.size());
-    for (uint64_t V : Sorted)
+    for (uint64_t V : Sorted) {
+      // Mask keys are (global id << 32 | op) already: no transform.
+      W.chunk(chunkId(ckchunk::MMask, 1 + (V >> 36)));
       W.u64(V);
+    }
   }
 
-  saveU32Sequence(W, Dirty);
-  saveU32Sequence(W, OpenTxns);
+  W.chunk(chunkId(ckchunk::MDirty));
+  W.u64(Dirty.size());
+  for (TxnId T : Dirty)
+    W.u32(GT(T));
+  W.chunk(chunkId(ckchunk::MOpen));
+  W.u64(OpenTxns.size());
+  for (TxnId T : OpenTxns)
+    W.u32(GT(T));
   {
     std::vector<TxnId> Sorted(ForceAbortedIds.begin(),
                               ForceAbortedIds.end());
     std::sort(Sorted.begin(), Sorted.end());
-    saveU32Sequence(W, Sorted);
+    W.chunk(chunkId(ckchunk::MForced));
+    saveU32Sequence(W, Sorted); // monitor (global) ids: no transform
   }
 
+  W.chunk(chunkId(ckchunk::MSoBase));
   W.u64(SessionSoBase.size());
   for (uint64_t V : SessionSoBase)
     W.u64(V);
@@ -914,20 +1005,33 @@ void Monitor::saveState(ByteWriter &W) const {
               [](const std::string *A, const std::string *B) {
                 return *A < *B;
               });
+    W.chunk(chunkId(ckchunk::MFp));
     W.u64(Sorted.size());
-    for (const std::string *Fp : Sorted)
-      W.str(*Fp);
+    for (size_t I = 0; I < Sorted.size(); ++I) {
+      W.chunk(chunkId(ckchunk::MFp, 1 + (I >> 5)));
+      W.str(*Sorted[I]);
+    }
   }
   {
     std::vector<TxnId> Sorted(ReportedCycleTxns.begin(),
                               ReportedCycleTxns.end());
     std::sort(Sorted.begin(), Sorted.end());
-    saveU32Sequence(W, Sorted);
+    W.chunk(chunkId(ckchunk::MCyc));
+    W.u64(Sorted.size());
+    for (TxnId T : Sorted) {
+      // Monitor (global) ids: no transform.
+      W.chunk(chunkId(ckchunk::MCyc, 1 + (static_cast<uint64_t>(T) >> 6)));
+      W.u32(T);
+    }
   }
+  W.chunk(chunkId(ckchunk::MRep));
   W.u64(StreamReported.size());
-  for (const Violation &V : StreamReported)
-    saveViolation(W, V);
+  for (size_t I = 0; I < StreamReported.size(); ++I) {
+    W.chunk(chunkId(ckchunk::MRep, 1 + (I >> 4)));
+    saveViolation(W, StreamReported[I]);
+  }
 
+  W.chunk(chunkId(ckchunk::MTail));
   W.u64(Stats.IngestedTxns);
   W.u64(Stats.IngestedOps);
   W.u64(Stats.CommittedTxns);
@@ -952,6 +1056,11 @@ void Monitor::saveState(ByteWriter &W) const {
 }
 
 bool Monitor::loadState(ByteReader &R, std::string *Err) {
+  return loadStateImpl(R, Err, nullptr);
+}
+
+bool Monitor::loadStateImpl(ByteReader &R, std::string *Err,
+                            const StateCoords *C) {
   auto Fail = [&](const char *Msg) {
     if (Err)
       *Err = Msg;
@@ -960,6 +1069,18 @@ bool Monitor::loadState(ByteReader &R, std::string *Err) {
   if (Finalized || !Live.Txns.empty() || !Live.Sessions.empty())
     return Fail("checkpoint restore requires a pristine monitor");
 
+  // Exact inverses of the globalizing transforms in saveStateImpl. With a
+  // null \p C these are the identity, reading historical v1 bytes.
+  const uint32_t IdBase = C ? C->IdBase : 0;
+  auto LT = [&](TxnId T) {
+    return T == NoTxn ? T : static_cast<TxnId>(T - IdBase);
+  };
+  auto LSo = [&](uint32_t S, uint32_t V) -> uint32_t {
+    if (!C || !C->SoBase || S >= C->SoBase->size())
+      return V;
+    return static_cast<uint32_t>(V - (*C->SoBase)[S]);
+  };
+
   uint64_t NumTxns = R.u64();
   if (!R.checkCount(NumTxns, 16))
     return Fail("corrupted checkpoint (transaction count)");
@@ -967,7 +1088,7 @@ bool Monitor::loadState(ByteReader &R, std::string *Err) {
   for (uint64_t I = 0; I < NumTxns && R.ok(); ++I) {
     Transaction &T = Live.Txns[I];
     T.Session = R.u32();
-    T.SoIndex = R.u32();
+    T.SoIndex = LSo(T.Session, R.u32());
     T.Committed = R.boolean();
     uint64_t NumOps = R.u64();
     if (!R.checkCount(NumOps, 17))
@@ -986,27 +1107,43 @@ bool Monitor::loadState(ByteReader &R, std::string *Err) {
       RI.OpIndex = R.u32();
       RI.K = R.u64();
       RI.V = R.i64();
-      RI.Writer = R.u32();
-      RI.WriterOp = R.u32();
+      uint32_t GW = R.u32();
+      uint32_t WOp = R.u32();
+      if (C && GW != NoTxn && GW < IdBase) {
+        // Chunked records keep a masked read's original pre-eviction writer;
+        // anything below the window base was evicted, so re-mask it here.
+        RI.Writer = NoTxn;
+        RI.WriterOp = NoOp;
+        EvictedWriterMask.emplace(
+            ((static_cast<uint64_t>(IdBase) + I) << 32) | RI.OpIndex,
+            (static_cast<uint64_t>(GW) << 32) | WOp);
+      } else {
+        RI.Writer = LT(GW);
+        RI.WriterOp = WOp;
+      }
     }
-    uint64_t NumExt = R.u64();
-    if (!R.checkCount(NumExt, 4))
-      return Fail("corrupted checkpoint (external reads)");
-    T.ExtReads.resize(NumExt);
-    for (uint32_t &E : T.ExtReads)
-      E = R.u32();
+    if (!C) {
+      uint64_t NumExt = R.u64();
+      if (!R.checkCount(NumExt, 4))
+        return Fail("corrupted checkpoint (external reads)");
+      T.ExtReads.resize(NumExt);
+      for (uint32_t &E : T.ExtReads)
+        E = R.u32();
+    }
     uint64_t NumWk = R.u64();
     if (!R.checkCount(NumWk, 8))
       return Fail("corrupted checkpoint (write keys)");
     T.WriteKeys.resize(NumWk);
     for (Key &K : T.WriteKeys)
       K = R.u64();
-    uint64_t NumRf = R.u64();
-    if (!R.checkCount(NumRf, 4))
-      return Fail("corrupted checkpoint (read-froms)");
-    T.ReadFroms.resize(NumRf);
-    for (TxnId &F : T.ReadFroms)
-      F = R.u32();
+    if (!C) {
+      uint64_t NumRf = R.u64();
+      if (!R.checkCount(NumRf, 4))
+        return Fail("corrupted checkpoint (read-froms)");
+      T.ReadFroms.resize(NumRf);
+      for (TxnId &F : T.ReadFroms)
+        F = LT(R.u32());
+    }
   }
 
   uint64_t NumSessions = R.u64();
@@ -1019,22 +1156,31 @@ bool Monitor::loadState(ByteReader &R, std::string *Err) {
       return Fail("corrupted checkpoint (session list)");
     Live.Sessions[S].resize(Len);
     for (TxnId &T : Live.Sessions[S])
-      T = R.u32();
+      T = LT(R.u32());
   }
   Live.TotalOps = R.u64();
   Live.CommittedCount = R.u64();
 
   Base = R.u32();
+  if (C && Base != C->IdBase)
+    return Fail("inconsistent checkpoint (window base vs. root metadata)");
   Meta.resize(NumTxns);
   for (TxnMeta &TM : Meta) {
     TM.Open = R.boolean();
     TM.Deferred = R.boolean();
     TM.Ts = R.u64();
   }
+  if (C) {
+    // Chunked checkpoints omit ExtReads/ReadFroms: both are pure functions
+    // of the reads, open flags, and commit bits, all of which are loaded by
+    // this point.
+    for (uint64_t I = 0; I < NumTxns; ++I)
+      classifyExternalReads(static_cast<TxnId>(I));
+  }
 
   if (!R.ok())
     return Fail("truncated checkpoint (window)");
-  if (!Saturation.loadState(R, Err))
+  if (!Saturation.loadState(R, Err, C, Base))
     return false;
 
   uint64_t NumAdopted = R.u64();
@@ -1042,7 +1188,7 @@ bool Monitor::loadState(ByteReader &R, std::string *Err) {
     return Fail("corrupted checkpoint (adopted list)");
   AdoptedReady.resize(NumAdopted);
   for (TxnId &T : AdoptedReady)
-    T = R.u32();
+    T = LT(R.u32());
   AdoptedIndexPending = R.boolean();
 
   uint64_t NumWrites = R.u64();
@@ -1051,7 +1197,7 @@ bool Monitor::loadState(ByteReader &R, std::string *Err) {
   for (uint64_t I = 0; I < NumWrites; ++I) {
     Key K = R.u64();
     Value V = R.i64();
-    TxnId T = R.u32();
+    TxnId T = LT(R.u32());
     uint32_t Op = R.u32();
     if (R.ok() && !Writes.record(K, V, T, Op))
       return Fail("corrupted checkpoint (duplicate write-site entry)");
@@ -1068,7 +1214,7 @@ bool Monitor::loadState(ByteReader &R, std::string *Err) {
       return Fail("corrupted checkpoint (pending-read list)");
     std::vector<std::pair<TxnId, uint32_t>> Waiters(Len);
     for (auto &[Reader, OpIdx] : Waiters) {
-      Reader = R.u32();
+      Reader = LT(R.u32());
       OpIdx = R.u32();
     }
     PendingReads.emplace(KeyValue{K, V}, std::move(Waiters));
@@ -1078,13 +1224,13 @@ bool Monitor::loadState(ByteReader &R, std::string *Err) {
   if (!R.checkCount(NumWaiters, 12))
     return Fail("corrupted checkpoint (close-waiters)");
   for (uint64_t I = 0; I < NumWaiters && R.ok(); ++I) {
-    TxnId Writer = R.u32();
+    TxnId Writer = LT(R.u32());
     uint64_t Len = R.u64();
     if (!R.checkCount(Len, 4))
       return Fail("corrupted checkpoint (close-waiter list)");
     std::vector<TxnId> Readers(Len);
     for (TxnId &Reader : Readers)
-      Reader = R.u32();
+      Reader = LT(R.u32());
     WaitersOnClose.emplace(Writer, std::move(Readers));
   }
 
@@ -1092,14 +1238,14 @@ bool Monitor::loadState(ByteReader &R, std::string *Err) {
   if (!R.checkCount(NumMask, 8))
     return Fail("corrupted checkpoint (evicted-writer mask)");
   for (uint64_t I = 0; I < NumMask; ++I)
-    EvictedWriterMask.insert(R.u64());
+    EvictedWriterMask.emplace(R.u64(), UnknownMaskedWriter);
 
   auto LoadTxnSet = [&](std::set<TxnId> &Set) {
     uint64_t Len = R.u64();
     if (!R.checkCount(Len, 4))
       return false;
     for (uint64_t I = 0; I < Len; ++I)
-      Set.insert(R.u32());
+      Set.insert(LT(R.u32()));
     return true;
   };
   if (!LoadTxnSet(Dirty))
@@ -1118,6 +1264,8 @@ bool Monitor::loadState(ByteReader &R, std::string *Err) {
   SessionSoBase.resize(NumSoBase);
   for (uint64_t &V : SessionSoBase)
     V = R.u64();
+  if (C && C->SoBase && SessionSoBase != *C->SoBase)
+    return Fail("inconsistent checkpoint (session bases vs. root metadata)");
 
   uint64_t NumFp = R.u64();
   if (!R.checkCount(NumFp, 8))
@@ -1169,5 +1317,34 @@ bool Monitor::loadState(ByteReader &R, std::string *Err) {
   if (Meta.size() != Live.Txns.size() ||
       SessionSoBase.size() != Live.Sessions.size())
     return Fail("inconsistent checkpoint (structure mismatch)");
+  return true;
+}
+
+void Monitor::saveStateChunked(std::string &Bytes,
+                               std::vector<ChunkMark> &Marks,
+                               uint32_t &IdBase,
+                               std::vector<uint64_t> &SoBase) const {
+  Bytes.clear();
+  Marks.clear();
+  IdBase = Base;
+  SoBase = SessionSoBase;
+  ByteWriter W(Bytes);
+  W.enableChunks(&Marks);
+  StateCoords C{Base, &SessionSoBase};
+  saveStateImpl(W, &C);
+}
+
+bool Monitor::loadStateChunked(std::string_view Bytes, uint32_t IdBase,
+                               const std::vector<uint64_t> &SoBase,
+                               std::string *Err) {
+  ByteReader R(Bytes);
+  StateCoords C{IdBase, &SoBase};
+  if (!loadStateImpl(R, Err, &C))
+    return false;
+  if (R.remaining() != 0) {
+    if (Err)
+      *Err = "trailing bytes after checkpoint state";
+    return false;
+  }
   return true;
 }

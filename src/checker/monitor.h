@@ -45,6 +45,7 @@
 #include <map>
 #include <set>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -54,6 +55,8 @@ namespace awdit {
 class ByteWriter;
 class ByteReader;
 class ThreadPool;
+struct ChunkMark;
+struct StateCoords;
 
 /// Options of one monitoring session.
 struct MonitorOptions {
@@ -298,7 +301,32 @@ public:
   /// unusable afterwards.
   bool loadState(ByteReader &R, std::string *Err);
 
+  /// Chunked serialization for store-backed (format-v2) checkpoints: the
+  /// same logical state as saveState, but transaction ids and so-indices
+  /// are written in *global* coordinates — rebase-invariant under windowed
+  /// eviction — and \p Marks receives the chunk boundaries (strictly
+  /// increasing ids; see support/serialize.h). \p IdBase and \p SoBase
+  /// receive the coordinate bases the bytes were written under; a restore
+  /// needs them back to invert the transform, so the store keeps them in
+  /// the root's meta blob. Unchanged state re-serializes into
+  /// byte-identical chunks, which is what makes a store commit O(delta).
+  void saveStateChunked(std::string &Bytes, std::vector<ChunkMark> &Marks,
+                        uint32_t &IdBase,
+                        std::vector<uint64_t> &SoBase) const;
+
+  /// Restores reassembled saveStateChunked() bytes (chunks concatenated in
+  /// ascending id order) written under \p IdBase / \p SoBase.
+  bool loadStateChunked(std::string_view Bytes, uint32_t IdBase,
+                        const std::vector<uint64_t> &SoBase,
+                        std::string *Err);
+
 private:
+  /// Shared serialization body of the v1 and chunked paths: a null \p C
+  /// writes/reads raw local coordinates (the historical v1 bytes), a
+  /// non-null one applies the local↔global transform and emits marks.
+  void saveStateImpl(ByteWriter &W, const StateCoords *C) const;
+  bool loadStateImpl(ByteReader &R, std::string *Err, const StateCoords *C);
+
   struct TxnMeta {
     bool Open = true;
     /// True while some read of this (closed) transaction resolves to a
@@ -388,8 +416,15 @@ private:
   /// Readers to re-derive when an open writer closes (local ids).
   std::unordered_map<TxnId, std::vector<TxnId>> WaitersOnClose;
   /// Reads whose writer was evicted, keyed by (monitor id << 32 | op):
-  /// excluded from checking and never reported as thin-air.
-  std::unordered_set<uint64_t> EvictedWriterMask;
+  /// excluded from checking and never reported as thin-air. The value
+  /// remembers the original (global writer id << 32 | writer op) so the
+  /// chunked checkpoint can serialize the read exactly as it looked
+  /// before the eviction — keeping old transaction chunks byte-stable
+  /// across window slides. Entries restored from a v1 checkpoint carry
+  /// UnknownMaskedWriter (v1 bytes never held the original).
+  std::unordered_map<uint64_t, uint64_t> EvictedWriterMask;
+  static constexpr uint64_t UnknownMaskedWriter =
+      (static_cast<uint64_t>(NoTxn) << 32) | NoOp;
 
   /// Closed transactions whose checking state is stale (newly closed or
   /// retroactively re-resolved). Ordered for deterministic flushes.

@@ -3,6 +3,7 @@
 #include "checker/saturation_state.h"
 
 #include "checker/check_cc.h"
+#include "checker/checkpoint_chunks.h"
 #include "checker/commit_graph.h"
 #include "graph/scc.h"
 #include "graph/topo_sort.h"
@@ -199,19 +200,20 @@ void SaturationState::addSourceEdges(const History &H, uint64_t Source,
                                      std::vector<Violation> *Out) {
   if (NewEdges.empty())
     return;
-  std::vector<uint64_t> &List = BySource[Source];
+  std::vector<uint64_t> &List = BySource[globalizeSource(Source)];
   for (uint64_t Packed : NewEdges) {
-    List.push_back(Packed);
+    List.push_back(globalizePacked(Packed));
     insertLive(H, Packed, IsBase, Out);
   }
 }
 
 void SaturationState::clearSource(uint64_t Source, bool IsBase) {
-  auto It = BySource.find(Source);
+  auto It = BySource.find(globalizeSource(Source));
   if (It == BySource.end())
     return;
-  for (uint64_t Packed : It->second)
-    removeLive(Packed, IsBase);
+  for (uint64_t GPacked : It->second)
+    if (!deadPacked(GPacked))
+      removeLive(localizePacked(GPacked), IsBase);
   BySource.erase(It);
 }
 
@@ -556,10 +558,13 @@ void SaturationState::runCcReaderRow(const History &H, TxnId L,
 void SaturationState::setReaderWrEdges(const History &H, TxnId L,
                                        std::vector<Violation> *Out) {
   uint64_t Source = wrSource(L);
-  auto It = BySource.find(Source);
+  auto It = BySource.find(globalizeSource(Source));
   if (It != BySource.end()) {
-    for (uint64_t Packed : It->second) {
-      std::vector<TxnId> &Readers = ReadersOf[edgeFrom(Packed)];
+    for (uint64_t GPacked : It->second) {
+      if (deadPacked(GPacked))
+        continue;
+      std::vector<TxnId> &Readers =
+          ReadersOf[edgeFrom(localizePacked(GPacked))];
       auto RIt = std::find(Readers.begin(), Readers.end(), L);
       if (RIt != Readers.end()) {
         *RIt = Readers.back();
@@ -893,31 +898,35 @@ void SaturationState::compact(const History &H, TxnId Cut) {
   }
 
   // Source-tagged edges: contributions of evicted units vanish wholesale,
-  // edges crossing the horizon are dropped (anomalies spanning it are no
-  // longer detectable — the documented windowed-mode trade-off), and the
-  // so chains are rebuilt over the surviving session members so survivors
-  // around an evicted middle member get re-linked.
-  std::unordered_map<uint64_t, std::vector<uint64_t>> NewBySource;
-  for (auto &[Source, EdgeList] : BySource) {
-    uint64_t Tag = Source >> 32;
-    if (Tag == 4)
-      continue; // so chains: rebuilt below.
-    uint64_t NewSource = Source;
-    if (Tag == 0 || Tag == 2 || Tag == 3) { // per-transaction sources
-      TxnId L = static_cast<TxnId>(Source);
-      if (L < Cut)
-        continue;
-      NewSource = (Tag << 32) | (L - Cut);
+  // and edges crossing the horizon die (anomalies spanning it are no
+  // longer detectable — the documented windowed-mode trade-off). The
+  // lists are global-coordinate, so surviving per-transaction sources are
+  // left byte-for-byte untouched: a dead edge becomes a tombstone the
+  // consumers (and the replay below) skip via deadPacked(). Only the
+  // long-lived per-session lists are rewritten — RA contributions are
+  // pruned in place, and the so chains are rebuilt over the surviving
+  // session members so survivors around an evicted middle member get
+  // re-linked.
+  uint32_t NewBase = EvictedBase + Cut;
+  for (auto It = BySource.begin(); It != BySource.end();) {
+    uint64_t Tag = It->first >> 32;
+    if (Tag == 4) {
+      It = BySource.erase(It); // so chains: rebuilt below.
+      continue;
     }
-    std::vector<uint64_t> Kept;
-    for (uint64_t Packed : EdgeList) {
-      TxnId From = edgeFrom(Packed), To = edgeTo(Packed);
-      if (From < Cut || To < Cut)
-        continue;
-      Kept.push_back(pack(From - Cut, To - Cut));
+    if (isPerTxnSource(It->first)) {
+      It = static_cast<uint32_t>(It->first) < NewBase ? BySource.erase(It)
+                                                      : std::next(It);
+      continue;
     }
-    if (!Kept.empty())
-      NewBySource.emplace(NewSource, std::move(Kept));
+    // Per-session RA lists: prune dead entries, keep global coordinates.
+    std::vector<uint64_t> &List = It->second;
+    size_t Kept = 0;
+    for (uint64_t GPacked : List)
+      if (edgeFrom(GPacked) >= NewBase && edgeTo(GPacked) >= NewBase)
+        List[Kept++] = GPacked;
+    List.resize(Kept);
+    It = Kept ? std::next(It) : BySource.erase(It);
   }
   for (SessionId S = 0; S < K; ++S) {
     const std::vector<TxnId> &Sess = H.sessionTxns(S);
@@ -927,13 +936,13 @@ void SaturationState::compact(const History &H, TxnId Cut) {
       if (Member < Cut)
         continue;
       if (Prev != NoTxn)
-        Chain.push_back(pack(Prev - Cut, Member - Cut));
+        Chain.push_back(pack(Prev - Cut + NewBase, Member - Cut + NewBase));
       Prev = Member;
     }
     if (!Chain.empty())
-      NewBySource.emplace(soSource(S), std::move(Chain));
+      BySource.emplace(soSource(S), std::move(Chain));
   }
-  BySource = std::move(NewBySource);
+  EvictedBase = NewBase;
 
   // Quarantined edges between survivors stay quarantined (their region
   // may still be cyclic); the retry at the next flush revisits them.
@@ -954,9 +963,23 @@ void SaturationState::compact(const History &H, TxnId Cut) {
   Processed.erase(Processed.begin(), Processed.begin() + Cut);
   RowEpochs.eraseFront(Cut);
   ReadersOf.assign(NewN, {});
-  for (auto &[Source, EdgeList] : BySource) {
+  // Replay in sorted source order, not hash-table order: adjacency-list
+  // order steers later witness extraction, and a canonical replay makes
+  // the post-compaction order a pure function of the logical edge set —
+  // identical between a resumed and an uninterrupted run, and stable
+  // between consecutive checkpoints (what keeps v2 chunks unchanged).
+  std::vector<uint64_t> ReplayOrder;
+  ReplayOrder.reserve(BySource.size());
+  for (const auto &[Source, EdgeList] : BySource)
+    ReplayOrder.push_back(Source);
+  std::sort(ReplayOrder.begin(), ReplayOrder.end());
+  for (uint64_t Source : ReplayOrder) {
+    const std::vector<uint64_t> &EdgeList = BySource.at(Source);
     bool IsBase = isBaseSource(Source);
-    for (uint64_t Packed : EdgeList) {
+    for (uint64_t GPacked : EdgeList) {
+      if (deadPacked(GPacked))
+        continue;
+      uint64_t Packed = localizePacked(GPacked);
       EdgeRefs &Refs = Edges[Packed];
       bool WasLive = Refs.Base + Refs.Inferred > 0;
       if (IsBase) {
@@ -971,9 +994,11 @@ void SaturationState::compact(const History &H, TxnId Cut) {
         Quarantined.insert(Packed); // only possible under a stale base cycle
     }
     if ((Source >> 32) == 3) { // wr: rebuild reader lists
-      TxnId Reader = static_cast<TxnId>(Source);
-      for (uint64_t Packed : EdgeList)
-        ReadersOf[edgeFrom(Packed)].push_back(Reader);
+      TxnId Reader = static_cast<TxnId>(static_cast<uint32_t>(Source) -
+                                        EvictedBase);
+      for (uint64_t GPacked : EdgeList)
+        if (!deadPacked(GPacked))
+          ReadersOf[edgeFrom(localizePacked(GPacked))].push_back(Reader);
     }
   }
 
@@ -989,19 +1014,41 @@ void SaturationState::compact(const History &H, TxnId Cut) {
 // Checkpoint support: verbatim serialization of the streaming state.
 //===----------------------------------------------------------------------===//
 
-void SaturationState::saveState(ByteWriter &W) const {
+void SaturationState::saveState(ByteWriter &W, const StateCoords *C) const {
   AWDIT_ASSERT(EngineMode == Mode::Streaming,
                "saveState: only streaming state checkpoints");
+  // Local→global transforms of chunked serialization (identity when C is
+  // null — the v1 byte path). See StateCoords in support/serialize.h.
+  uint32_t IdBase = C ? C->IdBase : 0;
+  auto GT = [&](TxnId T) { return static_cast<TxnId>(T + IdBase); };
+  auto GSo = [&](SessionId S, uint32_t So) {
+    return C && S < C->SoBase->size()
+               ? static_cast<uint32_t>(So + (*C->SoBase)[S])
+               : So;
+  };
+  auto GPacked = [&](uint64_t Packed) {
+    return Packed + (static_cast<uint64_t>(IdBase) << 32) + IdBase;
+  };
+  // BySource is already global-coordinate in memory; the chunked path
+  // writes it verbatim, so its base and the checkpoint's must agree.
+  AWDIT_ASSERT(!C || C->IdBase == EvictedBase,
+               "saveState: checkpoint id base != engine eviction base");
+
+  W.chunk(chunkId(ckchunk::SHdr));
   W.u8(static_cast<uint8_t>(Level));
   W.u64(NumSessions);
   W.boolean(BaseCyclic);
   W.boolean(NeedsFullHbRecompute);
 
-  Order.saveState(W);
+  Order.saveState(W, IdBase, ckchunk::SPos);
 
-  // Edge refcounts, sorted by packed key for canonical bytes (iteration
-  // order of the live table never influences behavior in streaming mode).
-  {
+  // Edge refcounts: v1 only, sorted by packed key for canonical bytes
+  // (iteration order of the live table never influences behavior in
+  // streaming mode). The chunked path skips them entirely — the map is
+  // the filtered refcount image of the source lists below, so loadState
+  // re-derives it instead of paying churned refcount chunks on every
+  // retroactive re-derivation.
+  if (!C) {
     std::vector<std::pair<uint64_t, EdgeRefs>> Sorted;
     Sorted.reserve(Edges.size());
     Edges.forEach([&](uint64_t Packed, const EdgeRefs &Refs) {
@@ -1017,47 +1064,91 @@ void SaturationState::saveState(ByteWriter &W) const {
     }
   }
 
-  // Source-tagged edge lists: sorted by source key; each list verbatim
-  // (list order is replay order during eviction compaction).
+  // Source-tagged edge lists, sorted by (global) source key. The lists
+  // live in global coordinates and may carry tombstones. The chunked path
+  // writes them verbatim — a per-transaction source's bytes never change
+  // after creation, so eviction dirties no old chunk. The v1 path writes
+  // the filtered, localized view: exactly the bytes an eagerly pruned
+  // engine would produce (tombstone-only sources are elided like eager
+  // pruning would have dropped them).
   {
     std::vector<uint64_t> Sources;
     Sources.reserve(BySource.size());
-    for (const auto &[Source, List] : BySource)
+    for (const auto &[Source, List] : BySource) {
+      if (!C && std::all_of(List.begin(), List.end(), [&](uint64_t GP) {
+            return deadPacked(GP);
+          }))
+        continue;
       Sources.push_back(Source);
+    }
     std::sort(Sources.begin(), Sources.end());
+    W.chunk(chunkId(ckchunk::SSources));
     W.u64(Sources.size());
     for (uint64_t Source : Sources) {
       const std::vector<uint64_t> &List = BySource.at(Source);
-      W.u64(Source);
-      W.u64(List.size());
-      for (uint64_t Packed : List)
-        W.u64(Packed);
+      W.chunk(chunkId(ckchunk::SSources,
+                      1 + (((Source >> 32) << 28) |
+                           (static_cast<uint32_t>(Source) >> 4))));
+      if (C) {
+        W.u64(Source);
+        W.u64(List.size());
+        for (uint64_t GPacked : List)
+          W.u64(GPacked);
+      } else {
+        W.u64(isPerTxnSource(Source) ? Source - EvictedBase : Source);
+        uint64_t Live = 0;
+        for (uint64_t GPacked : List)
+          Live += !deadPacked(GPacked);
+        W.u64(Live);
+        for (uint64_t GPacked : List)
+          if (!deadPacked(GPacked))
+            W.u64(localizePacked(GPacked));
+      }
     }
   }
 
   {
     std::vector<uint64_t> Sorted(Quarantined.begin(), Quarantined.end());
     std::sort(Sorted.begin(), Sorted.end());
+    W.chunk(chunkId(ckchunk::SQuar));
     W.u64(Sorted.size());
     for (uint64_t Packed : Sorted)
-      W.u64(Packed);
+      W.u64(GPacked(Packed));
   }
 
+  W.chunk(chunkId(ckchunk::SProc));
   W.u64(Processed.size());
-  for (uint8_t P : Processed)
-    W.u8(P);
+  for (size_t I = 0; I < Processed.size(); ++I) {
+    W.chunk(chunkId(ckchunk::SProc, 1 + ((IdBase + I) >> 8)));
+    W.u8(Processed[I]);
+  }
 
+  W.chunk(chunkId(ckchunk::SReaders));
   W.u64(ReadersOf.size());
-  for (const std::vector<TxnId> &Readers : ReadersOf) {
+  for (size_t I = 0; I < ReadersOf.size(); ++I) {
+    W.chunk(chunkId(ckchunk::SReaders, 1 + ((IdBase + I) >> 4)));
+    const std::vector<TxnId> &Readers = ReadersOf[I];
     W.u64(Readers.size());
     for (TxnId R : Readers)
-      W.u32(R);
+      W.u32(GT(R));
   }
 
+  W.chunk(chunkId(ckchunk::SHb));
   W.u64(HbStride);
   W.u64(HbRows.size());
-  for (uint32_t V : HbRows)
-    W.u32(V);
+  if (HbStride == 0 || HbRows.size() % HbStride != 0)
+    for (uint32_t V : HbRows) // defensive: not row-shaped, write raw
+      W.u32(V);
+  else
+    for (size_t L = 0; L * HbStride < HbRows.size(); ++L) {
+      W.chunk(chunkId(ckchunk::SHb, 1 + ((IdBase + L) >> 4)));
+      for (size_t S = 0; S < HbStride; ++S) {
+        // Frontier values are so-index+1 counts; 0 means "none" and stays
+        // a sentinel, matching the rebase in compact().
+        uint32_t F = HbRows[L * HbStride + S];
+        W.u32(F ? GSo(static_cast<SessionId>(S), F) : 0);
+      }
+    }
 
   // Per-key writer index: sorted by key; slot order (session discovery
   // order) and list order are semantic — verbatim.
@@ -1067,18 +1158,21 @@ void SaturationState::saveState(ByteWriter &W) const {
     for (const auto &[K, KW] : Writers)
       SortedKeys.push_back(K);
     std::sort(SortedKeys.begin(), SortedKeys.end());
+    W.chunk(chunkId(ckchunk::SWriters));
     W.u64(SortedKeys.size());
     for (Key K : SortedKeys) {
       const KeyWriters &KW = Writers.at(K);
+      W.chunk(chunkId(ckchunk::SWriters, 1 + (K >> 4)));
       W.u64(K);
       W.u64(KW.Sessions.size());
       for (size_t Slot = 0; Slot < KW.Sessions.size(); ++Slot) {
-        W.u32(KW.Sessions[Slot]);
+        SessionId S = KW.Sessions[Slot];
+        W.u32(S);
         const std::vector<detail::CcWriterEntry> &List = KW.Lists[Slot];
         W.u64(List.size());
         for (const detail::CcWriterEntry &E : List) {
-          W.u32(E.T);
-          W.u32(E.SoIndex);
+          W.u32(GT(E.T));
+          W.u32(GSo(S, E.SoIndex));
         }
       }
     }
@@ -1087,9 +1181,13 @@ void SaturationState::saveState(ByteWriter &W) const {
   // RA incremental state. The per-transaction halves of the scratch are
   // reset by the kernel before use; only LastWrite and the frontier
   // persist across flushes.
+  W.chunk(chunkId(ckchunk::SRa));
   W.u64(RaStates.size());
-  for (const RaSessionState &St : RaStates) {
-    W.u64(St.NextSo);
+  for (size_t S = 0; S < RaStates.size(); ++S) {
+    const RaSessionState &St = RaStates[S];
+    W.chunk(chunkId(ckchunk::SRa, 1 + S));
+    W.u64(C && S < C->SoBase->size() ? St.NextSo + (*C->SoBase)[S]
+                                     : St.NextSo);
     W.boolean(St.NeedsFullRerun);
     std::vector<std::pair<Key, TxnId>> Sorted(St.Scratch.LastWrite.begin(),
                                               St.Scratch.LastWrite.end());
@@ -1097,19 +1195,35 @@ void SaturationState::saveState(ByteWriter &W) const {
     W.u64(Sorted.size());
     for (const auto &[K, T] : Sorted) {
       W.u64(K);
-      W.u32(T);
+      W.u32(GT(T));
     }
   }
 }
 
-bool SaturationState::loadState(ByteReader &R, std::string *Err) {
+bool SaturationState::loadState(ByteReader &R, std::string *Err,
+                                const StateCoords *C, uint32_t WindowBase) {
   auto Fail = [&](const char *Msg) {
     if (Err)
       *Err = Msg;
     return false;
   };
+  // Exact inverses of the saveState transforms (identity when C is null).
+  uint32_t IdBase = C ? C->IdBase : 0;
+  auto LT = [&](TxnId T) { return static_cast<TxnId>(T - IdBase); };
+  auto LSo = [&](SessionId S, uint32_t So) {
+    return C && S < C->SoBase->size()
+               ? static_cast<uint32_t>(So - (*C->SoBase)[S])
+               : So;
+  };
+  auto LPacked = [&](uint64_t Packed) {
+    return Packed - (static_cast<uint64_t>(IdBase) << 32) - IdBase;
+  };
+
   if (EngineMode != Mode::Streaming)
     return Fail("checkpoint restore requires a streaming-mode engine");
+  if (C && C->IdBase != WindowBase)
+    return Fail("inconsistent checkpoint (id base vs. window base)");
+  EvictedBase = WindowBase;
   if (R.u8() != static_cast<uint8_t>(Level))
     return Fail("checkpoint isolation level does not match this monitor");
   NumSessions = R.u64();
@@ -1119,37 +1233,66 @@ bool SaturationState::loadState(ByteReader &R, std::string *Err) {
   // absent from checkpoints (the format is unchanged by PR 6), reset here.
   RowEpochs.clear();
 
-  if (!Order.loadState(R))
+  if (!Order.loadState(R, IdBase))
     return Fail("corrupted checkpoint (topological order)");
 
+  // Edge refcounts: present in v1 bytes only; the chunked format derives
+  // them from the source lists after those are read.
   Edges.clear();
   InferredDistinct = 0;
-  uint64_t NumEdges = R.u64();
-  if (!R.checkCount(NumEdges, 16))
-    return Fail("corrupted checkpoint (edge count)");
-  for (uint64_t I = 0; I < NumEdges; ++I) {
-    uint64_t Packed = R.u64();
-    EdgeRefs Refs;
-    Refs.Base = R.u32();
-    Refs.Inferred = R.u32();
-    Edges[Packed] = Refs;
-    if (Refs.Inferred > 0)
-      ++InferredDistinct;
+  if (!C) {
+    uint64_t NumEdges = R.u64();
+    if (!R.checkCount(NumEdges, 16))
+      return Fail("corrupted checkpoint (edge count)");
+    for (uint64_t I = 0; I < NumEdges; ++I) {
+      uint64_t Packed = R.u64();
+      EdgeRefs Refs;
+      Refs.Base = R.u32();
+      Refs.Inferred = R.u32();
+      Edges[Packed] = Refs;
+      if (Refs.Inferred > 0)
+        ++InferredDistinct;
+    }
   }
 
+  // Source lists: the chunked bytes are the in-memory (global-coordinate,
+  // tombstone-carrying) form verbatim; v1 bytes are the filtered local
+  // view and re-globalize against the window base.
   BySource.clear();
   uint64_t NumSources = R.u64();
   if (!R.checkCount(NumSources, 16))
     return Fail("corrupted checkpoint (source count)");
   for (uint64_t I = 0; I < NumSources && R.ok(); ++I) {
     uint64_t Source = R.u64();
+    if (!C && isPerTxnSource(Source))
+      Source += EvictedBase;
     uint64_t Len = R.u64();
     if (!R.checkCount(Len, 8))
       return Fail("corrupted checkpoint (source list)");
     std::vector<uint64_t> List(Len);
     for (uint64_t J = 0; J < Len; ++J)
-      List[J] = R.u64();
+      List[J] = C ? R.u64() : R.u64() + packedShift(EvictedBase);
     BySource.emplace(Source, std::move(List));
+  }
+  if (C) {
+    // Derive the refcount map: it is a pure, order-independent refcount
+    // image of the filtered lists, so replaying them here reproduces the
+    // live engine's map bit-exactly.
+    for (const auto &[Source, List] : BySource) {
+      bool IsBase = isBaseSource(Source);
+      for (uint64_t GPacked : List) {
+        if (deadPacked(GPacked))
+          continue;
+        EdgeRefs &Refs = Edges[localizePacked(GPacked)];
+        if (IsBase) {
+          ++Refs.Base;
+        } else {
+          if (Refs.Inferred == 0)
+            ++InferredDistinct;
+          ++Refs.Inferred;
+        }
+      }
+    }
   }
 
   Quarantined.clear();
@@ -1157,7 +1300,7 @@ bool SaturationState::loadState(ByteReader &R, std::string *Err) {
   if (!R.checkCount(NumQuarantined, 8))
     return Fail("corrupted checkpoint (quarantine)");
   for (uint64_t I = 0; I < NumQuarantined; ++I)
-    Quarantined.insert(R.u64());
+    Quarantined.insert(LPacked(R.u64()));
 
   uint64_t NumProcessed = R.u64();
   if (!R.checkCount(NumProcessed, 1))
@@ -1176,7 +1319,7 @@ bool SaturationState::loadState(ByteReader &R, std::string *Err) {
       return Fail("corrupted checkpoint (reader list)");
     ReadersOf[I].resize(Len);
     for (uint64_t J = 0; J < Len; ++J)
-      ReadersOf[I][J] = R.u32();
+      ReadersOf[I][J] = LT(R.u32());
   }
 
   HbStride = R.u64();
@@ -1184,8 +1327,12 @@ bool SaturationState::loadState(ByteReader &R, std::string *Err) {
   if (!R.checkCount(NumHb, 4))
     return Fail("corrupted checkpoint (happens-before rows)");
   HbRows.resize(NumHb);
-  for (uint64_t I = 0; I < NumHb; ++I)
-    HbRows[I] = R.u32();
+  bool RowShaped = HbStride != 0 && NumHb % HbStride == 0;
+  for (uint64_t I = 0; I < NumHb; ++I) {
+    uint32_t F = R.u32();
+    HbRows[I] =
+        F && RowShaped ? LSo(static_cast<SessionId>(I % HbStride), F) : F;
+  }
 
   Writers.clear();
   uint64_t NumKeys = R.u64();
@@ -1200,14 +1347,15 @@ bool SaturationState::loadState(ByteReader &R, std::string *Err) {
     KW.Sessions.resize(Slots);
     KW.Lists.assign(Slots, {});
     for (uint64_t Slot = 0; Slot < Slots && R.ok(); ++Slot) {
-      KW.Sessions[Slot] = R.u32();
+      SessionId S = R.u32();
+      KW.Sessions[Slot] = S;
       uint64_t Len = R.u64();
       if (!R.checkCount(Len, 8))
         return Fail("corrupted checkpoint (writer list)");
       KW.Lists[Slot].resize(Len);
       for (uint64_t J = 0; J < Len; ++J) {
-        KW.Lists[Slot][J].T = R.u32();
-        KW.Lists[Slot][J].SoIndex = R.u32();
+        KW.Lists[Slot][J].T = LT(R.u32());
+        KW.Lists[Slot][J].SoIndex = LSo(S, R.u32());
       }
     }
   }
@@ -1220,13 +1368,15 @@ bool SaturationState::loadState(ByteReader &R, std::string *Err) {
   for (uint64_t I = 0; I < NumRa && R.ok(); ++I) {
     RaSessionState &St = RaStates[I];
     St.NextSo = R.u64();
+    if (C && I < C->SoBase->size())
+      St.NextSo -= (*C->SoBase)[I];
     St.NeedsFullRerun = R.boolean();
     uint64_t Len = R.u64();
     if (!R.checkCount(Len, 12))
       return Fail("corrupted checkpoint (RA last-write)");
     for (uint64_t J = 0; J < Len; ++J) {
       Key K = R.u64();
-      St.Scratch.LastWrite[K] = R.u32();
+      St.Scratch.LastWrite[K] = LT(R.u32());
     }
   }
 

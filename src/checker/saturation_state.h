@@ -32,8 +32,12 @@
 /// Every inferred or base edge is tagged with the unit of work that
 /// produced it (an RC transaction, an RA session, a CC reader, a reader's
 /// wr set, a session's so chain), so re-running a unit replaces exactly
-/// its contribution; compaction after windowed eviction filters and
-/// remaps the persisted state in one pass.
+/// its contribution. The tagged lists live in *global* stream coordinates
+/// (ids never rebased by eviction): compaction drops whole evicted
+/// sources but never rewrites a surviving per-transaction list — entries
+/// whose endpoint was evicted are filtered lazily by every consumer.
+/// That keeps the serialized bytes of old sources stable across window
+/// slides, which is what makes store-backed checkpoints O(delta).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -62,6 +66,7 @@ namespace awdit {
 
 class ByteWriter;
 class ByteReader;
+struct StateCoords;
 class ThreadPool;
 
 /// The incremental saturation engine. One instance per checking session
@@ -175,12 +180,18 @@ public:
   /// later witness extraction), happens-before rows, writer index, RA
   /// frontiers. Unordered containers are dumped in sorted-key order so the
   /// bytes are canonical; list-valued state keeps its order verbatim.
-  void saveState(ByteWriter &W) const;
+  /// A non-null \p C (chunked checkpoint-v2 serialization) globalizes
+  /// transaction ids and so-indices and emits chunk marks; loadState must
+  /// be handed the same transform back. Null writes the v1 bytes.
+  void saveState(ByteWriter &W, const StateCoords *C = nullptr) const;
 
   /// Restores a freshly constructed streaming state (same Level) from
-  /// saveState() bytes. Returns false (with \p Err set) on corrupted or
-  /// level-mismatched input.
-  bool loadState(ByteReader &R, std::string *Err);
+  /// saveState() bytes. \p WindowBase is the global id of window-local 0
+  /// (the monitor's eviction count) — it re-globalizes v1 bytes and seeds
+  /// the lazy eviction filter. Returns false (with \p Err set) on
+  /// corrupted or level-mismatched input.
+  bool loadState(ByteReader &R, std::string *Err,
+                 const StateCoords *C = nullptr, uint32_t WindowBase = 0);
 
 private:
   // Source tags: the unit of work that contributed an edge. Re-running a
@@ -190,6 +201,32 @@ private:
   static uint64_t ccSource(TxnId L) { return (uint64_t(2) << 32) | L; }
   static uint64_t wrSource(TxnId L) { return (uint64_t(3) << 32) | L; }
   static uint64_t soSource(SessionId S) { return (uint64_t(4) << 32) | S; }
+  static bool isPerTxnSource(uint64_t Source) {
+    uint64_t Tag = Source >> 32;
+    return Tag == 0 || Tag == 2 || Tag == 3;
+  }
+
+  // BySource coordinate bridge: callers and the live structures (Edges,
+  // Order, ReadersOf) speak window-local ids; the tagged lists store
+  // global ones. EvictedBase is the global id of local 0.
+  uint64_t globalizeSource(uint64_t Source) const {
+    return isPerTxnSource(Source) ? Source + EvictedBase : Source;
+  }
+  static uint64_t packedShift(uint32_t Base) {
+    return (static_cast<uint64_t>(Base) << 32) | Base;
+  }
+  uint64_t globalizePacked(uint64_t Packed) const {
+    return Packed + packedShift(EvictedBase);
+  }
+  uint64_t localizePacked(uint64_t GPacked) const {
+    return GPacked - packedShift(EvictedBase);
+  }
+  /// True when either endpoint of a global packed edge was evicted — the
+  /// entry is a tombstone every consumer skips.
+  bool deadPacked(uint64_t GPacked) const {
+    return static_cast<uint32_t>(GPacked >> 32) < EvictedBase ||
+           static_cast<uint32_t>(GPacked) < EvictedBase;
+  }
 
   /// Reference counts of one packed edge, split by provenance: base
   /// (so/wr) references keep the edge structural; inferred references come
@@ -305,7 +342,19 @@ private:
   /// twice per delta edge, which made node-based hashing the dominant
   /// per-flush cost (ROADMAP follow-up from PR 3).
   PackedEdgeMap<EdgeRefs> Edges;
+  /// Source-tagged edge lists in *global* stream coordinates (keys of
+  /// per-transaction tags and every packed endpoint are global ids, never
+  /// rebased). A per-transaction list is immutable once written: eviction
+  /// drops whole evicted sources and leaves tombstone entries (an evicted
+  /// endpoint) in surviving lists for consumers to skip via deadPacked().
+  /// Per-session lists (RA contributions, so chains) are long-lived and
+  /// are pruned/rebuilt at compaction instead. The refcounted Edges map is
+  /// always the filtered refcount image of these lists — which is why the
+  /// chunked checkpoint derives it at load instead of persisting it.
   std::unordered_map<uint64_t, std::vector<uint64_t>> BySource;
+  /// Global id of window-local transaction 0 (total evicted count); the
+  /// BySource coordinate base and lazy eviction filter.
+  uint32_t EvictedBase = 0;
   /// Edges with live references that are kept out of the order because
   /// inserting them closed a cycle (reported when first quarantined).
   std::unordered_set<uint64_t> Quarantined;

@@ -184,23 +184,36 @@ void IncrementalTopoOrder::compactPrefix(uint32_t Cut) {
 // Checkpoint support.
 //===----------------------------------------------------------------------===//
 
-void IncrementalTopoOrder::saveState(ByteWriter &W) const {
+void IncrementalTopoOrder::saveState(ByteWriter &W, uint32_t IdBase,
+                                     uint64_t KindBase) const {
   size_t N = Pos.size();
+  W.chunk(chunkId(KindBase));
   W.u64(N);
-  for (uint32_t P : Pos)
-    W.u32(P);
-  auto SaveAdjacency = [&](const std::vector<std::vector<uint32_t>> &Lists) {
-    for (const std::vector<uint32_t> &List : Lists) {
+  // Positions are order ranks, not ids: a uniform offset cannot make them
+  // rebase-invariant, so they are written raw (a compaction dirties every
+  // position chunk — accepted; positions are 4 bytes per node).
+  for (size_t I = 0; I < N; ++I) {
+    W.chunk(chunkId(KindBase, 1 + ((IdBase + I) >> 6)));
+    W.u32(Pos[I]);
+  }
+  // Adjacency values are node ids: globalized so a row whose edges
+  // survive compaction keeps identical bytes.
+  auto SaveAdjacency = [&](const std::vector<std::vector<uint32_t>> &Lists,
+                           uint64_t Kind) {
+    W.chunk(chunkId(Kind));
+    for (size_t I = 0; I < Lists.size(); ++I) {
+      W.chunk(chunkId(Kind, 1 + ((IdBase + I) >> 4)));
+      const std::vector<uint32_t> &List = Lists[I];
       W.u64(List.size());
       for (uint32_t V : List)
-        W.u32(V);
+        W.u32(V + IdBase);
     }
   };
-  SaveAdjacency(Out);
-  SaveAdjacency(In);
+  SaveAdjacency(Out, KindBase + 1);
+  SaveAdjacency(In, KindBase + 2);
 }
 
-bool IncrementalTopoOrder::loadState(ByteReader &R) {
+bool IncrementalTopoOrder::loadState(ByteReader &R, uint32_t IdBase) {
   uint64_t N = R.u64();
   if (!R.checkCount(N, 4))
     return false;
@@ -215,7 +228,7 @@ bool IncrementalTopoOrder::loadState(ByteReader &R) {
         return;
       Lists[I].resize(Len);
       for (uint64_t J = 0; J < Len; ++J)
-        Lists[I][J] = R.u32();
+        Lists[I][J] = R.u32() - IdBase;
     }
   };
   LoadAdjacency(Out);

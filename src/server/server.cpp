@@ -91,7 +91,8 @@ Server::Server(ServerOptions Options)
       Pool(std::make_unique<ThreadPool>(this->Options.Threads)),
       Registry(std::make_unique<SessionRegistry>(
           SessionEnv{this->Options.CheckpointDir, this->Options.SinkDir,
-                     this->Options.CheckpointIntervalFlushes},
+                     this->Options.CheckpointIntervalFlushes,
+                     this->Options.CheckpointStore},
           *Pool)) {}
 
 Server::~Server() {

@@ -58,6 +58,10 @@ struct ServerOptions {
   uint16_t MetricsPort = 0;
   /// Per-stream checkpoints live here; empty disables persistence.
   std::string CheckpointDir;
+  /// Use copy-on-write segment stores (`<dir>/<stream>.store/`, O(delta)
+  /// per checkpoint) instead of monolithic `.ckpt` files. A server
+  /// switched to stores still resumes tenants from leftover v1 files.
+  bool CheckpointStore = false;
   /// Per-stream JSONL violation sinks live here; empty disables them.
   std::string SinkDir;
   /// Worker threads of the shared pool (0 = all cores).

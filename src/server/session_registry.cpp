@@ -205,9 +205,28 @@ void StreamSession::maybeCheckpoint(bool Force) {
   ByteWriter W(MachineBlob);
   Machine->saveState(W);
   std::string Err;
-  if (!writeCheckpointFileAt(
-          checkpointFilePathFor(Env.CheckpointDir, Name),
-          encodeCheckpoint(M, MachineBlob, Meta), &Err)) {
+  if (Env.StoreCheckpoints) {
+    if (!StoreCkpt) {
+      StoreCkpt = std::make_unique<StoreCheckpointer>();
+      if (!StoreCkpt->open(checkpointStoreDirFor(Env.CheckpointDir, Name),
+                           &Err)) {
+        std::fprintf(stderr,
+                     "warning: stream %s: checkpoint store not opened: "
+                     "%s\n",
+                     Name.c_str(), Err.c_str());
+        StoreCkpt.reset();
+        return;
+      }
+    }
+    if (!StoreCkpt->write(M, MachineBlob, Meta, &Err)) {
+      std::fprintf(stderr,
+                   "warning: stream %s: checkpoint not written: %s\n",
+                   Name.c_str(), Err.c_str());
+      return;
+    }
+  } else if (!writeCheckpointFileAt(
+                 checkpointFilePathFor(Env.CheckpointDir, Name),
+                 encodeCheckpoint(M, MachineBlob, Meta), &Err)) {
     std::fprintf(stderr, "warning: stream %s: checkpoint not written: %s\n",
                  Name.c_str(), Err.c_str());
     return;
@@ -286,8 +305,17 @@ void StreamSession::processItem(const Item &I) {
     finalizeSession(/*ToSinkFile=*/true, "FINAL");
     if (!Env.CheckpointDir.empty()) {
       // The stream is complete; its checkpoint would only resurrect it.
+      // Both layouts go: a server switched between them may have either.
       std::remove(
           checkpointFilePathFor(Env.CheckpointDir, Name).c_str());
+      StoreCkpt.reset(); // unmap before unlinking
+      std::string StoreDir = checkpointStoreDirFor(Env.CheckpointDir, Name);
+      if (StoreCheckpointer::isStoreDir(StoreDir)) {
+        std::string Err;
+        if (!removeStoreDir(StoreDir, &Err))
+          std::fprintf(stderr, "warning: stream %s: %s\n", Name.c_str(),
+                       Err.c_str());
+      }
     }
     sendToClient("BYE");
     detachWriter();
@@ -417,20 +445,47 @@ SessionRegistry::hello(const HelloRequest &Req,
 
   // No live session. Only the event-loop thread creates sessions, so no
   // other creator can race this unlocked section; resume from the
-  // per-stream checkpoint when one exists.
+  // per-stream checkpoint when one exists — a segment store in the
+  // StoreCheckpoints layout, else a v1 .ckpt file (so a server switched
+  // between layouts still resumes every tenant).
   std::string Blob;
   bool HaveCheckpoint = false;
   std::string CkptPath;
+  std::unique_ptr<StoreCheckpointer> ResumeStore;
   if (!Env.CheckpointDir.empty()) {
-    CkptPath = checkpointFilePathFor(Env.CheckpointDir, Req.Stream);
-    std::string IgnoredErr;
-    HaveCheckpoint = readCheckpointFileAt(CkptPath, Blob, &IgnoredErr);
+    if (Env.StoreCheckpoints) {
+      std::string StoreDir =
+          checkpointStoreDirFor(Env.CheckpointDir, Req.Stream);
+      if (StoreCheckpointer::isStoreDir(StoreDir)) {
+        ResumeStore = std::make_unique<StoreCheckpointer>();
+        std::string Err;
+        if (!ResumeStore->open(StoreDir, &Err)) {
+          R.Err = "checkpoint store " + StoreDir + ": " + Err;
+          return R;
+        }
+        if (ResumeStore->hasCheckpoint()) {
+          HaveCheckpoint = true;
+          CkptPath = StoreDir;
+        } else {
+          // A store directory with no committed root (a crash before the
+          // first checkpoint): nothing to resume from.
+          ResumeStore.reset();
+        }
+      }
+    }
+    if (!HaveCheckpoint) {
+      CkptPath = checkpointFilePathFor(Env.CheckpointDir, Req.Stream);
+      std::string IgnoredErr;
+      HaveCheckpoint = readCheckpointFileAt(CkptPath, Blob, &IgnoredErr);
+    }
   }
 
   if (HaveCheckpoint) {
     CheckpointMeta Meta;
     std::string Err;
-    if (!decodeCheckpointMeta(Blob, Meta, &Err)) {
+    bool MetaOk = ResumeStore ? ResumeStore->readMeta(Meta, &Err)
+                              : decodeCheckpointMeta(Blob, Meta, &Err);
+    if (!MetaOk) {
       R.Err = "checkpoint " + CkptPath + ": " + Err;
       return R;
     }
@@ -447,7 +502,11 @@ SessionRegistry::hello(const HelloRequest &Req,
       return R;
     }
     std::string MachineState;
-    if (!restoreCheckpoint(Blob, S->M, MachineState, &Err)) {
+    bool Restored =
+        ResumeStore
+            ? ResumeStore->restore(S->M, MachineState, &Err)
+            : restoreCheckpoint(Blob, S->M, MachineState, &Err);
+    if (!Restored) {
       R.Err = "checkpoint " + CkptPath + ": " + Err;
       return R;
     }
@@ -456,6 +515,8 @@ SessionRegistry::hello(const HelloRequest &Req,
       R.Err = "checkpoint " + CkptPath + ": corrupted parser state";
       return R;
     }
+    // Keep committing into the store just restored from.
+    S->StoreCkpt = std::move(ResumeStore);
     S->Offset = Meta.StreamOffset;
     S->LineNo = Meta.LineNo;
     S->LastCkptFlushes = Meta.Flushes;

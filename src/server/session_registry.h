@@ -89,6 +89,11 @@ struct SessionEnv {
   /// Write a checkpoint every this many checking passes (and always at
   /// detach, idle eviction, and drain).
   uint64_t CheckpointIntervalFlushes = 16;
+  /// Checkpoint into per-stream copy-on-write segment stores
+  /// (`<CheckpointDir>/<stream>.store/`, checker/checkpoint.h
+  /// StoreCheckpointer) instead of monolithic `.ckpt` files. Resume still
+  /// accepts either layout, preferring the store.
+  bool StoreCheckpoints = false;
 };
 
 /// One tenant: a named stream with its own Monitor, format machine, and
@@ -230,6 +235,10 @@ private:
   LineDecoder Decode = nullptr;
   std::unique_ptr<StreamMachine> Machine;
   std::unique_ptr<std::ofstream> SinkFile;
+  /// The stream's segment store (StoreCheckpoints layout). Set by the
+  /// registry on a store resume, opened lazily by the first checkpoint of
+  /// a fresh stream; pump-thread only after hello() publishes the session.
+  std::unique_ptr<StoreCheckpointer> StoreCkpt;
   uint64_t Offset = 0;
   uint64_t LineNo = 0;
   uint64_t LastCkptFlushes = 0;

@@ -1,0 +1,198 @@
+//===- store/page_alloc.h - mmap'd page-granular segment files ---*- C++ -*-===//
+//
+// Part of the AWDIT reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The lowest layer of the persistent state store (store/segment_store.h):
+/// a memory-mapped, fixed-capacity segment file with bump allocation.
+/// Bytes are written at most once — the store appends chunk extents with a
+/// strictly growing write cursor — and once every byte of a page has been
+/// written and synced, the page is sealed read-only with mprotect(), so a
+/// stray write through the mapping faults instead of corrupting committed
+/// state. Sealing is what makes a published root immutable by
+/// construction: everything a root record points at lives in sealed (or
+/// about-to-seal, already-synced) pages.
+///
+/// The class is deliberately dumb: no free lists, no reuse, no interior
+/// mutation. Reclaiming space is the segment store's job (whole dead
+/// segments are unlinked; fragmented ones are relocated), which keeps the
+/// crash-consistency argument trivial — a segment's contents never change
+/// under a reader.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AWDIT_STORE_PAGE_ALLOC_H
+#define AWDIT_STORE_PAGE_ALLOC_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace awdit {
+namespace store {
+
+/// The page granularity of sealing. Allocation alignment is finer
+/// (ChunkAlign) so small chunks do not waste a page each; sealing rounds
+/// down to whole pages.
+inline constexpr size_t PageSize = 4096;
+
+/// Alignment of chunk extents inside a segment: big enough that a chunk
+/// header never straddles a cache line, small enough that thousands of
+/// small chunks stay compact.
+inline constexpr size_t ChunkAlign = 64;
+
+inline size_t alignUp(size_t N, size_t A) { return (N + A - 1) & ~(A - 1); }
+
+/// One mmap'd segment file. Movable, not copyable. Two modes:
+///
+///  - create(): a fresh writable file of fixed capacity, mapped
+///    read-write; the owner appends via data() + advance(), syncs, and
+///    seals completed pages.
+///  - openExisting(): an existing file mapped read-only (resume and the
+///    awdit-store inspector). No writes are possible through the mapping.
+class MappedSegment {
+public:
+  MappedSegment() = default;
+  MappedSegment(MappedSegment &&O) noexcept { *this = std::move(O); }
+  MappedSegment &operator=(MappedSegment &&O) noexcept {
+    if (this != &O) {
+      reset();
+      Map = O.Map;
+      Capacity = O.Capacity;
+      Used = O.Used;
+      Sealed = O.Sealed;
+      Writable = O.Writable;
+      O.Map = nullptr;
+      O.Capacity = O.Used = O.Sealed = 0;
+    }
+    return *this;
+  }
+  MappedSegment(const MappedSegment &) = delete;
+  MappedSegment &operator=(const MappedSegment &) = delete;
+  ~MappedSegment() { reset(); }
+
+  /// Creates \p Path (failing if it exists — segments are written once) of
+  /// \p Bytes capacity, rounded up to whole pages, and maps it read-write.
+  bool create(const std::string &Path, size_t Bytes, std::string *Err) {
+    reset();
+    size_t Cap = alignUp(Bytes, PageSize);
+    int Fd = ::open(Path.c_str(), O_RDWR | O_CREAT | O_EXCL, 0644);
+    if (Fd < 0)
+      return fail(Err, "cannot create segment '" + Path + "'");
+    if (::ftruncate(Fd, static_cast<off_t>(Cap)) != 0) {
+      ::close(Fd);
+      ::unlink(Path.c_str());
+      return fail(Err, "cannot size segment '" + Path + "'");
+    }
+    void *M = ::mmap(nullptr, Cap, PROT_READ | PROT_WRITE, MAP_SHARED, Fd, 0);
+    ::close(Fd); // the mapping keeps the file alive
+    if (M == MAP_FAILED)
+      return fail(Err, "cannot map segment '" + Path + "'");
+    Map = static_cast<char *>(M);
+    Capacity = Cap;
+    Used = 0;
+    Sealed = 0;
+    Writable = true;
+    return true;
+  }
+
+  /// Maps an existing segment read-only, its whole file size.
+  bool openExisting(const std::string &Path, std::string *Err) {
+    reset();
+    int Fd = ::open(Path.c_str(), O_RDONLY);
+    if (Fd < 0)
+      return fail(Err, "cannot open segment '" + Path + "'");
+    struct stat St;
+    if (::fstat(Fd, &St) != 0 || St.st_size == 0) {
+      ::close(Fd);
+      return fail(Err, "cannot stat segment '" + Path + "'");
+    }
+    size_t Cap = static_cast<size_t>(St.st_size);
+    void *M = ::mmap(nullptr, Cap, PROT_READ, MAP_SHARED, Fd, 0);
+    ::close(Fd);
+    if (M == MAP_FAILED)
+      return fail(Err, "cannot map segment '" + Path + "'");
+    Map = static_cast<char *>(M);
+    Capacity = Cap;
+    Used = Cap; // nothing further can be allocated
+    Sealed = Cap;
+    Writable = false;
+    return true;
+  }
+
+  bool mapped() const { return Map != nullptr; }
+  bool writable() const { return Writable; }
+  size_t capacity() const { return Capacity; }
+  size_t used() const { return Used; }
+  size_t remaining() const { return Capacity - Used; }
+
+  const char *data() const { return Map; }
+  char *writableData() { return Writable ? Map : nullptr; }
+
+  /// Bump-allocates \p Bytes (aligned to ChunkAlign) and returns the
+  /// offset, or SIZE_MAX when the segment is full.
+  size_t allocate(size_t Bytes) {
+    size_t Off = alignUp(Used, ChunkAlign);
+    if (Off + Bytes > Capacity)
+      return SIZE_MAX;
+    Used = Off + Bytes;
+    return Off;
+  }
+
+  /// msync()s [0, used()) so appended bytes are durable before the root
+  /// record referencing them is written.
+  bool sync(std::string *Err) {
+    if (!Writable || Used == 0)
+      return true;
+    if (::msync(Map, alignUp(Used, PageSize), MS_SYNC) != 0)
+      return fail(Err, "msync failed on segment");
+    return true;
+  }
+
+  /// Seals every fully written page: mprotect(PROT_READ) on
+  /// [0, floor(used())). Idempotent; call after sync().
+  void sealWrittenPages() {
+    if (!Writable)
+      return;
+    size_t UpTo = Used & ~(PageSize - 1);
+    if (UpTo > Sealed) {
+      ::mprotect(Map, UpTo, PROT_READ);
+      Sealed = UpTo;
+    }
+  }
+
+private:
+  static bool fail(std::string *Err, const std::string &Msg) {
+    if (Err)
+      *Err = Msg;
+    return false;
+  }
+
+  void reset() {
+    if (Map)
+      ::munmap(Map, Capacity);
+    Map = nullptr;
+    Capacity = Used = Sealed = 0;
+    Writable = false;
+  }
+
+  char *Map = nullptr;
+  size_t Capacity = 0;
+  /// Write cursor: bytes [0, Used) are allocated.
+  size_t Used = 0;
+  /// Bytes [0, Sealed) are mprotect'd read-only.
+  size_t Sealed = 0;
+  bool Writable = false;
+};
+
+} // namespace store
+} // namespace awdit
+
+#endif // AWDIT_STORE_PAGE_ALLOC_H

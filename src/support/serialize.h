@@ -23,13 +23,73 @@
 #include <cstring>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace awdit {
+
+/// A chunk boundary recorded during chunked (checkpoint-v2) serialization:
+/// bytes [Offset, next mark's Offset) belong to the chunk \p Id. Marks are
+/// out-of-band — the byte stream itself is identical with or without them —
+/// and ids are strictly increasing in stream order, so a reader reassembles
+/// the stream by concatenating chunks in ascending id order.
+struct ChunkMark {
+  size_t Offset = 0;
+  uint64_t Id = 0;
+};
+
+/// Chunk ids are (Kind << 56) | Sub: Kind numbers the serialized sections
+/// in stream order, Sub is a section-specific bucket (typically a range of
+/// global transaction ids or keys) that stays put as the window slides —
+/// the property that makes unchanged chunks byte-identical between
+/// checkpoints and lets the segment store skip writing them.
+inline constexpr uint64_t chunkId(uint64_t Kind, uint64_t Sub = 0) {
+  // Sub saturates below the kind field so a pathological bucket (e.g. a
+  // huge key) degrades chunk granularity instead of corrupting the id.
+  constexpr uint64_t MaxSub = (uint64_t(1) << 56) - 1;
+  return (Kind << 56) | (Sub < MaxSub ? Sub : MaxSub);
+}
+
+/// The optional local-to-global coordinate transform of chunked
+/// serialization. Windowed eviction rebases every local transaction id
+/// (by the window base) and every session-order index (by the per-session
+/// evicted count) at nearly every flush, so locally-addressed bytes churn
+/// completely between checkpoints. Serializing ids in global coordinates —
+/// local + base, applied on save and inverted on load with the same bases
+/// captured alongside the bytes — makes the serialized form of surviving
+/// state rebase-invariant. A null transform (the v1 snapshot path) writes
+/// raw local values: byte-identical to the historical format.
+struct StateCoords {
+  /// Added to every local transaction id (Monitor::Base).
+  uint32_t IdBase = 0;
+  /// Added per session to so-indices/frontiers (Monitor::SessionSoBase).
+  const std::vector<uint64_t> *SoBase = nullptr;
+};
 
 /// Appends little-endian fields to a byte buffer.
 class ByteWriter {
 public:
   explicit ByteWriter(std::string &Out) : Out(Out) {}
+
+  /// Starts recording chunk marks into \p M (chunked serialization only).
+  void enableChunks(std::vector<ChunkMark> *M) { Marks = M; }
+
+  /// Declares that bytes written from here on belong to chunk \p Id.
+  /// No-op unless enableChunks() was called. Non-increasing ids are
+  /// ignored (the bytes stay in the current chunk), and a re-mark at the
+  /// current offset replaces the empty previous mark.
+  void chunk(uint64_t Id) {
+    if (!Marks)
+      return;
+    if (!Marks->empty()) {
+      if (Id <= Marks->back().Id)
+        return;
+      if (Marks->back().Offset == Out.size()) {
+        Marks->back().Id = Id;
+        return;
+      }
+    }
+    Marks->push_back({Out.size(), Id});
+  }
 
   void u8(uint8_t V) { Out.push_back(static_cast<char>(V)); }
 
@@ -59,6 +119,7 @@ public:
 
 private:
   std::string &Out;
+  std::vector<ChunkMark> *Marks = nullptr;
 };
 
 /// Bounds-checked little-endian reader. Reads past the end set the failed

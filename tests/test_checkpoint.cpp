@@ -25,10 +25,16 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
+#include <memory>
 #include <optional>
+#include <random>
 #include <string>
 #include <tuple>
 #include <vector>
+
+#include <unistd.h>
 
 using namespace awdit;
 using namespace awdit::test;
@@ -553,4 +559,379 @@ TEST(Checkpoint, MultipleIndependentMonitorsRestoreWithoutBleed) {
         << Context;
     EXPECT_EQ(T.Ref.Stats.EvictedTxns, Stats.EvictedTxns) << Context;
   }
+}
+
+//===----------------------------------------------------------------------===//
+// Store-backed checkpoints (format v2): the same bit-identical-resume
+// contract, now through StoreCheckpointer over a real on-disk segment
+// store — including crash images taken at commit boundaries and torn
+// mid-commit, and the O(delta) write-cost property that justifies v2.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct StoreTempDir {
+  fs::path Path;
+  explicit StoreTempDir(const std::string &Tag) {
+    static int Counter = 0;
+    Path = fs::temp_directory_path() /
+           ("awdit_ckptstore_" + Tag + "_" + std::to_string(::getpid()) +
+            "_" + std::to_string(Counter++));
+  }
+  ~StoreTempDir() {
+    std::error_code Ec;
+    fs::remove_all(Path, Ec);
+  }
+  std::string str() const { return Path.string(); }
+};
+
+/// Replays \p Text once more, checkpointing into one store at every flush
+/// (the way `awdit monitor --checkpoint-store` does), and photographs the
+/// store directory right after selected commits — a crash image at each.
+/// Returns the per-commit appended byte deltas.
+std::vector<uint64_t> runWithStoreCommits(const std::string &Text,
+                                          const std::string &Format,
+                                          const MonitorOptions &Options,
+                                          const std::string &StoreDir,
+                                          const std::vector<size_t> &ImageAt,
+                                          std::vector<fs::path> &Images) {
+  std::vector<uint64_t> Deltas;
+  StoreCheckpointer Ckpt;
+  std::string Err;
+  EXPECT_TRUE(Ckpt.open(StoreDir, &Err)) << Err;
+  CollectingSink Sink;
+  Monitor M(Options, &Sink);
+  size_t FlushIdx = 0;
+  ShardedMonitorIngest Ingest(
+      M, Format, /*Threads=*/1, [&](const IngestFlushPoint &P) {
+        CheckpointMeta Meta;
+        Meta.Format = Format;
+        Meta.Options = Options;
+        Meta.StreamOffset = P.StreamOffset;
+        Meta.LineNo = P.LineNo;
+        Meta.CommittedTxns = P.CommittedTxns;
+        Meta.Flushes = P.Flushes;
+        std::string MachineBlob;
+        ByteWriter W(MachineBlob);
+        P.Machine.saveState(W);
+        uint64_t Before = Ckpt.bytesAppended();
+        std::string WErr;
+        EXPECT_TRUE(Ckpt.write(P.M, MachineBlob, Meta, &WErr)) << WErr;
+        Deltas.push_back(Ckpt.bytesAppended() - Before);
+        for (size_t Want : ImageAt)
+          if (Want == FlushIdx) {
+            fs::path Image = fs::path(StoreDir + ".img." +
+                                      std::to_string(FlushIdx));
+            fs::copy(StoreDir, Image, fs::copy_options::recursive);
+            Images.push_back(Image);
+          }
+        ++FlushIdx;
+      });
+  EXPECT_TRUE(Ingest.valid());
+  for (size_t Pos = 0; Pos < Text.size(); Pos += 5000)
+    if (!Ingest.feed(std::string_view(Text).substr(Pos, 5000)))
+      break;
+  EXPECT_NE(Ingest.finishStream(), ShardedMonitorIngest::EndState::Error)
+      << Ingest.errorText();
+  (void)M.finalize();
+  return Deltas;
+}
+
+/// Opens the store at \p Dir, restores from its last published root, and
+/// replays the rest — every observable must match the uninterrupted
+/// reference's suffix from the matching flush.
+void resumeFromStoreAndCompare(const ReferenceRun &Ref,
+                               const std::string &Dir,
+                               const std::string &Text,
+                               const std::string &Format,
+                               const MonitorOptions &Options,
+                               unsigned Threads,
+                               const std::string &Context) {
+  StoreCheckpointer Ckpt;
+  std::string Err;
+  ASSERT_TRUE(Ckpt.open(Dir, &Err)) << Context << ": " << Err;
+  ASSERT_TRUE(Ckpt.hasCheckpoint()) << Context;
+  CheckpointMeta Meta;
+  ASSERT_TRUE(Ckpt.readMeta(Meta, &Err)) << Context << ": " << Err;
+  EXPECT_EQ(Meta.Format, Format) << Context;
+  EXPECT_EQ(Meta.Options.Level, Options.Level) << Context;
+
+  // The recovered root corresponds to one of the reference's flushes.
+  const Snapshot *RefSnap = nullptr;
+  for (const Snapshot &S : Ref.Snapshots)
+    if (S.Meta.Flushes == Meta.Flushes && S.Meta.StreamOffset ==
+                                              Meta.StreamOffset)
+      RefSnap = &S;
+  ASSERT_NE(RefSnap, nullptr)
+      << Context << ": recovered root (flushes=" << Meta.Flushes
+      << ", offset=" << Meta.StreamOffset
+      << ") matches no reference flush";
+
+  CollectingSink Sink;
+  Monitor M(Options, &Sink);
+  std::string MachineState;
+  ASSERT_TRUE(Ckpt.restore(M, MachineState, &Err)) << Context << ": " << Err;
+
+  ShardedMonitorIngest Ingest(M, Format, Threads);
+  ByteReader MR(MachineState);
+  ASSERT_TRUE(Ingest.machine().loadState(MR)) << Context;
+  Ingest.primeResume(Meta.StreamOffset, Meta.LineNo);
+  std::string_view Rest = std::string_view(Text).substr(Meta.StreamOffset);
+  for (size_t Pos = 0; Pos < Rest.size(); Pos += 4096)
+    if (!Ingest.feed(Rest.substr(Pos, 4096)))
+      break;
+  EXPECT_NE(Ingest.finishStream(), ShardedMonitorIngest::EndState::Error)
+      << Context << ": " << Ingest.errorText();
+
+  CheckReport Report = M.finalize();
+  const MonitorStats &Stats = M.stats();
+  ASSERT_LE(RefSnap->ViolationsAtCheckpoint, Ref.Descriptions.size())
+      << Context;
+  std::vector<std::string> ExpectedSuffix(
+      Ref.Descriptions.begin() +
+          static_cast<ptrdiff_t>(RefSnap->ViolationsAtCheckpoint),
+      Ref.Descriptions.end());
+  EXPECT_EQ(ExpectedSuffix, Sink.Descriptions) << Context;
+  EXPECT_EQ(Ref.Report.Consistent, Report.Consistent) << Context;
+  ASSERT_EQ(Ref.Report.Violations.size(), Report.Violations.size())
+      << Context;
+  for (size_t I = 0; I < Report.Violations.size(); ++I)
+    expectSameViolation(Ref.Report.Violations[I], Report.Violations[I],
+                        Context + " violation " + std::to_string(I));
+  EXPECT_EQ(Ref.Stats.IngestedTxns, Stats.IngestedTxns) << Context;
+  EXPECT_EQ(Ref.Stats.CommittedTxns, Stats.CommittedTxns) << Context;
+  EXPECT_EQ(Ref.Stats.Flushes, Stats.Flushes) << Context;
+  EXPECT_EQ(Ref.Stats.ReportedViolations, Stats.ReportedViolations)
+      << Context;
+  EXPECT_EQ(Ref.Stats.EvictedTxns, Stats.EvictedTxns) << Context;
+  EXPECT_EQ(Ref.Stats.UnresolvedReads, Stats.UnresolvedReads) << Context;
+}
+
+} // namespace
+
+/// The store-backed sweep: crash images photographed right after an early,
+/// middle, and late commit each resume bit-identically, single- and
+/// multi-threaded, windowed and unwindowed, clean and injected.
+class StoreCheckpointRoundTrip
+    : public ::testing::TestWithParam<std::tuple<int, int, bool>> {};
+
+TEST_P(StoreCheckpointRoundTrip, ResumeIsBitIdentical) {
+  auto [LevelIdx, Window, Inject] = GetParam();
+  History H = generated(LevelIdx * 17 + Window + 5, 600, Inject);
+  std::string Text = writeTextHistory(H);
+  MonitorOptions Options;
+  Options.Level = static_cast<IsolationLevel>(LevelIdx);
+  Options.Check.Threads = 1;
+  Options.CheckIntervalTxns = 16;
+  Options.WindowTxns = static_cast<size_t>(Window);
+
+  ReferenceRun Ref = runWithSnapshots(Text, "native", Options);
+  ASSERT_FALSE(Ref.Snapshots.empty());
+  size_t Last = Ref.Snapshots.size() - 1;
+
+  StoreTempDir Dir("sweep");
+  std::vector<fs::path> Images;
+  runWithStoreCommits(Text, "native", Options, Dir.str(),
+                      {size_t(0), Last / 2, Last}, Images);
+  ASSERT_EQ(Images.size(), 3u);
+  for (const fs::path &Image : Images) {
+    StoreTempDir Owner("sweep_img"); // adopt for cleanup
+    fs::remove_all(Owner.Path);
+    fs::rename(Image, Owner.Path);
+    std::string Context = "level " + std::to_string(LevelIdx) + " window " +
+                          std::to_string(Window) +
+                          (Inject ? " injected" : " clean") + " image " +
+                          Image.filename().string();
+    resumeFromStoreAndCompare(Ref, Owner.str(), Text, "native", Options,
+                              /*Threads=*/1, Context + " threads 1");
+    resumeFromStoreAndCompare(Ref, Owner.str(), Text, "native", Options,
+                              /*Threads=*/3, Context + " threads 3");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, StoreCheckpointRoundTrip,
+    ::testing::Combine(::testing::Range(0, 3),   // isolation level
+                       ::testing::Values(0, 96), // window size
+                       ::testing::Bool()));      // inject an anomaly
+
+/// A torn store — the root log truncated or scribbled at a random point,
+/// as a crash mid-commit leaves it — recovers to the last published root
+/// and resumes from there bit-identically.
+TEST(StoreCheckpoint, TornRootLogResumesFromLastPublishedRoot) {
+  History H = generated(29, 500, /*Inject=*/true);
+  std::string Text = writeTextHistory(H);
+  MonitorOptions Options;
+  Options.Level = IsolationLevel::CausalConsistency;
+  Options.Check.Threads = 1;
+  Options.CheckIntervalTxns = 16;
+  Options.WindowTxns = 96;
+
+  ReferenceRun Ref = runWithSnapshots(Text, "native", Options);
+  ASSERT_FALSE(Ref.Snapshots.empty());
+  StoreTempDir Dir("torn");
+  std::vector<fs::path> NoImages;
+  runWithStoreCommits(Text, "native", Options, Dir.str(), {}, NoImages);
+
+  std::mt19937_64 Rng(7);
+  std::string LogPath = Dir.str() + "/roots.awrl";
+  for (int Trial = 0; Trial < 8; ++Trial) {
+    StoreTempDir Image("torn_img");
+    fs::copy(Dir.Path, Image.Path, fs::copy_options::recursive);
+    uint64_t LogBytes = fs::file_size(Image.Path / "roots.awrl");
+    if (Trial % 2 == 0) {
+      // Keep at least one byte short of a full tail record so some root
+      // survives; cutting the whole log is SegmentStore's fresh-dir case.
+      std::error_code Ec;
+      fs::resize_file(Image.Path / "roots.awrl",
+                      LogBytes / 2 + Rng() % (LogBytes / 2), Ec);
+      ASSERT_FALSE(Ec);
+    } else {
+      std::ofstream Out(Image.Path / "roots.awrl",
+                        std::ios::binary | std::ios::app);
+      for (uint64_t I = 0, N = 1 + Rng() % 100; I < N; ++I)
+        Out.put(static_cast<char>(Rng()));
+    }
+    resumeFromStoreAndCompare(Ref, Image.str(), Text, "native", Options,
+                              /*Threads=*/1,
+                              "torn trial " + std::to_string(Trial));
+  }
+}
+
+/// The reason v2 exists: a commit appends what changed since the last
+/// flush, not the state — so as the state grows, the per-commit cost
+/// stays bounded while the v1 snapshot it replaces grows with the state.
+/// (The window-scaled version of this claim is BM_CheckpointDelta's gate:
+/// at large windows a window must dwarf a flush for the delta to show.)
+TEST(StoreCheckpoint, DeltaCommitsStayFractionOfGrowingSnapshot) {
+  History H = generated(31, 800, /*Inject=*/false);
+  std::string Text = writeTextHistory(H);
+  MonitorOptions Options;
+  Options.Level = IsolationLevel::CausalConsistency;
+  Options.Check.Threads = 1;
+  Options.CheckIntervalTxns = 16;
+  Options.WindowTxns = 0;
+
+  ReferenceRun Ref = runWithSnapshots(Text, "native", Options);
+  ASSERT_GT(Ref.Snapshots.size(), 10u);
+  StoreTempDir Dir("delta");
+  std::vector<fs::path> NoImages;
+  std::vector<uint64_t> Deltas = runWithStoreCommits(
+      Text, "native", Options, Dir.str(), {}, NoImages);
+  ASSERT_EQ(Deltas.size(), Ref.Snapshots.size());
+
+  // Steady state: skip the warm-up third, average the rest. Each v1 blob
+  // is the full state; each v2 delta is what actually changed.
+  uint64_t V1Sum = 0, V2Sum = 0, N = 0;
+  for (size_t I = Deltas.size() / 3; I < Deltas.size(); ++I) {
+    V1Sum += Ref.Snapshots[I].Blob.size();
+    V2Sum += Deltas[I];
+    ++N;
+  }
+  ASSERT_GT(N, 0u);
+  double V1Avg = static_cast<double>(V1Sum) / static_cast<double>(N);
+  double V2Avg = static_cast<double>(V2Sum) / static_cast<double>(N);
+  EXPECT_LT(V2Avg * 2, V1Avg)
+      << "steady-state v2 delta " << V2Avg << " vs v1 snapshot " << V1Avg;
+}
+
+/// Chunked save -> load -> save is byte-identical, marks and bases
+/// included: the global-coordinate transform and its inverse cancel
+/// exactly, so store-backed state never drifts across restarts.
+TEST(StoreCheckpoint, ChunkedSaveLoadSaveIsByteIdentical) {
+  History H = generated(37, 500, /*Inject=*/true);
+  std::string Text = writeTextHistory(H);
+  MonitorOptions Options;
+  Options.Level = IsolationLevel::CausalConsistency;
+  Options.Check.Threads = 1;
+  Options.CheckIntervalTxns = 8;
+  Options.WindowTxns = 96;
+
+  CollectingSink Sink;
+  Monitor M(Options, &Sink);
+  ShardedMonitorIngest Ingest(M, "native", /*Threads=*/1);
+  ASSERT_TRUE(Ingest.feed(Text));
+  ASSERT_NE(Ingest.finishStream(), ShardedMonitorIngest::EndState::Error)
+      << Ingest.errorText();
+  ASSERT_GT(M.stats().EvictedTxns, 0u) << "window never evicted";
+
+  std::string Bytes1;
+  std::vector<ChunkMark> Marks1;
+  uint32_t IdBase1 = 0;
+  std::vector<uint64_t> SoBase1;
+  M.saveStateChunked(Bytes1, Marks1, IdBase1, SoBase1);
+  ASSERT_FALSE(Bytes1.empty());
+  ASSERT_FALSE(Marks1.empty());
+  EXPECT_GT(IdBase1, 0u) << "eviction should have advanced the id base";
+
+  CollectingSink Sink2;
+  Monitor M2(Options, &Sink2);
+  std::string Err;
+  ASSERT_TRUE(M2.loadStateChunked(Bytes1, IdBase1, SoBase1, &Err)) << Err;
+
+  std::string Bytes2;
+  std::vector<ChunkMark> Marks2;
+  uint32_t IdBase2 = 0;
+  std::vector<uint64_t> SoBase2;
+  M2.saveStateChunked(Bytes2, Marks2, IdBase2, SoBase2);
+  EXPECT_EQ(Bytes1, Bytes2);
+  EXPECT_EQ(IdBase1, IdBase2);
+  EXPECT_EQ(SoBase1, SoBase2);
+  ASSERT_EQ(Marks1.size(), Marks2.size());
+  for (size_t I = 0; I < Marks1.size(); ++I) {
+    EXPECT_EQ(Marks1[I].Offset, Marks2[I].Offset) << "mark " << I;
+    EXPECT_EQ(Marks1[I].Id, Marks2[I].Id) << "mark " << I;
+  }
+}
+
+/// Both formats written from one state restore to the same monitor, and an
+/// empty or mismatched store fails cleanly — the migration contract.
+TEST(StoreCheckpoint, CoexistsWithV1AndFailsCleanly) {
+  MonitorOptions Options;
+  std::string V1Blob = makeValidBlob(Options);
+  ASSERT_FALSE(V1Blob.empty());
+
+  // v1 restore -> v2 write -> v2 restore -> v1 re-encode: same bytes.
+  Monitor M(Options);
+  std::string MachineState, Err;
+  ASSERT_TRUE(restoreCheckpoint(V1Blob, M, MachineState, &Err)) << Err;
+  CheckpointMeta Meta;
+  ASSERT_TRUE(decodeCheckpointMeta(V1Blob, Meta, &Err)) << Err;
+
+  StoreTempDir Dir("coexist");
+  {
+    StoreCheckpointer Ckpt;
+    ASSERT_TRUE(Ckpt.open(Dir.str(), &Err)) << Err;
+    EXPECT_FALSE(Ckpt.hasCheckpoint());
+    CheckpointMeta Empty;
+    EXPECT_FALSE(Ckpt.readMeta(Empty, &Err));
+    ASSERT_TRUE(Ckpt.write(M, MachineState, Meta, &Err)) << Err;
+    EXPECT_EQ(Ckpt.commits(), 1u);
+  }
+  {
+    StoreCheckpointer Ckpt;
+    ASSERT_TRUE(Ckpt.open(Dir.str(), &Err)) << Err;
+    ASSERT_TRUE(Ckpt.hasCheckpoint());
+    CheckpointMeta Meta2;
+    ASSERT_TRUE(Ckpt.readMeta(Meta2, &Err)) << Err;
+    EXPECT_EQ(Meta.StreamOffset, Meta2.StreamOffset);
+    EXPECT_EQ(Meta.Flushes, Meta2.Flushes);
+    Monitor M2(Options);
+    std::string MachineState2;
+    ASSERT_TRUE(Ckpt.restore(M2, MachineState2, &Err)) << Err;
+    EXPECT_EQ(MachineState, MachineState2);
+    EXPECT_EQ(encodeCheckpoint(M, MachineState, Meta),
+              encodeCheckpoint(M2, MachineState2, Meta));
+  }
+  // The layout helpers agree on what is and is not a store.
+  EXPECT_TRUE(StoreCheckpointer::isStoreDir(Dir.str()));
+  EXPECT_FALSE(StoreCheckpointer::isStoreDir(Dir.str() + "/missing"));
+  // removeStoreDir refuses a non-store directory, removes a real one.
+  StoreTempDir NotAStore("plain");
+  fs::create_directories(NotAStore.Path);
+  EXPECT_FALSE(removeStoreDir(NotAStore.str(), &Err));
+  ASSERT_TRUE(removeStoreDir(Dir.str(), &Err)) << Err;
+  EXPECT_FALSE(fs::exists(Dir.Path));
 }

@@ -142,9 +142,15 @@ int usage() {
       " of the monitor\n"
       "                  every K checking passes; K set by"
       " --checkpoint-interval, default 16)]\n"
-      "                 [--resume DIR (restart from DIR's snapshot:"
-      " seeks the stream,\n"
-      "                  restores all state, emits exactly the"
+      "                 [--checkpoint-store DIR (like --checkpoint, but"
+      " append-only\n"
+      "                  copy-on-write segment store: each checkpoint"
+      " writes only the\n"
+      "                  pages that changed — O(delta), not O(state))]\n"
+      "                 [--resume DIR (restart from DIR's snapshot —"
+      " either layout,\n"
+      "                  autodetected: seeks the stream,"
+      " restores all state, emits exactly the"
       " violations an\n"
       "                  uninterrupted run would emit from the snapshot"
       " on; other\n"
@@ -159,7 +165,11 @@ int usage() {
       " [--metrics-port P]\n"
       "                 [--checkpoint-dir DIR (persist per-stream"
       " snapshots; a restarted\n"
-      "                  server resumes every tenant)] [--sink-dir DIR"
+      "                  server resumes every tenant)]"
+      " [--checkpoint-store-dir DIR (same,\n"
+      "                  as per-stream copy-on-write segment stores:"
+      " O(delta) writes)]\n"
+      "                 [--sink-dir DIR"
       " (per-stream JSONL\n"
       "                  violation logs)] [--threads N] [--idle-timeout"
       " SEC (default 300)]\n"
@@ -434,16 +444,33 @@ int cmdMonitor(const std::string &Path, const Flags &F) {
   const std::string *ResumeDir = F.get("resume");
   CheckpointMeta ResumeMeta;
   std::string ResumeBlob;
+  // `--resume` takes either layout: a v2 segment-store directory (detected
+  // by its root log) or a v1 checkpoint.bin directory.
+  bool ResumeFromStore =
+      ResumeDir && StoreCheckpointer::isStoreDir(*ResumeDir);
+  std::unique_ptr<StoreCheckpointer> StoreCkpt;
   if (ResumeDir) {
-    std::string CkptFile = checkpointFilePath(*ResumeDir);
+    std::string CkptFile =
+        ResumeFromStore ? *ResumeDir : checkpointFilePath(*ResumeDir);
     std::string Err;
-    if (!readCheckpointFile(*ResumeDir, ResumeBlob, &Err)) {
-      std::fprintf(stderr, "error: %s\n", Err.c_str());
-      return 2;
-    }
-    if (!decodeCheckpointMeta(ResumeBlob, ResumeMeta, &Err)) {
-      std::fprintf(stderr, "error: %s: %s\n", CkptFile.c_str(), Err.c_str());
-      return 2;
+    if (ResumeFromStore) {
+      StoreCkpt = std::make_unique<StoreCheckpointer>();
+      if (!StoreCkpt->open(*ResumeDir, &Err) ||
+          !StoreCkpt->readMeta(ResumeMeta, &Err)) {
+        std::fprintf(stderr, "error: %s: %s\n", CkptFile.c_str(),
+                     Err.c_str());
+        return 2;
+      }
+    } else {
+      if (!readCheckpointFile(*ResumeDir, ResumeBlob, &Err)) {
+        std::fprintf(stderr, "error: %s\n", Err.c_str());
+        return 2;
+      }
+      if (!decodeCheckpointMeta(ResumeBlob, ResumeMeta, &Err)) {
+        std::fprintf(stderr, "error: %s: %s\n", CkptFile.c_str(),
+                     Err.c_str());
+        return 2;
+      }
     }
     // The snapshot dictates the configuration; explicitly given flags must
     // agree with it or the resumed run would not continue the same check.
@@ -510,13 +537,29 @@ int cmdMonitor(const std::string &Path, const Flags &F) {
   }
 
   const std::string *CkptDir = F.get("checkpoint");
+  const std::string *StoreDir = F.get("checkpoint-store");
+  if (CkptDir && StoreDir) {
+    std::fprintf(stderr, "error: --checkpoint and --checkpoint-store are "
+                         "mutually exclusive\n");
+    return 2;
+  }
   // A resumed run keeps checkpointing into its own directory unless told
-  // otherwise — restartability should survive the restart.
-  if (!CkptDir)
-    CkptDir = ResumeDir;
+  // otherwise — restartability should survive the restart. The layout
+  // follows what was resumed.
+  if (!CkptDir && !StoreDir) {
+    if (ResumeFromStore)
+      StoreDir = ResumeDir;
+    else
+      CkptDir = ResumeDir;
+  }
   uint64_t CkptInterval = numFlag(F, "checkpoint-interval", "16");
-  if (CkptInterval == 0)
-    CkptInterval = 1;
+  if (CkptInterval == 0) {
+    std::fprintf(stderr,
+                 "error: --checkpoint-interval expects a positive number "
+                 "of checking passes, got '%s'\n",
+                 F.getOr("checkpoint-interval", "16").c_str());
+    return 2;
+  }
   uint64_t KillAfter = numFlag(F, "kill-after-flushes", "0");
   uint64_t StatsIntervalSec = numFlag(F, "stats-interval", "0");
 
@@ -532,11 +575,34 @@ int cmdMonitor(const std::string &Path, const Flags &F) {
   std::string MachineState;
   if (ResumeDir) {
     std::string Err;
-    if (!restoreCheckpoint(ResumeBlob, M, MachineState, &Err)) {
+    bool Restored = ResumeFromStore
+                        ? StoreCkpt->restore(M, MachineState, &Err)
+                        : restoreCheckpoint(ResumeBlob, M, MachineState,
+                                            &Err);
+    if (!Restored) {
       std::fprintf(stderr, "error: %s: %s\n",
-                   checkpointFilePath(*ResumeDir).c_str(), Err.c_str());
+                   ResumeFromStore
+                       ? ResumeDir->c_str()
+                       : checkpointFilePath(*ResumeDir).c_str(),
+                   Err.c_str());
       return 2;
     }
+  }
+  // The write store: usually the one just restored from, but an explicit
+  // --checkpoint-store may point elsewhere (and a store resume may switch
+  // to v1 --checkpoint, in which case the handle is no longer needed).
+  if (StoreDir) {
+    if (!StoreCkpt || !ResumeFromStore || *StoreDir != *ResumeDir) {
+      StoreCkpt = std::make_unique<StoreCheckpointer>();
+      std::string Err;
+      if (!StoreCkpt->open(*StoreDir, &Err)) {
+        std::fprintf(stderr, "error: %s: %s\n", StoreDir->c_str(),
+                     Err.c_str());
+        return 2;
+      }
+    }
+  } else {
+    StoreCkpt.reset();
   }
 
   // Epoch-barrier hook, run on the applier thread after every completed
@@ -545,8 +611,8 @@ int cmdMonitor(const std::string &Path, const Flags &F) {
   uint64_t LastCkptFlush = ResumeDir ? ResumeMeta.Flushes : 0;
   auto LastStatsPrint = std::chrono::steady_clock::now();
   ShardedMonitorIngest::FlushHook Hook;
-  if (CkptDir || KillAfter || StatsIntervalSec) {
-    Hook = [&, CkptDir, CkptInterval, KillAfter, StatsIntervalSec,
+  if (CkptDir || StoreDir || KillAfter || StatsIntervalSec) {
+    Hook = [&, CkptDir, StoreDir, CkptInterval, KillAfter, StatsIntervalSec,
             Format](const IngestFlushPoint &P) mutable {
       // Periodic one-line stats (stderr, at checking-pass boundaries):
       // the same counters the server's /metrics endpoint exports.
@@ -559,7 +625,8 @@ int cmdMonitor(const std::string &Path, const Flags &F) {
                        StatsSnapshot::of(P.M.stats()).toLine().c_str());
         }
       }
-      if (CkptDir && P.Flushes - LastCkptFlush >= CkptInterval) {
+      if ((CkptDir || StoreDir) &&
+          P.Flushes - LastCkptFlush >= CkptInterval) {
         CheckpointMeta Meta;
         Meta.Format = Format;
         Meta.Options = Options;
@@ -571,8 +638,13 @@ int cmdMonitor(const std::string &Path, const Flags &F) {
         ByteWriter MW(MBlob);
         P.Machine.saveState(MW);
         std::string Err;
-        if (!writeCheckpointFile(*CkptDir, encodeCheckpoint(P.M, MBlob, Meta),
-                                 &Err))
+        bool Wrote =
+            StoreDir
+                ? StoreCkpt->write(P.M, MBlob, Meta, &Err)
+                : writeCheckpointFile(*CkptDir,
+                                      encodeCheckpoint(P.M, MBlob, Meta),
+                                      &Err);
+        if (!Wrote)
           std::fprintf(stderr, "warning: checkpoint not written: %s\n",
                        Err.c_str());
         else
@@ -742,13 +814,27 @@ int cmdServe(const Flags &F) {
         static_cast<uint16_t>(numFlag(F, "metrics-port", "0"));
   }
   Options.CheckpointDir = F.getOr("checkpoint-dir", "");
+  if (const std::string *StoreDir = F.get("checkpoint-store-dir")) {
+    if (!Options.CheckpointDir.empty()) {
+      std::fprintf(stderr, "error: --checkpoint-dir and "
+                           "--checkpoint-store-dir are mutually exclusive\n");
+      return 2;
+    }
+    Options.CheckpointDir = *StoreDir;
+    Options.CheckpointStore = true;
+  }
   Options.SinkDir = F.getOr("sink-dir", "");
   Options.Threads = static_cast<unsigned>(numFlag(F, "threads", "0"));
   Options.IdleTimeoutSec = numFlag(F, "idle-timeout", "300");
   Options.CheckpointIntervalFlushes =
       numFlag(F, "checkpoint-interval", "16");
-  if (Options.CheckpointIntervalFlushes == 0)
-    Options.CheckpointIntervalFlushes = 1;
+  if (Options.CheckpointIntervalFlushes == 0) {
+    std::fprintf(stderr,
+                 "error: --checkpoint-interval expects a positive number "
+                 "of checking passes, got '%s'\n",
+                 F.getOr("checkpoint-interval", "16").c_str());
+    return 2;
+  }
 
   server::Server S(Options);
   std::string Err;
