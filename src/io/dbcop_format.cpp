@@ -7,11 +7,10 @@
 #include "io/token_util.h"
 
 #include <sstream>
-#include <vector>
 
 using namespace awdit;
 using awdit::io::parseInt;
-using awdit::io::tokenize;
+using awdit::io::TokenCursor;
 
 namespace {
 
@@ -43,13 +42,14 @@ std::optional<History> awdit::parseDbcopHistory(std::string_view Text,
                                 : Text.substr(Pos, End - Pos);
     Pos = End == std::string_view::npos ? Text.size() + 1 : End + 1;
     ++LineNo;
-    std::vector<std::string_view> Tok = tokenize(Line);
-    if (Tok.empty() || Tok[0].front() == '#')
+    TokenCursor C(Line);
+    std::string_view Dir = C.next();
+    if (Dir.empty() || Dir.front() == '#')
       continue;
 
-    if (Tok[0] == "sessions") {
-      if (SeenHeader || Tok.size() != 2 ||
-          !parseInt(Tok[1], DeclaredSessions)) {
+    if (Dir == "sessions") {
+      if (SeenHeader || !C.nextInt(DeclaredSessions) ||
+          !C.atEnd()) {
         setErr(Err, LineNo, "expected a single 'sessions <k>' header");
         return std::nullopt;
       }
@@ -63,7 +63,7 @@ std::optional<History> awdit::parseDbcopHistory(std::string_view Text,
       return std::nullopt;
     }
 
-    if (Tok[0] == "txn") {
+    if (Dir == "txn") {
       if (OpsLeft != 0) {
         setErr(Err, LineNo, "previous transaction is missing operations");
         return std::nullopt;
@@ -71,8 +71,8 @@ std::optional<History> awdit::parseDbcopHistory(std::string_view Text,
       SessionId S;
       int Committed;
       size_t NumOps;
-      if (Tok.size() != 4 || !parseInt(Tok[1], S) ||
-          !parseInt(Tok[2], Committed) || !parseInt(Tok[3], NumOps) ||
+      if (!C.nextInt(S) || !C.nextInt(Committed) ||
+          !C.nextInt(NumOps) || !C.atEnd() ||
           S >= DeclaredSessions || (Committed != 0 && Committed != 1)) {
         setErr(Err, LineNo, "expected 'txn <session> <0|1> <numops>'");
         return std::nullopt;
@@ -83,18 +83,18 @@ std::optional<History> awdit::parseDbcopHistory(std::string_view Text,
       OpsLeft = NumOps;
       continue;
     }
-    if (Tok[0] == "R" || Tok[0] == "W") {
+    if (Dir == "R" || Dir == "W") {
       if (Open == NoTxn || OpsLeft == 0) {
         setErr(Err, LineNo, "operation outside a transaction block");
         return std::nullopt;
       }
       Key K;
       Value V;
-      if (Tok.size() != 3 || !parseInt(Tok[1], K) || !parseInt(Tok[2], V)) {
+      if (!C.nextInt(K) || !C.nextInt(V) || !C.atEnd()) {
         setErr(Err, LineNo, "expected '<R|W> <key> <value>'");
         return std::nullopt;
       }
-      if (Tok[0] == "R") {
+      if (Dir == "R") {
         B.read(Open, K, V);
       } else {
         if (!SeenWrites.record(K, V, Open, 0)) {
@@ -106,7 +106,7 @@ std::optional<History> awdit::parseDbcopHistory(std::string_view Text,
       --OpsLeft;
       continue;
     }
-    setErr(Err, LineNo, "unknown directive '" + std::string(Tok[0]) + "'");
+    setErr(Err, LineNo, "unknown directive '" + std::string(Dir) + "'");
     return std::nullopt;
   }
   if (OpsLeft != 0) {

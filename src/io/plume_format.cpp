@@ -7,11 +7,10 @@
 #include "io/token_util.h"
 
 #include <sstream>
-#include <vector>
 
 using namespace awdit;
+using awdit::io::CsvCursor;
 using awdit::io::parseInt;
-using awdit::io::splitCsv;
 
 namespace {
 
@@ -51,10 +50,11 @@ std::optional<History> awdit::parsePlumeHistory(std::string_view Text,
     if (Line.empty() || Line.front() == '#')
       continue;
 
-    std::vector<std::string_view> F = splitCsv(Line);
+    CsvCursor C(Line);
+    std::string_view Op;
     SessionId S;
     uint64_t FileTxn;
-    if (F.size() < 3 || !parseInt(F[0], S) || !parseInt(F[1], FileTxn)) {
+    if (!C.nextInt(S) || !C.nextInt(FileTxn) || !C.next(Op)) {
       setErr(Err, LineNo, "expected '<session>,<txn>,...'");
       return std::nullopt;
     }
@@ -68,18 +68,18 @@ std::optional<History> awdit::parsePlumeHistory(std::string_view Text,
       OpenSession = S;
       OpenFileTxn = FileTxn;
     }
-    if (F[2] == "abort") {
+    if (Op == "abort") {
       B.abortTxn(Open);
       continue;
     }
     Key K;
     Value V;
-    if (F.size() != 5 || (F[2] != "r" && F[2] != "w") ||
-        !parseInt(F[3], K) || !parseInt(F[4], V)) {
+    if (!C.nextInt(K) || !C.nextInt(V) || !C.atEnd() ||
+        (Op != "r" && Op != "w")) {
       setErr(Err, LineNo, "expected '<session>,<txn>,<r|w>,<key>,<value>'");
       return std::nullopt;
     }
-    if (F[2] == "r") {
+    if (Op == "r") {
       B.read(Open, K, V);
     } else {
       if (!SeenWrites.record(K, V, Open, 0)) {

@@ -2,6 +2,7 @@
 
 #include "io/sharded_ingest.h"
 
+#include "io/token_util.h"
 #include "support/thread_pool.h"
 
 using namespace awdit;
@@ -63,65 +64,90 @@ bool ShardedMonitorIngest::feed(std::string_view Chunk) {
     return false;
   if (FailedFlag.load(std::memory_order_acquire))
     return false;
-  size_t LastNl = Chunk.rfind('\n');
-  if (LastNl == std::string_view::npos) {
-    Partial.append(Chunk);
-    return true;
-  }
-  // Everything up to (and including) the last newline is whole lines; the
-  // tail starts the next partial line.
-  if (!Partial.empty()) {
-    Pending += Partial;
-    Partial.clear();
-  }
-  Pending.append(Chunk.substr(0, LastNl + 1));
-  Partial.assign(Chunk.substr(LastNl + 1));
+  Writer.append(Chunk);
   dealPending(/*Final=*/false);
   return !FailedFlag.load(std::memory_order_acquire);
 }
 
+bool ShardedMonitorIngest::commitBytes(size_t N) {
+  if (!valid() || Finished)
+    return false;
+  if (FailedFlag.load(std::memory_order_acquire))
+    return false;
+  Writer.commit(N);
+  dealPending(/*Final=*/false);
+  return !FailedFlag.load(std::memory_order_acquire);
+}
+
+bool ShardedMonitorIngest::feedSpan(PageSpan Span) {
+  if (!valid() || Finished)
+    return false;
+  if (FailedFlag.load(std::memory_order_acquire))
+    return false;
+  if (Span.size() == 0)
+    return true;
+  std::string_view V = Span.view();
+  if (Writer.pendingBytes() != 0 || V.back() != '\n') {
+    // A previous feed() left a partial line staged (or the caller broke
+    // the whole-lines contract): fall back to the copy-in path so line
+    // assembly stays correct — zero-copy is an optimization, never a
+    // framing requirement.
+    Writer.append(V);
+    dealPending(/*Final=*/false);
+  } else {
+    dealSpan(std::move(Span));
+  }
+  return !FailedFlag.load(std::memory_order_acquire);
+}
+
 void ShardedMonitorIngest::dealPending(bool Final) {
-  if (Final && !Partial.empty()) {
+  std::string_view Pending = Writer.pending();
+  size_t DealLen;
+  if (Final) {
     // The unterminated trailing line still gets processed: it may hold the
     // directive that closes the last transaction.
-    Pending += Partial;
-    Partial.clear();
+    DealLen = Pending.size();
+  } else {
+    size_t LastNl = Pending.rfind('\n');
+    if (LastNl == std::string_view::npos)
+      return; // only a partial line staged — wait for its newline
+    DealLen = LastNl + 1;
   }
+  if (DealLen == 0)
+    return;
+  dealSpan(Writer.take(DealLen));
+}
 
+void ShardedMonitorIngest::dealSpan(PageSpan Span) {
   if (NumShards == 0) {
     // Synchronous mode: decode and apply inline, one code path with the
     // threaded pipeline.
-    if (!Pending.empty()) {
-      RawBatch Raw;
-      Raw.Buf.swap(Pending);
-      applyBatch(decodeBatch(Raw));
-    }
+    applyBatch(decodeBatch(RawBatch{std::move(Span)}));
     return;
   }
 
-  // Deal everything that is whole lines right now, cut into batches of at
-  // most ~BatchBytes, round-robin. Nothing is held back waiting for a
-  // fuller batch: a trickling tail (`tail -f | awdit monitor -`) must
-  // reach the applier — and emit its violations — with the same liveness
-  // as the single-threaded path. Steady streams arrive in large read
-  // chunks, so their batches are naturally full.
+  // Deal the span's whole lines, cut into batches of at most ~BatchBytes,
+  // round-robin. Nothing is held back waiting for a fuller batch: a
+  // trickling tail (`tail -f | awdit monitor -`) must reach the applier —
+  // and emit its violations — with the same liveness as the
+  // single-threaded path. Steady streams arrive in large read chunks, so
+  // their batches are naturally full. Each cut is a sub-span of the same
+  // page: the bytes never move, only refcounts do.
+  std::string_view V = Span.view();
   size_t Pos = 0;
-  while (Pos < Pending.size()) {
+  while (Pos < V.size()) {
     size_t End;
-    if (Pending.size() - Pos > BatchBytes) {
-      End = Pending.find('\n', Pos + BatchBytes - 1);
-      if (End == std::string::npos)
-        End = Pending.size() - 1; // Final tail without newline
+    if (V.size() - Pos > BatchBytes) {
+      size_t Nl = io::scanToNewline(V, Pos + BatchBytes - 1);
+      End = std::min(Nl, V.size() - 1); // Final tail may lack a newline
     } else {
-      End = Pending.size() - 1; // non-Final Pending always ends in '\n'
+      End = V.size() - 1;
     }
-    RawBatch Raw;
-    Raw.Buf.assign(Pending, Pos, End - Pos + 1);
+    RawBatch Raw{PageSpan{Span.Page, Span.Begin + Pos, Span.Begin + End + 1}};
     Pos = End + 1;
     ToShard[NextShard % NumShards]->push(std::move(Raw));
     ++NextShard;
   }
-  Pending.clear();
 }
 
 //===----------------------------------------------------------------------===//
@@ -131,14 +157,13 @@ void ShardedMonitorIngest::dealPending(bool Final) {
 ShardedMonitorIngest::DecodedBatch
 ShardedMonitorIngest::decodeBatch(const RawBatch &Raw) const {
   DecodedBatch Out;
-  std::string_view Buf = Raw.Buf;
+  std::string_view Buf = Raw.Span.view();
   size_t Pos = 0;
   while (Pos < Buf.size()) {
-    size_t End = Buf.find('\n', Pos);
-    size_t LineEnd = End == std::string_view::npos ? Buf.size() : End;
+    size_t LineEnd = io::scanToNewline(Buf, Pos);
     std::string_view Line = Buf.substr(Pos, LineEnd - Pos);
     uint32_t ByteLen = static_cast<uint32_t>(
-        LineEnd - Pos + (End == std::string_view::npos ? 0 : 1));
+        LineEnd - Pos + (LineEnd == Buf.size() ? 0 : 1));
     // Trim a trailing CR for Windows-style streams (the byte still counts
     // toward the stream offset).
     if (!Line.empty() && Line.back() == '\r')
@@ -260,9 +285,9 @@ void ShardedMonitorIngest::abortStream() {
     return;
   }
   Finished = true;
-  // Drop the unterminated tail; ship what is already whole lines so the
-  // interrupt loses nothing that was actually read.
-  Partial.clear();
-  dealPending(/*Final=*/true);
+  // Ship what is already whole lines so the interrupt loses nothing that
+  // was actually read; the unterminated tail stays behind in the arena,
+  // dropped with it.
+  dealPending(/*Final=*/false);
   closeAndJoin();
 }

@@ -66,6 +66,7 @@
 #define AWDIT_IO_SHARDED_INGEST_H
 
 #include "io/stream_parser.h"
+#include "support/byte_arena.h"
 #include "support/spsc_queue.h"
 
 #include <atomic>
@@ -141,10 +142,29 @@ public:
   /// \p LineNo + 1. Call before the first feed().
   void primeResume(uint64_t StreamOffset, uint64_t LineNo);
 
-  /// Feeds one chunk (any size, any boundary). Returns false once the
-  /// pipeline has failed — the caller should stop reading and call
-  /// finishStream() to collect the error.
+  /// Feeds one chunk (any size, any boundary) — one copy, into the arena.
+  /// Returns false once the pipeline has failed — the caller should stop
+  /// reading and call finishStream() to collect the error.
   bool feed(std::string_view Chunk);
+
+  /// Zero-copy alternative to feed(): at least \p Min writable bytes of
+  /// the current arena page, so a read(2) can land stream bytes directly
+  /// where the shard workers will decode them. Publish with commitBytes();
+  /// any other call on this object invalidates the window.
+  std::pair<char *, size_t> writeWindow(size_t Min = 1) {
+    return Writer.window(Min);
+  }
+
+  /// Publishes \p N bytes read into the last writeWindow() and deals the
+  /// completed lines. Same return contract as feed().
+  bool commitBytes(size_t N);
+
+  /// Zero-copy feed of whole lines already resident in a shared arena
+  /// page (the server's per-connection read buffers): every line in
+  /// \p Span must end in '\n'. If a prior feed() left a partial line
+  /// buffered, the span is copied in behind it instead — correctness
+  /// never depends on the caller's framing.
+  bool feedSpan(PageSpan Span);
 
   /// End of input: flushes the trailing partial line, drains and joins the
   /// pipeline, and runs the format's end-of-input hook. After this call
@@ -172,10 +192,12 @@ public:
   uint64_t committedTxns() const { return Machine->committedTxns(); }
 
 private:
-  /// A batch of whole lines, verbatim stream bytes (every line keeps its
-  /// '\n'; only the final flushed partial line may lack one).
+  /// A batch of whole lines as a refcounted span of an arena page —
+  /// verbatim stream bytes, zero-copy from the reader's buffer to the
+  /// shard worker (every line keeps its '\n'; only the final flushed
+  /// partial line may lack one).
   struct RawBatch {
-    std::string Buf;
+    PageSpan Span;
   };
 
   /// One decoded line and the stream bytes it consumed.
@@ -207,8 +229,11 @@ private:
   /// Applies one decoded batch in stream order (applier side).
   void applyBatch(const DecodedBatch &Batch);
   void applyLine(const DecodedLine &L);
-  /// Cuts the pending text into batches of whole lines and deals them.
+  /// Cuts the arena's pending bytes into batches of whole lines and deals
+  /// them.
   void dealPending(bool Final);
+  /// Deals one span of whole lines, cutting at ~BatchBytes boundaries.
+  void dealSpan(PageSpan Span);
   void closeAndJoin();
 
   Monitor &M;
@@ -229,10 +254,10 @@ private:
   std::thread ApplierThread;
   bool Joined = true;
 
-  /// Reader-side line assembly: Pending holds bytes of complete lines not
-  /// yet dealt; Partial the trailing line fragment awaiting its newline.
-  std::string Pending;
-  std::string Partial;
+  /// Reader-side byte staging: stream bytes land here once (by copy in
+  /// feed(), or directly via writeWindow()) and leave as refcounted
+  /// whole-line spans. The un-dealt tail is at most one partial line.
+  ArenaWriter Writer{PageBytes};
   uint64_t NextShard = 0;   // reader's deal cursor
   uint64_t ApplyShard = 0;  // applier's merge cursor (mirrors the deal)
 
@@ -249,6 +274,9 @@ private:
   /// that the pipeline stays busy on modest streams.
   static constexpr size_t BatchBytes = 16 << 10;
   static constexpr size_t QueueDepth = 32;
+  /// Arena page size: several batches per page so span refcounting is
+  /// cheap relative to the bytes it manages.
+  static constexpr size_t PageBytes = 256 << 10;
 };
 
 } // namespace awdit

@@ -4,12 +4,10 @@
 
 #include "io/token_util.h"
 
-#include <vector>
-
 using namespace awdit;
+using awdit::io::CsvCursor;
 using awdit::io::parseInt;
-using awdit::io::splitCsv;
-using awdit::io::tokenize;
+using awdit::io::TokenCursor;
 
 //===----------------------------------------------------------------------===//
 // LineStreamParser: the shared chunking engine.
@@ -90,40 +88,43 @@ LineEvent malformed(std::string Msg) {
 
 LineEvent awdit::decodeNativeLine(std::string_view Line) {
   LineEvent E;
-  std::vector<std::string_view> Tok = tokenize(Line);
-  if (Tok.empty() || Tok[0].front() == '#')
+  TokenCursor C(Line);
+  std::string_view Dir = C.next();
+  if (Dir.empty() || Dir.front() == '#')
     return E; // Blank
 
-  if (Tok[0] == "b") {
-    // A malformed session keeps the Begin kind: the machine's open-
-    // transaction check takes precedence, as it did when parsing was
-    // inline.
-    E.Kind = LineEvent::Type::Begin;
-    if (Tok.size() != 2 || !parseInt(Tok[1], E.Session))
-      E.Error = "expected 'b <session>'";
-    return E;
+  if (Dir.size() == 1) {
+    switch (Dir.front()) {
+    case 'b':
+      // A malformed session keeps the Begin kind: the machine's open-
+      // transaction check takes precedence, as it did when parsing was
+      // inline.
+      E.Kind = LineEvent::Type::Begin;
+      if (!C.nextInt(E.Session) || !C.atEnd())
+        E.Error = "expected 'b <session>'";
+      return E;
+    case 'r':
+    case 'w':
+      E.Kind = Dir.front() == 'r' ? LineEvent::Type::ReadOp
+                                  : LineEvent::Type::WriteOp;
+      if (!C.nextInt(E.K) || !C.nextInt(E.V) || !C.atEnd())
+        E.Error = "expected '<r|w> <key> <value>'";
+      return E;
+    case 'c':
+    case 'a':
+      E.Kind = Dir.front() == 'c' ? LineEvent::Type::Commit
+                                  : LineEvent::Type::Abort;
+      return E;
+    case 't':
+      // Streaming-only clock directive: advances the monitor's stream time
+      // (age-based eviction, force-abort of hung transactions).
+      E.Kind = LineEvent::Type::Clock;
+      if (!C.nextInt(E.Num) || !C.atEnd())
+        E.Error = "expected 't <ticks>'";
+      return E;
+    }
   }
-  if (Tok[0] == "r" || Tok[0] == "w") {
-    E.Kind = Tok[0] == "r" ? LineEvent::Type::ReadOp
-                           : LineEvent::Type::WriteOp;
-    if (Tok.size() != 3 || !parseInt(Tok[1], E.K) || !parseInt(Tok[2], E.V))
-      E.Error = "expected '<r|w> <key> <value>'";
-    return E;
-  }
-  if (Tok[0] == "c" || Tok[0] == "a") {
-    E.Kind = Tok[0] == "c" ? LineEvent::Type::Commit
-                           : LineEvent::Type::Abort;
-    return E;
-  }
-  if (Tok[0] == "t") {
-    // Streaming-only clock directive: advances the monitor's stream time
-    // (age-based eviction, force-abort of hung transactions).
-    E.Kind = LineEvent::Type::Clock;
-    if (Tok.size() != 2 || !parseInt(Tok[1], E.Num))
-      E.Error = "expected 't <ticks>'";
-    return E;
-  }
-  return malformed("unknown directive '" + std::string(Tok[0]) + "'");
+  return malformed("unknown directive '" + std::string(Dir) + "'");
 }
 
 LineEvent awdit::decodePlumeLine(std::string_view Line) {
@@ -131,10 +132,11 @@ LineEvent awdit::decodePlumeLine(std::string_view Line) {
   if (Line.empty() || Line.front() == '#')
     return E; // Blank
 
-  std::vector<std::string_view> F = splitCsv(Line);
-  if (F.size() < 3 || !parseInt(F[0], E.Session) || !parseInt(F[1], E.Num))
+  CsvCursor C(Line);
+  std::string_view Op;
+  if (!C.nextInt(E.Session) || !C.nextInt(E.Num) || !C.next(Op))
     return malformed("expected '<session>,<txn>,...'");
-  if (F[2] == "abort") {
+  if (Op == "abort") {
     E.Kind = LineEvent::Type::PlumeAbort;
     return E;
   }
@@ -142,45 +144,45 @@ LineEvent awdit::decodePlumeLine(std::string_view Line) {
   // malformed operation fails, matching the inline parser (which closed
   // the previous pair first).
   E.Kind = LineEvent::Type::PlumeOp;
-  if (F.size() != 5 || (F[2] != "r" && F[2] != "w") || !parseInt(F[3], E.K) ||
-      !parseInt(F[4], E.V)) {
+  if (!C.nextInt(E.K) || !C.nextInt(E.V) || !C.atEnd() ||
+      (Op != "r" && Op != "w")) {
     E.Error = "expected '<session>,<txn>,<r|w>,<key>,<value>'";
     return E;
   }
-  E.Flag = F[2] == "r";
+  E.Flag = Op == "r";
   return E;
 }
 
 LineEvent awdit::decodeDbcopLine(std::string_view Line) {
   LineEvent E;
-  std::vector<std::string_view> Tok = tokenize(Line);
-  if (Tok.empty() || Tok[0].front() == '#')
+  TokenCursor C(Line);
+  std::string_view Dir = C.next();
+  if (Dir.empty() || Dir.front() == '#')
     return E; // Blank
 
-  if (Tok[0] == "sessions") {
+  if (Dir == "sessions") {
     E.Kind = LineEvent::Type::DbcopHeader;
-    if (Tok.size() != 2 || !parseInt(Tok[1], E.Num))
+    if (!C.nextInt(E.Num) || !C.atEnd())
       E.Error = "expected a single 'sessions <k>' header";
     return E;
   }
-  if (Tok[0] == "txn") {
+  if (Dir == "txn") {
     E.Kind = LineEvent::Type::DbcopTxn;
     int DoesCommit = 0;
-    if (Tok.size() != 4 || !parseInt(Tok[1], E.Session) ||
-        !parseInt(Tok[2], DoesCommit) || !parseInt(Tok[3], E.Num) ||
-        (DoesCommit != 0 && DoesCommit != 1))
+    if (!C.nextInt(E.Session) || !C.nextInt(DoesCommit) ||
+        !C.nextInt(E.Num) || (DoesCommit != 0 && DoesCommit != 1) ||
+        !C.atEnd())
       E.Error = "expected 'txn <session> <0|1> <numops>'";
     E.Flag = DoesCommit == 1;
     return E;
   }
-  if (Tok[0] == "R" || Tok[0] == "W") {
-    E.Kind = Tok[0] == "R" ? LineEvent::Type::ReadOp
-                           : LineEvent::Type::WriteOp;
-    if (Tok.size() != 3 || !parseInt(Tok[1], E.K) || !parseInt(Tok[2], E.V))
+  if (Dir == "R" || Dir == "W") {
+    E.Kind = Dir == "R" ? LineEvent::Type::ReadOp : LineEvent::Type::WriteOp;
+    if (!C.nextInt(E.K) || !C.nextInt(E.V) || !C.atEnd())
       E.Error = "expected '<R|W> <key> <value>'";
     return E;
   }
-  return malformed("unknown directive '" + std::string(Tok[0]) + "'");
+  return malformed("unknown directive '" + std::string(Dir) + "'");
 }
 
 LineDecoder awdit::lineDecoderFor(const std::string &Format) {

@@ -2,6 +2,8 @@
 
 #include "server/server.h"
 
+#include "io/token_util.h"
+
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
@@ -54,8 +56,19 @@ void metricLine(std::string &Out, const char *Name, const char *Type,
 struct Server::Conn : ResponseWriter,
                       std::enable_shared_from_this<Server::Conn> {
   Socket Sock;
-  std::string RxPartial;
+  /// Inbound byte staging: read(2) lands directly in refcounted arena
+  /// pages; whole lines are dispatched from the page (a hot connection's
+  /// data lines leave as zero-copy spans of it), the trailing partial line
+  /// simply stays staged — the writer keeps it contiguous across rolls, so
+  /// there is no separate assembly buffer.
+  ArenaWriter Rx{256 << 10};
   std::shared_ptr<StreamSession> Session;
+  /// Data-rate tracker (bytes within the current steady second). A
+  /// connection crossing the server's threshold turns Hot — sticky — and
+  /// ships spans, upgrading its session's pump to the sharded pipeline.
+  uint64_t RateWindowSec = 0;
+  uint64_t RateBytes = 0;
+  bool Hot = false;
   /// The batch of stream lines accumulated from the current read chunk
   /// (flushed to the session's inbox at the next verb or end of chunk).
   StreamSession::Item Batch;
@@ -86,14 +99,37 @@ struct Server::Conn : ResponseWriter,
   }
 };
 
+namespace {
+
+/// Resolves the hot-session thread budget: explicit values win, -1 picks 4
+/// threads per hot session when the shared pool is big enough to spare
+/// them, and anything below 2 disables the upgrade (a sharded pipeline
+/// needs at least an applier and one shard worker).
+unsigned hotThreadsFor(int ShardHotSessions, size_t PoolThreads) {
+  if (ShardHotSessions >= 0)
+    return ShardHotSessions >= 2 ? static_cast<unsigned>(ShardHotSessions)
+                                 : 0;
+  return PoolThreads >= 4 ? 4u : 0u;
+}
+
+SessionEnv sessionEnvFor(const ServerOptions &O, size_t PoolThreads) {
+  SessionEnv Env;
+  Env.CheckpointDir = O.CheckpointDir;
+  Env.SinkDir = O.SinkDir;
+  Env.CheckpointIntervalFlushes = O.CheckpointIntervalFlushes;
+  Env.StoreCheckpoints = O.CheckpointStore;
+  Env.HotThreads = hotThreadsFor(O.ShardHotSessions, PoolThreads);
+  Env.HotBytesPerSec = O.HotBytesPerSec;
+  return Env;
+}
+
+} // namespace
+
 Server::Server(ServerOptions Options)
     : Options(std::move(Options)),
       Pool(std::make_unique<ThreadPool>(this->Options.Threads)),
       Registry(std::make_unique<SessionRegistry>(
-          SessionEnv{this->Options.CheckpointDir, this->Options.SinkDir,
-                     this->Options.CheckpointIntervalFlushes,
-                     this->Options.CheckpointStore},
-          *Pool)) {}
+          sessionEnvFor(this->Options, Pool->numThreads()), *Pool)) {}
 
 Server::~Server() {
   // Join every pump before the registry (which the pumps' OnDead hooks
@@ -145,7 +181,7 @@ void Server::acceptClient() {
 }
 
 void Server::flushBatch(const std::shared_ptr<Conn> &C) {
-  if (C->Batch.Lines.empty())
+  if (C->Batch.Lines.empty() && C->Batch.Spans.empty())
     return;
   StreamSession::Item I;
   I.K = StreamSession::Item::Kind::Data;
@@ -191,6 +227,7 @@ std::string Server::serverStatsJson() const {
                     std::to_string(T.SessionsEvicted) +
                     ",\"sessions_ended\":" + std::to_string(T.SessionsEnded) +
                     ",\"checkpoints\":" + std::to_string(T.Checkpoints) +
+                    ",\"hot_upgrades\":" + std::to_string(T.HotUpgrades) +
                     ",\"totals\":" + T.Counters.toJson() + "}";
   return Out;
 }
@@ -267,37 +304,79 @@ void Server::handleLine(const std::shared_ptr<Conn> &C,
 }
 
 void Server::readConn(const std::shared_ptr<Conn> &C) {
-  char Buf[1 << 16];
-  long N = C->Sock.readSome(Buf, sizeof(Buf));
+  // read(2) straight into the connection's arena page: for a hot
+  // connection these very bytes are what the session's shard workers
+  // decode — no copy in between.
+  auto [Buf, Cap] = C->Rx.window(1 << 16);
+  long N = C->Sock.readSome(Buf, Cap);
   if (N <= 0) {
     closeConn(C);
     return;
   }
-  std::string_view Chunk(Buf, static_cast<size_t>(N));
-  size_t Pos = 0;
-  while (Pos < Chunk.size()) {
-    size_t End = Chunk.find('\n', Pos);
-    if (End == std::string_view::npos) {
-      C->RxPartial.append(Chunk.substr(Pos));
-      if (C->RxPartial.size() > MaxLineBytes) {
-        C->sendLine("ERR line exceeds " + std::to_string(MaxLineBytes) +
-                    " bytes");
-        closeConn(C);
-        return;
-      }
-      break;
+  C->Rx.commit(static_cast<size_t>(N));
+
+  // Rate tracking (bytes per steady second); crossing the threshold makes
+  // the connection hot for the rest of its life.
+  uint64_t Now = steadyNowSec();
+  if (Now != C->RateWindowSec) {
+    C->RateWindowSec = Now;
+    C->RateBytes = 0;
+  }
+  C->RateBytes += static_cast<uint64_t>(N);
+  if (!C->Hot && Registry->hotEnabled() &&
+      C->RateBytes >= Options.HotBytesPerSec)
+    C->Hot = true;
+
+  std::string_view Pending = C->Rx.pending();
+  size_t LastNl = Pending.rfind('\n');
+  if (LastNl == std::string_view::npos) {
+    // Only a growing partial line staged; bound it.
+    if (Pending.size() > MaxLineBytes) {
+      C->sendLine("ERR line exceeds " + std::to_string(MaxLineBytes) +
+                  " bytes");
+      closeConn(C);
     }
-    if (C->RxPartial.empty()) {
-      handleLine(C, Chunk.substr(Pos, End - Pos));
-    } else {
-      C->RxPartial.append(Chunk.substr(Pos, End - Pos));
-      std::string Line;
-      Line.swap(C->RxPartial);
-      handleLine(C, Line);
-    }
-    Pos = End + 1;
+    return;
+  }
+  dispatchLines(C, C->Rx.take(LastNl + 1));
+  if (C->Rx.pendingBytes() > MaxLineBytes) {
+    C->sendLine("ERR line exceeds " + std::to_string(MaxLineBytes) +
+                " bytes");
+    closeConn(C);
+    return;
   }
   flushBatch(C);
+}
+
+void Server::dispatchLines(const std::shared_ptr<Conn> &C,
+                           const PageSpan &Span) {
+  std::string_view V = Span.view(); // whole lines; ends in '\n'
+  size_t RunBegin = std::string_view::npos;
+  auto FlushRun = [&](size_t RunEnd) {
+    if (RunBegin == std::string_view::npos)
+      return;
+    C->Batch.Spans.push_back(
+        PageSpan{Span.Page, Span.Begin + RunBegin, Span.Begin + RunEnd});
+    C->Batch.Bytes += RunEnd - RunBegin;
+    RunBegin = std::string_view::npos;
+  };
+  size_t Pos = 0;
+  while (Pos < V.size() && !C->Dead) {
+    size_t Nl = io::scanToNewline(V, Pos);
+    std::string_view Line = V.substr(Pos, Nl - Pos);
+    if (C->Hot && C->Session && classifyLine(Line) == Verb::None) {
+      // A data line on a hot connection: extend the current zero-copy run
+      // (newline included — the sharded pipeline wants verbatim bytes).
+      if (RunBegin == std::string_view::npos)
+        RunBegin = Pos;
+      Pos = Nl + 1;
+      continue;
+    }
+    FlushRun(Pos);
+    handleLine(C, Line);
+    Pos = Nl + 1;
+  }
+  FlushRun(Pos);
 }
 
 void Server::closeConn(const std::shared_ptr<Conn> &C) {
@@ -330,6 +409,8 @@ std::string Server::renderMetrics() const {
              T.SessionsEnded);
   metricLine(Out, "awdit_server_checkpoints_total", "counter",
              T.Checkpoints);
+  metricLine(Out, "awdit_server_hot_upgrades_total", "counter",
+             T.HotUpgrades);
   metricLine(Out, "awdit_server_txns_ingested_total", "counter",
              T.Counters.Txns);
   metricLine(Out, "awdit_server_txns_committed_total", "counter",

@@ -70,6 +70,15 @@ struct ServerOptions {
   uint64_t IdleTimeoutSec = 300;
   /// Checkpoint cadence in checking passes.
   uint64_t CheckpointIntervalFlushes = 16;
+  /// Hot-session upgrade: extra threads a session crossing the data-rate
+  /// threshold may claim for a per-session sharded ingest pipeline
+  /// (io/sharded_ingest.h). -1 = auto (4 when the shared pool has >= 4
+  /// threads, else off), 0 = off, >= 2 = that many threads per hot
+  /// session. Output stays byte-identical either way.
+  int ShardHotSessions = -1;
+  /// A connection whose inbound data rate crosses this many bytes per
+  /// second is treated as hot and ships zero-copy spans.
+  uint64_t HotBytesPerSec = 8ull << 20;
 };
 
 /// The server. One instance per process; start() then run() (typically on
@@ -105,6 +114,10 @@ private:
   void acceptClient();
   void serveMetricsConn();
   void readConn(const std::shared_ptr<Conn> &C);
+  /// Walks the whole lines of \p Span: control verbs route through
+  /// handleLine; contiguous runs of data lines on a hot connection become
+  /// zero-copy PageSpans in the current batch.
+  void dispatchLines(const std::shared_ptr<Conn> &C, const PageSpan &Span);
   void handleLine(const std::shared_ptr<Conn> &C, std::string_view Line);
   void flushBatch(const std::shared_ptr<Conn> &C);
   void handleHello(const std::shared_ptr<Conn> &C, std::string_view Line);

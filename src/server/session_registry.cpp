@@ -2,6 +2,7 @@
 
 #include "server/session_registry.h"
 
+#include "io/token_util.h"
 #include "support/serialize.h"
 
 #include <chrono>
@@ -77,7 +78,9 @@ StatsSnapshot StreamSession::counters() const {
 }
 
 void StreamSession::publishCounters() {
-  if (CountersFrozen)
+  // While upgraded the pipeline's applier thread owns the Monitor; the
+  // mirror is published from its flush barriers (hotFlushPoint) instead.
+  if (CountersFrozen || Sharded)
     return;
   const MonitorStats &S = M.stats();
   CTxns.store(S.IngestedTxns, std::memory_order_relaxed);
@@ -168,11 +171,11 @@ void StreamSession::pump() {
     OnDead(*this);
 }
 
-void StreamSession::applyDataLine(const std::string &Raw) {
+void StreamSession::applyDataLine(std::string_view Raw) {
   if (PhaseLocal != Phase::Active)
     return; // wedged or closed: drop quietly
   ++LineNo;
-  std::string_view Line(Raw);
+  std::string_view Line = Raw;
   size_t RawLen = Raw.size() + 1; // the connection stripped the '\n'
   if (!Line.empty() && Line.back() == '\r')
     Line.remove_suffix(1);
@@ -188,22 +191,121 @@ void StreamSession::applyDataLine(const std::string &Raw) {
   Offset += RawLen;
 }
 
+void StreamSession::applyDataSpan(const PageSpan &S) {
+  // Inline fallback for a span reaching a pump that cannot (or need not)
+  // upgrade: split it back into lines. The span's bytes are verbatim
+  // stream bytes, newlines included.
+  std::string_view V = S.view();
+  size_t Pos = 0;
+  while (Pos < V.size()) {
+    size_t Nl = io::scanToNewline(V, Pos);
+    applyDataLine(V.substr(Pos, Nl - Pos));
+    Pos = Nl + 1;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// The hot-session upgrade: a pump that sees zero-copy span batches hands
+// its stream to a per-session sharded ingest pipeline. Ownership contract:
+// while Sharded is set, the pipeline's applier thread owns the Monitor and
+// the live machine state; the pump touches neither, and every control verb
+// quiesces first. Checkpoints and the counter mirror ride the pipeline's
+// flush barriers (hotFlushPoint, applier thread) instead of the pump.
+//===----------------------------------------------------------------------===//
+
+void StreamSession::maybeUpgradeHot() {
+  if (Sharded || PhaseLocal != Phase::Active || Env.HotThreads < 2)
+    return;
+  auto Upgraded = std::make_unique<ShardedMonitorIngest>(
+      M, Format, Env.HotThreads,
+      [this](const IngestFlushPoint &P) { hotFlushPoint(P); });
+  if (!Upgraded->valid())
+    return; // unreachable (the session's own decoder exists), but cheap
+  // Move the live parser state into the pipeline's machine and line the
+  // stream cursor up; from here the pump only forwards bytes.
+  std::string Blob;
+  ByteWriter W(Blob);
+  Machine->saveState(W);
+  ByteReader R(Blob);
+  if (!Upgraded->machine().loadState(R))
+    return;
+  Upgraded->primeResume(Offset, LineNo);
+  Sharded = std::move(Upgraded);
+  HotAtomic.store(true, std::memory_order_release);
+  HotUpgradesAtomic.fetch_add(1, std::memory_order_relaxed);
+}
+
+void StreamSession::quiesceHot() {
+  if (!Sharded)
+    return;
+  // Lossless teardown: connections only ship whole lines, so there is no
+  // partial tail to lose and abortStream() applies everything fed.
+  Sharded->abortStream();
+  Offset = Sharded->streamOffset();
+  LineNo = Sharded->lineNumber();
+  if (!Sharded->errorText().empty() && PhaseLocal == Phase::Active) {
+    PhaseLocal = Phase::Failed;
+    PhaseAtomic.store(Phase::Failed, std::memory_order_release);
+    sendToClient("ERR " + Name + " " + Sharded->errorText());
+  }
+  // Move the machine state back so the pump's own machine is live again.
+  std::string Blob;
+  ByteWriter W(Blob);
+  Sharded->machine().saveState(W);
+  ByteReader R(Blob);
+  Machine->loadState(R);
+  Sharded.reset(); // joins threads, detaches the speculation pool
+  HotAtomic.store(false, std::memory_order_release);
+  // The flush-barrier mirror may trail the true cursor; re-publish now so
+  // a detach-then-re-HELLO sees the exact resume offset.
+  publishCounters();
+}
+
+void StreamSession::hotFlushPoint(const IngestFlushPoint &P) {
+  // Applier thread. A flush barrier is a consistent cut: monitor, machine,
+  // and stream cursor agree on "everything through this line" — the same
+  // guarantee the pump-side checkpoint path has after a Data item.
+  if (!Env.CheckpointDir.empty() &&
+      P.Flushes - LastCkptFlushes >= Env.CheckpointIntervalFlushes)
+    writeCheckpointNow(P.Machine, P.StreamOffset, P.LineNo, P.Flushes);
+  if (CountersFrozen)
+    return;
+  const MonitorStats &S = M.stats();
+  CTxns.store(S.IngestedTxns, std::memory_order_relaxed);
+  CCommitted.store(S.CommittedTxns, std::memory_order_relaxed);
+  COps.store(S.IngestedOps, std::memory_order_relaxed);
+  CLive.store(S.LiveTxns, std::memory_order_relaxed);
+  CViolations.store(S.ReportedViolations, std::memory_order_relaxed);
+  CFlushes.store(S.Flushes, std::memory_order_relaxed);
+  CEvicted.store(S.EvictedTxns, std::memory_order_relaxed);
+  CForced.store(S.ForcedAborts, std::memory_order_relaxed);
+  CFlushMicros.store(S.FlushMicros, std::memory_order_relaxed);
+  OffsetAtomic.store(P.StreamOffset, std::memory_order_release);
+  LineNoAtomic.store(P.LineNo, std::memory_order_release);
+}
+
 void StreamSession::maybeCheckpoint(bool Force) {
   if (Env.CheckpointDir.empty() || PhaseLocal != Phase::Active)
     return;
   uint64_t Flushes = M.flushCount();
   if (!Force && Flushes - LastCkptFlushes < Env.CheckpointIntervalFlushes)
     return;
+  writeCheckpointNow(*Machine, Offset, LineNo, Flushes);
+}
+
+void StreamSession::writeCheckpointNow(const StreamMachine &Mach,
+                                       uint64_t AtOffset, uint64_t AtLineNo,
+                                       uint64_t Flushes) {
   CheckpointMeta Meta;
   Meta.Format = Format;
   Meta.Options = Options;
-  Meta.StreamOffset = Offset;
-  Meta.LineNo = LineNo;
-  Meta.CommittedTxns = Machine->committedTxns();
+  Meta.StreamOffset = AtOffset;
+  Meta.LineNo = AtLineNo;
+  Meta.CommittedTxns = Mach.committedTxns();
   Meta.Flushes = Flushes;
   std::string MachineBlob;
   ByteWriter W(MachineBlob);
-  Machine->saveState(W);
+  Mach.saveState(W);
   std::string Err;
   if (Env.StoreCheckpoints) {
     if (!StoreCkpt) {
@@ -253,18 +355,46 @@ void StreamSession::finalizeSession(bool ToSinkFile, const char *ReplyVerb) {
 
 void StreamSession::processItem(const Item &I) {
   switch (I.K) {
-  case Item::Kind::Data:
+  case Item::Kind::Data: {
+    // The first span batch is the upgrade signal: the connection's rate
+    // tracker decided this stream is hot.
+    if (!I.Spans.empty())
+      maybeUpgradeHot();
+    if (Sharded && PhaseLocal == Phase::Active) {
+      bool Ok = true;
+      for (const std::string &Line : I.Lines) {
+        // Lines queued before the upgrade (newline stripped): re-frame.
+        Ok = Sharded->feed(Line) && Sharded->feed(std::string_view("\n", 1));
+        if (!Ok)
+          break;
+      }
+      for (const PageSpan &S : I.Spans) {
+        if (!Ok)
+          break;
+        Ok = Sharded->feedSpan(S);
+      }
+      InboxBytes.fetch_sub(I.Bytes, std::memory_order_relaxed);
+      if (!Ok)
+        quiesceHot(); // surfaces the pipeline error, fails the phase
+      // Checkpoints and the counter mirror ride the flush barriers.
+      return;
+    }
     for (const std::string &Line : I.Lines)
       applyDataLine(Line);
+    for (const PageSpan &S : I.Spans)
+      applyDataSpan(S);
     InboxBytes.fetch_sub(I.Bytes, std::memory_order_relaxed);
     maybeCheckpoint(/*Force=*/false);
     publishCounters();
     return;
+  }
 
   case Item::Kind::Stats: {
     if (PhaseLocal == Phase::Dead)
       return;
-    StatsSnapshot Snap = StatsSnapshot::of(M.stats());
+    // While upgraded the Monitor belongs to the applier thread: serve the
+    // last flush barrier's mirror instead of racing it.
+    StatsSnapshot Snap = Sharded ? counters() : StatsSnapshot::of(M.stats());
     sendToClient(taggedJson("STATS", Snap.toJson()));
     return;
   }
@@ -272,6 +402,7 @@ void StreamSession::processItem(const Item &I) {
   case Item::Kind::Detach: {
     if (PhaseLocal == Phase::Dead)
       return;
+    quiesceHot();
     // Capture the latest lines so an idle-evicted or killed server can
     // still resume this tenant from its detach point.
     maybeCheckpoint(/*Force=*/true);
@@ -292,6 +423,7 @@ void StreamSession::processItem(const Item &I) {
   case Item::Kind::End: {
     if (PhaseLocal == Phase::Dead)
       return;
+    quiesceHot();
     if (PhaseLocal == Phase::Active) {
       std::string Err;
       if (!Machine->atEnd(&Err)) {
@@ -332,6 +464,7 @@ void StreamSession::processItem(const Item &I) {
   case Item::Kind::Evict:
     if (PhaseLocal == Phase::Dead)
       return;
+    quiesceHot();
     maybeCheckpoint(/*Force=*/true);
     RetireReason = Retire::Evicted;
     PhaseLocal = Phase::Dead;
@@ -342,6 +475,7 @@ void StreamSession::processItem(const Item &I) {
   case Item::Kind::Drain:
     if (PhaseLocal == Phase::Dead)
       return;
+    quiesceHot();
     if (PhaseLocal == Phase::Active) {
       // Checkpoint first: the snapshot is the resumable state. The
       // finalize after it is a courtesy report for the attached client —
@@ -567,6 +701,7 @@ void SessionRegistry::fold(StreamSession &S) {
   Last.LiveTxns = 0;
   Retired.add(Last);
   RetiredCheckpoints += S.checkpointsWritten();
+  RetiredHotUpgrades += S.hotUpgrades();
   switch (S.RetireReason) {
   case StreamSession::Retire::Ended:
     ++Ended;
@@ -646,11 +781,13 @@ SessionRegistry::Totals SessionRegistry::totals() const {
   T.SessionsEnded = Ended;
   T.Counters = Retired;
   T.Checkpoints = RetiredCheckpoints;
+  T.HotUpgrades = RetiredHotUpgrades;
   for (const auto &[Name, S] : Sessions) {
     if (S->phase() != StreamSession::Phase::Dead)
       ++T.SessionsLive;
     T.Counters.add(S->countersSinceCreation());
     T.Checkpoints += S->checkpointsWritten();
+    T.HotUpgrades += S->hotUpgrades();
   }
   return T;
 }

@@ -37,8 +37,10 @@
 #include "checker/monitor.h"
 #include "checker/stats_snapshot.h"
 #include "checker/violation_sink.h"
+#include "io/sharded_ingest.h"
 #include "io/stream_parser.h"
 #include "server/protocol.h"
+#include "support/byte_arena.h"
 #include "support/thread_pool.h"
 
 #include <atomic>
@@ -94,6 +96,13 @@ struct SessionEnv {
   /// StoreCheckpointer) instead of monolithic `.ckpt` files. Resume still
   /// accepts either layout, preferring the store.
   bool StoreCheckpoints = false;
+  /// Extra threads a hot session's pump may spawn when it upgrades to the
+  /// sharded ingest pipeline (io/sharded_ingest.h); < 2 disables the
+  /// upgrade and every session stays on the inline decoder.
+  unsigned HotThreads = 0;
+  /// A connection whose data rate crosses this (bytes per steady second)
+  /// starts shipping zero-copy page spans, upgrading its session.
+  uint64_t HotBytesPerSec = 8ull << 20;
 };
 
 /// One tenant: a named stream with its own Monitor, format machine, and
@@ -120,6 +129,11 @@ public:
     /// For Data: raw lines (newline stripped, CR kept; byte accounting
     /// adds the newline back).
     std::vector<std::string> Lines;
+    /// For Data from a hot connection: verbatim stream bytes (newlines
+    /// included) as refcounted spans of the connection's read pages —
+    /// zero-copy from read(2) to the shard workers. The first Spans item a
+    /// pump sees upgrades the session to the sharded pipeline.
+    std::vector<PageSpan> Spans;
     size_t Bytes = 0;
     /// For Detach: true when the client just vanished (no reply).
     bool Quiet = false;
@@ -178,6 +192,15 @@ public:
   uint64_t checkpointsWritten() const {
     return CheckpointsAtomic.load(std::memory_order_relaxed);
   }
+  /// Times this session upgraded its pump to the sharded ingest pipeline
+  /// (0 or more; a session downgraded by a control verb can re-upgrade).
+  uint64_t hotUpgrades() const {
+    return HotUpgradesAtomic.load(std::memory_order_relaxed);
+  }
+  /// True while the sharded pipeline is driving the stream.
+  bool hotUpgraded() const {
+    return HotAtomic.load(std::memory_order_acquire);
+  }
 
   /// Enqueues \p I and schedules a pump on \p Pool if none is running.
   /// Event-loop thread only.
@@ -195,9 +218,30 @@ private:
 
   void pump();
   void processItem(const Item &I);
-  void applyDataLine(const std::string &Raw);
+  void applyDataLine(std::string_view Raw);
+  /// Cold-path fallback for a Spans item when the upgrade is unavailable:
+  /// splits the span and applies line by line.
+  void applyDataSpan(const PageSpan &S);
+  /// Upgrades the pump to a per-session sharded ingest pipeline: the
+  /// session's machine state moves into the pipeline and subsequent data
+  /// feeds it (zero-copy for spans). No-op unless Active, configured
+  /// (Env.HotThreads >= 2), and not already upgraded.
+  void maybeUpgradeHot();
+  /// Tears the sharded pipeline down (lossless: server feeds are always
+  /// whole lines) and moves the machine state and stream cursor back into
+  /// the pump. Surfaces any pipeline error as the usual ERR + Failed
+  /// phase. Must run before any verb that reads the machine or monitor.
+  void quiesceHot();
+  /// Flush-barrier callback while upgraded; runs on the pipeline's applier
+  /// thread, which owns the Monitor at that point. Handles the checkpoint
+  /// cadence and the counter mirror — the pump skips both while upgraded.
+  void hotFlushPoint(const IngestFlushPoint &P);
   void publishCounters();
   void maybeCheckpoint(bool Force);
+  /// Writes one checkpoint of \p Machine at the given stream cut (shared
+  /// by the pump path and the hot flush hook).
+  void writeCheckpointNow(const StreamMachine &Machine, uint64_t AtOffset,
+                          uint64_t AtLineNo, uint64_t Flushes);
   void finalizeSession(bool ToSinkFile, const char *ReplyVerb);
   void sendToClient(const std::string &Line);
   std::string taggedJson(const char *Verb, const std::string &Json) const;
@@ -253,6 +297,11 @@ private:
   /// The restored checkpoint's counters (zero for a fresh stream); see
   /// countersSinceCreation().
   StatsSnapshot Base;
+  /// The hot-session upgrade: while set, this pipeline owns the Monitor
+  /// and the live machine state (the Machine member is stale until
+  /// quiesceHot() moves the state back). Declared after M/Machine so it is
+  /// destroyed — joining its threads — before them.
+  std::unique_ptr<ShardedMonitorIngest> Sharded;
 
   // --- Inbox (event loop -> pump). ---
   mutable std::mutex InboxMu;
@@ -274,6 +323,8 @@ private:
   std::atomic<uint64_t> CheckpointsAtomic{0};
   std::atomic<uint64_t> CTxns{0}, CCommitted{0}, COps{0}, CLive{0},
       CViolations{0}, CFlushes{0}, CEvicted{0}, CForced{0}, CFlushMicros{0};
+  std::atomic<bool> HotAtomic{false};
+  std::atomic<uint64_t> HotUpgradesAtomic{0};
 
   /// Signals the registry when this session turns Dead (drain waits on
   /// it). Set by the registry at construction.
@@ -298,6 +349,9 @@ public:
   HelloResult hello(const HelloRequest &Req,
                     std::shared_ptr<ResponseWriter> Writer);
 
+  /// True when sessions may upgrade to the sharded ingest pipeline.
+  bool hotEnabled() const { return Env.HotThreads >= 2; }
+
   /// Sweeps Dead sessions out of the map and schedules eviction of
   /// detached sessions idle for more than \p IdleTimeoutSec (0 disables).
   /// \p NowSec is the steady clock in seconds. Returns the number of
@@ -321,6 +375,7 @@ public:
     uint64_t SessionsEvicted = 0;
     uint64_t SessionsEnded = 0;
     uint64_t Checkpoints = 0;
+    uint64_t HotUpgrades = 0;
     StatsSnapshot Counters;
   };
   Totals totals() const;
@@ -346,6 +401,7 @@ private:
   uint64_t Created = 0, Resumed = 0, Evicted = 0, Ended = 0;
   StatsSnapshot Retired;
   uint64_t RetiredCheckpoints = 0;
+  uint64_t RetiredHotUpgrades = 0;
 };
 
 } // namespace server

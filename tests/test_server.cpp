@@ -719,6 +719,126 @@ TEST(ServerEndToEnd, ReusedStreamIdStartsAFreshRecord) {
   H.stop();
 }
 
+//===----------------------------------------------------------------------===//
+// Hot-session upgrade: a connection crossing the data-rate threshold ships
+// zero-copy spans and its session's pump upgrades to the sharded ingest
+// pipeline. The invariant under test: output stays byte-identical to the
+// inline decoder (and to a standalone monitor) through the upgrade, every
+// control verb, and reattach.
+//===----------------------------------------------------------------------===//
+
+/// Options that force the upgrade deterministically: an explicit thread
+/// budget and a 1-byte/sec threshold, so the very first data read flips
+/// the connection hot.
+ServerOptions hotOptions() {
+  ServerOptions Base;
+  Base.Threads = 4;
+  Base.ShardHotSessions = 3;
+  Base.HotBytesPerSec = 1;
+  return Base;
+}
+
+TEST(ServerEndToEnd, HotSessionUpgradeMatchesStandaloneMonitor) {
+  ServerHarness H(hotOptions());
+  History Hist = generated(41, 400, /*Inject=*/true);
+  std::string Text = writeTextHistory(Hist);
+
+  MonitorOptions Options;
+  Options.Level = IsolationLevel::CausalConsistency;
+  Options.CheckIntervalTxns = 32;
+  Options.Check.MaxWitnesses = 4;
+  Reference Ref = referenceRun(Text, Options);
+  ASSERT_FALSE(Ref.ViolationLines.empty());
+
+  TestClient C;
+  ASSERT_TRUE(C.connect(H.port()));
+  ASSERT_TRUE(C.sendLine("HELLO hot1 cc interval=32"));
+  EXPECT_EQ(C.readLine(), "OK hot1 new offset=0 line=0");
+  ASSERT_TRUE(C.send(Text));
+  ASSERT_TRUE(C.sendLine("END"));
+  std::vector<std::string> Pushed;
+  std::string Final = C.readUntil("FINAL ", &Pushed);
+  ASSERT_FALSE(Final.empty());
+  EXPECT_EQ(C.readUntil("BYE"), "BYE");
+
+  // Byte-identical everywhere: push channel, FINAL summary, durable sink.
+  ASSERT_EQ(Pushed.size(), Ref.ViolationLines.size());
+  for (size_t I = 0; I < Pushed.size(); ++I)
+    EXPECT_EQ(stripStreamTag(Pushed[I], "hot1"), Ref.ViolationLines[I]);
+  EXPECT_EQ(stripStreamTag(Final.substr(6), "hot1"), Ref.Summary);
+  EXPECT_EQ(fileLines(H.sinkDir() + "/hot1.jsonl"), Ref.ViolationLines);
+
+  // And the upgrade really happened (not a silently-cold run).
+  std::string Metrics = H.server().renderMetrics();
+  EXPECT_NE(Metrics.find("awdit_server_hot_upgrades_total 1"),
+            std::string::npos)
+      << Metrics;
+  H.stop();
+}
+
+TEST(ServerEndToEnd, HotUpgradeDetachReattachContinuesWithOffset) {
+  ServerHarness H(hotOptions());
+  History Hist = generated(43, 300, /*Inject=*/true);
+  std::string Text = writeTextHistory(Hist);
+  MonitorOptions Options;
+  Options.Level = IsolationLevel::CausalConsistency;
+  Options.CheckIntervalTxns = 16;
+  Options.Check.MaxWitnesses = 4;
+  Reference Ref = referenceRun(Text, Options);
+
+  size_t Cut = Text.find('\n', Text.size() / 2);
+  ASSERT_NE(Cut, std::string::npos);
+  ++Cut;
+
+  TestClient C;
+  ASSERT_TRUE(C.connect(H.port()));
+  ASSERT_TRUE(C.sendLine("HELLO hot2 cc interval=16"));
+  ASSERT_EQ(C.readLine().rfind("OK hot2 new offset=0", 0), 0u);
+  ASSERT_TRUE(C.send(Text.substr(0, Cut)));
+  ASSERT_TRUE(C.sendLine("DETACH"));
+  // DETACH quiesces the pipeline losslessly: every byte sent before it
+  // must be applied, and the resume offset must be exact — not the last
+  // flush barrier's.
+  EXPECT_EQ(C.readUntil("OK detached"), "OK detached hot2");
+  C.close();
+
+  TestClient C2;
+  ASSERT_TRUE(C2.connect(H.port()));
+  ASSERT_TRUE(C2.sendLine("HELLO hot2 cc"));
+  std::string Ok = C2.readLine();
+  ASSERT_EQ(Ok.rfind("OK hot2 attached offset=" + std::to_string(Cut), 0),
+            0u)
+      << Ok;
+  ASSERT_TRUE(C2.send(Text.substr(Cut)));
+  ASSERT_TRUE(C2.sendLine("END"));
+  std::string Final = C2.readUntil("FINAL ");
+  C2.readUntil("BYE");
+
+  EXPECT_EQ(fileLines(H.sinkDir() + "/hot2.jsonl"), Ref.ViolationLines);
+  EXPECT_EQ(stripStreamTag(Final.substr(6), "hot2"), Ref.Summary);
+  H.stop();
+}
+
+TEST(ServerEndToEnd, HotUpgradeParseErrorReportsLineNumber) {
+  ServerHarness H(hotOptions());
+  TestClient C;
+  ASSERT_TRUE(C.connect(H.port()));
+  ASSERT_TRUE(C.sendLine("HELLO hot3 cc"));
+  ASSERT_EQ(C.readLine().rfind("OK hot3 new", 0), 0u);
+  // Two good lines, then garbage. The pipelined decoder surfaces the
+  // failure asynchronously: the ERR lands at the next quiesce point (here,
+  // END) but must keep the same "ERR <stream> line N: ..." shape as the
+  // inline decoder.
+  ASSERT_TRUE(C.send("b 0\nw 1 1\nbogus line\nw 2 2\n"));
+  ASSERT_TRUE(C.sendLine("END"));
+  std::string Err = C.readUntil("ERR ");
+  ASSERT_EQ(Err.rfind("ERR hot3 line 3: ", 0), 0u) << Err;
+  // The wedged stream still finalizes what it checked.
+  EXPECT_FALSE(C.readUntil("FINAL ").empty());
+  EXPECT_EQ(C.readUntil("BYE"), "BYE");
+  H.stop();
+}
+
 TEST(ServerEndToEnd, ShutdownVerbDrainsTheServer) {
   ServerHarness H;
   TestClient C;

@@ -174,6 +174,10 @@ int usage() {
       "                  violation logs)] [--threads N] [--idle-timeout"
       " SEC (default 300)]\n"
       "                 [--checkpoint-interval FLUSHES (default 16)]\n"
+      "                 [--shard-hot-sessions N (threads per hot session;"
+      " 0 off,\n"
+      "                  default auto: 4 when the pool has >= 4)]"
+      " [--hot-bytes-per-sec B]\n"
       "  awdit stats <file> [--format native|plume|dbcop]\n"
       "  awdit generate --bench random|c-twitter|tpc-c|rubis"
       " [--sessions N] [--txns N]\n"
@@ -711,13 +715,17 @@ int cmdMonitor(const std::string &Path, const Flags &F) {
       }
     }
   }
+  // Zero-copy ingest: read(2) lands directly in the pipeline's arena
+  // pages, where the shard workers decode in place — no byte is copied
+  // after it leaves the kernel.
   while (Ok && !MonitorInterrupted) {
-    ssize_t N = read(Fd, Buffer, sizeof(Buffer));
+    auto [Dst, Cap] = Ingest.writeWindow(sizeof(Buffer));
+    ssize_t N = read(Fd, Dst, Cap);
     if (N < 0 && errno == EINTR)
       continue;
     if (N <= 0)
       break;
-    Ok = Ingest.feed(std::string_view(Buffer, static_cast<size_t>(N)));
+    Ok = Ingest.commitBytes(static_cast<size_t>(N));
   }
 
   bool ParseError = false;
@@ -825,6 +833,11 @@ int cmdServe(const Flags &F) {
   }
   Options.SinkDir = F.getOr("sink-dir", "");
   Options.Threads = static_cast<unsigned>(numFlag(F, "threads", "0"));
+  if (F.get("shard-hot-sessions"))
+    Options.ShardHotSessions =
+        static_cast<int>(numFlag(F, "shard-hot-sessions", "0"));
+  if (F.get("hot-bytes-per-sec"))
+    Options.HotBytesPerSec = numFlag(F, "hot-bytes-per-sec", "8388608");
   Options.IdleTimeoutSec = numFlag(F, "idle-timeout", "300");
   Options.CheckpointIntervalFlushes =
       numFlag(F, "checkpoint-interval", "16");

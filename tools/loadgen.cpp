@@ -16,7 +16,7 @@
 ///
 /// \code
 ///   awdit-loadgen --port P [--host H] [--out-dir DIR]
-///       [--chunk-bytes N] [--throttle-ms N] [--reconnect]
+///       [--chunk-bytes N] [--throttle-ms N] [--rate MBPS] [--reconnect]
 ///       [--retry-sec S]
 ///       --stream NAME=FILE[:level=cc][:interval=N][:window=N]
 ///                [:window-edges=N][:window-age=T][:force-abort=T]
@@ -28,6 +28,13 @@
 /// returns the resumed byte offset and the replay continues from there —
 /// the client-side half of the server's crash-recovery story.
 ///
+/// --rate MBPS paces each sender to at most MBPS megabytes (1e6 bytes)
+/// per second — a token-bucket over the whole replay, so short bursts at
+/// chunk granularity average out to the requested wire rate. After all
+/// streams finish, a `throughput:` line reports aggregate bytes/sec and
+/// lines/sec as observed by the senders — the client-side counterpart of
+/// the BM_IngestBytesPerSec bench counter.
+///
 /// Exit code: 2 on any protocol/IO error, else 1 if any stream was
 /// inconsistent, else 0.
 ///
@@ -35,6 +42,7 @@
 
 #include "support/socket.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -66,6 +74,7 @@ struct Config {
   std::string OutDir = ".";
   size_t ChunkBytes = 64 << 10;
   uint64_t ThrottleMs = 0;
+  double RateMBps = 0; // 0 = unthrottled
   bool Reconnect = false;
   uint64_t RetrySec = 30;
   std::vector<StreamSpec> Streams;
@@ -110,6 +119,8 @@ struct StreamResult {
   bool Consistent = true;
   uint64_t Violations = 0;
   uint64_t Reconnects = 0;
+  uint64_t SentBytes = 0;
+  uint64_t SentLines = 0;
 };
 
 /// One complete attach cycle: HELLO, feed from the reported offset, END,
@@ -161,12 +172,28 @@ bool runOnce(const Config &Cfg, const StreamSpec &Spec,
   // pushed VIOLATION lines so neither side's socket buffer can deadlock.
   std::atomic<bool> SenderFailed{false};
   std::thread Sender([&] {
+    auto Start = std::chrono::steady_clock::now();
+    uint64_t Sent = 0;
     for (size_t Pos = Offset; Pos < Text.size(); Pos += Cfg.ChunkBytes) {
       std::string_view Chunk =
           std::string_view(Text).substr(Pos, Cfg.ChunkBytes);
       if (!S.writeAll(Chunk)) {
         SenderFailed.store(true);
         return;
+      }
+      Sent += Chunk.size();
+      R.SentBytes += Chunk.size();
+      R.SentLines += static_cast<uint64_t>(
+          std::count(Chunk.begin(), Chunk.end(), '\n'));
+      if (Cfg.RateMBps > 0) {
+        // Token bucket over the whole replay: sleep until the bytes sent
+        // so far would have taken this long at the requested rate.
+        auto Due = Start + std::chrono::duration_cast<
+                               std::chrono::steady_clock::duration>(
+                               std::chrono::duration<double>(
+                                   static_cast<double>(Sent) /
+                                   (Cfg.RateMBps * 1e6)));
+        std::this_thread::sleep_until(Due);
       }
       if (Cfg.ThrottleMs)
         std::this_thread::sleep_for(
@@ -254,8 +281,8 @@ int usage() {
   std::fprintf(
       stderr,
       "usage: awdit-loadgen --port P [--host H] [--out-dir DIR]\n"
-      "           [--chunk-bytes N] [--throttle-ms N] [--reconnect]"
-      " [--retry-sec S]\n"
+      "           [--chunk-bytes N] [--throttle-ms N] [--rate MBPS]"
+      " [--reconnect] [--retry-sec S]\n"
       "           --stream NAME=FILE[:level=rc|ra|cc][:interval=N]"
       "[:window=N][:format=F] ...\n");
   return 2;
@@ -306,6 +333,8 @@ int main(int Argc, char **Argv) {
       Cfg.ChunkBytes = static_cast<size_t>(std::atoll(Value()));
     else if (Arg == "--throttle-ms")
       Cfg.ThrottleMs = static_cast<uint64_t>(std::atoll(Value()));
+    else if (Arg == "--rate")
+      Cfg.RateMBps = std::atof(Value());
     else if (Arg == "--retry-sec")
       Cfg.RetrySec = static_cast<uint64_t>(std::atoll(Value()));
     else if (Arg == "--reconnect")
@@ -333,12 +362,16 @@ int main(int Argc, char **Argv) {
   std::vector<StreamResult> Results(Cfg.Streams.size());
   std::vector<std::thread> Threads;
   Threads.reserve(Cfg.Streams.size());
+  auto WallStart = std::chrono::steady_clock::now();
   for (size_t I = 0; I < Cfg.Streams.size(); ++I)
     Threads.emplace_back([&, I] {
       runStream(Cfg, Cfg.Streams[I], Results[I]);
     });
   for (std::thread &T : Threads)
     T.join();
+  double WallSecs = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - WallStart)
+                        .count();
 
   bool AnyError = false, AnyInconsistent = false;
   for (size_t I = 0; I < Cfg.Streams.size(); ++I) {
@@ -360,5 +393,20 @@ int main(int Argc, char **Argv) {
     if (!R.Consistent)
       AnyInconsistent = true;
   }
+
+  // Aggregate wire throughput across all streams (includes END handshake
+  // wait, so a fast server reads close to the raw sender rate).
+  uint64_t TotalBytes = 0, TotalLines = 0;
+  for (const StreamResult &R : Results) {
+    TotalBytes += R.SentBytes;
+    TotalLines += R.SentLines;
+  }
+  double Secs = WallSecs > 0 ? WallSecs : 1e-9;
+  std::printf("throughput: bytes=%llu lines=%llu secs=%.3f "
+              "bytes_per_sec=%.0f lines_per_sec=%.0f\n",
+              static_cast<unsigned long long>(TotalBytes),
+              static_cast<unsigned long long>(TotalLines),
+              WallSecs, static_cast<double>(TotalBytes) / Secs,
+              static_cast<double>(TotalLines) / Secs);
   return AnyError ? 2 : AnyInconsistent ? 1 : 0;
 }
