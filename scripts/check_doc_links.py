@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Check that every relative link in the documentation resolves.
+
+Scans README.md and docs/*.md for markdown links, verifies that
+
+  * relative file targets exist in the repository,
+  * fragment targets (`#anchor`, alone or after a .md path) match a
+    heading in the target file, using GitHub's slugification rules,
+
+and exits non-zero listing every dead link. External links (http/https/
+mailto) are not fetched. Run from anywhere: paths resolve against the
+repository root (the parent of this script's directory).
+
+Used by the `docs` CI job; run locally with `python3
+scripts/check_doc_links.py`.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+# Inline markdown links/images: [text](target) — target up to the first
+# unescaped ')'. Angle-bracketed targets (<...>) are unwrapped below.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading: strip markup, lowercase, drop
+    everything but word characters / spaces / hyphens, spaces to hyphens."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)  # inline code
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # links
+    text = re.sub(r"[*_]", "", text)  # emphasis
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: Path) -> set:
+    """Every anchor GitHub generates for `path` (duplicate headings get
+    -1/-2/... suffixes)."""
+    seen = {}
+    anchors = set()
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        m = HEADING_RE.match(line)
+        if not m:
+            continue
+        slug = github_slug(m.group(2))
+        n = seen.get(slug, 0)
+        seen[slug] = n + 1
+        anchors.add(slug if n == 0 else f"{slug}-{n}")
+    return anchors
+
+
+def check_file(doc: Path, errors: list) -> None:
+    in_fence = False
+    for lineno, line in enumerate(
+        doc.read_text(encoding="utf-8").splitlines(), 1
+    ):
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for m in LINK_RE.finditer(line):
+            target = m.group(1).strip("<>")
+            if re.match(r"^[a-zA-Z][a-zA-Z0-9+.-]*:", target):
+                continue  # http:, https:, mailto:, ...
+            where = f"{doc.relative_to(ROOT)}:{lineno}"
+            path_part, _, frag = target.partition("#")
+            if path_part:
+                dest = (doc.parent / path_part).resolve()
+                if not dest.exists():
+                    errors.append(f"{where}: dead link '{target}' "
+                                  f"(no such file: {path_part})")
+                    continue
+            else:
+                dest = doc  # bare '#anchor': same file
+            if frag:
+                if dest.is_dir() or dest.suffix.lower() != ".md":
+                    errors.append(f"{where}: anchor on non-markdown "
+                                  f"target '{target}'")
+                elif frag.lower() not in anchors_of(dest):
+                    errors.append(f"{where}: dead anchor '#{frag}' "
+                                  f"(no matching heading in "
+                                  f"{dest.relative_to(ROOT)})")
+
+
+def main() -> int:
+    docs = [ROOT / "README.md"] + sorted((ROOT / "docs").glob("*.md"))
+    docs = [d for d in docs if d.exists()]
+    if len(docs) < 2:
+        print("check_doc_links: expected README.md and docs/*.md",
+              file=sys.stderr)
+        return 1
+    errors = []
+    for doc in docs:
+        check_file(doc, errors)
+    if errors:
+        for e in errors:
+            print(e, file=sys.stderr)
+        print(f"check_doc_links: {len(errors)} dead link(s) in "
+              f"{len(docs)} file(s)", file=sys.stderr)
+        return 1
+    print(f"check_doc_links: OK ({len(docs)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

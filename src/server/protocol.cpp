@@ -63,6 +63,29 @@ bool awdit::server::parseHello(std::string_view Line, HelloRequest &Req,
 
     uint64_t Num = 0;
     bool IsNum = parseInt(std::string_view(Value), Num);
+    // Connection-level options first: they never enter Given (they are
+    // not part of the checker configuration a checkpoint fingerprints).
+    if (Key == "mux") {
+      if (Value != "on" && Value != "off")
+        return Fail("mux= wants on|off, got '" + Value + "'");
+      Req.Mux = Value == "on";
+      continue;
+    }
+    if (Key == "token") {
+      Req.Token = Value;
+      continue;
+    }
+    if (Key == "inbox-bytes" || Key == "outq-bytes" ||
+        Key == "window-bytes") {
+      if (!IsNum || Num == 0)
+        return Fail(Key + "= wants a positive byte count, got '" + Value +
+                    "'");
+      (Key == "inbox-bytes"
+           ? Req.InboxBytes
+           : Key == "outq-bytes" ? Req.OutQueueBytes : Req.WindowBytes) =
+          Num;
+      continue;
+    }
     if (Key == "format") {
       if (Value != "native" && Value != "plume" && Value != "dbcop")
         return Fail("unknown format '" + Value + "'");
@@ -127,4 +150,50 @@ bool awdit::server::checkCompatible(const HelloRequest &Req,
                   ", incompatible with " + Key + "=" + Value);
   }
   return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Mux framing helpers
+//===----------------------------------------------------------------------===//
+
+bool awdit::server::splitMuxFrame(std::string_view Line,
+                                  std::string_view &Stream,
+                                  std::string_view &Payload,
+                                  bool &HasPayload) {
+  // Caller has classified the line with isMuxFrame(): '@' then a stream.
+  std::string_view Rest = Line.substr(1);
+  size_t Sp = Rest.find(' ');
+  if (Sp == std::string_view::npos) {
+    Stream = Rest;
+    Payload = {};
+    HasPayload = false;
+  } else {
+    Stream = Rest.substr(0, Sp);
+    Payload = Rest.substr(Sp + 1);
+    HasPayload = true;
+  }
+  return !Stream.empty();
+}
+
+std::string awdit::server::escapeMuxPayload(std::string_view Payload) {
+  std::string Out;
+  if (!Payload.empty() && Payload[0] == '@')
+    Out += '@';
+  Out += Payload;
+  return Out;
+}
+
+std::string_view awdit::server::unescapeMuxPayload(std::string_view Line) {
+  if (Line.size() >= 2 && Line[0] == '@' && Line[1] == '@')
+    return Line.substr(1);
+  return Line;
+}
+
+std::string awdit::server::muxFrame(std::string_view Stream,
+                                    std::string_view Payload) {
+  std::string Out = "@";
+  Out += Stream;
+  Out += ' ';
+  Out += Payload;
+  return Out;
 }

@@ -48,11 +48,15 @@ void metricLine(std::string &Out, const char *Name, const char *Type,
 
 } // namespace
 
-/// One client connection: a socket plus the line-assembly buffer and the
-/// session it is attached to. sendLine() is the ResponseWriter the session
-/// pumps push replies through — serialized by a write mutex because the
-/// event loop (OK/ERR replies) and the pool threads (VIOLATION/STATS/
-/// FINAL) both write.
+/// One client connection: a non-blocking socket, the line-assembly
+/// buffer, the session(s) it is attached to, and a bounded output queue.
+/// sendLine() is the ResponseWriter the session pumps push replies
+/// through — it only ever *enqueues* (under the write mutex, because the
+/// event loop's OK/ERR replies and the pool threads' VIOLATION/STATS/
+/// FINAL pushes both land here) and wakes the event loop, which drains
+/// the queue with non-blocking sends on POLLOUT. No caller ever blocks
+/// in write(2); a client that stops reading fills its own queue, trips
+/// the quota, and is muted + disconnected (a counted event).
 struct Server::Conn : ResponseWriter,
                       std::enable_shared_from_this<Server::Conn> {
   Socket Sock;
@@ -63,9 +67,19 @@ struct Server::Conn : ResponseWriter,
   /// there is no separate assembly buffer.
   ArenaWriter Rx{256 << 10};
   std::shared_ptr<StreamSession> Session;
+  /// Mux mode (`HELLO ... mux=on`): one connection, many tenants. The
+  /// sticky router sends bare lines to CurStream; the current Batch
+  /// belongs to BatchStream (empty = the plain-mode Session). Event-loop
+  /// thread only.
+  bool Mux = false;
+  std::unordered_map<std::string, std::shared_ptr<StreamSession>>
+      MuxSessions;
+  std::string CurStream;
+  std::string BatchStream;
   /// Data-rate tracker (bytes within the current steady second). A
   /// connection crossing the server's threshold turns Hot — sticky — and
   /// ships spans, upgrading its session's pump to the sharded pipeline.
+  /// (Mux connections interleave tenants and never take the span path.)
   uint64_t RateWindowSec = 0;
   uint64_t RateBytes = 0;
   bool Hot = false;
@@ -73,30 +87,83 @@ struct Server::Conn : ResponseWriter,
   /// (flushed to the session's inbox at the next verb or end of chunk).
   StreamSession::Item Batch;
   bool Dead = false;
-  /// Set once a send failed or timed out; the push channel goes mute and
-  /// the event loop's next sweep closes the connection. Keeps a client
-  /// that stops reading from wedging a pump thread (the socket has
-  /// SO_SNDTIMEO, so one send blocks for at most SendTimeoutSec).
+  /// Set once a send failed or the output queue overflowed; the push
+  /// channel goes mute and the event loop's next sweep closes the
+  /// connection.
   std::atomic<bool> WriteFailed{false};
 
+  // --- Output queue (WriteMu). ---
   std::mutex WriteMu;
+  std::deque<std::string> OutQ;
+  /// Bytes of OutQ.front() already sent (partial non-blocking sends).
+  size_t OutHead = 0;
+  /// Total un-sent bytes across OutQ.
+  size_t OutBytes = 0;
+  /// Queue quota: server default, overridable per HELLO `outq-bytes=`
+  /// (clamped to the server cap; last HELLO on the connection wins).
+  size_t OutQuota = 8 << 20;
+  /// The server's self-pipe write end: an enqueue on an idle queue wakes
+  /// the poll loop so it registers POLLOUT.
+  int WakeFd = -1;
+  /// The server's slow-client disconnect counter (overflow mutes).
+  std::atomic<uint64_t> *SlowDrops = nullptr;
 
   void sendLine(const std::string &Line) override {
     if (WriteFailed.load(std::memory_order_relaxed))
       return;
+    bool Wake = false;
+    {
+      std::lock_guard<std::mutex> L(WriteMu);
+      if (!Sock.valid())
+        return;
+      if (OutBytes + Line.size() + 1 > OutQuota) {
+        // The client is not keeping up: mute it (drop everything queued —
+        // the durable record is the JSONL sink, not the push channel) and
+        // wake the loop so the sweep disconnects it.
+        WriteFailed.store(true, std::memory_order_relaxed);
+        OutQ.clear();
+        OutHead = 0;
+        OutBytes = 0;
+        if (SlowDrops)
+          SlowDrops->fetch_add(1, std::memory_order_relaxed);
+        Wake = true;
+      } else {
+        Wake = OutBytes == 0;
+        std::string Out = Line;
+        Out += '\n';
+        OutBytes += Out.size();
+        OutQ.push_back(std::move(Out));
+      }
+    }
+    if (Wake && WakeFd >= 0) {
+      char B = 1;
+      // Best effort; a full pipe means a wakeup is already pending.
+      (void)!::write(WakeFd, &B, 1);
+    }
+  }
+
+  bool pendingOut() {
     std::lock_guard<std::mutex> L(WriteMu);
-    if (!Sock.valid())
-      return;
-    std::string Out = Line;
-    Out += '\n';
-    if (!Sock.writeAll(Out))
-      WriteFailed.store(true, std::memory_order_relaxed);
+    return OutBytes > 0;
   }
 
   void closeSocket() {
     std::lock_guard<std::mutex> L(WriteMu);
     Sock.close();
   }
+};
+
+/// The per-(connection, stream) ResponseWriter of a mux tenant: every
+/// reply and push is prefixed with its `@<stream> ` tag so the client can
+/// demux. Thread-safety rides on Conn::sendLine.
+struct Server::MuxWriter final : ResponseWriter {
+  MuxWriter(std::shared_ptr<Conn> C, std::string Stream)
+      : C(std::move(C)), Tag("@" + std::move(Stream) + " ") {}
+
+  void sendLine(const std::string &Line) override { C->sendLine(Tag + Line); }
+
+  std::shared_ptr<Conn> C;
+  std::string Tag;
 };
 
 namespace {
@@ -120,6 +187,8 @@ SessionEnv sessionEnvFor(const ServerOptions &O, size_t PoolThreads) {
   Env.StoreCheckpoints = O.CheckpointStore;
   Env.HotThreads = hotThreadsFor(O.ShardHotSessions, PoolThreads);
   Env.HotBytesPerSec = O.HotBytesPerSec;
+  Env.MaxInboxBytes = O.MaxInboxBytes;
+  Env.MaxWindowBytes = O.MaxWindowBytes;
   return Env;
 }
 
@@ -169,14 +238,19 @@ void Server::acceptClient() {
   Socket S = Listener.accept();
   if (!S.valid())
     return;
-  // Bound how long a pushed reply can block a pump on a client that
-  // stopped reading; on timeout the send fails, the connection goes mute
-  // (Conn::WriteFailed) and is closed at the next sweep.
-  struct timeval Tv = {static_cast<time_t>(SendTimeoutSec), 0};
-  ::setsockopt(S.fd(), SOL_SOCKET, SO_SNDTIMEO, &Tv, sizeof(Tv));
+  // Non-blocking from the first byte: reads happen on POLLIN, replies go
+  // through the bounded output queue and leave on POLLOUT. Nothing on
+  // this socket can ever block the event loop or a pump thread.
+  S.setNonBlocking(true);
+  if (Options.SockSndBuf > 0)
+    ::setsockopt(S.fd(), SOL_SOCKET, SO_SNDBUF, &Options.SockSndBuf,
+                 sizeof(Options.SockSndBuf));
   auto C = std::make_shared<Conn>();
   C->Sock = std::move(S);
   C->Batch.K = StreamSession::Item::Kind::Data;
+  C->OutQuota = Options.MaxOutQueueBytes;
+  C->WakeFd = WakePipe[1];
+  C->SlowDrops = &SlowClientDrops;
   Conns.push_back(std::move(C));
 }
 
@@ -187,32 +261,97 @@ void Server::flushBatch(const std::shared_ptr<Conn> &C) {
   I.K = StreamSession::Item::Kind::Data;
   std::swap(I, C->Batch);
   C->Batch.K = StreamSession::Item::Kind::Data;
-  if (C->Session)
-    C->Session->enqueue(std::move(I), *Pool);
+  std::shared_ptr<StreamSession> Target = C->Session;
+  if (!C->BatchStream.empty()) {
+    auto It = C->MuxSessions.find(C->BatchStream);
+    Target = It == C->MuxSessions.end() ? nullptr : It->second;
+  }
+  if (Target)
+    Target->enqueue(std::move(I), *Pool);
 }
 
 void Server::handleHello(const std::shared_ptr<Conn> &C,
                          std::string_view Line) {
-  if (C->Session) {
-    C->sendLine("ERR already attached to stream '" + C->Session->name() +
-                "'; DETACH first");
-    return;
-  }
   HelloRequest Req;
   std::string Err;
   if (!parseHello(Line, Req, &Err)) {
     C->sendLine("ERR " + Err);
     return;
   }
-  SessionRegistry::HelloResult R = Registry->hello(Req, C);
-  if (!R.Session) {
-    C->sendLine("ERR " + R.Err);
+
+  // The auth gate comes first: an unauthenticated HELLO must be rejected
+  // before any session state is created (no registry lookup, no
+  // checkpoint read, no sink file).
+  if (!Options.AuthToken.empty() && Req.Token != Options.AuthToken) {
+    AuthFailures.fetch_add(1, std::memory_order_relaxed);
+    C->sendLine(Req.Token.empty()
+                    ? "ERR auth token required (HELLO ... token=<secret>)"
+                    : "ERR auth bad token");
     return;
   }
-  C->Session = R.Session;
-  C->sendLine("OK " + Req.Stream + " " + R.Status +
-              " offset=" + std::to_string(R.Offset) +
-              " line=" + std::to_string(R.LineNo));
+
+  // Quota requests above the server cap are refused, not silently
+  // clamped — the tenant asked for a guarantee the server won't give.
+  auto OverCap = [&](const char *Key, uint64_t Want, uint64_t Cap) {
+    if (!Cap || !Want || Want <= Cap)
+      return false;
+    QuotaRejects.fetch_add(1, std::memory_order_relaxed);
+    C->sendLine("ERR quota " + std::string(Key) + "=" +
+                std::to_string(Want) + " exceeds server cap " +
+                std::to_string(Cap));
+    return true;
+  };
+  if (OverCap("inbox-bytes", Req.InboxBytes, Options.MaxInboxBytes) ||
+      OverCap("outq-bytes", Req.OutQueueBytes, Options.MaxOutQueueBytes) ||
+      OverCap("window-bytes", Req.WindowBytes, Options.MaxWindowBytes))
+    return;
+
+  bool MuxMode = C->Mux || Req.Mux;
+  if (MuxMode && C->Session) {
+    C->sendLine("ERR cannot mix mux and plain framing on one connection");
+    return;
+  }
+  if (!MuxMode && C->Session) {
+    C->sendLine("ERR already attached to stream '" + C->Session->name() +
+                "'; DETACH first");
+    return;
+  }
+  // Replies for a mux tenant carry its tag — including this HELLO's own
+  // OK/ERR, so the client can demux concurrent handshakes.
+  auto Reply = [&](const std::string &L) {
+    C->sendLine(MuxMode ? "@" + Req.Stream + " " + L : L);
+  };
+  if (MuxMode && C->MuxSessions.count(Req.Stream)) {
+    Reply("ERR already attached to stream '" + Req.Stream +
+          "' on this connection");
+    return;
+  }
+
+  std::shared_ptr<ResponseWriter> W =
+      MuxMode ? std::shared_ptr<ResponseWriter>(
+                    std::make_shared<MuxWriter>(C, Req.Stream))
+              : C;
+  SessionRegistry::HelloResult R = Registry->hello(Req, std::move(W));
+  if (!R.Session) {
+    Reply("ERR " + R.Err);
+    return;
+  }
+  if (Req.OutQueueBytes) {
+    // The output queue belongs to the connection; on a mux connection the
+    // last HELLO's request wins.
+    std::lock_guard<std::mutex> L(C->WriteMu);
+    C->OutQuota = Req.OutQueueBytes;
+  }
+  if (MuxMode) {
+    C->Mux = true;
+    C->MuxSessions[Req.Stream] = R.Session;
+    C->CurStream = Req.Stream;
+  } else {
+    C->Session = R.Session;
+  }
+  Reply("OK " + Req.Stream + " " + R.Status +
+        " offset=" + std::to_string(R.Offset) +
+        " line=" + std::to_string(R.LineNo));
 }
 
 std::string Server::serverStatsJson() const {
@@ -228,12 +367,17 @@ std::string Server::serverStatsJson() const {
                     ",\"sessions_ended\":" + std::to_string(T.SessionsEnded) +
                     ",\"checkpoints\":" + std::to_string(T.Checkpoints) +
                     ",\"hot_upgrades\":" + std::to_string(T.HotUpgrades) +
+                    ",\"quota_trips\":" + std::to_string(T.QuotaTrips) +
                     ",\"totals\":" + T.Counters.toJson() + "}";
   return Out;
 }
 
 void Server::handleLine(const std::shared_ptr<Conn> &C,
                         std::string_view Line) {
+  if (C->Mux) {
+    handleMuxLine(C, Line);
+    return;
+  }
   switch (classifyLine(Line)) {
   case Verb::Hello:
     flushBatch(C);
@@ -303,12 +447,138 @@ void Server::handleLine(const std::shared_ptr<Conn> &C,
   }
 }
 
+void Server::handleMuxLine(const std::shared_ptr<Conn> &C,
+                           std::string_view Line) {
+  // The '@@' escape: a bare (current-stream) payload that itself starts
+  // with '@', shipped with the '@' doubled.
+  if (Line.size() >= 2 && Line[0] == '@' && Line[1] == '@') {
+    if (C->CurStream.empty()) {
+      C->sendLine("ERR mux: no current stream (switch with '@<stream>')");
+      return;
+    }
+    routeMuxPayload(C, C->CurStream, unescapeMuxPayload(Line));
+    return;
+  }
+
+  if (isMuxFrame(Line)) {
+    std::string_view Stream, Payload;
+    bool HasPayload = false;
+    if (!splitMuxFrame(Line, Stream, Payload, HasPayload)) {
+      C->sendLine("ERR mux: malformed frame (want '@<stream> [line]')");
+      return;
+    }
+    std::string Name(Stream);
+    if (!C->MuxSessions.count(Name)) {
+      C->sendLine("ERR mux: unknown stream '" + Name + "'");
+      return;
+    }
+    C->CurStream = Name;
+    if (HasPayload)
+      routeMuxPayload(C, Name, Payload);
+    return;
+  }
+
+  // A bare line. Connection-level verbs first: HELLO opens another
+  // tenant, SHUTDOWN drains the server, STATS with no current stream is
+  // the whole-server view.
+  Verb V = classifyLine(Line);
+  if (V == Verb::Hello) {
+    flushBatch(C);
+    handleHello(C, Line);
+    return;
+  }
+  if (V == Verb::Shutdown) {
+    flushBatch(C);
+    C->sendLine("OK shutting-down");
+    requestShutdown();
+    return;
+  }
+  if (C->CurStream.empty()) {
+    if (V == Verb::Stats) {
+      flushBatch(C);
+      C->sendLine("STATS " + serverStatsJson());
+      return;
+    }
+    // Tolerate blank lines/comments, as pre-HELLO plain mode does.
+    size_t NonBlank = Line.find_first_not_of(" \t");
+    if (NonBlank == std::string_view::npos || Line[NonBlank] == '#')
+      return;
+    C->sendLine("ERR mux: no current stream (switch with '@<stream>')");
+    return;
+  }
+  routeMuxPayload(C, C->CurStream, Line);
+}
+
+void Server::routeMuxPayload(const std::shared_ptr<Conn> &C,
+                             const std::string &Stream,
+                             std::string_view Payload) {
+  auto It = C->MuxSessions.find(Stream);
+  if (It == C->MuxSessions.end()) {
+    C->sendLine("ERR mux: unknown stream '" + Stream + "'");
+    return;
+  }
+  std::shared_ptr<StreamSession> S = It->second;
+  auto Enqueue = [&](StreamSession::Item::Kind K) {
+    flushBatch(C);
+    StreamSession::Item I;
+    I.K = K;
+    S->enqueue(std::move(I), *Pool);
+  };
+  switch (classifyLine(Payload)) {
+  case Verb::None:
+    // A data line: extend the sticky batch, flushing when the routed
+    // stream changed under it.
+    if (C->BatchStream != Stream) {
+      flushBatch(C);
+      C->BatchStream = Stream;
+    }
+    C->Batch.Lines.emplace_back(Payload);
+    C->Batch.Bytes += Payload.size() + 1;
+    return;
+
+  case Verb::Stats:
+    Enqueue(StreamSession::Item::Kind::Stats);
+    return;
+
+  case Verb::Detach:
+    Enqueue(StreamSession::Item::Kind::Detach);
+    C->MuxSessions.erase(Stream);
+    if (C->CurStream == Stream)
+      C->CurStream.clear();
+    if (C->BatchStream == Stream)
+      C->BatchStream.clear();
+    return;
+
+  case Verb::End:
+    Enqueue(StreamSession::Item::Kind::End);
+    C->MuxSessions.erase(Stream);
+    if (C->CurStream == Stream)
+      C->CurStream.clear();
+    if (C->BatchStream == Stream)
+      C->BatchStream.clear();
+    return;
+
+  case Verb::Hello:
+    // HELLO names its own stream; a framed one is a client bug.
+    C->sendLine("ERR mux: send HELLO unframed (it names its stream)");
+    return;
+
+  case Verb::Shutdown:
+    flushBatch(C);
+    C->sendLine("OK shutting-down");
+    requestShutdown();
+    return;
+  }
+}
+
 void Server::readConn(const std::shared_ptr<Conn> &C) {
   // read(2) straight into the connection's arena page: for a hot
   // connection these very bytes are what the session's shard workers
   // decode — no copy in between.
   auto [Buf, Cap] = C->Rx.window(1 << 16);
   long N = C->Sock.readSome(Buf, Cap);
+  if (N < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+    return; // spurious wakeup on the non-blocking socket
   if (N <= 0) {
     closeConn(C);
     return;
@@ -381,16 +651,24 @@ void Server::dispatchLines(const std::shared_ptr<Conn> &C,
 
 void Server::closeConn(const std::shared_ptr<Conn> &C) {
   flushBatch(C);
-  if (C->Session) {
-    // The client vanished without DETACH: detach quietly, keep the
-    // session for a reconnect (or the idle-eviction timer).
+  // The client vanished without DETACH: detach quietly, keep the
+  // session(s) for a reconnect (or the idle-eviction timer).
+  auto DetachQuiet = [&](std::shared_ptr<StreamSession> S) {
     StreamSession::Item I;
     I.K = StreamSession::Item::Kind::Detach;
     I.Quiet = true;
+    S->enqueue(std::move(I), *Pool);
+  };
+  if (C->Session) {
     std::shared_ptr<StreamSession> S = std::move(C->Session);
     C->Session.reset();
-    S->enqueue(std::move(I), *Pool);
+    DetachQuiet(std::move(S));
   }
+  for (auto &[Name, S] : C->MuxSessions)
+    DetachQuiet(S);
+  C->MuxSessions.clear();
+  C->CurStream.clear();
+  C->BatchStream.clear();
   C->closeSocket();
   C->Dead = true;
 }
@@ -411,6 +689,16 @@ std::string Server::renderMetrics() const {
              T.Checkpoints);
   metricLine(Out, "awdit_server_hot_upgrades_total", "counter",
              T.HotUpgrades);
+  metricLine(Out, "awdit_server_quota_trips_total", "counter",
+             T.QuotaTrips);
+  metricLine(Out, "awdit_server_quota_rejects_total", "counter",
+             QuotaRejects.load(std::memory_order_relaxed));
+  metricLine(Out, "awdit_server_auth_failures_total", "counter",
+             AuthFailures.load(std::memory_order_relaxed));
+  metricLine(Out, "awdit_server_slow_client_disconnects_total", "counter",
+             SlowClientDrops.load(std::memory_order_relaxed));
+  metricLine(Out, "awdit_server_poll_max_stall_micros", "gauge",
+             MaxPollStallMicros.load(std::memory_order_relaxed));
   metricLine(Out, "awdit_server_txns_ingested_total", "counter",
              T.Counters.Txns);
   metricLine(Out, "awdit_server_txns_committed_total", "counter",
@@ -484,6 +772,37 @@ void Server::serveMetricsConn() {
   S.writeAll(Resp);
 }
 
+void Server::drainConnOutput(const std::shared_ptr<Conn> &C) {
+  bool Fail = false;
+  {
+    std::lock_guard<std::mutex> L(C->WriteMu);
+    while (!C->OutQ.empty()) {
+      std::string_view Front(C->OutQ.front());
+      Front.remove_prefix(C->OutHead);
+      long N = C->Sock.valid() ? C->Sock.sendSome(Front) : -1;
+      if (N < 0) {
+        Fail = true;
+        break;
+      }
+      if (N == 0)
+        break; // kernel buffer full: wait for the next POLLOUT
+      C->OutHead += static_cast<size_t>(N);
+      C->OutBytes -= static_cast<size_t>(N);
+      if (C->OutHead == C->OutQ.front().size()) {
+        C->OutQ.pop_front();
+        C->OutHead = 0;
+      }
+    }
+    if (Fail) {
+      C->OutQ.clear();
+      C->OutHead = 0;
+      C->OutBytes = 0;
+    }
+  }
+  if (Fail)
+    C->WriteFailed.store(true, std::memory_order_relaxed);
+}
+
 void Server::run() {
   while (!ShutdownRequested.load(std::memory_order_acquire)) {
     std::vector<pollfd> Fds;
@@ -496,17 +815,34 @@ void Server::run() {
     for (const std::shared_ptr<Conn> &C : Conns) {
       if (C->Dead)
         continue;
-      // Backpressure: a session that is too far behind is not read; the
-      // TCP window fills and pushes back to the client.
-      if (C->Session && C->Session->inboxBytes() > InboxHighWater)
+      short Events = 0;
+      // Backpressure: a session that is too far behind its quota is not
+      // read; the TCP window fills and pushes back to the client. On a
+      // mux connection any lagging tenant gates the whole socket (the
+      // frames are interleaved — head-of-line, by design).
+      bool Lagging = C->Session && C->Session->inboxBytes() >
+                                       C->Session->inboxQuota();
+      for (auto It = C->MuxSessions.begin();
+           !Lagging && It != C->MuxSessions.end(); ++It)
+        Lagging = It->second->inboxBytes() > It->second->inboxQuota();
+      if (!Lagging)
+        Events |= POLLIN;
+      if (C->pendingOut())
+        Events |= POLLOUT;
+      if (!Events)
         continue;
-      Fds.push_back({C->Sock.fd(), POLLIN, 0});
+      Fds.push_back({C->Sock.fd(), Events, 0});
       Polled.push_back(C);
     }
 
     int Ready = ::poll(Fds.data(), Fds.size(), /*timeout_ms=*/100);
     if (Ready < 0 && errno != EINTR)
       break;
+
+    // Everything below must stay non-blocking: the handling time of one
+    // iteration is the loop's stall, tracked as a high-water mark for
+    // /metrics (awdit_server_poll_max_stall_micros).
+    auto HandleT0 = std::chrono::steady_clock::now();
 
     if (Ready > 0) {
       if (Fds[0].revents & POLLIN) {
@@ -517,9 +853,13 @@ void Server::run() {
         acceptClient();
       if (MetricsListener.valid() && (Fds[2].revents & POLLIN))
         serveMetricsConn();
-      for (size_t I = FirstConn; I < Fds.size(); ++I)
+      for (size_t I = FirstConn; I < Fds.size(); ++I) {
+        const std::shared_ptr<Conn> &C = Polled[I - FirstConn];
+        if (Fds[I].revents & POLLOUT)
+          drainConnOutput(C);
         if (Fds[I].revents & (POLLIN | POLLHUP | POLLERR))
-          readConn(Polled[I - FirstConn]);
+          readConn(C);
+      }
     }
 
     // Housekeeping, at most once a second: sweep dead sessions, schedule
@@ -537,15 +877,51 @@ void Server::run() {
                                  }),
                   Conns.end());
     }
+
+    uint64_t Micros = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - HandleT0)
+            .count());
+    if (Micros > MaxPollStallMicros.load(std::memory_order_relaxed))
+      MaxPollStallMicros.store(Micros, std::memory_order_relaxed);
   }
 
   // --- Drain. ---
   Listener.close();
   MetricsListener.close();
   Registry->drainAll();
+  // The drain courtesies (DRAINING/FINAL/BYE) are sitting in the output
+  // queues; give clients that are still reading a bounded chance to
+  // receive them before the sockets close.
+  flushOutputAtDrain();
   for (const std::shared_ptr<Conn> &C : Conns) {
     C->Session.reset();
+    C->MuxSessions.clear();
     C->closeSocket();
   }
   Conns.clear();
+}
+
+void Server::flushOutputAtDrain() {
+  auto Deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  for (;;) {
+    std::vector<pollfd> Fds;
+    std::vector<std::shared_ptr<Conn>> Polled;
+    for (const std::shared_ptr<Conn> &C : Conns) {
+      if (C->Dead || C->WriteFailed.load(std::memory_order_relaxed) ||
+          !C->pendingOut())
+        continue;
+      Fds.push_back({C->Sock.fd(), POLLOUT, 0});
+      Polled.push_back(C);
+    }
+    if (Fds.empty() || std::chrono::steady_clock::now() >= Deadline)
+      return;
+    int Ready = ::poll(Fds.data(), Fds.size(), /*timeout_ms=*/100);
+    if (Ready < 0 && errno != EINTR)
+      return;
+    for (size_t I = 0; I < Fds.size(); ++I)
+      if (Fds[I].revents & (POLLOUT | POLLHUP | POLLERR))
+        drainConnOutput(Polled[I]);
+  }
 }

@@ -28,9 +28,18 @@
 ///   a restarted server with the same --checkpoint-dir resumes every
 ///   tenant from its per-stream checkpoint on the tenant's next HELLO.
 ///
-/// Backpressure: a client whose session's inbox exceeds a high-water mark
-/// is simply not read until the pump catches up — the kernel's TCP window
-/// pushes back to the producer, bounding per-session memory.
+/// Backpressure: a client whose session's inbox exceeds its quota is
+/// simply not read until the pump catches up — the kernel's TCP window
+/// pushes back to the producer, bounding per-session memory. Outbound,
+/// every client socket is non-blocking and replies go through a bounded
+/// per-connection output queue drained on POLLOUT: a client that stops
+/// reading backpressures only itself (its queue fills, it is muted and
+/// disconnected — a counted event), and neither the event loop nor any
+/// pump thread ever blocks in write(2).
+///
+/// A connection can multiplex many tenants (`HELLO ... mux=on`, framing
+/// in server/protocol.h), and the server can require a shared auth token
+/// checked before any session state is created.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -79,6 +88,26 @@ struct ServerOptions {
   /// A connection whose inbound data rate crosses this many bytes per
   /// second is treated as hot and ships zero-copy spans.
   uint64_t HotBytesPerSec = 8ull << 20;
+  /// Shared-secret authentication: when non-empty, every HELLO must carry
+  /// a matching `token=` or is rejected (`ERR auth ...`) before any
+  /// session state is created.
+  std::string AuthToken;
+  /// Per-session inbox quota: default and cap for HELLO `inbox-bytes=`.
+  /// The event loop stops reading a client whose session is this far
+  /// behind (backpressure via the TCP window).
+  size_t MaxInboxBytes = 4 << 20;
+  /// Per-connection output-queue quota: default and cap for HELLO
+  /// `outq-bytes=`. A connection whose un-sent replies exceed this is
+  /// muted and disconnected (counted in
+  /// awdit_server_slow_client_disconnects_total).
+  size_t MaxOutQueueBytes = 8 << 20;
+  /// Per-tenant window-memory quota (approximate bytes of live monitor
+  /// state): default and cap for HELLO `window-bytes=`. 0 = unlimited.
+  uint64_t MaxWindowBytes = 0;
+  /// SO_SNDBUF for client sockets (bytes; 0 = kernel default). Mostly a
+  /// testing/tuning knob: a small kernel send buffer makes the userspace
+  /// output queue — and its quota — the binding constraint.
+  int SockSndBuf = 0;
 };
 
 /// The server. One instance per process; start() then run() (typically on
@@ -110,6 +139,7 @@ public:
 
 private:
   struct Conn;
+  struct MuxWriter;
 
   void acceptClient();
   void serveMetricsConn();
@@ -119,9 +149,23 @@ private:
   /// zero-copy PageSpans in the current batch.
   void dispatchLines(const std::shared_ptr<Conn> &C, const PageSpan &Span);
   void handleLine(const std::shared_ptr<Conn> &C, std::string_view Line);
+  /// The mux-mode line router: `@<stream> [line]` frames, `@@` payload
+  /// escapes, bare lines to the current stream.
+  void handleMuxLine(const std::shared_ptr<Conn> &C, std::string_view Line);
+  /// Routes one unframed payload line (verb or data) to a mux stream.
+  void routeMuxPayload(const std::shared_ptr<Conn> &C,
+                       const std::string &Stream, std::string_view Payload);
   void flushBatch(const std::shared_ptr<Conn> &C);
   void handleHello(const std::shared_ptr<Conn> &C, std::string_view Line);
   void closeConn(const std::shared_ptr<Conn> &C);
+  /// Drains as much of \p C's output queue as the kernel buffer takes
+  /// right now (event-loop thread, on POLLOUT). A hard send error mutes
+  /// the connection.
+  void drainConnOutput(const std::shared_ptr<Conn> &C);
+  /// Bounded best-effort flush of every connection's queued DRAINING/
+  /// FINAL/BYE courtesies at shutdown; a client that stopped reading
+  /// cannot hold the drain hostage.
+  void flushOutputAtDrain();
   std::string serverStatsJson() const;
 
   ServerOptions Options;
@@ -139,16 +183,20 @@ private:
   std::vector<std::shared_ptr<Conn>> Conns;
   uint64_t LastSweepSec = 0;
 
-  /// Stop reading a client once its session's unprocessed inbox exceeds
-  /// this many bytes.
-  static constexpr size_t InboxHighWater = 4 << 20;
+  // Operational counters (exported on /metrics).
+  std::atomic<uint64_t> AuthFailures{0};
+  std::atomic<uint64_t> QuotaRejects{0};
+  std::atomic<uint64_t> SlowClientDrops{0};
+  /// High-water mark of one event-loop iteration's handling time in
+  /// microseconds (poll(2) return to next poll(2) entry). The liveness
+  /// witness the soak CI asserts on: the loop never blocks in write(2),
+  /// so a stalled client cannot push this toward the old SO_SNDTIMEO
+  /// stalls.
+  std::atomic<uint64_t> MaxPollStallMicros{0};
+
   /// A single protocol/stream line may not exceed this (bounds the
   /// per-connection assembly buffer against a newline-free firehose).
   static constexpr size_t MaxLineBytes = 1 << 20;
-  /// SO_SNDTIMEO on client sockets: the longest a pushed reply can block
-  /// a pump thread on a client that stopped reading. After a timeout the
-  /// connection goes mute and is closed at the next sweep.
-  static constexpr unsigned SendTimeoutSec = 5;
 };
 
 } // namespace server

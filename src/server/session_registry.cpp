@@ -5,12 +5,25 @@
 #include "io/token_util.h"
 #include "support/serialize.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
 
 using namespace awdit;
 using namespace awdit::server;
+
+uint64_t awdit::server::approxWindowBytes(const MonitorStats &S) {
+  // Per-object charges are deliberately round: a live transaction holds
+  // its op vector and graph node (~192B), an edge is two indices plus
+  // adjacency slack (~48B for inferred, ~32B once saturated into the
+  // graph), an unresolved read parks a pending witness (~64B). The quota
+  // is a bound on growth, not an allocator audit — what matters is that
+  // the estimate is monotone in the window content and identical across
+  // runs.
+  return S.LiveTxns * 192 + S.InferredEdges * 48 + S.GraphEdges * 32 +
+         S.UnresolvedReads * 64;
+}
 
 //===----------------------------------------------------------------------===//
 // StreamSession
@@ -92,8 +105,30 @@ void StreamSession::publishCounters() {
   CEvicted.store(S.EvictedTxns, std::memory_order_relaxed);
   CForced.store(S.ForcedAborts, std::memory_order_relaxed);
   CFlushMicros.store(S.FlushMicros, std::memory_order_relaxed);
+  WindowBytesApprox.store(approxWindowBytes(S), std::memory_order_relaxed);
   OffsetAtomic.store(Offset, std::memory_order_release);
   LineNoAtomic.store(LineNo, std::memory_order_release);
+}
+
+void StreamSession::enforceWindowQuota() {
+  uint64_t Quota = WindowQuotaBytes.load(std::memory_order_relaxed);
+  if (!Quota || PhaseLocal != Phase::Active)
+    return;
+  uint64_t Approx = WindowBytesApprox.load(std::memory_order_relaxed);
+  if (Approx <= Quota)
+    return;
+  // Over quota: wedge this stream (further data is dropped, exactly like
+  // a parse error) without touching any other tenant. Quiesce first so
+  // the machine state is back in the pump for the detach checkpoint.
+  quiesceHot();
+  PhaseLocal = Phase::Failed;
+  PhaseAtomic.store(Phase::Failed, std::memory_order_release);
+  QuotaTripsAtomic.fetch_add(1, std::memory_order_relaxed);
+  sendToClient("ERR quota " + Name + " window-bytes: ~" +
+               std::to_string(Approx) +
+               " bytes of window state exceeds quota " +
+               std::to_string(Quota) +
+               " (raise window-bytes= or tighten window=/window-age=)");
 }
 
 void StreamSession::enqueue(Item I, ThreadPool &P) {
@@ -280,6 +315,7 @@ void StreamSession::hotFlushPoint(const IngestFlushPoint &P) {
   CEvicted.store(S.EvictedTxns, std::memory_order_relaxed);
   CForced.store(S.ForcedAborts, std::memory_order_relaxed);
   CFlushMicros.store(S.FlushMicros, std::memory_order_relaxed);
+  WindowBytesApprox.store(approxWindowBytes(S), std::memory_order_relaxed);
   OffsetAtomic.store(P.StreamOffset, std::memory_order_release);
   LineNoAtomic.store(P.LineNo, std::memory_order_release);
 }
@@ -376,7 +412,9 @@ void StreamSession::processItem(const Item &I) {
       InboxBytes.fetch_sub(I.Bytes, std::memory_order_relaxed);
       if (!Ok)
         quiesceHot(); // surfaces the pipeline error, fails the phase
-      // Checkpoints and the counter mirror ride the flush barriers.
+      // Checkpoints and the counter mirror ride the flush barriers; the
+      // quota check reads that mirror (it may trail by one barrier).
+      enforceWindowQuota();
       return;
     }
     for (const std::string &Line : I.Lines)
@@ -386,6 +424,7 @@ void StreamSession::processItem(const Item &I) {
     InboxBytes.fetch_sub(I.Bytes, std::memory_order_relaxed);
     maybeCheckpoint(/*Force=*/false);
     publishCounters();
+    enforceWindowQuota();
     return;
   }
 
@@ -568,6 +607,7 @@ SessionRegistry::hello(const HelloRequest &Req,
     }
     if (!checkCompatible(Req, S->format(), S->options(), &R.Err))
       return R;
+    applyQuotas(*S, Req);
     S->attachWriter(std::move(Writer));
     S->touch();
     R.Session = S;
@@ -666,6 +706,7 @@ SessionRegistry::hello(const HelloRequest &Req,
   }
 
   S->OnDead = [this](StreamSession &Dead) { onSessionDead(Dead); };
+  applyQuotas(*S, Req);
   S->publishCounters();
   if (R.Status == "resumed") {
     // The aggregate totals count this process's work only; the restored
@@ -693,6 +734,18 @@ SessionRegistry::hello(const HelloRequest &Req,
   return R;
 }
 
+void SessionRegistry::applyQuotas(StreamSession &S,
+                                  const HelloRequest &Req) const {
+  S.InboxQuotaBytes = Req.InboxBytes
+                          ? std::min<size_t>(Req.InboxBytes, Env.MaxInboxBytes)
+                          : Env.MaxInboxBytes;
+  uint64_t Window = Req.WindowBytes ? Req.WindowBytes : Env.MaxWindowBytes;
+  if (Env.MaxWindowBytes)
+    Window = Window ? std::min(Window, Env.MaxWindowBytes)
+                    : Env.MaxWindowBytes;
+  S.WindowQuotaBytes.store(Window, std::memory_order_relaxed);
+}
+
 void SessionRegistry::fold(StreamSession &S) {
   StatsSnapshot Last = S.countersSinceCreation();
   // LiveTxns is a gauge: a retired session holds nothing live, and add()
@@ -702,6 +755,7 @@ void SessionRegistry::fold(StreamSession &S) {
   Retired.add(Last);
   RetiredCheckpoints += S.checkpointsWritten();
   RetiredHotUpgrades += S.hotUpgrades();
+  RetiredQuotaTrips += S.quotaTrips();
   switch (S.RetireReason) {
   case StreamSession::Retire::Ended:
     ++Ended;
@@ -782,12 +836,14 @@ SessionRegistry::Totals SessionRegistry::totals() const {
   T.Counters = Retired;
   T.Checkpoints = RetiredCheckpoints;
   T.HotUpgrades = RetiredHotUpgrades;
+  T.QuotaTrips = RetiredQuotaTrips;
   for (const auto &[Name, S] : Sessions) {
     if (S->phase() != StreamSession::Phase::Dead)
       ++T.SessionsLive;
     T.Counters.add(S->countersSinceCreation());
     T.Checkpoints += S->checkpointsWritten();
     T.HotUpgrades += S->hotUpgrades();
+    T.QuotaTrips += S->quotaTrips();
   }
   return T;
 }

@@ -103,7 +103,25 @@ struct SessionEnv {
   /// A connection whose data rate crosses this (bytes per steady second)
   /// starts shipping zero-copy page spans, upgrading its session.
   uint64_t HotBytesPerSec = 8ull << 20;
+  /// Per-session inbox quota (bytes of enqueued-but-unprocessed data):
+  /// both the default and the hard cap a HELLO `inbox-bytes=` request may
+  /// not exceed. The event loop stops reading a client whose session is
+  /// this far behind.
+  size_t MaxInboxBytes = 4 << 20;
+  /// Per-tenant window-memory quota (approximate bytes of live monitor
+  /// state, see approxWindowBytes()): default and cap for HELLO
+  /// `window-bytes=`. 0 = unlimited. A tenant crossing its quota gets a
+  /// typed `ERR quota` and the stream wedges (Failed) without disturbing
+  /// its neighbors.
+  uint64_t MaxWindowBytes = 0;
 };
+
+/// A coarse, deterministic estimate of a monitor's live window footprint
+/// in bytes — what the per-tenant `window-bytes=` quota is enforced
+/// against. Derived from the public counters (live transactions and graph
+/// edges), not malloc introspection, so it is stable across platforms and
+/// cheap enough for every flush.
+uint64_t approxWindowBytes(const MonitorStats &S);
 
 /// One tenant: a named stream with its own Monitor, format machine, and
 /// sinks. Created/attached only through SessionRegistry.
@@ -164,6 +182,14 @@ public:
   /// a client whose session is this far behind (backpressure).
   size_t inboxBytes() const {
     return InboxBytes.load(std::memory_order_relaxed);
+  }
+  /// The session's inbox backpressure threshold (HELLO `inbox-bytes=`,
+  /// clamped to SessionEnv::MaxInboxBytes). Event-loop thread only.
+  size_t inboxQuota() const { return InboxQuotaBytes; }
+  /// Typed `ERR quota` rejections this session has pushed (window-memory
+  /// trips); folded into the registry totals.
+  uint64_t quotaTrips() const {
+    return QuotaTripsAtomic.load(std::memory_order_relaxed);
   }
   /// Monotonic activity clock (steady seconds), for the idle-eviction
   /// scan.
@@ -237,6 +263,10 @@ private:
   /// cadence and the counter mirror — the pump skips both while upgraded.
   void hotFlushPoint(const IngestFlushPoint &P);
   void publishCounters();
+  /// Pump-side window-memory quota check (reads the mirror published by
+  /// publishCounters()/hotFlushPoint(), so it works in both pump modes):
+  /// over quota → quiesce, typed `ERR quota`, Failed phase.
+  void enforceWindowQuota();
   void maybeCheckpoint(bool Force);
   /// Writes one checkpoint of \p Machine at the given stream cut (shared
   /// by the pump path and the hot flush hook).
@@ -325,6 +355,15 @@ private:
       CViolations{0}, CFlushes{0}, CEvicted{0}, CForced{0}, CFlushMicros{0};
   std::atomic<bool> HotAtomic{false};
   std::atomic<uint64_t> HotUpgradesAtomic{0};
+  /// The latest approxWindowBytes() estimate (published with the counter
+  /// mirror) and the quota it is checked against. The quota is written by
+  /// the registry on (re-)attach and read by the pump, hence atomic.
+  std::atomic<uint64_t> WindowBytesApprox{0};
+  std::atomic<uint64_t> WindowQuotaBytes{0};
+  std::atomic<uint64_t> QuotaTripsAtomic{0};
+  /// Inbox backpressure threshold; event-loop thread only (written on
+  /// attach, read by the poll loop's read gate).
+  size_t InboxQuotaBytes = 4 << 20;
 
   /// Signals the registry when this session turns Dead (drain waits on
   /// it). Set by the registry at construction.
@@ -376,6 +415,7 @@ public:
     uint64_t SessionsEnded = 0;
     uint64_t Checkpoints = 0;
     uint64_t HotUpgrades = 0;
+    uint64_t QuotaTrips = 0;
     StatsSnapshot Counters;
   };
   Totals totals() const;
@@ -389,6 +429,11 @@ private:
   /// Folds a retired session's counters into the accumulators. Caller
   /// holds Mu.
   void fold(StreamSession &S);
+  /// Applies a HELLO's per-tenant quota requests to \p S, clamped to the
+  /// Env caps (the server already rejected over-cap requests with a typed
+  /// `ERR quota`; the clamp keeps direct registry users safe too).
+  /// Defaults apply where the HELLO gave nothing.
+  void applyQuotas(StreamSession &S, const HelloRequest &Req) const;
 
   SessionEnv Env;
   ThreadPool &Pool;
@@ -402,6 +447,7 @@ private:
   StatsSnapshot Retired;
   uint64_t RetiredCheckpoints = 0;
   uint64_t RetiredHotUpgrades = 0;
+  uint64_t RetiredQuotaTrips = 0;
 };
 
 } // namespace server

@@ -5,6 +5,7 @@
 #include <arpa/inet.h>
 #include <cerrno>
 #include <cstring>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <signal.h>
@@ -63,6 +64,34 @@ bool Socket::writeAll(std::string_view Data) const {
     Off += static_cast<size_t>(N);
   }
   return true;
+}
+
+long Socket::sendSome(std::string_view Data) const {
+  ignoreSigpipeOnce();
+  for (;;) {
+    ssize_t N = ::send(Fd, Data.data(), Data.size(),
+#ifdef MSG_NOSIGNAL
+                       MSG_NOSIGNAL
+#else
+                       0
+#endif
+    );
+    if (N >= 0)
+      return static_cast<long>(N);
+    if (errno == EINTR)
+      continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK)
+      return 0;
+    return -1;
+  }
+}
+
+bool Socket::setNonBlocking(bool Enable) const {
+  int Flags = ::fcntl(Fd, F_GETFL, 0);
+  if (Flags < 0)
+    return false;
+  int Want = Enable ? (Flags | O_NONBLOCK) : (Flags & ~O_NONBLOCK);
+  return Want == Flags || ::fcntl(Fd, F_SETFL, Want) == 0;
 }
 
 void Socket::shutdownWrite() const { ::shutdown(Fd, SHUT_WR); }

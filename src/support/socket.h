@@ -65,6 +65,16 @@ public:
   /// writes). Returns false on error (e.g. the peer closed).
   bool writeAll(std::string_view Data) const;
 
+  /// One non-blocking send attempt: writes as much of \p Data as the
+  /// kernel buffer takes right now. Returns the byte count (possibly
+  /// short), 0 when the buffer is full (EAGAIN/EWOULDBLOCK — poll for
+  /// POLLOUT and retry), -1 on a hard error. EINTR-retrying; the fd
+  /// should be in non-blocking mode (setNonBlocking()).
+  long sendSome(std::string_view Data) const;
+
+  /// Switches the fd's O_NONBLOCK flag. Returns false on fcntl failure.
+  bool setNonBlocking(bool Enable) const;
+
   /// Shuts down the write half (signals end-of-stream to the peer while
   /// still reading replies).
   void shutdownWrite() const;

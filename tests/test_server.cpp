@@ -114,6 +114,73 @@ TEST(ServerProtocol, CompatibilityChecksOnlyGivenOptions) {
   EXPECT_FALSE(checkCompatible(Req, "native", Existing, &Err));
 }
 
+TEST(ServerProtocol, MuxFrameHelpersRoundTrip) {
+  // Classification: frames start with '@'; '@@' is the payload escape.
+  EXPECT_TRUE(isMuxFrame("@s b 0"));
+  EXPECT_TRUE(isMuxFrame("@s"));
+  EXPECT_TRUE(isMuxFrame("@"));
+  EXPECT_FALSE(isMuxFrame("@@literal"));
+  EXPECT_FALSE(isMuxFrame("b 0"));
+  EXPECT_FALSE(isMuxFrame(""));
+
+  std::string_view Stream, Payload;
+  bool HasPayload = false;
+  ASSERT_TRUE(splitMuxFrame("@s b 0", Stream, Payload, HasPayload));
+  EXPECT_EQ(Stream, "s");
+  EXPECT_EQ(Payload, "b 0");
+  EXPECT_TRUE(HasPayload);
+  // `@s` switches without routing; `@s ` routes an empty payload.
+  ASSERT_TRUE(splitMuxFrame("@s", Stream, Payload, HasPayload));
+  EXPECT_FALSE(HasPayload);
+  ASSERT_TRUE(splitMuxFrame("@s ", Stream, Payload, HasPayload));
+  EXPECT_TRUE(HasPayload);
+  EXPECT_EQ(Payload, "");
+  // An empty stream name is malformed.
+  EXPECT_FALSE(splitMuxFrame("@", Stream, Payload, HasPayload));
+  EXPECT_FALSE(splitMuxFrame("@ x", Stream, Payload, HasPayload));
+
+  // Escaping round-trips every payload, including ones that are already
+  // escaped-looking, and never produces something classified as a frame.
+  for (std::string_view P :
+       {std::string_view("b 0"), std::string_view("@weird"),
+        std::string_view("@@already"), std::string_view(""),
+        std::string_view("END")}) {
+    std::string Wire = escapeMuxPayload(P);
+    EXPECT_EQ(unescapeMuxPayload(Wire), P) << Wire;
+    if (!P.empty() && P[0] == '@') {
+      EXPECT_FALSE(isMuxFrame(Wire)) << Wire;
+    }
+  }
+  EXPECT_EQ(escapeMuxPayload("@x"), "@@x");
+  EXPECT_EQ(escapeMuxPayload("b 0"), "b 0");
+
+  EXPECT_EQ(muxFrame("s", "END"), "@s END");
+  EXPECT_TRUE(isMuxFrame(muxFrame("orders", "b 0")));
+}
+
+TEST(ServerProtocol, ParsesHelloConnectionOptions) {
+  HelloRequest Req;
+  std::string Err;
+  ASSERT_TRUE(parseHello("HELLO s cc mux=on token=sesame inbox-bytes=1024 "
+                         "outq-bytes=2048 window-bytes=4096",
+                         Req, &Err))
+      << Err;
+  EXPECT_TRUE(Req.Mux);
+  EXPECT_EQ(Req.Token, "sesame");
+  EXPECT_EQ(Req.InboxBytes, 1024u);
+  EXPECT_EQ(Req.OutQueueBytes, 2048u);
+  EXPECT_EQ(Req.WindowBytes, 4096u);
+  // Connection options never enter the compatibility fingerprint.
+  EXPECT_TRUE(Req.Given.empty());
+
+  ASSERT_TRUE(parseHello("HELLO s cc mux=off", Req, &Err));
+  EXPECT_FALSE(Req.Mux);
+  EXPECT_FALSE(parseHello("HELLO s cc mux=maybe", Req, &Err));
+  EXPECT_FALSE(parseHello("HELLO s cc inbox-bytes=0", Req, &Err));
+  EXPECT_NE(Err.find("positive byte count"), std::string::npos) << Err;
+  EXPECT_FALSE(parseHello("HELLO s cc window-bytes=abc", Req, &Err));
+}
+
 TEST(ServerProtocol, SanitizeStreamNameIsInjectiveAndSafe) {
   EXPECT_EQ(sanitizeStreamName("orders-eu_1.log"), "orders-eu_1.log");
   // A leading dot is encoded (no hidden files, no ".." traversal) and
@@ -318,6 +385,20 @@ Reference referenceRun(const std::string &Text,
   for (std::string Line; std::getline(Lines, Line);)
     Ref.ViolationLines.push_back(Line);
   return Ref;
+}
+
+/// The value of a single-valued metric series on the rendered /metrics
+/// page; ~0 when absent.
+uint64_t metricValue(const std::string &Page, const std::string &Name) {
+  std::string Needle = Name + " ";
+  for (size_t Pos = Page.find(Needle); Pos != std::string::npos;
+       Pos = Page.find(Needle, Pos + 1)) {
+    // Only a sample line counts — not the `# TYPE <name> ...` comment.
+    if (Pos == 0 || Page[Pos - 1] == '\n')
+      return std::strtoull(Page.c_str() + Pos + Needle.size(), nullptr,
+                           10);
+  }
+  return ~0ull;
 }
 
 std::vector<std::string> fileLines(const std::string &Path) {
@@ -851,6 +932,294 @@ TEST(ServerEndToEnd, ShutdownVerbDrainsTheServer) {
   // The drain finalizes the session and says goodbye.
   EXPECT_EQ(C.readUntil("BYE"), "BYE");
   H.stop(); // idempotent join
+}
+
+//===----------------------------------------------------------------------===//
+// Production hardening: auth, per-tenant quotas, slow-client muting, and
+// multiplexed framing.
+//===----------------------------------------------------------------------===//
+
+TEST(ServerEndToEnd, AuthRejectsBeforeAnySessionStateIsCreated) {
+  ServerOptions Base;
+  Base.AuthToken = "sesame";
+  ServerHarness H(Base);
+
+  TestClient C;
+  ASSERT_TRUE(C.connect(H.port()));
+  ASSERT_TRUE(C.sendLine("HELLO a1 cc"));
+  EXPECT_EQ(C.readLine(),
+            "ERR auth token required (HELLO ... token=<secret>)");
+  ASSERT_TRUE(C.sendLine("HELLO a1 cc token=wrong"));
+  EXPECT_EQ(C.readLine(), "ERR auth bad token");
+
+  // Rejected HELLOs created nothing: no session, no sink, no checkpoint.
+  std::string Page = H.server().renderMetrics();
+  EXPECT_EQ(metricValue(Page, "awdit_server_sessions_created_total"), 0u)
+      << Page;
+  EXPECT_EQ(metricValue(Page, "awdit_server_auth_failures_total"), 2u);
+  EXPECT_FALSE(std::filesystem::exists(H.sinkDir() + "/a1.jsonl"));
+  EXPECT_FALSE(std::filesystem::exists(
+      checkpointFilePathFor(H.checkpointDir(), "a1")));
+
+  // The right token attaches normally on the same connection.
+  ASSERT_TRUE(C.sendLine("HELLO a1 cc token=sesame"));
+  ASSERT_EQ(C.readLine().rfind("OK a1 new", 0), 0u);
+  ASSERT_TRUE(C.send("b 0\nw 1 1\nc\n"));
+  ASSERT_TRUE(C.sendLine("END"));
+  EXPECT_FALSE(C.readUntil("FINAL ").empty());
+  EXPECT_EQ(C.readUntil("BYE"), "BYE");
+  EXPECT_EQ(metricValue(H.server().renderMetrics(),
+                        "awdit_server_sessions_created_total"),
+            1u);
+  H.stop();
+}
+
+TEST(ServerEndToEnd, QuotaRequestsAboveTheServerCapAreRefused) {
+  ServerOptions Base;
+  Base.MaxInboxBytes = 1 << 20;
+  Base.MaxOutQueueBytes = 1 << 20;
+  Base.MaxWindowBytes = 1 << 20;
+  ServerHarness H(Base);
+
+  TestClient C;
+  ASSERT_TRUE(C.connect(H.port()));
+  ASSERT_TRUE(C.sendLine("HELLO q1 cc inbox-bytes=2097152"));
+  EXPECT_EQ(C.readLine(),
+            "ERR quota inbox-bytes=2097152 exceeds server cap 1048576");
+  ASSERT_TRUE(C.sendLine("HELLO q1 cc outq-bytes=2097152"));
+  EXPECT_EQ(C.readLine(),
+            "ERR quota outq-bytes=2097152 exceeds server cap 1048576");
+  ASSERT_TRUE(C.sendLine("HELLO q1 cc window-bytes=2097152"));
+  EXPECT_EQ(C.readLine(),
+            "ERR quota window-bytes=2097152 exceeds server cap 1048576");
+
+  // Refused before any state was created.
+  std::string Page = H.server().renderMetrics();
+  EXPECT_EQ(metricValue(Page, "awdit_server_quota_rejects_total"), 3u);
+  EXPECT_EQ(metricValue(Page, "awdit_server_sessions_created_total"), 0u);
+
+  // Requests at or under the caps attach normally.
+  ASSERT_TRUE(C.sendLine("HELLO q1 cc inbox-bytes=1024 outq-bytes=65536 "
+                         "window-bytes=1048576"));
+  ASSERT_EQ(C.readLine().rfind("OK q1 new", 0), 0u);
+  ASSERT_TRUE(C.sendLine("END"));
+  EXPECT_FALSE(C.readUntil("FINAL ").empty());
+  EXPECT_EQ(C.readUntil("BYE"), "BYE");
+  H.stop();
+}
+
+TEST(ServerEndToEnd, WindowQuotaTripIsTypedAndDoesNotDisturbNeighbors) {
+  ServerHarness H;
+  std::string Text = writeTextHistory(generated(61, 250, /*Inject=*/true));
+  MonitorOptions Options;
+  Options.Level = IsolationLevel::CausalConsistency;
+  Options.CheckIntervalTxns = 16;
+  Options.Check.MaxWitnesses = 4;
+  Reference Ref = referenceRun(Text, Options);
+
+  // The quota-doomed tenant: any live transaction state exceeds a 1-byte
+  // self-imposed window quota.
+  TestClient A;
+  ASSERT_TRUE(A.connect(H.port()));
+  ASSERT_TRUE(A.sendLine("HELLO w1 cc interval=16 window-bytes=1"));
+  ASSERT_EQ(A.readLine().rfind("OK w1 new", 0), 0u);
+  ASSERT_TRUE(A.send(Text));
+  ASSERT_TRUE(A.sendLine("END"));
+
+  // A healthy neighbor runs to completion concurrently.
+  TestClient B;
+  ASSERT_TRUE(B.connect(H.port()));
+  ASSERT_TRUE(B.sendLine("HELLO n1 cc interval=16"));
+  ASSERT_EQ(B.readLine().rfind("OK n1 new", 0), 0u);
+  ASSERT_TRUE(B.send(Text));
+  ASSERT_TRUE(B.sendLine("END"));
+  std::string FinalB = B.readUntil("FINAL ");
+  B.readUntil("BYE");
+
+  // The doomed tenant got the typed refusal, then still finalized.
+  std::string Err = A.readUntil("ERR quota ");
+  ASSERT_FALSE(Err.empty());
+  EXPECT_NE(Err.find("window-bytes"), std::string::npos) << Err;
+  EXPECT_NE(Err.find("exceeds quota 1"), std::string::npos) << Err;
+  EXPECT_FALSE(A.readUntil("FINAL ").empty());
+  EXPECT_EQ(A.readUntil("BYE"), "BYE");
+
+  // The neighbor's record is the standalone one, untouched by the trip.
+  EXPECT_EQ(fileLines(H.sinkDir() + "/n1.jsonl"), Ref.ViolationLines);
+  EXPECT_EQ(stripStreamTag(FinalB.substr(6), "n1"), Ref.Summary);
+  EXPECT_GE(metricValue(H.server().renderMetrics(),
+                        "awdit_server_quota_trips_total"),
+            1u);
+  H.stop();
+}
+
+TEST(ServerEndToEnd, SlowReaderIsMutedWithoutDisturbingNeighbors) {
+  ServerOptions Base;
+  Base.SockSndBuf = 4096; // make the userspace output queue binding
+  ServerHarness H(Base);
+
+  // The slow client: a tiny output quota, a flood of STATS requests, and
+  // a reader that never reads. Its replies overflow the queue and the
+  // server mutes it — a counted disconnect, not a blocked write(2).
+  TestClient A;
+  ASSERT_TRUE(A.connect(H.port()));
+  ASSERT_TRUE(A.sendLine("HELLO slow cc outq-bytes=1024"));
+  ASSERT_EQ(A.readLine().rfind("OK slow new", 0), 0u);
+  std::string Flood;
+  for (int I = 0; I < 4000; ++I)
+    Flood += "STATS\n";
+  ASSERT_TRUE(A.send(Flood));
+
+  // Meanwhile a neighbor completes a full byte-identical run.
+  std::string Text = writeTextHistory(generated(62, 250, /*Inject=*/true));
+  MonitorOptions Options;
+  Options.Level = IsolationLevel::CausalConsistency;
+  Options.CheckIntervalTxns = 16;
+  Options.Check.MaxWitnesses = 4;
+  Reference Ref = referenceRun(Text, Options);
+  TestClient B;
+  ASSERT_TRUE(B.connect(H.port()));
+  ASSERT_TRUE(B.sendLine("HELLO live cc interval=16"));
+  ASSERT_EQ(B.readLine().rfind("OK live new", 0), 0u);
+  ASSERT_TRUE(B.send(Text));
+  ASSERT_TRUE(B.sendLine("END"));
+  std::string Final = B.readUntil("FINAL ");
+  B.readUntil("BYE");
+  EXPECT_EQ(fileLines(H.sinkDir() + "/live.jsonl"), Ref.ViolationLines);
+  EXPECT_EQ(stripStreamTag(Final.substr(6), "live"), Ref.Summary);
+
+  // The slow client was muted (counted), and the event loop never sat in
+  // a blocked write: the old SO_SNDTIMEO path would show multi-second
+  // stalls here.
+  uint64_t Drops = 0;
+  for (int Tries = 0; Tries < 100 && Drops == 0; ++Tries) {
+    Drops = metricValue(H.server().renderMetrics(),
+                        "awdit_server_slow_client_disconnects_total");
+    if (Drops == 0 || Drops == ~0ull)
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::string Page = H.server().renderMetrics();
+  EXPECT_GE(metricValue(Page, "awdit_server_slow_client_disconnects_total"),
+            1u)
+      << Page;
+  EXPECT_LT(metricValue(Page, "awdit_server_poll_max_stall_micros"),
+            2000000u)
+      << Page;
+  H.stop();
+}
+
+TEST(ServerEndToEnd, MuxConnectionHostsManyTenantsByteIdentical) {
+  ServerHarness H;
+  std::string T1 = writeTextHistory(generated(71, 250, /*Inject=*/true));
+  std::string T2 = writeTextHistory(generated(72, 250, /*Inject=*/false));
+  MonitorOptions Options;
+  Options.Level = IsolationLevel::CausalConsistency;
+  Options.CheckIntervalTxns = 16;
+  Options.Check.MaxWitnesses = 4;
+  Reference Ref1 = referenceRun(T1, Options);
+  Reference Ref2 = referenceRun(T2, Options);
+  ASSERT_FALSE(Ref1.ViolationLines.empty());
+
+  TestClient C;
+  ASSERT_TRUE(C.connect(H.port()));
+  // HELLO is unframed (it names its stream); its reply carries the tag.
+  ASSERT_TRUE(C.sendLine("HELLO m1 cc interval=16 mux=on"));
+  EXPECT_EQ(C.readLine(), "@m1 OK m1 new offset=0 line=0");
+  ASSERT_TRUE(C.sendLine("HELLO m2 cc interval=16 mux=on"));
+  EXPECT_EQ(C.readLine(), "@m2 OK m2 new offset=0 line=0");
+
+  // Interleave the two streams in line-aligned halves via switch frames.
+  size_t Cut1 = T1.find('\n', T1.size() / 2) + 1;
+  size_t Cut2 = T2.find('\n', T2.size() / 2) + 1;
+  ASSERT_TRUE(C.send("@m1\n" + T1.substr(0, Cut1)));
+  ASSERT_TRUE(C.send("@m2\n" + T2.substr(0, Cut2)));
+  ASSERT_TRUE(C.send("@m1\n" + T1.substr(Cut1)));
+  ASSERT_TRUE(C.send("@m2\n" + T2.substr(Cut2)));
+
+  // An explicitly-routed verb replies under that stream's tag.
+  ASSERT_TRUE(C.sendLine("@m1 STATS"));
+  std::string Stats = C.readUntil("@m1 STATS ");
+  EXPECT_NE(Stats.find("\"stream\":\"m1\""), std::string::npos) << Stats;
+  // Routing to a stream this connection never attached is refused.
+  ASSERT_TRUE(C.sendLine("@nosuch b 0"));
+  EXPECT_EQ(C.readUntil("ERR mux: unknown"),
+            "ERR mux: unknown stream 'nosuch'");
+
+  ASSERT_TRUE(C.sendLine("@m1 END"));
+  ASSERT_TRUE(C.sendLine("@m2 END"));
+  std::string Final1, Final2;
+  int ByesLeft = 2;
+  while (ByesLeft > 0) {
+    std::string Line = C.readLine();
+    ASSERT_FALSE(Line.empty());
+    if (Line.rfind("@m1 FINAL ", 0) == 0)
+      Final1 = Line.substr(10);
+    else if (Line.rfind("@m2 FINAL ", 0) == 0)
+      Final2 = Line.substr(10);
+    else if (Line == "@m1 BYE" || Line == "@m2 BYE")
+      --ByesLeft;
+  }
+
+  // Each multiplexed tenant's record equals its standalone run.
+  EXPECT_EQ(stripStreamTag(Final1, "m1"), Ref1.Summary);
+  EXPECT_EQ(stripStreamTag(Final2, "m2"), Ref2.Summary);
+  EXPECT_EQ(fileLines(H.sinkDir() + "/m1.jsonl"), Ref1.ViolationLines);
+  EXPECT_EQ(fileLines(H.sinkDir() + "/m2.jsonl"), Ref2.ViolationLines);
+  EXPECT_NE(Final2.find("\"consistent\":true"), std::string::npos);
+  H.stop();
+}
+
+TEST(ServerEndToEnd, MuxFramingEdgeCases) {
+  ServerHarness H;
+
+  // Plain and mux framing cannot mix on one connection.
+  TestClient P;
+  ASSERT_TRUE(P.connect(H.port()));
+  ASSERT_TRUE(P.sendLine("HELLO p1 cc"));
+  ASSERT_EQ(P.readLine().rfind("OK p1 new", 0), 0u);
+  ASSERT_TRUE(P.sendLine("HELLO p2 cc mux=on"));
+  EXPECT_EQ(P.readLine(),
+            "ERR cannot mix mux and plain framing on one connection");
+
+  TestClient M;
+  ASSERT_TRUE(M.connect(H.port()));
+  ASSERT_TRUE(M.sendLine("HELLO x1 cc mux=on"));
+  ASSERT_EQ(M.readLine().rfind("@x1 OK x1 new", 0), 0u);
+  // Bare lines go to the current stream; an escaped `@@` line reaches the
+  // session as a literal `@...` data line — which the parser rejects with
+  // the stream's own tagged, line-numbered ERR (proof the unescape
+  // happened and landed on the right tenant).
+  ASSERT_TRUE(M.sendLine("b 0"));
+  ASSERT_TRUE(M.sendLine("@@oops"));
+  ASSERT_TRUE(M.sendLine("@x1 END"));
+  std::string Err = M.readUntil("@x1 ERR ");
+  EXPECT_NE(Err.find("x1 line 2:"), std::string::npos) << Err;
+  EXPECT_NE(Err.find("@oops"), std::string::npos) << Err;
+  M.readUntil("@x1 BYE");
+
+  TestClient M2;
+  ASSERT_TRUE(M2.connect(H.port()));
+  ASSERT_TRUE(M2.sendLine("HELLO z1 cc mux=on"));
+  ASSERT_EQ(M2.readLine().rfind("@z1 OK z1 new", 0), 0u);
+  // HELLO must stay unframed; a frame with no stream name is malformed;
+  // a duplicate attach on the same connection is refused under its tag.
+  ASSERT_TRUE(M2.sendLine("@z1 HELLO other cc"));
+  EXPECT_EQ(M2.readLine(),
+            "ERR mux: send HELLO unframed (it names its stream)");
+  ASSERT_TRUE(M2.sendLine("@"));
+  EXPECT_EQ(M2.readLine(),
+            "ERR mux: malformed frame (want '@<stream> [line]')");
+  ASSERT_TRUE(M2.sendLine("HELLO z1 cc mux=on"));
+  EXPECT_EQ(M2.readLine(),
+            "@z1 ERR already attached to stream 'z1' on this connection");
+  // Ending the only stream clears the current-stream cursor: bare data
+  // needs an explicit switch again.
+  ASSERT_TRUE(M2.sendLine("@z1 END"));
+  M2.readUntil("@z1 BYE");
+  ASSERT_TRUE(M2.sendLine("b 0"));
+  EXPECT_EQ(M2.readLine(),
+            "ERR mux: no current stream (switch with '@<stream>')");
+  H.stop();
 }
 
 } // namespace

@@ -178,6 +178,25 @@ int usage() {
       " 0 off,\n"
       "                  default auto: 4 when the pool has >= 4)]"
       " [--hot-bytes-per-sec B]\n"
+      "                 [--auth-token SECRET (require HELLO ..."
+      " token=SECRET; rejected\n"
+      "                  sessions never create state)]\n"
+      "                 [--max-inbox-bytes B (per-session inbox"
+      " backpressure quota;\n"
+      "                  default/cap for HELLO inbox-bytes=,"
+      " default 4MiB)]\n"
+      "                 [--max-outq-bytes B (per-connection output-queue"
+      " quota; a client\n"
+      "                  not reading past this is disconnected;"
+      " default 8MiB)]\n"
+      "                 [--max-window-bytes B (per-tenant window-memory"
+      " quota; over-quota\n"
+      "                  streams get 'ERR quota' and wedge;"
+      " default unlimited)]\n"
+      "                 [--sock-sndbuf B (SO_SNDBUF for client sockets;"
+      " testing/tuning)]\n"
+      "                 (wire protocol: docs/PROTOCOL.md; operations:"
+      " docs/OPERATIONS.md)\n"
       "  awdit stats <file> [--format native|plume|dbcop]\n"
       "  awdit generate --bench random|c-twitter|tpc-c|rubis"
       " [--sessions N] [--txns N]\n"
@@ -847,6 +866,45 @@ int cmdServe(const Flags &F) {
                  "of checking passes, got '%s'\n",
                  F.getOr("checkpoint-interval", "16").c_str());
     return 2;
+  }
+  if (const std::string *Token = F.get("auth-token")) {
+    // An empty token would accept every HELLO that types `token=` — the
+    // opposite of what the flag promises. Contradictory; refuse.
+    if (Token->empty()) {
+      std::fprintf(stderr,
+                   "error: --auth-token: the token must be non-empty "
+                   "(omit the flag to disable authentication)\n");
+      return 2;
+    }
+    Options.AuthToken = *Token;
+  }
+  auto PositiveBytes = [&](const char *Name, const char *Def,
+                           size_t &Out) {
+    uint64_t V = numFlag(F, Name, Def);
+    if (V == 0) {
+      std::fprintf(stderr,
+                   "error: --%s expects a positive byte count, got '0' "
+                   "(quotas cannot be disabled, only raised)\n",
+                   Name);
+      return false;
+    }
+    Out = static_cast<size_t>(V);
+    return true;
+  };
+  if (!PositiveBytes("max-inbox-bytes", "4194304", Options.MaxInboxBytes) ||
+      !PositiveBytes("max-outq-bytes", "8388608", Options.MaxOutQueueBytes))
+    return 2;
+  Options.MaxWindowBytes = numFlag(F, "max-window-bytes", "0");
+  if (F.get("sock-sndbuf")) {
+    uint64_t Buf = numFlag(F, "sock-sndbuf", "0");
+    if (Buf == 0 || Buf > (1u << 30)) {
+      std::fprintf(stderr,
+                   "error: --sock-sndbuf expects a byte count in "
+                   "[1, 2^30], got '%s'\n",
+                   F.getOr("sock-sndbuf", "0").c_str());
+      return 2;
+    }
+    Options.SockSndBuf = static_cast<int>(Buf);
   }
 
   server::Server S(Options);

@@ -17,16 +17,38 @@
 /// \code
 ///   awdit-loadgen --port P [--host H] [--out-dir DIR]
 ///       [--chunk-bytes N] [--throttle-ms N] [--rate MBPS] [--reconnect]
-///       [--retry-sec S]
+///       [--retry-sec S] [--token SECRET] [--mux]
 ///       --stream NAME=FILE[:level=cc][:interval=N][:window=N]
 ///                [:window-edges=N][:window-age=T][:force-abort=T]
-///                [:witnesses=N][:format=native|plume|dbcop]  ...
+///                [:witnesses=N][:format=native|plume|dbcop]
+///                [:window-bytes=N][:inbox-bytes=N][:outq-bytes=N]
+///                [:stall-ms=N][:drop-every-bytes=N][:expect-quota=1] ...
 /// \endcode
 ///
 /// With --reconnect a connection that drops mid-stream (a SIGTERM-drained
 /// server, a restart) is retried until --retry-sec runs out; the re-HELLO
 /// returns the resumed byte offset and the replay continues from there —
 /// the client-side half of the server's crash-recovery story.
+///
+/// Soak-scenario knobs (the CI server-soak job drives all of them):
+///
+///  - `:stall-ms=N` — the stream's reader thread goes to sleep for N ms
+///    right after the handshake while the sender keeps feeding: a stalled
+///    consumer. The server must keep serving every other tenant (its
+///    replies queue in the per-connection output buffer, not in a
+///    blocked write(2)).
+///  - `:drop-every-bytes=N` — the sender hard-closes the connection after
+///    every N payload bytes and (with --reconnect) re-HELLOs, resuming at
+///    the server's reported offset: a reconnect storm.
+///  - `:expect-quota=1` — the stream is *expected* to be refused or
+///    wedged with a typed `ERR quota ...`; seeing one is success,
+///    finishing without one is an error.
+///  - `--mux` — all streams share ONE connection using mux framing
+///    (`@<stream> <line>`, escaping handled here): the fan-in proxy
+///    pattern. Reconnect, `stall-ms` and `drop-every-bytes` are not
+///    supported in this mode (`expect-quota` is).
+///  - `--token SECRET` — sent as `token=` on every HELLO (--auth-token
+///    servers).
 ///
 /// --rate MBPS paces each sender to at most MBPS megabytes (1e6 bytes)
 /// per second — a token-bucket over the whole replay, so short bursts at
@@ -41,6 +63,8 @@
 //===----------------------------------------------------------------------===//
 
 #include "support/socket.h"
+
+#include <sys/socket.h>
 
 #include <algorithm>
 #include <atomic>
@@ -66,6 +90,10 @@ struct StreamSpec {
   std::string Level = "cc";
   /// Raw k=v options forwarded into the HELLO line.
   std::vector<std::string> Options;
+  /// Soak knobs (consumed here, never forwarded).
+  uint64_t StallMs = 0;
+  uint64_t DropEveryBytes = 0;
+  bool ExpectQuota = false;
 };
 
 struct Config {
@@ -77,8 +105,22 @@ struct Config {
   double RateMBps = 0; // 0 = unthrottled
   bool Reconnect = false;
   uint64_t RetrySec = 30;
+  bool Mux = false;
+  std::string Token;
   std::vector<StreamSpec> Streams;
 };
+
+std::string helloLine(const Config &Cfg, const StreamSpec &Spec, bool Mux) {
+  std::string Hello = "HELLO " + Spec.Name + " " + Spec.Level;
+  for (const std::string &Opt : Spec.Options)
+    Hello += " " + Opt;
+  if (Mux)
+    Hello += " mux=on";
+  if (!Cfg.Token.empty())
+    Hello += " token=" + Cfg.Token;
+  Hello += "\n";
+  return Hello;
+}
 
 /// Buffered line reading over a blocking socket.
 class LineReader {
@@ -117,11 +159,22 @@ struct StreamResult {
   std::string ErrorText;
   bool GotFinal = false;
   bool Consistent = true;
+  /// A typed `ERR quota ...` reply was seen (success for :expect-quota=1
+  /// streams, an error for everyone else).
+  bool QuotaErr = false;
   uint64_t Violations = 0;
   uint64_t Reconnects = 0;
   uint64_t SentBytes = 0;
   uint64_t SentLines = 0;
 };
+
+/// A transient attach failure that --reconnect should retry: right after a
+/// hard drop the server may not have reaped the dead connection yet, so
+/// the re-HELLO can race an "already attached" / eviction window.
+bool isRetryableHelloErr(std::string_view Line) {
+  return Line.find("already has an attached client") != std::string::npos ||
+         Line.find("is being evicted") != std::string::npos;
+}
 
 /// One complete attach cycle: HELLO, feed from the reported offset, END,
 /// read until FINAL/BYE or disconnect. Returns false when the connection
@@ -137,11 +190,7 @@ bool runOnce(const Config &Cfg, const StreamSpec &Spec,
   }
   LineReader Reader(S);
 
-  std::string Hello = "HELLO " + Spec.Name + " " + Spec.Level;
-  for (const std::string &Opt : Spec.Options)
-    Hello += " " + Opt;
-  Hello += "\n";
-  if (!S.writeAll(Hello)) {
+  if (!S.writeAll(helloLine(Cfg, Spec, /*Mux=*/false))) {
     R.ErrorText = "write failed during HELLO";
     return false;
   }
@@ -151,8 +200,16 @@ bool runOnce(const Config &Cfg, const StreamSpec &Spec,
     return false;
   }
   if (Line.rfind("ERR", 0) == 0) {
+    if (Spec.ExpectQuota && Line.rfind("ERR quota", 0) == 0) {
+      // The refusal this stream exists to provoke.
+      R.QuotaErr = true;
+      return true;
+    }
     R.ErrorText = Line;
-    return false;
+    if (Cfg.Reconnect && isRetryableHelloErr(Line))
+      return false;
+    R.Error = true;
+    return true;
   }
   // "OK <stream> <status> offset=<N> line=<M>"
   uint64_t Offset = 0;
@@ -171,6 +228,7 @@ bool runOnce(const Config &Cfg, const StreamSpec &Spec,
   // Feed the rest of the file; the reader thread concurrently drains
   // pushed VIOLATION lines so neither side's socket buffer can deadlock.
   std::atomic<bool> SenderFailed{false};
+  std::atomic<bool> SenderDropped{false};
   std::thread Sender([&] {
     auto Start = std::chrono::steady_clock::now();
     uint64_t Sent = 0;
@@ -185,6 +243,13 @@ bool runOnce(const Config &Cfg, const StreamSpec &Spec,
       R.SentBytes += Chunk.size();
       R.SentLines += static_cast<uint64_t>(
           std::count(Chunk.begin(), Chunk.end(), '\n'));
+      if (Spec.DropEveryBytes && Sent >= Spec.DropEveryBytes) {
+        // Reconnect-storm mode: yank the connection out from under both
+        // halves. The next attach resumes at the server's offset.
+        SenderDropped.store(true);
+        ::shutdown(S.fd(), SHUT_RDWR);
+        return;
+      }
       if (Cfg.RateMBps > 0) {
         // Token bucket over the whole replay: sleep until the bytes sent
         // so far would have taken this long at the requested rate.
@@ -202,6 +267,12 @@ bool runOnce(const Config &Cfg, const StreamSpec &Spec,
     if (!S.writeAll("END\n"))
       SenderFailed.store(true);
   });
+
+  // Stalled-consumer mode: the sender keeps pushing while this reader
+  // plays dead, so any violation pushes pile up in the server's output
+  // queue for this connection (and only this connection).
+  if (Spec.StallMs)
+    std::this_thread::sleep_for(std::chrono::milliseconds(Spec.StallMs));
 
   bool SawBye = false;
   bool Draining = false;
@@ -231,8 +302,15 @@ bool runOnce(const Config &Cfg, const StreamSpec &Spec,
       SawBye = true;
       break;
     } else if (Line.rfind("ERR", 0) == 0) {
-      R.Error = true;
-      R.ErrorText = Line;
+      if (Spec.ExpectQuota && Line.rfind("ERR quota", 0) == 0) {
+        // Expected mid-stream trip (e.g. window-bytes exceeded). The
+        // server wedges the session; keep reading — the END still yields
+        // a courtesy FINAL/BYE.
+        R.QuotaErr = true;
+      } else {
+        R.Error = true;
+        R.ErrorText = Line;
+      }
     }
     // OK/STATS lines are informational here.
   }
@@ -240,8 +318,12 @@ bool runOnce(const Config &Cfg, const StreamSpec &Spec,
   Sender.join();
   if (R.Error)
     return true; // a protocol error is not retryable
-  if (!R.GotFinal || !SawBye || SenderFailed.load()) {
-    R.ErrorText = "connection dropped before FINAL";
+  if (Spec.ExpectQuota && R.QuotaErr)
+    return true; // got the refusal we came for
+  if (!R.GotFinal || !SawBye || SenderFailed.load() ||
+      SenderDropped.load()) {
+    if (R.ErrorText.empty())
+      R.ErrorText = "connection dropped before FINAL";
     return false; // retryable: the server may have drained
   }
   return true;
@@ -277,14 +359,232 @@ void runStream(const Config &Cfg, const StreamSpec &Spec, StreamResult &R) {
   }
 }
 
+/// Frames one chunk (whole lines, trailing newline) for mux transport:
+/// an `@<stream>` switch, then every payload line with a leading '@'
+/// escaped to '@@' (see server/protocol.h).
+std::string frameMuxChunk(const std::string &Stream, std::string_view Chunk) {
+  std::string Out;
+  Out.reserve(Chunk.size() + Stream.size() + 2);
+  Out += "@" + Stream + "\n";
+  size_t Pos = 0;
+  while (Pos < Chunk.size()) {
+    size_t Nl = Chunk.find('\n', Pos);
+    size_t End = Nl == std::string_view::npos ? Chunk.size() : Nl;
+    if (End > Pos && Chunk[Pos] == '@')
+      Out += '@';
+    Out.append(Chunk.data() + Pos, End - Pos);
+    Out += '\n';
+    Pos = End + 1;
+  }
+  return Out;
+}
+
+/// All streams over ONE connection with mux framing: sequential tagged
+/// HELLOs, a sender that round-robins line-aligned chunks between the
+/// streams (`@<stream>` switches, escaped payloads, `@<stream> END`), and
+/// a reader that demuxes the tagged replies. No reconnect in this mode.
+void runMuxAll(const Config &Cfg, std::vector<StreamResult> &Results) {
+  size_t N = Cfg.Streams.size();
+  auto FailAll = [&](const std::string &Text) {
+    for (StreamResult &R : Results)
+      if (!R.Error && !R.GotFinal) {
+        R.Error = true;
+        R.ErrorText = Text;
+      }
+  };
+
+  struct MuxStream {
+    std::string Text;   // file contents
+    size_t Pos = 0;     // next unsent byte
+    bool SendDone = false;
+    bool Done = false;  // saw BYE (or terminal ERR)
+    std::ofstream Jsonl;
+    bool Draining = false;
+  };
+  std::vector<MuxStream> St(N);
+  for (size_t I = 0; I < N; ++I) {
+    std::ifstream In(Cfg.Streams[I].File, std::ios::binary);
+    if (!In) {
+      Results[I].Error = true;
+      Results[I].ErrorText = "cannot open '" + Cfg.Streams[I].File + "'";
+      St[I].Done = St[I].SendDone = true;
+      continue;
+    }
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    St[I].Text = Buf.str();
+    St[I].Jsonl.open(Cfg.OutDir + "/" + Cfg.Streams[I].Name +
+                         ".client.jsonl",
+                     std::ios::app);
+  }
+
+  std::string Err;
+  Socket S = tcpConnect(Cfg.Host, Cfg.Port, &Err);
+  if (!S.valid()) {
+    FailAll(Err);
+    return;
+  }
+  LineReader Reader(S);
+
+  // Sequential handshakes: no data is in flight yet, so the next tagged
+  // reply on the wire is this stream's OK/ERR.
+  std::string Line;
+  for (size_t I = 0; I < N; ++I) {
+    if (St[I].Done)
+      continue;
+    const StreamSpec &Spec = Cfg.Streams[I];
+    if (!S.writeAll(helloLine(Cfg, Spec, /*Mux=*/true))) {
+      FailAll("write failed during HELLO");
+      return;
+    }
+    if (!Reader.next(Line)) {
+      FailAll("connection closed before HELLO reply");
+      return;
+    }
+    std::string Tag = "@" + Spec.Name + " ";
+    std::string Reply =
+        Line.rfind(Tag, 0) == 0 ? Line.substr(Tag.size()) : Line;
+    if (Reply.rfind("ERR", 0) == 0) {
+      if (Spec.ExpectQuota && Reply.rfind("ERR quota", 0) == 0)
+        Results[I].QuotaErr = true;
+      else {
+        Results[I].Error = true;
+        Results[I].ErrorText = Reply;
+      }
+      St[I].Done = St[I].SendDone = true;
+      continue;
+    }
+    size_t OffPos = Reply.find("offset=");
+    if (OffPos != std::string::npos)
+      St[I].Pos = std::min<size_t>(
+          std::strtoull(Reply.c_str() + OffPos + 7, nullptr, 10),
+          St[I].Text.size());
+  }
+
+  std::atomic<bool> SenderFailed{false};
+  std::thread Sender([&] {
+    auto Start = std::chrono::steady_clock::now();
+    uint64_t Sent = 0;
+    for (;;) {
+      bool Busy = false;
+      for (size_t I = 0; I < N; ++I) {
+        MuxStream &M = St[I];
+        if (M.SendDone)
+          continue;
+        Busy = true;
+        const std::string &Name = Cfg.Streams[I].Name;
+        std::string Frame;
+        if (M.Pos >= M.Text.size()) {
+          Frame = "@" + Name + " END\n";
+          M.SendDone = true;
+        } else {
+          // Cut at a line boundary so the next stream's switch frame
+          // cannot land mid-line.
+          size_t Want = std::min(M.Pos + Cfg.ChunkBytes, M.Text.size());
+          size_t End = M.Text.rfind('\n', Want - 1);
+          if (End == std::string::npos || End < M.Pos)
+            End = M.Text.find('\n', Want);
+          if (End == std::string::npos)
+            End = M.Text.size() - 1;
+          std::string_view Chunk =
+              std::string_view(M.Text).substr(M.Pos, End + 1 - M.Pos);
+          Frame = frameMuxChunk(Name, Chunk);
+          M.Pos = End + 1;
+          Results[I].SentBytes += Chunk.size();
+          Results[I].SentLines += static_cast<uint64_t>(
+              std::count(Chunk.begin(), Chunk.end(), '\n'));
+          Sent += Chunk.size();
+        }
+        if (!S.writeAll(Frame)) {
+          SenderFailed.store(true);
+          return;
+        }
+        if (Cfg.RateMBps > 0) {
+          auto Due = Start + std::chrono::duration_cast<
+                                 std::chrono::steady_clock::duration>(
+                                 std::chrono::duration<double>(
+                                     static_cast<double>(Sent) /
+                                     (Cfg.RateMBps * 1e6)));
+          std::this_thread::sleep_until(Due);
+        }
+        if (Cfg.ThrottleMs)
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(Cfg.ThrottleMs));
+      }
+      if (!Busy)
+        return;
+    }
+  });
+
+  // Demux the tagged replies until every live stream said BYE.
+  size_t Open = 0;
+  for (const MuxStream &M : St)
+    if (!M.Done)
+      ++Open;
+  while (Open > 0 && Reader.next(Line)) {
+    if (Line.empty() || Line[0] != '@')
+      continue; // connection-level chatter (e.g. `ERR mux: ...`)
+    size_t Sp = Line.find(' ');
+    if (Sp == std::string::npos)
+      continue;
+    std::string Name = Line.substr(1, Sp - 1);
+    std::string_view Rest = std::string_view(Line).substr(Sp + 1);
+    size_t I = 0;
+    while (I < N && Cfg.Streams[I].Name != Name)
+      ++I;
+    if (I == N || St[I].Done)
+      continue;
+    MuxStream &M = St[I];
+    StreamResult &R = Results[I];
+    if (Rest.rfind("DRAINING ", 0) == 0) {
+      M.Draining = true;
+    } else if (Rest.rfind("VIOLATION ", 0) == 0) {
+      if (!M.Draining) {
+        M.Jsonl << Rest.substr(10) << "\n";
+        M.Jsonl.flush();
+        ++R.Violations;
+      }
+    } else if (Rest.rfind("FINAL ", 0) == 0) {
+      if (!M.Draining) {
+        R.GotFinal = true;
+        R.Consistent =
+            Rest.find("\"consistent\":true") != std::string_view::npos;
+        std::ofstream Final(Cfg.OutDir + "/" + Cfg.Streams[I].Name +
+                            ".final.json");
+        Final << Rest.substr(6) << "\n";
+      }
+    } else if (Rest == "BYE") {
+      M.Done = true;
+      --Open;
+    } else if (Rest.rfind("ERR", 0) == 0) {
+      if (Cfg.Streams[I].ExpectQuota &&
+          Rest.rfind("ERR quota", 0) == 0) {
+        R.QuotaErr = true;
+      } else {
+        R.Error = true;
+        R.ErrorText = std::string(Rest);
+      }
+    }
+  }
+  if (Open > 0)
+    FailAll("connection dropped before FINAL");
+  S.shutdownWrite();
+  Sender.join();
+}
+
 int usage() {
   std::fprintf(
       stderr,
       "usage: awdit-loadgen --port P [--host H] [--out-dir DIR]\n"
       "           [--chunk-bytes N] [--throttle-ms N] [--rate MBPS]"
       " [--reconnect] [--retry-sec S]\n"
+      "           [--token SECRET] [--mux]\n"
       "           --stream NAME=FILE[:level=rc|ra|cc][:interval=N]"
-      "[:window=N][:format=F] ...\n");
+      "[:window=N][:format=F]\n"
+      "                    [:window-bytes=N][:inbox-bytes=N]"
+      "[:outq-bytes=N]\n"
+      "                    [:stall-ms=N][:drop-every-bytes=N]"
+      "[:expect-quota=1] ...\n");
   return 2;
 }
 
@@ -303,6 +603,12 @@ bool parseStreamSpec(const std::string &Arg, StreamSpec &Spec) {
         Next == std::string::npos ? std::string::npos : Next - Colon - 1);
     if (Opt.rfind("level=", 0) == 0)
       Spec.Level = Opt.substr(6);
+    else if (Opt.rfind("stall-ms=", 0) == 0)
+      Spec.StallMs = std::strtoull(Opt.c_str() + 9, nullptr, 10);
+    else if (Opt.rfind("drop-every-bytes=", 0) == 0)
+      Spec.DropEveryBytes = std::strtoull(Opt.c_str() + 17, nullptr, 10);
+    else if (Opt.rfind("expect-quota=", 0) == 0)
+      Spec.ExpectQuota = Opt.substr(13) == "1";
     else if (!Opt.empty())
       Spec.Options.push_back(Opt);
     Colon = Next;
@@ -339,6 +645,10 @@ int main(int Argc, char **Argv) {
       Cfg.RetrySec = static_cast<uint64_t>(std::atoll(Value()));
     else if (Arg == "--reconnect")
       Cfg.Reconnect = true;
+    else if (Arg == "--mux")
+      Cfg.Mux = true;
+    else if (Arg == "--token")
+      Cfg.Token = Value();
     else if (Arg == "--stream") {
       StreamSpec Spec;
       if (!parseStreamSpec(Value(), Spec)) {
@@ -358,17 +668,22 @@ int main(int Argc, char **Argv) {
   std::error_code Ec;
   std::filesystem::create_directories(Cfg.OutDir, Ec);
 
-  // One thread per stream: N concurrent tenants against the server.
+  // One thread per stream (N concurrent tenants), or — with --mux — every
+  // stream multiplexed over one connection.
   std::vector<StreamResult> Results(Cfg.Streams.size());
-  std::vector<std::thread> Threads;
-  Threads.reserve(Cfg.Streams.size());
   auto WallStart = std::chrono::steady_clock::now();
-  for (size_t I = 0; I < Cfg.Streams.size(); ++I)
-    Threads.emplace_back([&, I] {
-      runStream(Cfg, Cfg.Streams[I], Results[I]);
-    });
-  for (std::thread &T : Threads)
-    T.join();
+  if (Cfg.Mux) {
+    runMuxAll(Cfg, Results);
+  } else {
+    std::vector<std::thread> Threads;
+    Threads.reserve(Cfg.Streams.size());
+    for (size_t I = 0; I < Cfg.Streams.size(); ++I)
+      Threads.emplace_back([&, I] {
+        runStream(Cfg, Cfg.Streams[I], Results[I]);
+      });
+    for (std::thread &T : Threads)
+      T.join();
+  }
   double WallSecs = std::chrono::duration<double>(
                         std::chrono::steady_clock::now() - WallStart)
                         .count();
@@ -376,6 +691,20 @@ int main(int Argc, char **Argv) {
   bool AnyError = false, AnyInconsistent = false;
   for (size_t I = 0; I < Cfg.Streams.size(); ++I) {
     const StreamResult &R = Results[I];
+    if (Cfg.Streams[I].ExpectQuota) {
+      // Success for these streams is the typed refusal itself.
+      if (R.QuotaErr && !R.Error) {
+        std::printf("stream %s: quota-limited (expected)\n",
+                    Cfg.Streams[I].Name.c_str());
+      } else {
+        std::printf("stream %s: ERROR expected an 'ERR quota' reply%s%s\n",
+                    Cfg.Streams[I].Name.c_str(),
+                    R.ErrorText.empty() ? "" : ", got ",
+                    R.ErrorText.c_str());
+        AnyError = true;
+      }
+      continue;
+    }
     if (R.Error || !R.GotFinal) {
       std::printf("stream %s: ERROR %s\n", Cfg.Streams[I].Name.c_str(),
                   R.ErrorText.c_str());
