@@ -2,6 +2,8 @@
 
 #include "checker/checkpoint.h"
 
+#include "obs/histogram.h"
+#include "obs/trace.h"
 #include "store/segment_store.h"
 #include "support/serialize.h"
 
@@ -181,6 +183,8 @@ std::string awdit::checkpointFilePathFor(const std::string &Dir,
 
 bool awdit::writeCheckpointFileAt(const std::string &Path,
                                   std::string_view Blob, std::string *Err) {
+  AWDIT_SPAN("checkpoint.v1");
+  obs::ScopedLatency Lat(obs::metrics().CheckpointV1Write);
   auto Fail = [&](const std::string &Msg) {
     if (Err)
       *Err = Msg;
@@ -347,6 +351,8 @@ bool StoreCheckpointer::restore(Monitor &M, std::string &MachineState,
 
 bool StoreCheckpointer::write(const Monitor &M, std::string_view MachineState,
                               const CheckpointMeta &Meta, std::string *Err) {
+  AWDIT_SPAN("checkpoint.store");
+  obs::ScopedLatency Lat(obs::metrics().CheckpointStoreCommit);
   if (!Store) {
     if (Err)
       *Err = "checkpoint store not open";

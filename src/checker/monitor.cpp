@@ -5,6 +5,7 @@
 #include "checker/check_ra.h"
 #include "checker/checkpoint_chunks.h"
 #include "checker/read_consistency.h"
+#include "obs/trace.h"
 #include "support/assert.h"
 #include "support/serialize.h"
 
@@ -335,6 +336,8 @@ void Monitor::forceAbortHung() {
 }
 
 void Monitor::flush(bool Final) {
+  AWDIT_SPAN("flush");
+  uint64_t FlushT0 = obs::traceNowNanos();
   auto FlushStart = std::chrono::steady_clock::now();
   ++Stats.Flushes;
   CommitsSinceFlush = 0;
@@ -386,22 +389,47 @@ void Monitor::flush(bool Final) {
   // The incremental saturation pass: only the delta and what it reaches
   // is reprocessed; a cycle is reported the moment its closing edge is
   // inserted into the maintained topological order.
+  uint64_t DeltaPreNs = obs::traceNowNanos() - FlushT0;
   Saturation.flushDelta(Live, Ready, Found);
 
-  for (Violation &V : Found) {
-    translateToMonitorIds(V);
-    emitViolation(std::move(V));
+  uint64_t FinalizeT0 = obs::traceNowNanos();
+  {
+    AWDIT_SPAN("flush.finalize");
+    for (Violation &V : Found) {
+      translateToMonitorIds(V);
+      emitViolation(std::move(V));
+    }
+
+    Stats.GraphEdges = Saturation.numGraphEdges();
+    Stats.InferredEdges = Saturation.numInferredEdges();
+    if (!Final)
+      maybeEvict();
+    Stats.LiveTxns = Live.numTxns();
   }
 
-  Stats.GraphEdges = Saturation.numGraphEdges();
-  Stats.InferredEdges = Saturation.numInferredEdges();
-  if (!Final)
-    maybeEvict();
-  Stats.LiveTxns = Live.numTxns();
-  Stats.FlushMicros += static_cast<uint64_t>(
+  // Phase accounting: the derive + read-level segment above counts toward
+  // delta-build, the saturation pass splits itself, the tail is finalize.
+  SaturationState::FlushPhaseNanos Ph = Saturation.takeFlushPhaseNanos();
+  uint64_t Phases[obs::NumFlushPhases] = {};
+  Phases[unsigned(obs::FlushPhase::DeltaBuild)] =
+      (DeltaPreNs + Ph.DeltaBuild) / 1000;
+  Phases[unsigned(obs::FlushPhase::Speculate)] = Ph.Speculate / 1000;
+  Phases[unsigned(obs::FlushPhase::Merge)] = Ph.Merge / 1000;
+  Phases[unsigned(obs::FlushPhase::Pk)] = Ph.Pk / 1000;
+  Phases[unsigned(obs::FlushPhase::Finalize)] =
+      (obs::traceNowNanos() - FinalizeT0) / 1000;
+  obs::PipelineMetrics &M = obs::metrics();
+  for (unsigned I = 0; I < obs::NumFlushPhases; ++I) {
+    M.FlushPhases[I].record(Phases[I]);
+    PhaseMicros[I] += Phases[I];
+  }
+  uint64_t FlushMicros = static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(
           std::chrono::steady_clock::now() - FlushStart)
           .count());
+  M.FlushTotal.record(FlushMicros);
+  FlushHist.record(FlushMicros);
+  Stats.FlushMicros += FlushMicros;
 }
 
 void Monitor::translateToMonitorIds(Violation &V) const {

@@ -41,6 +41,7 @@
 #include "checker/violation_sink.h"
 #include "history/history.h"
 #include "history/wr_resolver.h"
+#include "obs/histogram.h"
 
 #include <map>
 #include <set>
@@ -272,6 +273,15 @@ public:
     return Saturation.specRecomputedRows();
   }
 
+  /// Host-local flush latency telemetry (obs/histogram.h). Like
+  /// FlushMicros it is wall-clock state: excluded from checkpoints and
+  /// summaries, consumed by `STATS deep`, the periodic stats line's
+  /// p50/p99, and the server's per-stream /metrics breakdown. The
+  /// histogram carries one sample per checking pass.
+  const obs::LatencyHistogram &flushLatency() const { return FlushHist; }
+  /// Cumulative micros per flush phase, indexed by obs::FlushPhase.
+  const uint64_t *flushPhaseMicros() const { return PhaseMicros; }
+
   /// Set when an ingestion-level error occurred (duplicate write).
   const std::string &errorText() const { return ErrText; }
 
@@ -455,6 +465,9 @@ private:
   std::vector<Violation> StreamReported;
 
   MonitorStats Stats;
+  /// Host-local flush telemetry (see flushLatency()); never serialized.
+  obs::LatencyHistogram FlushHist;
+  uint64_t PhaseMicros[obs::NumFlushPhases] = {};
   size_t CommitsSinceFlush = 0;
   /// Latest stream timestamp seen by advanceTime().
   uint64_t CurrentTime = 0;

@@ -7,6 +7,7 @@
 #include "checker/commit_graph.h"
 #include "graph/scc.h"
 #include "graph/topo_sort.h"
+#include "obs/trace.h"
 #include "support/assert.h"
 #include "support/serialize.h"
 #include "support/thread_pool.h"
@@ -200,11 +201,17 @@ void SaturationState::addSourceEdges(const History &H, uint64_t Source,
                                      std::vector<Violation> *Out) {
   if (NewEdges.empty())
     return;
+  // Edge insertion is where the Pearce–Kelly order maintenance (and its
+  // cycle extraction) runs; metered per source call, not per edge, so the
+  // clock reads stay off the per-edge path.
+  uint64_t T0 = EngineMode == Mode::Streaming ? obs::traceNowNanos() : 0;
   std::vector<uint64_t> &List = BySource[globalizeSource(Source)];
   for (uint64_t Packed : NewEdges) {
     List.push_back(globalizePacked(Packed));
     insertLive(H, Packed, IsBase, Out);
   }
+  if (EngineMode == Mode::Streaming)
+    PhaseNs.Pk += obs::traceNowNanos() - T0;
 }
 
 void SaturationState::clearSource(uint64_t Source, bool IsBase) {
@@ -594,26 +601,34 @@ void SaturationState::flushDelta(const History &H,
                                  std::vector<Violation> &Out) {
   AWDIT_ASSERT(EngineMode == Mode::Streaming,
                "flushDelta: batch-mode state takes coldStart/batches");
-  ensureSizes(H);
-  retryQuarantined(H);
+  uint64_t DeltaT0 = obs::traceNowNanos();
+  {
+    AWDIT_SPAN("flush.delta");
+    ensureSizes(H);
+    retryQuarantined(H);
 
-  // Base-graph delta: the so chain grows at each first-processed commit;
-  // a (re-)derived reader replaces its wr contribution.
-  for (TxnId L : Ready) {
-    const Transaction &T = H.txn(L);
-    AWDIT_ASSERT(T.Committed, "flushDelta: ready txn must be committed");
-    if (!Processed[L]) {
-      Processed[L] = 1;
-      if (T.SoIndex > 0) {
-        TxnId Pred = H.sessionTxns(T.Session)[T.SoIndex - 1];
-        addSourceEdges(H, soSource(T.Session), /*IsBase=*/true,
-                       {pack(Pred, L)}, &Out);
+    // Base-graph delta: the so chain grows at each first-processed
+    // commit; a (re-)derived reader replaces its wr contribution.
+    for (TxnId L : Ready) {
+      const Transaction &T = H.txn(L);
+      AWDIT_ASSERT(T.Committed, "flushDelta: ready txn must be committed");
+      if (!Processed[L]) {
+        Processed[L] = 1;
+        if (T.SoIndex > 0) {
+          TxnId Pred = H.sessionTxns(T.Session)[T.SoIndex - 1];
+          addSourceEdges(H, soSource(T.Session), /*IsBase=*/true,
+                         {pack(Pred, L)}, &Out);
+        }
+        if (Level == IsolationLevel::CausalConsistency)
+          appendWriterEntries(H, L);
       }
-      if (Level == IsolationLevel::CausalConsistency)
-        appendWriterEntries(H, L);
+      setReaderWrEdges(H, L, &Out);
     }
-    setReaderWrEdges(H, L, &Out);
   }
+  uint64_t MergeT0 = obs::traceNowNanos();
+  PhaseNs.DeltaBuild += MergeT0 - DeltaT0;
+  uint64_t SpecBeforeNs = PhaseNs.Speculate;
+  AWDIT_SPAN("flush.merge");
 
   switch (Level) {
   case IsolationLevel::ReadCommitted: {
@@ -686,8 +701,12 @@ void SaturationState::flushDelta(const History &H,
     RowEpochs.ensureSlots(Processed.size());
     RowEpochs.beginEpoch();
     SpecMap Spec;
-    if (SpecPool && !NeedsFullHbRecompute && Ready.size() >= SpecMinBatch)
+    if (SpecPool && !NeedsFullHbRecompute && Ready.size() >= SpecMinBatch) {
+      AWDIT_SPAN("flush.speculate");
+      uint64_t SpecT0 = obs::traceNowNanos();
       speculateCc(H, Ready, Spec);
+      PhaseNs.Speculate += obs::traceNowNanos() - SpecT0;
+    }
 
     std::vector<TxnId> Changed;
     propagateHappensBefore(H, Ready, Changed, Spec.empty() ? nullptr : &Spec);
@@ -719,6 +738,11 @@ void SaturationState::flushDelta(const History &H,
     break;
   }
   }
+  // Speculation ran inside the merge window on this thread; carve it out
+  // so the two phases stay disjoint in the breakdown.
+  uint64_t MergeNs = obs::traceNowNanos() - MergeT0;
+  uint64_t SpecNs = PhaseNs.Speculate - SpecBeforeNs;
+  PhaseNs.Merge += MergeNs > SpecNs ? MergeNs - SpecNs : 0;
 }
 
 //===----------------------------------------------------------------------===//

@@ -125,6 +125,27 @@ public:
   /// Reader-inference edge sets adopted from speculation at the merge.
   uint64_t specAdoptedEdgeSets() const { return SpecAdoptedEdgeSets; }
 
+  /// Host-local wall-clock spent inside the current/last flushDelta, in
+  /// nanoseconds, split by phase. DeltaBuild/Speculate/Merge partition
+  /// the pass; Pk overlaps them (it accumulates inside the edge-insertion
+  /// / topological-order maintenance the other phases call into). Like
+  /// the speculation counters this is telemetry only: never serialized,
+  /// never part of a verdict or summary.
+  struct FlushPhaseNanos {
+    uint64_t DeltaBuild = 0;
+    uint64_t Speculate = 0;
+    uint64_t Merge = 0;
+    uint64_t Pk = 0;
+  };
+
+  /// Returns and resets the phase accumulators — the Monitor drains them
+  /// once per flush into the observability histograms (obs/histogram.h).
+  FlushPhaseNanos takeFlushPhaseNanos() {
+    FlushPhaseNanos R = PhaseNs;
+    PhaseNs = FlushPhaseNanos();
+    return R;
+  }
+
   // --- Batch feeds. ---
 
   /// Runs the batch saturation kernels over the whole history — the
@@ -388,6 +409,7 @@ private:
   uint64_t SpecAdoptedRows = 0;
   uint64_t SpecRecomputedRows = 0;
   uint64_t SpecAdoptedEdgeSets = 0;
+  FlushPhaseNanos PhaseNs;
 
   // --- Batch-mode edge collection. ---
 

@@ -3,9 +3,29 @@
 #include "io/sharded_ingest.h"
 
 #include "io/token_util.h"
+#include "obs/histogram.h"
+#include "obs/trace.h"
 #include "support/thread_pool.h"
 
 using namespace awdit;
+
+namespace {
+
+/// Enqueue with backpressure metering: the fast path is one tryPush; only
+/// when the queue is actually full does the blocking push run under a
+/// queue-wait timer. Depth is sampled after the enqueue (batch granularity
+/// — a few samples per 16KiB of stream, invisible in profiles).
+template <typename T> void pushMetered(SpscQueue<T> &Q, T &&Value) {
+  if (!Q.tryPush(std::move(Value))) {
+    obs::ScopedLatency Wait(obs::metrics().IngestQueueWait);
+    Q.push(std::move(Value));
+  }
+  size_t Depth = Q.size();
+  obs::metrics().IngestQueueDepth.record(Depth);
+  obs::traceCounter("ingest.queue_depth", static_cast<double>(Depth));
+}
+
+} // namespace
 
 ShardedMonitorIngest::ShardedMonitorIngest(Monitor &M,
                                            const std::string &Format,
@@ -133,6 +153,9 @@ void ShardedMonitorIngest::dealSpan(PageSpan Span) {
   // single-threaded path. Steady streams arrive in large read chunks, so
   // their batches are naturally full. Each cut is a sub-span of the same
   // page: the bytes never move, only refcounts do.
+  AWDIT_SPAN("ingest.read");
+  obs::ScopedLatency Lat(
+      obs::metrics().IngestStages[unsigned(obs::IngestStage::Reader)]);
   std::string_view V = Span.view();
   size_t Pos = 0;
   while (Pos < V.size()) {
@@ -145,7 +168,7 @@ void ShardedMonitorIngest::dealSpan(PageSpan Span) {
     }
     RawBatch Raw{PageSpan{Span.Page, Span.Begin + Pos, Span.Begin + End + 1}};
     Pos = End + 1;
-    ToShard[NextShard % NumShards]->push(std::move(Raw));
+    pushMetered(*ToShard[NextShard % NumShards], std::move(Raw));
     ++NextShard;
   }
 }
@@ -175,9 +198,18 @@ ShardedMonitorIngest::decodeBatch(const RawBatch &Raw) const {
 }
 
 void ShardedMonitorIngest::workerLoop(size_t Shard) {
+  obs::setTraceThreadName("shard-" + std::to_string(Shard));
   RawBatch Raw;
-  while (ToShard[Shard]->pop(Raw))
-    ToApplier[Shard]->push(decodeBatch(Raw));
+  while (ToShard[Shard]->pop(Raw)) {
+    DecodedBatch Decoded;
+    {
+      AWDIT_SPAN("ingest.decode");
+      obs::ScopedLatency Lat(
+          obs::metrics().IngestStages[unsigned(obs::IngestStage::Decode)]);
+      Decoded = decodeBatch(Raw);
+    }
+    pushMetered(*ToApplier[Shard], std::move(Decoded));
+  }
   ToApplier[Shard]->close();
 }
 
@@ -211,11 +243,15 @@ void ShardedMonitorIngest::applyLine(const DecodedLine &L) {
 }
 
 void ShardedMonitorIngest::applyBatch(const DecodedBatch &Batch) {
+  AWDIT_SPAN("ingest.apply");
+  obs::ScopedLatency Lat(
+      obs::metrics().IngestStages[unsigned(obs::IngestStage::Apply)]);
   for (const DecodedLine &L : Batch.Lines)
     applyLine(L);
 }
 
 void ShardedMonitorIngest::applierLoop() {
+  obs::setTraceThreadName("applier");
   DecodedBatch Batch;
   // Pop in the exact order the reader dealt: round-robin over the shards.
   // The first closed-and-drained queue ends the stream — the deal is

@@ -1,0 +1,265 @@
+//===- obs/trace.cpp - Per-thread lock-free span tracing -------------------===//
+
+#include "obs/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+using namespace awdit;
+using namespace awdit::obs;
+
+std::atomic<bool> awdit::obs::detail::TraceOn{false};
+
+namespace {
+
+enum class EventKind : uint32_t { Span = 0, Counter = 1 };
+
+/// One ring slot: a seqlock of relaxed atomics. The owner thread writes
+/// (odd seq → fields → even seq with a release fence between the odd
+/// store and the fields, release on the closing store); a dumper accepts
+/// a slot only when it reads the same even sequence before and after the
+/// fields, so a slot being overwritten is skipped, never torn. All-atomic
+/// fields keep the race well-defined (and TSan-clean).
+struct Slot {
+  std::atomic<uint32_t> Seq{0};
+  std::atomic<uint32_t> Kind{0};
+  std::atomic<const char *> Name{nullptr};
+  std::atomic<uint64_t> StartNs{0};
+  std::atomic<uint64_t> DurNs{0}; // Counter events: the value's bits
+};
+
+struct ThreadRing {
+  explicit ThreadRing(uint32_t Tid) : Tid(Tid), Slots(TraceRingSlots) {}
+  const uint32_t Tid;
+  std::vector<Slot> Slots;
+  /// Monotonic write index; owner-incremented, dumper-read.
+  std::atomic<uint64_t> Next{0};
+  /// Events below this index are cleared (traceClear sets it to Next).
+  std::atomic<uint64_t> DroppedBefore{0};
+  /// Guarded by the registry mutex (set rarely, read at dump).
+  std::string Name;
+};
+
+struct Registry {
+  std::mutex Mu;
+  std::vector<std::shared_ptr<ThreadRing>> Rings;
+  uint32_t NextTid = 1;
+};
+
+Registry &registry() {
+  static Registry *R = new Registry; // never destroyed: threads may
+  return *R;                         // record during static teardown
+}
+
+ThreadRing &threadRing() {
+  thread_local std::shared_ptr<ThreadRing> Ring = [] {
+    Registry &R = registry();
+    std::lock_guard<std::mutex> Lock(R.Mu);
+    auto P = std::make_shared<ThreadRing>(R.NextTid++);
+    R.Rings.push_back(P);
+    return P;
+  }();
+  return *Ring;
+}
+
+void writeSlot(ThreadRing &Ring, EventKind Kind, const char *Name,
+               uint64_t StartNs, uint64_t DurBits) {
+  uint64_t I = Ring.Next.load(std::memory_order_relaxed);
+  Slot &S = Ring.Slots[I & (TraceRingSlots - 1)];
+  uint32_t Seq = S.Seq.load(std::memory_order_relaxed);
+  S.Seq.store(Seq + 1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  S.Kind.store(static_cast<uint32_t>(Kind), std::memory_order_relaxed);
+  S.Name.store(Name, std::memory_order_relaxed);
+  S.StartNs.store(StartNs, std::memory_order_relaxed);
+  S.DurNs.store(DurBits, std::memory_order_relaxed);
+  S.Seq.store(Seq + 2, std::memory_order_release);
+  Ring.Next.store(I + 1, std::memory_order_release);
+}
+
+/// A stable copy of one slot, or false when it was mid-overwrite.
+struct EventCopy {
+  EventKind Kind;
+  const char *Name;
+  uint64_t StartNs;
+  uint64_t DurBits;
+};
+
+bool readSlot(const Slot &S, EventCopy &Out) {
+  uint32_t S1 = S.Seq.load(std::memory_order_acquire);
+  if (S1 & 1)
+    return false;
+  Out.Kind = static_cast<EventKind>(S.Kind.load(std::memory_order_relaxed));
+  Out.Name = S.Name.load(std::memory_order_relaxed);
+  Out.StartNs = S.StartNs.load(std::memory_order_relaxed);
+  Out.DurBits = S.DurNs.load(std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_acquire);
+  return S.Seq.load(std::memory_order_relaxed) == S1 && Out.Name != nullptr;
+}
+
+void appendJsonEscaped(std::string &Out, std::string_view S) {
+  for (char C : S) {
+    if (C == '"' || C == '\\') {
+      Out += '\\';
+      Out += C;
+    } else if (static_cast<unsigned char>(C) < 0x20) {
+      char Buf[8];
+      std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+      Out += Buf;
+    } else {
+      Out += C;
+    }
+  }
+}
+
+void appendMicros(std::string &Out, uint64_t Ns) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%llu.%03llu",
+                static_cast<unsigned long long>(Ns / 1000),
+                static_cast<unsigned long long>(Ns % 1000));
+  Out += Buf;
+}
+
+} // namespace
+
+uint64_t awdit::obs::traceNowNanos() {
+  static const std::chrono::steady_clock::time_point Epoch =
+      std::chrono::steady_clock::now();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - Epoch)
+          .count());
+}
+
+void awdit::obs::setTraceEnabled(bool On) {
+  (void)traceNowNanos(); // pin the epoch before the first span
+  detail::TraceOn.store(On, std::memory_order_relaxed);
+}
+
+void awdit::obs::setTraceThreadName(std::string_view Name) {
+  ThreadRing &Ring = threadRing();
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mu);
+  Ring.Name.assign(Name.data(), Name.size());
+}
+
+void awdit::obs::detail::recordSpan(const char *Name, uint64_t StartNs) {
+  writeSlot(threadRing(), EventKind::Span, Name, StartNs,
+            traceNowNanos() - StartNs);
+}
+
+void awdit::obs::detail::recordCounter(const char *Name, double Value) {
+  uint64_t Bits;
+  static_assert(sizeof(Bits) == sizeof(Value));
+  __builtin_memcpy(&Bits, &Value, sizeof(Bits));
+  writeSlot(threadRing(), EventKind::Counter, Name, traceNowNanos(), Bits);
+}
+
+void awdit::obs::traceClear() {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mu);
+  for (auto &Ring : R.Rings)
+    Ring->DroppedBefore.store(Ring->Next.load(std::memory_order_acquire),
+                              std::memory_order_release);
+}
+
+std::string awdit::obs::traceDumpJson() {
+  // Snapshot the ring list, then walk each ring without the lock: the
+  // record path never takes it, so holding it would not stop writers
+  // anyway — the per-slot seqlocks carry the race.
+  std::vector<std::shared_ptr<ThreadRing>> Rings;
+  std::vector<std::string> Names;
+  {
+    Registry &R = registry();
+    std::lock_guard<std::mutex> Lock(R.Mu);
+    Rings = R.Rings;
+    for (auto &Ring : Rings)
+      Names.push_back(Ring->Name);
+  }
+
+  std::string Out = "{\"traceEvents\":[";
+  bool First = true;
+  auto Sep = [&] {
+    if (!First)
+      Out += ",\n";
+    First = false;
+  };
+  for (size_t I = 0; I < Rings.size(); ++I) {
+    const ThreadRing &Ring = *Rings[I];
+    if (!Names[I].empty()) {
+      Sep();
+      Out += "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":1,\"tid\":";
+      Out += std::to_string(Ring.Tid);
+      Out += ",\"args\":{\"name\":\"";
+      appendJsonEscaped(Out, Names[I]);
+      Out += "\"}}";
+    }
+    uint64_t End = Ring.Next.load(std::memory_order_acquire);
+    uint64_t Floor = Ring.DroppedBefore.load(std::memory_order_acquire);
+    uint64_t Lo = End > TraceRingSlots ? End - TraceRingSlots : 0;
+    if (Lo < Floor)
+      Lo = Floor;
+    for (uint64_t J = Lo; J < End; ++J) {
+      EventCopy E;
+      if (!readSlot(Ring.Slots[J & (TraceRingSlots - 1)], E))
+        continue;
+      Sep();
+      if (E.Kind == EventKind::Counter) {
+        double Value;
+        __builtin_memcpy(&Value, &E.DurBits, sizeof(Value));
+        char Buf[32];
+        std::snprintf(Buf, sizeof(Buf), "%.6g", Value);
+        Out += "{\"ph\":\"C\",\"name\":\"";
+        appendJsonEscaped(Out, E.Name);
+        Out += "\",\"cat\":\"awdit\",\"pid\":1,\"tid\":";
+        Out += std::to_string(Ring.Tid);
+        Out += ",\"ts\":";
+        appendMicros(Out, E.StartNs);
+        Out += ",\"args\":{\"value\":";
+        Out += Buf;
+        Out += "}}";
+      } else {
+        Out += "{\"ph\":\"X\",\"name\":\"";
+        appendJsonEscaped(Out, E.Name);
+        Out += "\",\"cat\":\"awdit\",\"pid\":1,\"tid\":";
+        Out += std::to_string(Ring.Tid);
+        Out += ",\"ts\":";
+        appendMicros(Out, E.StartNs);
+        Out += ",\"dur\":";
+        appendMicros(Out, E.DurBits);
+        Out += "}";
+      }
+    }
+  }
+  Out += "]}\n";
+  return Out;
+}
+
+bool awdit::obs::writeTraceFile(const std::string &Path, std::string *Err) {
+  auto Fail = [&](const std::string &Msg) {
+    if (Err)
+      *Err = Msg;
+    return false;
+  };
+  std::string Json = traceDumpJson();
+  std::string Tmp = Path + ".tmp";
+  std::FILE *F = std::fopen(Tmp.c_str(), "wb");
+  if (!F)
+    return Fail("cannot open '" + Tmp + "' for writing");
+  size_t Written = std::fwrite(Json.data(), 1, Json.size(), F);
+  bool Ok = Written == Json.size();
+  if (std::fclose(F) != 0)
+    Ok = false;
+  if (!Ok) {
+    std::remove(Tmp.c_str());
+    return Fail("short write to '" + Tmp + "'");
+  }
+  if (std::rename(Tmp.c_str(), Path.c_str()) != 0) {
+    std::remove(Tmp.c_str());
+    return Fail("cannot rename '" + Tmp + "' to '" + Path + "'");
+  }
+  return true;
+}

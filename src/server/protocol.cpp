@@ -28,7 +28,14 @@ Verb awdit::server::classifyLine(std::string_view Line) {
     return Verb::End;
   if (Tok == "SHUTDOWN")
     return Verb::Shutdown;
+  if (Tok == "TRACE")
+    return Verb::Trace;
   return Verb::None;
+}
+
+bool awdit::server::statsWantsDeep(std::string_view Line) {
+  std::vector<std::string_view> Tok = tokenize(Line);
+  return Tok.size() >= 2 && Tok[0] == "STATS" && Tok[1] == "deep";
 }
 
 bool awdit::server::parseHello(std::string_view Line, HelloRequest &Req,

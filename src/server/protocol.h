@@ -20,9 +20,14 @@
 ///       connection options (not part of the compatibility fingerprint):
 ///                token=S mux=on inbox-bytes=N outq-bytes=N window-bytes=N
 ///   STATS                                    one-line JSON session stats
+///   STATS deep                               adds latency percentiles and
+///                                            flush-phase breakdowns
 ///   DETACH                                   detach; the session stays live
 ///   END                                      stream complete: finalize,
 ///                                            report, remove the session
+///   TRACE on|off|dump                        control span recording; dump
+///                                            writes Chrome-trace JSON into
+///                                            the server's --trace-dir
 ///   SHUTDOWN                                 drain the whole server
 ///
 /// Server replies (always one line):
@@ -77,6 +82,7 @@ enum class Verb : uint8_t {
   Detach,
   End,
   Shutdown,
+  Trace,
 };
 
 /// Classifies one line (no trailing newline). Only exact upper-case
@@ -84,6 +90,11 @@ enum class Verb : uint8_t {
 /// which use lower-case directives, digits, or `R`/`W`/`sessions`/`txn`
 /// tokens) pass through untouched.
 Verb classifyLine(std::string_view Line);
+
+/// True for the `STATS deep` form (the caller already classified the line
+/// as Verb::Stats): the reply adds flush-latency percentiles and the
+/// per-phase time breakdown to the counter JSON.
+bool statsWantsDeep(std::string_view Line);
 
 /// A parsed HELLO line.
 struct HelloRequest {

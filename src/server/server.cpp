@@ -3,12 +3,15 @@
 #include "server/server.h"
 
 #include "io/token_util.h"
+#include "obs/histogram.h"
+#include "obs/trace.h"
 
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/time.h>
@@ -33,13 +36,23 @@ void appendLabelEscaped(std::string &Out, std::string_view Text) {
   }
 }
 
-void metricLine(std::string &Out, const char *Name, const char *Type,
-                uint64_t Value) {
+void metricHeader(std::string &Out, const char *Name, const char *Help,
+                  const char *Type) {
+  Out += "# HELP ";
+  Out += Name;
+  Out += ' ';
+  Out += Help;
+  Out += '\n';
   Out += "# TYPE ";
   Out += Name;
   Out += ' ';
   Out += Type;
   Out += '\n';
+}
+
+void metricLine(std::string &Out, const char *Name, const char *Help,
+                const char *Type, uint64_t Value) {
+  metricHeader(Out, Name, Help, Type);
   Out += Name;
   Out += ' ';
   Out += std::to_string(Value);
@@ -93,8 +106,14 @@ struct Server::Conn : ResponseWriter,
   std::atomic<bool> WriteFailed{false};
 
   // --- Output queue (WriteMu). ---
+  /// One queued reply line plus its enqueue timestamp, so the drain can
+  /// record the enqueue-to-wire residency histogram.
+  struct OutMsg {
+    std::string Bytes;
+    uint64_t EnqueueNs;
+  };
   std::mutex WriteMu;
-  std::deque<std::string> OutQ;
+  std::deque<OutMsg> OutQ;
   /// Bytes of OutQ.front() already sent (partial non-blocking sends).
   size_t OutHead = 0;
   /// Total un-sent bytes across OutQ.
@@ -112,6 +131,7 @@ struct Server::Conn : ResponseWriter,
     if (WriteFailed.load(std::memory_order_relaxed))
       return;
     bool Wake = false;
+    size_t Depth = 0;
     {
       std::lock_guard<std::mutex> L(WriteMu);
       if (!Sock.valid())
@@ -132,9 +152,12 @@ struct Server::Conn : ResponseWriter,
         std::string Out = Line;
         Out += '\n';
         OutBytes += Out.size();
-        OutQ.push_back(std::move(Out));
+        OutQ.push_back({std::move(Out), obs::traceNowNanos()});
+        Depth = OutBytes;
       }
     }
+    if (Depth)
+      obs::metrics().ServerOutqDepth.record(Depth);
     if (Wake && WakeFd >= 0) {
       char B = 1;
       // Best effort; a full pipe means a wakeup is already pending.
@@ -222,6 +245,16 @@ bool Server::start(std::string *Err) {
   if (Options.EnableMetrics &&
       !MetricsListener.listenOn(Options.Host, Options.MetricsPort, Err))
     return false;
+  if (!Options.TraceDir.empty()) {
+    std::error_code Ec;
+    std::filesystem::create_directories(Options.TraceDir, Ec);
+    if (Ec) {
+      if (Err)
+        *Err = "cannot create trace dir '" + Options.TraceDir +
+               "': " + Ec.message();
+      return false;
+    }
+  }
   return true;
 }
 
@@ -272,6 +305,11 @@ void Server::flushBatch(const std::shared_ptr<Conn> &C) {
 
 void Server::handleHello(const std::shared_ptr<Conn> &C,
                          std::string_view Line) {
+  // HELLO-to-OK-queued latency: the handshake runs inline on the event
+  // loop (parse, auth, checkpoint restore on resume), so this histogram is
+  // both the client's attach experience and a loop-stall witness.
+  AWDIT_SPAN("server.hello");
+  obs::ScopedLatency Lat(obs::metrics().ServerHello);
   HelloRequest Req;
   std::string Err;
   if (!parseHello(Line, Req, &Err)) {
@@ -354,7 +392,43 @@ void Server::handleHello(const std::shared_ptr<Conn> &C,
         " line=" + std::to_string(R.LineNo));
 }
 
-std::string Server::serverStatsJson() const {
+void Server::handleTrace(const std::shared_ptr<Conn> &C,
+                         std::string_view Line) {
+  std::vector<std::string_view> Tok = io::tokenize(Line);
+  std::string_view Arg = Tok.size() >= 2 ? Tok[1] : std::string_view();
+  if (Arg == "on") {
+    // A fresh window: operators turn tracing on to look at *now*, not at
+    // whatever the rings held from a forgotten earlier session.
+    obs::traceClear();
+    obs::setTraceEnabled(true);
+    C->sendLine("OK trace on");
+    return;
+  }
+  if (Arg == "off") {
+    obs::setTraceEnabled(false);
+    C->sendLine("OK trace off");
+    return;
+  }
+  if (Arg == "dump") {
+    if (Options.TraceDir.empty()) {
+      C->sendLine("ERR trace dump needs the server started with "
+                  "--trace-dir");
+      return;
+    }
+    std::string Path = Options.TraceDir + "/trace-" +
+                       std::to_string(++TraceDumpSeq) + ".json";
+    std::string Err;
+    if (!obs::writeTraceFile(Path, &Err)) {
+      C->sendLine("ERR trace " + Err);
+      return;
+    }
+    C->sendLine("OK trace dumped " + Path);
+    return;
+  }
+  C->sendLine("ERR TRACE wants on|off|dump");
+}
+
+std::string Server::serverStatsJson(bool Deep) const {
   SessionRegistry::Totals T = Registry->totals();
   std::string Out = "{\"sessions_live\":" +
                     std::to_string(T.SessionsLive) +
@@ -368,7 +442,26 @@ std::string Server::serverStatsJson() const {
                     ",\"checkpoints\":" + std::to_string(T.Checkpoints) +
                     ",\"hot_upgrades\":" + std::to_string(T.HotUpgrades) +
                     ",\"quota_trips\":" + std::to_string(T.QuotaTrips) +
-                    ",\"totals\":" + T.Counters.toJson() + "}";
+                    ",\"totals\":" + T.Counters.toJson();
+  if (Deep) {
+    // The process-wide pipeline latency percentiles, one object per
+    // histogram family (same data /metrics renders as buckets).
+    const obs::PipelineMetrics &PM = obs::metrics();
+    auto Field = [&Out](const char *Name, const obs::LatencyHistogram &H) {
+      Out += ",\"";
+      Out += Name;
+      Out += "\":";
+      Out += H.snapshot().percentilesJson();
+    };
+    Field("flush", PM.FlushTotal);
+    Field("server_pump", PM.ServerPump);
+    Field("server_hello", PM.ServerHello);
+    Field("server_output_queue", PM.ServerOutputQueue);
+    Field("ingest_queue_wait", PM.IngestQueueWait);
+    Field("checkpoint_v1", PM.CheckpointV1Write);
+    Field("checkpoint_store", PM.CheckpointStoreCommit);
+  }
+  Out += "}";
   return Out;
 }
 
@@ -389,11 +482,17 @@ void Server::handleLine(const std::shared_ptr<Conn> &C,
     if (C->Session) {
       StreamSession::Item I;
       I.K = StreamSession::Item::Kind::Stats;
+      I.Deep = statsWantsDeep(Line);
       C->Session->enqueue(std::move(I), *Pool);
     } else {
       // Pre-HELLO STATS: the whole-server view.
-      C->sendLine("STATS " + serverStatsJson());
+      C->sendLine("STATS " + serverStatsJson(statsWantsDeep(Line)));
     }
+    return;
+
+  case Verb::Trace:
+    flushBatch(C);
+    handleTrace(C, Line);
     return;
 
   case Verb::Detach:
@@ -493,10 +592,15 @@ void Server::handleMuxLine(const std::shared_ptr<Conn> &C,
     requestShutdown();
     return;
   }
+  if (V == Verb::Trace) {
+    flushBatch(C);
+    handleTrace(C, Line);
+    return;
+  }
   if (C->CurStream.empty()) {
     if (V == Verb::Stats) {
       flushBatch(C);
-      C->sendLine("STATS " + serverStatsJson());
+      C->sendLine("STATS " + serverStatsJson(statsWantsDeep(Line)));
       return;
     }
     // Tolerate blank lines/comments, as pre-HELLO plain mode does.
@@ -536,8 +640,18 @@ void Server::routeMuxPayload(const std::shared_ptr<Conn> &C,
     C->Batch.Bytes += Payload.size() + 1;
     return;
 
-  case Verb::Stats:
-    Enqueue(StreamSession::Item::Kind::Stats);
+  case Verb::Stats: {
+    flushBatch(C);
+    StreamSession::Item I;
+    I.K = StreamSession::Item::Kind::Stats;
+    I.Deep = statsWantsDeep(Payload);
+    S->enqueue(std::move(I), *Pool);
+    return;
+  }
+
+  case Verb::Trace:
+    flushBatch(C);
+    handleTrace(C, Payload);
     return;
 
   case Verb::Detach:
@@ -676,53 +790,144 @@ void Server::closeConn(const std::shared_ptr<Conn> &C) {
 std::string Server::renderMetrics() const {
   SessionRegistry::Totals T = Registry->totals();
   std::string Out;
-  metricLine(Out, "awdit_server_sessions_live", "gauge", T.SessionsLive);
-  metricLine(Out, "awdit_server_sessions_created_total", "counter",
-             T.SessionsCreated);
-  metricLine(Out, "awdit_server_sessions_resumed_total", "counter",
+  metricLine(Out, "awdit_server_sessions_live",
+             "Stream sessions currently held by the registry.", "gauge",
+             T.SessionsLive);
+  metricLine(Out, "awdit_server_sessions_created_total",
+             "Sessions created (fresh or resumed) since process start.",
+             "counter", T.SessionsCreated);
+  metricLine(Out, "awdit_server_sessions_resumed_total",
+             "Sessions restored from a per-stream checkpoint.", "counter",
              T.SessionsResumed);
-  metricLine(Out, "awdit_server_sessions_evicted_total", "counter",
+  metricLine(Out, "awdit_server_sessions_evicted_total",
+             "Idle detached sessions checkpointed and evicted.", "counter",
              T.SessionsEvicted);
-  metricLine(Out, "awdit_server_sessions_ended_total", "counter",
-             T.SessionsEnded);
-  metricLine(Out, "awdit_server_checkpoints_total", "counter",
-             T.Checkpoints);
-  metricLine(Out, "awdit_server_hot_upgrades_total", "counter",
+  metricLine(Out, "awdit_server_sessions_ended_total",
+             "Sessions ended by the END verb.", "counter", T.SessionsEnded);
+  metricLine(Out, "awdit_server_checkpoints_total",
+             "Per-stream checkpoints written.", "counter", T.Checkpoints);
+  metricLine(Out, "awdit_server_hot_upgrades_total",
+             "Sessions upgraded to the sharded ingest pipeline.", "counter",
              T.HotUpgrades);
-  metricLine(Out, "awdit_server_quota_trips_total", "counter",
-             T.QuotaTrips);
-  metricLine(Out, "awdit_server_quota_rejects_total", "counter",
-             QuotaRejects.load(std::memory_order_relaxed));
-  metricLine(Out, "awdit_server_auth_failures_total", "counter",
+  metricLine(Out, "awdit_server_quota_trips_total",
+             "Tenants wedged for exceeding their window-bytes quota.",
+             "counter", T.QuotaTrips);
+  metricLine(Out, "awdit_server_quota_rejects_total",
+             "HELLOs refused for requesting quotas above the server cap.",
+             "counter", QuotaRejects.load(std::memory_order_relaxed));
+  metricLine(Out, "awdit_server_auth_failures_total",
+             "HELLOs refused for a missing or bad auth token.", "counter",
              AuthFailures.load(std::memory_order_relaxed));
-  metricLine(Out, "awdit_server_slow_client_disconnects_total", "counter",
-             SlowClientDrops.load(std::memory_order_relaxed));
-  metricLine(Out, "awdit_server_poll_max_stall_micros", "gauge",
-             MaxPollStallMicros.load(std::memory_order_relaxed));
-  metricLine(Out, "awdit_server_txns_ingested_total", "counter",
+  metricLine(Out, "awdit_server_slow_client_disconnects_total",
+             "Clients muted and dropped for an overflowing output queue.",
+             "counter", SlowClientDrops.load(std::memory_order_relaxed));
+  // The rolling stall high water resets on every scrape (worst iteration
+  // since the last scrape); the _lifetime variant never resets and is what
+  // the CI soak gate bounds.
+  metricLine(Out, "awdit_server_poll_max_stall_micros",
+             "Worst event-loop iteration (micros) since the last scrape.",
+             "gauge", MaxPollStallMicros.exchange(0, std::memory_order_relaxed));
+  metricLine(Out, "awdit_server_poll_max_stall_micros_lifetime",
+             "Worst event-loop iteration (micros) since process start.",
+             "gauge",
+             MaxPollStallLifetimeMicros.load(std::memory_order_relaxed));
+  metricLine(Out, "awdit_server_txns_ingested_total",
+             "Transactions ingested across all streams.", "counter",
              T.Counters.Txns);
-  metricLine(Out, "awdit_server_txns_committed_total", "counter",
-             T.Counters.Committed);
-  metricLine(Out, "awdit_server_ops_total", "counter", T.Counters.Ops);
-  metricLine(Out, "awdit_server_violations_total", "counter",
+  metricLine(Out, "awdit_server_txns_committed_total",
+             "Committed transactions ingested across all streams.",
+             "counter", T.Counters.Committed);
+  metricLine(Out, "awdit_server_ops_total",
+             "Operations ingested across all streams.", "counter",
+             T.Counters.Ops);
+  metricLine(Out, "awdit_server_violations_total",
+             "Isolation violations reported across all streams.", "counter",
              T.Counters.Violations);
-  metricLine(Out, "awdit_server_flushes_total", "counter",
+  metricLine(Out, "awdit_server_flushes_total",
+             "Monitor checking passes run across all streams.", "counter",
              T.Counters.Flushes);
-  metricLine(Out, "awdit_server_evicted_txns_total", "counter",
+  metricLine(Out, "awdit_server_evicted_txns_total",
+             "Transactions evicted from checking windows.", "counter",
              T.Counters.EvictedTxns);
-  metricLine(Out, "awdit_server_forced_aborts_total", "counter",
+  metricLine(Out, "awdit_server_forced_aborts_total",
+             "Hung open transactions force-aborted.", "counter",
              T.Counters.ForcedAborts);
-  Out += "# TYPE awdit_server_flush_seconds_total counter\n"
-         "awdit_server_flush_seconds_total ";
+  metricHeader(Out, "awdit_server_flush_seconds_total",
+               "Total wall-clock seconds spent in checking passes.",
+               "counter");
+  Out += "awdit_server_flush_seconds_total ";
   char Sec[64];
   std::snprintf(Sec, sizeof(Sec), "%.6f",
                 static_cast<double>(T.Counters.FlushMicros) / 1e6);
   Out += Sec;
   Out += '\n';
 
-  // Per-stream gauges for the live tenants.
-  Out += "# TYPE awdit_session_committed_txns gauge\n";
-  std::string Violations = "# TYPE awdit_session_violations gauge\n";
+  // The pipeline latency histograms (process-global; every session and
+  // both CLI paths record into them). Rendered even when empty so a
+  // scraper's required-series list holds from the first scrape.
+  const obs::PipelineMetrics &PM = obs::metrics();
+  auto Histogram = [&Out](const char *Name, const char *Help,
+                          const obs::LatencyHistogram &H,
+                          const std::string &Labels, bool Unitless = false,
+                          bool Header = true) {
+    if (Header)
+      metricHeader(Out, Name, Help, "histogram");
+    H.snapshot().renderProm(Out, Name, Labels, Unitless);
+  };
+  Histogram("awdit_flush_duration_seconds",
+            "One monitor checking pass, end to end.", PM.FlushTotal, "");
+  metricHeader(Out, "awdit_flush_phase_duration_seconds",
+               "Checking-pass time split by phase (pk overlaps the "
+               "others).",
+               "histogram");
+  for (unsigned I = 0; I < obs::NumFlushPhases; ++I)
+    Histogram("awdit_flush_phase_duration_seconds", "", PM.FlushPhases[I],
+              std::string("phase=\"") +
+                  obs::flushPhaseName(static_cast<obs::FlushPhase>(I)) +
+                  "\"",
+              false, false);
+  metricHeader(Out, "awdit_ingest_stage_duration_seconds",
+               "Sharded-ingest batch time by pipeline stage.", "histogram");
+  for (unsigned I = 0; I < obs::NumIngestStages; ++I)
+    Histogram("awdit_ingest_stage_duration_seconds", "", PM.IngestStages[I],
+              std::string("stage=\"") +
+                  obs::ingestStageName(static_cast<obs::IngestStage>(I)) +
+                  "\"",
+              false, false);
+  Histogram("awdit_ingest_queue_wait_seconds",
+            "Producer block time on a full ingest SPSC queue.",
+            PM.IngestQueueWait, "");
+  Histogram("awdit_ingest_queue_depth",
+            "Ingest SPSC queue occupancy (items), sampled at enqueue.",
+            PM.IngestQueueDepth, "", /*Unitless=*/true);
+  metricHeader(Out, "awdit_checkpoint_write_seconds",
+               "Checkpoint persistence, by layout.", "histogram");
+  Histogram("awdit_checkpoint_write_seconds", "", PM.CheckpointV1Write,
+            "format=\"v1\"", false, false);
+  Histogram("awdit_checkpoint_write_seconds", "", PM.CheckpointStoreCommit,
+            "format=\"store\"", false, false);
+  Histogram("awdit_server_pump_seconds",
+            "One session-actor work item on the shared pool.",
+            PM.ServerPump, "");
+  Histogram("awdit_server_hello_seconds",
+            "HELLO handling, parse to OK/ERR queued.", PM.ServerHello, "");
+  Histogram("awdit_server_output_queue_seconds",
+            "Reply residency from enqueue to fully on the wire.",
+            PM.ServerOutputQueue, "");
+  Histogram("awdit_server_outq_depth_bytes",
+            "Connection output-queue bytes, sampled at enqueue.",
+            PM.ServerOutqDepth, "", /*Unitless=*/true);
+
+  // Per-stream series for the live tenants.
+  metricHeader(Out, "awdit_session_committed_txns",
+               "Committed transactions ingested by this stream.", "gauge");
+  std::string Violations;
+  metricHeader(Violations, "awdit_session_violations",
+               "Violations reported on this stream.", "gauge");
+  std::string Phases;
+  metricHeader(Phases, "awdit_session_flush_phase_micros_total",
+               "Stream flush time by phase (micros; pk overlaps).",
+               "counter");
   for (const std::shared_ptr<StreamSession> &S : Registry->sessions()) {
     if (S->phase() == StreamSession::Phase::Dead)
       continue;
@@ -734,8 +939,18 @@ std::string Server::renderMetrics() const {
            std::to_string(Snap.Committed) + "\n";
     Violations += "awdit_session_violations" + Label + " " +
                   std::to_string(Snap.Violations) + "\n";
+    for (unsigned I = 0; I < obs::NumFlushPhases; ++I) {
+      Phases += "awdit_session_flush_phase_micros_total{stream=\"";
+      appendLabelEscaped(Phases, S->name());
+      Phases += "\",phase=\"";
+      Phases += obs::flushPhaseName(static_cast<obs::FlushPhase>(I));
+      Phases += "\"} ";
+      Phases += std::to_string(S->flushPhaseMicros(I));
+      Phases += '\n';
+    }
   }
   Out += Violations;
+  Out += Phases;
   return Out;
 }
 
@@ -777,7 +992,7 @@ void Server::drainConnOutput(const std::shared_ptr<Conn> &C) {
   {
     std::lock_guard<std::mutex> L(C->WriteMu);
     while (!C->OutQ.empty()) {
-      std::string_view Front(C->OutQ.front());
+      std::string_view Front(C->OutQ.front().Bytes);
       Front.remove_prefix(C->OutHead);
       long N = C->Sock.valid() ? C->Sock.sendSome(Front) : -1;
       if (N < 0) {
@@ -788,7 +1003,9 @@ void Server::drainConnOutput(const std::shared_ptr<Conn> &C) {
         break; // kernel buffer full: wait for the next POLLOUT
       C->OutHead += static_cast<size_t>(N);
       C->OutBytes -= static_cast<size_t>(N);
-      if (C->OutHead == C->OutQ.front().size()) {
+      if (C->OutHead == C->OutQ.front().Bytes.size()) {
+        obs::metrics().ServerOutputQueue.record(
+            (obs::traceNowNanos() - C->OutQ.front().EnqueueNs) / 1000);
         C->OutQ.pop_front();
         C->OutHead = 0;
       }
@@ -884,6 +1101,8 @@ void Server::run() {
             .count());
     if (Micros > MaxPollStallMicros.load(std::memory_order_relaxed))
       MaxPollStallMicros.store(Micros, std::memory_order_relaxed);
+    if (Micros > MaxPollStallLifetimeMicros.load(std::memory_order_relaxed))
+      MaxPollStallLifetimeMicros.store(Micros, std::memory_order_relaxed);
   }
 
   // --- Drain. ---

@@ -73,6 +73,10 @@ struct ServerOptions {
   bool CheckpointStore = false;
   /// Per-stream JSONL violation sinks live here; empty disables them.
   std::string SinkDir;
+  /// Where the `TRACE dump` verb writes Chrome-trace JSON files; empty
+  /// rejects the dump (recording via `TRACE on|off` still works — a
+  /// debugger can read the rings).
+  std::string TraceDir;
   /// Worker threads of the shared pool (0 = all cores).
   unsigned Threads = 0;
   /// Evict detached sessions idle this long (seconds; 0 = never).
@@ -157,6 +161,9 @@ private:
                        const std::string &Stream, std::string_view Payload);
   void flushBatch(const std::shared_ptr<Conn> &C);
   void handleHello(const std::shared_ptr<Conn> &C, std::string_view Line);
+  /// The connection-level `TRACE on|off|dump` verb (tracing is process
+  /// state; the verb needs no session).
+  void handleTrace(const std::shared_ptr<Conn> &C, std::string_view Line);
   void closeConn(const std::shared_ptr<Conn> &C);
   /// Drains as much of \p C's output queue as the kernel buffer takes
   /// right now (event-loop thread, on POLLOUT). A hard send error mutes
@@ -166,7 +173,7 @@ private:
   /// FINAL/BYE courtesies at shutdown; a client that stopped reading
   /// cannot hold the drain hostage.
   void flushOutputAtDrain();
-  std::string serverStatsJson() const;
+  std::string serverStatsJson(bool Deep = false) const;
 
   ServerOptions Options;
   TcpListener Listener;
@@ -191,8 +198,15 @@ private:
   /// microseconds (poll(2) return to next poll(2) entry). The liveness
   /// witness the soak CI asserts on: the loop never blocks in write(2),
   /// so a stalled client cannot push this toward the old SO_SNDTIMEO
-  /// stalls.
-  std::atomic<uint64_t> MaxPollStallMicros{0};
+  /// stalls. Rolling: each /metrics scrape reads-and-resets it (hence
+  /// mutable — renderMetrics is logically const), so alerting sees the
+  /// worst stall *since the last scrape* instead of a one-time startup
+  /// blip pinned forever; the `_lifetime` variant below keeps the
+  /// process-wide high water for the CI gate.
+  mutable std::atomic<uint64_t> MaxPollStallMicros{0};
+  std::atomic<uint64_t> MaxPollStallLifetimeMicros{0};
+  /// TRACE dump files get increasing sequence numbers within the process.
+  uint64_t TraceDumpSeq = 0;
 
   /// A single protocol/stream line may not exceed this (bounds the
   /// per-connection assembly buffer against a newline-free firehose).

@@ -3,6 +3,7 @@
 #include "server/session_registry.h"
 
 #include "io/token_util.h"
+#include "obs/trace.h"
 #include "support/serialize.h"
 
 #include <algorithm>
@@ -105,6 +106,9 @@ void StreamSession::publishCounters() {
   CEvicted.store(S.EvictedTxns, std::memory_order_relaxed);
   CForced.store(S.ForcedAborts, std::memory_order_relaxed);
   CFlushMicros.store(S.FlushMicros, std::memory_order_relaxed);
+  const uint64_t *Ph = M.flushPhaseMicros();
+  for (unsigned I = 0; I < obs::NumFlushPhases; ++I)
+    CPhaseMicros[I].store(Ph[I], std::memory_order_relaxed);
   WindowBytesApprox.store(approxWindowBytes(S), std::memory_order_relaxed);
   OffsetAtomic.store(Offset, std::memory_order_release);
   LineNoAtomic.store(LineNo, std::memory_order_release);
@@ -197,7 +201,11 @@ void StreamSession::pump() {
       Inbox.pop_front();
     }
     Phase Before = PhaseLocal;
-    processItem(I);
+    {
+      AWDIT_SPAN("server.pump");
+      obs::ScopedLatency Lat(obs::metrics().ServerPump);
+      processItem(I);
+    }
     if (Before != Phase::Dead && PhaseLocal == Phase::Dead)
       Died = true;
     touch();
@@ -315,6 +323,9 @@ void StreamSession::hotFlushPoint(const IngestFlushPoint &P) {
   CEvicted.store(S.EvictedTxns, std::memory_order_relaxed);
   CForced.store(S.ForcedAborts, std::memory_order_relaxed);
   CFlushMicros.store(S.FlushMicros, std::memory_order_relaxed);
+  const uint64_t *Ph = M.flushPhaseMicros();
+  for (unsigned I = 0; I < obs::NumFlushPhases; ++I)
+    CPhaseMicros[I].store(Ph[I], std::memory_order_relaxed);
   WindowBytesApprox.store(approxWindowBytes(S), std::memory_order_relaxed);
   OffsetAtomic.store(P.StreamOffset, std::memory_order_release);
   LineNoAtomic.store(P.LineNo, std::memory_order_release);
@@ -434,7 +445,27 @@ void StreamSession::processItem(const Item &I) {
     // While upgraded the Monitor belongs to the applier thread: serve the
     // last flush barrier's mirror instead of racing it.
     StatsSnapshot Snap = Sharded ? counters() : StatsSnapshot::of(M.stats());
-    sendToClient(taggedJson("STATS", Snap.toJson()));
+    std::string Json = Snap.toJson();
+    if (I.Deep) {
+      // Splice the deep section in before the closing brace. The flush
+      // histogram is lock-free and safe to snapshot even while the hot
+      // pipeline's applier records into it; the phase breakdown reads the
+      // atomic mirror (may trail the live monitor by one flush barrier).
+      Json.pop_back();
+      Json += ",\"flush_latency\":";
+      Json += M.flushLatency().snapshot().percentilesJson();
+      Json += ",\"flush_phase_micros\":{";
+      for (unsigned P = 0; P < obs::NumFlushPhases; ++P) {
+        if (P)
+          Json += ',';
+        Json += '"';
+        Json += obs::flushPhaseName(static_cast<obs::FlushPhase>(P));
+        Json += "\":";
+        Json += std::to_string(flushPhaseMicros(P));
+      }
+      Json += "}}";
+    }
+    sendToClient(taggedJson("STATS", Json));
     return;
   }
 

@@ -144,6 +144,9 @@ public:
   struct Item {
     enum class Kind : uint8_t { Data, Stats, Detach, End, Evict, Drain };
     Kind K = Kind::Data;
+    /// For Stats: the `STATS deep` form — add flush-latency percentiles
+    /// and the per-phase breakdown to the reply.
+    bool Deep = false;
     /// For Data: raw lines (newline stripped, CR kept; byte accounting
     /// adds the newline back).
     std::vector<std::string> Lines;
@@ -226,6 +229,14 @@ public:
   /// True while the sharded pipeline is driving the stream.
   bool hotUpgraded() const {
     return HotAtomic.load(std::memory_order_acquire);
+  }
+
+  /// Cumulative micros the stream's flushes spent in phase \p I (an
+  /// obs::FlushPhase index) — the per-stream breakdown /metrics renders.
+  /// Mirror semantics like counters(): published at pump idle and at hot
+  /// flush barriers.
+  uint64_t flushPhaseMicros(unsigned I) const {
+    return CPhaseMicros[I].load(std::memory_order_relaxed);
   }
 
   /// Enqueues \p I and schedules a pump on \p Pool if none is running.
@@ -353,6 +364,7 @@ private:
   std::atomic<uint64_t> CheckpointsAtomic{0};
   std::atomic<uint64_t> CTxns{0}, CCommitted{0}, COps{0}, CLive{0},
       CViolations{0}, CFlushes{0}, CEvicted{0}, CForced{0}, CFlushMicros{0};
+  std::atomic<uint64_t> CPhaseMicros[obs::NumFlushPhases] = {};
   std::atomic<bool> HotAtomic{false};
   std::atomic<uint64_t> HotUpgradesAtomic{0};
   /// The latest approxWindowBytes() estimate (published with the counter

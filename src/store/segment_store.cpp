@@ -232,6 +232,15 @@ std::vector<uint64_t> SegmentStore::chunkIds() const {
   return Ids;
 }
 
+std::vector<std::pair<uint64_t, uint32_t>>
+SegmentStore::chunkEntries() const {
+  std::vector<std::pair<uint64_t, uint32_t>> Entries;
+  Entries.reserve(Table.size());
+  for (const auto &[Id, E] : Table)
+    Entries.emplace_back(Id, E.Size);
+  return Entries;
+}
+
 bool SegmentStore::readChunk(uint64_t Id, std::string &Out,
                              std::string *Err) const {
   auto It = Table.find(Id);

@@ -140,6 +140,11 @@ public:
   /// Ids of every chunk under the current root, ascending.
   std::vector<uint64_t> chunkIds() const;
 
+  /// (id, payload bytes) of every chunk under the current root, ascending
+  /// by id — what `awdit-store stats` groups into per-kind breakdowns
+  /// (the kind lives in the id's top byte, support/serialize.h).
+  std::vector<std::pair<uint64_t, uint32_t>> chunkEntries() const;
+
   /// Reads one chunk's payload, verifying the header and checksum.
   bool readChunk(uint64_t Id, std::string &Out, std::string *Err) const;
 

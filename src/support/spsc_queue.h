@@ -102,6 +102,16 @@ public:
 
   bool closed() const { return Closed.load(std::memory_order_acquire); }
 
+  /// Approximate occupancy, racy by design: both indices are read relaxed,
+  /// so the result may be momentarily stale from either side. Telemetry
+  /// sampling only (the ingest queue-depth histogram) — never a
+  /// synchronization decision.
+  size_t size() const {
+    size_t Tl = Tail.load(std::memory_order_relaxed);
+    size_t H = Head.load(std::memory_order_relaxed);
+    return (Tl - H) & Mask;
+  }
+
 private:
   /// Spin, then yield, then sleep: a short busy loop covers the common
   /// case of a momentarily-full/empty queue, yielding covers a slightly

@@ -16,6 +16,7 @@
 #include "checker/violation_sink.h"
 #include "io/stream_parser.h"
 #include "io/text_format.h"
+#include "obs/trace.h"
 #include "server/protocol.h"
 #include "server/server.h"
 #include "sim/anomaly_injector.h"
@@ -24,6 +25,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -558,6 +560,115 @@ TEST(ServerEndToEnd, StatsVerbAndMetricsEndpoint) {
             std::string::npos)
       << Page;
   H.stop();
+}
+
+TEST(ServerEndToEnd, StatsDeepCarriesLatencyPercentiles) {
+  ServerHarness H;
+  TestClient C;
+  ASSERT_TRUE(C.connect(H.port()));
+
+  // Pre-HELLO: the whole-server view grows the histogram-percentile
+  // fields only when asked for the deep form.
+  ASSERT_TRUE(C.sendLine("STATS"));
+  std::string Shallow = C.readLine();
+  ASSERT_EQ(Shallow.rfind("STATS {", 0), 0u) << Shallow;
+  EXPECT_EQ(Shallow.find("\"server_pump\":"), std::string::npos)
+      << Shallow;
+  ASSERT_TRUE(C.sendLine("STATS deep"));
+  std::string Deep = C.readLine();
+  ASSERT_EQ(Deep.rfind("STATS {", 0), 0u) << Deep;
+  EXPECT_NE(Deep.find("\"server_pump\":{\"count\":"), std::string::npos)
+      << Deep;
+  EXPECT_NE(Deep.find("\"flush\":{\"count\":"), std::string::npos) << Deep;
+  EXPECT_NE(Deep.find("\"p99_micros\":"), std::string::npos) << Deep;
+
+  // Session-level: a small stream with an interval small enough to force
+  // real flushes, so the deep reply's flush percentiles carry samples.
+  ASSERT_TRUE(C.sendLine("HELLO deep1 cc interval=2"));
+  ASSERT_EQ(C.readLine().rfind("OK deep1 new", 0), 0u);
+  ASSERT_TRUE(C.send("b 0\nw 1 10\nc\nb 0\nr 1 10\nc\n"
+                     "b 1\nw 2 20\nc\nb 1\nr 2 20\nc\n"));
+  ASSERT_TRUE(C.sendLine("STATS"));
+  std::string SessShallow = C.readUntil("STATS ");
+  EXPECT_NE(SessShallow.find("\"stream\":\"deep1\""), std::string::npos)
+      << SessShallow;
+  EXPECT_EQ(SessShallow.find("\"flush_latency\":"), std::string::npos)
+      << SessShallow;
+
+  ASSERT_TRUE(C.sendLine("STATS deep"));
+  std::string SessDeep = C.readUntil("STATS ");
+  EXPECT_NE(SessDeep.find("\"stream\":\"deep1\""), std::string::npos)
+      << SessDeep;
+  size_t LatPos = SessDeep.find("\"flush_latency\":{\"count\":");
+  ASSERT_NE(LatPos, std::string::npos) << SessDeep;
+  // Four committed txns at interval=2 means at least one real flush.
+  EXPECT_EQ(SessDeep.find("\"flush_latency\":{\"count\":0", LatPos),
+            std::string::npos)
+      << SessDeep;
+  EXPECT_NE(SessDeep.find("\"flush_phase_micros\":{\"delta_build\":"),
+            std::string::npos)
+      << SessDeep;
+  H.stop();
+}
+
+TEST(ServerEndToEnd, TraceVerbRecordsAndDumps) {
+  // The registry is process-wide; leave tracing the way we found it.
+  struct TraceReset {
+    ~TraceReset() {
+      obs::setTraceEnabled(false);
+      obs::traceClear();
+    }
+  } Reset;
+
+  std::filesystem::path TraceDir =
+      std::filesystem::temp_directory_path() /
+      ("awdit_trace_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(TraceDir);
+  ServerOptions Base;
+  Base.TraceDir = TraceDir.string();
+  ServerHarness H(Base);
+
+  TestClient C;
+  ASSERT_TRUE(C.connect(H.port()));
+  ASSERT_TRUE(C.sendLine("TRACE on"));
+  EXPECT_EQ(C.readLine(), "OK trace on");
+
+  // Traffic while recording: the HELLO handshake and the session pump
+  // must leave spans behind.
+  ASSERT_TRUE(C.sendLine("HELLO tr1 cc interval=4"));
+  ASSERT_EQ(C.readLine().rfind("OK tr1 new", 0), 0u);
+  ASSERT_TRUE(C.send("b 0\nw 1 10\nc\nb 0\nr 1 10\nc\n"));
+  ASSERT_TRUE(C.sendLine("STATS"));
+  ASSERT_FALSE(C.readUntil("STATS ").empty());
+
+  ASSERT_TRUE(C.sendLine("TRACE dump"));
+  std::string DumpReply = C.readLine();
+  ASSERT_EQ(DumpReply.rfind("OK trace dumped ", 0), 0u) << DumpReply;
+  std::string Path = DumpReply.substr(std::strlen("OK trace dumped "));
+  std::ifstream In(Path);
+  ASSERT_TRUE(In.good()) << Path;
+  std::stringstream Body;
+  Body << In.rdbuf();
+  std::string Json = Body.str();
+  EXPECT_EQ(Json.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(Json.find("\"server.hello\""), std::string::npos);
+  EXPECT_NE(Json.find("\"server.pump\""), std::string::npos);
+
+  ASSERT_TRUE(C.sendLine("TRACE off"));
+  EXPECT_EQ(C.readLine(), "OK trace off");
+  ASSERT_TRUE(C.sendLine("TRACE bogus"));
+  EXPECT_EQ(C.readLine().rfind("ERR TRACE wants", 0), 0u);
+  H.stop();
+  std::error_code Ec;
+  std::filesystem::remove_all(TraceDir, Ec);
+
+  // Without --trace-dir the dump verb is refused up front.
+  ServerHarness H2;
+  TestClient C2;
+  ASSERT_TRUE(C2.connect(H2.port()));
+  ASSERT_TRUE(C2.sendLine("TRACE dump"));
+  EXPECT_NE(C2.readLine().find("ERR trace dump needs"), std::string::npos);
+  H2.stop();
 }
 
 TEST(ServerEndToEnd, ProtocolErrors) {

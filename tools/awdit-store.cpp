@@ -25,15 +25,85 @@
 //===----------------------------------------------------------------------===//
 
 #include "checker/checkpoint.h"
+#include "checker/checkpoint_chunks.h"
 #include "store/segment_store.h"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
+#include <map>
+#include <vector>
 
 using namespace awdit;
 
 namespace {
+
+/// Human name of a v2 chunk-section kind (checker/checkpoint_chunks.h).
+/// Stores written by other producers may use kinds we do not know.
+const char *chunkKindName(uint64_t Kind) {
+  switch (static_cast<ckchunk::Kind>(Kind)) {
+  case ckchunk::MTxns:
+    return "monitor/txns";
+  case ckchunk::MSess:
+    return "monitor/sessions";
+  case ckchunk::MMisc:
+    return "monitor/misc";
+  case ckchunk::MMeta:
+    return "monitor/txn-meta";
+  case ckchunk::SHdr:
+    return "saturation/header";
+  case ckchunk::SPos:
+    return "saturation/topo-pos";
+  case ckchunk::SOut:
+    return "saturation/topo-out";
+  case ckchunk::SIn:
+    return "saturation/topo-in";
+  case ckchunk::SEdges:
+    return "saturation/edges";
+  case ckchunk::SSources:
+    return "saturation/source-edges";
+  case ckchunk::SQuar:
+    return "saturation/quarantine";
+  case ckchunk::SProc:
+    return "saturation/processed";
+  case ckchunk::SReaders:
+    return "saturation/readers";
+  case ckchunk::SHb:
+    return "saturation/hb-rows";
+  case ckchunk::SWriters:
+    return "saturation/writer-index";
+  case ckchunk::SRa:
+    return "saturation/ra-state";
+  case ckchunk::MAdopted:
+    return "monitor/adopted";
+  case ckchunk::MWrites:
+    return "monitor/write-sites";
+  case ckchunk::MPending:
+    return "monitor/pending-reads";
+  case ckchunk::MWaiters:
+    return "monitor/close-waiters";
+  case ckchunk::MMask:
+    return "monitor/evicted-mask";
+  case ckchunk::MDirty:
+    return "monitor/dirty";
+  case ckchunk::MOpen:
+    return "monitor/open-txns";
+  case ckchunk::MForced:
+    return "monitor/forced-aborts";
+  case ckchunk::MSoBase:
+    return "monitor/so-base";
+  case ckchunk::MFp:
+    return "monitor/fingerprints";
+  case ckchunk::MCyc:
+    return "monitor/cycle-txns";
+  case ckchunk::MRep:
+    return "monitor/reported";
+  case ckchunk::MTail:
+    return "monitor/tail";
+  }
+  return "unknown";
+}
 
 int usage() {
   std::fprintf(stderr, "usage:\n"
@@ -90,6 +160,33 @@ int cmdStats(const std::string &Dir) {
                 " live chunks, %8" PRIu64 " live bytes%s\n",
                 Seg.Id, Seg.EndBytes, Seg.LiveChunks, Seg.LiveBytes,
                 Seg.Open ? "  (open)" : "");
+
+  // What the live bytes are made of: chunk count and payload bytes per
+  // section kind (the id's top byte), largest first. This is the answer
+  // to "why is my checkpoint this big" — e.g. a graph-heavy workload
+  // shows up as saturation/edges dominating.
+  struct KindAgg {
+    uint64_t Chunks = 0;
+    uint64_t Bytes = 0;
+  };
+  std::map<uint64_t, KindAgg> ByKind;
+  for (const auto &[Id, Size] : S.chunkEntries()) {
+    KindAgg &A = ByKind[Id >> 56];
+    ++A.Chunks;
+    A.Bytes += Size;
+  }
+  if (!ByKind.empty()) {
+    std::vector<std::pair<uint64_t, KindAgg>> Order(ByKind.begin(),
+                                                    ByKind.end());
+    std::sort(Order.begin(), Order.end(),
+              [](const auto &A, const auto &B) {
+                return A.second.Bytes > B.second.Bytes;
+              });
+    std::printf("chunk kinds:\n");
+    for (const auto &[Kind, A] : Order)
+      std::printf("  %-24s %6" PRIu64 " chunks, %10" PRIu64 " bytes\n",
+                  chunkKindName(Kind), A.Chunks, A.Bytes);
+  }
 
   // The checkpoint riding on the root, when the root is one of ours.
   if (S.hasRoot()) {

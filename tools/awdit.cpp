@@ -33,6 +33,8 @@
 #include "io/sharded_ingest.h"
 #include "io/stream_parser.h"
 #include "io/text_format.h"
+#include "obs/histogram.h"
+#include "obs/trace.h"
 #include "reduction/reductions.h"
 #include "server/server.h"
 #include "sim/anomaly_injector.h"
@@ -159,8 +161,14 @@ int usage() {
       " self after N\n"
       "                  checking passes, for kill/resume drills)]\n"
       "                 [--stats-interval SEC (print a one-line stats"
-      " summary to stderr\n"
-      "                  every SEC seconds, at checking-pass boundaries)]\n"
+      " summary — counters\n"
+      "                  plus p50/p99 flush latency over the interval —"
+      " to stderr every\n"
+      "                  SEC seconds, at checking-pass boundaries)]\n"
+      "                 [--trace FILE (record spans for the whole run and"
+      " write a\n"
+      "                  Chrome-trace JSON file at the end; open it in"
+      " Perfetto)]\n"
       "  awdit serve --port P [--host ADDR (default 127.0.0.1)]"
       " [--metrics-port P]\n"
       "                 [--checkpoint-dir DIR (persist per-stream"
@@ -195,6 +203,9 @@ int usage() {
       " default unlimited)]\n"
       "                 [--sock-sndbuf B (SO_SNDBUF for client sockets;"
       " testing/tuning)]\n"
+      "                 [--trace-dir DIR (where the TRACE dump verb writes"
+      " Chrome-trace\n"
+      "                  JSON files; without it TRACE dump is rejected)]\n"
       "                 (wire protocol: docs/PROTOCOL.md; operations:"
       " docs/OPERATIONS.md)\n"
       "  awdit stats <file> [--format native|plume|dbcop]\n"
@@ -585,6 +596,14 @@ int cmdMonitor(const std::string &Path, const Flags &F) {
   }
   uint64_t KillAfter = numFlag(F, "kill-after-flushes", "0");
   uint64_t StatsIntervalSec = numFlag(F, "stats-interval", "0");
+  const std::string *TracePath = F.get("trace");
+  if (TracePath) {
+    // Record the whole run: clear any stale rings, flip the flag before
+    // the first byte is read, and name the main thread for the viewer.
+    obs::traceClear();
+    obs::setTraceThreadName("reader");
+    obs::setTraceEnabled(true);
+  }
 
   bool Json = F.get("json") != nullptr;
   JsonLinesSink JsonSink(std::cout);
@@ -633,19 +652,31 @@ int cmdMonitor(const std::string &Path, const Flags &F) {
   // (testing aid) kill the process when asked to rehearse a crash.
   uint64_t LastCkptFlush = ResumeDir ? ResumeMeta.Flushes : 0;
   auto LastStatsPrint = std::chrono::steady_clock::now();
+  obs::HistogramSnapshot LastFlushSnap;
   ShardedMonitorIngest::FlushHook Hook;
   if (CkptDir || StoreDir || KillAfter || StatsIntervalSec) {
     Hook = [&, CkptDir, StoreDir, CkptInterval, KillAfter, StatsIntervalSec,
             Format](const IngestFlushPoint &P) mutable {
       // Periodic one-line stats (stderr, at checking-pass boundaries):
-      // the same counters the server's /metrics endpoint exports.
+      // the same counters the server's /metrics endpoint exports, plus
+      // per-interval flush-latency quantiles (the cumulative histogram
+      // minus its previous snapshot — fresh numbers every line, not a
+      // since-startup average).
       if (StatsIntervalSec) {
         auto Now = std::chrono::steady_clock::now();
         if (Now - LastStatsPrint >=
             std::chrono::seconds(StatsIntervalSec)) {
           LastStatsPrint = Now;
-          std::fprintf(stderr, "stats: %s\n",
-                       StatsSnapshot::of(P.M.stats()).toLine().c_str());
+          obs::HistogramSnapshot Snap = P.M.flushLatency().snapshot();
+          obs::HistogramSnapshot Delta = Snap;
+          Delta.minus(LastFlushSnap);
+          LastFlushSnap = std::move(Snap);
+          std::fprintf(
+              stderr,
+              "stats: %s flush_p50_us=%llu flush_p99_us=%llu\n",
+              StatsSnapshot::of(P.M.stats()).toLine().c_str(),
+              static_cast<unsigned long long>(Delta.percentile(0.50)),
+              static_cast<unsigned long long>(Delta.percentile(0.99)));
         }
       }
       if ((CkptDir || StoreDir) &&
@@ -811,6 +842,14 @@ int cmdMonitor(const std::string &Path, const Flags &F) {
                       Options.ForceAbortOpenTicks));
   }
   std::fflush(stdout);
+  if (TracePath) {
+    // After finalize(), so the last flush's spans are in the rings.
+    obs::setTraceEnabled(false);
+    std::string TraceErr;
+    if (!obs::writeTraceFile(*TracePath, &TraceErr))
+      std::fprintf(stderr, "warning: trace not written: %s\n",
+                   TraceErr.c_str());
+  }
   if (ParseError)
     return 2;
   return Report.Consistent ? 0 : 1;
@@ -851,6 +890,7 @@ int cmdServe(const Flags &F) {
     Options.CheckpointStore = true;
   }
   Options.SinkDir = F.getOr("sink-dir", "");
+  Options.TraceDir = F.getOr("trace-dir", "");
   Options.Threads = static_cast<unsigned>(numFlag(F, "threads", "0"));
   if (F.get("shard-hot-sessions"))
     Options.ShardHotSessions =

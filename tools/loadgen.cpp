@@ -18,6 +18,7 @@
 ///   awdit-loadgen --port P [--host H] [--out-dir DIR]
 ///       [--chunk-bytes N] [--throttle-ms N] [--rate MBPS] [--reconnect]
 ///       [--retry-sec S] [--token SECRET] [--mux]
+///       [--probe-interval-ms N] [--latency-out FILE]
 ///       --stream NAME=FILE[:level=cc][:interval=N][:window=N]
 ///                [:window-edges=N][:window-age=T][:force-abort=T]
 ///                [:witnesses=N][:format=native|plume|dbcop]
@@ -57,6 +58,16 @@
 /// lines/sec as observed by the senders — the client-side counterpart of
 /// the BM_IngestBytesPerSec bench counter.
 ///
+/// Client-observed latency: every HELLO→OK handshake is timed, and (in
+/// per-connection mode) each sender injects a `STATS` probe between
+/// chunks every --probe-interval-ms (default 250; 0 disables probing).
+/// A probe's round-trip spans the server's whole reply path — event loop,
+/// session pump behind whatever data is already queued, output queue —
+/// so its quantiles are the end-to-end responsiveness a real dashboard
+/// client would see while the pipeline is loaded. A `latency:` summary
+/// line reports p50/p95/p99/max across all samples, and --latency-out
+/// writes them as JSON for the soak CI's latency gate.
+///
 /// Exit code: 2 on any protocol/IO error, else 1 if any stream was
 /// inconsistent, else 0.
 ///
@@ -72,9 +83,11 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <deque>
 #include <filesystem>
 #include <fstream>
 #include <map>
+#include <mutex>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -107,6 +120,10 @@ struct Config {
   uint64_t RetrySec = 30;
   bool Mux = false;
   std::string Token;
+  /// STATS round-trip probe cadence per sender (ms; 0 disables).
+  uint64_t ProbeIntervalMs = 250;
+  /// Where the latency summary JSON goes; empty = stdout line only.
+  std::string LatencyOut;
   std::vector<StreamSpec> Streams;
 };
 
@@ -166,6 +183,10 @@ struct StreamResult {
   uint64_t Reconnects = 0;
   uint64_t SentBytes = 0;
   uint64_t SentLines = 0;
+  /// Client-observed round trips, microseconds: the HELLO→OK handshake
+  /// plus every answered STATS probe (recorded by this stream's reader
+  /// thread only).
+  std::vector<uint64_t> LatencyMicros;
 };
 
 /// A transient attach failure that --reconnect should retry: right after a
@@ -190,6 +211,7 @@ bool runOnce(const Config &Cfg, const StreamSpec &Spec,
   }
   LineReader Reader(S);
 
+  auto HelloT0 = std::chrono::steady_clock::now();
   if (!S.writeAll(helloLine(Cfg, Spec, /*Mux=*/false))) {
     R.ErrorText = "write failed during HELLO";
     return false;
@@ -199,6 +221,10 @@ bool runOnce(const Config &Cfg, const StreamSpec &Spec,
     R.ErrorText = "connection closed before HELLO reply";
     return false;
   }
+  R.LatencyMicros.push_back(static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - HelloT0)
+          .count()));
   if (Line.rfind("ERR", 0) == 0) {
     if (Spec.ExpectQuota && Line.rfind("ERR quota", 0) == 0) {
       // The refusal this stream exists to provoke.
@@ -227,10 +253,18 @@ bool runOnce(const Config &Cfg, const StreamSpec &Spec,
 
   // Feed the rest of the file; the reader thread concurrently drains
   // pushed VIOLATION lines so neither side's socket buffer can deadlock.
+  // STATS probes ride between chunks: the session pump answers them in
+  // order behind whatever data is already queued, so the probe's round
+  // trip is the client-observed end-to-end latency under this load. The
+  // timestamp queue pairs each reply with its send (replies come back in
+  // probe order on one connection).
+  std::mutex ProbeMu;
+  std::deque<std::chrono::steady_clock::time_point> ProbeSent;
   std::atomic<bool> SenderFailed{false};
   std::atomic<bool> SenderDropped{false};
   std::thread Sender([&] {
     auto Start = std::chrono::steady_clock::now();
+    auto LastProbe = Start;
     uint64_t Sent = 0;
     for (size_t Pos = Offset; Pos < Text.size(); Pos += Cfg.ChunkBytes) {
       std::string_view Chunk =
@@ -243,6 +277,21 @@ bool runOnce(const Config &Cfg, const StreamSpec &Spec,
       R.SentBytes += Chunk.size();
       R.SentLines += static_cast<uint64_t>(
           std::count(Chunk.begin(), Chunk.end(), '\n'));
+      if (Cfg.ProbeIntervalMs) {
+        auto Now = std::chrono::steady_clock::now();
+        if (Now - LastProbe >=
+            std::chrono::milliseconds(Cfg.ProbeIntervalMs)) {
+          LastProbe = Now;
+          {
+            std::lock_guard<std::mutex> Lock(ProbeMu);
+            ProbeSent.push_back(Now);
+          }
+          if (!S.writeAll("STATS\n")) {
+            SenderFailed.store(true);
+            return;
+          }
+        }
+      }
       if (Spec.DropEveryBytes && Sent >= Spec.DropEveryBytes) {
         // Reconnect-storm mode: yank the connection out from under both
         // halves. The next attach resumes at the server's offset.
@@ -301,6 +350,23 @@ bool runOnce(const Config &Cfg, const StreamSpec &Spec,
     } else if (Line == "BYE") {
       SawBye = true;
       break;
+    } else if (Line.rfind("STATS ", 0) == 0) {
+      // A probe came home; its partner timestamp is the queue front.
+      std::chrono::steady_clock::time_point T0;
+      bool Have = false;
+      {
+        std::lock_guard<std::mutex> Lock(ProbeMu);
+        if (!ProbeSent.empty()) {
+          T0 = ProbeSent.front();
+          ProbeSent.pop_front();
+          Have = true;
+        }
+      }
+      if (Have)
+        R.LatencyMicros.push_back(static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - T0)
+                .count()));
     } else if (Line.rfind("ERR", 0) == 0) {
       if (Spec.ExpectQuota && Line.rfind("ERR quota", 0) == 0) {
         // Expected mid-stream trip (e.g. window-bytes exceeded). The
@@ -312,7 +378,7 @@ bool runOnce(const Config &Cfg, const StreamSpec &Spec,
         R.ErrorText = Line;
       }
     }
-    // OK/STATS lines are informational here.
+    // OK lines are informational here.
   }
   S.shutdownWrite();
   Sender.join();
@@ -433,6 +499,7 @@ void runMuxAll(const Config &Cfg, std::vector<StreamResult> &Results) {
     if (St[I].Done)
       continue;
     const StreamSpec &Spec = Cfg.Streams[I];
+    auto HelloT0 = std::chrono::steady_clock::now();
     if (!S.writeAll(helloLine(Cfg, Spec, /*Mux=*/true))) {
       FailAll("write failed during HELLO");
       return;
@@ -441,6 +508,10 @@ void runMuxAll(const Config &Cfg, std::vector<StreamResult> &Results) {
       FailAll("connection closed before HELLO reply");
       return;
     }
+    Results[I].LatencyMicros.push_back(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - HelloT0)
+            .count()));
     std::string Tag = "@" + Spec.Name + " ";
     std::string Reply =
         Line.rfind(Tag, 0) == 0 ? Line.substr(Tag.size()) : Line;
@@ -579,6 +650,11 @@ int usage() {
       "           [--chunk-bytes N] [--throttle-ms N] [--rate MBPS]"
       " [--reconnect] [--retry-sec S]\n"
       "           [--token SECRET] [--mux]\n"
+      "           [--probe-interval-ms N (STATS round-trip probes between"
+      " chunks;\n"
+      "            default 250, 0 off)] [--latency-out FILE (write the"
+      " client-observed\n"
+      "            p50/p95/p99 summary as JSON)]\n"
       "           --stream NAME=FILE[:level=rc|ra|cc][:interval=N]"
       "[:window=N][:format=F]\n"
       "                    [:window-bytes=N][:inbox-bytes=N]"
@@ -649,6 +725,10 @@ int main(int Argc, char **Argv) {
       Cfg.Mux = true;
     else if (Arg == "--token")
       Cfg.Token = Value();
+    else if (Arg == "--probe-interval-ms")
+      Cfg.ProbeIntervalMs = static_cast<uint64_t>(std::atoll(Value()));
+    else if (Arg == "--latency-out")
+      Cfg.LatencyOut = Value();
     else if (Arg == "--stream") {
       StreamSpec Spec;
       if (!parseStreamSpec(Value(), Spec)) {
@@ -737,5 +817,37 @@ int main(int Argc, char **Argv) {
               static_cast<unsigned long long>(TotalLines),
               WallSecs, static_cast<double>(TotalBytes) / Secs,
               static_cast<double>(TotalLines) / Secs);
+
+  // Client-observed latency across every stream: HELLO handshakes plus
+  // all answered STATS probes. Exact quantiles (sorted samples, nearest
+  // rank) — the sample counts here are small enough to keep raw.
+  std::vector<uint64_t> Lat;
+  for (const StreamResult &R : Results)
+    Lat.insert(Lat.end(), R.LatencyMicros.begin(), R.LatencyMicros.end());
+  std::sort(Lat.begin(), Lat.end());
+  auto Pct = [&](double Q) -> uint64_t {
+    if (Lat.empty())
+      return 0;
+    size_t I = static_cast<size_t>(Q * static_cast<double>(Lat.size()));
+    return Lat[std::min(I, Lat.size() - 1)];
+  };
+  std::printf("latency: samples=%zu p50_us=%llu p95_us=%llu p99_us=%llu "
+              "max_us=%llu\n",
+              Lat.size(), static_cast<unsigned long long>(Pct(0.50)),
+              static_cast<unsigned long long>(Pct(0.95)),
+              static_cast<unsigned long long>(Pct(0.99)),
+              static_cast<unsigned long long>(Lat.empty() ? 0
+                                                          : Lat.back()));
+  if (!Cfg.LatencyOut.empty()) {
+    std::ofstream Out(Cfg.LatencyOut);
+    if (!Out) {
+      std::fprintf(stderr, "error: cannot write '%s'\n",
+                   Cfg.LatencyOut.c_str());
+      return 2;
+    }
+    Out << "{\"samples\":" << Lat.size() << ",\"p50_us\":" << Pct(0.50)
+        << ",\"p95_us\":" << Pct(0.95) << ",\"p99_us\":" << Pct(0.99)
+        << ",\"max_us\":" << (Lat.empty() ? 0 : Lat.back()) << "}\n";
+  }
   return AnyError ? 2 : AnyInconsistent ? 1 : 0;
 }
