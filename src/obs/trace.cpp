@@ -2,6 +2,7 @@
 
 #include "obs/trace.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <memory>
@@ -32,15 +33,25 @@ struct Slot {
 };
 
 struct ThreadRing {
-  explicit ThreadRing(uint32_t Tid) : Tid(Tid), Slots(TraceRingSlots) {}
-  const uint32_t Tid;
-  std::vector<Slot> Slots;
+  explicit ThreadRing(uint32_t Tid) : Tid(Tid) {}
+  ~ThreadRing() { delete[] SlotsPtr.load(std::memory_order_relaxed); }
+  /// Dump-track id; rewritten when a detached ring is reused (atomic so a
+  /// concurrent dump reads old-or-new, never garbage).
+  std::atomic<uint32_t> Tid;
+  /// The slot array, allocated by the owner thread on the first recorded
+  /// event (~256KB) — a thread that only names itself while tracing is
+  /// off costs a few dozen bytes, not a ring. Owner-published with
+  /// release; dumpers load with acquire and skip a null ring.
+  std::atomic<Slot *> SlotsPtr{nullptr};
   /// Monotonic write index; owner-incremented, dumper-read.
   std::atomic<uint64_t> Next{0};
   /// Events below this index are cleared (traceClear sets it to Next).
   std::atomic<uint64_t> DroppedBefore{0};
   /// Guarded by the registry mutex (set rarely, read at dump).
   std::string Name;
+  /// The owner thread exited; the ring stays dumpable until a new thread
+  /// claims it. Guarded by the registry mutex.
+  bool Detached = false;
 };
 
 struct Registry {
@@ -54,21 +65,66 @@ Registry &registry() {
   return *R;                         // record during static teardown
 }
 
-ThreadRing &threadRing() {
-  thread_local std::shared_ptr<ThreadRing> Ring = [] {
+/// Thread-exit bookkeeping: a ring that never recorded an event is
+/// removed outright (so naming threads with tracing off — every hot
+/// upgrade's fresh workers — costs nothing after they exit); a ring with
+/// events is left in the registry for post-mortem dumps but marked
+/// reusable, so the registry holds at most one allocated ring per
+/// historical peak thread, not one per thread ever started.
+struct RingHandle {
+  std::shared_ptr<ThreadRing> Ring;
+  ~RingHandle() {
+    if (!Ring)
+      return;
     Registry &R = registry();
     std::lock_guard<std::mutex> Lock(R.Mu);
+    if (!Ring->SlotsPtr.load(std::memory_order_relaxed)) {
+      for (size_t I = 0; I < R.Rings.size(); ++I) {
+        if (R.Rings[I] == Ring) {
+          R.Rings.erase(R.Rings.begin() + I);
+          break;
+        }
+      }
+      return;
+    }
+    Ring->Detached = true;
+  }
+};
+
+ThreadRing &threadRing() {
+  thread_local RingHandle H = [] {
+    Registry &R = registry();
+    std::lock_guard<std::mutex> Lock(R.Mu);
+    for (auto &P : R.Rings) {
+      // Reuse a dead thread's allocation under a fresh identity — but
+      // only once its window is empty (traceClear ran since it died):
+      // a detached ring with events is a post-mortem record that a dump
+      // may still want (short-lived shard workers in an end-of-run
+      // trace), and wiping it here would race that dump.
+      if (!P->Detached || P->Next.load(std::memory_order_acquire) !=
+                              P->DroppedBefore.load(std::memory_order_acquire))
+        continue;
+      P->Detached = false;
+      P->Tid.store(R.NextTid++, std::memory_order_relaxed);
+      P->Name.clear();
+      return RingHandle{P};
+    }
     auto P = std::make_shared<ThreadRing>(R.NextTid++);
     R.Rings.push_back(P);
-    return P;
+    return RingHandle{P};
   }();
-  return *Ring;
+  return *H.Ring;
 }
 
 void writeSlot(ThreadRing &Ring, EventKind Kind, const char *Name,
                uint64_t StartNs, uint64_t DurBits) {
+  Slot *Slots = Ring.SlotsPtr.load(std::memory_order_relaxed);
+  if (!Slots) {
+    Slots = new Slot[TraceRingSlots];
+    Ring.SlotsPtr.store(Slots, std::memory_order_release);
+  }
   uint64_t I = Ring.Next.load(std::memory_order_relaxed);
-  Slot &S = Ring.Slots[I & (TraceRingSlots - 1)];
+  Slot &S = Slots[I & (TraceRingSlots - 1)];
   uint32_t Seq = S.Seq.load(std::memory_order_relaxed);
   S.Seq.store(Seq + 1, std::memory_order_relaxed);
   std::atomic_thread_fence(std::memory_order_release);
@@ -164,6 +220,15 @@ void awdit::obs::traceClear() {
   for (auto &Ring : R.Rings)
     Ring->DroppedBefore.store(Ring->Next.load(std::memory_order_acquire),
                               std::memory_order_release);
+  // A clear also retires dead threads' rings outright: their only reason
+  // to linger was the post-mortem window just dropped. This is what keeps
+  // a long-running server's registry bounded — every `TRACE on` (which
+  // clears) reclaims the rings of all exited workers.
+  R.Rings.erase(std::remove_if(R.Rings.begin(), R.Rings.end(),
+                               [](const std::shared_ptr<ThreadRing> &P) {
+                                 return P->Detached;
+                               }),
+                R.Rings.end());
 }
 
 std::string awdit::obs::traceDumpJson() {
@@ -189,14 +254,18 @@ std::string awdit::obs::traceDumpJson() {
   };
   for (size_t I = 0; I < Rings.size(); ++I) {
     const ThreadRing &Ring = *Rings[I];
+    uint32_t Tid = Ring.Tid.load(std::memory_order_relaxed);
     if (!Names[I].empty()) {
       Sep();
       Out += "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":1,\"tid\":";
-      Out += std::to_string(Ring.Tid);
+      Out += std::to_string(Tid);
       Out += ",\"args\":{\"name\":\"";
       appendJsonEscaped(Out, Names[I]);
       Out += "\"}}";
     }
+    const Slot *Slots = Ring.SlotsPtr.load(std::memory_order_acquire);
+    if (!Slots)
+      continue; // Named but never recorded: no events to walk.
     uint64_t End = Ring.Next.load(std::memory_order_acquire);
     uint64_t Floor = Ring.DroppedBefore.load(std::memory_order_acquire);
     uint64_t Lo = End > TraceRingSlots ? End - TraceRingSlots : 0;
@@ -204,7 +273,7 @@ std::string awdit::obs::traceDumpJson() {
       Lo = Floor;
     for (uint64_t J = Lo; J < End; ++J) {
       EventCopy E;
-      if (!readSlot(Ring.Slots[J & (TraceRingSlots - 1)], E))
+      if (!readSlot(Slots[J & (TraceRingSlots - 1)], E))
         continue;
       Sep();
       if (E.Kind == EventKind::Counter) {
@@ -215,7 +284,7 @@ std::string awdit::obs::traceDumpJson() {
         Out += "{\"ph\":\"C\",\"name\":\"";
         appendJsonEscaped(Out, E.Name);
         Out += "\",\"cat\":\"awdit\",\"pid\":1,\"tid\":";
-        Out += std::to_string(Ring.Tid);
+        Out += std::to_string(Tid);
         Out += ",\"ts\":";
         appendMicros(Out, E.StartNs);
         Out += ",\"args\":{\"value\":";
@@ -225,7 +294,7 @@ std::string awdit::obs::traceDumpJson() {
         Out += "{\"ph\":\"X\",\"name\":\"";
         appendJsonEscaped(Out, E.Name);
         Out += "\",\"cat\":\"awdit\",\"pid\":1,\"tid\":";
-        Out += std::to_string(Ring.Tid);
+        Out += std::to_string(Tid);
         Out += ",\"ts\":";
         appendMicros(Out, E.StartNs);
         Out += ",\"dur\":";

@@ -19,9 +19,13 @@
 /// the recorder stores the pointer, never the bytes, so a span is a
 /// handful of word-sized writes into thread-local storage. Each thread's
 /// ring holds the most recent TraceRingSlots events — a dump is a window
-/// onto the recent past, not an unbounded log — and rings outlive their
-/// threads (the registry keeps them) so short-lived shard workers still
-/// appear in an end-of-run dump.
+/// onto the recent past, not an unbounded log. Ring storage is allocated
+/// lazily on the first recorded event (naming a thread while tracing is
+/// off costs bytes, not a ring), and rings with events outlive their
+/// threads so short-lived shard workers still appear in an end-of-run
+/// dump; traceClear() retires dead threads' rings and new threads reuse
+/// cleared ones, so a long-running server (where every `TRACE on`
+/// clears) does not accumulate a ring per thread ever started.
 ///
 /// Readers (dump) race writers by design: every slot is a tiny seqlock of
 /// relaxed atomics, and a slot caught mid-overwrite is skipped, never

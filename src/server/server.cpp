@@ -394,6 +394,16 @@ void Server::handleHello(const std::shared_ptr<Conn> &C,
 
 void Server::handleTrace(const std::shared_ptr<Conn> &C,
                          std::string_view Line) {
+  // TRACE is an operator verb with process-wide effect (toggling tracing
+  // clears every ring; dump writes files into --trace-dir). Behind
+  // --auth-token it requires the same gate as HELLO: an anonymous
+  // connection must not wipe recordings or fill the disk with dumps.
+  if (!Options.AuthToken.empty() && !C->Session && C->MuxSessions.empty()) {
+    AuthFailures.fetch_add(1, std::memory_order_relaxed);
+    C->sendLine("ERR auth TRACE needs an authenticated session "
+                "(HELLO ... token=<secret> first)");
+    return;
+  }
   std::vector<std::string_view> Tok = io::tokenize(Line);
   std::string_view Arg = Tok.size() >= 2 ? Tok[1] : std::string_view();
   if (Arg == "on") {
@@ -417,12 +427,17 @@ void Server::handleTrace(const std::shared_ptr<Conn> &C,
     }
     std::string Path = Options.TraceDir + "/trace-" +
                        std::to_string(++TraceDumpSeq) + ".json";
-    std::string Err;
-    if (!obs::writeTraceFile(Path, &Err)) {
-      C->sendLine("ERR trace " + Err);
-      return;
-    }
-    C->sendLine("OK trace dumped " + Path);
+    // Serializing every ring and writing the file can take long enough to
+    // stall the event loop (and trip the poll-stall gauge the soak gate
+    // watches), so the dump runs on the shared pool; the reply leaves
+    // through the thread-safe output queue when the file is on disk.
+    Pool->submit([C, Path] {
+      std::string Err;
+      if (!obs::writeTraceFile(Path, &Err))
+        C->sendLine("ERR trace " + Err);
+      else
+        C->sendLine("OK trace dumped " + Path);
+    });
     return;
   }
   C->sendLine("ERR TRACE wants on|off|dump");
@@ -816,16 +831,20 @@ std::string Server::renderMetrics() const {
              "HELLOs refused for requesting quotas above the server cap.",
              "counter", QuotaRejects.load(std::memory_order_relaxed));
   metricLine(Out, "awdit_server_auth_failures_total",
-             "HELLOs refused for a missing or bad auth token.", "counter",
+             "Commands (HELLO, unauthenticated TRACE) refused for a "
+             "missing or bad auth token.", "counter",
              AuthFailures.load(std::memory_order_relaxed));
   metricLine(Out, "awdit_server_slow_client_disconnects_total",
              "Clients muted and dropped for an overflowing output queue.",
              "counter", SlowClientDrops.load(std::memory_order_relaxed));
   // The rolling stall high water resets on every scrape (worst iteration
-  // since the last scrape); the _lifetime variant never resets and is what
-  // the CI soak gate bounds.
+  // since the last scrape), so exactly one scraper may consume it — a
+  // second reader zeroes the window the first expects. Anything else
+  // (dashboards, CI gates, manual curls) must use the _lifetime variant,
+  // which never resets.
   metricLine(Out, "awdit_server_poll_max_stall_micros",
-             "Worst event-loop iteration (micros) since the last scrape.",
+             "Worst event-loop iteration (micros) since the last scrape; "
+             "read-destructive, single-scraper only (others: use _lifetime).",
              "gauge", MaxPollStallMicros.exchange(0, std::memory_order_relaxed));
   metricLine(Out, "awdit_server_poll_max_stall_micros_lifetime",
              "Worst event-loop iteration (micros) since process start.",

@@ -1063,11 +1063,20 @@ TEST(ServerEndToEnd, AuthRejectsBeforeAnySessionStateIsCreated) {
   ASSERT_TRUE(C.sendLine("HELLO a1 cc token=wrong"));
   EXPECT_EQ(C.readLine(), "ERR auth bad token");
 
+  // The operator verb is behind the same gate: an anonymous connection
+  // must not toggle process-wide tracing (which clears the rings) or
+  // write dump files.
+  ASSERT_TRUE(C.sendLine("TRACE on"));
+  EXPECT_EQ(C.readLine().rfind("ERR auth TRACE", 0), 0u);
+  ASSERT_TRUE(C.sendLine("TRACE dump"));
+  EXPECT_EQ(C.readLine().rfind("ERR auth TRACE", 0), 0u);
+  EXPECT_FALSE(obs::traceEnabled());
+
   // Rejected HELLOs created nothing: no session, no sink, no checkpoint.
   std::string Page = H.server().renderMetrics();
   EXPECT_EQ(metricValue(Page, "awdit_server_sessions_created_total"), 0u)
       << Page;
-  EXPECT_EQ(metricValue(Page, "awdit_server_auth_failures_total"), 2u);
+  EXPECT_EQ(metricValue(Page, "awdit_server_auth_failures_total"), 4u);
   EXPECT_FALSE(std::filesystem::exists(H.sinkDir() + "/a1.jsonl"));
   EXPECT_FALSE(std::filesystem::exists(
       checkpointFilePathFor(H.checkpointDir(), "a1")));

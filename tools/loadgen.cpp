@@ -266,9 +266,22 @@ bool runOnce(const Config &Cfg, const StreamSpec &Spec,
     auto Start = std::chrono::steady_clock::now();
     auto LastProbe = Start;
     uint64_t Sent = 0;
-    for (size_t Pos = Offset; Pos < Text.size(); Pos += Cfg.ChunkBytes) {
+    for (size_t Pos = Offset; Pos < Text.size();) {
+      // Cut the chunk at the last newline inside the window so a probe
+      // injected after it lands between data lines, never mid-line (a
+      // spliced "<partial>STATS" would corrupt the stream). A single line
+      // longer than ChunkBytes is sent as a raw slice — no boundary, so
+      // no probe rides behind it.
+      size_t Limit = std::min(Text.size(), Pos + Cfg.ChunkBytes);
+      size_t End = Limit;
+      if (Limit < Text.size()) {
+        size_t NL = Text.rfind('\n', Limit - 1);
+        if (NL != std::string::npos && NL >= Pos)
+          End = NL + 1;
+      }
       std::string_view Chunk =
-          std::string_view(Text).substr(Pos, Cfg.ChunkBytes);
+          std::string_view(Text).substr(Pos, End - Pos);
+      Pos = End;
       if (!S.writeAll(Chunk)) {
         SenderFailed.store(true);
         return;
@@ -277,7 +290,7 @@ bool runOnce(const Config &Cfg, const StreamSpec &Spec,
       R.SentBytes += Chunk.size();
       R.SentLines += static_cast<uint64_t>(
           std::count(Chunk.begin(), Chunk.end(), '\n'));
-      if (Cfg.ProbeIntervalMs) {
+      if (Cfg.ProbeIntervalMs && !Chunk.empty() && Chunk.back() == '\n') {
         auto Now = std::chrono::steady_clock::now();
         if (Now - LastProbe >=
             std::chrono::milliseconds(Cfg.ProbeIntervalMs)) {
